@@ -1,0 +1,72 @@
+//! E7 — Junta/CounterJunta, program loading, and syscall dispatch.
+
+use alto_disk::{DiskDrive, DiskModel};
+use alto_machine::Machine;
+use alto_os::syscalls::SysCall;
+use alto_os::AltoOs;
+use alto_sim::{SimClock, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fresh_os() -> AltoOs {
+    let clock = SimClock::new();
+    let machine = Machine::new(clock.clone(), Trace::new());
+    let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
+    AltoOs::install(machine, drive).unwrap()
+}
+
+fn bench_junta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_junta");
+    let mut os = fresh_os();
+    for keep in [1u8, 4, 8, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("junta_counter_junta", keep),
+            &keep,
+            |b, &keep| {
+                b.iter(|| {
+                    os.junta(keep).unwrap();
+                    os.counter_junta();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_loader(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_loader");
+    group.sample_size(20);
+    let mut os = fresh_os();
+    os.store_program(
+        "bench.run",
+        r#"
+        lda 0, k
+        jsr @ticks
+        halt
+ticks:  .fixup "Ticks"
+k:      .word 1
+        "#,
+    )
+    .unwrap();
+    group.bench_function("load_bind_run_program", |b| {
+        b.iter(|| std::hint::black_box(os.run_program("bench.run", 1000).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_syscall_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_syscalls");
+    let mut os = fresh_os();
+    group.bench_function("putchar_trap", |b| {
+        b.iter(|| {
+            os.machine.ac[0] = b'x' as u16;
+            os.handle_syscall(SysCall::PutChar.code(), 0).unwrap();
+        });
+    });
+    group.bench_function("ticks_trap", |b| {
+        b.iter(|| os.handle_syscall(SysCall::Ticks.code(), 0).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_junta, bench_loader, bench_syscall_dispatch);
+criterion_main!(benches);

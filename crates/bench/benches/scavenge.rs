@@ -1,0 +1,57 @@
+//! E2 — the Scavenger over disks at several utilizations.
+
+use alto_bench::filled_fs;
+use alto_fs::Scavenger;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scavenge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_scavenge");
+    group.sample_size(10);
+    for percent in [10u32, 50, 90] {
+        group.bench_with_input(
+            BenchmarkId::new("full_disk_scavenge", format!("{percent}pct")),
+            &percent,
+            |b, &percent| {
+                b.iter_batched(
+                    || filled_fs(percent, 42).crash(),
+                    |disk| {
+                        let (fs, report) = Scavenger::rebuild(disk).unwrap();
+                        std::hint::black_box((fs, report))
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scan_only(c: &mut Criterion) {
+    // The label-scan phase isolated: one READ_ALL per sector.
+    use alto_disk::{Disk, DiskAddress, SectorBuf, SectorOp};
+    let mut group = c.benchmark_group("e2_label_scan");
+    group.sample_size(20);
+    let fs = filled_fs(50, 7);
+    let mut disk = fs.unmount().unwrap();
+    let total = disk.geometry().unwrap().sector_count();
+    group.bench_function("scan_4872_labels", |b| {
+        b.iter(|| {
+            let mut live = 0u32;
+            for i in 0..total {
+                let mut buf = SectorBuf::zeroed();
+                if disk
+                    .do_op(DiskAddress(i as u16), SectorOp::READ_ALL, &mut buf)
+                    .is_ok()
+                    && buf.decoded_label().is_in_use()
+                {
+                    live += 1;
+                }
+            }
+            std::hint::black_box(live)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scavenge, bench_scan_only);
+criterion_main!(benches);

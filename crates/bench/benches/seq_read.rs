@@ -1,0 +1,58 @@
+//! E3 — sequential reads over scattered vs compacted layouts, and the
+//! compactor itself.
+
+use alto_bench::{consecutive_file, fresh_fs, scatter_file};
+use alto_disk::DiskModel;
+use alto_fs::compact::Compactor;
+use alto_fs::dir;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_seq_read");
+    group.sample_size(20);
+
+    let mut fs = fresh_fs(DiskModel::Diablo31);
+    let f = consecutive_file(&mut fs, "doc.dat", 40);
+    group.bench_function("consecutive_40pp", |b| {
+        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
+    });
+
+    scatter_file(&mut fs, f, 99);
+    group.bench_function("scattered_40pp", |b| {
+        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
+    });
+
+    Compactor::run(&mut fs).unwrap();
+    let root = fs.root_dir();
+    let f = dir::lookup(&mut fs, root, "doc.dat").unwrap().unwrap();
+    group.bench_function("recompacted_40pp", |b| {
+        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_compactor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_compactor");
+    group.sample_size(10);
+    group.bench_function("compact_8_scattered_files", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = fresh_fs(DiskModel::Diablo31);
+                for i in 0..8 {
+                    let f = consecutive_file(&mut fs, &format!("f{i}.dat"), 12);
+                    scatter_file(&mut fs, f, i as u64 + 1);
+                }
+                fs
+            },
+            |mut fs| {
+                let report = Compactor::run(&mut fs).unwrap();
+                std::hint::black_box(report)
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_compactor);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E6 — OutLoad/InLoad world swaps and the bootstrap.
+
+use alto_disk::{DiskDrive, DiskModel};
+use alto_machine::Machine;
+use alto_os::{AltoOs, MESSAGE_WORDS};
+use alto_sim::{SimClock, Trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fresh_os() -> AltoOs {
+    let clock = SimClock::new();
+    let machine = Machine::new(clock.clone(), Trace::new());
+    let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
+    AltoOs::install(machine, drive).unwrap()
+}
+
+fn bench_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_world_swap");
+    group.sample_size(10);
+    let mut os = fresh_os();
+    let file = os.create_state_file("Bench.state").unwrap();
+
+    group.bench_function("out_load_64kw", |b| {
+        b.iter(|| std::hint::black_box(os.out_load(file).unwrap()));
+    });
+    group.bench_function("in_load_64kw", |b| {
+        b.iter(|| os.in_load(file, &[0; MESSAGE_WORDS]).unwrap());
+    });
+    group.bench_function("coroutine_round_trip", |b| {
+        let a = os.create_state_file("A.state").unwrap();
+        let bf = os.create_state_file("B.state").unwrap();
+        os.out_load(a).unwrap();
+        os.out_load(bf).unwrap();
+        b.iter(|| {
+            os.out_load(a).unwrap();
+            os.in_load(bf, &[0; MESSAGE_WORDS]).unwrap();
+            os.out_load(bf).unwrap();
+            os.in_load(a, &[0; MESSAGE_WORDS]).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_bootstrap");
+    group.sample_size(10);
+    let mut os = fresh_os();
+    os.install_boot_file().unwrap();
+    group.bench_function("boot_button", |b| {
+        b.iter(|| os.bootstrap().unwrap());
+    });
+    group.bench_function("reinstall_boot_file", |b| {
+        b.iter(|| std::hint::black_box(os.install_boot_file().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_swap, bench_boot);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! The diskless configuration (§5.2).
+//!
+//! "The display, keyboard, and storage-allocation packages have been
+//! assembled to form an operating system for use without a disk, used to
+//! support diagnostics or other programs that depend on network
+//! communications rather than on local disk storage."
+//!
+//! [`DisklessOs`] is that assembly: the same level structure, stubs and
+//! type-ahead machinery as [`AltoOs`], but with no disk and therefore no
+//! file levels — the disk, stream and directory services (levels 5, 6, 8,
+//! 9) simply are not resident, and the trap interface says so. Programs
+//! arrive over the ether from a [`BootServer`] running on a machine that
+//! does have a disk.
+
+use std::collections::BTreeSet;
+
+use alto_disk::Disk;
+use alto_machine::{CodeFile, Machine, MachineError, Step};
+use alto_net::{receive_file, Ether, HostId, Packet, PacketType, ProtoError};
+
+use crate::errors::OsError;
+use crate::levels::LevelTable;
+use crate::loader::ProgramExit;
+use crate::os::AltoOs;
+use crate::symbols::SymbolTable;
+use crate::syscalls::{SysCall, NONE_VALUE};
+use crate::typeahead::TypeAhead;
+
+/// Packet type for "send me this program" requests.
+pub const BOOT_REQUEST: PacketType = PacketType::Other(10);
+/// The well-known boot-server socket.
+pub const BOOT_SOCKET: u16 = 0o44;
+
+/// The diskless operating system: display, keyboard, storage allocation —
+/// no disk.
+#[derive(Debug)]
+pub struct DisklessOs {
+    /// The simulated Alto.
+    pub machine: Machine,
+    levels: LevelTable,
+    /// Which levels this configuration includes.
+    resident: BTreeSet<u8>,
+    typeahead: TypeAhead,
+    symbols: SymbolTable,
+}
+
+impl DisklessOs {
+    /// Assembles the diskless system: levels 1–4, 7 (zones), 10–13 —
+    /// everything except the disk object, disk streams and directories.
+    pub fn new(mut machine: Machine) -> DisklessOs {
+        let levels = LevelTable::new();
+        let symbols = SymbolTable::install(&mut machine.mem, &levels);
+        let l2 = levels.level(2).expect("level 2 exists");
+        let typeahead = TypeAhead::init(&mut machine.mem, l2.base, l2.words);
+        let resident: BTreeSet<u8> = [1u8, 2, 3, 4, 7, 10, 11, 12, 13].into_iter().collect();
+        DisklessOs {
+            machine,
+            levels,
+            resident,
+            typeahead,
+            symbols,
+        }
+    }
+
+    /// True if a level is part of this configuration.
+    pub fn is_resident(&self, level: u8) -> bool {
+        self.resident.contains(&level)
+    }
+
+    /// The memory layout (identical to the full system's, so programs and
+    /// stubs are binary-compatible across configurations).
+    pub fn levels(&self) -> &LevelTable {
+        &self.levels
+    }
+
+    /// Drains struck keys into the type-ahead buffer.
+    pub fn service_keyboard(&mut self) {
+        let now = self.machine.clock().now();
+        while let Some(key) = self.machine.keyboard.read_at(now) {
+            self.typeahead.push(&mut self.machine.mem, key);
+        }
+    }
+
+    /// Reads one buffered character.
+    pub fn get_char(&mut self) -> Option<u8> {
+        self.service_keyboard();
+        self.typeahead.pop(&mut self.machine.mem).map(|k| k as u8)
+    }
+
+    /// Serves the diskless subset of the system calls.
+    pub fn handle_syscall(&mut self, code: u16, _ac: u8) -> Result<(), OsError> {
+        let call = SysCall::from_code(code)?;
+        if !self.is_resident(call.level()) {
+            return Err(OsError::ServiceNotResident {
+                call: call.symbol(),
+                level: call.level(),
+            });
+        }
+        match call {
+            SysCall::PutChar => {
+                let c = self.machine.ac[0] as u8;
+                self.machine.display.put_char(c as char);
+            }
+            SysCall::GetChar => {
+                self.machine.ac[0] = self.get_char().map_or(NONE_VALUE, u16::from);
+            }
+            SysCall::Ticks => {
+                self.machine.ac[0] = self.machine.clock().now().as_millis() as u16;
+            }
+            // Junta/CounterJunta/OutLoad/InLoad *are* in resident levels
+            // (1 and 12), but they are disk operations: without a disk
+            // there is nowhere to put a world.
+            other => {
+                return Err(OsError::ServiceNotResident {
+                    call: other.symbol(),
+                    level: other.level(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps the machine until it halts, serving the diskless services.
+    pub fn run_machine(&mut self, mut budget: u64) -> Result<(), OsError> {
+        loop {
+            if budget == 0 {
+                return Err(OsError::Machine(MachineError::BudgetExhausted));
+            }
+            budget -= 1;
+            match self.machine.step().map_err(OsError::Machine)? {
+                Step::Running => {}
+                Step::Halted => return Ok(()),
+                Step::Interrupt => self.service_keyboard(),
+                Step::Trap { code, ac } => self.handle_syscall(code, ac)?,
+            }
+        }
+    }
+
+    /// Loads a code file (arrived over the wire) and binds its fixups.
+    pub fn load_code(&mut self, code: &CodeFile) -> Result<u16, OsError> {
+        let end = code.base as u32 + code.code.len() as u32;
+        if end > self.levels.resident_base() as u32 {
+            return Err(OsError::Machine(MachineError::BadImage(
+                "program overlaps the resident system",
+            )));
+        }
+        let mut image = code.code.clone();
+        for fixup in &code.fixups {
+            image[fixup.offset as usize] = self.symbols.resolve(&fixup.symbol)?;
+        }
+        self.machine
+            .mem
+            .write_block(code.base, &image)
+            .map_err(|_| OsError::Machine(MachineError::BadImage("program does not fit")))?;
+        self.machine.pc = code.entry;
+        Ok(code.entry)
+    }
+
+    /// Boots a program over the network: sends a request to the boot
+    /// server, receives the code file, loads and runs it.
+    ///
+    /// The server end is driven by [`BootServer::serve`]; in this
+    /// single-threaded simulation the caller passes the server so the two
+    /// ends can interleave on the shared ether.
+    pub fn netboot<D: Disk>(
+        &mut self,
+        ether: &mut Ether,
+        my_host: HostId,
+        server: &mut BootServer<'_, D>,
+        name: &str,
+        budget: u64,
+    ) -> Result<ProgramExit, OsError> {
+        // The request: program name, packed.
+        let payload = alto_fs::file::bytes_to_words(name.as_bytes());
+        let request = Packet {
+            ptype: BOOT_REQUEST,
+            dst_host: server.host,
+            src_host: my_host,
+            dst_socket: BOOT_SOCKET,
+            src_socket: BOOT_SOCKET + 1,
+            seq: 0,
+            payload,
+        };
+        ether.send(request).map_err(|e| {
+            OsError::Stream(alto_streams::StreamError::NotSupported({
+                let _ = e;
+                "network send failed"
+            }))
+        })?;
+        let words = server
+            .serve(ether)
+            .map_err(|_| OsError::CommandNotFound(name.to_string()))?;
+        let code = CodeFile::decode(&words)?;
+        self.load_code(&code)?;
+        let before = self.machine.instructions();
+        self.run_machine(budget)?;
+        Ok(ProgramExit {
+            instructions: self.machine.instructions() - before,
+        })
+    }
+}
+
+/// The boot server: a machine *with* a disk serving code files by name.
+#[derive(Debug)]
+pub struct BootServer<'a, D: Disk> {
+    os: &'a mut AltoOs<D>,
+    /// The server's host address.
+    pub host: HostId,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl<'a, D: Disk> BootServer<'a, D> {
+    /// Wraps a disk-full system as a boot server on `host`.
+    pub fn new(os: &'a mut AltoOs<D>, host: HostId) -> BootServer<'a, D> {
+        BootServer {
+            os,
+            host,
+            served: 0,
+        }
+    }
+
+    /// Polls for one request and serves it, returning the words delivered
+    /// to the requester (the inline receiver of the shared-ether pump).
+    pub fn serve(&mut self, ether: &mut Ether) -> Result<Vec<u16>, ProtoError> {
+        let Some(request) = ether.receive(self.host, BOOT_SOCKET)? else {
+            return Err(ProtoError::TooManyRetries { seq: 0 });
+        };
+        let name_bytes = alto_fs::file::words_to_bytes(&request.payload);
+        let name = String::from_utf8_lossy(&name_bytes);
+        let name = name.trim_end_matches('\0');
+        let root = self.os.fs.root_dir();
+        let file = alto_fs::dir::lookup(&mut self.os.fs, root, name)
+            .ok()
+            .flatten()
+            .ok_or(ProtoError::TooManyRetries { seq: 0 })?;
+        let bytes = self
+            .os
+            .fs
+            .read_file(file)
+            .map_err(|_| ProtoError::TooManyRetries { seq: 0 })?;
+        let words = alto_fs::file::bytes_to_words(&bytes);
+        self.served += 1;
+        // Pump the transfer to the requester.
+        receive_file(
+            ether,
+            self.host,
+            request.src_host,
+            request.src_socket,
+            BOOT_SOCKET + 2,
+            &words,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_sim::{SimClock, SimTime, Trace};
+
+    fn setup() -> (DisklessOs, AltoOs, Ether, SimClock) {
+        let clock = SimClock::new();
+        let diskless = DisklessOs::new(Machine::new(clock.clone(), Trace::new()));
+        let machine = Machine::new(clock.clone(), Trace::new());
+        let drive =
+            DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+        let server_os = AltoOs::install(machine, drive).unwrap();
+        let mut ether = Ether::new(clock.clone(), Trace::new());
+        ether.attach(1).unwrap(); // diskless workstation
+        ether.attach(2).unwrap(); // boot server
+        (diskless, server_os, ether, clock)
+    }
+
+    #[test]
+    fn diskless_has_display_and_keyboard_but_no_files() {
+        let (mut d, ..) = setup();
+        d.machine.ac[0] = b'!' as u16;
+        d.handle_syscall(SysCall::PutChar.code(), 0).unwrap();
+        assert_eq!(d.machine.display.transcript(), "!");
+        // File services are not in this configuration.
+        let err = d.handle_syscall(SysCall::OpenRead.code(), 0).unwrap_err();
+        assert!(matches!(err, OsError::ServiceNotResident { level: 8, .. }));
+        let err = d.handle_syscall(SysCall::OutLoad.code(), 0).unwrap_err();
+        assert!(matches!(err, OsError::ServiceNotResident { .. }));
+    }
+
+    #[test]
+    fn keyboard_typeahead_works_disklessly() {
+        let (mut d, ..) = setup();
+        let now = d.machine.clock().now();
+        d.machine
+            .keyboard
+            .type_string(now, SimTime::from_millis(1), "ok");
+        d.machine.clock().advance(SimTime::from_millis(10));
+        assert_eq!(d.get_char(), Some(b'o'));
+        assert_eq!(d.get_char(), Some(b'k'));
+    }
+
+    #[test]
+    fn netboot_runs_a_diagnostic_from_the_server() {
+        let (mut d, mut server_os, mut ether, _clock) = setup();
+        // The server has a diagnostic program on its disk.
+        server_os
+            .store_program(
+                "memtest.run",
+                r#"
+        ; a diagnostic: pattern-test a memory word, report via display
+        lda 0, pat
+        sta 0, @cell
+        lda 1, @cell
+        sub# 0, 1, szr
+        jmp bad
+        lda 0, okch
+        jsr @putchar
+        halt
+bad:    lda 0, badch
+        jsr @putchar
+        halt
+putchar: .fixup "PutChar"
+cell:   .word 0o1000
+pat:    .word 0o125252
+okch:   .word 'P'
+badch:  .word 'F'
+        "#,
+            )
+            .unwrap();
+        let mut server = BootServer::new(&mut server_os, 2);
+        let exit = d
+            .netboot(&mut ether, 1, &mut server, "memtest.run", 100_000)
+            .unwrap();
+        assert!(exit.instructions > 0);
+        assert_eq!(server.served, 1);
+        assert_eq!(d.machine.display.transcript(), "P");
+    }
+
+    #[test]
+    fn netboot_unknown_program_fails_cleanly() {
+        let (mut d, mut server_os, mut ether, _clock) = setup();
+        let mut server = BootServer::new(&mut server_os, 2);
+        let err = d
+            .netboot(&mut ether, 1, &mut server, "ghost.run", 1000)
+            .unwrap_err();
+        assert!(matches!(err, OsError::CommandNotFound(_)));
+    }
+
+    #[test]
+    fn stub_addresses_match_the_full_system() {
+        // Binary compatibility: a program linked against the full system's
+        // stubs runs unchanged on the diskless configuration.
+        let (d, mut server_os, ..) = setup();
+        for (symbol, addr) in d.symbols.symbols() {
+            assert_eq!(server_os.symbols().resolve(symbol).unwrap(), addr);
+        }
+        let _ = &mut server_os;
+    }
+}

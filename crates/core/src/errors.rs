@@ -1,0 +1,118 @@
+//! Operating-system error types.
+
+use std::fmt;
+
+use alto_fs::FsError;
+use alto_machine::MachineError;
+use alto_streams::StreamError;
+
+/// Errors surfaced by the operating system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// File-system failure.
+    Fs(FsError),
+    /// Machine failure (bad program, assembler error, bad image).
+    Machine(MachineError),
+    /// Stream failure.
+    Stream(StreamError),
+    /// A system call arrived for a service whose level is not resident —
+    /// the program `Junta`ed it away (§5.2).
+    ServiceNotResident {
+        /// The call that was attempted.
+        call: &'static str,
+        /// The level that would provide it.
+        level: u8,
+    },
+    /// An unknown trap code reached the dispatcher.
+    UnknownSysCall(u16),
+    /// A bad stream/file handle was passed to a system call.
+    BadHandle(u16),
+    /// A reference to an operating-system procedure could not be bound
+    /// (unknown symbol in a fixup table, §5.1).
+    UnboundSymbol(String),
+    /// The named command or program was not found by the Executive.
+    CommandNotFound(String),
+    /// The file exists but is not a loadable code file.
+    NotAProgram(String),
+    /// A string in simulated memory was malformed.
+    BadString(u16),
+    /// Junta level out of range.
+    BadLevel(u8),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::Fs(e) => write!(f, "file system: {e}"),
+            OsError::Machine(e) => write!(f, "machine: {e}"),
+            OsError::Stream(e) => write!(f, "stream: {e}"),
+            OsError::ServiceNotResident { call, level } => {
+                write!(
+                    f,
+                    "{call} is not resident (level {level} was removed by Junta)"
+                )
+            }
+            OsError::UnknownSysCall(code) => write!(f, "unknown system call {code}"),
+            OsError::BadHandle(h) => write!(f, "bad stream handle {h}"),
+            OsError::UnboundSymbol(s) => write!(f, "unbound OS procedure \"{s}\""),
+            OsError::CommandNotFound(c) => write!(f, "command not found: {c}"),
+            OsError::NotAProgram(n) => write!(f, "{n} is not a loadable program"),
+            OsError::BadString(addr) => write!(f, "bad string at {addr:#o}"),
+            OsError::BadLevel(l) => write!(f, "bad Junta level {l}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+impl From<FsError> for OsError {
+    fn from(e: FsError) -> Self {
+        OsError::Fs(e)
+    }
+}
+
+impl From<MachineError> for OsError {
+    fn from(e: MachineError) -> Self {
+        OsError::Machine(e)
+    }
+}
+
+impl From<StreamError> for OsError {
+    fn from(e: StreamError) -> Self {
+        OsError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(OsError::ServiceNotResident {
+            call: "PutChar",
+            level: 11
+        }
+        .to_string()
+        .contains("level 11"));
+        assert!(OsError::UnknownSysCall(99).to_string().contains("99"));
+        assert!(OsError::BadHandle(3).to_string().contains("3"));
+        assert!(OsError::UnboundSymbol("Gets".into())
+            .to_string()
+            .contains("Gets"));
+        assert!(OsError::CommandNotFound("frob".into())
+            .to_string()
+            .contains("frob"));
+        assert!(OsError::NotAProgram("x".into()).to_string().contains("x"));
+        assert!(OsError::BadString(8).to_string().contains("0o10"));
+        assert!(OsError::BadLevel(99).to_string().contains("99"));
+        assert!(OsError::Fs(FsError::DiskFull).to_string().contains("full"));
+    }
+
+    #[test]
+    fn conversions() {
+        let _: OsError = FsError::DiskFull.into();
+        let _: OsError = MachineError::BudgetExhausted.into();
+        let _: OsError = StreamError::EndOfStream.into();
+    }
+}

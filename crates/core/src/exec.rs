@@ -1,0 +1,423 @@
+//! The Executive (§5.1).
+//!
+//! "If the program returns, the system loads and runs a standard Executive
+//! program. The Executive accepts user commands from the keyboard and
+//! executes them, often by calling the loader to invoke a program the user
+//! has requested."
+//!
+//! Built-in commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `ls` | list the root directory |
+//! | `type NAME` | print a file |
+//! | `copy SRC DST` | copy a file |
+//! | `dump NAME` | octal word dump of a file's first page |
+//! | `delete NAME` | remove entry and file |
+//! | `rename OLD NEW` | re-enter a file under a new name |
+//! | `space` | free/used page counts |
+//! | `levels` | show the Junta level table |
+//! | `scavenge` | run the Scavenger |
+//! | `compact` | run the compacting scavenger |
+//! | `snapshot` | snapshot all directories to the journal package |
+//! | `recover` | restore directories from snapshot + journal |
+//! | `quit` | leave the Executive |
+//! | anything else | run it as a program via the loader |
+
+use alto_disk::Disk;
+use alto_fs::{compact::Compactor, dir, Scavenger};
+
+use crate::errors::OsError;
+use crate::os::AltoOs;
+
+/// Why the Executive stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecExit {
+    /// The user typed `quit`.
+    Quit,
+    /// The keyboard script ran dry (no more input will ever arrive).
+    OutOfInput,
+    /// The command budget was reached.
+    Budget,
+}
+
+impl<D: Disk> AltoOs<D> {
+    /// Reads one command line from the type-ahead buffer, echoing it.
+    /// Returns `None` when input is exhausted mid-line.
+    pub fn read_command_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        loop {
+            match self.get_char() {
+                Some(b'\n') | Some(b'\r') => {
+                    self.put_char(b'\n');
+                    return Some(line);
+                }
+                Some(c) => {
+                    self.put_char(c);
+                    line.push(c as char);
+                }
+                None => {
+                    // No more keys *now*; if the script still has keys for
+                    // later, advance time to them (the Executive blocks on
+                    // input); otherwise give up.
+                    if self.machine.keyboard.remaining() == 0 {
+                        return None;
+                    }
+                    self.machine
+                        .clock()
+                        .advance(alto_sim::SimTime::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Executes one command line. Returns false for `quit`.
+    pub fn execute_command(&mut self, line: &str) -> Result<bool, OsError> {
+        let mut parts = line.split_whitespace();
+        let Some(command) = parts.next() else {
+            return Ok(true); // empty line
+        };
+        let arg1 = parts.next();
+        let arg2 = parts.next();
+        match command {
+            "quit" => return Ok(false),
+            "ls" => {
+                let root = self.fs.root_dir();
+                let entries = dir::list(&mut self.fs, root)?;
+                for e in entries {
+                    let len = self.fs.file_length(e.file).unwrap_or(0);
+                    self.put_str(&format!("{:<24} {:>8} bytes\n", e.name, len));
+                }
+            }
+            "type" => {
+                let name =
+                    arg1.ok_or_else(|| OsError::CommandNotFound("type: missing name".into()))?;
+                let root = self.fs.root_dir();
+                let file = dir::lookup(&mut self.fs, root, name)?
+                    .ok_or_else(|| OsError::CommandNotFound(name.to_string()))?;
+                let bytes = self.fs.read_file(file)?;
+                let text: String = bytes.iter().map(|&b| b as char).collect();
+                self.put_str(&text);
+                self.put_char(b'\n');
+            }
+            "copy" => {
+                let (src, dst) = match (arg1, arg2) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(OsError::CommandNotFound("copy: need SRC DST".into())),
+                };
+                let root = self.fs.root_dir();
+                let from = dir::lookup(&mut self.fs, root, src)?
+                    .ok_or_else(|| OsError::CommandNotFound(src.to_string()))?;
+                let bytes = self.fs.read_file(from)?;
+                let to = match dir::lookup(&mut self.fs, root, dst)? {
+                    Some(f) => f,
+                    None => dir::create_named_file(&mut self.fs, root, dst)?,
+                };
+                self.fs.write_file(to, &bytes)?;
+                self.put_str(&format!("copied {} bytes\n", bytes.len()));
+            }
+            "dump" => {
+                let name =
+                    arg1.ok_or_else(|| OsError::CommandNotFound("dump: missing name".into()))?;
+                let root = self.fs.root_dir();
+                let file = dir::lookup(&mut self.fs, root, name)?
+                    .ok_or_else(|| OsError::CommandNotFound(name.to_string()))?;
+                let bytes = self.fs.read_file(file)?;
+                let words = alto_fs::file::bytes_to_words(&bytes);
+                for (i, chunk) in words.chunks(8).take(8).enumerate() {
+                    let mut line = format!("{:#06o}: ", i * 8);
+                    for w in chunk {
+                        line.push_str(&format!("{w:06o} "));
+                    }
+                    line.push('\n');
+                    self.put_str(&line);
+                }
+                if words.len() > 64 {
+                    self.put_str(&format!("... ({} words total)\n", words.len()));
+                }
+            }
+            "space" => {
+                let total = self.fs.descriptor().bitmap.len();
+                let free = self.fs.descriptor().bitmap.free_count();
+                self.put_str(&format!(
+                    "{free} pages free of {total} ({} bytes free)\n",
+                    free as u64 * 512
+                ));
+            }
+            "snapshot" => {
+                let j = match alto_fs::journal::DirJournal::open(&mut self.fs) {
+                    Ok(j) => j,
+                    Err(_) => alto_fs::journal::DirJournal::install(&mut self.fs)?,
+                };
+                let dirs = j.take_snapshot(&mut self.fs)?;
+                self.put_str(&format!("snapshotted {dirs} directories\n"));
+            }
+            "recover" => {
+                let j = alto_fs::journal::DirJournal::open(&mut self.fs)?;
+                let (restored, replayed) = j.recover(&mut self.fs)?;
+                self.put_str(&format!(
+                    "restored {restored} directories, replayed {replayed} changes\n"
+                ));
+            }
+            "delete" => {
+                let name =
+                    arg1.ok_or_else(|| OsError::CommandNotFound("delete: missing name".into()))?;
+                self.delete_named(name)?;
+                self.put_str("deleted\n");
+            }
+            "rename" => {
+                let (old, new) = match (arg1, arg2) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(OsError::CommandNotFound("rename: need OLD NEW".into())),
+                };
+                let root = self.fs.root_dir();
+                let file = dir::remove(&mut self.fs, root, old)?
+                    .ok_or_else(|| OsError::CommandNotFound(old.to_string()))?;
+                dir::insert(&mut self.fs, root, new, file)?;
+                self.put_str("renamed\n");
+            }
+            "levels" => {
+                let table = self.levels().to_string();
+                self.put_str(&table);
+            }
+            "scavenge" => {
+                let report = Scavenger::run(&mut self.fs)?;
+                self.put_str(&format!(
+                    "scavenged: {} files, {} free pages, {} orphans adopted\n",
+                    report.files, report.free_pages, report.orphans_adopted
+                ));
+            }
+            "compact" => {
+                let report = Compactor::run(&mut self.fs)?;
+                self.put_str(&format!(
+                    "compacted: {} pages moved, {} files consecutive\n",
+                    report.pages_moved, report.consecutive_files
+                ));
+            }
+            name => {
+                // Not a builtin: run it as a program, passing any
+                // arguments through the well-known command cells.
+                self.set_command_args(arg1.unwrap_or(""), arg2.unwrap_or(""))?;
+                match self.run_program(name, 10_000_000) {
+                    Ok(_) => {}
+                    Err(OsError::CommandNotFound(_)) => {
+                        self.put_str(&format!("?{name}\n"));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs the Executive: reads and executes commands until `quit`, input
+    /// exhaustion, or `max_commands`.
+    pub fn run_executive(&mut self, max_commands: u32) -> Result<ExecExit, OsError> {
+        self.put_str("> ");
+        let mut executed = 0;
+        while executed < max_commands {
+            let Some(line) = self.read_command_line() else {
+                return Ok(ExecExit::OutOfInput);
+            };
+            executed += 1;
+            match self.execute_command(&line) {
+                Ok(true) => {}
+                Ok(false) => return Ok(ExecExit::Quit),
+                Err(e) => {
+                    let msg = format!("error: {e}\n");
+                    self.put_str(&msg);
+                }
+            }
+            self.put_str("> ");
+        }
+        Ok(ExecExit::Budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let trace = Trace::new();
+        let machine = Machine::new(clock.clone(), trace.clone());
+        let drive = DiskDrive::with_formatted_pack(clock, trace, DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    fn transcript(os: &AltoOs) -> &str {
+        os.machine.display.transcript()
+    }
+
+    #[test]
+    fn ls_lists_the_root_directory() {
+        let mut os = os();
+        os.execute_command("ls").unwrap();
+        let t = transcript(&os);
+        assert!(t.contains("SysDir"));
+        assert!(t.contains("DiskDescriptor"));
+    }
+
+    #[test]
+    fn type_prints_file_contents() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "note.txt").unwrap();
+        os.fs.write_file(f, b"remember the milk").unwrap();
+        os.execute_command("type note.txt").unwrap();
+        assert!(transcript(&os).contains("remember the milk"));
+    }
+
+    #[test]
+    fn delete_and_rename() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        dir::create_named_file(&mut os.fs, root, "old.txt").unwrap();
+        os.execute_command("rename old.txt new.txt").unwrap();
+        assert!(dir::lookup(&mut os.fs, root, "new.txt").unwrap().is_some());
+        assert!(dir::lookup(&mut os.fs, root, "old.txt").unwrap().is_none());
+        os.execute_command("delete new.txt").unwrap();
+        assert!(dir::lookup(&mut os.fs, root, "new.txt").unwrap().is_none());
+    }
+
+    #[test]
+    fn levels_command_prints_the_table() {
+        let mut os = os();
+        os.execute_command("levels").unwrap();
+        assert!(transcript(&os).contains("Disk streams"));
+    }
+
+    #[test]
+    fn scavenge_command_runs() {
+        let mut os = os();
+        os.execute_command("scavenge").unwrap();
+        assert!(transcript(&os).contains("scavenged"));
+    }
+
+    #[test]
+    fn unknown_command_reports() {
+        let mut os = os();
+        os.execute_command("frobnicate").unwrap();
+        assert!(transcript(&os).contains("?frobnicate"));
+    }
+
+    #[test]
+    fn full_session_from_the_keyboard() {
+        let mut os = os();
+        os.type_text("ls\nquit\n");
+        let exit = os.run_executive(10).unwrap();
+        assert_eq!(exit, ExecExit::Quit);
+        let t = transcript(&os);
+        assert!(t.contains("> ls"));
+        assert!(t.contains("SysDir"));
+    }
+
+    #[test]
+    fn executive_runs_a_stored_program() {
+        let mut os = os();
+        os.store_program(
+            "greet.run",
+            r#"
+            lda 0, ch
+            jsr @putchar
+            halt
+putchar:    .fixup "PutChar"
+ch:         .word '!'
+            "#,
+        )
+        .unwrap();
+        os.type_text("greet.run\nquit\n");
+        os.run_executive(10).unwrap();
+        assert!(transcript(&os).contains('!'));
+    }
+
+    #[test]
+    fn out_of_input_ends_the_session() {
+        let mut os = os();
+        os.type_text("ls\n"); // no quit
+        let exit = os.run_executive(10).unwrap();
+        assert_eq!(exit, ExecExit::OutOfInput);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut os = os();
+        os.type_text("type nothing.txt\nls\nquit\n");
+        let exit = os.run_executive(10).unwrap();
+        assert_eq!(exit, ExecExit::Quit);
+        assert!(transcript(&os).contains("error:"));
+        assert!(transcript(&os).contains("SysDir"));
+    }
+
+    #[test]
+    fn type_ahead_spans_commands() {
+        // Keys typed while one command runs are interpreted by the next —
+        // the §5.2 type-ahead property.
+        let mut os = os();
+        os.type_text("ls\nquit\n"); // all scripted before anything runs
+        let exit = os.run_executive(10).unwrap();
+        assert_eq!(exit, ExecExit::Quit);
+    }
+
+    #[test]
+    fn copy_duplicates_files() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "orig.txt").unwrap();
+        os.fs.write_file(f, b"twice is nice").unwrap();
+        os.execute_command("copy orig.txt dup.txt").unwrap();
+        let g = dir::lookup(&mut os.fs, root, "dup.txt").unwrap().unwrap();
+        assert_eq!(os.fs.read_file(g).unwrap(), b"twice is nice");
+        assert!(transcript(&os).contains("copied 13 bytes"));
+    }
+
+    #[test]
+    fn dump_shows_octal_words() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "w.dat").unwrap();
+        os.fs.write_file(f, &[0o125, 0o252]).unwrap(); // word 0o052652
+        os.execute_command("dump w.dat").unwrap();
+        assert!(transcript(&os).contains("052652"), "{}", transcript(&os));
+    }
+
+    #[test]
+    fn space_reports_free_pages() {
+        let mut os = os();
+        os.execute_command("space").unwrap();
+        assert!(transcript(&os).contains("pages free of 4872"));
+    }
+
+    #[test]
+    fn snapshot_and_recover_commands() {
+        let mut os = os();
+        os.execute_command("snapshot").unwrap();
+        assert!(transcript(&os).contains("snapshotted"));
+        os.execute_command("recover").unwrap();
+        assert!(transcript(&os).contains("restored"));
+    }
+
+    #[test]
+    fn executive_passes_arguments_to_programs() {
+        let mut os = os();
+        os.install_standard_programs().unwrap();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "todo").unwrap();
+        os.fs.write_file(f, b"ship it").unwrap();
+        os.type_text("type.run todo\nquit\n");
+        os.run_executive(10).unwrap();
+        assert!(transcript(&os).contains("ship it"));
+    }
+
+    #[test]
+    fn command_budget_is_enforced() {
+        let mut os = os();
+        os.type_text("ls\nls\nls\nquit\n");
+        // Budget of 2 commands: stops before reaching quit.
+        assert_eq!(os.run_executive(2).unwrap(), ExecExit::Budget);
+    }
+}

@@ -1,0 +1,175 @@
+//! The install phase: hint state files (§3.6).
+//!
+//! "Many programs use a collection of auxiliary files to which they need
+//! rapid access … When these programs are 'installed', they create the
+//! necessary files and store hints for them in a data structure that is
+//! then written onto a state file. Subsequently the program can start up,
+//! read the state file, and access all its auxiliary files at maximum disk
+//! speed. If a hint fails … the program must repeat the installation
+//! phase."
+//!
+//! Unlike the 1979 programs the paper chides for crashing with "Hint
+//! failed, please reinstall", [`AltoOs::load_hints`] climbs the recovery
+//! ladder automatically and only reinstalls as the true last resort.
+
+use alto_disk::Disk;
+use alto_fs::hints::PageHints;
+use alto_fs::names::FileFullName;
+use alto_fs::{dir, FsError};
+
+use crate::errors::OsError;
+use crate::os::AltoOs;
+
+/// Magic word identifying a hint state file.
+const MAGIC: u16 = 0xA514;
+
+impl<D: Disk> AltoOs<D> {
+    /// Installs a program's auxiliary files: ensures each named file
+    /// exists in the root directory, walks it to gather every-`k`-th-page
+    /// hints, and writes all the hints to `state_name`.
+    pub fn install_hints(
+        &mut self,
+        state_name: &str,
+        names: &[&str],
+        k: u16,
+    ) -> Result<FileFullName, OsError> {
+        let root = self.fs.root_dir();
+        let mut words = vec![MAGIC, names.len() as u16];
+        for name in names {
+            if dir::lookup(&mut self.fs, root, name)?.is_none() {
+                dir::create_named_file(&mut self.fs, root, name)?;
+            }
+            let hints = PageHints::install(&mut self.fs, root, name, k)?;
+            let encoded = hints.encode();
+            words.push(encoded.len() as u16);
+            words.extend_from_slice(&encoded);
+        }
+        let bytes = alto_fs::file::words_to_bytes(&words);
+        let state = match dir::lookup(&mut self.fs, root, state_name)? {
+            Some(f) => f,
+            None => dir::create_named_file(&mut self.fs, root, state_name)?,
+        };
+        self.fs.write_file(state, &bytes)?;
+        Ok(state)
+    }
+
+    /// Reads a hint state file back. Returns the hints in install order.
+    pub fn load_hints(&mut self, state_name: &str) -> Result<Vec<PageHints>, OsError> {
+        let root = self.fs.root_dir();
+        let state = dir::lookup(&mut self.fs, root, state_name)?
+            .ok_or_else(|| OsError::Fs(FsError::NameNotFound(state_name.to_string())))?;
+        let bytes = self.fs.read_file(state)?;
+        let words = alto_fs::file::bytes_to_words(&bytes);
+        if words.first() != Some(&MAGIC) {
+            return Err(OsError::Fs(FsError::NotFormatted("not a hint state file")));
+        }
+        let count = *words.get(1).unwrap_or(&0) as usize;
+        let mut out = Vec::with_capacity(count);
+        let mut i = 2usize;
+        for _ in 0..count {
+            let len = *words
+                .get(i)
+                .ok_or(OsError::Fs(FsError::NotFormatted("hint state truncated")))?
+                as usize;
+            i += 1;
+            let slice = words
+                .get(i..i + len)
+                .ok_or(OsError::Fs(FsError::NotFormatted("hint state truncated")))?;
+            out.push(
+                PageHints::decode(slice)
+                    .ok_or(OsError::Fs(FsError::NotFormatted("bad hint record")))?,
+            );
+            i += len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskAddress, DiskDrive, DiskModel};
+    use alto_fs::hints::{resolve_page, HintOutcome, HintStats};
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let trace = Trace::new();
+        let machine = Machine::new(clock.clone(), trace.clone());
+        let drive = DiskDrive::with_formatted_pack(clock, trace, DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    #[test]
+    fn install_creates_files_and_state() {
+        let mut os = os();
+        os.install_hints("Editor.state", &["scratch1", "scratch2", "journal"], 4)
+            .unwrap();
+        let root = os.fs.root_dir();
+        for name in ["scratch1", "scratch2", "journal", "Editor.state"] {
+            assert!(
+                dir::lookup(&mut os.fs, root, name).unwrap().is_some(),
+                "{name}"
+            );
+        }
+        let hints = os.load_hints("Editor.state").unwrap();
+        assert_eq!(hints.len(), 3);
+        assert_eq!(hints[0].name, "scratch1");
+    }
+
+    #[test]
+    fn hints_give_direct_access_after_reload() {
+        let mut os = os();
+        // Create a multi-page auxiliary file first.
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "journal").unwrap();
+        os.fs.write_file(f, &vec![9u8; 3000]).unwrap();
+        os.install_hints("Editor.state", &["journal"], 2).unwrap();
+
+        // "Start up": read the state file and access page 4 directly.
+        let mut hints = os.load_hints("Editor.state").unwrap().remove(0);
+        let mut stats = HintStats::default();
+        let da = hints
+            .every_kth
+            .iter()
+            .find(|(p, _)| *p == 4)
+            .map(|(_, da)| *da)
+            .unwrap();
+        let (_, _, outcome) = resolve_page(&mut os.fs, &mut hints, 4, da, &mut stats).unwrap();
+        assert_eq!(outcome, HintOutcome::DirectHit);
+    }
+
+    #[test]
+    fn stale_hints_recover_instead_of_demanding_reinstall() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "scratch").unwrap();
+        os.fs.write_file(f, &vec![1u8; 2000]).unwrap();
+        os.install_hints("Prog.state", &["scratch"], 0).unwrap();
+
+        // The scratch file gets deleted and recreated (new FV): every
+        // stored hint is now stale.
+        let mut hints = os.load_hints("Prog.state").unwrap().remove(0);
+        dir::remove(&mut os.fs, root, "scratch").unwrap();
+        os.fs.delete_file(f).unwrap();
+        let g = dir::create_named_file(&mut os.fs, root, "scratch").unwrap();
+        os.fs.write_file(g, &vec![2u8; 2000]).unwrap();
+
+        let mut stats = HintStats::default();
+        let (data, _, outcome) =
+            resolve_page(&mut os.fs, &mut hints, 1, DiskAddress::NIL, &mut stats).unwrap();
+        assert_eq!(outcome, HintOutcome::StringLookup);
+        assert_eq!(data[0], 0x0202); // the new file's bytes
+    }
+
+    #[test]
+    fn bad_state_file_is_rejected() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "junk.state").unwrap();
+        os.fs.write_file(f, b"not hints").unwrap();
+        assert!(os.load_hints("junk.state").is_err());
+        assert!(os.load_hints("missing.state").is_err());
+    }
+}

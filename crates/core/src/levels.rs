@@ -1,0 +1,247 @@
+//! The level organization of the system and Junta (§5.2).
+//!
+//! "The system is organized into several levels of services … the lowest
+//! level, which contains the most commonly used services, is at the very
+//! top of memory. Less ubiquitous services are in levels with higher
+//! numbers, located lower in memory. The highest level number to be
+//! retained is passed as an argument to Junta, which removes all
+//! higher-numbered levels and frees the storage they occupy."
+//!
+//! The table below reproduces the paper's level list verbatim. The sizes
+//! are plausible for the original (the paper gives only one figure —
+//! `InLoad`/`OutLoad` are "about 900 words" — which level 1 honours).
+
+use std::fmt;
+
+/// Number of levels (the paper numbers them 1–13; 5 and 6 are the disk
+/// code and data, which we keep as separate entries like the paper's
+/// "5,6" row).
+pub const LEVEL_COUNT: u8 = 13;
+
+/// One level of the resident system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level {
+    /// Level number (1 = most ubiquitous, at the very top of memory).
+    pub number: u8,
+    /// What the level provides (paper's wording).
+    pub name: &'static str,
+    /// Resident size in words.
+    pub words: u16,
+    /// First word of the level's region (inclusive).
+    pub base: u16,
+}
+
+/// The paper's level table: (number, name, words).
+const LEVELS: [(u8, &str, u16); LEVEL_COUNT as usize] = [
+    (1, "OutLoad/InLoad, CounterJunta", 900),
+    (2, "Keyboard input buffer", 128),
+    (3, "Hints for important files", 256),
+    (4, "BCPL runtime procedures", 512),
+    (5, "Disk code (standard disk object)", 768),
+    (6, "Disk data (standard disk object)", 256),
+    (7, "Zones (standard free-storage object)", 512),
+    (8, "Disk streams", 1024),
+    (9, "Disk directories", 768),
+    (10, "Keyboard streams", 256),
+    (11, "Display streams", 512),
+    (12, "Program loader and Junta", 768),
+    (13, "System free storage", 4096),
+];
+
+/// The memory layout of the resident system.
+#[derive(Debug, Clone)]
+pub struct LevelTable {
+    levels: Vec<Level>,
+    /// Highest level currently resident (after a Junta it shrinks).
+    resident: u8,
+}
+
+impl Default for LevelTable {
+    fn default() -> Self {
+        LevelTable::new()
+    }
+}
+
+impl LevelTable {
+    /// Builds the layout: level 1 ends at the top word of memory, each
+    /// higher-numbered level sits below its predecessor.
+    pub fn new() -> LevelTable {
+        let mut levels = Vec::with_capacity(LEVEL_COUNT as usize);
+        let mut top: u32 = 0x1_0000; // one past the last word
+        for (number, name, words) in LEVELS {
+            top -= words as u32;
+            levels.push(Level {
+                number,
+                name,
+                words,
+                base: top as u16,
+            });
+        }
+        LevelTable {
+            levels,
+            resident: LEVEL_COUNT,
+        }
+    }
+
+    /// The level with the given number.
+    pub fn level(&self, number: u8) -> Option<&Level> {
+        self.levels.get(number.checked_sub(1)? as usize)
+    }
+
+    /// All levels, in number order.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Highest level currently resident.
+    pub fn resident(&self) -> u8 {
+        self.resident
+    }
+
+    /// True if the service level is resident.
+    pub fn is_resident(&self, number: u8) -> bool {
+        number >= 1 && number <= self.resident
+    }
+
+    /// Performs the bookkeeping of a Junta: levels above `keep` stop being
+    /// resident. Returns the number of words freed.
+    pub fn junta(&mut self, keep: u8) -> u32 {
+        let keep = keep.clamp(1, LEVEL_COUNT);
+        let freed = self
+            .levels
+            .iter()
+            .filter(|l| l.number > keep && l.number <= self.resident)
+            .map(|l| l.words as u32)
+            .sum();
+        self.resident = self.resident.min(keep);
+        freed
+    }
+
+    /// Restores all levels (CounterJunta bookkeeping).
+    pub fn counter_junta(&mut self) {
+        self.resident = LEVEL_COUNT;
+    }
+
+    /// The first word of the resident system: everything below this is the
+    /// user program's to use.
+    pub fn resident_base(&self) -> u16 {
+        self.levels
+            .iter()
+            .filter(|l| l.number <= self.resident)
+            .map(|l| l.base)
+            .min()
+            .unwrap_or(u16::MAX)
+    }
+
+    /// Total resident words.
+    pub fn resident_words(&self) -> u32 {
+        self.levels
+            .iter()
+            .filter(|l| l.number <= self.resident)
+            .map(|l| l.words as u32)
+            .sum()
+    }
+}
+
+impl fmt::Display for LevelTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.levels {
+            let mark = if self.is_resident(l.number) {
+                "resident"
+            } else {
+                "freed"
+            };
+            writeln!(
+                f,
+                "{:2}. {:<42} {:5} words at {:#06x}  [{}]",
+                l.number, l.name, l.words, l.base, mark
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_levels_in_paper_order() {
+        let t = LevelTable::new();
+        assert_eq!(t.levels().len(), 13);
+        assert_eq!(t.level(1).unwrap().name, "OutLoad/InLoad, CounterJunta");
+        assert_eq!(t.level(13).unwrap().name, "System free storage");
+        // The paper's single hard number: InLoad/OutLoad ≈ 900 words.
+        assert_eq!(t.level(1).unwrap().words, 900);
+    }
+
+    #[test]
+    fn level_one_is_at_the_very_top_of_memory() {
+        let t = LevelTable::new();
+        let l1 = t.level(1).unwrap();
+        assert_eq!(l1.base as u32 + l1.words as u32, 0x1_0000);
+        // Monotone: higher numbers sit lower.
+        for pair in t.levels().windows(2) {
+            assert!(pair[1].base < pair[0].base);
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let t = LevelTable::new();
+        for pair in t.levels().windows(2) {
+            assert_eq!(
+                pair[1].base as u32 + pair[1].words as u32,
+                pair[0].base as u32
+            );
+        }
+    }
+
+    #[test]
+    fn junta_frees_words_and_clears_residency() {
+        let mut t = LevelTable::new();
+        let before = t.resident_words();
+        let freed = t.junta(8);
+        assert_eq!(t.resident(), 8);
+        assert!(!t.is_resident(9));
+        assert!(t.is_resident(8));
+        assert_eq!(t.resident_words() + freed, before);
+        // Freeing more: idempotent at the same level.
+        assert_eq!(t.junta(8), 0);
+        // Junta can only remove, never restore.
+        assert_eq!(t.junta(10), 0);
+        assert_eq!(t.resident(), 8);
+    }
+
+    #[test]
+    fn counter_junta_restores_everything() {
+        let mut t = LevelTable::new();
+        t.junta(1);
+        assert_eq!(t.resident(), 1);
+        t.counter_junta();
+        assert_eq!(t.resident(), 13);
+        assert!(t.is_resident(13));
+    }
+
+    #[test]
+    fn resident_base_moves_up_as_levels_are_freed() {
+        let mut t = LevelTable::new();
+        let full = t.resident_base();
+        t.junta(4);
+        let slim = t.resident_base();
+        assert!(slim > full, "freeing levels must raise the resident floor");
+        // With only level 1 left, the program owns nearly everything.
+        t.junta(1);
+        assert_eq!(t.resident_base() as u32, 0x1_0000 - 900);
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let mut t = LevelTable::new();
+        t.junta(5);
+        let s = t.to_string();
+        assert!(s.contains("Disk streams"));
+        assert!(s.contains("freed"));
+        assert!(s.contains("resident"));
+    }
+}

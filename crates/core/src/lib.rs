@@ -1,0 +1,56 @@
+//! The Alto Operating System — the paper's primary contribution.
+//!
+//! "The operating system is a collection of commonly used subroutine
+//! packages that are normally present in memory for the convenience of
+//! user programs" (§5). This crate assembles the substrate crates into
+//! that system:
+//!
+//! * **Levels and Junta** ([`levels`]) — the packages are organized into
+//!   13 levels laid out from the top of memory down; [`AltoOs::junta`]
+//!   removes higher-numbered levels, *actually freeing their words* for
+//!   the program, and [`AltoOs::counter_junta`] restores them (§5.2).
+//! * **World swap** ([`swap`]) — `OutLoad` writes the entire machine state
+//!   to a disk file and `InLoad` restores one, with the written-flag and
+//!   20-word message protocol of §4.1; boot files ([`boot`]) put a state's
+//!   first page at the fixed disk address the hardware bootstrap reads.
+//! * **Program loading** ([`loader`]) — code files are read from disk
+//!   streams into low memory and their references to OS procedures are
+//!   bound through fixup tables (§5.1).
+//! * **The Executive** ([`exec`]) — the command interpreter that runs when
+//!   a program returns (§5.1).
+//! * **System calls** ([`syscalls`]) — the trap interface through which
+//!   loaded programs reach the resident packages; each call is gated on
+//!   its level being resident, so a program that `Junta`s away the display
+//!   package really does lose `PutChar`.
+//! * **Type-ahead** ([`typeahead`]) — the level-2 keyboard buffer that
+//!   survives across program loads ("any characters typed ahead by the
+//!   user when running one program are saved for interpretation by the
+//!   next", §5.2).
+//! * **Install-phase hints** ([`install`]) — the §3.6 pattern: create
+//!   auxiliary files, store hints for them in a state file, and get them
+//!   back at full disk speed on the next startup.
+
+pub mod boot;
+pub mod debug;
+pub mod diskless;
+pub mod errors;
+pub mod exec;
+pub mod install;
+pub mod levels;
+pub mod loader;
+pub mod os;
+pub mod programs;
+pub mod swap;
+pub mod symbols;
+pub mod syscalls;
+pub mod sysdata;
+pub mod typeahead;
+pub mod vmisr;
+
+pub use debug::{Breakpoint, DebugStop, SwateeDebugger};
+pub use diskless::{BootServer, DisklessOs};
+pub use errors::OsError;
+pub use levels::{Level, LevelTable, LEVEL_COUNT};
+pub use os::AltoOs;
+pub use swap::{OutLoadResult, MESSAGE_WORDS};
+pub use syscalls::SysCall;

@@ -1,0 +1,346 @@
+//! The program loader (§5.1).
+//!
+//! "Code for the program is read from a disk stream and loaded into low
+//! memory addresses. All references to operating system procedures are
+//! bound, using a fixup table contained in the code file. Finally, the
+//! program is invoked by calling a single entry routine."
+//!
+//! Loaded code must fit below the resident system; the loader checks this
+//! against the *current* level table, so a program that plans to be big
+//! can `Junta` first and then load an overlay into the reclaimed space —
+//! the §5.2 overlay pattern.
+
+use alto_disk::Disk;
+use alto_fs::dir;
+use alto_fs::file::bytes_to_words;
+use alto_fs::names::FileFullName;
+use alto_machine::{CodeFile, MachineError};
+
+use crate::errors::OsError;
+use crate::os::AltoOs;
+
+/// What a program run reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramExit {
+    /// Instructions executed by the program (including its system calls'
+    /// trap instructions, not the Rust-side service work).
+    pub instructions: u64,
+}
+
+impl<D: Disk> AltoOs<D> {
+    /// Writes assembled source to a named code file (the "linker" step the
+    /// examples use to put programs on disk).
+    pub fn store_program(&mut self, name: &str, source: &str) -> Result<FileFullName, OsError> {
+        let assembled = alto_machine::assemble(source)?;
+        let code = CodeFile::from_assembled(&assembled);
+        let bytes = alto_fs::file::words_to_bytes(&code.encode());
+        let root = self.fs.root_dir();
+        let file = match dir::lookup(&mut self.fs, root, name)? {
+            Some(f) => f,
+            None => dir::create_named_file(&mut self.fs, root, name)?,
+        };
+        self.fs.write_file(file, &bytes)?;
+        Ok(file)
+    }
+
+    /// Loads a code file into memory and binds its fixups; returns the
+    /// entry address without running (the Executive and tests run it).
+    pub fn load_program(&mut self, file: FileFullName) -> Result<u16, OsError> {
+        let bytes = self.fs.read_file(file)?;
+        let words = bytes_to_words(&bytes);
+        let code = CodeFile::decode(&words)?;
+        // The program must fit below the resident system.
+        let end = code.base as u32 + code.code.len() as u32;
+        if end > self.levels().resident_base() as u32 {
+            return Err(OsError::Machine(MachineError::BadImage(
+                "program overlaps the resident system",
+            )));
+        }
+        let mut image = code.code.clone();
+        for fixup in &code.fixups {
+            let addr = self.symbols().resolve(&fixup.symbol)?;
+            image[fixup.offset as usize] = addr;
+        }
+        self.machine
+            .mem
+            .write_block(code.base, &image)
+            .map_err(|_| OsError::Machine(MachineError::BadImage("program does not fit")))?;
+        self.machine.pc = code.entry;
+        Ok(code.entry)
+    }
+
+    /// Loads and runs a named program from the root directory, serving its
+    /// system calls until it halts.
+    pub fn run_program(&mut self, name: &str, budget: u64) -> Result<ProgramExit, OsError> {
+        let root = self.fs.root_dir();
+        let file = dir::lookup(&mut self.fs, root, name)?
+            .ok_or_else(|| OsError::CommandNotFound(name.to_string()))?;
+        self.load_program(file).map_err(|e| match e {
+            OsError::Machine(MachineError::BadImage("not a code file")) => {
+                OsError::NotAProgram(name.to_string())
+            }
+            other => other,
+        })?;
+        let before = self.machine.instructions();
+        self.run_machine(budget)?;
+        Ok(ProgramExit {
+            instructions: self.machine.instructions() - before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let trace = Trace::new();
+        let machine = Machine::new(clock.clone(), trace.clone());
+        let drive = DiskDrive::with_formatted_pack(clock, trace, DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    #[test]
+    fn store_load_run_hello() {
+        let mut os = os();
+        os.store_program(
+            "hello.run",
+            r#"
+            lda 2, msgp      ; AC2 = string address
+            lda 1, 0,2       ; AC1 = remaining count
+            subz 3, 3        ; AC3 unused here; clear
+loop:       mov# 1, 1, snr   ; done when count == 0
+            jmp done
+            ; fetch next byte: words are packed two bytes each; simplest
+            ; path is one character per word table instead.
+            jmp done
+done:       halt
+msgp:       .word msg
+msg:        .str "hi"
+            "#,
+        )
+        .unwrap();
+        let exit = os.run_program("hello.run", 10_000).unwrap();
+        assert!(exit.instructions > 0);
+    }
+
+    #[test]
+    fn fixups_bind_os_procedures() {
+        let mut os = os();
+        // A program that prints "Alto!" through the PutChar fixup.
+        os.store_program(
+            "print.run",
+            r#"
+            lda 2, msgp      ; AC2 -> character table
+            lda 1, count
+loop:       lda 0, 0,2       ; AC0 = next character word
+            jsr @putchar
+            inc 2, 2
+            dsz countv
+            jmp loop
+            halt
+putchar:    .fixup "PutChar"
+count:      .word 5
+countv:     .word 5
+msgp:       .word msg
+msg:        .word 'A'
+            .word 'l'
+            .word 't'
+            .word 'o'
+            .word '!'
+            "#,
+        )
+        .unwrap();
+        os.run_program("print.run", 10_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "Alto!");
+    }
+
+    #[test]
+    fn program_reads_and_writes_files_via_syscalls() {
+        let mut os = os();
+        // Put a source file on disk.
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "in.dat").unwrap();
+        os.fs.write_file(f, b"abc").unwrap();
+        // Program: copy in.dat to out.dat, uppercasing is too fancy —
+        // byte-for-byte copy.
+        os.store_program(
+            "copy.run",
+            r#"
+            lda 0, innamep
+            jsr @openr
+            sta 0, inh
+            lda 0, outnamep
+            jsr @openw
+            sta 0, outh
+loop:       lda 0, inh
+            jsr @gets
+            ; end of stream? AC0 == 0xFFFF
+            lda 1, eof
+            sub# 0, 1, snr
+            jmp done
+            mov 0, 1         ; byte to AC1
+            lda 0, outh
+            jsr @puts
+            jmp loop
+done:       lda 0, outh
+            jsr @closes
+            lda 0, inh
+            jsr @closes
+            halt
+openr:      .fixup "OpenRead"
+openw:      .fixup "OpenWrite"
+gets:       .fixup "Gets"
+puts:       .fixup "Puts"
+closes:     .fixup "Closes"
+inh:        .word 0
+outh:       .word 0
+eof:        .word 0xFFFF
+innamep:    .word inname
+outnamep:   .word outname
+inname:     .str "in.dat"
+outname:    .str "out.dat"
+            "#,
+        )
+        .unwrap();
+        os.run_program("copy.run", 1_000_000).unwrap();
+        let root = os.fs.root_dir();
+        let out = dir::lookup(&mut os.fs, root, "out.dat").unwrap().unwrap();
+        assert_eq!(os.fs.read_file(out).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn unknown_program_not_found() {
+        let mut os = os();
+        assert!(matches!(
+            os.run_program("missing.run", 1000),
+            Err(OsError::CommandNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn data_file_is_not_a_program() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "data.txt").unwrap();
+        os.fs.write_file(f, b"just text").unwrap();
+        let err = os.run_program("data.txt", 1000).unwrap_err();
+        assert!(matches!(err, OsError::Machine(_) | OsError::NotAProgram(_)));
+    }
+
+    #[test]
+    fn unbound_symbol_is_reported() {
+        let mut os = os();
+        os.store_program(
+            "bad.run",
+            "
+            jsr @nowhere
+            halt
+nowhere:    .fixup \"NoSuchService\"
+            ",
+        )
+        .unwrap();
+        assert!(matches!(
+            os.run_program("bad.run", 1000),
+            Err(OsError::UnboundSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_program_rejected_against_resident_system() {
+        let mut os = os();
+        // Shrink the program space drastically by faking a big program:
+        // assemble a program with a huge block.
+        let source = "
+            halt
+            .blk 0xF000
+        ";
+        os.store_program("big.run", source).unwrap();
+        let err = os.run_program("big.run", 1000).unwrap_err();
+        assert!(matches!(err, OsError::Machine(MachineError::BadImage(_))));
+        // After Junta(1), nearly all memory is program space; now it fits.
+        os.junta(1).unwrap();
+        // (Level 12 holds the loader; with it gone the *system* loader
+        // would be gone too — but the Rust API stands in for the microcode
+        // here, and the paper's point is the space really is available.)
+        let exit = os.run_program("big.run", 1000);
+        assert!(exit.is_ok(), "{exit:?}");
+    }
+
+    #[test]
+    fn program_chains_to_another_program() {
+        // §5.1: "the program may terminate … by calling the program loader
+        // to read in another program and thus overlay the first program."
+        let mut os = os();
+        os.store_program(
+            "second.run",
+            r#"
+            lda 0, ch
+            jsr @putchar
+            halt
+putchar:    .fixup "PutChar"
+ch:         .word 'B'
+            "#,
+        )
+        .unwrap();
+        os.store_program(
+            "first.run",
+            &format!(
+                r#"
+            lda 0, ch
+            jsr @putchar
+            lda 0, namep
+            trap 0, {chain}
+            ; only reached if the chain failed
+            lda 0, bang
+            jsr @putchar
+            halt
+putchar:    .fixup "PutChar"
+ch:         .word 'A'
+bang:       .word '!'
+namep:      .word name
+name:       .str "second.run"
+            "#,
+                chain = crate::syscalls::SysCall::Chain.code()
+            ),
+        )
+        .unwrap();
+        os.run_program("first.run", 100_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "AB");
+    }
+
+    #[test]
+    fn failed_chain_returns_to_the_caller() {
+        let mut os = os();
+        os.store_program(
+            "only.run",
+            &format!(
+                r#"
+            lda 0, namep
+            trap 0, {chain}
+            ; AC0 = 0xFFFF on failure
+            lda 1, eof
+            sub# 0, 1, snr
+            jmp failed
+            halt
+failed:     lda 0, qm
+            jsr @putchar
+            halt
+putchar:    .fixup "PutChar"
+eof:        .word 0xFFFF
+qm:         .word '?'
+namep:      .word name
+name:       .str "ghost.run"
+            "#,
+                chain = crate::syscalls::SysCall::Chain.code()
+            ),
+        )
+        .unwrap();
+        os.run_program("only.run", 100_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "?");
+    }
+}

@@ -1,0 +1,647 @@
+//! The assembled operating system.
+//!
+//! An [`AltoOs`] owns the simulated machine and the mounted file system,
+//! keeps the resident level structure in the top of simulated memory, and
+//! runs loaded programs by stepping the CPU and serving its traps. There
+//! is deliberately *no boundary* between what the OS does and what a Rust
+//! caller may do directly (§1: the user "may reject, accept, modify or
+//! extend" any facility): everything the system uses — the file system,
+//! the disk, the machine — is a public field or has a public accessor.
+
+use alto_disk::{Disk, DiskDrive};
+use alto_fs::{dir, FileSystem};
+use alto_machine::{Machine, MachineError, Step};
+use alto_sim::Memory;
+use alto_streams::{DiskByteStream, Stream, StreamError};
+
+use crate::errors::OsError;
+use crate::levels::{LevelTable, LEVEL_COUNT};
+use crate::symbols::SymbolTable;
+use crate::syscalls::{SysCall, NONE_VALUE};
+use crate::typeahead::TypeAhead;
+
+/// The operating system: machine + file system + resident packages.
+///
+/// # Examples
+///
+/// ```
+/// use alto_disk::{DiskDrive, DiskModel};
+/// use alto_machine::Machine;
+/// use alto_os::AltoOs;
+/// use alto_sim::{SimClock, Trace};
+///
+/// let clock = SimClock::new();
+/// let machine = Machine::new(clock.clone(), Trace::new());
+/// let drive = DiskDrive::with_formatted_pack(
+///     clock, Trace::new(), DiskModel::Diablo31, 1);
+/// let mut os = AltoOs::install(machine, drive)?;
+///
+/// // A session at the keyboard, served by the Executive.
+/// os.type_text("ls\nquit\n");
+/// os.run_executive(10)?;
+/// assert!(os.machine.display.transcript().contains("SysDir"));
+/// # Ok::<(), alto_os::OsError>(())
+/// ```
+#[derive(Debug)]
+pub struct AltoOs<D: Disk = DiskDrive> {
+    /// The simulated Alto (open access, §1).
+    pub machine: Machine,
+    /// The mounted file system (open access, §1).
+    pub fs: FileSystem<D>,
+    pub(crate) levels: LevelTable,
+    pub(crate) typeahead: TypeAhead,
+    pub(crate) symbols: SymbolTable,
+    pub(crate) handles: Vec<Option<DiskByteStream<D>>>,
+    /// Pristine copies of every level region, for CounterJunta.
+    pub(crate) pristine: Vec<(u16, Vec<u16>)>,
+}
+
+impl<D: Disk> AltoOs<D> {
+    /// Installs the system on a blank disk: formats the file system and
+    /// initializes the resident structures.
+    pub fn install(machine: Machine, disk: D) -> Result<AltoOs<D>, OsError> {
+        let fs = FileSystem::format(disk)?;
+        Ok(AltoOs::assemble(machine, fs))
+    }
+
+    /// Boots the system from an already-installed disk.
+    pub fn boot(machine: Machine, disk: D) -> Result<AltoOs<D>, OsError> {
+        let fs = FileSystem::mount(disk)?;
+        Ok(AltoOs::assemble(machine, fs))
+    }
+
+    /// Assembles the OS around an existing machine and file system,
+    /// (re)initializing the resident memory structures.
+    pub fn assemble(mut machine: Machine, fs: FileSystem<D>) -> AltoOs<D> {
+        let levels = LevelTable::new();
+        let symbols = SymbolTable::install(&mut machine.mem, &levels);
+        let l2 = levels.level(2).expect("level 2 exists");
+        let typeahead = TypeAhead::init(&mut machine.mem, l2.base, l2.words);
+        let pristine = levels
+            .levels()
+            .iter()
+            .map(|l| {
+                let copy = machine
+                    .mem
+                    .slice(l.base, l.words as usize)
+                    .expect("level regions are in range")
+                    .to_vec();
+                (l.base, copy)
+            })
+            .collect();
+        AltoOs {
+            machine,
+            fs,
+            levels,
+            typeahead,
+            symbols,
+            handles: Vec::new(),
+            pristine,
+        }
+    }
+
+    /// The level table (residency, layout).
+    pub fn levels(&self) -> &LevelTable {
+        &self.levels
+    }
+
+    /// The OS procedure symbol table (used by the loader).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    // ------------------------------------------------------------------
+    // The keyboard process (§2).
+    // ------------------------------------------------------------------
+
+    /// The interrupt-driven keyboard process: drains struck keys into the
+    /// resident type-ahead buffer. Runs between instructions (on
+    /// [`Step::Interrupt`]) and whenever input is read.
+    pub fn service_keyboard(&mut self) {
+        let now = self.machine.clock().now();
+        while let Some(key) = self.machine.keyboard.read_at(now) {
+            if self.levels.is_resident(2) {
+                self.typeahead.push(&mut self.machine.mem, key);
+            }
+            // With level 2 removed, keys fall on the floor — the program
+            // took responsibility for the keyboard when it Junta'd.
+        }
+    }
+
+    /// Reads one buffered character, if any.
+    pub fn get_char(&mut self) -> Option<u8> {
+        self.service_keyboard();
+        if self.levels.is_resident(2) {
+            self.typeahead.pop(&mut self.machine.mem).map(|k| k as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Prints a character on the display.
+    pub fn put_char(&mut self, c: u8) {
+        self.machine.display.put_char(c as char);
+    }
+
+    /// Prints a string on the display.
+    pub fn put_str(&mut self, s: &str) {
+        self.machine.display.put_str(s);
+    }
+
+    /// Scripts the user typing `text` starting now (test/example aid).
+    pub fn type_text(&mut self, text: &str) {
+        let now = self.machine.clock().now();
+        self.machine
+            .keyboard
+            .type_string(now, alto_sim::SimTime::from_millis(1), text);
+    }
+
+    // ------------------------------------------------------------------
+    // Junta and CounterJunta (§5.2).
+    // ------------------------------------------------------------------
+
+    /// Removes all levels above `keep`, freeing their storage. Returns the
+    /// number of words freed. Open streams are lost when level 8 goes
+    /// (their state lived there).
+    pub fn junta(&mut self, keep: u8) -> Result<u32, OsError> {
+        if keep == 0 || keep > LEVEL_COUNT {
+            return Err(OsError::BadLevel(keep));
+        }
+        let freed = self.levels.junta(keep);
+        if !self.levels.is_resident(8) {
+            self.handles.clear();
+        }
+        // Freed storage really is gone: scribble it so programs that rely
+        // on stale stubs fail loudly rather than mysteriously.
+        for level in self.levels.levels() {
+            if !self.levels.is_resident(level.number) {
+                let _ = self.machine.mem.fill(level.base, level.words as usize, 0);
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Restores every removed level from the pristine images and
+    /// reinitializes their data structures (§5.2: "The CounterJunta
+    /// procedure restores all levels that were removed, and reinitializes
+    /// any data structures they contain."). Levels that stayed resident
+    /// are untouched, so type-ahead survives an ordinary program's Junta
+    /// of the higher levels.
+    pub fn counter_junta(&mut self) {
+        let was_resident = self.levels.resident();
+        for (level, (base, image)) in self.levels.levels().iter().zip(&self.pristine) {
+            if level.number > was_resident {
+                self.machine
+                    .mem
+                    .write_block(*base, image)
+                    .expect("level regions are in range");
+            }
+        }
+        self.levels.counter_junta();
+        // If the keyboard buffer itself was removed, it comes back empty.
+        if was_resident < 2 {
+            let l2 = self.levels.level(2).expect("level 2 exists");
+            self.typeahead = TypeAhead::init(&mut self.machine.mem, l2.base, l2.words);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Running programs and serving traps.
+    // ------------------------------------------------------------------
+
+    /// Steps the machine until it halts, serving system calls and the
+    /// keyboard interrupt. `budget` bounds the instruction count.
+    pub fn run_machine(&mut self, mut budget: u64) -> Result<(), OsError> {
+        loop {
+            if budget == 0 {
+                return Err(OsError::Machine(MachineError::BudgetExhausted));
+            }
+            budget -= 1;
+            match self.machine.step().map_err(OsError::Machine)? {
+                Step::Running => {}
+                Step::Halted => return Ok(()),
+                Step::Interrupt => self.service_keyboard(),
+                Step::Trap { code, ac } => self.handle_syscall(code, ac)?,
+            }
+        }
+    }
+
+    /// Serves one system call. Public so that alternative run loops (the
+    /// openness story again) can reuse the standard services.
+    pub fn handle_syscall(&mut self, code: u16, _ac: u8) -> Result<(), OsError> {
+        let call = SysCall::from_code(code)?;
+        if !self.levels.is_resident(call.level()) {
+            return Err(OsError::ServiceNotResident {
+                call: call.symbol(),
+                level: call.level(),
+            });
+        }
+        match call {
+            SysCall::PutChar => {
+                let c = self.machine.ac[0] as u8;
+                self.put_char(c);
+            }
+            SysCall::GetChar => {
+                self.machine.ac[0] = self.get_char().map_or(NONE_VALUE, u16::from);
+            }
+            SysCall::OpenRead => {
+                let name = self.read_string(self.machine.ac[0])?;
+                self.machine.ac[0] = match self.open_read(&name) {
+                    Ok(h) => h,
+                    Err(_) => NONE_VALUE,
+                };
+            }
+            SysCall::OpenWrite => {
+                let name = self.read_string(self.machine.ac[0])?;
+                self.machine.ac[0] = match self.open_write(&name) {
+                    Ok(h) => h,
+                    Err(_) => NONE_VALUE,
+                };
+            }
+            SysCall::Gets => {
+                let handle = self.machine.ac[0];
+                self.machine.ac[0] = match self.stream_get(handle) {
+                    Ok(Some(b)) => b as u16,
+                    Ok(None) => NONE_VALUE,
+                    Err(e) => return Err(e),
+                };
+            }
+            SysCall::Puts => {
+                let handle = self.machine.ac[0];
+                let byte = self.machine.ac[1] as u8;
+                self.stream_put(handle, byte)?;
+            }
+            SysCall::Closes => {
+                let handle = self.machine.ac[0];
+                self.stream_close(handle)?;
+            }
+            SysCall::Resets => {
+                let handle = self.machine.ac[0];
+                self.stream_reset(handle)?;
+            }
+            SysCall::DeleteFile => {
+                let name = self.read_string(self.machine.ac[0])?;
+                self.delete_named(&name)?;
+            }
+            SysCall::Junta => {
+                let keep = self.machine.ac[0] as u8;
+                self.junta(keep)?;
+            }
+            SysCall::CounterJunta => {
+                self.counter_junta();
+            }
+            SysCall::OutLoad => {
+                let name = self.read_string(self.machine.ac[0])?;
+                self.out_load_named(&name)?;
+            }
+            SysCall::InLoad => {
+                let name = self.read_string(self.machine.ac[0])?;
+                let msg_ptr = self.machine.ac[1];
+                let mut message = [0u16; crate::swap::MESSAGE_WORDS];
+                if msg_ptr != 0 {
+                    self.machine
+                        .mem
+                        .read_block(msg_ptr, &mut message)
+                        .map_err(|_| OsError::BadString(msg_ptr))?;
+                }
+                self.in_load_named(&name, &message)?;
+            }
+            SysCall::Ticks => {
+                self.machine.ac[0] = self.machine.clock().now().as_millis() as u16;
+            }
+            SysCall::Chain => {
+                // Overlay: load the named program over this one (§5.1); on
+                // success execution continues at the new entry point.
+                let name = self.read_string(self.machine.ac[0])?;
+                let root = self.fs.root_dir();
+                let target = dir::lookup(&mut self.fs, root, &name)?;
+                match target {
+                    Some(file) => {
+                        if self.load_program(file).is_err() {
+                            self.machine.ac[0] = NONE_VALUE;
+                        }
+                    }
+                    None => self.machine.ac[0] = NONE_VALUE,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a length-prefixed packed string from simulated memory (the
+    /// assembler's `.str` layout).
+    pub fn read_string(&self, addr: u16) -> Result<String, OsError> {
+        let mem: &Memory = &self.machine.mem;
+        let len = mem.read(addr) as usize;
+        if len > 255 {
+            return Err(OsError::BadString(addr));
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let w = mem.read(addr + 1 + (i / 2) as u16);
+            bytes.push(if i % 2 == 0 { (w >> 8) as u8 } else { w as u8 });
+        }
+        String::from_utf8(bytes).map_err(|_| OsError::BadString(addr))
+    }
+
+    // ------------------------------------------------------------------
+    // Stream handles (level 8 services).
+    // ------------------------------------------------------------------
+
+    fn alloc_handle(&mut self, stream: DiskByteStream<D>) -> u16 {
+        for (i, slot) in self.handles.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(stream);
+                return i as u16;
+            }
+        }
+        self.handles.push(Some(stream));
+        (self.handles.len() - 1) as u16
+    }
+
+    fn stream_mut(&mut self, handle: u16) -> Result<&mut DiskByteStream<D>, OsError> {
+        self.handles
+            .get_mut(handle as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(OsError::BadHandle(handle))
+    }
+
+    /// Opens a read stream on the named file in the root directory.
+    pub fn open_read(&mut self, name: &str) -> Result<u16, OsError> {
+        let root = self.fs.root_dir();
+        let file = dir::lookup(&mut self.fs, root, name)?
+            .ok_or_else(|| OsError::Fs(alto_fs::FsError::NameNotFound(name.to_string())))?;
+        let stream = DiskByteStream::open(&mut self.fs, file)?;
+        Ok(self.alloc_handle(stream))
+    }
+
+    /// Opens a write stream, creating (or truncating) the named file.
+    pub fn open_write(&mut self, name: &str) -> Result<u16, OsError> {
+        let root = self.fs.root_dir();
+        let file = match dir::lookup(&mut self.fs, root, name)? {
+            Some(f) => {
+                self.fs.write_file(f, &[])?; // truncate
+                f
+            }
+            None => dir::create_named_file(&mut self.fs, root, name)?,
+        };
+        let stream = DiskByteStream::open(&mut self.fs, file)?;
+        Ok(self.alloc_handle(stream))
+    }
+
+    /// Gets a byte from an open stream (`None` at end).
+    pub fn stream_get(&mut self, handle: u16) -> Result<Option<u8>, OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        // Split borrow: take the stream out while it talks to the fs.
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.get_byte(&mut self.fs);
+        self.handles[slot] = Some(stream);
+        match result {
+            Ok(b) => Ok(Some(b)),
+            Err(StreamError::EndOfStream) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Puts a byte to an open stream.
+    pub fn stream_put(&mut self, handle: u16, byte: u8) -> Result<(), OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.put_byte(&mut self.fs, byte);
+        self.handles[slot] = Some(stream);
+        Ok(result?)
+    }
+
+    /// Resets an open stream to its start.
+    pub fn stream_reset(&mut self, handle: u16) -> Result<(), OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.reset(&mut self.fs);
+        self.handles[slot] = Some(stream);
+        Ok(result?)
+    }
+
+    /// Closes an open stream.
+    pub fn stream_close(&mut self, handle: u16) -> Result<(), OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.close(&mut self.fs);
+        self.handles[slot] = None;
+        Ok(result?)
+    }
+
+    /// Deletes a named file from the root directory.
+    pub fn delete_named(&mut self, name: &str) -> Result<(), OsError> {
+        let root = self.fs.root_dir();
+        let file = dir::remove(&mut self.fs, root, name)?
+            .ok_or_else(|| OsError::Fs(alto_fs::FsError::NameNotFound(name.to_string())))?;
+        self.fs.delete_file(file)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::DiskModel;
+    use alto_sim::{SimClock, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let trace = Trace::new();
+        let machine = Machine::new(clock.clone(), trace.clone());
+        let drive = DiskDrive::with_formatted_pack(clock, trace, DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    #[test]
+    fn install_and_reboot() {
+        let os1 = os();
+        let clock = os1.machine.clock().clone();
+        let disk = os1.fs.unmount().unwrap();
+        let machine = Machine::new(clock, Trace::new());
+        let os2 = AltoOs::boot(machine, disk).unwrap();
+        assert_eq!(os2.levels().resident(), LEVEL_COUNT);
+    }
+
+    #[test]
+    fn typeahead_flows_from_keyboard_to_getchar() {
+        let mut os = os();
+        os.type_text("hi");
+        os.machine
+            .clock()
+            .advance(alto_sim::SimTime::from_millis(10));
+        assert_eq!(os.get_char(), Some(b'h'));
+        assert_eq!(os.get_char(), Some(b'i'));
+        assert_eq!(os.get_char(), None);
+    }
+
+    #[test]
+    fn junta_frees_and_counter_junta_restores() {
+        let mut os = os();
+        let freed = os.junta(4).unwrap();
+        assert!(freed > 0);
+        assert!(!os.levels().is_resident(8));
+        // Display service now refuses.
+        let err = os.handle_syscall(SysCall::PutChar.code(), 0).unwrap_err();
+        assert!(matches!(err, OsError::ServiceNotResident { level: 11, .. }));
+        os.counter_junta();
+        assert!(os.levels().is_resident(11));
+        os.machine.ac[0] = b'x' as u16;
+        os.handle_syscall(SysCall::PutChar.code(), 0).unwrap();
+        assert_eq!(os.machine.display.transcript(), "x");
+    }
+
+    #[test]
+    fn junta_rejects_bad_levels() {
+        let mut os = os();
+        assert!(matches!(os.junta(0), Err(OsError::BadLevel(0))));
+        assert!(matches!(os.junta(14), Err(OsError::BadLevel(14))));
+    }
+
+    #[test]
+    fn typeahead_survives_junta_of_higher_levels() {
+        let mut os = os();
+        os.type_text("ab");
+        os.machine
+            .clock()
+            .advance(alto_sim::SimTime::from_millis(10));
+        os.service_keyboard();
+        os.junta(3).unwrap(); // keyboard buffer (level 2) stays
+        os.counter_junta();
+        assert_eq!(os.get_char(), Some(b'a'));
+        assert_eq!(os.get_char(), Some(b'b'));
+    }
+
+    #[test]
+    fn typeahead_lost_when_level_2_removed() {
+        let mut os = os();
+        os.type_text("ab");
+        os.machine
+            .clock()
+            .advance(alto_sim::SimTime::from_millis(10));
+        os.service_keyboard();
+        os.junta(1).unwrap();
+        os.counter_junta();
+        assert_eq!(os.get_char(), None);
+    }
+
+    #[test]
+    fn stream_syscalls_round_trip() {
+        let mut os = os();
+        let h = os.open_write("test.dat").unwrap();
+        for b in b"hello" {
+            os.stream_put(h, *b).unwrap();
+        }
+        os.stream_close(h).unwrap();
+        let h = os.open_read("test.dat").unwrap();
+        let mut out = Vec::new();
+        while let Some(b) = os.stream_get(h).unwrap() {
+            out.push(b);
+        }
+        os.stream_close(h).unwrap();
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn open_write_truncates() {
+        let mut os = os();
+        let h = os.open_write("t.dat").unwrap();
+        for b in b"long contents here" {
+            os.stream_put(h, *b).unwrap();
+        }
+        os.stream_close(h).unwrap();
+        let h = os.open_write("t.dat").unwrap();
+        os.stream_put(h, b'x').unwrap();
+        os.stream_close(h).unwrap();
+        let root = os.fs.root_dir();
+        let f = dir::lookup(&mut os.fs, root, "t.dat").unwrap().unwrap();
+        assert_eq!(os.fs.read_file(f).unwrap(), b"x");
+    }
+
+    #[test]
+    fn bad_handles_rejected() {
+        let mut os = os();
+        assert!(matches!(os.stream_get(0), Err(OsError::BadHandle(0))));
+        assert!(matches!(os.stream_put(7, 1), Err(OsError::BadHandle(7))));
+        assert!(matches!(os.stream_close(7), Err(OsError::BadHandle(7))));
+        let h = os.open_write("x.dat").unwrap();
+        os.stream_close(h).unwrap();
+        assert!(matches!(os.stream_get(h), Err(OsError::BadHandle(_))));
+    }
+
+    #[test]
+    fn handles_are_reused_after_close() {
+        let mut os = os();
+        let a = os.open_write("a.dat").unwrap();
+        os.stream_close(a).unwrap();
+        let b = os.open_write("b.dat").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_named_removes_entry_and_file() {
+        let mut os = os();
+        let h = os.open_write("dead.dat").unwrap();
+        os.stream_close(h).unwrap();
+        os.delete_named("dead.dat").unwrap();
+        assert!(os.open_read("dead.dat").is_err());
+        assert!(matches!(
+            os.delete_named("dead.dat"),
+            Err(OsError::Fs(alto_fs::FsError::NameNotFound(_)))
+        ));
+    }
+
+    #[test]
+    fn read_string_decodes_packed_strings() {
+        let mut os = os();
+        // "abc" packed at 0o3000.
+        os.machine.mem.write(0o3000, 3);
+        os.machine.mem.write(0o3001, 0x6162);
+        os.machine.mem.write(0o3002, 0x6300);
+        assert_eq!(os.read_string(0o3000).unwrap(), "abc");
+        // Absurd length rejected.
+        os.machine.mem.write(0o3000, 9999);
+        assert!(matches!(os.read_string(0o3000), Err(OsError::BadString(_))));
+    }
+
+    #[test]
+    fn vm_program_calls_the_os() {
+        // A machine program prints "OK" through the PutChar stub bound by
+        // hand (the loader test exercises fixup binding).
+        let mut os = os();
+        let putchar = os.symbols().resolve("PutChar").unwrap();
+        let source = format!(
+            "
+            lda 0, chO
+            jsr @stub
+            lda 0, chK
+            jsr @stub
+            halt
+chO:        .word 'O'
+chK:        .word 'K'
+stub:       .word {putchar}
+            "
+        );
+        let code = alto_machine::assemble(&source).unwrap();
+        os.machine.load_program(0o400, &code.words).unwrap();
+        os.run_machine(1000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "OK");
+    }
+
+    #[test]
+    fn ticks_reports_milliseconds() {
+        let mut os = os();
+        os.handle_syscall(SysCall::Ticks.code(), 0).unwrap();
+        let before = os.machine.ac[0];
+        os.machine
+            .clock()
+            .advance(alto_sim::SimTime::from_millis(1234));
+        os.handle_syscall(SysCall::Ticks.code(), 0).unwrap();
+        assert_eq!(os.machine.ac[0].wrapping_sub(before), 1234);
+    }
+}

@@ -1,0 +1,298 @@
+//! The standard utility programs.
+//!
+//! "The system code is made available as a set of independent subroutine
+//! packages" (§2) — and the Alto's disks shipped with a standard toolbox
+//! of loadable programs. This module provides the equivalent: small,
+//! genuine machine-code utilities the Executive can run, written in the
+//! included assembly and bound to the OS through fixup tables.
+//!
+//! | program | function |
+//! |---|---|
+//! | `type.run` | print the file named in `CmdArg` to the display |
+//! | `copy.run` | copy the file named in `CmdArg` to the file in `CmdArg2` |
+//! | `wc.run` | count the bytes of `CmdArg`, printing a decimal total |
+//! | `echo.run` | echo type-ahead to the display until it runs dry |
+//!
+//! Programs take their arguments from two well-known string cells written
+//! by [`AltoOs::set_command_args`] — the Alto's convention was a command
+//! line left in memory by the Executive.
+
+use alto_disk::Disk;
+
+use crate::errors::OsError;
+use crate::os::AltoOs;
+
+/// Address of the first argument string (`.str` layout).
+pub const CMD_ARG1: u16 = 0o200;
+/// Address of the second argument string.
+pub const CMD_ARG2: u16 = 0o240;
+/// Maximum argument length in bytes.
+pub const CMD_ARG_MAX: usize = 62;
+
+impl<D: Disk> AltoOs<D> {
+    /// Writes up to two argument strings at the well-known cells.
+    pub fn set_command_args(&mut self, arg1: &str, arg2: &str) -> Result<(), OsError> {
+        for (base, arg) in [(CMD_ARG1, arg1), (CMD_ARG2, arg2)] {
+            if arg.len() > CMD_ARG_MAX {
+                return Err(OsError::BadString(base));
+            }
+            let bytes = arg.as_bytes();
+            self.machine.mem.write(base, bytes.len() as u16);
+            for (i, chunk) in bytes.chunks(2).enumerate() {
+                let hi = (chunk[0] as u16) << 8;
+                let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                self.machine.mem.write(base + 1 + i as u16, hi | lo);
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs the standard toolbox onto the disk. Idempotent.
+    pub fn install_standard_programs(&mut self) -> Result<(), OsError> {
+        self.store_program(
+            "type.run",
+            &format!(
+                r#"
+        ; print the file named at CMD_ARG1
+        lda 0, argp
+        jsr @openr
+        sta 0, handle
+        lda 1, eofv
+        sub# 0, 1, snr      ; open failed?
+        jmp fail
+loop:   lda 0, handle
+        jsr @gets
+        lda 1, eofv
+        sub# 0, 1, snr
+        jmp close
+        jsr @putchar
+        jmp loop
+close:  lda 0, handle
+        jsr @closes
+        halt
+fail:   lda 0, qm
+        jsr @putchar
+        halt
+openr:  .fixup "OpenRead"
+gets:   .fixup "Gets"
+putchar: .fixup "PutChar"
+closes: .fixup "Closes"
+handle: .word 0
+eofv:   .word 0xFFFF
+qm:     .word '?'
+argp:   .word {CMD_ARG1}
+        "#
+            ),
+        )?;
+
+        self.store_program(
+            "copy.run",
+            &format!(
+                r#"
+        ; copy CMD_ARG1 to CMD_ARG2
+        lda 0, arg1p
+        jsr @openr
+        sta 0, inh
+        lda 0, arg2p
+        jsr @openw
+        sta 0, outh
+loop:   lda 0, inh
+        jsr @gets
+        lda 1, eofv
+        sub# 0, 1, snr
+        jmp done
+        mov 0, 1
+        lda 0, outh
+        jsr @puts
+        jmp loop
+done:   lda 0, outh
+        jsr @closes
+        lda 0, inh
+        jsr @closes
+        halt
+openr:  .fixup "OpenRead"
+openw:  .fixup "OpenWrite"
+gets:   .fixup "Gets"
+puts:   .fixup "Puts"
+closes: .fixup "Closes"
+inh:    .word 0
+outh:   .word 0
+eofv:   .word 0xFFFF
+arg1p:  .word {CMD_ARG1}
+arg2p:  .word {CMD_ARG2}
+        "#
+            ),
+        )?;
+
+        self.store_program(
+            "wc.run",
+            &format!(
+                r#"
+        ; count the bytes of CMD_ARG1, print the count in decimal
+        lda 0, argp
+        jsr @openr
+        sta 0, handle
+        subz 2, 2           ; AC2 = byte count
+loop:   lda 0, handle
+        jsr @gets
+        lda 1, eofv
+        sub# 0, 1, snr
+        jmp print
+        inc 2, 2
+        jmp loop
+        ; ---- print AC2 in decimal by repeated subtraction ----
+print:  lda 0, handle
+        jsr @closes
+        ; digits from 10000 down to 1
+        subz 3, 3           ; AC3 = table index... (use memory cursor)
+        lda 1, tblp
+        sta 1, cursor
+digit:  lda 1, @cursor      ; AC1 = current power of ten
+        mov# 1, 1, snr      ; power == 0 -> done
+        jmp nl
+        subz 0, 0           ; AC0 = digit
+count:  subz# 1, 2, snc     ; skip while AC2 >= AC1 (no borrow)
+        jmp emit
+        sub 1, 2            ; AC2 -= power
+        inc 0, 0
+        jmp count
+emit:   lda 1, zero
+        add 1, 0            ; AC0 = '0' + digit
+        jsr @putchar
+        isz cursor
+        jmp digit
+nl:     lda 0, nlv
+        jsr @putchar
+        halt
+openr:  .fixup "OpenRead"
+gets:   .fixup "Gets"
+putchar: .fixup "PutChar"
+closes: .fixup "Closes"
+handle: .word 0
+cursor: .word 0
+eofv:   .word 0xFFFF
+zero:   .word '0'
+nlv:    .word 10
+argp:   .word {CMD_ARG1}
+tblp:   .word tbl
+tbl:    .word 10000
+        .word 1000
+        .word 100
+        .word 10
+        .word 1
+        .word 0
+        "#
+            ),
+        )?;
+
+        self.store_program(
+            "echo.run",
+            r#"
+        ; echo type-ahead to the display until it runs dry
+loop:   jsr @getchar
+        lda 1, eofv
+        sub# 0, 1, snr
+        jmp done
+        jsr @putchar
+        jmp loop
+done:   halt
+getchar: .fixup "GetChar"
+putchar: .fixup "PutChar"
+eofv:   .word 0xFFFF
+        "#,
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_fs::dir;
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, SimTime, Trace};
+
+    fn os_with_tools() -> AltoOs {
+        let clock = SimClock::new();
+        let machine = Machine::new(clock.clone(), Trace::new());
+        let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
+        let mut os = AltoOs::install(machine, drive).unwrap();
+        os.install_standard_programs().unwrap();
+        os
+    }
+
+    #[test]
+    fn type_prints_a_file() {
+        let mut os = os_with_tools();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "note").unwrap();
+        os.fs.write_file(f, b"hello from disk").unwrap();
+        os.set_command_args("note", "").unwrap();
+        os.run_program("type.run", 1_000_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "hello from disk");
+    }
+
+    #[test]
+    fn type_reports_a_missing_file() {
+        let mut os = os_with_tools();
+        os.set_command_args("ghost", "").unwrap();
+        os.run_program("type.run", 100_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "?");
+    }
+
+    #[test]
+    fn copy_duplicates_bytes() {
+        let mut os = os_with_tools();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "src").unwrap();
+        let body: Vec<u8> = (0..700u32).map(|i| (i % 251) as u8).collect();
+        os.fs.write_file(f, &body).unwrap();
+        os.set_command_args("src", "dst").unwrap();
+        os.run_program("copy.run", 10_000_000).unwrap();
+        let root = os.fs.root_dir();
+        let g = dir::lookup(&mut os.fs, root, "dst").unwrap().unwrap();
+        assert_eq!(os.fs.read_file(g).unwrap(), body);
+    }
+
+    #[test]
+    fn wc_counts_in_decimal() {
+        let mut os = os_with_tools();
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "counted").unwrap();
+        os.fs.write_file(f, &vec![b'x'; 1234]).unwrap();
+        os.set_command_args("counted", "").unwrap();
+        os.run_program("wc.run", 10_000_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "01234\n");
+    }
+
+    #[test]
+    fn wc_zero_byte_file() {
+        let mut os = os_with_tools();
+        let root = os.fs.root_dir();
+        dir::create_named_file(&mut os.fs, root, "empty").unwrap();
+        os.set_command_args("empty", "").unwrap();
+        os.run_program("wc.run", 1_000_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "00000\n");
+    }
+
+    #[test]
+    fn echo_replays_typeahead() {
+        let mut os = os_with_tools();
+        os.type_text("echoed!");
+        os.machine.clock().advance(SimTime::from_millis(20));
+        os.service_keyboard();
+        os.run_program("echo.run", 1_000_000).unwrap();
+        assert_eq!(os.machine.display.transcript(), "echoed!");
+    }
+
+    #[test]
+    fn overlong_args_rejected() {
+        let mut os = os_with_tools();
+        assert!(os.set_command_args(&"a".repeat(63), "").is_err());
+        assert!(os.set_command_args("", &"b".repeat(63)).is_err());
+        assert!(os
+            .set_command_args(&"a".repeat(62), &"b".repeat(62))
+            .is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! The operating-system procedure table and trap stubs (§5.1).
+//!
+//! Each OS procedure is reachable from machine code through a two-word
+//! stub in its level's memory region:
+//!
+//! ```text
+//! stub:   TRAP 0, code     ; enter the resident system
+//!         JMP 0,3          ; return to the caller (JSR left it in AC3)
+//! ```
+//!
+//! The loader patches user code's fixup words with stub addresses; user
+//! programs then call `JSR @word`. Because the stubs live inside level
+//! regions, `Junta` genuinely removes them: the words are freed and any
+//! stale call lands in reclaimed storage.
+
+use std::collections::HashMap;
+
+use alto_machine::instr::{Index, Instr, MemFn};
+use alto_sim::Memory;
+
+use crate::errors::OsError;
+use crate::levels::LevelTable;
+use crate::syscalls::ALL_CALLS;
+
+/// Words per stub.
+pub const STUB_WORDS: u16 = 2;
+
+/// The symbol table: OS procedure name → stub address.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    stubs: HashMap<&'static str, u16>,
+}
+
+impl SymbolTable {
+    /// Writes every call's stub into its level's region and returns the
+    /// table. Stubs are packed from each region's base upward.
+    pub fn install(mem: &mut Memory, levels: &LevelTable) -> SymbolTable {
+        let mut next_slot: HashMap<u8, u16> = HashMap::new();
+        let mut stubs = HashMap::new();
+        for call in ALL_CALLS {
+            let level = levels
+                .level(call.level())
+                .expect("syscall levels are valid");
+            let slot = next_slot.entry(level.number).or_insert(level.base);
+            let addr = *slot;
+            *slot += STUB_WORDS;
+            debug_assert!(
+                *slot as u32 <= level.base as u32 + level.words as u32,
+                "stub area overflow"
+            );
+            let trap = Instr::Trap {
+                ac: 0,
+                code: call.code(),
+            }
+            .encode();
+            let ret = Instr::Mem {
+                func: MemFn::Jmp,
+                indirect: false,
+                index: Index::Ac3Relative,
+                disp: 0,
+            }
+            .encode();
+            mem.write(addr, trap);
+            mem.write(addr + 1, ret);
+            stubs.insert(call.symbol(), addr);
+        }
+        SymbolTable { stubs }
+    }
+
+    /// The stub address for a symbol.
+    pub fn resolve(&self, symbol: &str) -> Result<u16, OsError> {
+        self.stubs
+            .get(symbol)
+            .copied()
+            .ok_or_else(|| OsError::UnboundSymbol(symbol.to_string()))
+    }
+
+    /// All known symbols (for diagnostics).
+    pub fn symbols(&self) -> impl Iterator<Item = (&'static str, u16)> + '_ {
+        self.stubs.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_land_in_their_levels() {
+        let mut mem = Memory::new();
+        let levels = LevelTable::new();
+        let table = SymbolTable::install(&mut mem, &levels);
+        for call in ALL_CALLS {
+            let addr = table.resolve(call.symbol()).unwrap();
+            let level = levels.level(call.level()).unwrap();
+            assert!(
+                addr >= level.base && (addr as u32) < level.base as u32 + level.words as u32,
+                "{} stub at {addr:#x} outside level {}",
+                call.symbol(),
+                level.number
+            );
+            // The stub is a trap followed by a return.
+            match Instr::decode(mem.read(addr)) {
+                Instr::Trap { code, .. } => assert_eq!(code, call.code()),
+                other => panic!("stub starts with {other:?}"),
+            }
+            match Instr::decode(mem.read(addr + 1)) {
+                Instr::Mem {
+                    func: MemFn::Jmp,
+                    index: Index::Ac3Relative,
+                    disp: 0,
+                    ..
+                } => {}
+                other => panic!("stub ends with {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_do_not_collide() {
+        let mut mem = Memory::new();
+        let table = SymbolTable::install(&mut mem, &LevelTable::new());
+        let mut addrs: Vec<u16> = table.symbols().map(|(_, a)| a).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), ALL_CALLS.len());
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let mut mem = Memory::new();
+        let table = SymbolTable::install(&mut mem, &LevelTable::new());
+        assert!(matches!(
+            table.resolve("NoSuchProcedure"),
+            Err(OsError::UnboundSymbol(_))
+        ));
+    }
+}

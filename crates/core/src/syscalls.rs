@@ -1,0 +1,192 @@
+//! The system-call (trap) interface.
+//!
+//! Loaded programs reach the resident packages through traps; the loader
+//! binds symbolic references to two-word stubs (`TRAP code; JMP 0,3`)
+//! placed in the owning level's memory region (§5.1). Every call is gated
+//! on its level being resident: a program that removed the display package
+//! with `Junta` really cannot `PutChar` any more (§5.2).
+
+use crate::errors::OsError;
+
+/// Calls, their trap codes, and argument conventions.
+///
+/// Arguments travel in accumulators; strings are length-prefixed packed
+/// byte vectors in simulated memory (the assembler's `.str` layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysCall {
+    /// `AC0` = character to display. Level 11.
+    PutChar,
+    /// Returns `AC0` = next type-ahead character, or `0xFFFF` if none.
+    /// Level 10 (the buffer itself is level 2).
+    GetChar,
+    /// `AC0` = name string → `AC0` = read-stream handle. Level 8.
+    OpenRead,
+    /// `AC0` = name string → `AC0` = write-stream handle (creates or
+    /// truncates the file). Level 8.
+    OpenWrite,
+    /// `AC0` = handle → `AC0` = next byte, or `0xFFFF` at end. Level 8.
+    Gets,
+    /// `AC0` = handle, `AC1` = byte. Level 8.
+    Puts,
+    /// `AC0` = handle: flush and close. Level 8.
+    Closes,
+    /// `AC0` = handle: reset to the start. Level 8.
+    Resets,
+    /// `AC0` = name string: remove the directory entry and delete the
+    /// file. Level 9.
+    DeleteFile,
+    /// `AC0` = level to retain: remove all higher levels. Level 12.
+    Junta,
+    /// Restore all levels. Level 1.
+    CounterJunta,
+    /// `AC0` = state-file name string. Writes the machine state; continues
+    /// with the written flag = 1. After a later `InLoad` of the same file,
+    /// continues *again* with the flag = 0 and the message delivered
+    /// (§4.1). Level 1.
+    OutLoad,
+    /// `AC0` = state-file name string, `AC1` = address of a 20-word
+    /// message vector. Replaces the machine state. Level 1.
+    InLoad,
+    /// Returns `AC0` = low 16 bits of the millisecond clock. Level 4.
+    Ticks,
+    /// `AC0` = program name string: terminate by loading another program
+    /// over this one (§5.1 — "the program may terminate … by calling the
+    /// program loader to read in another program and thus overlay the
+    /// first program"). On failure `AC0 = 0xFFFF` and execution continues
+    /// here. Level 12.
+    Chain,
+}
+
+/// All calls, for iteration.
+pub const ALL_CALLS: [SysCall; 15] = [
+    SysCall::PutChar,
+    SysCall::GetChar,
+    SysCall::OpenRead,
+    SysCall::OpenWrite,
+    SysCall::Gets,
+    SysCall::Puts,
+    SysCall::Closes,
+    SysCall::Resets,
+    SysCall::DeleteFile,
+    SysCall::Junta,
+    SysCall::CounterJunta,
+    SysCall::OutLoad,
+    SysCall::InLoad,
+    SysCall::Ticks,
+    SysCall::Chain,
+];
+
+impl SysCall {
+    /// The trap code.
+    pub fn code(self) -> u16 {
+        match self {
+            SysCall::PutChar => 8,
+            SysCall::GetChar => 9,
+            SysCall::OpenRead => 10,
+            SysCall::OpenWrite => 11,
+            SysCall::Gets => 12,
+            SysCall::Puts => 13,
+            SysCall::Closes => 14,
+            SysCall::Resets => 15,
+            SysCall::DeleteFile => 16,
+            SysCall::Junta => 17,
+            SysCall::CounterJunta => 18,
+            SysCall::OutLoad => 19,
+            SysCall::InLoad => 20,
+            SysCall::Ticks => 21,
+            SysCall::Chain => 22,
+        }
+    }
+
+    /// Decodes a trap code.
+    pub fn from_code(code: u16) -> Result<SysCall, OsError> {
+        ALL_CALLS
+            .iter()
+            .copied()
+            .find(|c| c.code() == code)
+            .ok_or(OsError::UnknownSysCall(code))
+    }
+
+    /// The level that provides this service (§5.2 table).
+    pub fn level(self) -> u8 {
+        match self {
+            SysCall::OutLoad | SysCall::InLoad | SysCall::CounterJunta => 1,
+            SysCall::Ticks => 4,
+            SysCall::OpenRead
+            | SysCall::OpenWrite
+            | SysCall::Gets
+            | SysCall::Puts
+            | SysCall::Closes
+            | SysCall::Resets => 8,
+            SysCall::DeleteFile => 9,
+            SysCall::GetChar => 10,
+            SysCall::PutChar => 11,
+            SysCall::Junta | SysCall::Chain => 12,
+        }
+    }
+
+    /// The procedure name the loader binds (§5.1 fixups).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SysCall::PutChar => "PutChar",
+            SysCall::GetChar => "GetChar",
+            SysCall::OpenRead => "OpenRead",
+            SysCall::OpenWrite => "OpenWrite",
+            SysCall::Gets => "Gets",
+            SysCall::Puts => "Puts",
+            SysCall::Closes => "Closes",
+            SysCall::Resets => "Resets",
+            SysCall::DeleteFile => "DeleteFile",
+            SysCall::Junta => "Junta",
+            SysCall::CounterJunta => "CounterJunta",
+            SysCall::OutLoad => "OutLoad",
+            SysCall::InLoad => "InLoad",
+            SysCall::Ticks => "Ticks",
+            SysCall::Chain => "Chain",
+        }
+    }
+}
+
+/// The distinguished "no data / end" result value.
+pub const NONE_VALUE: u16 = 0xFFFF;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for call in ALL_CALLS {
+            assert!(seen.insert(call.code()), "duplicate code {}", call.code());
+            assert_eq!(SysCall::from_code(call.code()).unwrap(), call);
+            assert!(call.code() >= alto_machine::traps::OS_BASE);
+        }
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        assert!(matches!(
+            SysCall::from_code(999),
+            Err(OsError::UnknownSysCall(999))
+        ));
+    }
+
+    #[test]
+    fn levels_match_the_paper_table() {
+        assert_eq!(SysCall::OutLoad.level(), 1);
+        assert_eq!(SysCall::Gets.level(), 8);
+        assert_eq!(SysCall::DeleteFile.level(), 9);
+        assert_eq!(SysCall::GetChar.level(), 10);
+        assert_eq!(SysCall::PutChar.level(), 11);
+        assert_eq!(SysCall::Junta.level(), 12);
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for call in ALL_CALLS {
+            assert!(seen.insert(call.symbol()));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The resident system data region (§5, level 3).
+//!
+//! "…and storage for a good deal of handy data, such as hints for
+//! frequently-used files, the user's name and password, etc."
+//!
+//! Level 3 ("hints for important files") holds a small record in simulated
+//! memory: the user's name and password and a table of full-name hints for
+//! frequently used files. Because it lives in the memory image it survives
+//! world swaps, and because it is a *hint* region, everything in it can be
+//! reconstructed (the names from the user, the hints from the directory).
+//!
+//! Layout within the level-3 region:
+//!
+//! ```text
+//! word 0        magic
+//! word 1        user-name length | password length (bytes, packed)
+//! words 2..21   user name (20 words = 40 bytes)
+//! words 22..41  password
+//! word 42       hint count
+//! per hint:     serial(2), version, leader DA  (4 words each)
+//! ```
+
+use alto_disk::{Disk, DiskAddress};
+use alto_fs::names::{FileFullName, Fv, SerialNumber};
+
+use crate::os::AltoOs;
+
+const MAGIC: u16 = 0xA5D3;
+const NAME_BASE: u16 = 2;
+const PASS_BASE: u16 = 22;
+const COUNT_ADDR: u16 = 42;
+const HINTS_BASE: u16 = 43;
+/// Maximum hint entries the region holds.
+pub const MAX_FILE_HINTS: u16 = 32;
+const NAME_MAX: usize = 40;
+
+impl<D: Disk> AltoOs<D> {
+    fn level3_base(&self) -> u16 {
+        self.levels().level(3).expect("level 3 exists").base
+    }
+
+    /// Initializes the system data region (called lazily by the setters).
+    fn ensure_sysdata(&mut self) -> u16 {
+        let base = self.level3_base();
+        if self.machine.mem.read(base) != MAGIC {
+            let words = self.levels().level(3).expect("level 3 exists").words;
+            let _ = self.machine.mem.fill(base, words as usize, 0);
+            self.machine.mem.write(base, MAGIC);
+        }
+        base
+    }
+
+    /// Records the user's name and password in the resident region.
+    ///
+    /// Overlong values are truncated to 40 bytes, as the fixed record
+    /// demands.
+    pub fn set_user(&mut self, name: &str, password: &str) {
+        let base = self.ensure_sysdata();
+        let name = &name.as_bytes()[..name.len().min(NAME_MAX)];
+        let password = &password.as_bytes()[..password.len().min(NAME_MAX)];
+        self.machine
+            .mem
+            .write(base + 1, ((name.len() as u16) << 8) | password.len() as u16);
+        for (slot, bytes) in [(NAME_BASE, name), (PASS_BASE, password)] {
+            for (i, chunk) in bytes.chunks(2).enumerate() {
+                let hi = (chunk[0] as u16) << 8;
+                let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                self.machine.mem.write(base + slot + i as u16, hi | lo);
+            }
+        }
+    }
+
+    /// Reads the user's name and password back from the region.
+    pub fn user(&self) -> Option<(String, String)> {
+        let base = self.level3_base();
+        if self.machine.mem.read(base) != MAGIC {
+            return None;
+        }
+        let lens = self.machine.mem.read(base + 1);
+        let read = |slot: u16, len: usize| -> String {
+            let mut bytes = Vec::with_capacity(len);
+            for i in 0..len {
+                let w = self.machine.mem.read(base + slot + (i / 2) as u16);
+                bytes.push(if i % 2 == 0 { (w >> 8) as u8 } else { w as u8 });
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        Some((
+            read(NAME_BASE, (lens >> 8) as usize),
+            read(PASS_BASE, (lens & 0xFF) as usize),
+        ))
+    }
+
+    /// Remembers a full-name hint for a frequently used file. Returns
+    /// false when the table is full.
+    pub fn remember_file_hint(&mut self, file: FileFullName) -> bool {
+        let base = self.ensure_sysdata();
+        let count = self.machine.mem.read(base + COUNT_ADDR);
+        // Update in place if the serial is already remembered.
+        for i in 0..count {
+            let at = base + HINTS_BASE + i * 4;
+            let serial = SerialNumber::from_words([
+                self.machine.mem.read(at),
+                self.machine.mem.read(at + 1),
+            ]);
+            if serial == file.fv.serial {
+                self.machine.mem.write(at + 2, file.fv.version);
+                self.machine.mem.write(at + 3, file.leader_da.0);
+                return true;
+            }
+        }
+        if count >= MAX_FILE_HINTS {
+            return false;
+        }
+        let at = base + HINTS_BASE + count * 4;
+        let s = file.fv.serial.words();
+        self.machine.mem.write(at, s[0]);
+        self.machine.mem.write(at + 1, s[1]);
+        self.machine.mem.write(at + 2, file.fv.version);
+        self.machine.mem.write(at + 3, file.leader_da.0);
+        self.machine.mem.write(base + COUNT_ADDR, count + 1);
+        true
+    }
+
+    /// All remembered file hints.
+    pub fn file_hints(&self) -> Vec<FileFullName> {
+        let base = self.level3_base();
+        if self.machine.mem.read(base) != MAGIC {
+            return Vec::new();
+        }
+        let count = self.machine.mem.read(base + COUNT_ADDR).min(MAX_FILE_HINTS);
+        (0..count)
+            .map(|i| {
+                let at = base + HINTS_BASE + i * 4;
+                FileFullName::new(
+                    Fv::new(
+                        SerialNumber::from_words([
+                            self.machine.mem.read(at),
+                            self.machine.mem.read(at + 1),
+                        ]),
+                        self.machine.mem.read(at + 2),
+                    ),
+                    DiskAddress(self.machine.mem.read(at + 3)),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swap::MESSAGE_WORDS;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_fs::dir;
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let machine = Machine::new(clock.clone(), Trace::new());
+        let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    #[test]
+    fn user_name_and_password_round_trip() {
+        let mut os = os();
+        assert_eq!(os.user(), None);
+        os.set_user("lampson", "gw-basic");
+        assert_eq!(os.user(), Some(("lampson".into(), "gw-basic".into())));
+        // Overwrite.
+        os.set_user("sproull", "x");
+        assert_eq!(os.user(), Some(("sproull".into(), "x".into())));
+    }
+
+    #[test]
+    fn overlong_credentials_truncate() {
+        let mut os = os();
+        os.set_user(&"n".repeat(100), &"p".repeat(100));
+        let (n, p) = os.user().unwrap();
+        assert_eq!(n.len(), 40);
+        assert_eq!(p.len(), 40);
+    }
+
+    #[test]
+    fn file_hints_accumulate_and_update() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        let a = dir::create_named_file(&mut os.fs, root, "a").unwrap();
+        let b = dir::create_named_file(&mut os.fs, root, "b").unwrap();
+        assert!(os.remember_file_hint(a));
+        assert!(os.remember_file_hint(b));
+        assert_eq!(os.file_hints(), vec![a, b]);
+        // Updating the same serial replaces in place.
+        let moved = alto_fs::names::FileFullName::new(a.fv, DiskAddress(999));
+        assert!(os.remember_file_hint(moved));
+        assert_eq!(os.file_hints()[0].leader_da, DiskAddress(999));
+        assert_eq!(os.file_hints().len(), 2);
+    }
+
+    #[test]
+    fn hint_table_fills_up() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        for i in 0..MAX_FILE_HINTS {
+            let f = dir::create_named_file(&mut os.fs, root, &format!("h{i}")).unwrap();
+            assert!(os.remember_file_hint(f));
+        }
+        let extra = dir::create_named_file(&mut os.fs, root, "extra").unwrap();
+        assert!(!os.remember_file_hint(extra));
+        assert_eq!(os.file_hints().len(), MAX_FILE_HINTS as usize);
+    }
+
+    #[test]
+    fn sysdata_survives_a_world_swap() {
+        // The region is part of the memory image: it travels with worlds.
+        let mut os = os();
+        os.set_user("boggs", "ether");
+        let root = os.fs.root_dir();
+        let f = dir::create_named_file(&mut os.fs, root, "fav").unwrap();
+        os.remember_file_hint(f);
+        let state = os.create_state_file("W.state").unwrap();
+        os.out_load(state).unwrap();
+        os.set_user("intruder", "clobbered");
+        os.in_load(state, &[0; MESSAGE_WORDS]).unwrap();
+        assert_eq!(os.user(), Some(("boggs".into(), "ether".into())));
+        assert_eq!(os.file_hints(), vec![f]);
+    }
+
+    #[test]
+    fn junta_below_3_loses_the_region() {
+        let mut os = os();
+        os.set_user("gone", "soon");
+        os.junta(2).unwrap();
+        os.counter_junta();
+        assert_eq!(os.user(), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! The resident type-ahead buffer (level 2).
+//!
+//! "The keyboard input buffer is present nearly always, so that any
+//! characters typed ahead by the user when running one program are saved
+//! for interpretation by the next" (§5.2). The buffer lives *in simulated
+//! memory*, inside the level-2 region, so it genuinely survives program
+//! loads (which only touch low memory) and is genuinely lost if a program
+//! does `Junta(1)`.
+//!
+//! Ring-buffer layout within the region: word 0 = head index, word 1 =
+//! tail index, word 2 = capacity, words 3.. = data.
+
+use alto_sim::Memory;
+
+/// The type-ahead ring buffer over a memory region.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeAhead {
+    base: u16,
+    capacity: u16,
+}
+
+impl TypeAhead {
+    /// Lays out (and clears) a buffer in the region `[base, base+words)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than 4 words.
+    pub fn init(mem: &mut Memory, base: u16, words: u16) -> TypeAhead {
+        assert!(words >= 4, "type-ahead region too small");
+        let capacity = words - 3;
+        mem.write(base, 0);
+        mem.write(base + 1, 0);
+        mem.write(base + 2, capacity);
+        TypeAhead { base, capacity }
+    }
+
+    /// Attaches to an existing buffer (e.g. after `InLoad` restored the
+    /// memory image; the buffer contents came along).
+    pub fn attach(mem: &Memory, base: u16) -> TypeAhead {
+        let capacity = mem.read(base + 2);
+        TypeAhead { base, capacity }
+    }
+
+    /// Pushes a key; drops it (returning false) when the buffer is full —
+    /// type-ahead overflows were simply lost on the Alto too.
+    pub fn push(&self, mem: &mut Memory, key: u16) -> bool {
+        let head = mem.read(self.base);
+        let tail = mem.read(self.base + 1);
+        let next_tail = (tail + 1) % self.capacity;
+        if next_tail == head {
+            return false; // full
+        }
+        mem.write(self.base + 3 + tail, key);
+        mem.write(self.base + 1, next_tail);
+        true
+    }
+
+    /// The oldest key without consuming it, if any.
+    pub fn peek(&self, mem: &Memory) -> Option<u16> {
+        let head = mem.read(self.base);
+        let tail = mem.read(self.base + 1);
+        if head == tail {
+            None
+        } else {
+            Some(mem.read(self.base + 3 + head))
+        }
+    }
+
+    /// Pops the oldest key, if any.
+    pub fn pop(&self, mem: &mut Memory) -> Option<u16> {
+        let head = mem.read(self.base);
+        let tail = mem.read(self.base + 1);
+        if head == tail {
+            return None;
+        }
+        let key = mem.read(self.base + 3 + head);
+        mem.write(self.base, (head + 1) % self.capacity);
+        Some(key)
+    }
+
+    /// Number of keys waiting.
+    pub fn len(&self, mem: &Memory) -> u16 {
+        let head = mem.read(self.base);
+        let tail = mem.read(self.base + 1);
+        (tail + self.capacity - head) % self.capacity
+    }
+
+    /// True if no keys wait.
+    pub fn is_empty(&self, mem: &Memory) -> bool {
+        self.len(mem) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut mem = Memory::new();
+        let t = TypeAhead::init(&mut mem, 0xF000, 16);
+        assert!(t.is_empty(&mem));
+        assert!(t.push(&mut mem, b'a' as u16));
+        assert!(t.push(&mut mem, b'b' as u16));
+        assert_eq!(t.len(&mem), 2);
+        assert_eq!(t.pop(&mut mem), Some(b'a' as u16));
+        assert_eq!(t.pop(&mut mem), Some(b'b' as u16));
+        assert_eq!(t.pop(&mut mem), None);
+    }
+
+    #[test]
+    fn overflow_drops_keys() {
+        let mut mem = Memory::new();
+        let t = TypeAhead::init(&mut mem, 0xF000, 6); // capacity 3, holds 2
+        assert!(t.push(&mut mem, 1));
+        assert!(t.push(&mut mem, 2));
+        assert!(!t.push(&mut mem, 3));
+        assert_eq!(t.len(&mem), 2);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut mem = Memory::new();
+        let t = TypeAhead::init(&mut mem, 0xF000, 7); // capacity 4, holds 3
+        for round in 0..10u16 {
+            assert!(t.push(&mut mem, round));
+            assert_eq!(t.pop(&mut mem), Some(round));
+        }
+        assert!(t.is_empty(&mem));
+    }
+
+    #[test]
+    fn survives_in_the_memory_image() {
+        // The buffer state lives entirely in memory: attach() on a copied
+        // image sees the same keys (this is what makes type-ahead survive
+        // a world swap).
+        let mut mem = Memory::new();
+        let t = TypeAhead::init(&mut mem, 0xF000, 16);
+        t.push(&mut mem, 42);
+        let mut copy = Memory::new();
+        copy.load_image(mem.as_words());
+        let t2 = TypeAhead::attach(&copy, 0xF000);
+        assert_eq!(t2.pop(&mut copy), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_region_panics() {
+        let mut mem = Memory::new();
+        TypeAhead::init(&mut mem, 0xF000, 3);
+    }
+}

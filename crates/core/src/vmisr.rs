@@ -1,0 +1,232 @@
+//! The keyboard process as machine code (§2).
+//!
+//! "The current version of the system has only two processes, one of which
+//! puts keyboard input characters into a buffer, while the other does all
+//! the interesting work. The keyboard process is interrupt-driven and has
+//! no critical sections."
+//!
+//! By default the keyboard process is served in Rust
+//! ([`AltoOs::service_keyboard`]); this module makes the two-process
+//! structure literal: [`AltoOs::install_vm_keyboard_isr`] assembles a real
+//! interrupt service routine, places it in the top of the system free
+//! storage region (level 13), and points the interrupt vector (location 1)
+//! at it. From then on the *machine* delivers keyboard interrupts to the
+//! ISR, which drains the device with `KBDGET` and pushes into the level-2
+//! type-ahead ring buffer — with no Rust involvement at all.
+//!
+//! A program that `Junta`s below level 13 frees the ISR's storage while
+//! the vector still points there; like the 1979 system, such a program has
+//! taken responsibility for the keyboard and must clear the vector or
+//! install its own handler (see
+//! [`AltoOs::remove_vm_keyboard_isr`]).
+
+use alto_disk::Disk;
+
+use crate::errors::OsError;
+use crate::os::AltoOs;
+
+/// Words reserved for the ISR at the top of the level-13 region.
+pub const ISR_WORDS: u16 = 48;
+
+impl<D: Disk> AltoOs<D> {
+    /// The address the VM keyboard ISR is installed at.
+    pub fn vm_isr_base(&self) -> u16 {
+        let l13 = self.levels().level(13).expect("level 13 exists");
+        l13.base + l13.words - ISR_WORDS
+    }
+
+    /// Installs the machine-code keyboard ISR and arms the interrupt
+    /// vector. Keys struck from now on flow into the type-ahead buffer
+    /// entirely in machine code.
+    pub fn install_vm_keyboard_isr(&mut self) -> Result<u16, OsError> {
+        let l2 = self.levels().level(2).expect("level 2 exists");
+        // Ring layout (see `typeahead`): head, tail, capacity, data…
+        let head_addr = l2.base;
+        let tail_addr = l2.base + 1;
+        let cap = l2.words - 3;
+        let data_addr = l2.base + 3;
+        let isr_base = self.vm_isr_base();
+
+        let source = format!(
+            "
+            .org {isr_base}
+isr:        sta 0, sv0
+            sta 1, sv1
+            sta 2, sv2
+poll:       kbdget              ; AC0 = key or 0xFFFF
+            lda 1, eofv
+            sub# 1, 0, snr      ; skip while a key is present
+            jmp done
+            ; data[tail] = key
+            lda 1, @tailp       ; AC1 = tail
+            lda 2, datap
+            add 1, 2            ; AC2 = data + tail
+            sta 0, 0,2
+            ; next = tail + 1, wrapping at the capacity
+            inc 1, 1
+            lda 2, capv
+            sub# 2, 1, snr      ; skip unless next == capacity
+            subz 1, 1           ; wrap to 0
+            ; full? (next == head): drop the key, tail unchanged
+            lda 2, @headp
+            sub# 2, 1, snr      ; skip unless next == head
+            jmp poll
+            sta 1, @tailp
+            jmp poll
+done:       lda 0, sv0
+            lda 1, sv1
+            lda 2, sv2
+            reti
+sv0:        .word 0
+sv1:        .word 0
+sv2:        .word 0
+eofv:       .word 0xFFFF
+headp:      .word {head_addr}
+tailp:      .word {tail_addr}
+datap:      .word {data_addr}
+capv:       .word {cap}
+            "
+        );
+        let assembled = alto_machine::assemble(&source)?;
+        debug_assert!(assembled.words.len() <= ISR_WORDS as usize);
+        self.machine
+            .mem
+            .write_block(isr_base, &assembled.words)
+            .expect("ISR region is in range");
+        self.machine.mem.write(1, isr_base); // interrupt vector
+        self.machine.int_enabled = true;
+        Ok(isr_base)
+    }
+
+    /// Clears the interrupt vector: the keyboard process reverts to the
+    /// Rust-served path (a program about to `Junta` away level 13 calls
+    /// this first, unless it installs its own handler).
+    pub fn remove_vm_keyboard_isr(&mut self) {
+        self.machine.mem.write(1, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_machine::Machine;
+    use alto_sim::{SimClock, SimTime, Trace};
+
+    fn os() -> AltoOs {
+        let clock = SimClock::new();
+        let machine = Machine::new(clock.clone(), Trace::new());
+        let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
+        AltoOs::install(machine, drive).unwrap()
+    }
+
+    /// Run a do-nothing VM program while keys arrive; the machine-code ISR
+    /// must buffer them without any Rust service.
+    #[test]
+    fn vm_isr_buffers_keys_without_rust() {
+        let mut os = os();
+        os.install_vm_keyboard_isr().unwrap();
+        // A busy main program (counting), interrupts enabled by install.
+        let code = alto_machine::assemble(
+            "
+main:       isz counter
+            jmp main
+            jmp main        ; (skip target when counter wraps)
+counter:    .word 0
+            ",
+        )
+        .unwrap();
+        os.machine.load_program(0o400, &code.words).unwrap();
+        // The user types during the computation.
+        let t0 = os.machine.clock().now();
+        os.machine.keyboard.type_string(
+            t0 + SimTime::from_micros(20),
+            SimTime::from_micros(40),
+            "hi!",
+        );
+        // Step the raw machine only: no OS trap service, no Rust ISR.
+        for _ in 0..2000 {
+            match os.machine.step().unwrap() {
+                alto_machine::Step::Running => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The type-ahead buffer (in simulated memory) holds the keys.
+        assert_eq!(os.get_char(), Some(b'h'));
+        assert_eq!(os.get_char(), Some(b'i'));
+        assert_eq!(os.get_char(), Some(b'!'));
+        assert_eq!(os.get_char(), None);
+    }
+
+    #[test]
+    fn vm_isr_preserves_the_interrupted_computation() {
+        let mut os = os();
+        os.install_vm_keyboard_isr().unwrap();
+        // Sum 1..=200 with interrupts striking throughout.
+        let code = alto_machine::assemble(
+            "
+            subz 0, 0
+            subz 2, 2
+loop:       inc 2, 2
+            add 2, 0
+            lda 1, limit
+            sub# 2, 1, szr
+            jmp loop
+            sta 0, @resp
+            halt
+limit:      .word 200
+resp:       .word 0o3000
+            ",
+        )
+        .unwrap();
+        os.machine.load_program(0o400, &code.words).unwrap();
+        let t0 = os.machine.clock().now();
+        os.machine
+            .keyboard
+            .type_string(t0, SimTime::from_micros(15), "interrupting cow");
+        os.run_machine(100_000).unwrap();
+        // The arithmetic is unharmed (ISR saves/restores the ACs)…
+        assert_eq!(os.machine.mem.read(0o3000), (200 * 201 / 2) as u16);
+        // …and every key was buffered.
+        let mut typed = String::new();
+        while let Some(c) = os.get_char() {
+            typed.push(c as char);
+        }
+        assert_eq!(typed, "interrupting cow");
+    }
+
+    #[test]
+    fn vm_isr_drops_keys_when_the_ring_fills() {
+        let mut os = os();
+        os.install_vm_keyboard_isr().unwrap();
+        let code = alto_machine::assemble("spin: jmp spin").unwrap();
+        os.machine.load_program(0o400, &code.words).unwrap();
+        // The ring holds capacity-1 = 124 keys; type 200.
+        let t0 = os.machine.clock().now();
+        for i in 0..200u16 {
+            os.machine.keyboard.press_at(
+                t0 + SimTime::from_micros(10 + i as u64 * 10),
+                b'a' + (i % 26) as u8,
+            );
+        }
+        for _ in 0..30_000 {
+            let _ = os.machine.step().unwrap();
+        }
+        let mut got = 0;
+        while os.get_char().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 124, "ring holds exactly capacity-1 keys");
+    }
+
+    #[test]
+    fn remove_returns_control_to_rust() {
+        let mut os = os();
+        os.install_vm_keyboard_isr().unwrap();
+        os.remove_vm_keyboard_isr();
+        os.type_text("z");
+        os.machine.clock().advance(SimTime::from_millis(5));
+        // Rust service path works again.
+        assert_eq!(os.get_char(), Some(b'z'));
+    }
+}

@@ -1,0 +1,189 @@
+//! Ablation: a disk without check actions.
+//!
+//! DESIGN.md's key design decision #2 says the robustness of the system
+//! comes from the drive enforcing check-before-write. [`UncheckedDisk`]
+//! removes exactly that — every check action is downgraded to a read — so
+//! the experiments can show what the paper's world looks like *without*
+//! the label discipline: wild writes land, stale hints overwrite live
+//! data, and the Scavenger has less truth to rebuild from.
+//!
+//! (It is also, incidentally, a demonstration of the openness thesis: the
+//! disk object is an ordinary abstract object a user can wrap, even to
+//! remove the safety the system was designed around.)
+
+use alto_sim::{SimClock, Trace};
+
+use crate::drive::Disk;
+use crate::errors::DiskError;
+use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::sector::{Action, SectorBuf, SectorOp};
+
+/// Wraps a disk, downgrading every check action to a read.
+#[derive(Debug)]
+pub struct UncheckedDisk<D: Disk> {
+    inner: D,
+    /// Check actions that *would* have run (and possibly failed).
+    pub checks_elided: u64,
+}
+
+impl<D: Disk> UncheckedDisk<D> {
+    /// Wraps `inner`.
+    pub fn new(inner: D) -> UncheckedDisk<D> {
+        UncheckedDisk {
+            inner,
+            checks_elided: 0,
+        }
+    }
+
+    /// The wrapped disk.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// The wrapped disk, borrowed.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+fn strip(action: Action, count: &mut u64) -> Action {
+    match action {
+        Action::Check => {
+            *count += 1;
+            Action::Read
+        }
+        other => other,
+    }
+}
+
+impl<D: Disk> Disk for UncheckedDisk<D> {
+    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
+        self.inner.geometry()
+    }
+
+    fn pack_number(&self) -> Result<u16, DiskError> {
+        self.inner.pack_number()
+    }
+
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError> {
+        let stripped = SectorOp {
+            header: strip(op.header, &mut self.checks_elided),
+            label: strip(op.label, &mut self.checks_elided),
+            value: strip(op.value, &mut self.checks_elided),
+        };
+        // Read-before-write is not a legal hardware sequence; a stripped
+        // check preceding a write becomes a write-through (the caller's
+        // buffer wins — which is precisely the unsafety being modelled).
+        let stripped = match stripped.validate() {
+            Ok(()) => stripped,
+            Err(_) => SectorOp {
+                header: if stripped.header == Action::Read && op_writes_after(stripped, 0) {
+                    Action::Write
+                } else {
+                    stripped.header
+                },
+                label: if stripped.label == Action::Read && op_writes_after(stripped, 1) {
+                    Action::Write
+                } else {
+                    stripped.label
+                },
+                value: stripped.value,
+            },
+        };
+        self.inner.do_op(da, stripped, buf)
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.inner.clock()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.inner.trace()
+    }
+}
+
+/// True if any part after index `part` writes.
+fn op_writes_after(op: SectorOp, part: usize) -> bool {
+    let actions = [op.header, op.label, op.value];
+    actions[part + 1..].contains(&Action::Write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::DiskDrive;
+    use crate::geometry::DiskModel;
+    use crate::label::Label;
+    use crate::sector::DATA_WORDS;
+
+    fn unchecked() -> UncheckedDisk<DiskDrive> {
+        UncheckedDisk::new(DiskDrive::with_formatted_pack(
+            SimClock::new(),
+            Trace::new(),
+            DiskModel::Diablo31,
+            1,
+        ))
+    }
+
+    fn live_label(page: u16) -> Label {
+        Label {
+            fid: [3, 4],
+            version: 1,
+            page_number: page,
+            length: 512,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        }
+    }
+
+    #[test]
+    fn wild_writes_land_without_checks() {
+        let mut d = unchecked();
+        // Set up a live page through the normal (checked) interface first.
+        {
+            let inner = &mut d.inner;
+            let mut buf = SectorBuf::with_label(Label::FREE);
+            inner
+                .do_op(DiskAddress(9), SectorOp::CHECK_LABEL, &mut buf)
+                .unwrap();
+            let mut buf = SectorBuf::with_label(live_label(0));
+            buf.data = [1; DATA_WORDS];
+            inner
+                .do_op(DiskAddress(9), SectorOp::WRITE_LABEL, &mut buf)
+                .unwrap();
+        }
+        // A wild write with a completely wrong label sails through.
+        let mut buf = SectorBuf::with_label(live_label(7));
+        buf.data = [0xDEAD; DATA_WORDS];
+        d.do_op(DiskAddress(9), SectorOp::WRITE, &mut buf).unwrap();
+        assert!(d.checks_elided >= 2);
+        // The live page's data was destroyed — exactly what the label
+        // discipline exists to prevent.
+        let sector = d.inner().pack().unwrap().sector(DiskAddress(9)).unwrap();
+        assert_eq!(sector.data, [0xDEAD; DATA_WORDS]);
+    }
+
+    #[test]
+    fn reads_still_work() {
+        let mut d = unchecked();
+        let mut buf = SectorBuf::zeroed();
+        d.do_op(DiskAddress(0), SectorOp::READ_ALL, &mut buf)
+            .unwrap();
+        assert!(buf.decoded_label().is_free());
+    }
+
+    #[test]
+    fn checked_read_becomes_plain_read() {
+        let mut d = unchecked();
+        // READ with a nonsense label succeeds (no check to fail).
+        let mut buf = SectorBuf::with_label(live_label(3));
+        d.do_op(DiskAddress(5), SectorOp::READ, &mut buf).unwrap();
+        // The buffer got the *disk's* label back (free), not a check error.
+        assert!(buf.decoded_label().is_free());
+    }
+}

@@ -1,0 +1,515 @@
+//! The simulated disk drive: geometry + timing + check semantics.
+//!
+//! A [`DiskDrive`] holds at most one removable [`DiskPack`]; every sector
+//! operation charges seek time, rotational latency and one sector transfer
+//! time to the shared [`SimClock`], then applies the operation with full
+//! check semantics ([`crate::sector::apply`]).
+//!
+//! [`Disk`] is the *abstract disk object* of §2/§5.2: the file system is
+//! generic over it, so "a program using a large non-standard disk" can
+//! provide its own implementation and still use the standard disk-stream
+//! package — the openness property the paper emphasizes.
+
+use alto_sim::{SimClock, SimTime, Trace};
+
+use crate::errors::{DiskError, SectorPart};
+use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::inject::FaultInjector;
+use crate::pack::DiskPack;
+use crate::sector::{apply, Action, SectorBuf, SectorOp};
+use crate::timing::TimingModel;
+
+/// The abstract disk object.
+///
+/// Implementations must provide sector operations with §3.3 semantics; the
+/// file system relies on check actions aborting before any write.
+pub trait Disk {
+    /// The geometry of the loaded pack.
+    fn geometry(&self) -> Result<DiskGeometry, DiskError>;
+
+    /// The pack number of the loaded pack (sector headers carry it).
+    fn pack_number(&self) -> Result<u16, DiskError>;
+
+    /// Performs one sector operation, charging simulated time.
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError>;
+
+    /// The clock this disk charges time to.
+    fn clock(&self) -> &SimClock;
+
+    /// The trace this disk records events to.
+    fn trace(&self) -> &Trace;
+}
+
+/// Cumulative drive statistics, used by the experiments to report mechanism
+/// (e.g. "allocation cost exactly one extra revolution").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Sector operations issued.
+    pub ops: u64,
+    /// Operations that performed any write action.
+    pub write_ops: u64,
+    /// Operations that wrote the label part (allocation, free, length
+    /// change, format).
+    pub label_writes: u64,
+    /// Check actions that failed (aborted operations).
+    pub failed_checks: u64,
+    /// Arm movements.
+    pub seeks: u64,
+    /// Total time spent seeking.
+    pub seek_time: SimTime,
+    /// Total time spent waiting for the target sector to come around.
+    pub rotational_wait: SimTime,
+    /// Total time spent transferring sectors under the head.
+    pub transfer_time: SimTime,
+}
+
+impl DriveStats {
+    /// Total disk-busy time accounted so far.
+    pub fn busy_time(&self) -> SimTime {
+        self.seek_time + self.rotational_wait + self.transfer_time
+    }
+}
+
+/// A simulated moving-head drive with one removable pack.
+#[derive(Debug)]
+pub struct DiskDrive {
+    clock: SimClock,
+    trace: Trace,
+    pack: Option<Loaded>,
+    stats: DriveStats,
+    injector: FaultInjector,
+}
+
+#[derive(Debug)]
+struct Loaded {
+    pack: DiskPack,
+    timing: TimingModel,
+    cylinder: u16,
+}
+
+impl DiskDrive {
+    /// Creates an empty drive on the given timeline.
+    pub fn new(clock: SimClock, trace: Trace) -> DiskDrive {
+        DiskDrive {
+            clock,
+            trace,
+            pack: None,
+            stats: DriveStats::default(),
+            injector: FaultInjector::new(),
+        }
+    }
+
+    /// Convenience: a drive with a freshly formatted pack loaded.
+    pub fn with_formatted_pack(
+        clock: SimClock,
+        trace: Trace,
+        model: crate::geometry::DiskModel,
+        pack_number: u16,
+    ) -> DiskDrive {
+        let mut d = DiskDrive::new(clock, trace);
+        d.load_pack(DiskPack::formatted(model, pack_number));
+        d
+    }
+
+    /// Loads a pack into the drive (arm returns to cylinder 0).
+    pub fn load_pack(&mut self, pack: DiskPack) {
+        let timing = pack.model().timing();
+        self.pack = Some(Loaded {
+            pack,
+            timing,
+            cylinder: 0,
+        });
+    }
+
+    /// Removes and returns the pack, if any.
+    pub fn unload_pack(&mut self) -> Option<DiskPack> {
+        self.pack.take().map(|l| l.pack)
+    }
+
+    /// Shared access to the loaded pack (tests and the fault campaign use
+    /// this to corrupt the medium directly; software uses [`Disk::do_op`]).
+    pub fn pack(&self) -> Option<&DiskPack> {
+        self.pack.as_ref().map(|l| &l.pack)
+    }
+
+    /// Mutable access to the loaded pack.
+    pub fn pack_mut(&mut self) -> Option<&mut DiskPack> {
+        self.pack.as_mut().map(|l| &mut l.pack)
+    }
+
+    /// The fault injector for this drive.
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DriveStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (the clock is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = DriveStats::default();
+    }
+
+    /// The timing model of the loaded pack.
+    pub fn timing(&self) -> Result<TimingModel, DiskError> {
+        Ok(self.pack.as_ref().ok_or(DiskError::NoPack)?.timing)
+    }
+
+    /// The arm's current cylinder.
+    pub fn current_cylinder(&self) -> u16 {
+        self.pack.as_ref().map_or(0, |l| l.cylinder)
+    }
+}
+
+impl Disk for DiskDrive {
+    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
+        Ok(self.pack.as_ref().ok_or(DiskError::NoPack)?.pack.geometry())
+    }
+
+    fn pack_number(&self) -> Result<u16, DiskError> {
+        Ok(self
+            .pack
+            .as_ref()
+            .ok_or(DiskError::NoPack)?
+            .pack
+            .pack_number())
+    }
+
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError> {
+        op.validate()?;
+        let loaded = self.pack.as_mut().ok_or(DiskError::NoPack)?;
+        let geometry = loaded.pack.geometry();
+        if !geometry.contains(da) {
+            return Err(DiskError::InvalidAddress(da));
+        }
+        let chs = geometry.to_chs(da);
+
+        // Seek.
+        if chs.cylinder != loaded.cylinder {
+            let distance = chs.cylinder.abs_diff(loaded.cylinder);
+            let t = loaded.timing.seek(distance);
+            self.clock.advance(t);
+            self.stats.seeks += 1;
+            self.stats.seek_time += t;
+            self.trace.record(
+                self.clock.now(),
+                "disk.seek",
+                format!("cyl {} -> {} ({t})", loaded.cylinder, chs.cylinder),
+            );
+            loaded.cylinder = chs.cylinder;
+        }
+
+        // Rotational latency.
+        let wait = loaded.timing.rotational_wait(self.clock.now(), chs.sector);
+        self.clock.advance(wait);
+        self.stats.rotational_wait += wait;
+
+        // The transfer itself: one sector time regardless of actions.
+        self.clock.advance(loaded.timing.sector_time);
+        self.stats.transfer_time += loaded.timing.sector_time;
+        self.stats.ops += 1;
+        if op.writes() {
+            self.stats.write_ops += 1;
+        }
+        if op.label == Action::Write {
+            self.stats.label_writes += 1;
+        }
+
+        // Unrecoverable media damage surfaces when the value part is read.
+        // The header and label actions still complete (they precede the
+        // value on the platter), so the Scavenger can learn *which* page
+        // was lost before quarantining the sector.
+        if loaded.pack.is_damaged(da) && matches!(op.value, Action::Read | Action::Check) {
+            let stripped = SectorOp {
+                header: op.header,
+                label: op.label,
+                value: Action::Read,
+            };
+            let sector = loaded
+                .pack
+                .sector_mut(da)
+                .expect("address validated against geometry");
+            let mut scratch = buf.clone();
+            match apply(stripped, da, sector, &mut scratch) {
+                Err(e) => {
+                    if matches!(e, DiskError::Check(_)) {
+                        self.stats.failed_checks += 1;
+                    }
+                    return Err(e);
+                }
+                Ok(()) => {
+                    buf.header = scratch.header;
+                    buf.label = scratch.label;
+                }
+            }
+            self.trace.record(
+                self.clock.now(),
+                "disk.hard_error",
+                format!("{da} value part unreadable"),
+            );
+            return Err(DiskError::HardError {
+                da,
+                part: SectorPart::Value,
+            });
+        }
+
+        // Fault injection may transform the effective operation (torn or
+        // dropped writes) before it reaches the medium.
+        let sector = loaded
+            .pack
+            .sector_mut(da)
+            .expect("address validated against geometry");
+        let result = self
+            .injector
+            .apply(da, op, sector, buf)
+            .unwrap_or_else(|| apply(op, da, sector, buf));
+
+        match &result {
+            Ok(()) => {
+                self.trace
+                    .record(self.clock.now(), "disk.op", format!("{op:?} at {da}"));
+            }
+            Err(DiskError::Check(c)) => {
+                self.stats.failed_checks += 1;
+                self.trace
+                    .record(self.clock.now(), "disk.check_fail", c.to_string());
+            }
+            Err(e) => {
+                self.trace
+                    .record(self.clock.now(), "disk.error", e.to_string());
+            }
+        }
+        result
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DiskModel;
+    use crate::label::Label;
+
+    fn drive() -> DiskDrive {
+        DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1)
+    }
+
+    fn live_label(page: u16) -> Label {
+        Label {
+            fid: [3, 4],
+            version: 1,
+            page_number: page,
+            length: 512,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        }
+    }
+
+    /// Allocate a sector the §3.3 way: check free, then write label+data.
+    fn allocate(drive: &mut DiskDrive, da: DiskAddress, label: Label) {
+        let mut buf = SectorBuf::with_label(Label::FREE);
+        drive.do_op(da, SectorOp::CHECK_LABEL, &mut buf).unwrap();
+        let mut buf = SectorBuf::with_label(label);
+        buf.data = [7; crate::sector::DATA_WORDS];
+        drive.do_op(da, SectorOp::WRITE_LABEL, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn no_pack_errors() {
+        let mut d = DiskDrive::new(SimClock::new(), Trace::new());
+        let mut buf = SectorBuf::zeroed();
+        assert_eq!(
+            d.do_op(DiskAddress(0), SectorOp::READ_ALL, &mut buf),
+            Err(DiskError::NoPack)
+        );
+        assert!(d.geometry().is_err());
+        assert!(d.pack_number().is_err());
+    }
+
+    #[test]
+    fn invalid_address_rejected() {
+        let mut d = drive();
+        let mut buf = SectorBuf::zeroed();
+        assert_eq!(
+            d.do_op(DiskAddress(9999), SectorOp::READ_ALL, &mut buf),
+            Err(DiskError::InvalidAddress(DiskAddress(9999)))
+        );
+        assert_eq!(
+            d.do_op(DiskAddress::NIL, SectorOp::READ_ALL, &mut buf),
+            Err(DiskError::InvalidAddress(DiskAddress::NIL))
+        );
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(30), live_label(0));
+        let mut buf = SectorBuf::with_label(live_label(0));
+        d.do_op(DiskAddress(30), SectorOp::READ, &mut buf).unwrap();
+        assert_eq!(buf.data[0], 7);
+    }
+
+    #[test]
+    fn allocation_costs_about_a_revolution() {
+        // §3.3: "This scheme costs a disk revolution each time a page is
+        // allocated or freed." The check pass and the label-write pass visit
+        // the same sector, so the second pass waits a full revolution minus
+        // one sector time, plus the transfer.
+        let mut d = drive();
+        let rev = d.timing().unwrap().revolution();
+        let start = d.clock().now();
+        allocate(&mut d, DiskAddress(0), live_label(0));
+        let elapsed = d.clock().now() - start;
+        // First pass: no seek, slot 0 at time 0, one sector time. Second
+        // pass: wait rev - sector, transfer sector. Total = rev + sector.
+        let sector = d.timing().unwrap().sector_time;
+        assert_eq!(elapsed, rev + sector);
+    }
+
+    #[test]
+    fn ordinary_write_costs_no_extra_revolution() {
+        // "On any other write the label is checked, at no cost in time."
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(0), live_label(0));
+        let sector = d.timing().unwrap().sector_time;
+        let rev = d.timing().unwrap().revolution();
+        // Overwrite the data of a *different* sector on the same track so
+        // there is no self-interference from just having passed it.
+        allocate(&mut d, DiskAddress(6), live_label(1));
+        let mut buf = SectorBuf::with_label(live_label(1));
+        buf.data = [9; crate::sector::DATA_WORDS];
+        let start = d.clock().now();
+        d.do_op(DiskAddress(6), SectorOp::WRITE, &mut buf).unwrap();
+        let dt = d.clock().now() - start;
+        // A single pass: rotational wait (< one revolution) + one sector.
+        assert!(dt < rev + sector);
+        assert!(dt >= sector);
+    }
+
+    #[test]
+    fn streaming_consecutive_sectors_has_no_rotational_loss() {
+        let mut d = drive();
+        // Pre-allocate sectors 0..12 (one full track).
+        for i in 0..12u16 {
+            allocate(&mut d, DiskAddress(i), live_label(i));
+        }
+        d.reset_stats();
+        // Wait for slot 0 and stream the track.
+        let t = d.timing().unwrap();
+        let wait = t.rotational_wait(d.clock().now(), 0);
+        d.clock().advance(wait);
+        let start = d.clock().now();
+        for i in 0..12u16 {
+            let mut buf = SectorBuf::with_label(live_label(i));
+            d.do_op(DiskAddress(i), SectorOp::READ, &mut buf).unwrap();
+        }
+        let elapsed = d.clock().now() - start;
+        assert_eq!(elapsed, t.revolution());
+        assert_eq!(d.stats().rotational_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn seek_charged_once_per_cylinder_move() {
+        let mut d = drive();
+        let g = d.geometry().unwrap();
+        let far = g.from_chs(crate::geometry::Chs {
+            cylinder: 100,
+            head: 0,
+            sector: 0,
+        });
+        let mut buf = SectorBuf::zeroed();
+        d.do_op(far, SectorOp::READ_ALL, &mut buf).unwrap();
+        assert_eq!(d.stats().seeks, 1);
+        assert_eq!(d.current_cylinder(), 100);
+        // Same cylinder again: no seek.
+        d.do_op(far, SectorOp::READ_ALL, &mut buf).unwrap();
+        assert_eq!(d.stats().seeks, 1);
+    }
+
+    #[test]
+    fn failed_check_counted_and_costs_the_pass() {
+        let mut d = drive();
+        let mut buf = SectorBuf::with_label(live_label(0));
+        let before = d.clock().now();
+        let err = d.do_op(DiskAddress(50), SectorOp::READ, &mut buf);
+        assert!(matches!(err, Err(DiskError::Check(_))));
+        assert_eq!(d.stats().failed_checks, 1);
+        // Time was still charged (the sector had to pass under the head).
+        assert!(d.clock().now() > before);
+    }
+
+    #[test]
+    fn damaged_sector_hard_errors_on_read() {
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(70), live_label(0));
+        d.pack_mut().unwrap().damage(DiskAddress(70));
+        let mut buf = SectorBuf::with_label(live_label(0));
+        let err = d.do_op(DiskAddress(70), SectorOp::READ, &mut buf);
+        assert_eq!(
+            err,
+            Err(DiskError::HardError {
+                da: DiskAddress(70),
+                part: SectorPart::Value
+            })
+        );
+        // The label was still readable, so the caller knows which page died.
+        assert_eq!(buf.decoded_label(), live_label(0));
+        // Label-only operations still work, so the Scavenger can quarantine.
+        let mut buf = SectorBuf::with_label(Label::BAD);
+        buf.data = [u16::MAX; crate::sector::DATA_WORDS];
+        d.do_op(DiskAddress(70), SectorOp::WRITE_LABEL, &mut buf)
+            .unwrap();
+        assert!(d
+            .pack()
+            .unwrap()
+            .sector(DiskAddress(70))
+            .unwrap()
+            .decoded_label()
+            .is_bad());
+    }
+
+    #[test]
+    fn unload_and_reload_pack_preserves_contents() {
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(10), live_label(0));
+        let pack = d.unload_pack().unwrap();
+        assert!(d.pack().is_none());
+        let mut d2 = DiskDrive::new(d.clock.clone(), Trace::new());
+        d2.load_pack(pack);
+        let mut buf = SectorBuf::with_label(live_label(0));
+        d2.do_op(DiskAddress(10), SectorOp::READ, &mut buf).unwrap();
+        assert_eq!(buf.data[0], 7);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(0), live_label(0));
+        let s = d.stats();
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.label_writes, 1);
+        assert!(s.busy_time() > SimTime::ZERO);
+        d.reset_stats();
+        assert_eq!(d.stats(), DriveStats::default());
+    }
+}

@@ -1,0 +1,244 @@
+//! Two-drive configurations (§2).
+//!
+//! "…one or two moving-head disk drives, each of which can store 2.5
+//! megabytes on a single removable pack." The Alto OS treated a two-drive
+//! system as one file system twice the size: the top of the disk-address
+//! space selects the drive. [`DualDrive`] is that adapter — another
+//! implementation of the abstract disk object (§2), built out of two
+//! [`DiskDrive`]s, with no special support needed anywhere above it.
+
+use alto_sim::{SimClock, Trace};
+
+use crate::drive::{Disk, DiskDrive};
+use crate::errors::DiskError;
+use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::sector::{SectorBuf, SectorOp};
+
+/// Two drives presented as one disk with twice the sectors.
+///
+/// Disk addresses `0 .. n` map to drive 0, `n .. 2n` to drive 1, where `n`
+/// is the per-drive sector count. Both packs must share a geometry, and
+/// the pack number reported is drive 0's (headers still self-identify per
+/// pack, so the Scavenger works unchanged).
+#[derive(Debug)]
+pub struct DualDrive {
+    drives: [DiskDrive; 2],
+    per_drive: u32,
+}
+
+impl DualDrive {
+    /// Combines two loaded drives.
+    ///
+    /// Returns an error if either drive is empty or the geometries differ.
+    pub fn new(drive0: DiskDrive, drive1: DiskDrive) -> Result<DualDrive, DiskError> {
+        let g0 = drive0.geometry()?;
+        let g1 = drive1.geometry()?;
+        if g0 != g1 {
+            return Err(DiskError::MalformedOp(
+                "dual-drive packs must share a geometry",
+            ));
+        }
+        if g0.sector_count() * 2 >= u16::MAX as u32 {
+            return Err(DiskError::MalformedOp(
+                "dual-drive address space exceeds 16-bit disk addresses",
+            ));
+        }
+        Ok(DualDrive {
+            per_drive: g0.sector_count(),
+            drives: [drive0, drive1],
+        })
+    }
+
+    /// Convenience: two freshly formatted packs on a shared timeline.
+    pub fn with_formatted_packs(
+        clock: SimClock,
+        trace: Trace,
+        model: crate::geometry::DiskModel,
+    ) -> DualDrive {
+        let d0 = DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), model, 1);
+        let d1 = DiskDrive::with_formatted_pack(clock, trace, model, 2);
+        DualDrive::new(d0, d1).expect("identical fresh packs")
+    }
+
+    /// The drive and local address for a global address.
+    fn route(&self, da: DiskAddress) -> (usize, DiskAddress) {
+        if (da.0 as u32) < self.per_drive {
+            (0, da)
+        } else {
+            (1, DiskAddress((da.0 as u32 - self.per_drive) as u16))
+        }
+    }
+
+    /// Access to one of the underlying drives (unit 0 or 1).
+    pub fn unit(&self, unit: usize) -> &DiskDrive {
+        &self.drives[unit]
+    }
+
+    /// Mutable access to one of the underlying drives.
+    pub fn unit_mut(&mut self, unit: usize) -> &mut DiskDrive {
+        &mut self.drives[unit]
+    }
+}
+
+impl Disk for DualDrive {
+    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
+        // Present double the cylinders: the linearized address space is
+        // what matters to the file system; CHS locality stays meaningful
+        // within each half.
+        let g = self.drives[0].geometry()?;
+        Ok(DiskGeometry {
+            cylinders: g.cylinders * 2,
+            heads: g.heads,
+            sectors: g.sectors,
+        })
+    }
+
+    fn pack_number(&self) -> Result<u16, DiskError> {
+        self.drives[0].pack_number()
+    }
+
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError> {
+        if da.is_nil() || (da.0 as u32) >= self.per_drive * 2 {
+            return Err(DiskError::InvalidAddress(da));
+        }
+        let (unit, local) = self.route(da);
+        // The physical sector self-identifies with its *pack's* number and
+        // its *local* address; translate the caller's global view on the
+        // way in (zero stays zero: it is the check wildcard) and back on
+        // the way out.
+        if buf.header[0] == self.drives[0].pack_number()? {
+            buf.header[0] = self.drives[unit].pack_number()?;
+        }
+        if buf.header[1] == da.0 && da.0 != 0 {
+            buf.header[1] = local.0;
+        }
+        let result = self.drives[unit].do_op(local, op, buf);
+        if result.is_ok() && buf.header[1] == local.0 {
+            buf.header[1] = da.0;
+        }
+        result
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.drives[0].clock()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.drives[0].trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DiskModel;
+    use crate::label::Label;
+    use crate::sector::DATA_WORDS;
+
+    fn dual() -> DualDrive {
+        DualDrive::with_formatted_packs(SimClock::new(), Trace::new(), DiskModel::Diablo31)
+    }
+
+    fn live_label(page: u16) -> Label {
+        Label {
+            fid: [3, 4],
+            version: 1,
+            page_number: page,
+            length: 512,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        }
+    }
+
+    fn allocate(d: &mut DualDrive, da: DiskAddress, label: Label) {
+        let mut buf = SectorBuf::with_label(Label::FREE);
+        d.do_op(da, SectorOp::CHECK_LABEL, &mut buf).unwrap();
+        let mut buf = SectorBuf::with_label(label);
+        buf.data = [7; DATA_WORDS];
+        d.do_op(da, SectorOp::WRITE_LABEL, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn double_the_address_space() {
+        let d = dual();
+        let g = d.geometry().unwrap();
+        assert_eq!(g.sector_count(), 2 * 4872);
+    }
+
+    #[test]
+    fn low_addresses_hit_unit_0_high_hit_unit_1() {
+        let mut d = dual();
+        allocate(&mut d, DiskAddress(10), live_label(0));
+        allocate(&mut d, DiskAddress(4872 + 10), live_label(1));
+        // The physical sectors landed on the right packs, self-identified
+        // with their local addresses.
+        let s0 = d.unit(0).pack().unwrap().sector(DiskAddress(10)).unwrap();
+        assert_eq!(s0.decoded_label().page_number, 0);
+        assert_eq!(s0.header, [1, 10]);
+        let s1 = d.unit(1).pack().unwrap().sector(DiskAddress(10)).unwrap();
+        assert_eq!(s1.decoded_label().page_number, 1);
+        assert_eq!(s1.header, [2, 10]);
+    }
+
+    #[test]
+    fn reads_come_back_through_global_addresses() {
+        let mut d = dual();
+        let global = DiskAddress(4872 + 99);
+        allocate(&mut d, global, live_label(3));
+        let mut buf = SectorBuf::with_label(live_label(3));
+        d.do_op(global, SectorOp::READ, &mut buf).unwrap();
+        assert_eq!(buf.data, [7; DATA_WORDS]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dual();
+        let mut buf = SectorBuf::zeroed();
+        assert!(matches!(
+            d.do_op(DiskAddress(2 * 4872), SectorOp::READ_ALL, &mut buf),
+            Err(DiskError::InvalidAddress(_))
+        ));
+        assert!(matches!(
+            d.do_op(DiskAddress::NIL, SectorOp::READ_ALL, &mut buf),
+            Err(DiskError::InvalidAddress(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_geometries_rejected() {
+        let clock = SimClock::new();
+        let d0 =
+            DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+        let d1 = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Trident, 2);
+        assert!(DualDrive::new(d0, d1).is_err());
+    }
+
+    #[test]
+    fn check_semantics_survive_routing() {
+        let mut d = dual();
+        let global = DiskAddress(4872 + 50);
+        allocate(&mut d, global, live_label(5));
+        // Wrong label bounces, on the far drive too.
+        let mut buf = SectorBuf::with_label(live_label(6));
+        assert!(matches!(
+            d.do_op(global, SectorOp::READ, &mut buf),
+            Err(DiskError::Check(_))
+        ));
+    }
+
+    #[test]
+    fn both_drives_share_the_timeline() {
+        let mut d = dual();
+        let t0 = d.clock().now();
+        allocate(&mut d, DiskAddress(0), live_label(0));
+        allocate(&mut d, DiskAddress(4872), live_label(1));
+        assert!(d.clock().now() > t0);
+        // Seeks on unit 1 do not move unit 0's arm.
+        assert_eq!(d.unit(0).current_cylinder(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Disk error types.
+
+use crate::geometry::DiskAddress;
+use std::fmt;
+
+/// The three independently addressable parts of a sector (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectorPart {
+    /// Pack number and disk address.
+    Header,
+    /// The seven-word label.
+    Label,
+    /// The 256 data words.
+    Value,
+}
+
+impl fmt::Display for SectorPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SectorPart::Header => "header",
+            SectorPart::Label => "label",
+            SectorPart::Value => "value",
+        })
+    }
+}
+
+/// Details of a failed check action.
+///
+/// The check compared `expected` (the memory word, non-zero hence not a
+/// wildcard) against `found` (the disk word) at `word_index` within `part`
+/// and they differed, so the whole sector operation was aborted (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// Sector at which the check failed.
+    pub da: DiskAddress,
+    /// Which part of the sector mismatched.
+    pub part: SectorPart,
+    /// Word offset of the first mismatch within the part.
+    pub word_index: usize,
+    /// The memory word the check demanded.
+    pub expected: u16,
+    /// The word actually on the disk.
+    pub found: u16,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "label check error at {}: {} word {} is {:#06x}, expected {:#06x}",
+            self.da, self.part, self.word_index, self.found, self.expected
+        )
+    }
+}
+
+/// Errors surfaced by the simulated drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// No pack is loaded in the drive.
+    NoPack,
+    /// The disk address does not exist on the loaded pack's geometry.
+    InvalidAddress(DiskAddress),
+    /// A check action found a mismatch and aborted the operation.
+    Check(CheckFailure),
+    /// The action sequence was malformed: a read or check followed a write,
+    /// violating "once a write is begun, it must continue through the rest
+    /// of the sector" (§3.3).
+    MalformedOp(&'static str),
+    /// An unrecoverable hardware read error (injected damage); the sector
+    /// should be quarantined by the Scavenger.
+    HardError {
+        /// Sector that failed.
+        da: DiskAddress,
+        /// Part in which the failure occurred.
+        part: SectorPart,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::NoPack => f.write_str("no pack loaded in drive"),
+            DiskError::InvalidAddress(da) => write!(f, "invalid disk address {da}"),
+            DiskError::Check(c) => c.fmt(f),
+            DiskError::MalformedOp(why) => write!(f, "malformed sector operation: {why}"),
+            DiskError::HardError { da, part } => {
+                write!(f, "unrecoverable read error at {da} ({part})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<CheckFailure> for DiskError {
+    fn from(c: CheckFailure) -> Self {
+        DiskError::Check(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_check_failure() {
+        let c = CheckFailure {
+            da: DiskAddress(7),
+            part: SectorPart::Label,
+            word_index: 2,
+            expected: 1,
+            found: 0xFFFF,
+        };
+        let s = c.to_string();
+        assert!(s.contains("DA[7]"));
+        assert!(s.contains("label"));
+        assert!(s.contains("word 2"));
+    }
+
+    #[test]
+    fn display_errors() {
+        assert!(DiskError::NoPack.to_string().contains("no pack"));
+        assert!(DiskError::InvalidAddress(DiskAddress::NIL)
+            .to_string()
+            .contains("nil"));
+        assert!(DiskError::MalformedOp("read after write")
+            .to_string()
+            .contains("read after write"));
+        let h = DiskError::HardError {
+            da: DiskAddress(3),
+            part: SectorPart::Value,
+        };
+        assert!(h.to_string().contains("unrecoverable"));
+    }
+
+    #[test]
+    fn from_check_failure() {
+        let c = CheckFailure {
+            da: DiskAddress(1),
+            part: SectorPart::Header,
+            word_index: 0,
+            expected: 5,
+            found: 6,
+        };
+        assert_eq!(DiskError::from(c), DiskError::Check(c));
+    }
+}

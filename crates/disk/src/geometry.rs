@@ -1,0 +1,284 @@
+//! Disk geometry: cylinders, heads, sectors, and disk addresses.
+//!
+//! A *disk address* (DA) is a single 16-bit word that uniquely names a
+//! physical sector on a pack (§3.1: "an address — one word which uniquely
+//! specifies a physical disk location"). The mapping from DA to
+//! cylinder/head/sector is a property of the drive model and is recorded in
+//! the *disk shape* portion of the disk descriptor so that the disk routines
+//! can be parameterized for a particular model of disk (§3.3).
+
+use std::fmt;
+
+/// A one-word physical disk address.
+///
+/// Values `0 .. geometry.sector_count()` name sectors; [`DiskAddress::NIL`]
+/// (all ones) is the distinguished "no such page" value used for the links
+/// of the first and last pages of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskAddress(pub u16);
+
+impl DiskAddress {
+    /// The distinguished nil address (no page).
+    pub const NIL: DiskAddress = DiskAddress(u16::MAX);
+
+    /// True if this is the nil address.
+    pub const fn is_nil(self) -> bool {
+        self.0 == u16::MAX
+    }
+
+    /// The raw word value.
+    pub const fn word(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for DiskAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nil() {
+            write!(f, "DA[nil]")
+        } else {
+            write!(f, "DA[{}]", self.0)
+        }
+    }
+}
+
+/// Cylinder / head / sector coordinates of a disk address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chs {
+    /// Cylinder (arm position), `0 .. cylinders`.
+    pub cylinder: u16,
+    /// Head (surface) within the cylinder.
+    pub head: u16,
+    /// Sector slot within the track.
+    pub sector: u16,
+}
+
+/// The shape of a disk: how many cylinders, heads and sectors it has.
+///
+/// The shape is *absolute* information recorded in the disk descriptor
+/// (§3.3) because software cannot discover it by reading labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskGeometry {
+    /// Number of cylinders (arm positions).
+    pub cylinders: u16,
+    /// Number of heads (recording surfaces).
+    pub heads: u16,
+    /// Number of sectors per track.
+    pub sectors: u16,
+}
+
+/// Number of words in the encoded disk-shape record.
+pub const SHAPE_WORDS: usize = 3;
+
+impl DiskGeometry {
+    /// Total number of sectors on a pack of this shape.
+    pub fn sector_count(&self) -> u32 {
+        self.cylinders as u32 * self.heads as u32 * self.sectors as u32
+    }
+
+    /// Formatted capacity in data bytes (256 words × 2 bytes per sector).
+    pub fn data_bytes(&self) -> u64 {
+        self.sector_count() as u64 * crate::sector::DATA_WORDS as u64 * 2
+    }
+
+    /// True if `da` names a sector on this disk.
+    pub fn contains(&self, da: DiskAddress) -> bool {
+        !da.is_nil() && (da.0 as u32) < self.sector_count()
+    }
+
+    /// Decomposes a disk address into cylinder/head/sector.
+    ///
+    /// Consecutive DAs run around a track, then to the next head of the same
+    /// cylinder, then to the next cylinder — the ordering that makes
+    /// "consecutive" files fast to read (§3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is nil or out of range; callers validate with
+    /// [`DiskGeometry::contains`] first.
+    pub fn to_chs(&self, da: DiskAddress) -> Chs {
+        assert!(self.contains(da), "disk address {da} out of range");
+        let v = da.0 as u32;
+        let per_cyl = self.heads as u32 * self.sectors as u32;
+        Chs {
+            cylinder: (v / per_cyl) as u16,
+            head: ((v % per_cyl) / self.sectors as u32) as u16,
+            sector: (v % self.sectors as u32) as u16,
+        }
+    }
+
+    /// Composes a disk address from cylinder/head/sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for this geometry.
+    pub fn from_chs(&self, chs: Chs) -> DiskAddress {
+        assert!(
+            chs.cylinder < self.cylinders && chs.head < self.heads && chs.sector < self.sectors,
+            "CHS {chs:?} out of range for {self:?}"
+        );
+        let per_cyl = self.heads as u32 * self.sectors as u32;
+        let v = chs.cylinder as u32 * per_cyl
+            + chs.head as u32 * self.sectors as u32
+            + chs.sector as u32;
+        DiskAddress(v as u16)
+    }
+
+    /// Encodes the shape as words for the disk descriptor.
+    pub fn encode(&self) -> [u16; SHAPE_WORDS] {
+        [self.cylinders, self.heads, self.sectors]
+    }
+
+    /// Decodes a shape from disk-descriptor words.
+    ///
+    /// Returns `None` if the shape is degenerate (any dimension zero) or
+    /// names more sectors than a 16-bit disk address can reach.
+    pub fn decode(words: &[u16; SHAPE_WORDS]) -> Option<DiskGeometry> {
+        let g = DiskGeometry {
+            cylinders: words[0],
+            heads: words[1],
+            sectors: words[2],
+        };
+        if g.cylinders == 0 || g.heads == 0 || g.sectors == 0 {
+            return None;
+        }
+        // DA = u16::MAX is reserved for NIL.
+        if g.sector_count() >= u16::MAX as u32 {
+            return None;
+        }
+        Some(g)
+    }
+}
+
+/// The drive models the system supports (§2).
+///
+/// `Diablo31` is the standard 2.5 MB drive the paper's numbers refer to.
+/// `Trident` stands in for the "disk with about twice the size and
+/// performance" (§2). `Diablo44` is a double-capacity variant retained for
+/// shape-parameterization tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskModel {
+    /// Diablo Model 31: 203 cylinders × 2 heads × 12 sectors ≈ 2.5 MB,
+    /// 40 ms/revolution.
+    Diablo31,
+    /// Diablo Model 44: twice the cylinders of the 31, same transfer rate.
+    Diablo44,
+    /// "Trident": twice the capacity *and* transfer rate of the Diablo 31.
+    Trident,
+}
+
+impl DiskModel {
+    /// The geometry of this model.
+    pub fn geometry(self) -> DiskGeometry {
+        match self {
+            DiskModel::Diablo31 => DiskGeometry {
+                cylinders: 203,
+                heads: 2,
+                sectors: 12,
+            },
+            DiskModel::Diablo44 => DiskGeometry {
+                cylinders: 406,
+                heads: 2,
+                sectors: 12,
+            },
+            DiskModel::Trident => DiskGeometry {
+                cylinders: 203,
+                heads: 2,
+                sectors: 24,
+            },
+        }
+    }
+
+    /// The timing model for this drive.
+    pub fn timing(self) -> crate::timing::TimingModel {
+        crate::timing::TimingModel::for_model(self)
+    }
+
+    /// Human-readable model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskModel::Diablo31 => "Diablo 31",
+            DiskModel::Diablo44 => "Diablo 44",
+            DiskModel::Trident => "Trident",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diablo31_is_two_and_a_half_megabytes() {
+        let g = DiskModel::Diablo31.geometry();
+        assert_eq!(g.sector_count(), 4872);
+        // 4872 sectors × 512 data bytes = 2,494,464 bytes ≈ 2.5 MB.
+        assert_eq!(g.data_bytes(), 2_494_464);
+    }
+
+    #[test]
+    fn trident_doubles_capacity() {
+        let d = DiskModel::Diablo31.geometry();
+        let t = DiskModel::Trident.geometry();
+        assert_eq!(t.data_bytes(), 2 * d.data_bytes());
+    }
+
+    #[test]
+    fn chs_round_trip_all_addresses() {
+        let g = DiskModel::Diablo31.geometry();
+        for da in 0..g.sector_count() as u16 {
+            let da = DiskAddress(da);
+            let chs = g.to_chs(da);
+            assert_eq!(g.from_chs(chs), da);
+        }
+    }
+
+    #[test]
+    fn consecutive_das_stream_around_the_track() {
+        let g = DiskModel::Diablo31.geometry();
+        let a = g.to_chs(DiskAddress(0));
+        let b = g.to_chs(DiskAddress(11));
+        let c = g.to_chs(DiskAddress(12));
+        let d = g.to_chs(DiskAddress(24));
+        assert_eq!((a.cylinder, a.head, a.sector), (0, 0, 0));
+        assert_eq!((b.cylinder, b.head, b.sector), (0, 0, 11));
+        assert_eq!((c.cylinder, c.head, c.sector), (0, 1, 0));
+        assert_eq!((d.cylinder, d.head, d.sector), (1, 0, 0));
+    }
+
+    #[test]
+    fn nil_address() {
+        assert!(DiskAddress::NIL.is_nil());
+        assert!(!DiskAddress(0).is_nil());
+        let g = DiskModel::Diablo31.geometry();
+        assert!(!g.contains(DiskAddress::NIL));
+        assert!(g.contains(DiskAddress(0)));
+        assert!(g.contains(DiskAddress(4871)));
+        assert!(!g.contains(DiskAddress(4872)));
+    }
+
+    #[test]
+    fn shape_encode_decode() {
+        let g = DiskModel::Trident.geometry();
+        let w = g.encode();
+        assert_eq!(DiskGeometry::decode(&w), Some(g));
+        assert_eq!(DiskGeometry::decode(&[0, 2, 12]), None);
+        assert_eq!(DiskGeometry::decode(&[203, 0, 12]), None);
+        assert_eq!(DiskGeometry::decode(&[203, 2, 0]), None);
+        // Too many sectors for a 16-bit DA.
+        assert_eq!(DiskGeometry::decode(&[6000, 2, 12]), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DiskAddress(17).to_string(), "DA[17]");
+        assert_eq!(DiskAddress::NIL.to_string(), "DA[nil]");
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(DiskModel::Diablo31.name(), "Diablo 31");
+        assert_eq!(DiskModel::Diablo44.name(), "Diablo 44");
+        assert_eq!(DiskModel::Trident.name(), "Trident");
+    }
+}

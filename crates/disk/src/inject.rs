@@ -1,0 +1,250 @@
+//! Fault injection for robustness experiments (E8).
+//!
+//! The paper's robustness claims ("accidental overwriting of a page \[is\]
+//! quite unlikely", §3.3; "full automatic recovery after a crash", §6) are
+//! exercised by injecting the failures a real Alto suffered: torn writes
+//! (power failed mid-sector), dropped writes (controller wrote nothing), and
+//! label corruption (a wild program scribbled the medium while the OS's
+//! in-memory structures were stale).
+//!
+//! Faults are *armed* one-shot against a disk address; the next matching
+//! write operation through the drive triggers them. This keeps campaigns
+//! deterministic — experiments arm faults from a seeded PRNG.
+
+use std::collections::HashMap;
+
+use crate::errors::DiskError;
+use crate::geometry::DiskAddress;
+use crate::sector::{apply, Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
+
+/// A kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write is torn: header/label actions complete, but only the first
+    /// `words_written` data words reach the medium (power failure
+    /// mid-sector). The operation *appears* to succeed.
+    TornWrite {
+        /// Number of data words that made it to the medium.
+        words_written: usize,
+    },
+    /// The write is silently dropped: nothing reaches the medium but the
+    /// operation appears to succeed (a lost write).
+    DropWrite,
+    /// The label is corrupted as it is written: the stored label word at
+    /// `word` is XORed with `xor`.
+    CorruptLabelWrite {
+        /// Which of the seven label words to damage.
+        word: usize,
+        /// Bits to flip.
+        xor: u16,
+    },
+}
+
+/// One-shot fault injector consulted by the drive on every operation.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    armed: HashMap<u16, FaultKind>,
+    /// Count of faults that have fired.
+    fired: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with nothing armed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Arms a one-shot fault against the next *write* operation at `da`.
+    /// Re-arming replaces any previously armed fault at that address.
+    pub fn arm(&mut self, da: DiskAddress, fault: FaultKind) {
+        self.armed.insert(da.0, fault);
+    }
+
+    /// Disarms any fault at `da`.
+    pub fn disarm(&mut self, da: DiskAddress) {
+        self.armed.remove(&da.0);
+    }
+
+    /// Number of armed faults not yet fired.
+    pub fn armed_count(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Number of faults that have fired since creation.
+    pub fn fired_count(&self) -> u64 {
+        self.fired
+    }
+
+    /// Called by the drive for every operation. Returns `Some(result)` if a
+    /// fault fired and fully handled the operation, or `None` if the drive
+    /// should apply the operation normally.
+    pub fn apply(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        sector: &mut Sector,
+        buf: &mut SectorBuf,
+    ) -> Option<Result<(), DiskError>> {
+        if !op.writes() {
+            return None;
+        }
+        let fault = self.armed.remove(&da.0)?;
+        self.fired += 1;
+        Some(match fault {
+            FaultKind::DropWrite => {
+                // Perform reads/checks as normal but discard all writes: run
+                // the op against a scratch copy of the sector.
+                let mut scratch = sector.clone();
+                apply(op, da, &mut scratch, buf)
+            }
+            FaultKind::TornWrite { words_written } => {
+                let keep: Vec<u16> = sector.data[words_written.min(DATA_WORDS)..].to_vec();
+                let result = apply(op, da, sector, buf);
+                if result.is_ok() && op.value == Action::Write {
+                    // Tail of the value part never reached the medium.
+                    let cut = words_written.min(DATA_WORDS);
+                    sector.data[cut..].copy_from_slice(&keep);
+                }
+                result
+            }
+            FaultKind::CorruptLabelWrite { word, xor } => {
+                let result = apply(op, da, sector, buf);
+                if result.is_ok() && op.label == Action::Write {
+                    let w = word % crate::label::LABEL_WORDS;
+                    sector.label[w] ^= xor;
+                }
+                result
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn live_label() -> Label {
+        Label {
+            fid: [1, 2],
+            version: 1,
+            page_number: 0,
+            length: 512,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        }
+    }
+
+    fn allocated_sector(da: DiskAddress) -> Sector {
+        let mut s = Sector::formatted(1, da);
+        s.label = live_label().encode();
+        s.data = [1; DATA_WORDS];
+        s
+    }
+
+    #[test]
+    fn read_ops_never_trigger_faults() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(da, FaultKind::DropWrite);
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        assert!(inj.apply(da, SectorOp::READ, &mut s, &mut b).is_none());
+        assert_eq!(inj.armed_count(), 1);
+        assert_eq!(inj.fired_count(), 0);
+    }
+
+    #[test]
+    fn drop_write_loses_the_data_but_reports_success() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(da, FaultKind::DropWrite);
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        b.header = [1, 5];
+        b.data = [9; DATA_WORDS];
+        let r = inj.apply(da, SectorOp::WRITE, &mut s, &mut b).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(s.data, [1; DATA_WORDS], "medium unchanged");
+        assert_eq!(inj.fired_count(), 1);
+        assert_eq!(inj.armed_count(), 0);
+    }
+
+    #[test]
+    fn torn_write_stops_mid_value() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(da, FaultKind::TornWrite { words_written: 100 });
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        b.header = [1, 5];
+        b.data = [9; DATA_WORDS];
+        let r = inj.apply(da, SectorOp::WRITE, &mut s, &mut b).unwrap();
+        assert!(r.is_ok());
+        assert!(s.data[..100].iter().all(|&w| w == 9));
+        assert!(s.data[100..].iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn corrupt_label_write_flips_bits() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(
+            da,
+            FaultKind::CorruptLabelWrite {
+                word: 3,
+                xor: 0x0001,
+            },
+        );
+        let mut s = Sector::formatted(1, da);
+        let mut b = SectorBuf::with_label(live_label());
+        b.header = [1, 5];
+        b.data = [9; DATA_WORDS];
+        // Write the label as an allocation would.
+        let op = SectorOp::WRITE_LABEL;
+        let r = inj.apply(da, op, &mut s, &mut b).unwrap();
+        assert!(r.is_ok());
+        let stored = s.decoded_label();
+        assert_eq!(stored.page_number, live_label().page_number ^ 1);
+    }
+
+    #[test]
+    fn fault_is_one_shot() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(da, FaultKind::DropWrite);
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        b.header = [1, 5];
+        b.data = [9; DATA_WORDS];
+        assert!(inj.apply(da, SectorOp::WRITE, &mut s, &mut b).is_some());
+        // Second write goes through.
+        assert!(inj.apply(da, SectorOp::WRITE, &mut s, &mut b).is_none());
+    }
+
+    #[test]
+    fn torn_write_failing_check_writes_nothing() {
+        // Even a torn write respects check-before-write: if the label check
+        // fails, the medium is untouched and the tear is irrelevant.
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm(da, FaultKind::TornWrite { words_written: 10 });
+        let mut s = allocated_sector(da);
+        let before = s.clone();
+        let mut wrong = live_label();
+        wrong.version = 9;
+        let mut b = SectorBuf::with_label(wrong);
+        b.data = [9; DATA_WORDS];
+        let r = inj.apply(da, SectorOp::WRITE, &mut s, &mut b).unwrap();
+        assert!(r.is_err());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn disarm_removes_fault() {
+        let mut inj = FaultInjector::new();
+        inj.arm(DiskAddress(1), FaultKind::DropWrite);
+        inj.disarm(DiskAddress(1));
+        assert_eq!(inj.armed_count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The seven-word sector label (§3.1).
+//!
+//! The label carries the page's *absolute* name — file identifier `F`
+//! (two words), version `V`, page number `PN` — plus the byte length `L`
+//! and the *hint* links `NL`/`PL` to the next and previous pages of the
+//! file. Free sectors carry an all-ones label so that any attempt to treat
+//! them as part of a file fails with a label check error (§3.3).
+
+use crate::geometry::DiskAddress;
+
+/// Number of words in a sector label.
+pub const LABEL_WORDS: usize = 7;
+
+/// Maximum number of data bytes a page can hold (256 words).
+pub const MAX_PAGE_BYTES: u16 = 512;
+
+/// The in-memory form of a sector label.
+///
+/// Field classification per §3.1: `fid`, `version`, `page_number` and
+/// `length` are *absolutes* (A); `next` and `prev` are *hints* (H),
+/// reconstructible by the Scavenger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label {
+    /// `F`: two-word file identifier (a serial number).
+    pub fid: [u16; 2],
+    /// `V`: file version number.
+    pub version: u16,
+    /// `PN`: page number within the file (0 is the leader page).
+    pub page_number: u16,
+    /// `L`: number of data bytes in this page (0..=512).
+    pub length: u16,
+    /// `NL`: disk address of page `PN + 1`, or NIL.
+    pub next: DiskAddress,
+    /// `PL`: disk address of page `PN - 1`, or NIL.
+    pub prev: DiskAddress,
+}
+
+impl Label {
+    /// The label of a free sector: all ones (§3.3 — "ones are written into
+    /// label and value").
+    pub const FREE: Label = Label {
+        fid: [u16::MAX, u16::MAX],
+        version: u16::MAX,
+        page_number: u16::MAX,
+        length: u16::MAX,
+        next: DiskAddress::NIL,
+        prev: DiskAddress::NIL,
+    };
+
+    /// The version value reserved to mark permanently bad pages so they are
+    /// never used again (§3.5 — "marked in the label with a special value").
+    pub const BAD_VERSION: u16 = 0xFFFE;
+
+    /// The label that quarantines a permanently bad sector.
+    pub const BAD: Label = Label {
+        fid: [u16::MAX, u16::MAX],
+        version: Label::BAD_VERSION,
+        page_number: u16::MAX,
+        length: u16::MAX,
+        next: DiskAddress::NIL,
+        prev: DiskAddress::NIL,
+    };
+
+    /// True if this is the free-sector label.
+    pub fn is_free(&self) -> bool {
+        *self == Label::FREE
+    }
+
+    /// True if this label quarantines a bad sector.
+    pub fn is_bad(&self) -> bool {
+        self.version == Label::BAD_VERSION && self.fid == [u16::MAX, u16::MAX]
+    }
+
+    /// True if this label belongs to a live file page (neither free nor bad).
+    pub fn is_in_use(&self) -> bool {
+        !self.is_free() && !self.is_bad()
+    }
+
+    /// Encodes the label into its seven-word disk representation.
+    pub fn encode(&self) -> [u16; LABEL_WORDS] {
+        [
+            self.fid[0],
+            self.fid[1],
+            self.version,
+            self.page_number,
+            self.length,
+            self.next.0,
+            self.prev.0,
+        ]
+    }
+
+    /// Decodes a label from its seven-word disk representation.
+    pub fn decode(words: &[u16; LABEL_WORDS]) -> Label {
+        Label {
+            fid: [words[0], words[1]],
+            version: words[2],
+            page_number: words[3],
+            length: words[4],
+            next: DiskAddress(words[5]),
+            prev: DiskAddress(words[6]),
+        }
+    }
+
+    /// A check pattern that matches *any* label (all wildcards).
+    ///
+    /// A memory word of 0 is a wildcard in a check action (§3.3), so the
+    /// all-zero label pattern matches every label and is the "read the label,
+    /// whatever it is" idiom used by the Scavenger.
+    pub const WILDCARD: Label = Label {
+        fid: [0, 0],
+        version: 0,
+        page_number: 0,
+        length: 0,
+        next: DiskAddress(0),
+        prev: DiskAddress(0),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Label {
+        Label {
+            fid: [0x1234, 0x5678],
+            version: 1,
+            page_number: 3,
+            length: 512,
+            next: DiskAddress(99),
+            prev: DiskAddress(97),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let l = sample();
+        assert_eq!(Label::decode(&l.encode()), l);
+        assert_eq!(Label::decode(&Label::FREE.encode()), Label::FREE);
+        assert_eq!(Label::decode(&Label::BAD.encode()), Label::BAD);
+    }
+
+    #[test]
+    fn free_label_is_all_ones() {
+        assert!(Label::FREE.encode().iter().all(|&w| w == u16::MAX));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Label::FREE.is_free());
+        assert!(!Label::FREE.is_bad());
+        assert!(!Label::FREE.is_in_use());
+        assert!(Label::BAD.is_bad());
+        assert!(!Label::BAD.is_free());
+        assert!(!Label::BAD.is_in_use());
+        assert!(sample().is_in_use());
+        assert!(!sample().is_free());
+        assert!(!sample().is_bad());
+    }
+
+    #[test]
+    fn bad_label_differs_from_free_only_in_version() {
+        let bad = Label::BAD.encode();
+        let free = Label::FREE.encode();
+        assert_ne!(bad[2], free[2]);
+        assert_eq!(&bad[..2], &free[..2]);
+        assert_eq!(&bad[3..], &free[3..]);
+    }
+
+    #[test]
+    fn a_live_file_never_collides_with_bad_version() {
+        // File systems must not assign version 0xFFFE; documented invariant.
+        let mut l = sample();
+        l.version = Label::BAD_VERSION;
+        // Even so, is_bad also requires the all-ones fid, so a file page
+        // with that version is not misclassified.
+        assert!(!l.is_bad());
+    }
+
+    #[test]
+    fn wildcard_is_all_zero() {
+        assert!(Label::WILDCARD.encode().iter().all(|&w| w == 0));
+    }
+}

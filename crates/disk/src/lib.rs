@@ -1,0 +1,50 @@
+//! Sector-accurate simulation of the Alto disk subsystem.
+//!
+//! This crate models the moving-head disks of Lampson & Sproull's *An Open
+//! Operating System for a Single-User Machine* (SOSP 1979) at the level the
+//! paper's robustness argument depends on:
+//!
+//! * A **sector** has three parts — a 2-word *header* (pack number and disk
+//!   address), a 7-word *label* (file id, version, page number, length, and
+//!   forward/backward links) and a 256-word *value* (§3.1, §3.3).
+//! * A single disk operation performs a **read, check or write action
+//!   independently on each part**, with the restriction that once a write is
+//!   begun it must continue through the rest of the sector (§3.3).
+//! * A **check** compares disk words with memory words and aborts the whole
+//!   operation on mismatch — except that a memory word of 0 is a wildcard
+//!   that is replaced by the disk word, making check a simple pattern match
+//!   (§3.3).
+//!
+//! Every operation charges seek time, rotational latency and transfer time
+//! to a shared [`alto_sim::SimClock`], using published Diablo Model 31
+//! parameters (40 ms/revolution, 12 sectors/track, 203 cylinders × 2 heads —
+//! 2.5 MB per pack, ≈76.8 K words/s streaming). The one-revolution cost of
+//! the label discipline on page allocate/free (§3.3) falls out of the timing
+//! model rather than being hard-coded.
+//!
+//! Packs are removable and serializable ([`DiskPack::to_image`]), so file
+//! systems survive across simulated machines — the openness property the
+//! paper builds on. Fault injection ([`inject`]) supports the robustness
+//! experiments (E8): smashed labels, torn writes, bit rot.
+
+pub mod ablation;
+pub mod drive;
+pub mod dual;
+pub mod errors;
+pub mod geometry;
+pub mod inject;
+pub mod label;
+pub mod pack;
+pub mod sector;
+pub mod timing;
+
+pub use ablation::UncheckedDisk;
+pub use drive::{Disk, DiskDrive, DriveStats};
+pub use dual::DualDrive;
+pub use errors::{CheckFailure, DiskError, SectorPart};
+pub use geometry::{DiskAddress, DiskGeometry, DiskModel};
+pub use inject::{FaultInjector, FaultKind};
+pub use label::{Label, LABEL_WORDS};
+pub use pack::{DiskPack, PackImageError};
+pub use sector::{Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
+pub use timing::TimingModel;

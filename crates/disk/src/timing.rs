@@ -1,0 +1,210 @@
+//! Drive timing model: seeks, rotation, and sector transfers.
+//!
+//! The Diablo Model 31 parameters reproduce the paper's numbers: a 2.5 MB
+//! pack that "can transfer 64k words in about one second" (§2), and the
+//! one-revolution cost of re-visiting a sector just passed (which is what
+//! makes page allocate/free cost a revolution, §3.3).
+//!
+//! The spindle is shared by all surfaces, so the rotational position is a
+//! pure function of the simulated time: sector slot `k` is under the heads
+//! during `[k·Tₛ, (k+1)·Tₛ)` modulo the revolution. A transfer must begin
+//! exactly at a slot boundary; the drive waits for the target slot, then
+//! spends one sector time on the transfer. Consecutive sectors on a track
+//! therefore stream with no rotational loss.
+
+use alto_sim::SimTime;
+
+use crate::geometry::DiskModel;
+
+/// Timing parameters for a drive model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Time for one sector slot to pass under the heads.
+    pub sector_time: SimTime,
+    /// Sectors per track (must match the geometry).
+    pub sectors_per_track: u16,
+    /// Seek time for a one-cylinder move.
+    pub seek_min: SimTime,
+    /// Seek time for a full-stroke move.
+    pub seek_max: SimTime,
+    /// Number of cylinders (for the full stroke).
+    pub cylinders: u16,
+}
+
+impl TimingModel {
+    /// The timing model for a drive.
+    pub fn for_model(model: DiskModel) -> TimingModel {
+        match model {
+            // Diablo 31: 40 ms/rev (1500 rpm), 12 sectors; seeks 15 ms
+            // track-to-track, 135 ms full stroke.
+            DiskModel::Diablo31 => TimingModel {
+                sector_time: SimTime::from_nanos(3_333_333),
+                sectors_per_track: 12,
+                seek_min: SimTime::from_millis(15),
+                seek_max: SimTime::from_millis(135),
+                cylinders: 203,
+            },
+            // Diablo 44: same transfer rate, twice the cylinders.
+            DiskModel::Diablo44 => TimingModel {
+                sector_time: SimTime::from_nanos(3_333_333),
+                sectors_per_track: 12,
+                seek_min: SimTime::from_millis(15),
+                seek_max: SimTime::from_millis(135),
+                cylinders: 406,
+            },
+            // Trident: twice the sectors per revolution at the same spin
+            // rate — twice the streaming rate — and a faster actuator.
+            DiskModel::Trident => TimingModel {
+                sector_time: SimTime::from_nanos(1_666_666),
+                sectors_per_track: 24,
+                seek_min: SimTime::from_millis(10),
+                seek_max: SimTime::from_millis(100),
+                cylinders: 203,
+            },
+        }
+    }
+
+    /// One full revolution.
+    pub fn revolution(&self) -> SimTime {
+        self.sector_time.scaled(self.sectors_per_track as u64)
+    }
+
+    /// Seek time to move the arm across `distance` cylinders (0 = no move).
+    ///
+    /// Linear interpolation between the track-to-track and full-stroke
+    /// times, which is within a few percent of the published Diablo curve.
+    pub fn seek(&self, distance: u16) -> SimTime {
+        if distance == 0 {
+            return SimTime::ZERO;
+        }
+        // Interpolate between distance 1 (seek_min) and the full stroke of
+        // `cylinders - 1` (seek_max).
+        let longest = (self.cylinders.max(3) as u64 - 1) - 1;
+        let span = self.seek_max.as_nanos() - self.seek_min.as_nanos();
+        let extra = span * (distance as u64 - 1) / longest;
+        SimTime::from_nanos(self.seek_min.as_nanos() + extra)
+    }
+
+    /// The sector slot under the heads at simulated time `now`.
+    pub fn slot_at(&self, now: SimTime) -> u16 {
+        ((now.as_nanos() / self.sector_time.as_nanos()) % self.sectors_per_track as u64) as u16
+    }
+
+    /// Time to wait from `now` until the start of sector slot `target`.
+    ///
+    /// If `now` is exactly at the start of `target`'s slot the wait is zero;
+    /// if the slot has just passed, the wait is nearly a full revolution —
+    /// which is precisely the §3.3 cost of the check-then-write label
+    /// discipline on allocation and free.
+    pub fn rotational_wait(&self, now: SimTime, target: u16) -> SimTime {
+        debug_assert!(target < self.sectors_per_track);
+        let st = self.sector_time.as_nanos();
+        let rev = self.revolution().as_nanos();
+        let pos_in_rev = now.as_nanos() % rev;
+        let target_start = target as u64 * st;
+        let wait = if target_start >= pos_in_rev {
+            target_start - pos_in_rev
+        } else {
+            rev - pos_in_rev + target_start
+        };
+        SimTime::from_nanos(wait)
+    }
+
+    /// Streaming transfer rate in 16-bit words per second (data words only).
+    pub fn words_per_second(&self) -> f64 {
+        let words_per_rev = self.sectors_per_track as f64 * crate::sector::DATA_WORDS as f64;
+        words_per_rev / self.revolution().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diablo31_revolution_is_forty_ms() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        // 12 × 3.333333 ms = 39.999996 ms ≈ 40 ms.
+        assert_eq!(t.revolution().as_nanos(), 39_999_996);
+    }
+
+    #[test]
+    fn diablo31_streams_64k_words_in_about_a_second() {
+        // §2: "can transfer 64k words in about one second".
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        let rate = t.words_per_second();
+        let secs = 65_536.0 / rate;
+        assert!((0.8..1.0).contains(&secs), "64K words took {secs} s");
+    }
+
+    #[test]
+    fn trident_doubles_the_rate() {
+        let d = TimingModel::for_model(DiskModel::Diablo31);
+        let t = TimingModel::for_model(DiskModel::Trident);
+        let ratio = t.words_per_second() / d.words_per_second();
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn seek_endpoints() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        assert_eq!(t.seek(0), SimTime::ZERO);
+        assert_eq!(t.seek(1), SimTime::from_millis(15));
+        assert_eq!(t.seek(202), SimTime::from_millis(135));
+        // Monotone in distance.
+        let mut last = SimTime::ZERO;
+        for d in 1..=202 {
+            let s = t.seek(d);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn rotational_wait_zero_at_slot_start() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        let st = t.sector_time;
+        assert_eq!(t.rotational_wait(SimTime::ZERO, 0), SimTime::ZERO);
+        assert_eq!(t.rotational_wait(st, 1), SimTime::ZERO);
+        assert_eq!(t.rotational_wait(st.scaled(5), 5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn rotational_wait_nearly_a_revolution_for_just_missed_slot() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        // At the end of slot 3's transfer we sit at the start of slot 4;
+        // going back to slot 3 costs rev - sector_time... actually a full
+        // revolution minus one sector time.
+        let now = t.sector_time.scaled(4);
+        let wait = t.rotational_wait(now, 3);
+        assert_eq!(
+            wait.as_nanos(),
+            t.revolution().as_nanos() - t.sector_time.as_nanos()
+        );
+        // Re-reading the *same* slot just finished costs a full revolution
+        // minus nothing: slot 4 start is now, so target 4 waits 0, but
+        // target 3 (just passed) is the expensive case asserted above.
+        assert_eq!(t.rotational_wait(now, 4), SimTime::ZERO);
+    }
+
+    #[test]
+    fn slot_at_advances_with_time() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        assert_eq!(t.slot_at(SimTime::ZERO), 0);
+        assert_eq!(t.slot_at(t.sector_time), 1);
+        assert_eq!(t.slot_at(t.revolution()), 0);
+        assert_eq!(t.slot_at(t.revolution() + t.sector_time.scaled(7)), 7);
+    }
+
+    #[test]
+    fn wait_then_transfer_is_always_less_than_two_revolutions() {
+        let t = TimingModel::for_model(DiskModel::Diablo31);
+        for offset_us in [0u64, 1, 100, 3333, 40_000, 123_456] {
+            let now = SimTime::from_micros(offset_us);
+            for target in 0..12 {
+                let wait = t.rotational_wait(now, target);
+                assert!(wait < t.revolution());
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The page allocation map (§3.3).
+//!
+//! The disk descriptor holds "the allocation map, a bit table indicating
+//! which pages are free". The map is a **hint**: the absolute information
+//! about which pages are free is in the labels. A page improperly marked
+//! free costs a little extra one-time disk activity (the label check fails
+//! and the allocator is called again); a page improperly marked busy is a
+//! lost page until the Scavenger recovers it.
+
+use alto_disk::DiskAddress;
+
+/// A bit table over disk addresses. Set bit = busy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMap {
+    bits: Vec<u64>,
+    len: u32,
+    free: u32,
+}
+
+impl BitMap {
+    /// A map of `len` pages, all free.
+    pub fn all_free(len: u32) -> BitMap {
+        BitMap {
+            bits: vec![0; (len as usize).div_ceil(64)],
+            len,
+            free: len,
+        }
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the map tracks no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages currently marked free.
+    pub fn free_count(&self) -> u32 {
+        self.free
+    }
+
+    /// True if `da` is marked busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is out of range.
+    pub fn is_busy(&self, da: DiskAddress) -> bool {
+        assert!((da.0 as u32) < self.len, "bitmap index {da} out of range");
+        self.bits[da.0 as usize / 64] & (1 << (da.0 % 64)) != 0
+    }
+
+    /// Marks `da` busy; returns whether it was previously free.
+    pub fn set_busy(&mut self, da: DiskAddress) -> bool {
+        let was_free = !self.is_busy(da);
+        if was_free {
+            self.bits[da.0 as usize / 64] |= 1 << (da.0 % 64);
+            self.free -= 1;
+        }
+        was_free
+    }
+
+    /// Marks `da` free; returns whether it was previously busy.
+    pub fn set_free(&mut self, da: DiskAddress) -> bool {
+        let was_busy = self.is_busy(da);
+        if was_busy {
+            self.bits[da.0 as usize / 64] &= !(1 << (da.0 % 64));
+            self.free += 1;
+        }
+        was_busy
+    }
+
+    /// Finds the first free page at or after `start`, wrapping around.
+    pub fn find_free_from(&self, start: DiskAddress) -> Option<DiskAddress> {
+        if self.free == 0 {
+            return None;
+        }
+        let n = self.len;
+        let start = (start.0 as u32).min(n.saturating_sub(1));
+        for offset in 0..n {
+            let i = ((start + offset) % n) as u16;
+            if !self.is_busy(DiskAddress(i)) {
+                return Some(DiskAddress(i));
+            }
+        }
+        None
+    }
+
+    /// Finds a run of `run` consecutive free pages, searching from address
+    /// 0; used by the compacting scavenger to place files consecutively.
+    pub fn find_free_run(&self, run: u32) -> Option<DiskAddress> {
+        if run == 0 || run > self.free {
+            return None;
+        }
+        let mut count = 0u32;
+        for i in 0..self.len {
+            if self.is_busy(DiskAddress(i as u16)) {
+                count = 0;
+            } else {
+                count += 1;
+                if count == run {
+                    return Some(DiskAddress((i + 1 - run) as u16));
+                }
+            }
+        }
+        None
+    }
+
+    /// Serializes to 16-bit words (for the descriptor file).
+    pub fn to_words(&self) -> Vec<u16> {
+        let word_count = (self.len as usize).div_ceil(16);
+        (0..word_count)
+            .map(|w| {
+                let chunk = self.bits[w / 4];
+                (chunk >> ((w % 4) * 16)) as u16
+            })
+            .collect()
+    }
+
+    /// Deserializes from 16-bit words.
+    pub fn from_words(len: u32, words: &[u16]) -> BitMap {
+        let mut map = BitMap::all_free(len);
+        for i in 0..len {
+            let w = words.get(i as usize / 16).copied().unwrap_or(0);
+            if w & (1 << (i % 16)) != 0 {
+                map.set_busy(DiskAddress(i as u16));
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_all_free() {
+        let m = BitMap::all_free(100);
+        assert_eq!(m.free_count(), 100);
+        assert!(!m.is_busy(DiskAddress(0)));
+        assert!(!m.is_busy(DiskAddress(99)));
+    }
+
+    #[test]
+    fn busy_free_round_trip() {
+        let mut m = BitMap::all_free(100);
+        assert!(m.set_busy(DiskAddress(5)));
+        assert!(m.is_busy(DiskAddress(5)));
+        assert_eq!(m.free_count(), 99);
+        // Idempotent.
+        assert!(!m.set_busy(DiskAddress(5)));
+        assert_eq!(m.free_count(), 99);
+        assert!(m.set_free(DiskAddress(5)));
+        assert_eq!(m.free_count(), 100);
+        assert!(!m.set_free(DiskAddress(5)));
+    }
+
+    #[test]
+    fn find_free_from_wraps() {
+        let mut m = BitMap::all_free(10);
+        for i in 3..10 {
+            m.set_busy(DiskAddress(i));
+        }
+        // Searching from 5 wraps to 0.
+        assert_eq!(m.find_free_from(DiskAddress(5)), Some(DiskAddress(0)));
+        assert_eq!(m.find_free_from(DiskAddress(1)), Some(DiskAddress(1)));
+    }
+
+    #[test]
+    fn find_free_from_full_map() {
+        let mut m = BitMap::all_free(4);
+        for i in 0..4 {
+            m.set_busy(DiskAddress(i));
+        }
+        assert_eq!(m.find_free_from(DiskAddress(0)), None);
+    }
+
+    #[test]
+    fn find_free_run_finds_gaps() {
+        let mut m = BitMap::all_free(20);
+        m.set_busy(DiskAddress(3));
+        m.set_busy(DiskAddress(10));
+        // Free runs: [0..3) len 3, [4..10) len 6, [11..20) len 9.
+        assert_eq!(m.find_free_run(3), Some(DiskAddress(0)));
+        assert_eq!(m.find_free_run(4), Some(DiskAddress(4)));
+        assert_eq!(m.find_free_run(7), Some(DiskAddress(11)));
+        assert_eq!(m.find_free_run(9), Some(DiskAddress(11)));
+        assert_eq!(m.find_free_run(10), None);
+        assert_eq!(m.find_free_run(0), None);
+    }
+
+    #[test]
+    fn word_serialization_round_trip() {
+        let mut m = BitMap::all_free(100);
+        for i in [0u16, 15, 16, 17, 63, 64, 99] {
+            m.set_busy(DiskAddress(i));
+        }
+        let words = m.to_words();
+        assert_eq!(words.len(), 7); // ceil(100/16)
+        let back = BitMap::from_words(100, &words);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn diablo31_sized_map() {
+        let mut m = BitMap::all_free(4872);
+        assert_eq!(m.to_words().len(), 305);
+        m.set_busy(DiskAddress(4871));
+        let back = BitMap::from_words(4872, &m.to_words());
+        assert!(back.is_busy(DiskAddress(4871)));
+        assert_eq!(back.free_count(), 4871);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitMap::all_free(10).is_busy(DiskAddress(10));
+    }
+}

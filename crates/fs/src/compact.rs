@@ -1,0 +1,480 @@
+//! The compacting scavenger (§3.5).
+//!
+//! "We have also written a more elaborate scavenger that does an in-place
+//! permutation of the file pages on the disk so that the pages of each file
+//! are in consecutive sectors. This arrangement typically increases the
+//! speed with which the files can be read sequentially by an order of
+//! magnitude over what is possible if the pages have become scattered."
+//!
+//! The compactor computes a target layout (descriptor pinned at its
+//! standard address, then every file's pages in file order), then realizes
+//! it as an in-place permutation, following each cycle with a single page
+//! buffer in memory. Labels are rewritten wholesale with the links of the
+//! *new* layout; leader pages get fresh last-page hints and the
+//! `maybe_consecutive` flag; directories are rewritten with the new leader
+//! addresses; and the descriptor is rebuilt.
+//!
+//! Experiment E3 measures the order-of-magnitude sequential-read speedup
+//! this buys.
+
+use std::collections::BTreeMap;
+
+use alto_disk::{Disk, DiskAddress, Label, SectorBuf, SectorOp, DATA_WORDS};
+use alto_sim::SimTime;
+
+use crate::descriptor;
+use crate::dir;
+use crate::errors::FsError;
+use crate::file::FileSystem;
+use crate::leader::LeaderPage;
+use crate::names::{FileFullName, Fv, PageName};
+use crate::scavenge::Scavenger;
+
+/// What the compactor did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Files laid out.
+    pub files: u32,
+    /// Pages that had to move.
+    pub pages_moved: u32,
+    /// Pages already in place.
+    pub pages_in_place: u32,
+    /// Permutation cycles performed.
+    pub cycles: u32,
+    /// Files whose pages are now perfectly consecutive.
+    pub consecutive_files: u32,
+    /// Simulated time taken.
+    pub elapsed: SimTime,
+}
+
+/// The compacting scavenger.
+pub struct Compactor;
+
+/// A file's scanned pages: `(page number, current address, byte length)`.
+type ScannedPages = Vec<(u16, DiskAddress, u16)>;
+
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    fv: Fv,
+    page: u16,
+    old_da: DiskAddress,
+    new_da: DiskAddress,
+    length: u16,
+}
+
+impl Compactor {
+    /// Compacts the file system in place so every file's pages are
+    /// consecutive. Runs a (plain) scavenge first so the page table is
+    /// trustworthy, and leaves a fully consistent, freshly scavenged disk.
+    pub fn run<D: Disk>(fs: &mut FileSystem<D>) -> Result<CompactReport, FsError> {
+        // A scavenge gives us repaired chains and a correct bitmap.
+        Scavenger::run(fs)?;
+        let start = fs.disk().clock().now();
+        let mut report = CompactReport::default();
+
+        // Walk every file (via the root-reachable table the scavenger left:
+        // the labels themselves) and record current page positions.
+        let geometry = fs.disk().geometry()?;
+        let mut files: BTreeMap<Fv, ScannedPages> = BTreeMap::new();
+        let mut bad: Vec<DiskAddress> = Vec::new();
+        for i in 0..geometry.sector_count() {
+            let da = DiskAddress(i as u16);
+            let mut buf = SectorBuf::zeroed();
+            match fs.disk_mut().do_op(da, SectorOp::READ_ALL, &mut buf) {
+                Ok(()) => {
+                    let label = buf.decoded_label();
+                    if label.is_bad() {
+                        bad.push(da);
+                    } else if label.is_in_use() {
+                        files.entry(Fv::from_label(&label)).or_default().push((
+                            label.page_number,
+                            da,
+                            label.length,
+                        ));
+                    }
+                }
+                Err(alto_disk::DiskError::HardError { .. }) => bad.push(da),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for pages in files.values_mut() {
+            pages.sort_unstable();
+        }
+
+        // Target layout: walk addresses in order, skipping bad sectors and
+        // the two pinned addresses, assigning each file's pages in file
+        // order. The descriptor leader stays pinned at DA 1; a boot file's
+        // page 1 stays pinned at DA 0.
+        let desc_fv = descriptor::descriptor_fv();
+        let boot_present = files
+            .get(&descriptor::boot_fv())
+            .map(|pages| {
+                pages
+                    .iter()
+                    .any(|(p, da, _)| *p == 1 && *da == descriptor::BOOT_PAGE_DA)
+            })
+            .unwrap_or(false);
+
+        let mut placements: Vec<Placement> = Vec::new();
+        let mut slot = DiskAddress(0);
+        let bad_set: std::collections::BTreeSet<u16> = bad.iter().map(|d| d.0).collect();
+        let next_slot = |slot: &mut DiskAddress| loop {
+            let s = *slot;
+            *slot = DiskAddress(slot.0 + 1);
+            let pinned = s == descriptor::BOOT_PAGE_DA || s == descriptor::DESCRIPTOR_LEADER_DA;
+            if !pinned && !bad_set.contains(&s.0) {
+                return s;
+            }
+        };
+
+        // Order: descriptor data pages first (so they sit right after their
+        // pinned leader), then everything else by serial number.
+        let mut ordered: Vec<(Fv, ScannedPages)> = Vec::new();
+        if let Some(desc_pages) = files.remove(&desc_fv) {
+            ordered.push((desc_fv, desc_pages));
+        }
+        for (fv, pages) in std::mem::take(&mut files) {
+            ordered.push((fv, pages));
+        }
+
+        for (fv, pages) in &ordered {
+            for (page, old_da, length) in pages {
+                let new_da = if *fv == desc_fv && *page == 0 {
+                    descriptor::DESCRIPTOR_LEADER_DA
+                } else if *fv == descriptor::boot_fv() && *page == 1 && boot_present {
+                    descriptor::BOOT_PAGE_DA
+                } else {
+                    next_slot(&mut slot)
+                };
+                placements.push(Placement {
+                    fv: *fv,
+                    page: *page,
+                    old_da: *old_da,
+                    new_da,
+                    length: *length,
+                });
+            }
+        }
+        report.files = ordered.len() as u32;
+
+        // Index placements by old and new address for cycle chasing, and
+        // compute the final link structure.
+        let mut final_da: BTreeMap<(Fv, u16), DiskAddress> = BTreeMap::new();
+        for p in &placements {
+            final_da.insert((p.fv, p.page), p.new_da);
+        }
+        let new_label = |p: &Placement| -> Label {
+            Label {
+                fid: p.fv.serial.words(),
+                version: p.fv.version,
+                page_number: p.page,
+                length: p.length,
+                next: final_da
+                    .get(&(p.fv, p.page + 1))
+                    .copied()
+                    .unwrap_or(DiskAddress::NIL),
+                prev: if p.page == 0 {
+                    DiskAddress::NIL
+                } else {
+                    final_da
+                        .get(&(p.fv, p.page - 1))
+                        .copied()
+                        .unwrap_or(DiskAddress::NIL)
+                },
+            }
+        };
+
+        let by_old: BTreeMap<u16, usize> = placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.old_da.0, i))
+            .collect();
+        let pack_number = fs.disk().pack_number()?;
+
+        // Permutation by cycle chasing. `emptied` tracks sectors whose
+        // content has moved away and not been replaced (to be freed).
+        let mut done = vec![false; placements.len()];
+        let mut occupied_new: std::collections::BTreeSet<u16> =
+            placements.iter().map(|p| p.new_da.0).collect();
+        for start_idx in 0..placements.len() {
+            if done[start_idx] || placements[start_idx].old_da == placements[start_idx].new_da {
+                if !done[start_idx] {
+                    // In place: rewrite the label only if links changed.
+                    let p = placements[start_idx];
+                    let pn = PageName::new(p.fv, p.page, p.old_da);
+                    let (current, data) = crate::page::read_page(fs.disk_mut(), pn)?;
+                    let target = new_label(&p);
+                    if current != target {
+                        crate::page::rewrite_label(fs.disk_mut(), pn, target, &data)?;
+                    }
+                    report.pages_in_place += 1;
+                    done[start_idx] = true;
+                }
+                continue;
+            }
+            // Follow the cycle/path starting here: read this page into
+            // memory, then repeatedly fill the vacated slot from whoever
+            // must move into it.
+            report.cycles += 1;
+            let mut carried: Vec<(usize, [u16; DATA_WORDS])> = Vec::new();
+            let mut idx = start_idx;
+            loop {
+                let p = placements[idx];
+                let mut buf = SectorBuf::zeroed();
+                fs.disk_mut()
+                    .do_op(p.old_da, SectorOp::READ_ALL, &mut buf)?;
+                carried.push((idx, buf.data));
+                done[idx] = true;
+                // Who currently lives at our destination?
+                match by_old.get(&p.new_da.0) {
+                    Some(&next_idx) if !done[next_idx] => idx = next_idx,
+                    _ => break,
+                }
+            }
+            // Write the carried pages in reverse order: the last page read
+            // has a free destination; each earlier page's destination was
+            // vacated by the one after it.
+            for (idx, data) in carried.into_iter().rev() {
+                let p = placements[idx];
+                let mut buf = SectorBuf::zeroed();
+                buf.header = [pack_number, p.new_da.0];
+                buf.set_label(new_label(&p));
+                buf.data = data;
+                fs.disk_mut()
+                    .do_op(p.new_da, SectorOp::WRITE_ALL, &mut buf)?;
+                report.pages_moved += 1;
+            }
+        }
+
+        // Free every sector that no longer holds live content.
+        for i in 0..geometry.sector_count() {
+            let da = DiskAddress(i as u16);
+            if occupied_new.contains(&da.0)
+                || bad_set.contains(&da.0)
+                || da == descriptor::BOOT_PAGE_DA
+                || da == descriptor::DESCRIPTOR_LEADER_DA
+            {
+                continue;
+            }
+            // Was it an old home of a moved page?
+            if by_old.contains_key(&da.0) {
+                let mut buf = SectorBuf::with_label(Label::FREE);
+                buf.header = [pack_number, da.0];
+                buf.data = [u16::MAX; DATA_WORDS];
+                fs.disk_mut().do_op(da, SectorOp::WRITE_ALL, &mut buf)?;
+            }
+        }
+        occupied_new.insert(descriptor::DESCRIPTOR_LEADER_DA.0);
+
+        // Refresh leader hints and count consecutive files.
+        for (fv, pages) in &ordered {
+            let leader_new = final_da[&(*fv, 0)];
+            let last_page = pages.last().map(|(p, _, _)| *p).unwrap_or(0);
+            let last_da = final_da[&(*fv, last_page)];
+            let consecutive = pages
+                .iter()
+                .all(|(p, _, _)| final_da[&(*fv, *p)].0 == leader_new.0.wrapping_add(*p));
+            if consecutive {
+                report.consecutive_files += 1;
+            }
+            let pn = PageName::new(*fv, 0, leader_new);
+            let (_, data) = crate::page::read_page(fs.disk_mut(), pn)?;
+            let mut leader = LeaderPage::decode(&data);
+            leader.last_page = last_page;
+            leader.last_da = last_da;
+            leader.maybe_consecutive = consecutive;
+            crate::page::write_page(fs.disk_mut(), pn, &leader.encode())?;
+        }
+
+        // Rebuild the in-memory descriptor to match the new layout.
+        {
+            let desc = fs.descriptor_mut();
+            let total = desc.bitmap.len();
+            desc.bitmap = crate::alloc::BitMap::all_free(total);
+            desc.bitmap.set_busy(descriptor::BOOT_PAGE_DA);
+            desc.bitmap.set_busy(descriptor::DESCRIPTOR_LEADER_DA);
+            for p in &placements {
+                desc.bitmap.set_busy(p.new_da);
+            }
+            for da in &bad {
+                desc.bitmap.set_busy(*da);
+            }
+        }
+        let root_fv = fs.descriptor().root_dir.fv;
+        if let Some(&root_new) = final_da.get(&(root_fv, 0)) {
+            fs.descriptor_mut().root_dir = FileFullName::new(root_fv, root_new);
+        }
+
+        // Rewrite directory entries with the new leader addresses.
+        let dir_list: Vec<FileFullName> = ordered
+            .iter()
+            .filter(|(fv, _)| fv.serial.is_directory())
+            .map(|(fv, _)| FileFullName::new(*fv, final_da[&(*fv, 0)]))
+            .collect();
+        for dir_name in dir_list {
+            let entries = dir::list(fs, dir_name)?;
+            let fixed: Vec<dir::DirEntry> = entries
+                .into_iter()
+                .map(|mut e| {
+                    if let Some(&new) = final_da.get(&(e.file.fv, 0)) {
+                        e.file = FileFullName::new(e.file.fv, new);
+                    }
+                    e
+                })
+                .collect();
+            fs.write_file(dir_name, &dir::encode_entries(&fixed))?;
+        }
+
+        fs.flush_descriptor()?;
+        report.elapsed = fs.disk().clock().now() - start;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_sim::{SimClock, SplitMix64, Trace};
+
+    fn fresh_fs() -> FileSystem<DiskDrive> {
+        let drive =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        FileSystem::format(drive).unwrap()
+    }
+
+    /// Creates `n` files then rewrites them in shuffled order repeatedly so
+    /// their pages interleave on disk.
+    fn fragmented_fs(files: usize, pages_each: usize) -> (FileSystem<DiskDrive>, Vec<String>) {
+        let mut fs = fresh_fs();
+        let root = fs.root_dir();
+        let mut names = Vec::new();
+        for i in 0..files {
+            let name = format!("frag-{i}.dat");
+            dir::create_named_file(&mut fs, root, &name).unwrap();
+            names.push(name);
+        }
+        let mut rng = SplitMix64::new(99);
+        // Interleave growth: extend each file one page at a time in random
+        // order so pages of different files alternate on the disk.
+        let mut sizes = vec![0usize; files];
+        for _ in 0..pages_each {
+            let mut order: Vec<usize> = (0..files).collect();
+            rng.shuffle(&mut order);
+            for f in order {
+                sizes[f] += 1;
+                let file = dir::lookup(&mut fs, root, &names[f]).unwrap().unwrap();
+                fs.write_file(file, &vec![f as u8; sizes[f] * 512 - 1])
+                    .unwrap();
+            }
+        }
+        (fs, names)
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let (mut fs, names) = fragmented_fs(4, 5);
+        let root = fs.root_dir();
+        let mut before = Vec::new();
+        for n in &names {
+            let f = dir::lookup(&mut fs, root, n).unwrap().unwrap();
+            before.push(fs.read_file(f).unwrap());
+        }
+        let report = Compactor::run(&mut fs).unwrap();
+        assert!(report.pages_moved > 0);
+        let root = fs.root_dir();
+        for (n, want) in names.iter().zip(&before) {
+            let f = dir::lookup(&mut fs, root, n).unwrap().unwrap();
+            assert_eq!(&fs.read_file(f).unwrap(), want, "{n} changed");
+        }
+    }
+
+    #[test]
+    fn compaction_makes_files_consecutive() {
+        let (mut fs, names) = fragmented_fs(4, 5);
+        let report = Compactor::run(&mut fs).unwrap();
+        assert_eq!(report.consecutive_files, report.files);
+        // Check one file's physical layout directly.
+        let root = fs.root_dir();
+        let f = dir::lookup(&mut fs, root, &names[0]).unwrap().unwrap();
+        let (leader_label, leader_data) = fs.read_page(f.leader_page()).unwrap();
+        let leader = LeaderPage::decode(&leader_data);
+        assert!(leader.maybe_consecutive);
+        let mut da = leader_label.next;
+        let mut expect = f.leader_da.0 + 1;
+        let mut page = 1u16;
+        loop {
+            assert_eq!(da.0, expect, "page {page} not consecutive");
+            let (label, _) = fs.read_page(PageName::new(f.fv, page, da)).unwrap();
+            if label.next.is_nil() {
+                break;
+            }
+            da = label.next;
+            expect += 1;
+            page += 1;
+        }
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let (mut fs, _) = fragmented_fs(3, 4);
+        Compactor::run(&mut fs).unwrap();
+        let report2 = Compactor::run(&mut fs).unwrap();
+        assert_eq!(report2.pages_moved, 0);
+        assert_eq!(report2.consecutive_files, report2.files);
+    }
+
+    #[test]
+    fn compaction_survives_scavenge() {
+        // After compaction the disk must still scavenge cleanly.
+        let (mut fs, names) = fragmented_fs(3, 4);
+        Compactor::run(&mut fs).unwrap();
+        let disk = fs.unmount().unwrap();
+        let (mut fs, report) = Scavenger::rebuild(disk).unwrap();
+        assert_eq!(report.links_repaired, 0);
+        assert_eq!(report.entries_dropped, 0);
+        assert_eq!(report.orphans_adopted, 0);
+        let root = fs.root_dir();
+        for n in &names {
+            assert!(dir::lookup(&mut fs, root, n).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn descriptor_stays_at_standard_address() {
+        let (mut fs, _) = fragmented_fs(2, 3);
+        Compactor::run(&mut fs).unwrap();
+        let disk = fs.unmount().unwrap();
+        // A plain mount (which goes straight to DA 1) must work.
+        let fs = FileSystem::mount(disk).unwrap();
+        assert_eq!(fs.descriptor().shape, DiskModel::Diablo31.geometry());
+    }
+
+    #[test]
+    fn sequential_read_is_much_faster_after_compaction() {
+        // The E3 headline: order-of-magnitude sequential-read speedup.
+        let (mut fs, names) = fragmented_fs(6, 12);
+        let root = fs.root_dir();
+        let f = dir::lookup(&mut fs, root, &names[2]).unwrap().unwrap();
+        let (_, scattered_time) = {
+            let clock = fs.disk().clock().clone();
+            let t0 = clock.now();
+            fs.read_file(f).unwrap();
+            ((), clock.now() - t0)
+        };
+        Compactor::run(&mut fs).unwrap();
+        let root = fs.root_dir();
+        let f = dir::lookup(&mut fs, root, &names[2]).unwrap().unwrap();
+        let (_, compact_time) = {
+            let clock = fs.disk().clock().clone();
+            let t0 = clock.now();
+            fs.read_file(f).unwrap();
+            ((), clock.now() - t0)
+        };
+        let speedup = scattered_time.as_nanos() as f64 / compact_time.as_nanos() as f64;
+        assert!(
+            speedup > 3.0,
+            "expected a large speedup, got {speedup:.2}x ({scattered_time} -> {compact_time})"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Alto dates: 32-bit second counts stored in leader pages (§3.2).
+//!
+//! The leader page records the dates of creation, last write and last read
+//! as absolutes. The real Alto counted seconds from 1 January 1901; in the
+//! simulation a date is the simulated clock reading in seconds, offset by
+//! the same epoch constant so the values look like plausible Alto dates.
+
+use alto_sim::SimTime;
+
+/// Seconds between the Alto epoch (1 Jan 1901) and the simulation's zero,
+/// chosen so a freshly booted simulation shows dates in 1979.
+const SIM_EPOCH_OFFSET: u32 = 2_461_449_600; // 78 years of seconds
+
+/// A 32-bit Alto date (seconds since 1 Jan 1901).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AltoDate(pub u32);
+
+impl AltoDate {
+    /// The date corresponding to a simulated instant.
+    pub fn from_sim_time(t: SimTime) -> AltoDate {
+        AltoDate(SIM_EPOCH_OFFSET.wrapping_add((t.as_nanos() / 1_000_000_000) as u32))
+    }
+
+    /// Encodes as two label/leader words, high word first.
+    pub fn words(self) -> [u16; 2] {
+        [(self.0 >> 16) as u16, self.0 as u16]
+    }
+
+    /// Decodes from two words, high word first.
+    pub fn from_words(words: [u16; 2]) -> AltoDate {
+        AltoDate(((words[0] as u32) << 16) | words[1] as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        for v in [0u32, 1, 0xFFFF, 0x1_0000, u32::MAX, SIM_EPOCH_OFFSET] {
+            let d = AltoDate(v);
+            assert_eq!(AltoDate::from_words(d.words()), d);
+        }
+    }
+
+    #[test]
+    fn from_sim_time_advances_with_the_clock() {
+        let a = AltoDate::from_sim_time(SimTime::from_secs(10));
+        let b = AltoDate::from_sim_time(SimTime::from_secs(75));
+        assert_eq!(b.0 - a.0, 65);
+    }
+
+    #[test]
+    fn epoch_is_in_1979() {
+        // 1979 begins 78 years after 1901: 2,461,449,600 s (with leap days).
+        let boot = AltoDate::from_sim_time(SimTime::ZERO);
+        assert_eq!(boot.0, SIM_EPOCH_OFFSET);
+    }
+
+    #[test]
+    fn sub_second_times_truncate() {
+        let a = AltoDate::from_sim_time(SimTime::from_millis(999));
+        let b = AltoDate::from_sim_time(SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+}

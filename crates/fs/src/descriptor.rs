@@ -1,0 +1,243 @@
+//! The disk descriptor (§3.3).
+//!
+//! "A disk contains a file called the disk descriptor with a standard name
+//! and disk address. In it are: the allocation map (H); the disk shape (A);
+//! the name of the root directory (H)." We implement the paper's *logical*
+//! description (the "that's how we should have done it" version): the
+//! descriptor file sits at a standard address and points to the root
+//! directory.
+//!
+//! Well-known layout established at format time:
+//!
+//! | object                  | serial | leader page address |
+//! |-------------------------|--------|---------------------|
+//! | boot file (§4)          | S1     | page 1 fixed at DA 0 (leader allocated normally) |
+//! | disk descriptor         | S2     | DA 1                |
+//! | root directory `SysDir` | D3     | DA 2                |
+
+use alto_disk::{DiskAddress, DiskGeometry};
+
+use crate::alloc::BitMap;
+use crate::errors::FsError;
+use crate::names::{FileFullName, Fv, SerialNumber};
+
+/// File number of the boot file.
+pub const BOOT_FILE_NUMBER: u32 = 1;
+/// File number of the disk descriptor.
+pub const DESCRIPTOR_FILE_NUMBER: u32 = 2;
+/// File number of the root directory.
+pub const ROOT_DIR_FILE_NUMBER: u32 = 3;
+/// First file number handed out for ordinary files.
+pub const FIRST_DYNAMIC_FILE_NUMBER: u32 = 0x10;
+
+/// The fixed disk address of the boot file's first data page (§4: "a disk
+/// file whose first page is kept at a fixed location on the disk").
+pub const BOOT_PAGE_DA: DiskAddress = DiskAddress(0);
+/// The standard disk address of the descriptor file's leader page.
+pub const DESCRIPTOR_LEADER_DA: DiskAddress = DiskAddress(1);
+/// The standard disk address of the root directory's leader page.
+pub const ROOT_DIR_LEADER_DA: DiskAddress = DiskAddress(2);
+
+/// The standard leader name of the disk descriptor file.
+pub const DESCRIPTOR_NAME: &str = "DiskDescriptor";
+/// The standard leader name of the root directory.
+pub const ROOT_DIR_NAME: &str = "SysDir";
+
+/// Magic word identifying a descriptor data page.
+const MAGIC: u16 = 0xA170;
+/// Descriptor format version.
+const VERSION: u16 = 1;
+
+/// The `FV` of the disk descriptor file.
+pub fn descriptor_fv() -> Fv {
+    Fv::new(SerialNumber::new(DESCRIPTOR_FILE_NUMBER, false), 1)
+}
+
+/// The `FV` of the root directory.
+pub fn root_dir_fv() -> Fv {
+    Fv::new(SerialNumber::new(ROOT_DIR_FILE_NUMBER, true), 1)
+}
+
+/// The `FV` of the boot file.
+pub fn boot_fv() -> Fv {
+    Fv::new(SerialNumber::new(BOOT_FILE_NUMBER, false), 1)
+}
+
+/// In-memory disk descriptor.
+///
+/// The shape is absolute; the allocation map, free count and root-directory
+/// address are hints, reconstructible by the Scavenger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskDescriptor {
+    /// The disk shape (absolute).
+    pub shape: DiskGeometry,
+    /// Pack number this descriptor was written for.
+    pub pack_number: u16,
+    /// The allocation map (hint).
+    pub bitmap: BitMap,
+    /// The root directory's full name (hint: the DA part).
+    pub root_dir: FileFullName,
+    /// Next file number to assign (persisted so serials stay unique).
+    pub next_file_number: u32,
+    /// Rotating scan position for allocation locality (not persisted).
+    pub rotor: DiskAddress,
+}
+
+impl DiskDescriptor {
+    /// A fresh descriptor for a newly formatted pack (nothing allocated).
+    pub fn fresh(shape: DiskGeometry, pack_number: u16) -> DiskDescriptor {
+        DiskDescriptor {
+            shape,
+            pack_number,
+            bitmap: BitMap::all_free(shape.sector_count()),
+            root_dir: FileFullName::new(root_dir_fv(), ROOT_DIR_LEADER_DA),
+            next_file_number: FIRST_DYNAMIC_FILE_NUMBER,
+            rotor: DiskAddress(0),
+        }
+    }
+
+    /// Assigns the next file number.
+    pub fn assign_file_number(&mut self) -> u32 {
+        let n = self.next_file_number;
+        self.next_file_number += 1;
+        n
+    }
+
+    /// Serializes the descriptor to words (the descriptor file's data).
+    pub fn encode(&self) -> Vec<u16> {
+        let mut w = Vec::new();
+        w.push(MAGIC);
+        w.push(VERSION);
+        w.extend_from_slice(&self.shape.encode());
+        w.push(self.pack_number);
+        w.extend_from_slice(&self.root_dir.fv.serial.words());
+        w.push(self.root_dir.fv.version);
+        w.push(self.root_dir.leader_da.0);
+        w.push((self.next_file_number >> 16) as u16);
+        w.push(self.next_file_number as u16);
+        let map_words = self.bitmap.to_words();
+        w.push(map_words.len() as u16);
+        w.extend_from_slice(&map_words);
+        w
+    }
+
+    /// Deserializes a descriptor from the descriptor file's data words.
+    pub fn decode(words: &[u16]) -> Result<DiskDescriptor, FsError> {
+        let mut r = words.iter().copied();
+        let mut next = || {
+            r.next()
+                .ok_or(FsError::NotFormatted("descriptor truncated"))
+        };
+        if next()? != MAGIC {
+            return Err(FsError::NotFormatted("bad descriptor magic"));
+        }
+        if next()? != VERSION {
+            return Err(FsError::NotFormatted("unknown descriptor version"));
+        }
+        let shape_words = [next()?, next()?, next()?];
+        let shape =
+            DiskGeometry::decode(&shape_words).ok_or(FsError::NotFormatted("bad disk shape"))?;
+        let pack_number = next()?;
+        let root_serial = SerialNumber::from_words([next()?, next()?]);
+        let root_version = next()?;
+        let root_da = DiskAddress(next()?);
+        let next_file_number = ((next()? as u32) << 16) | next()? as u32;
+        let map_len = next()? as usize;
+        let map_words: Vec<u16> = (0..map_len).map(|_| next()).collect::<Result<_, _>>()?;
+        let bitmap = BitMap::from_words(shape.sector_count(), &map_words);
+        Ok(DiskDescriptor {
+            shape,
+            pack_number,
+            bitmap,
+            root_dir: FileFullName::new(Fv::new(root_serial, root_version), root_da),
+            next_file_number,
+            rotor: DiskAddress(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::DiskModel;
+
+    #[test]
+    fn fresh_descriptor() {
+        let d = DiskDescriptor::fresh(DiskModel::Diablo31.geometry(), 7);
+        assert_eq!(d.bitmap.free_count(), 4872);
+        assert_eq!(d.root_dir.leader_da, ROOT_DIR_LEADER_DA);
+        assert!(d.root_dir.fv.serial.is_directory());
+        assert_eq!(d.next_file_number, FIRST_DYNAMIC_FILE_NUMBER);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut d = DiskDescriptor::fresh(DiskModel::Diablo31.geometry(), 7);
+        d.bitmap.set_busy(DiskAddress(0));
+        d.bitmap.set_busy(DiskAddress(4871));
+        d.next_file_number = 0x12345;
+        let words = d.encode();
+        let back = DiskDescriptor::decode(&words).unwrap();
+        assert_eq!(back.shape, d.shape);
+        assert_eq!(back.pack_number, 7);
+        assert_eq!(back.bitmap, d.bitmap);
+        assert_eq!(back.root_dir, d.root_dir);
+        assert_eq!(back.next_file_number, 0x12345);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            DiskDescriptor::decode(&[]),
+            Err(FsError::NotFormatted(_))
+        ));
+        assert!(matches!(
+            DiskDescriptor::decode(&[0x1234, 1]),
+            Err(FsError::NotFormatted(_))
+        ));
+        let d = DiskDescriptor::fresh(DiskModel::Diablo31.geometry(), 1);
+        let mut words = d.encode();
+        words[1] = 99; // bad version
+        assert!(matches!(
+            DiskDescriptor::decode(&words),
+            Err(FsError::NotFormatted("unknown descriptor version"))
+        ));
+        let mut words = d.encode();
+        words.truncate(8);
+        assert!(matches!(
+            DiskDescriptor::decode(&words),
+            Err(FsError::NotFormatted("descriptor truncated"))
+        ));
+    }
+
+    #[test]
+    fn file_number_assignment_is_sequential() {
+        let mut d = DiskDescriptor::fresh(DiskModel::Diablo31.geometry(), 1);
+        let a = d.assign_file_number();
+        let b = d.assign_file_number();
+        assert_eq!(b, a + 1);
+        assert!(a >= FIRST_DYNAMIC_FILE_NUMBER);
+    }
+
+    #[test]
+    fn well_known_fvs() {
+        assert!(!descriptor_fv().serial.is_directory());
+        assert!(root_dir_fv().serial.is_directory());
+        assert!(!boot_fv().serial.is_directory());
+        assert_eq!(descriptor_fv().serial.number(), DESCRIPTOR_FILE_NUMBER);
+        assert_eq!(root_dir_fv().serial.number(), ROOT_DIR_FILE_NUMBER);
+        assert_eq!(boot_fv().serial.number(), BOOT_FILE_NUMBER);
+    }
+
+    #[test]
+    fn descriptor_fits_in_a_few_pages() {
+        let d = DiskDescriptor::fresh(DiskModel::Diablo31.geometry(), 1);
+        let words = d.encode();
+        // 4872-bit map = 305 words + header: must fit in 2 data pages.
+        assert!(
+            words.len() <= 2 * 256,
+            "descriptor is {} words",
+            words.len()
+        );
+    }
+}

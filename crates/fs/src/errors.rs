@@ -1,0 +1,117 @@
+//! File-system error types.
+
+use alto_disk::{DiskAddress, DiskError};
+use std::fmt;
+
+use crate::names::{Fv, PageName};
+
+/// Errors surfaced by the file-system layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The underlying disk failed (including label-check errors a caller
+    /// did not expect).
+    Disk(DiskError),
+    /// The disk is not (or no longer) a formatted Alto file system.
+    NotFormatted(&'static str),
+    /// No free page could be allocated.
+    DiskFull,
+    /// A page that should exist could not be located even after following
+    /// the hint ladder.
+    PageNotFound(PageName),
+    /// A file that should exist could not be located.
+    FileNotFound(Fv),
+    /// The name looked up in a directory has no entry.
+    NameNotFound(String),
+    /// A leader name or directory name exceeds the on-disk limit.
+    NameTooLong(usize),
+    /// The file addressed as a directory is not one (its serial number
+    /// lacks the directory flag).
+    NotADirectory(Fv),
+    /// A structural invariant was violated on disk (corruption the caller
+    /// should hand to the Scavenger).
+    Corrupt {
+        /// Where the inconsistency was observed.
+        da: DiskAddress,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// An operation was attempted past the end of a file.
+    PastEnd {
+        /// The page number requested.
+        page: u16,
+        /// The file's last page number.
+        last: u16,
+    },
+    /// Page data lengths must be 0..=512 bytes.
+    BadLength(u16),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Disk(e) => write!(f, "disk error: {e}"),
+            FsError::NotFormatted(what) => write!(f, "not an Alto file system: {what}"),
+            FsError::DiskFull => f.write_str("disk full"),
+            FsError::PageNotFound(p) => write!(f, "page not found: {p}"),
+            FsError::FileNotFound(fv) => write!(f, "file not found: {fv}"),
+            FsError::NameNotFound(n) => write!(f, "no directory entry for \"{n}\""),
+            FsError::NameTooLong(n) => write!(f, "name too long ({n} bytes, max 39)"),
+            FsError::NotADirectory(fv) => write!(f, "{fv} is not a directory"),
+            FsError::Corrupt { da, what } => write!(f, "corrupt structure at {da}: {what}"),
+            FsError::PastEnd { page, last } => {
+                write!(
+                    f,
+                    "page {page} is past the end of the file (last page {last})"
+                )
+            }
+            FsError::BadLength(n) => write!(f, "bad page data length {n} (max 512 bytes)"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DiskError> for FsError {
+    fn from(e: DiskError) -> Self {
+        FsError::Disk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::SerialNumber;
+
+    #[test]
+    fn displays_are_informative() {
+        let fv = Fv::new(SerialNumber::new(3, false), 1);
+        assert!(FsError::FileNotFound(fv).to_string().contains("S3v1"));
+        assert!(FsError::NameNotFound("foo.txt".into())
+            .to_string()
+            .contains("foo.txt"));
+        assert!(FsError::PastEnd { page: 9, last: 4 }
+            .to_string()
+            .contains("page 9"));
+        assert!(FsError::DiskFull.to_string().contains("full"));
+        assert!(FsError::BadLength(600).to_string().contains("600"));
+        assert!(FsError::NameTooLong(64).to_string().contains("64"));
+        assert!(FsError::NotADirectory(fv)
+            .to_string()
+            .contains("not a directory"));
+        assert!(FsError::NotFormatted("bad descriptor")
+            .to_string()
+            .contains("bad descriptor"));
+        assert!(FsError::Corrupt {
+            da: DiskAddress(3),
+            what: "link cycle"
+        }
+        .to_string()
+        .contains("link cycle"));
+    }
+
+    #[test]
+    fn disk_error_converts() {
+        let e: FsError = DiskError::NoPack.into();
+        assert_eq!(e, FsError::Disk(DiskError::NoPack));
+    }
+}

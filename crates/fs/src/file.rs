@@ -1,0 +1,931 @@
+//! Files and the mounted file system (§3.2–§3.4).
+//!
+//! A file is a set of pages with absolute names `(FV, 0) .. (FV, n)`;
+//! page 0 is the leader page, pages 1..n carry the data bytes, all pages
+//! but the last are full (512 bytes) and the last has `L < 512`. Every
+//! structural change follows the §3.3 label discipline:
+//!
+//! * allocating or freeing a page checks the old label and rewrites it —
+//!   one disk revolution each;
+//! * changing the length of the file rewrites the last page's label — one
+//!   revolution;
+//! * ordinary data reads and writes check the label *at no cost in time*.
+//!
+//! The allocation map is a hint: [`FileSystem::allocate_page`] trusts it
+//! only until the free-label check fails, then simply tries another page
+//! (§3.3). The descriptor is flushed on [`FileSystem::unmount`]; a crash
+//! leaves a stale map on disk, which is exactly the state the Scavenger
+//! (and the label checks in the meantime) are designed to survive.
+
+use alto_disk::{Disk, DiskAddress, DiskError, Label, DATA_WORDS};
+
+use crate::dates::AltoDate;
+use crate::descriptor::{self, DiskDescriptor};
+use crate::errors::FsError;
+use crate::leader::LeaderPage;
+use crate::names::{FileFullName, Fv, PageName, SerialNumber};
+use crate::page;
+
+/// Bytes per page.
+pub const PAGE_BYTES: usize = DATA_WORDS * 2;
+
+/// Counters for allocator behaviour (experiment E4 reports these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Pages successfully allocated.
+    pub pages_allocated: u64,
+    /// Pages freed.
+    pub pages_freed: u64,
+    /// Allocation attempts that failed the free-label check because the
+    /// map was stale ("a little extra one-time disk activity", §3.3).
+    pub alloc_retries: u64,
+}
+
+/// A mounted Alto file system over any [`Disk`] implementation.
+///
+/// # Examples
+///
+/// ```
+/// use alto_disk::{DiskDrive, DiskModel};
+/// use alto_fs::{dir, FileSystem};
+/// use alto_sim::{SimClock, Trace};
+///
+/// let drive = DiskDrive::with_formatted_pack(
+///     SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+/// let mut fs = FileSystem::format(drive)?;
+/// let root = fs.root_dir();
+/// let memo = dir::create_named_file(&mut fs, root, "memo.txt")?;
+/// fs.write_file(memo, b"self-identifying pages")?;
+/// assert_eq!(fs.read_file(memo)?, b"self-identifying pages");
+/// # Ok::<(), alto_fs::FsError>(())
+/// ```
+#[derive(Debug)]
+pub struct FileSystem<D: Disk> {
+    disk: D,
+    desc: DiskDescriptor,
+    stats: FsStats,
+}
+
+impl<D: Disk> FileSystem<D> {
+    /// Formats the loaded pack and mounts the new, empty file system.
+    ///
+    /// Lays down the well-known structure: DA 0 reserved for the boot file,
+    /// the disk descriptor at DA 1, and the root directory `SysDir` at
+    /// DA 2 with one empty data page.
+    pub fn format(disk: D) -> Result<FileSystem<D>, FsError> {
+        let geometry = disk.geometry()?;
+        let pack = disk.pack_number()?;
+        let desc = DiskDescriptor::fresh(geometry, pack);
+        let mut fs = FileSystem {
+            disk,
+            desc,
+            stats: FsStats::default(),
+        };
+        let now = fs.now();
+
+        // Reserve every well-known address first: the boot page (its label
+        // stays free until the OS installs a boot file, but it must never be
+        // allocated to an ordinary file) and the two fixed leader pages.
+        fs.desc.bitmap.set_busy(descriptor::BOOT_PAGE_DA);
+        fs.desc.bitmap.set_busy(descriptor::DESCRIPTOR_LEADER_DA);
+        fs.desc.bitmap.set_busy(descriptor::ROOT_DIR_LEADER_DA);
+
+        // Root directory: leader at the standard DA 2 plus one empty page.
+        let root_fv = descriptor::root_dir_fv();
+        let root_leader = LeaderPage::new(descriptor::ROOT_DIR_NAME, now)?;
+        fs.build_file_at(root_fv, descriptor::ROOT_DIR_LEADER_DA, root_leader, &[])?;
+
+        // Descriptor file: leader at the standard DA 1 plus enough pages to
+        // hold the encoded descriptor (the encoding length is fixed by the
+        // shape, so flushing later rewrites these pages in place).
+        let desc_fv = descriptor::descriptor_fv();
+        let desc_leader = LeaderPage::new(descriptor::DESCRIPTOR_NAME, now)?;
+        let payload = words_to_bytes(&fs.desc.encode());
+        fs.build_file_at(
+            desc_fv,
+            descriptor::DESCRIPTOR_LEADER_DA,
+            desc_leader,
+            &payload,
+        )?;
+
+        // Enter the well-known files in the root directory, so that every
+        // file on a healthy disk has at least one directory entry (the
+        // Scavenger adopts entry-less files as orphans).
+        let root = fs.root_dir();
+        crate::dir::insert(&mut fs, root, descriptor::ROOT_DIR_NAME, root)?;
+        crate::dir::insert(
+            &mut fs,
+            root,
+            descriptor::DESCRIPTOR_NAME,
+            FileFullName::new(desc_fv, descriptor::DESCRIPTOR_LEADER_DA),
+        )?;
+
+        // The builds allocated pages and changed the bitmap; flush so the
+        // on-disk descriptor is coherent.
+        fs.flush_descriptor()?;
+        Ok(fs)
+    }
+
+    /// Assembles a file system from a disk and an in-memory descriptor.
+    ///
+    /// Used by the Scavenger, which reconstructs the descriptor from the
+    /// labels rather than trusting anything on disk.
+    pub(crate) fn from_parts(disk: D, desc: DiskDescriptor) -> FileSystem<D> {
+        FileSystem {
+            disk,
+            desc,
+            stats: FsStats::default(),
+        }
+    }
+
+    /// Mounts an already formatted pack by reading the disk descriptor.
+    pub fn mount(mut disk: D) -> Result<FileSystem<D>, FsError> {
+        let desc_name = FileFullName::new(
+            descriptor::descriptor_fv(),
+            descriptor::DESCRIPTOR_LEADER_DA,
+        );
+        let bytes = read_file_with(&mut disk, desc_name)
+            .map_err(|_| FsError::NotFormatted("cannot read disk descriptor"))?;
+        let desc = DiskDescriptor::decode(&bytes_to_words(&bytes))?;
+        if desc.shape != disk.geometry()? {
+            return Err(FsError::NotFormatted("descriptor shape mismatch"));
+        }
+        Ok(FileSystem {
+            disk,
+            desc,
+            stats: FsStats::default(),
+        })
+    }
+
+    /// Flushes the descriptor and returns the disk.
+    pub fn unmount(mut self) -> Result<D, FsError> {
+        self.flush_descriptor()?;
+        Ok(self.disk)
+    }
+
+    /// Abandons the file system *without* flushing the descriptor — the
+    /// simulated crash used by robustness experiments: the on-disk
+    /// allocation map is left stale, exactly as after a power failure.
+    pub fn crash(self) -> D {
+        self.disk
+    }
+
+    /// The underlying disk (open access, §5.2).
+    pub fn disk(&self) -> &D {
+        &self.disk
+    }
+
+    /// Mutable access to the underlying disk.
+    pub fn disk_mut(&mut self) -> &mut D {
+        &mut self.disk
+    }
+
+    /// The in-memory disk descriptor.
+    pub fn descriptor(&self) -> &DiskDescriptor {
+        &self.desc
+    }
+
+    /// Mutable access to the descriptor (the Scavenger rebuilds it).
+    pub fn descriptor_mut(&mut self) -> &mut DiskDescriptor {
+        &mut self.desc
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> FsStats {
+        self.stats
+    }
+
+    /// The root directory's full name.
+    pub fn root_dir(&self) -> FileFullName {
+        self.desc.root_dir
+    }
+
+    /// The current date on this machine's clock.
+    pub fn now(&self) -> AltoDate {
+        AltoDate::from_sim_time(self.disk.clock().now())
+    }
+
+    /// Writes the in-memory descriptor to the descriptor file.
+    pub fn flush_descriptor(&mut self) -> Result<(), FsError> {
+        let desc_name = FileFullName::new(
+            descriptor::descriptor_fv(),
+            descriptor::DESCRIPTOR_LEADER_DA,
+        );
+        let payload = words_to_bytes(&self.desc.encode());
+        // The descriptor's size is fixed, so this rewrites data pages in
+        // place with ordinary writes (no allocation, no label rewrites).
+        self.overwrite_in_place(desc_name, &payload)
+    }
+
+    // ------------------------------------------------------------------
+    // Page-level interface (§3.1): the small component, fully exposed.
+    // ------------------------------------------------------------------
+
+    /// Allocates a free page near `near` (or the allocation rotor), writing
+    /// `label` and `data`. Retries transparently when the allocation map
+    /// proves stale. Returns where the page landed.
+    pub fn allocate_page(
+        &mut self,
+        near: Option<DiskAddress>,
+        label: Label,
+        data: &[u16; DATA_WORDS],
+    ) -> Result<DiskAddress, FsError> {
+        let mut start = near.unwrap_or(self.desc.rotor);
+        loop {
+            let candidate = self
+                .desc
+                .bitmap
+                .find_free_from(start)
+                .ok_or(FsError::DiskFull)?;
+            self.desc.bitmap.set_busy(candidate);
+            match page::allocate_at(&mut self.disk, candidate, label, data) {
+                Ok(()) => {
+                    self.stats.pages_allocated += 1;
+                    self.desc.rotor = DiskAddress(candidate.0.wrapping_add(1));
+                    return Ok(candidate);
+                }
+                Err(FsError::Disk(DiskError::Check(_))) => {
+                    // Stale map: the label says busy. Keep the bit busy and
+                    // try the next candidate (§3.3).
+                    self.stats.alloc_retries += 1;
+                    start = DiskAddress(candidate.0.wrapping_add(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Frees the page named `pn` (label checked; ones written; §3.3).
+    pub fn free_page(&mut self, pn: PageName) -> Result<Label, FsError> {
+        let old = page::free_page(&mut self.disk, pn)?;
+        self.desc.bitmap.set_free(pn.da);
+        self.stats.pages_freed += 1;
+        Ok(old)
+    }
+
+    /// Reads the page named `pn` (checked by full name).
+    pub fn read_page(&mut self, pn: PageName) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
+        page::read_page(&mut self.disk, pn)
+    }
+
+    /// Writes the data of the page named `pn` (ordinary write; label
+    /// checked at no cost, not modified).
+    pub fn write_page(&mut self, pn: PageName, data: &[u16; DATA_WORDS]) -> Result<Label, FsError> {
+        page::write_page(&mut self.disk, pn, data)
+    }
+
+    // ------------------------------------------------------------------
+    // File-level interface (§3.2).
+    // ------------------------------------------------------------------
+
+    /// Creates a new empty file with the given leader name: a leader page
+    /// and one empty data page. Does *not* enter it in any directory — that
+    /// is a separate mechanism (§3.4); see [`crate::dir::insert`].
+    pub fn create_file(&mut self, leader_name: &str) -> Result<FileFullName, FsError> {
+        self.create_file_kind(leader_name, false)
+    }
+
+    /// Creates a file whose serial number carries the directory flag.
+    pub fn create_directory_file(&mut self, leader_name: &str) -> Result<FileFullName, FsError> {
+        self.create_file_kind(leader_name, true)
+    }
+
+    fn create_file_kind(
+        &mut self,
+        leader_name: &str,
+        directory: bool,
+    ) -> Result<FileFullName, FsError> {
+        let number = self.desc.assign_file_number();
+        let fv = Fv::new(SerialNumber::new(number, directory), 1);
+        let leader = LeaderPage::new(leader_name, self.now())?;
+        let leader_label = Label {
+            fid: fv.serial.words(),
+            version: fv.version,
+            page_number: 0,
+            length: PAGE_BYTES as u16,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        };
+        let leader_da = self.allocate_page(None, leader_label, &leader.encode())?;
+        self.chain_data_pages(fv, leader_da, leader, &[])?;
+        Ok(FileFullName::new(fv, leader_da))
+    }
+
+    /// Lays down a file whose leader must land at a *fixed* address (the
+    /// well-known files created at format time). The caller has already
+    /// marked `leader_da` busy in the map.
+    fn build_file_at(
+        &mut self,
+        fv: Fv,
+        leader_da: DiskAddress,
+        leader: LeaderPage,
+        bytes: &[u8],
+    ) -> Result<(), FsError> {
+        let leader_label = Label {
+            fid: fv.serial.words(),
+            version: fv.version,
+            page_number: 0,
+            length: PAGE_BYTES as u16,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        };
+        page::allocate_at(&mut self.disk, leader_da, leader_label, &leader.encode())?;
+        self.stats.pages_allocated += 1;
+        self.chain_data_pages(fv, leader_da, leader, bytes)
+    }
+
+    /// The Scavenger's entry point to [`FileSystem::chain_data_pages`] when
+    /// rebuilding the descriptor file at its standard address.
+    pub(crate) fn chain_data_pages_for_scavenger(
+        &mut self,
+        fv: Fv,
+        leader_da: DiskAddress,
+        leader: LeaderPage,
+        bytes: &[u8],
+    ) -> Result<(), FsError> {
+        self.stats.pages_allocated += 1; // the leader the caller laid down
+        self.chain_data_pages(fv, leader_da, leader, bytes)
+    }
+
+    /// Allocates and chains the data pages of a fresh file whose leader is
+    /// already on disk with nil links, fixing each predecessor's next link
+    /// and finally recording the last-page hints in the leader data.
+    fn chain_data_pages(
+        &mut self,
+        fv: Fv,
+        leader_da: DiskAddress,
+        mut leader: LeaderPage,
+        bytes: &[u8],
+    ) -> Result<(), FsError> {
+        let pages = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
+        let mut prev_da = leader_da;
+        let mut last_da = leader_da;
+        // The predecessor's label and data are tracked in memory, so fixing
+        // its next link is one label rewrite (one revolution) with no extra
+        // read pass.
+        let mut prev_label = Label {
+            fid: fv.serial.words(),
+            version: fv.version,
+            page_number: 0,
+            length: PAGE_BYTES as u16,
+            next: DiskAddress::NIL,
+            prev: DiskAddress::NIL,
+        };
+        let mut prev_data = leader.encode();
+        for n in 1..=pages {
+            let start = (n as usize - 1) * PAGE_BYTES;
+            let chunk = &bytes[start.min(bytes.len())..bytes.len().min(start + PAGE_BYTES)];
+            let mut data = [0u16; DATA_WORDS];
+            pack_bytes(chunk, &mut data);
+            let label = Label {
+                fid: fv.serial.words(),
+                version: fv.version,
+                page_number: n,
+                length: chunk.len() as u16,
+                next: DiskAddress::NIL,
+                prev: prev_da,
+            };
+            let da =
+                self.allocate_page(Some(DiskAddress(prev_da.0.wrapping_add(1))), label, &data)?;
+            // Fix the predecessor's next link (one revolution, §3.3).
+            let prev_pn = PageName::new(fv, n - 1, prev_da);
+            prev_label.next = da;
+            page::rewrite_label(&mut self.disk, prev_pn, prev_label, &prev_data)?;
+            prev_da = da;
+            last_da = da;
+            prev_label = label;
+            prev_data = data;
+        }
+        leader.last_page = pages;
+        leader.last_da = last_da;
+        leader.maybe_consecutive = last_da.0 == leader_da.0.wrapping_add(pages);
+        self.write_page(PageName::new(fv, 0, leader_da), &leader.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes the leader page of `file`.
+    pub fn read_leader(&mut self, file: FileFullName) -> Result<LeaderPage, FsError> {
+        let (_, data) = self.read_page(file.leader_page())?;
+        Ok(LeaderPage::decode(&data))
+    }
+
+    /// Rewrites the leader page's *data* (dates, name, hints); the leader's
+    /// label is checked but unchanged, so this is an ordinary write.
+    pub fn write_leader(&mut self, file: FileFullName, leader: &LeaderPage) -> Result<(), FsError> {
+        self.write_page(file.leader_page(), &leader.encode())?;
+        Ok(())
+    }
+
+    /// The file's length in data bytes, computed from the last page's label
+    /// (the leader hint is used and validated).
+    pub fn file_length(&mut self, file: FileFullName) -> Result<u64, FsError> {
+        let (last_pn, last_label) = self.locate_last_page(file)?;
+        Ok((last_pn.page as u64 - 1) * PAGE_BYTES as u64 + last_label.length as u64)
+    }
+
+    /// Reads the entire contents of `file`.
+    pub fn read_file(&mut self, file: FileFullName) -> Result<Vec<u8>, FsError> {
+        read_file_with(&mut self.disk, file)
+    }
+
+    /// Replaces the entire contents of `file` with `bytes`, reusing pages
+    /// in place, extending or truncating as needed, and updating the
+    /// leader's written date and last-page hints.
+    pub fn write_file(&mut self, file: FileFullName, bytes: &[u8]) -> Result<(), FsError> {
+        self.overwrite_in_place(file, bytes)?;
+        let mut leader = self.read_leader(file)?;
+        leader.written = self.now();
+        let (last_pn, _) = self.locate_last_page(file)?;
+        leader.last_page = last_pn.page;
+        leader.last_da = last_pn.da;
+        self.write_leader(file, &leader)?;
+        Ok(())
+    }
+
+    /// Writes words into the leader page's user property space (§3.6's
+    /// installed programs park hints there). `offset` is relative to
+    /// [`crate::leader::PROPERTY_BASE`].
+    pub fn write_leader_properties(
+        &mut self,
+        file: FileFullName,
+        offset: usize,
+        words: &[u16],
+    ) -> Result<(), FsError> {
+        let mut leader = self.read_leader(file)?;
+        let end = offset
+            .checked_add(words.len())
+            .filter(|&e| e <= leader.properties.len())
+            .ok_or(FsError::BadLength(words.len() as u16))?;
+        leader.properties[offset..end].copy_from_slice(words);
+        self.write_leader(file, &leader)
+    }
+
+    /// Reads words from the leader page's user property space.
+    pub fn read_leader_properties(
+        &mut self,
+        file: FileFullName,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u16>, FsError> {
+        let leader = self.read_leader(file)?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= leader.properties.len())
+            .ok_or(FsError::BadLength(len as u16))?;
+        Ok(leader.properties[offset..end].to_vec())
+    }
+
+    /// Records a read access in the leader's read date (§3.2). Programs
+    /// that care call this; reads themselves stay cheap.
+    pub fn touch_read(&mut self, file: FileFullName) -> Result<(), FsError> {
+        let mut leader = self.read_leader(file)?;
+        leader.read = self.now();
+        self.write_leader(file, &leader)
+    }
+
+    /// Deletes the entire file, freeing every page (§3.2).
+    pub fn delete_file(&mut self, file: FileFullName) -> Result<(), FsError> {
+        // Collect the chain first (labels are the source of truth).
+        let mut chain = vec![];
+        let mut pn = file.leader_page();
+        loop {
+            let (label, _) = self.read_page(pn)?;
+            chain.push(pn);
+            if label.next.is_nil() {
+                break;
+            }
+            pn = PageName::new(file.fv, pn.page + 1, label.next);
+        }
+        for pn in chain {
+            self.free_page(pn)?;
+        }
+        Ok(())
+    }
+
+    /// Walks to the last page, preferring the leader hint and falling back
+    /// to a link chase from the leader.
+    fn locate_last_page(&mut self, file: FileFullName) -> Result<(PageName, Label), FsError> {
+        let (leader_label, leader_data) = self.read_page(file.leader_page())?;
+        let leader = LeaderPage::decode(&leader_data);
+        // Try the hint.
+        if leader.last_page > 0 && !leader.last_da.is_nil() {
+            let pn = PageName::new(file.fv, leader.last_page, leader.last_da);
+            if let Ok((label, _)) = self.read_page(pn) {
+                if label.next.is_nil() {
+                    return Ok((pn, label));
+                }
+            }
+        }
+        // Chase links from the leader.
+        let mut pn = PageName::new(file.fv, 1, leader_label.next);
+        loop {
+            let (label, _) = self.read_page(pn)?;
+            if label.next.is_nil() {
+                return Ok((pn, label));
+            }
+            pn = PageName::new(file.fv, pn.page + 1, label.next);
+        }
+    }
+
+    /// Rewrites file contents page by page. Ordinary writes where the label
+    /// (length, links) is unchanged; label rewrites only where the length
+    /// or links change; allocation/free only where the page count changes.
+    fn overwrite_in_place(&mut self, file: FileFullName, bytes: &[u8]) -> Result<(), FsError> {
+        let new_pages = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
+        let (leader_label, _) = self.read_page(file.leader_page())?;
+        let mut prev_da = file.leader_da;
+        let mut da = leader_label.next; // page 1's address
+                                        // The previous iteration's final label and data, so extension can
+                                        // fix the predecessor's next link without re-reading it.
+        let mut prev_state: Option<(Label, [u16; DATA_WORDS])> = None;
+        for n in 1..=new_pages {
+            let chunk_start = (n as usize - 1) * PAGE_BYTES;
+            let chunk =
+                &bytes[chunk_start.min(bytes.len())..bytes.len().min(chunk_start + PAGE_BYTES)];
+            let mut data = [0u16; DATA_WORDS];
+            pack_bytes(chunk, &mut data);
+            let new_len = chunk.len() as u16;
+            let is_last = n == new_pages;
+
+            if da.is_nil() {
+                // Extend: allocate page n.
+                let label = Label {
+                    fid: file.fv.serial.words(),
+                    version: file.fv.version,
+                    page_number: n,
+                    length: new_len,
+                    next: DiskAddress::NIL,
+                    prev: prev_da,
+                };
+                let new_da =
+                    self.allocate_page(Some(DiskAddress(prev_da.0.wrapping_add(1))), label, &data)?;
+                // Fix the previous page's next link (a length change in the
+                // §3.3 sense: one revolution). The predecessor's contents
+                // are still in memory from the previous iteration.
+                let prev_pn = PageName::new(file.fv, n - 1, prev_da);
+                let (mut prev_label, prev_data) = match prev_state.take() {
+                    Some(state) => state,
+                    None => self.read_page(prev_pn)?,
+                };
+                prev_label.next = new_da;
+                page::rewrite_label(&mut self.disk, prev_pn, prev_label, &prev_data)?;
+                prev_da = new_da;
+                da = DiskAddress::NIL;
+                prev_state = Some((label, data));
+            } else {
+                let pn = PageName::new(file.fv, n, da);
+                // Write the data in a single pass; the label check's
+                // wildcards capture the current label, telling us the old
+                // length and the next link without a separate read. This
+                // is what lets a same-size rewrite (e.g. a world swap,
+                // §4.1) stream at full disk speed.
+                let current = self.write_page(pn, &data)?;
+                let next_after = current.next;
+                let mut final_label = current;
+                if current.length != new_len || (is_last && !current.next.is_nil()) {
+                    // Length or links change: the §3.3 label rewrite, one
+                    // revolution.
+                    final_label.length = new_len;
+                    if is_last {
+                        final_label.next = DiskAddress::NIL;
+                    }
+                    page::rewrite_label(&mut self.disk, pn, final_label, &data)?;
+                }
+                prev_da = da;
+                da = if is_last {
+                    DiskAddress::NIL
+                } else {
+                    next_after
+                };
+                prev_state = Some((final_label, data));
+                // Truncate: free any remaining old pages.
+                if is_last && !next_after.is_nil() {
+                    self.free_chain(file.fv, n + 1, next_after)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Frees the chain of pages starting at `(fv, first_page)` @ `da`.
+    fn free_chain(&mut self, fv: Fv, first_page: u16, da: DiskAddress) -> Result<(), FsError> {
+        let mut pn = PageName::new(fv, first_page, da);
+        loop {
+            let old = self.free_page(pn)?;
+            if old.next.is_nil() {
+                return Ok(());
+            }
+            pn = PageName::new(fv, pn.page + 1, old.next);
+        }
+    }
+}
+
+/// Reads a whole file through a bare disk (used by `mount`, before a
+/// `FileSystem` exists).
+pub(crate) fn read_file_with<D: Disk>(
+    disk: &mut D,
+    file: FileFullName,
+) -> Result<Vec<u8>, FsError> {
+    let (leader_label, _) = page::read_page(disk, file.leader_page())?;
+    let mut bytes = Vec::new();
+    let mut pn = PageName::new(file.fv, 1, leader_label.next);
+    loop {
+        let (label, data) = page::read_page(disk, pn)?;
+        if label.length as usize > PAGE_BYTES {
+            return Err(FsError::BadLength(label.length));
+        }
+        bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
+        if label.next.is_nil() {
+            return Ok(bytes);
+        }
+        pn = PageName::new(file.fv, pn.page + 1, label.next);
+    }
+}
+
+/// Packs bytes into page words, big-endian (byte 0 in the high byte).
+pub fn pack_bytes(bytes: &[u8], words: &mut [u16; DATA_WORDS]) {
+    for (i, &b) in bytes.iter().enumerate().take(PAGE_BYTES) {
+        if i % 2 == 0 {
+            words[i / 2] = (b as u16) << 8;
+        } else {
+            words[i / 2] |= b as u16;
+        }
+    }
+}
+
+/// Unpacks page words into bytes.
+pub fn unpack_bytes(words: &[u16; DATA_WORDS]) -> [u8; PAGE_BYTES] {
+    let mut out = [0u8; PAGE_BYTES];
+    for (i, &w) in words.iter().enumerate() {
+        out[2 * i] = (w >> 8) as u8;
+        out[2 * i + 1] = w as u8;
+    }
+    out
+}
+
+/// Converts a word vector to bytes (for word-structured file payloads).
+pub fn words_to_bytes(words: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 2);
+    for &w in words {
+        out.push((w >> 8) as u8);
+        out.push(w as u8);
+    }
+    out
+}
+
+/// Converts bytes back to words (odd trailing byte is high-padded).
+pub fn bytes_to_words(bytes: &[u8]) -> Vec<u16> {
+    bytes
+        .chunks(2)
+        .map(|c| ((c[0] as u16) << 8) | c.get(1).map(|&b| b as u16).unwrap_or(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_sim::{SimClock, Trace};
+
+    fn fresh_fs() -> FileSystem<DiskDrive> {
+        let drive =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        FileSystem::format(drive).unwrap()
+    }
+
+    #[test]
+    fn format_lays_down_the_well_known_structure() {
+        let fs = fresh_fs();
+        let pack = fs.disk().pack().unwrap();
+        // DA 0 reserved (free label, busy in map).
+        assert!(pack
+            .sector(descriptor::BOOT_PAGE_DA)
+            .unwrap()
+            .decoded_label()
+            .is_free());
+        assert!(fs.descriptor().bitmap.is_busy(descriptor::BOOT_PAGE_DA));
+        // Descriptor leader at DA 1, root dir leader at DA 2.
+        let desc_label = pack
+            .sector(descriptor::DESCRIPTOR_LEADER_DA)
+            .unwrap()
+            .decoded_label();
+        assert_eq!(Fv::from_label(&desc_label), descriptor::descriptor_fv());
+        let root_label = pack
+            .sector(descriptor::ROOT_DIR_LEADER_DA)
+            .unwrap()
+            .decoded_label();
+        assert_eq!(Fv::from_label(&root_label), descriptor::root_dir_fv());
+        assert!(root_label.fid[0] & 0x8000 != 0, "directory flag in label");
+    }
+
+    #[test]
+    fn mount_round_trip() {
+        let fs = fresh_fs();
+        let free_before = fs.descriptor().bitmap.free_count();
+        let disk = fs.unmount().unwrap();
+        let fs2 = FileSystem::mount(disk).unwrap();
+        assert_eq!(fs2.descriptor().bitmap.free_count(), free_before);
+        assert_eq!(fs2.root_dir().leader_da, descriptor::ROOT_DIR_LEADER_DA);
+    }
+
+    #[test]
+    fn mount_unformatted_disk_fails() {
+        let drive =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        assert!(matches!(
+            FileSystem::mount(drive),
+            Err(FsError::NotFormatted(_))
+        ));
+    }
+
+    #[test]
+    fn create_empty_file() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("empty.txt").unwrap();
+        assert_eq!(fs.file_length(f).unwrap(), 0);
+        assert_eq!(fs.read_file(f).unwrap(), Vec::<u8>::new());
+        let leader = fs.read_leader(f).unwrap();
+        assert_eq!(leader.name, "empty.txt");
+        assert_eq!(leader.last_page, 1);
+    }
+
+    #[test]
+    fn write_and_read_small_file() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("hello").unwrap();
+        fs.write_file(f, b"Hello, Alto!").unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), b"Hello, Alto!");
+        assert_eq!(fs.file_length(f).unwrap(), 12);
+    }
+
+    #[test]
+    fn write_and_read_multi_page_file() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("big").unwrap();
+        let bytes: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file(f, &bytes).unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), bytes);
+        assert_eq!(fs.file_length(f).unwrap(), 5000);
+        // 5000 bytes = 9 full pages + 1 partial.
+        let (last_pn, last_label) = {
+            let leader = fs.read_leader(f).unwrap();
+            (leader.last_page, leader.last_da)
+        };
+        assert_eq!(last_pn, 10);
+        let (l, _) = fs.read_page(PageName::new(f.fv, 10, last_label)).unwrap();
+        assert_eq!(l.length as usize, 5000 - 9 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn exact_page_boundary_file() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("exact").unwrap();
+        let bytes = vec![7u8; PAGE_BYTES * 2];
+        fs.write_file(f, &bytes).unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), bytes);
+        assert_eq!(fs.file_length(f).unwrap(), (PAGE_BYTES * 2) as u64);
+        // Last page is full: L = 512 and the page after it does not exist.
+        let leader = fs.read_leader(f).unwrap();
+        assert_eq!(leader.last_page, 2);
+    }
+
+    #[test]
+    fn shrink_file_frees_pages() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("shrink").unwrap();
+        fs.write_file(f, &vec![1u8; 4000]).unwrap();
+        let free_mid = fs.descriptor().bitmap.free_count();
+        fs.write_file(f, b"tiny").unwrap();
+        assert!(fs.descriptor().bitmap.free_count() > free_mid);
+        assert_eq!(fs.read_file(f).unwrap(), b"tiny");
+        // Grow again.
+        fs.write_file(f, &vec![2u8; 2000]).unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), vec![2u8; 2000]);
+    }
+
+    #[test]
+    fn delete_file_frees_everything() {
+        let mut fs = fresh_fs();
+        let before = fs.descriptor().bitmap.free_count();
+        let f = fs.create_file("doomed").unwrap();
+        fs.write_file(f, &vec![9u8; 3000]).unwrap();
+        fs.delete_file(f).unwrap();
+        assert_eq!(fs.descriptor().bitmap.free_count(), before);
+        // The leader is gone: reads fail with a check error.
+        assert!(fs.read_page(f.leader_page()).is_err());
+        // 3000 bytes = 6 data pages, plus the leader.
+        assert_eq!(fs.stats().pages_freed, 7);
+    }
+
+    #[test]
+    fn files_get_distinct_serials() {
+        let mut fs = fresh_fs();
+        let a = fs.create_file("a").unwrap();
+        let b = fs.create_file("b").unwrap();
+        assert_ne!(a.fv, b.fv);
+        assert!(!a.is_directory());
+        let d = fs.create_directory_file("d").unwrap();
+        assert!(d.is_directory());
+    }
+
+    #[test]
+    fn stale_bitmap_allocation_retries() {
+        let mut fs = fresh_fs();
+        // Lie in the map: mark a busy page (the root leader) free.
+        fs.descriptor_mut()
+            .bitmap
+            .set_free(descriptor::ROOT_DIR_LEADER_DA);
+        fs.descriptor_mut().rotor = descriptor::ROOT_DIR_LEADER_DA;
+        let f = fs.create_file("resilient").unwrap();
+        // Allocation succeeded elsewhere, after at least one retry.
+        assert!(fs.stats().alloc_retries >= 1);
+        assert_ne!(f.leader_da, descriptor::ROOT_DIR_LEADER_DA);
+        // The lie is corrected (bit busy again).
+        assert!(fs
+            .descriptor()
+            .bitmap
+            .is_busy(descriptor::ROOT_DIR_LEADER_DA));
+    }
+
+    #[test]
+    fn disk_full() {
+        let mut fs = fresh_fs();
+        // Exhaust the map artificially.
+        let n = fs.descriptor().bitmap.len();
+        for i in 0..n {
+            fs.descriptor_mut().bitmap.set_busy(DiskAddress(i as u16));
+        }
+        assert!(matches!(fs.create_file("nope"), Err(FsError::DiskFull)));
+    }
+
+    #[test]
+    fn leader_dates_update_on_write() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("dated").unwrap();
+        let created = fs.read_leader(f).unwrap().created;
+        fs.disk().clock().advance(alto_sim::SimTime::from_secs(100));
+        fs.write_file(f, b"data").unwrap();
+        let leader = fs.read_leader(f).unwrap();
+        assert_eq!(leader.created, created);
+        assert!(leader.written > created);
+    }
+
+    #[test]
+    fn byte_packing_round_trip() {
+        let mut words = [0u16; DATA_WORDS];
+        let bytes: Vec<u8> = (0..PAGE_BYTES as u32).map(|i| (i % 256) as u8).collect();
+        pack_bytes(&bytes, &mut words);
+        assert_eq!(unpack_bytes(&words).to_vec(), bytes);
+        // Odd-length chunk.
+        let mut words = [0u16; DATA_WORDS];
+        pack_bytes(&[1, 2, 3], &mut words);
+        assert_eq!(words[0], 0x0102);
+        assert_eq!(words[1], 0x0300);
+    }
+
+    #[test]
+    fn words_bytes_round_trip() {
+        let words = vec![0x1234, 0xABCD, 0x0001];
+        assert_eq!(bytes_to_words(&words_to_bytes(&words)), words);
+    }
+
+    #[test]
+    fn descriptor_flush_is_ordinary_writes() {
+        let mut fs = fresh_fs();
+        let before = fs.disk().stats().label_writes;
+        fs.flush_descriptor().unwrap();
+        let after = fs.disk().stats().label_writes;
+        assert_eq!(before, after, "flush must not rewrite labels");
+    }
+
+    #[test]
+    fn leader_property_space_round_trips() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("props").unwrap();
+        fs.write_leader_properties(f, 4, &[0xAA, 0xBB, 0xCC])
+            .unwrap();
+        assert_eq!(
+            fs.read_leader_properties(f, 4, 3).unwrap(),
+            vec![0xAA, 0xBB, 0xCC]
+        );
+        // Other properties untouched.
+        assert_eq!(fs.read_leader_properties(f, 0, 4).unwrap(), vec![0; 4]);
+        // Out of range rejected.
+        assert!(fs.write_leader_properties(f, 300, &[1]).is_err());
+        assert!(fs.read_leader_properties(f, 0, 10_000).is_err());
+        // Properties survive content rewrites.
+        fs.write_file(f, &vec![7u8; 2000]).unwrap();
+        assert_eq!(fs.read_leader_properties(f, 4, 1).unwrap(), vec![0xAA]);
+    }
+
+    #[test]
+    fn touch_read_updates_the_read_date() {
+        let mut fs = fresh_fs();
+        let f = fs.create_file("dated").unwrap();
+        let before = fs.read_leader(f).unwrap().read;
+        fs.disk().clock().advance(alto_sim::SimTime::from_secs(30));
+        fs.touch_read(f).unwrap();
+        let after = fs.read_leader(f).unwrap().read;
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,203 @@
+//! The leader page: page 0 of every file (§3.2).
+//!
+//! The leader contains all the properties of the file other than its length
+//! and its data: the dates of creation, last write and last read
+//! (absolutes); the *leader name*, a string by which the file can be
+//! located even if every directory entry for it is destroyed (absolute —
+//! this is what makes orphan adoption possible during scavenging, §3.5);
+//! and two hints — the page number and disk address of the last page, and a
+//! *maybe consecutive* flag.
+
+use alto_disk::{DiskAddress, DATA_WORDS};
+
+use crate::dates::AltoDate;
+use crate::errors::FsError;
+
+/// Maximum leader-name length in bytes.
+pub const MAX_LEADER_NAME: usize = 39;
+
+// Leader page word layout.
+const CREATED: usize = 0; // 2 words
+const WRITTEN: usize = 2; // 2 words
+const READ: usize = 4; // 2 words
+const NAME_LEN: usize = 6; // 1 word
+const NAME_BYTES: usize = 7; // 20 words = 40 bytes
+const LAST_PAGE: usize = 27; // 1 word (hint)
+const LAST_DA: usize = 28; // 1 word (hint)
+const CONSECUTIVE: usize = 29; // 1 word (hint)
+/// First word of the property space available to user programs (§3.6's
+/// installed hints are commonly parked here by convention).
+pub const PROPERTY_BASE: usize = 32;
+
+/// Decoded contents of a leader page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaderPage {
+    /// Date the file was created (absolute).
+    pub created: AltoDate,
+    /// Date of the last write (absolute).
+    pub written: AltoDate,
+    /// Date of the last read (absolute).
+    pub read: AltoDate,
+    /// The leader name (absolute): the file's recoverable string name.
+    pub name: String,
+    /// Hint: the page number of the last page.
+    pub last_page: u16,
+    /// Hint: the disk address of the last page.
+    pub last_da: DiskAddress,
+    /// Hint: true if the file's pages may be consecutively allocated.
+    pub maybe_consecutive: bool,
+    /// The user property space (words `PROPERTY_BASE..256`).
+    pub properties: Vec<u16>,
+}
+
+impl LeaderPage {
+    /// A fresh leader for a file created now.
+    pub fn new(name: &str, now: AltoDate) -> Result<LeaderPage, FsError> {
+        if name.len() > MAX_LEADER_NAME {
+            return Err(FsError::NameTooLong(name.len()));
+        }
+        Ok(LeaderPage {
+            created: now,
+            written: now,
+            read: now,
+            name: name.to_string(),
+            last_page: 0,
+            last_da: DiskAddress::NIL,
+            maybe_consecutive: false,
+            properties: vec![0; DATA_WORDS - PROPERTY_BASE],
+        })
+    }
+
+    /// Encodes the leader into a 256-word page image.
+    pub fn encode(&self) -> [u16; DATA_WORDS] {
+        let mut w = [0u16; DATA_WORDS];
+        w[CREATED..CREATED + 2].copy_from_slice(&self.created.words());
+        w[WRITTEN..WRITTEN + 2].copy_from_slice(&self.written.words());
+        w[READ..READ + 2].copy_from_slice(&self.read.words());
+        let bytes = self.name.as_bytes();
+        w[NAME_LEN] = bytes.len() as u16;
+        for (i, &b) in bytes.iter().enumerate() {
+            let word = NAME_BYTES + i / 2;
+            if i % 2 == 0 {
+                w[word] |= (b as u16) << 8;
+            } else {
+                w[word] |= b as u16;
+            }
+        }
+        w[LAST_PAGE] = self.last_page;
+        w[LAST_DA] = self.last_da.0;
+        w[CONSECUTIVE] = self.maybe_consecutive as u16;
+        let n = self.properties.len().min(DATA_WORDS - PROPERTY_BASE);
+        w[PROPERTY_BASE..PROPERTY_BASE + n].copy_from_slice(&self.properties[..n]);
+        w
+    }
+
+    /// Decodes a leader from a 256-word page image.
+    ///
+    /// A garbled name length or non-UTF-8 bytes yield an empty name rather
+    /// than an error: the Scavenger must be able to decode every leader it
+    /// meets, however damaged.
+    pub fn decode(w: &[u16; DATA_WORDS]) -> LeaderPage {
+        let len = (w[NAME_LEN] as usize).min(MAX_LEADER_NAME);
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let word = w[NAME_BYTES + i / 2];
+            bytes.push(if i % 2 == 0 {
+                (word >> 8) as u8
+            } else {
+                word as u8
+            });
+        }
+        let name = String::from_utf8(bytes).unwrap_or_default();
+        LeaderPage {
+            created: AltoDate::from_words([w[CREATED], w[CREATED + 1]]),
+            written: AltoDate::from_words([w[WRITTEN], w[WRITTEN + 1]]),
+            read: AltoDate::from_words([w[READ], w[READ + 1]]),
+            name,
+            last_page: w[LAST_PAGE],
+            last_da: DiskAddress(w[LAST_DA]),
+            maybe_consecutive: w[CONSECUTIVE] != 0,
+            properties: w[PROPERTY_BASE..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LeaderPage {
+        let mut l = LeaderPage::new("memo.txt", AltoDate(1000)).unwrap();
+        l.written = AltoDate(2000);
+        l.read = AltoDate(3000);
+        l.last_page = 7;
+        l.last_da = DiskAddress(123);
+        l.maybe_consecutive = true;
+        l.properties[0] = 0xAAAA;
+        l.properties[10] = 0x5555;
+        l
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let l = sample();
+        assert_eq!(LeaderPage::decode(&l.encode()), l);
+    }
+
+    #[test]
+    fn empty_and_max_names() {
+        let e = LeaderPage::new("", AltoDate(1)).unwrap();
+        assert_eq!(LeaderPage::decode(&e.encode()).name, "");
+        let name39 = "a".repeat(39);
+        let m = LeaderPage::new(&name39, AltoDate(1)).unwrap();
+        assert_eq!(LeaderPage::decode(&m.encode()).name, name39);
+    }
+
+    #[test]
+    fn overlong_name_rejected() {
+        let err = LeaderPage::new(&"x".repeat(40), AltoDate(1)).unwrap_err();
+        assert_eq!(err, FsError::NameTooLong(40));
+    }
+
+    #[test]
+    fn odd_length_name_round_trips() {
+        let l = LeaderPage::new("abc", AltoDate(1)).unwrap();
+        assert_eq!(LeaderPage::decode(&l.encode()).name, "abc");
+    }
+
+    #[test]
+    fn garbled_name_decodes_as_empty() {
+        let mut w = sample().encode();
+        w[NAME_LEN] = 9999; // length clamped
+        w[NAME_BYTES] = 0xFFFF; // invalid UTF-8
+        let l = LeaderPage::decode(&w);
+        assert_eq!(l.name, "");
+        // Other fields still decode.
+        assert_eq!(l.last_page, 7);
+    }
+
+    #[test]
+    fn new_leader_has_nil_hints() {
+        let l = LeaderPage::new("f", AltoDate(5)).unwrap();
+        assert_eq!(l.last_page, 0);
+        assert!(l.last_da.is_nil());
+        assert!(!l.maybe_consecutive);
+        assert_eq!(l.created, l.written);
+    }
+
+    #[test]
+    fn property_space_is_preserved() {
+        let mut l = sample();
+        l.properties = vec![3; DATA_WORDS - PROPERTY_BASE];
+        let back = LeaderPage::decode(&l.encode());
+        assert!(back.properties.iter().all(|&w| w == 3));
+        assert_eq!(back.properties.len(), DATA_WORDS - PROPERTY_BASE);
+    }
+
+    #[test]
+    fn name_bytes_are_big_endian_packed() {
+        let l = LeaderPage::new("AB", AltoDate(1)).unwrap();
+        let w = l.encode();
+        assert_eq!(w[NAME_BYTES], ((b'A' as u16) << 8) | b'B' as u16);
+    }
+}

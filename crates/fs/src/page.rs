@@ -1,0 +1,359 @@
+//! Page-level operations (§3.1, §3.3).
+//!
+//! "Disk pages are always accessed by their full names": every operation
+//! here takes a [`PageName`] — absolute name plus hint address — builds the
+//! check pattern from the absolutes, and issues a sector operation whose
+//! label check guarantees the hint actually leads to the named page.
+//!
+//! One hardware subtlety is handled in software: a memory word of 0 is a
+//! *wildcard* in a check action, so absolute fields that happen to encode as
+//! 0 (a page number of 0, a serial low word of 0) are not checked by the
+//! hardware. After every successful check we verify the captured words
+//! against the intended absolutes and synthesize the same check error the
+//! hardware would have produced. This closes the check, at zero simulated
+//! cost, without weakening the §3.3 discipline.
+
+use alto_disk::{
+    CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp, SectorPart, DATA_WORDS,
+};
+
+use crate::errors::FsError;
+use crate::names::{Fv, PageName};
+
+/// Verifies that a captured label carries exactly the intended absolutes.
+fn verify_absolutes(da: DiskAddress, fv: Fv, page: u16, got: &Label) -> Result<(), FsError> {
+    let intended = fv.check_label(page);
+    let fields = [
+        (0usize, intended.fid[0], got.fid[0]),
+        (1, intended.fid[1], got.fid[1]),
+        (2, intended.version, got.version),
+        (3, intended.page_number, got.page_number),
+    ];
+    for (word_index, expected, found) in fields {
+        if expected != found {
+            return Err(FsError::Disk(DiskError::Check(CheckFailure {
+                da,
+                part: SectorPart::Label,
+                word_index,
+                expected,
+                found,
+            })));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the memory buffer for a checked access to `pn`.
+fn checked_buf<D: Disk>(disk: &D, pn: PageName) -> Result<SectorBuf, FsError> {
+    let mut buf = SectorBuf::with_label(pn.fv.check_label(pn.page));
+    buf.header = [disk.pack_number()?, pn.da.0];
+    Ok(buf)
+}
+
+/// Reads the data and label of the page named `pn`, using its hint address.
+///
+/// Fails with a check error if the sector at the hint address is not the
+/// named page — the caller then climbs the hint ladder (§3.6).
+pub fn read_page<D: Disk>(
+    disk: &mut D,
+    pn: PageName,
+) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
+    let mut buf = checked_buf(disk, pn)?;
+    disk.do_op(pn.da, SectorOp::READ, &mut buf)?;
+    let label = buf.decoded_label();
+    verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
+    Ok((label, buf.data))
+}
+
+/// Writes the data of the page named `pn` (an ordinary data write: the
+/// label is checked "at no cost in time" but not modified, §3.3).
+///
+/// Returns the page's label as captured by the check.
+pub fn write_page<D: Disk>(
+    disk: &mut D,
+    pn: PageName,
+    data: &[u16; DATA_WORDS],
+) -> Result<Label, FsError> {
+    let mut buf = checked_buf(disk, pn)?;
+    buf.data = *data;
+    disk.do_op(pn.da, SectorOp::WRITE, &mut buf)?;
+    let label = buf.decoded_label();
+    verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
+    Ok(label)
+}
+
+/// Reads the raw header, label and data of an arbitrary sector with no
+/// checking at all — the Scavenger's scan primitive.
+pub fn read_raw<D: Disk>(
+    disk: &mut D,
+    da: DiskAddress,
+) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
+    let mut buf = SectorBuf::zeroed();
+    disk.do_op(da, SectorOp::READ_ALL, &mut buf)?;
+    Ok((buf.decoded_label(), buf.data))
+}
+
+/// Allocates the free sector `da` as the page with `label`, writing `data`.
+///
+/// Two passes, as §3.3 prescribes: first the label is checked to be free,
+/// then the proper label (and the first data) is written — costing one
+/// disk revolution. Fails with a check error if the sector is not actually
+/// free (a stale allocation map); the allocator then retries elsewhere.
+pub fn allocate_at<D: Disk>(
+    disk: &mut D,
+    da: DiskAddress,
+    label: Label,
+    data: &[u16; DATA_WORDS],
+) -> Result<(), FsError> {
+    let mut buf = SectorBuf::with_label(Label::FREE);
+    buf.header = [disk.pack_number()?, da.0];
+    disk.do_op(da, SectorOp::CHECK_LABEL, &mut buf)?;
+    let mut buf = SectorBuf::with_label(label);
+    buf.header = [disk.pack_number()?, da.0];
+    buf.data = *data;
+    disk.do_op(da, SectorOp::WRITE_LABEL, &mut buf)?;
+    Ok(())
+}
+
+/// Rewrites the label (and data) of the existing page `pn` — the length
+/// change of §3.3: "the label of the last page is read and checked. Then it
+/// is rewritten, possibly with new values of L and NL."
+///
+/// Returns the old label. Costs one disk revolution (check pass + write
+/// pass on the same sector).
+pub fn rewrite_label<D: Disk>(
+    disk: &mut D,
+    pn: PageName,
+    new_label: Label,
+    data: &[u16; DATA_WORDS],
+) -> Result<Label, FsError> {
+    let mut buf = checked_buf(disk, pn)?;
+    disk.do_op(pn.da, SectorOp::CHECK_LABEL, &mut buf)?;
+    let old = buf.decoded_label();
+    verify_absolutes(pn.da, pn.fv, pn.page, &old)?;
+    let mut buf = SectorBuf::with_label(new_label);
+    buf.header = [disk.pack_number()?, pn.da.0];
+    buf.data = *data;
+    disk.do_op(pn.da, SectorOp::WRITE_LABEL, &mut buf)?;
+    Ok(old)
+}
+
+/// Frees the page named `pn`: checks its label, then writes ones into label
+/// and value "to ensure that any attempt to treat the page as part of a
+/// file will fail with a label check error" (§3.3).
+///
+/// Returns the old label (whose links the caller may need). Costs one disk
+/// revolution.
+pub fn free_page<D: Disk>(disk: &mut D, pn: PageName) -> Result<Label, FsError> {
+    rewrite_label(disk, pn, Label::FREE, &[u16::MAX; DATA_WORDS])
+}
+
+/// Quarantines a permanently bad sector with the special bad label (§3.5).
+///
+/// No check pass: the sector may be unreadable; the label is simply
+/// overwritten.
+pub fn mark_bad<D: Disk>(disk: &mut D, da: DiskAddress) -> Result<(), FsError> {
+    let mut buf = SectorBuf::with_label(Label::BAD);
+    buf.header = [disk.pack_number()?, da.0];
+    buf.data = [u16::MAX; DATA_WORDS];
+    disk.do_op(da, SectorOp::WRITE_ALL, &mut buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::SerialNumber;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_sim::{SimClock, Trace};
+
+    fn drive() -> DiskDrive {
+        DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1)
+    }
+
+    fn fv() -> Fv {
+        Fv::new(SerialNumber::new(0x20, false), 1)
+    }
+
+    fn label_for(page: u16, next: DiskAddress, prev: DiskAddress) -> Label {
+        Label {
+            fid: fv().serial.words(),
+            version: 1,
+            page_number: page,
+            length: 512,
+            next,
+            prev,
+        }
+    }
+
+    #[test]
+    fn allocate_read_write_cycle() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        let label = label_for(1, DiskAddress::NIL, DiskAddress(39));
+        allocate_at(&mut d, da, label, &[3; DATA_WORDS]).unwrap();
+
+        let pn = PageName::new(fv(), 1, da);
+        let (l, data) = read_page(&mut d, pn).unwrap();
+        assert_eq!(l, label);
+        assert_eq!(data, [3; DATA_WORDS]);
+
+        write_page(&mut d, pn, &[4; DATA_WORDS]).unwrap();
+        let (_, data) = read_page(&mut d, pn).unwrap();
+        assert_eq!(data, [4; DATA_WORDS]);
+    }
+
+    #[test]
+    fn read_with_wrong_hint_fails_without_damage() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[3; DATA_WORDS],
+        )
+        .unwrap();
+        // Hint points at a different (free) sector.
+        let stale = PageName::new(fv(), 1, DiskAddress(41));
+        assert!(matches!(
+            read_page(&mut d, stale),
+            Err(FsError::Disk(DiskError::Check(_)))
+        ));
+        // The real page is untouched.
+        let (l, _) = read_page(&mut d, PageName::new(fv(), 1, da)).unwrap();
+        assert_eq!(l.page_number, 1);
+    }
+
+    #[test]
+    fn software_verify_catches_zero_wildcard_page_number() {
+        // Allocate page 5 at `da`; then ask for page 0 (leader) at the same
+        // address. The hardware check pattern carries page_number = 0,
+        // a wildcard — only the software verification can catch this.
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(5, DiskAddress::NIL, DiskAddress::NIL),
+            &[3; DATA_WORDS],
+        )
+        .unwrap();
+        let wrong = PageName::new(fv(), 0, da);
+        let err = read_page(&mut d, wrong).unwrap_err();
+        match err {
+            FsError::Disk(DiskError::Check(c)) => {
+                assert_eq!(c.word_index, 3); // page number
+                assert_eq!(c.expected, 0);
+                assert_eq!(c.found, 5);
+            }
+            other => panic!("expected check failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocate_refuses_busy_sector() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        let label = label_for(1, DiskAddress::NIL, DiskAddress::NIL);
+        allocate_at(&mut d, da, label, &[1; DATA_WORDS]).unwrap();
+        let err = allocate_at(&mut d, da, label, &[2; DATA_WORDS]).unwrap_err();
+        assert!(matches!(err, FsError::Disk(DiskError::Check(_))));
+        // Original data intact.
+        let (_, data) = read_page(&mut d, PageName::new(fv(), 1, da)).unwrap();
+        assert_eq!(data, [1; DATA_WORDS]);
+    }
+
+    #[test]
+    fn free_page_writes_ones_and_blocks_reads() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[1; DATA_WORDS],
+        )
+        .unwrap();
+        let pn = PageName::new(fv(), 1, da);
+        let old = free_page(&mut d, pn).unwrap();
+        assert_eq!(old.page_number, 1);
+        // Any attempt to treat the page as part of a file fails.
+        assert!(read_page(&mut d, pn).is_err());
+        // The sector really is all ones.
+        let (l, data) = read_raw(&mut d, da).unwrap();
+        assert!(l.is_free());
+        assert!(data.iter().all(|&w| w == u16::MAX));
+    }
+
+    #[test]
+    fn free_requires_the_right_full_name() {
+        // "When the page is freed — its full name must be given, and the
+        // check is that the label is the right one."
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[1; DATA_WORDS],
+        )
+        .unwrap();
+        let wrong_fv = Fv::new(SerialNumber::new(0x21, false), 1);
+        let err = free_page(&mut d, PageName::new(wrong_fv, 1, da)).unwrap_err();
+        assert!(matches!(err, FsError::Disk(DiskError::Check(_))));
+        // Page survives.
+        assert!(read_page(&mut d, PageName::new(fv(), 1, da)).is_ok());
+    }
+
+    #[test]
+    fn rewrite_label_changes_length_and_links() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        let label = label_for(1, DiskAddress::NIL, DiskAddress::NIL);
+        allocate_at(&mut d, da, label, &[1; DATA_WORDS]).unwrap();
+        let mut new_label = label;
+        new_label.length = 100;
+        new_label.next = DiskAddress(41);
+        let pn = PageName::new(fv(), 1, da);
+        let old = rewrite_label(&mut d, pn, new_label, &[1; DATA_WORDS]).unwrap();
+        assert_eq!(old, label);
+        let (l, _) = read_page(&mut d, pn).unwrap();
+        assert_eq!(l, new_label);
+    }
+
+    #[test]
+    fn rewrite_label_costs_a_revolution() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        let label = label_for(1, DiskAddress::NIL, DiskAddress::NIL);
+        allocate_at(&mut d, da, label, &[1; DATA_WORDS]).unwrap();
+        let timing = d.timing().unwrap();
+        let start = d.clock().now();
+        rewrite_label(&mut d, PageName::new(fv(), 1, da), label, &[1; DATA_WORDS]).unwrap();
+        let elapsed = d.clock().now() - start;
+        // Check pass + one-revolution wait + write pass: at least a full
+        // revolution, at most a revolution plus the initial rotational wait.
+        assert!(elapsed >= timing.revolution());
+        assert!(elapsed < timing.revolution().scaled(2) + timing.sector_time);
+    }
+
+    #[test]
+    fn mark_bad_quarantines() {
+        let mut d = drive();
+        let da = DiskAddress(40);
+        d.pack_mut().unwrap().damage(da);
+        mark_bad(&mut d, da).unwrap();
+        let label = d.pack().unwrap().sector(da).unwrap().decoded_label();
+        assert!(label.is_bad());
+        assert!(!label.is_free());
+    }
+
+    #[test]
+    fn read_raw_reads_anything() {
+        let mut d = drive();
+        let (l, data) = read_raw(&mut d, DiskAddress(0)).unwrap();
+        assert!(l.is_free());
+        assert!(data.iter().all(|&w| w == u16::MAX));
+    }
+}

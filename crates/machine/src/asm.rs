@@ -1,0 +1,740 @@
+//! A small two-pass assembler for the Nova-like instruction set.
+//!
+//! The system is programmed in this assembly the way the Alto OS was
+//! programmed in BCPL: examples and tests write real programs, and the
+//! loader (§5.1) binds their references to operating-system procedures
+//! through fixup tables emitted by the [`.fixup`](#directives) directive.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment
+//!         .org 0o400        ; load address (default 0o400)
+//! start:  lda 0, value      ; page-zero or PC-relative resolved per label
+//!         lda 1, @ptr       ; indirect
+//!         sta 0, 3,2        ; AC2-relative, displacement +3
+//!         add# 0, 1, szr    ; ALU: carry/shift suffixes + '#' + skip
+//!         jsr @gets         ; call an OS procedure through a fixup word
+//!         jmp .-1           ; PC-relative to the instruction itself
+//!         trap 0, 12        ; raw OS trap
+//!         halt              ; trap 0,0
+//! value:  .word 0x1234      ; literal word (number, 'c', or label)
+//! buf:    .blk 16           ; reserve 16 zero words
+//! msg:    .str "hello"      ; packed bytes, big-endian, length prefix word
+//! gets:   .fixup "Gets"     ; one word, patched by the program loader
+//! ```
+//!
+//! ALU mnemonics are the base op (`com neg mov inc adc sub add and`)
+//! followed by an optional carry letter (`z o c`), an optional shift
+//! letter (`l r s`), and an optional `#` (no-load); the optional third
+//! operand is a skip test (`skp szc snc szr snr sez sbn`).
+
+use std::collections::HashMap;
+
+use crate::errors::MachineError;
+use crate::instr::{AluOp, CarryCtl, Index, Instr, MemFn, Shift, SkipTest};
+use crate::traps;
+
+/// The result of assembling a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembled {
+    /// Load address of the first word.
+    pub base: u16,
+    /// Entry point (absolute address).
+    pub entry: u16,
+    /// The emitted words.
+    pub words: Vec<u16>,
+    /// Fixups: (offset into `words`, external symbol name).
+    pub fixups: Vec<(u16, String)>,
+    /// Label addresses (absolute), for tests and debuggers.
+    pub labels: HashMap<String, u16>,
+}
+
+/// Assembles a source string (see module docs for the syntax).
+///
+/// # Examples
+///
+/// ```
+/// use alto_machine::{assemble, Machine, Step};
+/// use alto_sim::{SimClock, Trace};
+///
+/// let code = assemble("lda 0, k\nadd 0, 0\nhalt\nk: .word 21").unwrap();
+/// let mut m = Machine::new(SimClock::new(), Trace::new());
+/// m.load_program(code.base, &code.words).unwrap();
+/// assert_eq!(m.run(100).unwrap(), Step::Halted);
+/// assert_eq!(m.ac[0], 42);
+/// ```
+pub fn assemble(source: &str) -> Result<Assembled, MachineError> {
+    let lines = parse_lines(source)?;
+    // Pass 1: label addresses.
+    let mut base = 0o400u16;
+    let mut entry_label: Option<(String, usize)> = None;
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut addr = base as u32;
+    let mut org_set = false;
+    for line in &lines {
+        if let Some(label) = &line.label {
+            if labels.insert(label.clone(), addr as u16).is_some() {
+                return Err(err(line.number, format!("duplicate label \"{label}\"")));
+            }
+        }
+        match &line.body {
+            Body::None => {}
+            Body::Directive(d, args) => match d.as_str() {
+                ".org" => {
+                    if org_set || addr != base as u32 {
+                        return Err(err(line.number, ".org must come first".into()));
+                    }
+                    base = parse_number(args_one(args, line.number)?, line.number)?;
+                    addr = base as u32;
+                    org_set = true;
+                    // Re-bind any label on the .org line itself.
+                    if let Some(label) = &line.label {
+                        labels.insert(label.clone(), base);
+                    }
+                }
+                ".entry" => {
+                    entry_label = Some((args_one(args, line.number)?.to_string(), line.number))
+                }
+                ".word" | ".fixup" => addr += 1,
+                ".blk" => addr += parse_number(args_one(args, line.number)?, line.number)? as u32,
+                ".str" => addr += 1 + str_words(args_one(args, line.number)?, line.number)? as u32,
+                other => return Err(err(line.number, format!("unknown directive {other}"))),
+            },
+            Body::Instruction(..) => addr += 1,
+        }
+        if addr > 0x1_0000 {
+            return Err(err(
+                line.number,
+                "program runs past the end of memory".into(),
+            ));
+        }
+    }
+
+    // Pass 2: emit.
+    let mut words: Vec<u16> = Vec::new();
+    let mut fixups: Vec<(u16, String)> = Vec::new();
+    let mut addr = base;
+    for line in &lines {
+        match &line.body {
+            Body::None => {}
+            Body::Directive(d, args) => match d.as_str() {
+                ".org" | ".entry" => {}
+                ".word" => {
+                    let w = value_expr(args_one(args, line.number)?, &labels, line.number)?;
+                    words.push(w);
+                    addr = addr.wrapping_add(1);
+                }
+                ".fixup" => {
+                    let name = parse_string(args_one(args, line.number)?, line.number)?;
+                    fixups.push((words.len() as u16, name));
+                    words.push(0);
+                    addr = addr.wrapping_add(1);
+                }
+                ".blk" => {
+                    let n = parse_number(args_one(args, line.number)?, line.number)?;
+                    words.extend(std::iter::repeat_n(0u16, n as usize));
+                    addr = addr.wrapping_add(n);
+                }
+                ".str" => {
+                    let s = parse_string(args_one(args, line.number)?, line.number)?;
+                    words.push(s.len() as u16);
+                    for chunk in s.as_bytes().chunks(2) {
+                        let hi = (chunk[0] as u16) << 8;
+                        let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                        words.push(hi | lo);
+                    }
+                    addr = addr
+                        .wrapping_add(1 + str_words(args_one(args, line.number)?, line.number)?);
+                }
+                _ => unreachable!("validated in pass 1"),
+            },
+            Body::Instruction(mnemonic, operands) => {
+                let w = encode_instruction(mnemonic, operands, addr, &labels, line.number)?;
+                words.push(w);
+                addr = addr.wrapping_add(1);
+            }
+        }
+    }
+
+    let entry = match entry_label {
+        None => base,
+        Some((label, number)) => *labels
+            .get(&label)
+            .ok_or_else(|| err(number, format!("unknown entry label \"{label}\"")))?,
+    };
+    Ok(Assembled {
+        base,
+        entry,
+        words,
+        fixups,
+        labels,
+    })
+}
+
+struct Line {
+    number: usize,
+    label: Option<String>,
+    body: Body,
+}
+
+enum Body {
+    None,
+    Directive(String, String),
+    Instruction(String, String),
+}
+
+fn err(line: usize, message: String) -> MachineError {
+    MachineError::Asm { line, message }
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, MachineError> {
+    let mut out = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let number = i + 1;
+        // Strip comments, respecting character/string literals crudely
+        // (no ';' inside literals in practice).
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            out.push(Line {
+                number,
+                label: None,
+                body: Body::None,
+            });
+            continue;
+        }
+        let (label, rest) = match text.split_once(':') {
+            Some((l, rest)) if is_identifier(l.trim()) => (Some(l.trim().to_string()), rest.trim()),
+            _ => (None, text),
+        };
+        let body = if rest.is_empty() {
+            Body::None
+        } else {
+            let (head, tail) = match rest.split_once(char::is_whitespace) {
+                Some((h, t)) => (h.trim(), t.trim()),
+                None => (rest, ""),
+            };
+            if head.starts_with('.') {
+                Body::Directive(head.to_ascii_lowercase(), tail.to_string())
+            } else {
+                Body::Instruction(head.to_ascii_lowercase(), tail.to_string())
+            }
+        };
+        out.push(Line {
+            number,
+            label,
+            body,
+        });
+    }
+    Ok(out)
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn args_one(args: &str, line: usize) -> Result<&str, MachineError> {
+    let a = args.trim();
+    if a.is_empty() {
+        return Err(err(line, "missing operand".into()));
+    }
+    Ok(a)
+}
+
+fn parse_string(arg: &str, line: usize) -> Result<String, MachineError> {
+    let a = arg.trim();
+    if a.len() >= 2 && a.starts_with('"') && a.ends_with('"') {
+        Ok(a[1..a.len() - 1].to_string())
+    } else {
+        Err(err(line, format!("expected a quoted string, got {a}")))
+    }
+}
+
+fn str_words(arg: &str, line: usize) -> Result<u16, MachineError> {
+    Ok(parse_string(arg, line)?.len().div_ceil(2) as u16)
+}
+
+fn parse_number(arg: &str, line: usize) -> Result<u16, MachineError> {
+    parse_number_i32(arg, line).and_then(|v| {
+        if (0..=0xFFFF).contains(&v) {
+            Ok(v as u16)
+        } else if (-0x8000..0).contains(&v) {
+            Ok(v as i16 as u16)
+        } else {
+            Err(err(line, format!("number {arg} out of 16-bit range")))
+        }
+    })
+}
+
+fn parse_number_i32(arg: &str, line: usize) -> Result<i32, MachineError> {
+    let a = arg.trim();
+    if a.len() == 3 && a.starts_with('\'') && a.ends_with('\'') {
+        return Ok(a.as_bytes()[1] as i32);
+    }
+    let (neg, body) = match a.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, a),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i32::from_str_radix(hex, 16)
+    } else if let Some(oct) = body.strip_prefix("0o").or_else(|| body.strip_prefix("0O")) {
+        i32::from_str_radix(oct, 8)
+    } else {
+        body.parse::<i32>()
+    }
+    .map_err(|_| err(line, format!("bad number \"{a}\"")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// A `.word` operand: a number, a character, or a label (absolute value).
+fn value_expr(arg: &str, labels: &HashMap<String, u16>, line: usize) -> Result<u16, MachineError> {
+    let a = arg.trim();
+    if is_identifier(a) {
+        return labels
+            .get(a)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown label \"{a}\"")));
+    }
+    parse_number(a, line)
+}
+
+/// Resolves an address operand to `(indirect, index, disp)` at `pc`.
+fn address_operand(
+    parts: &[&str],
+    pc: u16,
+    labels: &HashMap<String, u16>,
+    line: usize,
+) -> Result<(bool, Index, u8), MachineError> {
+    if parts.is_empty() {
+        return Err(err(line, "missing address operand".into()));
+    }
+    let mut expr = parts[0].trim();
+    let indirect = if let Some(rest) = expr.strip_prefix('@') {
+        expr = rest.trim();
+        true
+    } else {
+        false
+    };
+    // Explicit index register?
+    if parts.len() == 2 {
+        let index = match parts[1].trim() {
+            "2" => Index::Ac2Relative,
+            "3" => Index::Ac3Relative,
+            other => return Err(err(line, format!("bad index register \"{other}\""))),
+        };
+        let disp = parse_number_i32(expr, line)?;
+        if !(-128..=127).contains(&disp) {
+            return Err(err(line, format!("displacement {disp} out of range")));
+        }
+        return Ok((indirect, index, disp as i8 as u8));
+    }
+    if parts.len() > 2 {
+        return Err(err(line, "too many address operands".into()));
+    }
+    // `.` +- n: PC-relative to this instruction.
+    if let Some(rest) = expr.strip_prefix('.') {
+        let offset = if rest.is_empty() {
+            0
+        } else {
+            parse_number_i32(rest, line)?
+        };
+        if !(-128..=127).contains(&offset) {
+            return Err(err(line, format!("PC offset {offset} out of range")));
+        }
+        return Ok((indirect, Index::PcRelative, offset as i8 as u8));
+    }
+    // Label or absolute number.
+    let target = if is_identifier(expr) {
+        *labels
+            .get(expr)
+            .ok_or_else(|| err(line, format!("unknown label \"{expr}\"")))?
+    } else {
+        parse_number(expr, line)?
+    };
+    if target < 256 {
+        return Ok((indirect, Index::PageZero, target as u8));
+    }
+    let rel = target as i32 - pc as i32;
+    if (-128..=127).contains(&rel) {
+        return Ok((indirect, Index::PcRelative, rel as i8 as u8));
+    }
+    Err(err(
+        line,
+        format!("target {target:#o} unreachable from {pc:#o}; use an indirect pointer"),
+    ))
+}
+
+fn parse_ac(arg: &str, line: usize) -> Result<u8, MachineError> {
+    match arg.trim() {
+        "0" => Ok(0),
+        "1" => Ok(1),
+        "2" => Ok(2),
+        "3" => Ok(3),
+        other => Err(err(line, format!("bad accumulator \"{other}\""))),
+    }
+}
+
+fn encode_instruction(
+    mnemonic: &str,
+    operands: &str,
+    pc: u16,
+    labels: &HashMap<String, u16>,
+    line: usize,
+) -> Result<u16, MachineError> {
+    let parts: Vec<&str> = if operands.is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(|p| p.trim()).collect()
+    };
+
+    // Zero-operand trap aliases.
+    let alias = |code: u16| Instr::Trap { ac: 0, code };
+    match mnemonic {
+        "halt" => return Ok(alias(traps::HALT).encode()),
+        "inten" => return Ok(alias(traps::INTEN).encode()),
+        "intds" => return Ok(alias(traps::INTDS).encode()),
+        "reti" => return Ok(alias(traps::RETI).encode()),
+        "kbdget" => return Ok(alias(traps::KBDGET).encode()),
+        "trap" => {
+            if parts.len() != 2 {
+                return Err(err(line, "trap needs: trap AC, CODE".into()));
+            }
+            let ac = parse_ac(parts[0], line)?;
+            let code = parse_number(parts[1], line)?;
+            if code > 0x7FF {
+                return Err(err(line, format!("trap code {code} exceeds 11 bits")));
+            }
+            return Ok(Instr::Trap { ac, code }.encode());
+        }
+        _ => {}
+    }
+
+    // Memory-reference.
+    let memfn = match mnemonic {
+        "jmp" => Some((MemFn::Jmp, false)),
+        "jsr" => Some((MemFn::Jsr, false)),
+        "isz" => Some((MemFn::Isz, false)),
+        "dsz" => Some((MemFn::Dsz, false)),
+        "lda" => Some((MemFn::Jmp, true)), // placeholder, handled below
+        "sta" => Some((MemFn::Jmp, true)),
+        _ => None,
+    };
+    if let Some((func, has_ac)) = memfn {
+        if has_ac {
+            if parts.len() < 2 {
+                return Err(err(line, format!("{mnemonic} needs: {mnemonic} AC, ADDR")));
+            }
+            let ac = parse_ac(parts[0], line)?;
+            let (indirect, index, disp) = address_operand(&parts[1..], pc, labels, line)?;
+            return Ok(match mnemonic {
+                "lda" => Instr::Lda {
+                    ac,
+                    indirect,
+                    index,
+                    disp,
+                },
+                _ => Instr::Sta {
+                    ac,
+                    indirect,
+                    index,
+                    disp,
+                },
+            }
+            .encode());
+        }
+        let (indirect, index, disp) = address_operand(&parts, pc, labels, line)?;
+        return Ok(Instr::Mem {
+            func,
+            indirect,
+            index,
+            disp,
+        }
+        .encode());
+    }
+
+    // ALU: base op + optional carry + optional shift + optional '#'.
+    let mut rest = mnemonic;
+    let no_load = if let Some(r) = rest.strip_suffix('#') {
+        rest = r;
+        true
+    } else {
+        false
+    };
+    if rest.len() < 3 {
+        return Err(err(line, format!("unknown instruction \"{mnemonic}\"")));
+    }
+    let (base_op, suffix) = rest.split_at(3);
+    let op = match base_op {
+        "com" => AluOp::Com,
+        "neg" => AluOp::Neg,
+        "mov" => AluOp::Mov,
+        "inc" => AluOp::Inc,
+        "adc" => AluOp::Adc,
+        "sub" => AluOp::Sub,
+        "add" => AluOp::Add,
+        "and" => AluOp::And,
+        _ => return Err(err(line, format!("unknown instruction \"{mnemonic}\""))),
+    };
+    let mut carry = CarryCtl::Leave;
+    let mut shift = Shift::None;
+    let mut chars = suffix.chars().peekable();
+    if let Some(&c) = chars.peek() {
+        if let Some(cc) = match c {
+            'z' => Some(CarryCtl::Zero),
+            'o' => Some(CarryCtl::One),
+            'c' => Some(CarryCtl::Complement),
+            _ => None,
+        } {
+            carry = cc;
+            chars.next();
+        }
+    }
+    if let Some(&c) = chars.peek() {
+        if let Some(sh) = match c {
+            'l' => Some(Shift::Left),
+            'r' => Some(Shift::Right),
+            's' => Some(Shift::Swap),
+            _ => None,
+        } {
+            shift = sh;
+            chars.next();
+        }
+    }
+    if chars.next().is_some() {
+        return Err(err(line, format!("unknown instruction \"{mnemonic}\"")));
+    }
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(err(
+            line,
+            format!("{base_op} needs: {base_op} SRC, DST[, SKIP]"),
+        ));
+    }
+    let src = parse_ac(parts[0], line)?;
+    let dst = parse_ac(parts[1], line)?;
+    let skip = if parts.len() == 3 {
+        match parts[2].to_ascii_lowercase().as_str() {
+            "skp" => SkipTest::Always,
+            "szc" => SkipTest::CarryZero,
+            "snc" => SkipTest::CarryNonzero,
+            "szr" => SkipTest::ResultZero,
+            "snr" => SkipTest::ResultNonzero,
+            "sez" => SkipTest::EitherZero,
+            "sbn" => SkipTest::BothNonzero,
+            other => return Err(err(line, format!("bad skip \"{other}\""))),
+        }
+    } else {
+        SkipTest::Never
+    };
+    Ok(Instr::Alu {
+        src,
+        dst,
+        op,
+        shift,
+        carry,
+        no_load,
+        skip,
+    }
+    .encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_assembles() {
+        let out = assemble(
+            "
+            lda 0, k
+            halt
+k:          .word 42
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.base, 0o400);
+        assert_eq!(out.words.len(), 3);
+        assert_eq!(out.words[2], 42);
+        assert_eq!(out.labels["k"], 0o402);
+    }
+
+    #[test]
+    fn org_and_entry() {
+        let out = assemble(
+            "
+            .org 0o1000
+            .entry start
+k:          .word 1
+start:      halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.base, 0o1000);
+        assert_eq!(out.entry, 0o1001);
+    }
+
+    #[test]
+    fn org_must_come_first() {
+        let e = assemble("halt\n.org 0o1000").unwrap_err();
+        assert!(matches!(e, MachineError::Asm { line: 2, .. }));
+    }
+
+    #[test]
+    fn fixups_recorded() {
+        let out = assemble(
+            "
+            jsr @gets
+            halt
+gets:       .fixup \"Gets\"
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.fixups, vec![(2, "Gets".to_string())]);
+        assert_eq!(out.words[2], 0);
+    }
+
+    #[test]
+    fn str_directive_packs_bytes() {
+        let out = assemble("msg: .str \"abc\"").unwrap();
+        assert_eq!(out.words[0], 3);
+        assert_eq!(out.words[1], 0x6162);
+        assert_eq!(out.words[2], 0x6300);
+    }
+
+    #[test]
+    fn blk_reserves_zeros() {
+        let out = assemble("buf: .blk 4\nend: .word 1").unwrap();
+        assert_eq!(out.words.len(), 5);
+        assert_eq!(out.labels["end"], 0o404);
+    }
+
+    #[test]
+    fn char_and_number_literals() {
+        let out = assemble(".word 'A'\n.word 0x10\n.word 0o17\n.word -1").unwrap();
+        assert_eq!(out.words, vec![65, 16, 15, 0xFFFF]);
+    }
+
+    #[test]
+    fn word_can_hold_a_label() {
+        let out = assemble(
+            "
+ptr:        .word target
+            .blk 6
+target:     halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(out.words[0], out.labels["target"]);
+    }
+
+    #[test]
+    fn pc_relative_backward_and_forward() {
+        let out = assemble(
+            "
+a:          jmp b
+            halt
+b:          jmp a
+            ",
+        )
+        .unwrap();
+        // jmp b at 0o400: disp +2; jmp a at 0o402: disp -2.
+        assert_eq!(out.words[0] & 0xFF, 2);
+        assert_eq!(out.words[2] & 0xFF, 0xFE);
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let e = assemble(
+            "
+            jmp far
+            .blk 300
+far:        halt
+            ",
+        )
+        .unwrap_err();
+        assert!(matches!(e, MachineError::Asm { .. }));
+        assert!(e.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn indexed_addressing() {
+        let out = assemble("lda 0, 3,2\nsta 1, -1,3").unwrap();
+        let i0 = crate::instr::Instr::decode(out.words[0]);
+        assert_eq!(
+            i0,
+            Instr::Lda {
+                ac: 0,
+                indirect: false,
+                index: Index::Ac2Relative,
+                disp: 3
+            }
+        );
+        let i1 = crate::instr::Instr::decode(out.words[1]);
+        assert_eq!(
+            i1,
+            Instr::Sta {
+                ac: 1,
+                indirect: false,
+                index: Index::Ac3Relative,
+                disp: 0xFF
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: halt\nx: halt").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("frobnicate 1, 2").unwrap_err();
+        assert!(e.to_string().contains("unknown instruction"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn alu_suffix_matrix() {
+        for (m, carry, shift, no_load) in [
+            ("add", CarryCtl::Leave, Shift::None, false),
+            ("addz", CarryCtl::Zero, Shift::None, false),
+            ("addol", CarryCtl::One, Shift::Left, false),
+            ("addcr", CarryCtl::Complement, Shift::Right, false),
+            ("adds", CarryCtl::Leave, Shift::Swap, false),
+            ("addzs#", CarryCtl::Zero, Shift::Swap, true),
+        ] {
+            let out = assemble(&format!("{m} 0, 1")).unwrap();
+            match Instr::decode(out.words[0]) {
+                Instr::Alu {
+                    op,
+                    carry: c,
+                    shift: s,
+                    no_load: n,
+                    ..
+                } => {
+                    assert_eq!(op, AluOp::Add, "{m}");
+                    assert_eq!(c, carry, "{m}");
+                    assert_eq!(s, shift, "{m}");
+                    assert_eq!(n, no_load, "{m}");
+                }
+                other => panic!("{m}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_on_their_own_line() {
+        let out = assemble("start:\n    halt").unwrap();
+        assert_eq!(out.labels["start"], 0o400);
+        assert_eq!(out.words.len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Loadable code files with fixup tables (§5.1).
+//!
+//! "Code for the program is read from a disk stream and loaded into low
+//! memory addresses. All references to operating system procedures are
+//! bound, using a fixup table contained in the code file."
+//!
+//! Word format:
+//!
+//! ```text
+//! word 0        magic 0xA1C0
+//! word 1        version (1)
+//! word 2        load base
+//! word 3        entry address (absolute)
+//! word 4        code length in words
+//! word 5        fixup count
+//! code words…
+//! per fixup:    offset word, name length word, packed name bytes
+//! ```
+
+use crate::asm::Assembled;
+use crate::errors::MachineError;
+
+/// Code-file magic word.
+const MAGIC: u16 = 0xA1C0;
+/// Code-file format version.
+const VERSION: u16 = 1;
+
+/// One fixup: the word at `offset` must be patched with the address of the
+/// operating-system procedure named `symbol`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixup {
+    /// Offset into the code (words).
+    pub offset: u16,
+    /// The external symbol name.
+    pub symbol: String,
+}
+
+/// A loadable program: code plus the fixup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeFile {
+    /// Address the code expects to be loaded at.
+    pub base: u16,
+    /// Entry point (absolute).
+    pub entry: u16,
+    /// The code words.
+    pub code: Vec<u16>,
+    /// References to operating-system procedures.
+    pub fixups: Vec<Fixup>,
+}
+
+impl CodeFile {
+    /// Packages assembler output as a code file.
+    pub fn from_assembled(out: &Assembled) -> CodeFile {
+        CodeFile {
+            base: out.base,
+            entry: out.entry,
+            code: out.words.clone(),
+            fixups: out
+                .fixups
+                .iter()
+                .map(|(offset, symbol)| Fixup {
+                    offset: *offset,
+                    symbol: symbol.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes to words (the representation stored in a disk file).
+    pub fn encode(&self) -> Vec<u16> {
+        let mut w = vec![
+            MAGIC,
+            VERSION,
+            self.base,
+            self.entry,
+            self.code.len() as u16,
+            self.fixups.len() as u16,
+        ];
+        w.extend_from_slice(&self.code);
+        for fixup in &self.fixups {
+            w.push(fixup.offset);
+            let bytes = fixup.symbol.as_bytes();
+            w.push(bytes.len() as u16);
+            for chunk in bytes.chunks(2) {
+                let hi = (chunk[0] as u16) << 8;
+                let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                w.push(hi | lo);
+            }
+        }
+        w
+    }
+
+    /// Decodes from words.
+    pub fn decode(words: &[u16]) -> Result<CodeFile, MachineError> {
+        let mut i = 0usize;
+        let next = |n: &mut usize| -> Result<u16, MachineError> {
+            let w = words
+                .get(*n)
+                .copied()
+                .ok_or(MachineError::BadImage("code file truncated"))?;
+            *n += 1;
+            Ok(w)
+        };
+        if next(&mut i)? != MAGIC {
+            return Err(MachineError::BadImage("not a code file"));
+        }
+        if next(&mut i)? != VERSION {
+            return Err(MachineError::BadImage("unknown code-file version"));
+        }
+        let base = next(&mut i)?;
+        let entry = next(&mut i)?;
+        let code_len = next(&mut i)? as usize;
+        let fixup_count = next(&mut i)? as usize;
+        let mut code = Vec::with_capacity(code_len);
+        for _ in 0..code_len {
+            code.push(next(&mut i)?);
+        }
+        let mut fixups = Vec::with_capacity(fixup_count);
+        for _ in 0..fixup_count {
+            let offset = next(&mut i)?;
+            if offset as usize >= code_len {
+                return Err(MachineError::BadImage("fixup offset out of range"));
+            }
+            let len = next(&mut i)? as usize;
+            if len > 64 {
+                return Err(MachineError::BadImage("fixup symbol too long"));
+            }
+            let mut bytes = Vec::with_capacity(len);
+            for k in 0..len {
+                if k % 2 == 0 {
+                    let w = next(&mut i)?;
+                    bytes.push((w >> 8) as u8);
+                    if k + 1 < len {
+                        bytes.push(w as u8);
+                    }
+                }
+            }
+            let symbol = String::from_utf8(bytes)
+                .map_err(|_| MachineError::BadImage("fixup symbol not UTF-8"))?;
+            fixups.push(Fixup { offset, symbol });
+        }
+        Ok(CodeFile {
+            base,
+            entry,
+            code,
+            fixups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> CodeFile {
+        let out = assemble(
+            "
+            jsr @gets
+            jsr @puts
+            halt
+gets:       .fixup \"Gets\"
+puts:       .fixup \"Puts\"
+            ",
+        )
+        .unwrap();
+        CodeFile::from_assembled(&out)
+    }
+
+    #[test]
+    fn from_assembled_carries_fixups() {
+        let cf = sample();
+        assert_eq!(cf.base, 0o400);
+        assert_eq!(cf.fixups.len(), 2);
+        assert_eq!(cf.fixups[0].symbol, "Gets");
+        assert_eq!(cf.fixups[0].offset, 3);
+        assert_eq!(cf.fixups[1].symbol, "Puts");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cf = sample();
+        let words = cf.encode();
+        assert_eq!(CodeFile::decode(&words).unwrap(), cf);
+    }
+
+    #[test]
+    fn odd_length_symbols_round_trip() {
+        let mut cf = sample();
+        cf.fixups[0].symbol = "abc".into();
+        let back = CodeFile::decode(&cf.encode()).unwrap();
+        assert_eq!(back.fixups[0].symbol, "abc");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CodeFile::decode(&[]).is_err());
+        let mut w = sample().encode();
+        w[0] = 0;
+        assert!(CodeFile::decode(&w).is_err());
+        let mut w = sample().encode();
+        w[1] = 9;
+        assert!(CodeFile::decode(&w).is_err());
+        let w = sample().encode();
+        assert!(CodeFile::decode(&w[..w.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_fixup_offset() {
+        let mut cf = sample();
+        cf.fixups[0].offset = 999;
+        assert!(CodeFile::decode(&cf.encode()).is_err());
+    }
+}

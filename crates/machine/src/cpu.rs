@@ -1,0 +1,778 @@
+//! The CPU: fetch/execute with Nova semantics and 800 ns memory cycles.
+
+use alto_sim::{Memory, SimClock, SimTime, Trace};
+
+use crate::display::Teletype;
+use crate::errors::MachineError;
+use crate::instr::{AluOp, CarryCtl, Index, Instr, MemFn, Shift, SkipTest};
+use crate::keyboard::Keyboard;
+use crate::traps;
+
+/// One 800 ns memory cycle.
+pub const MEMORY_CYCLE: SimTime = SimTime::from_nanos(800);
+
+/// Memory locations with auto-increment indirection (contents incremented
+/// before use when used as an indirect address).
+const AUTO_INC: std::ops::RangeInclusive<u16> = 0o20..=0o27;
+/// Memory locations with auto-decrement indirection.
+const AUTO_DEC: std::ops::RangeInclusive<u16> = 0o30..=0o37;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The instruction completed; execution may continue.
+    Running,
+    /// A `TRAP` with an operating-system code was executed. The machine
+    /// state is ready for the handler: the PC points after the trap.
+    Trap {
+        /// The 11-bit trap code (≥ [`traps::OS_BASE`]).
+        code: u16,
+        /// The accumulator named by the instruction.
+        ac: u8,
+    },
+    /// An interrupt is pending and location 1 holds no interrupt vector:
+    /// the system (Rust-side) interrupt service routine must run. State is
+    /// unchanged; the handler must drain the interrupting device.
+    Interrupt,
+    /// A `TRAP HALT` was executed.
+    Halted,
+}
+
+/// The simulated Alto: CPU state, memory, and the two standard devices.
+#[derive(Debug)]
+pub struct Machine {
+    /// Main memory (64K words).
+    pub mem: Memory,
+    /// The four accumulators.
+    pub ac: [u16; 4],
+    /// Program counter.
+    pub pc: u16,
+    /// The carry bit.
+    pub carry: bool,
+    /// Interrupt-enable flag.
+    pub int_enabled: bool,
+    /// The keyboard device (interrupt-driven, §2).
+    pub keyboard: Keyboard,
+    /// The teletype-style display device.
+    pub display: Teletype,
+    clock: SimClock,
+    trace: Trace,
+    instructions: u64,
+}
+
+impl Machine {
+    /// A fresh machine: zeroed memory and registers, PC at 0, interrupts
+    /// disabled.
+    pub fn new(clock: SimClock, trace: Trace) -> Machine {
+        Machine {
+            mem: Memory::new(),
+            ac: [0; 4],
+            pc: 0,
+            carry: false,
+            int_enabled: false,
+            keyboard: Keyboard::new(),
+            display: Teletype::new(),
+            clock,
+            trace,
+            instructions: 0,
+        }
+    }
+
+    /// The machine's clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The machine's trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Instructions executed since construction.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.clock.advance(MEMORY_CYCLE.scaled(cycles));
+    }
+
+    /// Resolves an effective address, charging indirection cycles and
+    /// performing auto-increment/decrement.
+    fn effective(&mut self, instr_pc: u16, indirect: bool, index: Index, disp: u8) -> u16 {
+        let base = match index {
+            Index::PageZero => disp as u16,
+            Index::PcRelative => instr_pc.wrapping_add(disp as i8 as u16),
+            Index::Ac2Relative => self.ac[2].wrapping_add(disp as i8 as u16),
+            Index::Ac3Relative => self.ac[3].wrapping_add(disp as i8 as u16),
+        };
+        if !indirect {
+            return base;
+        }
+        self.charge(1);
+        if AUTO_INC.contains(&base) {
+            let v = self.mem.read(base).wrapping_add(1);
+            self.mem.write(base, v);
+            self.charge(1);
+            v
+        } else if AUTO_DEC.contains(&base) {
+            let v = self.mem.read(base).wrapping_sub(1);
+            self.mem.write(base, v);
+            self.charge(1);
+            v
+        } else {
+            self.mem.read(base)
+        }
+    }
+
+    /// Executes one instruction (or delivers one pending interrupt).
+    pub fn step(&mut self) -> Result<Step, MachineError> {
+        // Interrupt delivery between instructions.
+        if self.int_enabled && self.keyboard.pending(self.clock.now()) {
+            let vector = self.mem.read(1);
+            if vector == 0 {
+                // No VM interrupt vector: the system ISR (Rust) handles it.
+                return Ok(Step::Interrupt);
+            }
+            // VM vector: save PC at location 0, jump, disable interrupts.
+            self.mem.write(0, self.pc);
+            self.pc = vector;
+            self.int_enabled = false;
+            self.charge(2);
+            self.trace.record(
+                self.clock.now(),
+                "cpu.interrupt",
+                format!("vector {vector:#o}"),
+            );
+            return Ok(Step::Running);
+        }
+
+        let instr_pc = self.pc;
+        let word = self.mem.read(instr_pc);
+        self.charge(1);
+        self.pc = self.pc.wrapping_add(1);
+        self.instructions += 1;
+
+        match Instr::decode(word) {
+            Instr::Mem {
+                func,
+                indirect,
+                index,
+                disp,
+            } => {
+                let e = self.effective(instr_pc, indirect, index, disp);
+                match func {
+                    MemFn::Jmp => self.pc = e,
+                    MemFn::Jsr => {
+                        self.ac[3] = self.pc;
+                        self.pc = e;
+                    }
+                    MemFn::Isz => {
+                        let v = self.mem.read(e).wrapping_add(1);
+                        self.mem.write(e, v);
+                        self.charge(2);
+                        if v == 0 {
+                            self.pc = self.pc.wrapping_add(1);
+                        }
+                    }
+                    MemFn::Dsz => {
+                        let v = self.mem.read(e).wrapping_sub(1);
+                        self.mem.write(e, v);
+                        self.charge(2);
+                        if v == 0 {
+                            self.pc = self.pc.wrapping_add(1);
+                        }
+                    }
+                }
+                Ok(Step::Running)
+            }
+            Instr::Lda {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                let e = self.effective(instr_pc, indirect, index, disp);
+                self.ac[ac as usize] = self.mem.read(e);
+                self.charge(1);
+                Ok(Step::Running)
+            }
+            Instr::Sta {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                let e = self.effective(instr_pc, indirect, index, disp);
+                self.mem.write(e, self.ac[ac as usize]);
+                self.charge(1);
+                Ok(Step::Running)
+            }
+            Instr::Trap { ac, code } => match code {
+                traps::HALT => Ok(Step::Halted),
+                traps::INTEN => {
+                    self.int_enabled = true;
+                    Ok(Step::Running)
+                }
+                traps::INTDS => {
+                    self.int_enabled = false;
+                    Ok(Step::Running)
+                }
+                traps::RETI => {
+                    self.pc = self.mem.read(0);
+                    self.int_enabled = true;
+                    self.charge(1);
+                    Ok(Step::Running)
+                }
+                traps::KBDGET => {
+                    let now = self.clock.now();
+                    self.ac[ac as usize] = self.keyboard.read_at(now).unwrap_or(0xFFFF);
+                    self.charge(1);
+                    Ok(Step::Running)
+                }
+                code if code >= traps::OS_BASE => Ok(Step::Trap { code, ac }),
+                _ => Err(MachineError::IllegalInstruction { pc: instr_pc, word }),
+            },
+            Instr::Alu {
+                src,
+                dst,
+                op,
+                shift,
+                carry,
+                no_load,
+                skip,
+            } => {
+                let s = self.ac[src as usize];
+                let d = self.ac[dst as usize];
+                let c_in = match carry {
+                    CarryCtl::Leave => self.carry,
+                    CarryCtl::Zero => false,
+                    CarryCtl::One => true,
+                    CarryCtl::Complement => !self.carry,
+                };
+                // Compute the 16-bit result and whether the operation
+                // carries out (which complements the base carry).
+                let (value, carry_out) = match op {
+                    AluOp::Com => (!s, false),
+                    AluOp::Neg => ((!s).wrapping_add(1), s == 0),
+                    AluOp::Mov => (s, false),
+                    AluOp::Inc => (s.wrapping_add(1), s == 0xFFFF),
+                    AluOp::Adc => {
+                        let sum = d as u32 + (!s) as u32;
+                        ((sum & 0xFFFF) as u16, sum > 0xFFFF)
+                    }
+                    AluOp::Sub => {
+                        let sum = d as u32 + (!s) as u32 + 1;
+                        ((sum & 0xFFFF) as u16, sum > 0xFFFF)
+                    }
+                    AluOp::Add => {
+                        let sum = d as u32 + s as u32;
+                        ((sum & 0xFFFF) as u16, sum > 0xFFFF)
+                    }
+                    AluOp::And => (d & s, false),
+                };
+                let mut c = c_in ^ carry_out;
+                let mut v = value;
+                match shift {
+                    Shift::None => {}
+                    Shift::Left => {
+                        let new_c = v & 0x8000 != 0;
+                        v = (v << 1) | u16::from(c);
+                        c = new_c;
+                    }
+                    Shift::Right => {
+                        let new_c = v & 1 != 0;
+                        v = (v >> 1) | (u16::from(c) << 15);
+                        c = new_c;
+                    }
+                    Shift::Swap => v = v.rotate_left(8),
+                }
+                let do_skip = match skip {
+                    SkipTest::Never => false,
+                    SkipTest::Always => true,
+                    SkipTest::CarryZero => !c,
+                    SkipTest::CarryNonzero => c,
+                    SkipTest::ResultZero => v == 0,
+                    SkipTest::ResultNonzero => v != 0,
+                    SkipTest::EitherZero => !c || v == 0,
+                    SkipTest::BothNonzero => c && v != 0,
+                };
+                if !no_load {
+                    self.ac[dst as usize] = v;
+                    self.carry = c;
+                }
+                if do_skip {
+                    self.pc = self.pc.wrapping_add(1);
+                }
+                Ok(Step::Running)
+            }
+        }
+    }
+
+    /// Runs until a trap, interrupt, or halt — or until `budget`
+    /// instructions have executed (guarding against runaway programs).
+    pub fn run(&mut self, budget: u64) -> Result<Step, MachineError> {
+        for _ in 0..budget {
+            match self.step()? {
+                Step::Running => {}
+                other => return Ok(other),
+            }
+        }
+        Err(MachineError::BudgetExhausted)
+    }
+
+    /// Loads `code` at `base` and points the PC there.
+    pub fn load_program(&mut self, base: u16, code: &[u16]) -> Result<(), MachineError> {
+        self.mem
+            .write_block(base, code)
+            .map_err(|_| MachineError::BadImage("program does not fit in memory"))?;
+        self.pc = base;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn machine() -> Machine {
+        Machine::new(SimClock::new(), Trace::new())
+    }
+
+    fn run_asm(source: &str) -> Machine {
+        let mut m = machine();
+        let code = assemble(source).expect("assembly failed");
+        m.load_program(0o400, &code.words).unwrap();
+        match m.run(100_000).unwrap() {
+            Step::Halted => m,
+            other => panic!("program ended with {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_two_numbers() {
+        let m = run_asm(
+            "
+            lda 0, a
+            lda 1, b
+            add 0, 1
+            halt
+a:          .word 2
+b:          .word 3
+            ",
+        );
+        assert_eq!(m.ac[1], 5);
+    }
+
+    #[test]
+    fn loop_with_dsz_sums() {
+        // Sum 1..=10 by decrementing a counter.
+        let m = run_asm(
+            "
+            lda 0, ten      ; counter
+            subz 1, 1       ; ac1 = 0 (accumulator)
+loop:       add 0, 1        ; ac1 += ac0
+            lda 2, one
+            subz 2, 0       ; ac0 -= 1... via sub
+            mov# 0, 0, szr  ; skip when ac0 == 0
+            jmp loop
+            halt
+ten:        .word 10
+one:        .word 1
+            ",
+        );
+        assert_eq!(m.ac[1], 55);
+    }
+
+    #[test]
+    fn jsr_saves_return_in_ac3() {
+        let m = run_asm(
+            "
+            jsr sub
+            halt
+sub:        lda 0, k
+            jmp 0,3         ; return
+k:          .word 42
+            ",
+        );
+        assert_eq!(m.ac[0], 42);
+    }
+
+    #[test]
+    fn isz_skips_on_zero() {
+        let m = run_asm(
+            "
+            isz v          ; v becomes 0 -> skip the jmp
+            jmp bad
+            lda 0, good
+            halt
+bad:        lda 0, badv
+            halt
+v:          .word 0xFFFF
+good:       .word 1
+badv:       .word 2
+            ",
+        );
+        assert_eq!(m.ac[0], 1);
+    }
+
+    #[test]
+    fn indirect_and_auto_increment() {
+        let mut m = machine();
+        let code = assemble(
+            "
+            lda 0, @0o20    ; auto-increment cell
+            lda 1, @0o20
+            halt
+            ",
+        )
+        .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        // Table at 0o1000; auto-inc cell points just before it.
+        m.mem.write(0o20, 0o777);
+        m.mem.write(0o1000, 111);
+        m.mem.write(0o1001, 222);
+        assert_eq!(m.run(100).unwrap(), Step::Halted);
+        assert_eq!(m.ac[0], 111);
+        assert_eq!(m.ac[1], 222);
+        assert_eq!(m.mem.read(0o20), 0o1001);
+    }
+
+    #[test]
+    fn auto_decrement() {
+        let mut m = machine();
+        let code = assemble("lda 0, @0o30\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.mem.write(0o30, 0o1001);
+        m.mem.write(0o1000, 99);
+        m.run(100).unwrap();
+        assert_eq!(m.ac[0], 99);
+        assert_eq!(m.mem.read(0o30), 0o1000);
+    }
+
+    #[test]
+    fn carry_semantics_add() {
+        // 0xFFFF + 1 carries out; SZC/SNC observe it.
+        let m = run_asm(
+            "
+            lda 0, big
+            lda 1, one
+            addz 0, 1, snc  ; carry out -> skip
+            jmp no
+            lda 2, yes
+            halt
+no:         lda 2, nope
+            halt
+big:        .word 0xFFFF
+one:        .word 1
+yes:        .word 7
+nope:       .word 8
+            ",
+        );
+        assert_eq!(m.ac[1], 0);
+        assert_eq!(m.ac[2], 7);
+    }
+
+    #[test]
+    fn sub_sets_carry_when_no_borrow() {
+        // SUB with Z carry: carry ends 1 iff dst >= src.
+        let m = run_asm(
+            "
+            lda 0, small
+            lda 1, bigv
+            subz 0, 1, snc ; 10 - 3: no borrow -> carry 1 -> skip
+            jmp bad
+            halt
+bad:        lda 3, marker
+            halt
+small:      .word 3
+bigv:       .word 10
+marker:     .word 1
+            ",
+        );
+        assert_eq!(m.ac[1], 7);
+        assert_eq!(m.ac[3], 0);
+    }
+
+    #[test]
+    fn shifts_rotate_through_carry() {
+        let mut m = machine();
+        let code = assemble("movzl 0, 0\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0x8001;
+        m.run(10).unwrap();
+        // Z clears carry; left rotate: carry gets old bit 15 (1), bit 0
+        // gets old carry (0).
+        assert_eq!(m.ac[0], 0x0002);
+        assert!(m.carry);
+    }
+
+    #[test]
+    fn byte_swap() {
+        let mut m = machine();
+        let code = assemble("movs 0, 0\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0x12AB;
+        m.run(10).unwrap();
+        assert_eq!(m.ac[0], 0xAB12);
+    }
+
+    #[test]
+    fn no_load_preserves_ac_but_skips() {
+        let mut m = machine();
+        let code = assemble(
+            "
+            sub# 0, 0, szr  ; result 0 -> skip, but ac0 unchanged
+            halt
+            lda 1, k
+            halt
+k:          .word 5
+            ",
+        )
+        .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 1234;
+        m.run(10).unwrap();
+        assert_eq!(m.ac[0], 1234);
+        assert_eq!(m.ac[1], 5);
+    }
+
+    #[test]
+    fn os_trap_surfaces() {
+        let mut m = machine();
+        let code = assemble("trap 2, 12\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        assert_eq!(m.run(10).unwrap(), Step::Trap { code: 12, ac: 2 });
+        // Resume after the trap.
+        assert_eq!(m.run(10).unwrap(), Step::Halted);
+    }
+
+    #[test]
+    fn reserved_trap_codes_are_illegal() {
+        let mut m = machine();
+        let code = assemble("trap 0, 5\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        assert!(matches!(
+            m.run(10),
+            Err(MachineError::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn interrupt_via_vm_vector() {
+        let mut m = machine();
+        // Main program: enable interrupts, then spin. ISR: store a marker,
+        // return.
+        let code = assemble(
+            "
+            inten
+spin:       jmp spin
+            ",
+        )
+        .unwrap();
+        let isr = assemble(
+            "
+            lda 0, mk
+            sta 0, 0o100
+            reti
+mk:         .word 77
+            ",
+        )
+        .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.mem.write_block(0o600, &isr.words).unwrap();
+        m.mem.write(1, 0o600); // interrupt vector
+        m.keyboard.press_at(SimTime::ZERO, b'x');
+        // Run: the interrupt fires immediately after INTEN. Stop right
+        // after the ISR's RETI (marker stored and interrupts re-enabled;
+        // the pending key would immediately re-deliver otherwise).
+        for _ in 0..20 {
+            m.step().unwrap();
+            if m.mem.read(0o100) == 77 && m.int_enabled {
+                break;
+            }
+        }
+        assert_eq!(m.mem.read(0o100), 77);
+        // After RETI we are back in the spin loop with interrupts enabled.
+        assert!(m.int_enabled);
+        // The keyboard still holds the character (the VM ISR did not read
+        // it); a real ISR would. Drain it so the machine can progress.
+        assert_eq!(m.keyboard.read(), Some(b'x' as u16));
+    }
+
+    #[test]
+    fn interrupt_without_vector_surfaces_to_rust() {
+        let mut m = machine();
+        let code = assemble("inten\nspin: jmp spin").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.keyboard.press_at(SimTime::ZERO, b'a');
+        let step = m.run(1000).unwrap();
+        assert_eq!(step, Step::Interrupt);
+        // Handler drains the device; execution continues.
+        assert_eq!(m.keyboard.read(), Some(b'a' as u16));
+        assert!(matches!(m.run(10), Err(MachineError::BudgetExhausted)));
+    }
+
+    #[test]
+    fn interrupts_disabled_by_default() {
+        let mut m = machine();
+        let code = assemble("spin: jmp spin").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.keyboard.press_at(SimTime::ZERO, b'a');
+        assert!(matches!(m.run(100), Err(MachineError::BudgetExhausted)));
+    }
+
+    #[test]
+    fn instruction_timing_charges_memory_cycles() {
+        let mut m = machine();
+        let code = assemble("lda 0, k\nhalt\nk: .word 1").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        let t0 = m.clock().now();
+        m.run(10).unwrap();
+        let dt = m.clock().now() - t0;
+        // LDA: fetch + operand (2 cycles); HALT: fetch (1 cycle).
+        assert_eq!(dt, MEMORY_CYCLE.scaled(3));
+    }
+
+    #[test]
+    fn budget_guards_against_runaway() {
+        let mut m = machine();
+        let code = assemble("spin: jmp spin").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        assert_eq!(m.run(50), Err(MachineError::BudgetExhausted));
+        assert_eq!(m.instructions(), 50);
+    }
+
+    #[test]
+    fn com_is_ones_complement_and_preserves_carry() {
+        let mut m = machine();
+        let code = assemble("movo 0, 0\ncom 0, 1\nhalt").unwrap(); // set carry, then COM
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0x00FF;
+        m.run(10).unwrap();
+        // MOVO forced carry to 1; COM leaves it.
+        assert_eq!(m.ac[1], 0xFF00);
+        assert!(m.carry);
+    }
+
+    #[test]
+    fn neg_carries_only_on_zero() {
+        for (input, want, carry_toggled) in [
+            (0u16, 0u16, true),
+            (1, 0xFFFF, false),
+            (0x8000, 0x8000, false),
+        ] {
+            let mut m = machine();
+            let code = assemble("negz 0, 1\nhalt").unwrap();
+            m.load_program(0o400, &code.words).unwrap();
+            m.ac[0] = input;
+            m.run(10).unwrap();
+            assert_eq!(m.ac[1], want, "NEG {input:#x}");
+            assert_eq!(m.carry, carry_toggled, "NEG {input:#x} carry");
+        }
+    }
+
+    #[test]
+    fn adc_adds_complement() {
+        // ADC: dst + !src. With carry zeroed: 10 + !3 = 10 + 0xFFFC.
+        let mut m = machine();
+        let code = assemble("adcz 0, 1\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 3;
+        m.ac[1] = 10;
+        m.run(10).unwrap();
+        assert_eq!(m.ac[1], 10u16.wrapping_add(!3u16));
+        assert!(m.carry, "10 + 0xFFFC carries out");
+    }
+
+    #[test]
+    fn and_masks_without_carry() {
+        let mut m = machine();
+        let code = assemble("andz 0, 1\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0x0F0F;
+        m.ac[1] = 0x1234;
+        m.run(10).unwrap();
+        assert_eq!(m.ac[1], 0x0204);
+        assert!(!m.carry);
+    }
+
+    #[test]
+    fn inc_wraps_and_carries() {
+        let mut m = machine();
+        let code = assemble("incz 0, 1\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0xFFFF;
+        m.run(10).unwrap();
+        assert_eq!(m.ac[1], 0);
+        assert!(m.carry);
+    }
+
+    #[test]
+    fn right_rotate_through_carry() {
+        let mut m = machine();
+        let code = assemble("movor 0, 0\nhalt").unwrap(); // carry=1, rotate right
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 0x0001;
+        m.run(10).unwrap();
+        // Carry (1) enters bit 15; old bit 0 (1) becomes the carry.
+        assert_eq!(m.ac[0], 0x8000);
+        assert!(m.carry);
+    }
+
+    #[test]
+    fn skip_tests_sez_and_sbn() {
+        // SEZ: skip if either carry or result is zero.
+        let mut m = machine();
+        let code =
+            assemble("subz 0, 0, sez\njmp noskip\nlda 1, mk\nhalt\nnoskip: halt\nmk: .word 5")
+                .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.run(10).unwrap();
+        assert_eq!(m.ac[1], 5, "SUBZ 0,0 gives zero result: SEZ skips");
+
+        // SBN: skip only when both carry and result nonzero.
+        let mut m = machine();
+        let code =
+            assemble("subz 0, 1, sbn\njmp noskip\nlda 2, mk\nhalt\nnoskip: halt\nmk: .word 7")
+                .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.ac[0] = 3;
+        m.ac[1] = 10; // 10-3=7 nonzero, no borrow -> carry 1: both nonzero
+        m.run(10).unwrap();
+        assert_eq!(m.ac[2], 7, "SBN skips when both nonzero");
+    }
+
+    #[test]
+    fn auto_increment_wraps_at_64k() {
+        let mut m = machine();
+        let code = assemble("lda 0, @0o20\nhalt").unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.mem.write(0o20, 0xFFFF); // increments to 0
+        m.mem.write(0, 4242);
+        m.run(10).unwrap();
+        assert_eq!(m.ac[0], 4242);
+        assert_eq!(m.mem.read(0o20), 0);
+    }
+
+    #[test]
+    fn jsr_indirect_through_pointer_table() {
+        // The §5.1 calling pattern: JSR @ptr where ptr holds the routine.
+        let mut m = machine();
+        let code = assemble(
+            "
+            jsr @vec
+            halt
+vec:        .word routine
+routine:    lda 0, k
+            jmp 0,3
+k:          .word 99
+            ",
+        )
+        .unwrap();
+        m.load_program(0o400, &code.words).unwrap();
+        m.run(20).unwrap();
+        assert_eq!(m.ac[0], 99);
+    }
+}

@@ -1,0 +1,117 @@
+//! The teletype-style display device.
+//!
+//! The real Alto had a bitmapped display driven by microcode; the system's
+//! *display streams* (§5) simulated a teletype terminal on it. We model the
+//! terminal directly: a character sink with a visible screen buffer that
+//! examples print and tests assert on.
+
+/// Display columns.
+pub const COLUMNS: usize = 80;
+/// Display rows.
+pub const ROWS: usize = 24;
+
+/// A teletype-style display: characters accumulate, lines scroll.
+#[derive(Debug)]
+pub struct Teletype {
+    rows: Vec<String>,
+    /// Everything ever printed (for tests).
+    transcript: String,
+}
+
+impl Default for Teletype {
+    fn default() -> Self {
+        Teletype::new()
+    }
+}
+
+impl Teletype {
+    /// A blank screen.
+    pub fn new() -> Teletype {
+        Teletype {
+            rows: vec![String::new()],
+            transcript: String::new(),
+        }
+    }
+
+    /// Prints one character (`\n` starts a new line; the screen scrolls
+    /// after [`ROWS`] lines; lines wrap at [`COLUMNS`]).
+    pub fn put_char(&mut self, c: char) {
+        self.transcript.push(c);
+        if c == '\n' {
+            self.rows.push(String::new());
+        } else {
+            if self.rows.last().map_or(0, |r| r.chars().count()) >= COLUMNS {
+                self.rows.push(String::new());
+            }
+            self.rows.last_mut().expect("at least one row").push(c);
+        }
+        while self.rows.len() > ROWS {
+            self.rows.remove(0);
+        }
+    }
+
+    /// Prints a string.
+    pub fn put_str(&mut self, s: &str) {
+        for c in s.chars() {
+            self.put_char(c);
+        }
+    }
+
+    /// The visible screen contents, one string per row.
+    pub fn screen(&self) -> &[String] {
+        &self.rows
+    }
+
+    /// Everything printed since construction.
+    pub fn transcript(&self) -> &str {
+        &self.transcript
+    }
+
+    /// Clears the screen (the transcript is kept).
+    pub fn clear(&mut self) {
+        self.rows = vec![String::new()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characters_accumulate() {
+        let mut t = Teletype::new();
+        t.put_str("hello\nworld");
+        assert_eq!(t.screen(), ["hello".to_string(), "world".to_string()]);
+        assert_eq!(t.transcript(), "hello\nworld");
+    }
+
+    #[test]
+    fn long_lines_wrap() {
+        let mut t = Teletype::new();
+        t.put_str(&"x".repeat(COLUMNS + 5));
+        assert_eq!(t.screen().len(), 2);
+        assert_eq!(t.screen()[0].len(), COLUMNS);
+        assert_eq!(t.screen()[1].len(), 5);
+    }
+
+    #[test]
+    fn screen_scrolls_after_rows_lines() {
+        let mut t = Teletype::new();
+        for i in 0..(ROWS + 3) {
+            t.put_str(&format!("line {i}\n"));
+        }
+        assert_eq!(t.screen().len(), ROWS);
+        assert_eq!(t.screen()[0], format!("line {}", 4));
+        // The transcript keeps everything.
+        assert!(t.transcript().contains("line 0"));
+    }
+
+    #[test]
+    fn clear_resets_screen_not_transcript() {
+        let mut t = Teletype::new();
+        t.put_str("gone");
+        t.clear();
+        assert_eq!(t.screen(), [String::new()]);
+        assert_eq!(t.transcript(), "gone");
+    }
+}

@@ -1,0 +1,66 @@
+//! Machine error types.
+
+use std::fmt;
+
+/// Errors surfaced by the CPU, assembler, and state machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The machine executed a word that decodes to no instruction (only
+    /// possible for the reserved trap encodings).
+    IllegalInstruction {
+        /// Where it was fetched.
+        pc: u16,
+        /// The offending word.
+        word: u16,
+    },
+    /// An assembler diagnostic.
+    Asm {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A code or state file failed to decode.
+    BadImage(&'static str),
+    /// The machine ran past its instruction budget (runaway program).
+    BudgetExhausted,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#06o} at {pc:#06o}")
+            }
+            MachineError::Asm { line, message } => write!(f, "line {line}: {message}"),
+            MachineError::BadImage(what) => write!(f, "bad image: {what}"),
+            MachineError::BudgetExhausted => f.write_str("instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MachineError::IllegalInstruction {
+            pc: 0o400,
+            word: 0o60000,
+        };
+        assert!(e.to_string().contains("0400"));
+        assert!(MachineError::Asm {
+            line: 3,
+            message: "bad opcode".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(MachineError::BadImage("truncated")
+            .to_string()
+            .contains("truncated"));
+        assert!(MachineError::BudgetExhausted.to_string().contains("budget"));
+    }
+}

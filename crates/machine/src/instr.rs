@@ -1,0 +1,592 @@
+//! Instruction encoding, decoding, and disassembly.
+//!
+//! Word layout (bit 15 is the most significant):
+//!
+//! ```text
+//! memory reference   0 o o a a i x x d d d d d d d d
+//!   class ooaa: 0000 JMP, 0001 JSR, 0010 ISZ, 0011 DSZ (oo=00)
+//!               oo=01: LDA aa;  oo=10: STA aa
+//!   i: indirect;  xx: 00 page zero, 01 PC-relative (signed),
+//!                     10 AC2-relative (signed), 11 AC3-relative (signed)
+//! trap (I/O class)   0 1 1 a a c c c c c c c c c c c
+//!   aa: accumulator operand, ccc…: 11-bit trap code
+//! ALU                1 s s d d o o o f f c c n k k k
+//!   ooo: COM NEG MOV INC ADC SUB ADD AND
+//!   ff:  shift (none, L, R, S byte-swap)
+//!   cc:  carry (leave, Z, O, C)
+//!   n:   no-load
+//!   kkk: skip (never, SKP, SZC, SNC, SZR, SNR, SEZ, SBN)
+//! ```
+
+use std::fmt;
+
+/// Memory-reference functions in the `000` class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemFn {
+    /// Jump.
+    Jmp,
+    /// Jump to subroutine (AC3 receives the return address).
+    Jsr,
+    /// Increment memory and skip if the result is zero.
+    Isz,
+    /// Decrement memory and skip if the result is zero.
+    Dsz,
+}
+
+/// Addressing modes for memory-reference instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Index {
+    /// Absolute within page zero: displacement 0..=255.
+    PageZero,
+    /// PC-relative: signed displacement.
+    PcRelative,
+    /// AC2-relative: signed displacement.
+    Ac2Relative,
+    /// AC3-relative: signed displacement.
+    Ac3Relative,
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// One's complement of the source.
+    Com,
+    /// Two's complement (negate).
+    Neg,
+    /// Move.
+    Mov,
+    /// Increment.
+    Inc,
+    /// Add with carry.
+    Adc,
+    /// Subtract.
+    Sub,
+    /// Add.
+    Add,
+    /// Bitwise and.
+    And,
+}
+
+/// ALU shift field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shift {
+    /// No shift.
+    None,
+    /// Rotate left one bit through carry.
+    Left,
+    /// Rotate right one bit through carry.
+    Right,
+    /// Swap bytes (carry unaffected).
+    Swap,
+}
+
+/// ALU carry-control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CarryCtl {
+    /// Use the current carry.
+    Leave,
+    /// Force carry 0.
+    Zero,
+    /// Force carry 1.
+    One,
+    /// Complement the carry.
+    Complement,
+}
+
+/// ALU skip tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SkipTest {
+    /// Never skip.
+    Never,
+    /// Always skip.
+    Always,
+    /// Skip if carry is zero.
+    CarryZero,
+    /// Skip if carry is nonzero.
+    CarryNonzero,
+    /// Skip if result is zero.
+    ResultZero,
+    /// Skip if result is nonzero.
+    ResultNonzero,
+    /// Skip if either carry or result is zero.
+    EitherZero,
+    /// Skip if both carry and result are nonzero.
+    BothNonzero,
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Memory-reference without an accumulator.
+    Mem {
+        /// Which function.
+        func: MemFn,
+        /// Indirect bit.
+        indirect: bool,
+        /// Index mode.
+        index: Index,
+        /// Raw 8-bit displacement.
+        disp: u8,
+    },
+    /// Load accumulator.
+    Lda {
+        /// Destination accumulator.
+        ac: u8,
+        /// Indirect bit.
+        indirect: bool,
+        /// Index mode.
+        index: Index,
+        /// Raw 8-bit displacement.
+        disp: u8,
+    },
+    /// Store accumulator.
+    Sta {
+        /// Source accumulator.
+        ac: u8,
+        /// Indirect bit.
+        indirect: bool,
+        /// Index mode.
+        index: Index,
+        /// Raw 8-bit displacement.
+        disp: u8,
+    },
+    /// Operating-system trap (the repurposed I/O class).
+    Trap {
+        /// Accumulator operand named by the instruction.
+        ac: u8,
+        /// 11-bit trap code.
+        code: u16,
+    },
+    /// Two-accumulator ALU operation.
+    Alu {
+        /// Source accumulator.
+        src: u8,
+        /// Destination accumulator.
+        dst: u8,
+        /// Operation.
+        op: AluOp,
+        /// Shift field.
+        shift: Shift,
+        /// Carry control.
+        carry: CarryCtl,
+        /// No-load: compute flags but discard the result.
+        no_load: bool,
+        /// Skip test.
+        skip: SkipTest,
+    },
+}
+
+fn index_from_bits(bits: u16) -> Index {
+    match bits & 3 {
+        0 => Index::PageZero,
+        1 => Index::PcRelative,
+        2 => Index::Ac2Relative,
+        _ => Index::Ac3Relative,
+    }
+}
+
+fn index_bits(i: Index) -> u16 {
+    match i {
+        Index::PageZero => 0,
+        Index::PcRelative => 1,
+        Index::Ac2Relative => 2,
+        Index::Ac3Relative => 3,
+    }
+}
+
+impl Instr {
+    /// Decodes a word. Every word decodes to *something* (like the real
+    /// machine); there are no reserved encodings.
+    pub fn decode(word: u16) -> Instr {
+        if word & 0x8000 != 0 {
+            let op = match (word >> 8) & 7 {
+                0 => AluOp::Com,
+                1 => AluOp::Neg,
+                2 => AluOp::Mov,
+                3 => AluOp::Inc,
+                4 => AluOp::Adc,
+                5 => AluOp::Sub,
+                6 => AluOp::Add,
+                _ => AluOp::And,
+            };
+            let shift = match (word >> 6) & 3 {
+                0 => Shift::None,
+                1 => Shift::Left,
+                2 => Shift::Right,
+                _ => Shift::Swap,
+            };
+            let carry = match (word >> 4) & 3 {
+                0 => CarryCtl::Leave,
+                1 => CarryCtl::Zero,
+                2 => CarryCtl::One,
+                _ => CarryCtl::Complement,
+            };
+            let skip = match word & 7 {
+                0 => SkipTest::Never,
+                1 => SkipTest::Always,
+                2 => SkipTest::CarryZero,
+                3 => SkipTest::CarryNonzero,
+                4 => SkipTest::ResultZero,
+                5 => SkipTest::ResultNonzero,
+                6 => SkipTest::EitherZero,
+                _ => SkipTest::BothNonzero,
+            };
+            return Instr::Alu {
+                src: ((word >> 13) & 3) as u8,
+                dst: ((word >> 11) & 3) as u8,
+                op,
+                shift,
+                carry,
+                no_load: word & 8 != 0,
+                skip,
+            };
+        }
+        let class = (word >> 13) & 3;
+        let acbits = ((word >> 11) & 3) as u8;
+        let indirect = word & 0x0400 != 0;
+        let index = index_from_bits(word >> 8);
+        let disp = word as u8;
+        match class {
+            0 => Instr::Mem {
+                func: match acbits {
+                    0 => MemFn::Jmp,
+                    1 => MemFn::Jsr,
+                    2 => MemFn::Isz,
+                    _ => MemFn::Dsz,
+                },
+                indirect,
+                index,
+                disp,
+            },
+            1 => Instr::Lda {
+                ac: acbits,
+                indirect,
+                index,
+                disp,
+            },
+            2 => Instr::Sta {
+                ac: acbits,
+                indirect,
+                index,
+                disp,
+            },
+            _ => Instr::Trap {
+                ac: acbits,
+                code: word & 0x07FF,
+            },
+        }
+    }
+
+    /// Encodes the instruction to a word.
+    pub fn encode(self) -> u16 {
+        match self {
+            Instr::Mem {
+                func,
+                indirect,
+                index,
+                disp,
+            } => {
+                let f = match func {
+                    MemFn::Jmp => 0,
+                    MemFn::Jsr => 1,
+                    MemFn::Isz => 2,
+                    MemFn::Dsz => 3,
+                };
+                (f << 11) | (u16::from(indirect) << 10) | (index_bits(index) << 8) | disp as u16
+            }
+            Instr::Lda {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                0x2000
+                    | ((ac as u16) << 11)
+                    | (u16::from(indirect) << 10)
+                    | (index_bits(index) << 8)
+                    | disp as u16
+            }
+            Instr::Sta {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                0x4000
+                    | ((ac as u16) << 11)
+                    | (u16::from(indirect) << 10)
+                    | (index_bits(index) << 8)
+                    | disp as u16
+            }
+            Instr::Trap { ac, code } => 0x6000 | ((ac as u16) << 11) | (code & 0x07FF),
+            Instr::Alu {
+                src,
+                dst,
+                op,
+                shift,
+                carry,
+                no_load,
+                skip,
+            } => {
+                let o = match op {
+                    AluOp::Com => 0,
+                    AluOp::Neg => 1,
+                    AluOp::Mov => 2,
+                    AluOp::Inc => 3,
+                    AluOp::Adc => 4,
+                    AluOp::Sub => 5,
+                    AluOp::Add => 6,
+                    AluOp::And => 7,
+                };
+                let f = match shift {
+                    Shift::None => 0,
+                    Shift::Left => 1,
+                    Shift::Right => 2,
+                    Shift::Swap => 3,
+                };
+                let c = match carry {
+                    CarryCtl::Leave => 0,
+                    CarryCtl::Zero => 1,
+                    CarryCtl::One => 2,
+                    CarryCtl::Complement => 3,
+                };
+                let k = match skip {
+                    SkipTest::Never => 0,
+                    SkipTest::Always => 1,
+                    SkipTest::CarryZero => 2,
+                    SkipTest::CarryNonzero => 3,
+                    SkipTest::ResultZero => 4,
+                    SkipTest::ResultNonzero => 5,
+                    SkipTest::EitherZero => 6,
+                    SkipTest::BothNonzero => 7,
+                };
+                0x8000
+                    | ((src as u16) << 13)
+                    | ((dst as u16) << 11)
+                    | (o << 8)
+                    | (f << 6)
+                    | (c << 4)
+                    | (u16::from(no_load) << 3)
+                    | k
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ea(f: &mut fmt::Formatter<'_>, indirect: bool, index: Index, disp: u8) -> fmt::Result {
+            let at = if indirect { "@" } else { "" };
+            match index {
+                Index::PageZero => write!(f, "{at}{disp:#o}"),
+                Index::PcRelative => write!(f, "{at}.{:+}", disp as i8),
+                Index::Ac2Relative => write!(f, "{at}{:+},2", disp as i8),
+                Index::Ac3Relative => write!(f, "{at}{:+},3", disp as i8),
+            }
+        }
+        match *self {
+            Instr::Mem {
+                func,
+                indirect,
+                index,
+                disp,
+            } => {
+                let name = match func {
+                    MemFn::Jmp => "JMP",
+                    MemFn::Jsr => "JSR",
+                    MemFn::Isz => "ISZ",
+                    MemFn::Dsz => "DSZ",
+                };
+                write!(f, "{name} ")?;
+                ea(f, indirect, index, disp)
+            }
+            Instr::Lda {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                write!(f, "LDA {ac}, ")?;
+                ea(f, indirect, index, disp)
+            }
+            Instr::Sta {
+                ac,
+                indirect,
+                index,
+                disp,
+            } => {
+                write!(f, "STA {ac}, ")?;
+                ea(f, indirect, index, disp)
+            }
+            Instr::Trap { ac, code } => write!(f, "TRAP {ac}, {code}"),
+            Instr::Alu {
+                src,
+                dst,
+                op,
+                shift,
+                carry,
+                no_load,
+                skip,
+            } => {
+                let name = match op {
+                    AluOp::Com => "COM",
+                    AluOp::Neg => "NEG",
+                    AluOp::Mov => "MOV",
+                    AluOp::Inc => "INC",
+                    AluOp::Adc => "ADC",
+                    AluOp::Sub => "SUB",
+                    AluOp::Add => "ADD",
+                    AluOp::And => "AND",
+                };
+                let c = match carry {
+                    CarryCtl::Leave => "",
+                    CarryCtl::Zero => "Z",
+                    CarryCtl::One => "O",
+                    CarryCtl::Complement => "C",
+                };
+                let s = match shift {
+                    Shift::None => "",
+                    Shift::Left => "L",
+                    Shift::Right => "R",
+                    Shift::Swap => "S",
+                };
+                let n = if no_load { "#" } else { "" };
+                write!(f, "{name}{c}{s}{n} {src}, {dst}")?;
+                let k = match skip {
+                    SkipTest::Never => "",
+                    SkipTest::Always => ", SKP",
+                    SkipTest::CarryZero => ", SZC",
+                    SkipTest::CarryNonzero => ", SNC",
+                    SkipTest::ResultZero => ", SZR",
+                    SkipTest::ResultNonzero => ", SNR",
+                    SkipTest::EitherZero => ", SEZ",
+                    SkipTest::BothNonzero => ", SBN",
+                };
+                f.write_str(k)
+            }
+        }
+    }
+}
+
+/// Disassembles one word.
+pub fn disassemble(word: u16) -> String {
+    Instr::decode(word).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_word_round_trips() {
+        // decode/encode is a bijection on all 65536 words.
+        for w in 0..=u16::MAX {
+            let i = Instr::decode(w);
+            assert_eq!(i.encode(), w, "word {w:#06x} -> {i:?}");
+        }
+    }
+
+    #[test]
+    fn decodes_known_encodings() {
+        // LDA 1, PC-relative +4.
+        let i = Instr::decode(0x2000 | (1 << 11) | (1 << 8) | 4);
+        assert_eq!(
+            i,
+            Instr::Lda {
+                ac: 1,
+                indirect: false,
+                index: Index::PcRelative,
+                disp: 4
+            }
+        );
+        // JSR @page-zero 0o20.
+        let i = Instr::decode((1 << 11) | (1 << 10) | 0o20);
+        assert_eq!(
+            i,
+            Instr::Mem {
+                func: MemFn::Jsr,
+                indirect: true,
+                index: Index::PageZero,
+                disp: 0o20
+            }
+        );
+        // ADD 0,1 with carry-zero and left shift.
+        let w = Instr::Alu {
+            src: 0,
+            dst: 1,
+            op: AluOp::Add,
+            shift: Shift::Left,
+            carry: CarryCtl::Zero,
+            no_load: false,
+            skip: SkipTest::Never,
+        }
+        .encode();
+        assert_eq!(w & 0x8000, 0x8000);
+        assert_eq!(
+            Instr::decode(w),
+            Instr::Alu {
+                src: 0,
+                dst: 1,
+                op: AluOp::Add,
+                shift: Shift::Left,
+                carry: CarryCtl::Zero,
+                no_load: false,
+                skip: SkipTest::Never,
+            }
+        );
+    }
+
+    #[test]
+    fn trap_code_range() {
+        let i = Instr::Trap { ac: 2, code: 0x7FF };
+        let w = i.encode();
+        assert_eq!(Instr::decode(w), i);
+        // Code is masked to 11 bits.
+        let j = Instr::Trap { ac: 0, code: 0xFFF };
+        assert_eq!(
+            Instr::decode(j.encode()),
+            Instr::Trap { ac: 0, code: 0x7FF }
+        );
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        assert_eq!(
+            disassemble(
+                Instr::Lda {
+                    ac: 0,
+                    indirect: false,
+                    index: Index::PageZero,
+                    disp: 0o17,
+                }
+                .encode()
+            ),
+            "LDA 0, 0o17"
+        );
+        assert_eq!(
+            disassemble(
+                Instr::Mem {
+                    func: MemFn::Jmp,
+                    indirect: true,
+                    index: Index::PcRelative,
+                    disp: 0xFE, // -2
+                }
+                .encode()
+            ),
+            "JMP @.-2"
+        );
+        let s = disassemble(
+            Instr::Alu {
+                src: 1,
+                dst: 2,
+                op: AluOp::Sub,
+                shift: Shift::None,
+                carry: CarryCtl::Zero,
+                no_load: true,
+                skip: SkipTest::ResultZero,
+            }
+            .encode(),
+        );
+        assert_eq!(s, "SUBZ# 1, 2, SZR");
+    }
+}

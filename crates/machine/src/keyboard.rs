@@ -1,0 +1,137 @@
+//! The interrupt-driven keyboard device (§2).
+//!
+//! "The current version of the system has only two processes, one of which
+//! puts keyboard input characters into a buffer, while the other does all
+//! the interesting work. The keyboard process is interrupt-driven…"
+//!
+//! Tests and examples script the user: key events are queued with
+//! timestamps, and a key becomes *pending* (raising an interrupt request)
+//! once the simulated clock passes its time. The system ISR — Rust code in
+//! `alto-os` standing in for the keyboard process — drains pending keys
+//! into the resident type-ahead buffer.
+
+use std::collections::VecDeque;
+
+use alto_sim::SimTime;
+
+/// A scripted key event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyEvent {
+    /// When the key is struck.
+    pub at: SimTime,
+    /// The character (7-bit ASCII in practice).
+    pub key: u16,
+}
+
+/// The keyboard device: a time-ordered script of key events.
+#[derive(Debug, Default)]
+pub struct Keyboard {
+    /// Events not yet struck (sorted by time).
+    script: VecDeque<KeyEvent>,
+}
+
+impl Keyboard {
+    /// An empty keyboard.
+    pub fn new() -> Keyboard {
+        Keyboard::default()
+    }
+
+    /// Scripts a key press at an absolute simulated time.
+    ///
+    /// Events must be scripted in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last scripted event.
+    pub fn press_at(&mut self, at: SimTime, key: u8) {
+        if let Some(last) = self.script.back() {
+            assert!(at >= last.at, "key events must be scripted in time order");
+        }
+        self.script.push_back(KeyEvent {
+            at,
+            key: key as u16,
+        });
+    }
+
+    /// Scripts an entire string, one key every `spacing`.
+    pub fn type_string(&mut self, start: SimTime, spacing: SimTime, text: &str) {
+        let mut at = start;
+        for b in text.bytes() {
+            self.press_at(at, b);
+            at += spacing;
+        }
+    }
+
+    /// True if a key has been struck by time `now` and not yet read —
+    /// the device's interrupt request line.
+    pub fn pending(&self, now: SimTime) -> bool {
+        self.script.front().is_some_and(|e| e.at <= now)
+    }
+
+    /// Reads the next struck key, if any is ready (the device has no
+    /// buffer of its own — that is the system's job, §2).
+    ///
+    /// This variant is for the system ISR, which runs at a known `now`.
+    pub fn read_at(&mut self, now: SimTime) -> Option<u16> {
+        if self.pending(now) {
+            self.script.pop_front().map(|e| e.key)
+        } else {
+            None
+        }
+    }
+
+    /// Reads the next struck key unconditionally (test convenience —
+    /// treats every scripted key as already struck).
+    pub fn read(&mut self) -> Option<u16> {
+        self.script.pop_front().map(|e| e.key)
+    }
+
+    /// Number of scripted events not yet read.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_respects_time() {
+        let mut k = Keyboard::new();
+        k.press_at(SimTime::from_millis(10), b'a');
+        assert!(!k.pending(SimTime::from_millis(9)));
+        assert!(k.pending(SimTime::from_millis(10)));
+        assert!(k.pending(SimTime::from_millis(11)));
+    }
+
+    #[test]
+    fn read_at_only_returns_struck_keys() {
+        let mut k = Keyboard::new();
+        k.press_at(SimTime::from_millis(10), b'a');
+        k.press_at(SimTime::from_millis(20), b'b');
+        assert_eq!(k.read_at(SimTime::from_millis(5)), None);
+        assert_eq!(k.read_at(SimTime::from_millis(15)), Some(b'a' as u16));
+        assert_eq!(k.read_at(SimTime::from_millis(15)), None);
+        assert_eq!(k.read_at(SimTime::from_millis(25)), Some(b'b' as u16));
+    }
+
+    #[test]
+    fn type_string_spaces_events() {
+        let mut k = Keyboard::new();
+        k.type_string(SimTime::ZERO, SimTime::from_millis(100), "hi");
+        assert_eq!(k.remaining(), 2);
+        assert!(k.pending(SimTime::ZERO));
+        assert_eq!(k.read_at(SimTime::ZERO), Some(b'h' as u16));
+        assert!(!k.pending(SimTime::from_millis(99)));
+        assert!(k.pending(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_events_panic() {
+        let mut k = Keyboard::new();
+        k.press_at(SimTime::from_millis(10), b'a');
+        k.press_at(SimTime::from_millis(5), b'b');
+    }
+}

@@ -1,0 +1,62 @@
+//! The simulated Alto machine (§2).
+//!
+//! "A small computer called the Alto, which has a 16-bit processor, 64k
+//! words of 800 ns memory … The processor executes an instruction set that
+//! supports BCPL, including special instructions for procedure calls and
+//! returns." The Alto's emulated instruction set was an extension of the
+//! Data General Nova's; this crate implements a faithful Nova-like CPU:
+//!
+//! * memory-reference instructions `JMP/JSR/ISZ/DSZ/LDA/STA` with page-zero,
+//!   PC-relative and AC2/AC3-relative addressing, one level of indirection,
+//!   and the auto-increment/decrement locations `020–037`;
+//! * two-accumulator ALU instructions with carry control, shifts, no-load
+//!   and skip tests (`COM/NEG/MOV/INC/ADC/SUB/ADD/AND`);
+//! * the I/O class repurposed as the **trap** interface through which
+//!   programs invoke operating-system procedures (§5.1's loader binds OS
+//!   procedure addresses into user code via fixup tables; each procedure's
+//!   stub executes a trap).
+//!
+//! The crate also provides the two-process structure of §2: an
+//! interrupt-driven keyboard device that delivers type-ahead between
+//! instructions, a teletype display device, byte-exact machine-state
+//! snapshots (the substance of `OutLoad`/`InLoad`, §4.1), an assembler that
+//! emits loadable code files with fixup tables, and a disassembler.
+//!
+//! Every instruction charges its memory cycles (800 ns each) to the shared
+//! simulated clock.
+
+pub mod asm;
+pub mod codefile;
+pub mod cpu;
+pub mod display;
+pub mod errors;
+pub mod instr;
+pub mod keyboard;
+pub mod state;
+
+pub use asm::assemble;
+pub use codefile::{CodeFile, Fixup};
+pub use cpu::{Machine, Step};
+pub use display::Teletype;
+pub use errors::MachineError;
+pub use instr::{disassemble, Instr};
+pub use keyboard::{KeyEvent, Keyboard};
+pub use state::MachineState;
+
+/// Internal trap codes handled by the machine itself.
+pub mod traps {
+    /// Halt the machine.
+    pub const HALT: u16 = 0;
+    /// Enable interrupts.
+    pub const INTEN: u16 = 1;
+    /// Disable interrupts.
+    pub const INTDS: u16 = 2;
+    /// Return from interrupt (restores the PC saved at location 0 and
+    /// re-enables interrupts).
+    pub const RETI: u16 = 3;
+    /// Read one struck key from the keyboard device into AC0 (0xFFFF if
+    /// none) — the device access a machine-code keyboard ISR needs (§2).
+    pub const KBDGET: u16 = 4;
+    /// First trap code delivered to the operating system.
+    pub const OS_BASE: u16 = 8;
+}

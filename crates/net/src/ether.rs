@@ -1,0 +1,289 @@
+//! The broadcast medium: a simulated 3 Mb/s Ethernet.
+//!
+//! Hosts attach to the ether and exchange [`Packet`]s; transmission charges
+//! the shared clock at the experimental Ethernet's 3 Mb/s (≈5.33 µs per
+//! 16-bit word), and each packet arrives at its destination after the
+//! transmission time. Deterministic packet loss can be injected for
+//! protocol testing.
+
+use std::collections::VecDeque;
+
+use alto_sim::{SimClock, SimTime, SplitMix64, Trace};
+
+use crate::packet::Packet;
+
+/// A host address on the ether (0 is broadcast and cannot be a host).
+pub type HostId = u8;
+
+/// Errors from the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The host id is not attached (or is the broadcast address).
+    NoSuchHost(HostId),
+    /// A host id was attached twice.
+    HostInUse(HostId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoSuchHost(h) => write!(f, "no host {h} on the ether"),
+            NetError::HostInUse(h) => write!(f, "host {h} already attached"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Time to put one 16-bit word on a 3 Mb/s wire.
+pub const WORD_TIME: SimTime = SimTime::from_nanos(5_333);
+
+#[derive(Debug)]
+struct Inbox {
+    host: HostId,
+    queue: VecDeque<(SimTime, Packet)>,
+}
+
+/// The shared broadcast medium.
+#[derive(Debug)]
+pub struct Ether {
+    clock: SimClock,
+    trace: Trace,
+    inboxes: Vec<Inbox>,
+    /// Packet-loss injection: lose one packet in `loss_denominator` sends.
+    loss_num: u64,
+    loss_denom: u64,
+    rng: SplitMix64,
+    /// Packets put on the wire.
+    pub sent: u64,
+    /// Packets dropped by injected loss.
+    pub lost: u64,
+}
+
+impl Ether {
+    /// A lossless ether on the given timeline.
+    pub fn new(clock: SimClock, trace: Trace) -> Ether {
+        Ether {
+            clock,
+            trace,
+            inboxes: Vec::new(),
+            loss_num: 0,
+            loss_denom: 1,
+            rng: SplitMix64::new(0xE7E7),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// Configures deterministic random loss: `num` in `denom` packets are
+    /// dropped in transit.
+    pub fn set_loss(&mut self, num: u64, denom: u64, seed: u64) {
+        assert!(denom > 0 && num <= denom);
+        self.loss_num = num;
+        self.loss_denom = denom;
+        self.rng = SplitMix64::new(seed);
+    }
+
+    /// The clock transmissions are charged to.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Attaches a host.
+    pub fn attach(&mut self, host: HostId) -> Result<(), NetError> {
+        if host == 0 {
+            return Err(NetError::NoSuchHost(0));
+        }
+        if self.inboxes.iter().any(|i| i.host == host) {
+            return Err(NetError::HostInUse(host));
+        }
+        self.inboxes.push(Inbox {
+            host,
+            queue: VecDeque::new(),
+        });
+        Ok(())
+    }
+
+    fn check_attached(&self, host: HostId) -> Result<(), NetError> {
+        if self.inboxes.iter().any(|i| i.host == host) {
+            Ok(())
+        } else {
+            Err(NetError::NoSuchHost(host))
+        }
+    }
+
+    /// Puts a packet on the wire. The sender pays the transmission time;
+    /// the packet arrives at the destination (or, for `dst_host == 0`, at
+    /// every other host) when the transmission ends.
+    pub fn send(&mut self, packet: Packet) -> Result<(), NetError> {
+        self.check_attached(packet.src_host)?;
+        if packet.dst_host != 0 {
+            self.check_attached(packet.dst_host)?;
+        }
+        let wire = packet.encode();
+        self.clock.advance(WORD_TIME.scaled(wire.len() as u64));
+        let arrival = self.clock.now();
+        self.sent += 1;
+        if self.loss_num > 0 && self.rng.chance(self.loss_num, self.loss_denom) {
+            self.lost += 1;
+            self.trace
+                .record(arrival, "net.lost", format!("seq {}", packet.seq));
+            return Ok(());
+        }
+        // Receivers re-validate the wire format, as real software must.
+        let delivered = Packet::decode(&wire).expect("self-encoded packet");
+        for inbox in &mut self.inboxes {
+            let to_me = packet.dst_host == inbox.host
+                || (packet.dst_host == 0 && packet.src_host != inbox.host);
+            if to_me {
+                inbox.queue.push_back((arrival, delivered.clone()));
+            }
+        }
+        self.trace.record(
+            arrival,
+            "net.sent",
+            format!(
+                "{} -> {} seq {}",
+                packet.src_host, packet.dst_host, packet.seq
+            ),
+        );
+        Ok(())
+    }
+
+    /// Receives the next packet for `host` on `socket` that has arrived by
+    /// the current simulated time.
+    pub fn receive(&mut self, host: HostId, socket: u16) -> Result<Option<Packet>, NetError> {
+        let now = self.clock.now();
+        let inbox = self
+            .inboxes
+            .iter_mut()
+            .find(|i| i.host == host)
+            .ok_or(NetError::NoSuchHost(host))?;
+        let pos = inbox
+            .queue
+            .iter()
+            .position(|(at, p)| *at <= now && p.dst_socket == socket);
+        Ok(pos.and_then(|i| inbox.queue.remove(i)).map(|(_, p)| p))
+    }
+
+    /// Packets waiting (arrived or in flight) for a host.
+    pub fn queued(&self, host: HostId) -> usize {
+        self.inboxes
+            .iter()
+            .find(|i| i.host == host)
+            .map_or(0, |i| i.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketType;
+
+    fn ether() -> Ether {
+        let mut e = Ether::new(SimClock::new(), Trace::new());
+        e.attach(1).unwrap();
+        e.attach(2).unwrap();
+        e.attach(3).unwrap();
+        e
+    }
+
+    fn packet(src: HostId, dst: HostId, socket: u16, seq: u16) -> Packet {
+        Packet {
+            ptype: PacketType::Data,
+            dst_host: dst,
+            src_host: src,
+            dst_socket: socket,
+            src_socket: 0x99,
+            seq,
+            payload: vec![seq; 4],
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut e = ether();
+        e.send(packet(1, 2, 0x30, 1)).unwrap();
+        assert_eq!(e.receive(2, 0x30).unwrap().unwrap().seq, 1);
+        assert!(e.receive(2, 0x30).unwrap().is_none());
+        // Host 3 saw nothing.
+        assert!(e.receive(3, 0x30).unwrap().is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_the_sender() {
+        let mut e = ether();
+        e.send(packet(1, 0, 0x30, 9)).unwrap();
+        assert!(e.receive(2, 0x30).unwrap().is_some());
+        assert!(e.receive(3, 0x30).unwrap().is_some());
+        assert!(e.receive(1, 0x30).unwrap().is_none());
+    }
+
+    #[test]
+    fn sockets_demultiplex() {
+        let mut e = ether();
+        e.send(packet(1, 2, 0x30, 1)).unwrap();
+        e.send(packet(1, 2, 0x31, 2)).unwrap();
+        assert_eq!(e.receive(2, 0x31).unwrap().unwrap().seq, 2);
+        assert_eq!(e.receive(2, 0x30).unwrap().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn transmission_charges_the_clock() {
+        let mut e = ether();
+        let before = e.clock().now();
+        let p = packet(1, 2, 0x30, 1);
+        let words = p.wire_words() as u64;
+        e.send(p).unwrap();
+        assert_eq!(e.clock().now() - before, WORD_TIME.scaled(words));
+    }
+
+    #[test]
+    fn a_page_sized_packet_takes_under_two_milliseconds() {
+        // 256 payload words + header at 3 Mb/s ≈ 1.4 ms: the network is
+        // much faster than one disk revolution, which is why the printing
+        // server's spooler keeps up (§4).
+        let mut e = ether();
+        let mut p = packet(1, 2, 0x30, 1);
+        p.payload = vec![0; 256];
+        let before = e.clock().now();
+        e.send(p).unwrap();
+        let dt = e.clock().now() - before;
+        assert!(dt < SimTime::from_millis(2), "page packet took {dt}");
+    }
+
+    #[test]
+    fn unknown_hosts_rejected() {
+        let mut e = ether();
+        assert_eq!(e.send(packet(9, 2, 0x30, 1)), Err(NetError::NoSuchHost(9)));
+        assert_eq!(e.send(packet(1, 9, 0x30, 1)), Err(NetError::NoSuchHost(9)));
+        assert_eq!(e.receive(9, 0x30), Err(NetError::NoSuchHost(9)));
+        assert_eq!(e.attach(1), Err(NetError::HostInUse(1)));
+        assert_eq!(e.attach(0), Err(NetError::NoSuchHost(0)));
+    }
+
+    #[test]
+    fn injected_loss_drops_packets() {
+        let mut e = ether();
+        e.set_loss(1, 2, 42);
+        for seq in 0..100 {
+            e.send(packet(1, 2, 0x30, seq)).unwrap();
+        }
+        assert_eq!(e.sent, 100);
+        assert!(e.lost > 20 && e.lost < 80, "lost {}", e.lost);
+        let mut received = 0;
+        while e.receive(2, 0x30).unwrap().is_some() {
+            received += 1;
+        }
+        assert_eq!(received + e.lost, 100);
+    }
+
+    #[test]
+    fn delivery_preserves_contents() {
+        let mut e = ether();
+        let mut p = packet(1, 2, 0x30, 5);
+        p.payload = (0..100).collect();
+        e.send(p.clone()).unwrap();
+        assert_eq!(e.receive(2, 0x30).unwrap().unwrap(), p);
+    }
+}

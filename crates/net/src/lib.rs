@@ -1,0 +1,23 @@
+//! Simulated local network (§1, §4, §5.2).
+//!
+//! The paper standardizes "the representation … of packets on the network"
+//! below any operating-system software, so that programs in different
+//! languages share the same remote facilities. This crate provides that
+//! substrate for the examples that need it — chiefly the printing server
+//! of §4 (a spooler task "that reads files from a local communications
+//! network") and the diskless configuration of §5.2:
+//!
+//! * [`Packet`] — a Pup-flavoured packet with a word-level wire format and
+//!   a software checksum (the *standardized representation*);
+//! * [`Ether`] — a broadcast medium with 3 Mb/s transmission timing charged
+//!   to the shared simulated clock, optional packet loss for protocol
+//!   tests, and per-host receive queues;
+//! * [`proto`] — a minimal stop-and-wait file-transfer protocol over it.
+
+pub mod ether;
+pub mod packet;
+pub mod proto;
+
+pub use ether::{Ether, HostId, NetError};
+pub use packet::{Packet, PacketType, MAX_PAYLOAD_WORDS};
+pub use proto::{echo_responder, ping, receive_file, send_file, ProtoError};

@@ -1,0 +1,240 @@
+//! The packet format: the standardized on-the-wire representation (§1).
+//!
+//! Word layout (loosely after the PARC Universal Packet):
+//!
+//! ```text
+//! word 0   length of the whole packet in words (header + payload + checksum)
+//! word 1   packet type
+//! word 2   destination host (high byte) | source host (low byte)
+//! word 3   destination socket
+//! word 4   source socket
+//! word 5   sequence / identifier
+//! words 6..n-1   payload
+//! word n-1 checksum: ones'-complement sum of words 0..n-1
+//! ```
+
+use std::fmt;
+
+/// Header words before the payload.
+pub const HEADER_WORDS: usize = 6;
+/// Maximum payload words per packet (a disk page fits in one packet).
+pub const MAX_PAYLOAD_WORDS: usize = 256;
+
+/// Packet types used by the protocols in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// File-transfer data chunk.
+    Data,
+    /// Acknowledgement of a sequence number.
+    Ack,
+    /// End of transfer.
+    End,
+    /// Echo request (diagnostics).
+    EchoRequest,
+    /// Echo reply.
+    EchoReply,
+    /// Anything else (user-defined).
+    Other(u16),
+}
+
+impl PacketType {
+    fn to_word(self) -> u16 {
+        match self {
+            PacketType::Data => 1,
+            PacketType::Ack => 2,
+            PacketType::End => 3,
+            PacketType::EchoRequest => 4,
+            PacketType::EchoReply => 5,
+            PacketType::Other(w) => w,
+        }
+    }
+
+    fn from_word(w: u16) -> PacketType {
+        match w {
+            1 => PacketType::Data,
+            2 => PacketType::Ack,
+            3 => PacketType::End,
+            4 => PacketType::EchoRequest,
+            5 => PacketType::EchoReply,
+            other => PacketType::Other(other),
+        }
+    }
+}
+
+/// A network packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet type.
+    pub ptype: PacketType,
+    /// Destination host (0 = broadcast).
+    pub dst_host: u8,
+    /// Source host.
+    pub src_host: u8,
+    /// Destination socket.
+    pub dst_socket: u16,
+    /// Source socket.
+    pub src_socket: u16,
+    /// Sequence number / identifier.
+    pub seq: u16,
+    /// Payload words.
+    pub payload: Vec<u16>,
+}
+
+/// Why a packet failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer words than a header plus checksum.
+    TooShort,
+    /// Declared length disagrees with the words supplied.
+    LengthMismatch,
+    /// Payload longer than [`MAX_PAYLOAD_WORDS`].
+    TooLong,
+    /// Checksum mismatch (corrupt on the wire).
+    BadChecksum,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PacketError::TooShort => "packet too short",
+            PacketError::LengthMismatch => "packet length mismatch",
+            PacketError::TooLong => "packet too long",
+            PacketError::BadChecksum => "packet checksum mismatch",
+        })
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+fn ones_complement_sum(words: &[u16]) -> u16 {
+    let mut sum = 0u32;
+    for &w in words {
+        sum += w as u32;
+        if sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + 1;
+        }
+    }
+    sum as u16
+}
+
+impl Packet {
+    /// Total wire length in words.
+    pub fn wire_words(&self) -> usize {
+        HEADER_WORDS + self.payload.len() + 1
+    }
+
+    /// Encodes to the wire format (with checksum).
+    pub fn encode(&self) -> Vec<u16> {
+        let mut w = Vec::with_capacity(self.wire_words());
+        w.push(self.wire_words() as u16);
+        w.push(self.ptype.to_word());
+        w.push(((self.dst_host as u16) << 8) | self.src_host as u16);
+        w.push(self.dst_socket);
+        w.push(self.src_socket);
+        w.push(self.seq);
+        w.extend_from_slice(&self.payload);
+        w.push(ones_complement_sum(&w));
+        w
+    }
+
+    /// Decodes from the wire format, verifying length and checksum.
+    pub fn decode(words: &[u16]) -> Result<Packet, PacketError> {
+        if words.len() < HEADER_WORDS + 1 {
+            return Err(PacketError::TooShort);
+        }
+        if words[0] as usize != words.len() {
+            return Err(PacketError::LengthMismatch);
+        }
+        if words.len() - HEADER_WORDS - 1 > MAX_PAYLOAD_WORDS {
+            return Err(PacketError::TooLong);
+        }
+        let body = &words[..words.len() - 1];
+        if ones_complement_sum(body) != words[words.len() - 1] {
+            return Err(PacketError::BadChecksum);
+        }
+        Ok(Packet {
+            ptype: PacketType::from_word(words[1]),
+            dst_host: (words[2] >> 8) as u8,
+            src_host: words[2] as u8,
+            dst_socket: words[3],
+            src_socket: words[4],
+            seq: words[5],
+            payload: words[HEADER_WORDS..words.len() - 1].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet {
+            ptype: PacketType::Data,
+            dst_host: 3,
+            src_host: 7,
+            dst_socket: 0x30,
+            src_socket: 0x99,
+            seq: 12,
+            payload: vec![0xAAAA, 0x5555, 0],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = sample();
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        // Empty payload too.
+        let mut q = sample();
+        q.payload.clear();
+        assert_eq!(Packet::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut words = sample().encode();
+        words[6] ^= 0x0100; // flip a payload bit
+        assert_eq!(Packet::decode(&words), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let mut words = sample().encode();
+        words[3] ^= 1; // destination socket
+        assert_eq!(Packet::decode(&words), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let words = sample().encode();
+        assert_eq!(
+            Packet::decode(&words[..words.len() - 1]),
+            Err(PacketError::LengthMismatch)
+        );
+        assert_eq!(Packet::decode(&[]), Err(PacketError::TooShort));
+    }
+
+    #[test]
+    fn packet_types_round_trip() {
+        for t in [
+            PacketType::Data,
+            PacketType::Ack,
+            PacketType::End,
+            PacketType::EchoRequest,
+            PacketType::EchoReply,
+            PacketType::Other(77),
+        ] {
+            let mut p = sample();
+            p.ptype = t;
+            assert_eq!(Packet::decode(&p.encode()).unwrap().ptype, t);
+        }
+    }
+
+    #[test]
+    fn checksum_is_ones_complement() {
+        // Carries wrap around.
+        assert_eq!(ones_complement_sum(&[0xFFFF, 1]), 1);
+        assert_eq!(ones_complement_sum(&[0x8000, 0x8000]), 1);
+        assert_eq!(ones_complement_sum(&[]), 0);
+    }
+}

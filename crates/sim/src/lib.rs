@@ -1,0 +1,24 @@
+//! Simulation substrate for the Alto reproduction.
+//!
+//! Everything in this workspace that models hardware — the disk, the CPU, the
+//! network — charges its costs to a shared [`SimClock`] rather than to host
+//! wall-clock time. This makes every experiment deterministic and lets the
+//! benchmark harness report numbers directly comparable to the paper's
+//! (seek times, rotational latencies and instruction times are properties of
+//! the *model*, not of the machine running the simulation).
+//!
+//! The crate also provides the simulated Alto main memory ([`Memory`]: 64K
+//! 16-bit words), a small deterministic PRNG ([`SplitMix64`]) so substrate
+//! crates need no external dependencies, and a lightweight event [`Trace`]
+//! used by tests to assert on device behaviour (e.g. "this allocation cost
+//! exactly one disk revolution").
+
+pub mod clock;
+pub mod memory;
+pub mod rng;
+pub mod trace;
+
+pub use clock::{SimClock, SimTime};
+pub use memory::{MemError, Memory, MEMORY_WORDS};
+pub use rng::SplitMix64;
+pub use trace::{Trace, TraceEvent};

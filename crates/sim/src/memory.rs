@@ -1,0 +1,224 @@
+//! Simulated Alto main memory: 64K words of 16 bits.
+//!
+//! The Alto had 64K words of 800 ns semiconductor memory and no virtual
+//! memory hardware; addresses are 16-bit word addresses, so every `u16` is a
+//! valid address. Block operations take `usize` lengths and are checked
+//! against the end of the address space.
+
+use std::fmt;
+
+/// Number of 16-bit words in the simulated address space (64K).
+pub const MEMORY_WORDS: usize = 1 << 16;
+
+/// Errors from block memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// A block operation starting at `base` with length `len` would run past
+    /// the 64K-word address space.
+    OutOfRange {
+        /// First word of the attempted block.
+        base: u16,
+        /// Length of the attempted block, in words.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { base, len } => write!(
+                f,
+                "memory block [{base:#06x} .. {base:#06x}+{len}) exceeds 64K words"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The simulated 64K-word main memory.
+///
+/// Single-word accesses are infallible (every 16-bit address exists); block
+/// accesses validate their range. The memory is heap-allocated (128 KiB) and
+/// cheap to snapshot, which is exactly what `OutLoad` does.
+#[derive(Clone)]
+pub struct Memory {
+    words: Box<[u16; MEMORY_WORDS]>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("words", &MEMORY_WORDS)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Memory {
+    /// Creates a zeroed memory.
+    pub fn new() -> Self {
+        Memory {
+            words: vec![0u16; MEMORY_WORDS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("length is MEMORY_WORDS"),
+        }
+    }
+
+    /// Reads the word at `addr`.
+    #[inline]
+    pub fn read(&self, addr: u16) -> u16 {
+        self.words[addr as usize]
+    }
+
+    /// Writes `value` at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u16, value: u16) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Reads `dst.len()` words starting at `base`.
+    pub fn read_block(&self, base: u16, dst: &mut [u16]) -> Result<(), MemError> {
+        let range = self.range(base, dst.len())?;
+        dst.copy_from_slice(&self.words[range]);
+        Ok(())
+    }
+
+    /// Writes `src` starting at `base`.
+    pub fn write_block(&mut self, base: u16, src: &[u16]) -> Result<(), MemError> {
+        let range = self.range(base, src.len())?;
+        self.words[range].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Fills `len` words starting at `base` with `value`.
+    pub fn fill(&mut self, base: u16, len: usize, value: u16) -> Result<(), MemError> {
+        let range = self.range(base, len)?;
+        self.words[range].fill(value);
+        Ok(())
+    }
+
+    /// A read-only view of `len` words starting at `base`.
+    pub fn slice(&self, base: u16, len: usize) -> Result<&[u16], MemError> {
+        let range = self.range(base, len)?;
+        Ok(&self.words[range])
+    }
+
+    /// A mutable view of `len` words starting at `base`.
+    pub fn slice_mut(&mut self, base: u16, len: usize) -> Result<&mut [u16], MemError> {
+        let range = self.range(base, len)?;
+        Ok(&mut self.words[range])
+    }
+
+    /// The entire memory as a word slice (used by snapshots).
+    pub fn as_words(&self) -> &[u16] {
+        &self.words[..]
+    }
+
+    /// Replaces the entire contents from a 64K-word image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not exactly [`MEMORY_WORDS`] long; machine-state
+    /// files always carry full images.
+    pub fn load_image(&mut self, image: &[u16]) {
+        assert_eq!(image.len(), MEMORY_WORDS, "memory image must be 64K words");
+        self.words.copy_from_slice(image);
+    }
+
+    fn range(&self, base: u16, len: usize) -> Result<std::ops::Range<usize>, MemError> {
+        let start = base as usize;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= MEMORY_WORDS)
+            .ok_or(MemError::OutOfRange { base, len })?;
+        Ok(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u16::MAX), 0);
+    }
+
+    #[test]
+    fn single_word_read_write() {
+        let mut m = Memory::new();
+        m.write(0o177777, 0xBEEF);
+        assert_eq!(m.read(0o177777), 0xBEEF);
+        m.write(0, 1);
+        assert_eq!(m.read(0), 1);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut m = Memory::new();
+        let src = [1u16, 2, 3, 4, 5];
+        m.write_block(100, &src).unwrap();
+        let mut dst = [0u16; 5];
+        m.read_block(100, &mut dst).unwrap();
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn block_at_end_of_memory_is_ok() {
+        let mut m = Memory::new();
+        let base = (MEMORY_WORDS - 4) as u16;
+        m.write_block(base, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(m.read(u16::MAX), 9);
+    }
+
+    #[test]
+    fn block_past_end_is_rejected() {
+        let mut m = Memory::new();
+        let base = (MEMORY_WORDS - 2) as u16;
+        let err = m.write_block(base, &[1, 2, 3]).unwrap_err();
+        assert_eq!(err, MemError::OutOfRange { base, len: 3 });
+        // Nothing was written.
+        assert_eq!(m.read(base), 0);
+    }
+
+    #[test]
+    fn fill_and_slice() {
+        let mut m = Memory::new();
+        m.fill(10, 6, 0o52525).unwrap();
+        assert_eq!(m.slice(10, 6).unwrap(), &[0o52525; 6]);
+        assert_eq!(m.read(16), 0);
+        m.slice_mut(12, 2).unwrap().fill(7);
+        assert_eq!(
+            m.slice(10, 6).unwrap(),
+            &[0o52525, 0o52525, 7, 7, 0o52525, 0o52525]
+        );
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut m = Memory::new();
+        m.write(42, 4242);
+        let image: Vec<u16> = m.as_words().to_vec();
+        let mut m2 = Memory::new();
+        m2.load_image(&image);
+        assert_eq!(m2.read(42), 4242);
+    }
+
+    #[test]
+    fn memerror_display() {
+        let e = MemError::OutOfRange {
+            base: 0xfffe,
+            len: 3,
+        };
+        assert!(e.to_string().contains("64K"));
+    }
+}

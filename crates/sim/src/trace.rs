@@ -1,0 +1,193 @@
+//! Lightweight event tracing for simulated devices.
+//!
+//! Devices record coarse events (a seek, a label-check failure, a page
+//! allocation retry) into a shared [`Trace`]. Tests use the trace to assert
+//! on *mechanism*, not just outcome — e.g. that freeing a page cost exactly
+//! one extra disk revolution, or that a hint miss fell back to a directory
+//! lookup. Tracing is cheap and always on; the buffer is bounded.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::clock::SimTime;
+
+/// One traced event: a timestamp, a category tag, and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time at which the event occurred.
+    pub at: SimTime,
+    /// Category tag, e.g. `"disk.seek"` or `"fs.hint_miss"`.
+    pub tag: &'static str,
+    /// Free-form detail for humans and tests.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.tag, self.detail)
+    }
+}
+
+const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// A shared, bounded event log.
+///
+/// Clones share the same buffer. When the buffer fills, the oldest events are
+/// dropped (tests that care run on fresh traces, and counters are never
+/// dropped).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Rc<RefCell<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records an event.
+    pub fn record(&self, at: SimTime, tag: &'static str, detail: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.events.len() >= DEFAULT_CAPACITY {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TraceEvent {
+            at,
+            tag,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of recorded events with the given tag.
+    pub fn count(&self, tag: &str) -> usize {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.tag == tag)
+            .count()
+    }
+
+    /// Total number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True if no events have been recorded (and none dropped).
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.events.is_empty() && inner.dropped == 0
+    }
+
+    /// A snapshot of all buffered events (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Events matching `tag`, oldest first.
+    pub fn events_tagged(&self, tag: &str) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.tag == tag)
+            .cloned()
+            .collect()
+    }
+
+    /// Discards all buffered events and resets the dropped counter.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+
+    /// Number of events lost to the capacity bound since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        t.record(SimTime::from_millis(1), "disk.seek", "cyl 0 -> 5");
+        t.record(SimTime::from_millis(2), "disk.seek", "cyl 5 -> 6");
+        t.record(SimTime::from_millis(3), "disk.read", "sector 12");
+        assert_eq!(t.count("disk.seek"), 2);
+        assert_eq!(t.count("disk.read"), 1);
+        assert_eq!(t.count("nope"), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Trace::new();
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, "x", "from clone");
+        assert_eq!(t.count("x"), 1);
+    }
+
+    #[test]
+    fn events_tagged_filters_in_order() {
+        let t = Trace::new();
+        t.record(SimTime::from_micros(1), "a", "first");
+        t.record(SimTime::from_micros(2), "b", "middle");
+        t.record(SimTime::from_micros(3), "a", "last");
+        let evs = t.events_tagged("a");
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].detail, "first");
+        assert_eq!(evs[1].detail, "last");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Trace::new();
+        t.record(SimTime::ZERO, "a", "x");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn display_includes_tag_and_detail() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(40),
+            tag: "disk.rev",
+            detail: "extra revolution".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("disk.rev"));
+        assert!(s.contains("extra revolution"));
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let t = Trace::new();
+        for i in 0..(super::DEFAULT_CAPACITY as u64 + 10) {
+            t.record(SimTime::from_nanos(i), "x", i.to_string());
+        }
+        assert_eq!(t.len(), super::DEFAULT_CAPACITY);
+        assert_eq!(t.dropped(), 10);
+        assert!(!t.is_empty());
+        // The oldest surviving event is number 10.
+        assert_eq!(t.events()[0].detail, "10");
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! A stream wrapper that counts traffic.
+//!
+//! Demonstrates hierarchical composition of abstract objects (§2:
+//! "hierarchical structures can be built up in this way"): a
+//! `CountingStream` is a stream built out of another stream, adding
+//! non-standard operations (`gets()`, `puts()`) without touching the
+//! wrapped implementation.
+
+use crate::errors::StreamError;
+use crate::Stream;
+
+/// Wraps a stream, counting items got and put.
+#[derive(Debug)]
+pub struct CountingStream<S> {
+    inner: S,
+    gets: u64,
+    puts: u64,
+}
+
+impl<S> CountingStream<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> CountingStream<S> {
+        CountingStream {
+            inner,
+            gets: 0,
+            puts: 0,
+        }
+    }
+
+    /// Items successfully got (non-standard operation).
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// Items successfully put (non-standard operation).
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<W, S: Stream<W>> Stream<W> for CountingStream<S> {
+    fn get(&mut self, world: &mut W) -> Result<u16, StreamError> {
+        let item = self.inner.get(world)?;
+        self.gets += 1;
+        Ok(item)
+    }
+
+    fn put(&mut self, world: &mut W, item: u16) -> Result<(), StreamError> {
+        self.inner.put(world, item)?;
+        self.puts += 1;
+        Ok(())
+    }
+
+    fn reset(&mut self, world: &mut W) -> Result<(), StreamError> {
+        self.inner.reset(world)
+    }
+
+    fn endof(&mut self, world: &mut W) -> Result<bool, StreamError> {
+        self.inner.endof(world)
+    }
+
+    fn close(&mut self, world: &mut W) -> Result<(), StreamError> {
+        self.inner.close(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStream;
+    use crate::{read_all, write_all};
+
+    #[test]
+    fn counts_traffic() {
+        let mut s = CountingStream::new(MemoryStream::new());
+        write_all(&mut s, &mut (), &[1, 2, 3]).unwrap();
+        s.reset(&mut ()).unwrap();
+        let items = read_all(&mut s, &mut ()).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(s.puts(), 3);
+        assert_eq!(s.gets(), 3);
+    }
+
+    #[test]
+    fn failed_operations_are_not_counted() {
+        let mut s = CountingStream::new(MemoryStream::from_words(&[9]));
+        s.get(&mut ()).unwrap();
+        assert!(s.get(&mut ()).is_err());
+        assert_eq!(s.gets(), 1);
+    }
+
+    #[test]
+    fn nests_arbitrarily() {
+        let mut s = CountingStream::new(CountingStream::new(MemoryStream::new()));
+        s.put(&mut (), 5).unwrap();
+        assert_eq!(s.puts(), 1);
+        let inner = s.into_inner();
+        assert_eq!(inner.puts(), 1);
+    }
+}

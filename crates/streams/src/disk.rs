@@ -1,0 +1,599 @@
+//! Disk file streams (§2, §5).
+//!
+//! The standard way to read and write files: a buffered cursor over a
+//! file's pages. Ordinary data traffic costs ordinary reads and writes;
+//! the §3.3 label discipline shows through exactly where the paper says it
+//! must — growing a page's byte count or extending the file rewrites a
+//! label (one disk revolution), while overwriting in place does not.
+//!
+//! `position`/`set_position` are the paper's "non-standard operations"
+//! (§2): they are inherent methods, not part of the abstract [`Stream`]
+//! interface, and a program that uses them only works with disk streams.
+
+use alto_disk::{Disk, DiskAddress, Label, DATA_WORDS};
+use alto_fs::file::PAGE_BYTES;
+use alto_fs::names::FileFullName;
+use alto_fs::{FileSystem, FsError, PageName};
+
+use crate::errors::StreamError;
+use crate::Stream;
+
+/// A byte-granularity stream over a disk file.
+///
+/// # Examples
+///
+/// ```
+/// use alto_disk::{DiskDrive, DiskModel};
+/// use alto_fs::{dir, FileSystem};
+/// use alto_sim::{SimClock, Trace};
+/// use alto_streams::{DiskByteStream, Stream};
+///
+/// let drive = DiskDrive::with_formatted_pack(
+///     SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+/// let mut fs = FileSystem::format(drive).unwrap();
+/// let root = fs.root_dir();
+/// let f = dir::create_named_file(&mut fs, root, "log").unwrap();
+///
+/// let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+/// for b in b"stream me" {
+///     s.put_byte(&mut fs, *b).unwrap();
+/// }
+/// s.close(&mut fs).unwrap();
+/// assert_eq!(fs.read_file(f).unwrap(), b"stream me");
+/// ```
+#[derive(Debug)]
+pub struct DiskByteStream<D: Disk> {
+    file: FileFullName,
+    /// Current data page (1-based).
+    page: u16,
+    /// Hint address of the current page.
+    da: DiskAddress,
+    /// The current page's label (fresh from the last read).
+    label: Label,
+    buffer: [u16; DATA_WORDS],
+    /// Byte offset within the current page.
+    offset: usize,
+    dirty: bool,
+    /// The label (length or links) changed: flush must rewrite it.
+    label_changed: bool,
+    /// The stream extended or shrank the file: close must refresh the
+    /// leader hints.
+    resized: bool,
+    closed: bool,
+    _disk: std::marker::PhantomData<D>,
+}
+
+impl<D: Disk> DiskByteStream<D> {
+    /// Opens a stream on `file`, positioned at byte 0.
+    pub fn open(fs: &mut FileSystem<D>, file: FileFullName) -> Result<Self, StreamError> {
+        let (leader_label, _) = fs.read_page(file.leader_page())?;
+        let da = leader_label.next;
+        let pn = PageName::new(file.fv, 1, da);
+        let (label, buffer) = fs.read_page(pn)?;
+        Ok(DiskByteStream {
+            file,
+            page: 1,
+            da,
+            label,
+            buffer,
+            offset: 0,
+            dirty: false,
+            label_changed: false,
+            resized: false,
+            closed: false,
+            _disk: std::marker::PhantomData,
+        })
+    }
+
+    /// Current absolute byte position (non-standard operation).
+    pub fn position(&self) -> u64 {
+        (self.page as u64 - 1) * PAGE_BYTES as u64 + self.offset as u64
+    }
+
+    /// Seeks to an absolute byte position within the file (non-standard
+    /// operation). Positions up to and including the end are valid.
+    pub fn set_position(&mut self, fs: &mut FileSystem<D>, pos: u64) -> Result<(), StreamError> {
+        self.check_open()?;
+        let target_page = (pos / PAGE_BYTES as u64) as u16 + 1;
+        let target_offset = (pos % PAGE_BYTES as u64) as usize;
+        if target_page != self.page {
+            self.flush(fs)?;
+            // Walk from the current page if the target is ahead, else from
+            // page 1 via the leader.
+            let (mut page, mut da) = if target_page > self.page {
+                (self.page, self.da)
+            } else {
+                let (leader_label, _) = fs.read_page(self.file.leader_page())?;
+                (1, leader_label.next)
+            };
+            loop {
+                let pn = PageName::new(self.file.fv, page, da);
+                let (label, buffer) = fs.read_page(pn)?;
+                if page == target_page {
+                    self.page = page;
+                    self.da = da;
+                    self.label = label;
+                    self.buffer = buffer;
+                    break;
+                }
+                if label.next.is_nil() {
+                    return Err(StreamError::Fs(FsError::PastEnd {
+                        page: target_page,
+                        last: page,
+                    }));
+                }
+                page += 1;
+                da = label.next;
+            }
+        }
+        if target_offset > self.label.length as usize {
+            return Err(StreamError::Fs(FsError::PastEnd {
+                page: target_page,
+                last: self.page,
+            }));
+        }
+        self.offset = target_offset;
+        Ok(())
+    }
+
+    /// The file this stream is open on.
+    pub fn file(&self) -> FileFullName {
+        self.file
+    }
+
+    /// Writes the buffered page back if modified.
+    pub fn flush(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let pn = PageName::new(self.file.fv, self.page, self.da);
+        if self.label_changed {
+            alto_fs::page::rewrite_label(fs.disk_mut(), pn, self.label, &self.buffer)?;
+        } else {
+            fs.write_page(pn, &self.buffer)?;
+        }
+        self.dirty = false;
+        self.label_changed = false;
+        Ok(())
+    }
+
+    fn check_open(&self) -> Result<(), StreamError> {
+        if self.closed {
+            Err(StreamError::Closed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn load_page(
+        &mut self,
+        fs: &mut FileSystem<D>,
+        page: u16,
+        da: DiskAddress,
+    ) -> Result<(), StreamError> {
+        let pn = PageName::new(self.file.fv, page, da);
+        let (label, buffer) = fs.read_page(pn)?;
+        self.page = page;
+        self.da = da;
+        self.label = label;
+        self.buffer = buffer;
+        self.offset = 0;
+        Ok(())
+    }
+
+    fn byte_at(&self, i: usize) -> u8 {
+        let w = self.buffer[i / 2];
+        if i.is_multiple_of(2) {
+            (w >> 8) as u8
+        } else {
+            w as u8
+        }
+    }
+
+    fn set_byte(&mut self, i: usize, b: u8) {
+        let w = &mut self.buffer[i / 2];
+        if i.is_multiple_of(2) {
+            *w = (*w & 0x00FF) | ((b as u16) << 8);
+        } else {
+            *w = (*w & 0xFF00) | b as u16;
+        }
+    }
+
+    /// Gets the next byte.
+    pub fn get_byte(&mut self, fs: &mut FileSystem<D>) -> Result<u8, StreamError> {
+        self.check_open()?;
+        loop {
+            if self.offset < self.label.length as usize {
+                let b = self.byte_at(self.offset);
+                self.offset += 1;
+                return Ok(b);
+            }
+            // At the end of this page's data.
+            if (self.label.length as usize) < PAGE_BYTES || self.label.next.is_nil() {
+                return Err(StreamError::EndOfStream);
+            }
+            self.flush(fs)?;
+            let (next_page, next_da) = (self.page + 1, self.label.next);
+            self.load_page(fs, next_page, next_da)?;
+        }
+    }
+
+    /// Puts a byte at the current position (overwriting or extending).
+    pub fn put_byte(&mut self, fs: &mut FileSystem<D>, b: u8) -> Result<(), StreamError> {
+        self.check_open()?;
+        if self.offset == PAGE_BYTES {
+            // Page full: move to (or create) the next page.
+            if self.label.next.is_nil() {
+                self.extend(fs)?;
+            } else {
+                self.flush(fs)?;
+                let (next_page, next_da) = (self.page + 1, self.label.next);
+                self.load_page(fs, next_page, next_da)?;
+            }
+        }
+        self.set_byte(self.offset, b);
+        self.offset += 1;
+        self.dirty = true;
+        if self.offset > self.label.length as usize {
+            self.label.length = self.offset as u16;
+            self.label_changed = true;
+            self.resized = true;
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh page after the current (full) one.
+    fn extend(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        debug_assert_eq!(self.label.length as usize, PAGE_BYTES);
+        let new_label = Label {
+            fid: self.file.fv.serial.words(),
+            version: self.file.fv.version,
+            page_number: self.page + 1,
+            length: 0,
+            next: DiskAddress::NIL,
+            prev: self.da,
+        };
+        let new_da = fs.allocate_page(
+            Some(DiskAddress(self.da.0.wrapping_add(1))),
+            new_label,
+            &[0; DATA_WORDS],
+        )?;
+        // The current page's next link changes: rewrite its label along
+        // with the buffered data (one revolution, §3.3).
+        self.label.next = new_da;
+        let pn = PageName::new(self.file.fv, self.page, self.da);
+        alto_fs::page::rewrite_label(fs.disk_mut(), pn, self.label, &self.buffer)?;
+        self.dirty = false;
+        self.label_changed = false;
+        self.resized = true;
+        self.page += 1;
+        self.da = new_da;
+        self.label = new_label;
+        self.buffer = [0; DATA_WORDS];
+        self.offset = 0;
+        Ok(())
+    }
+
+    /// Flushes and refreshes the leader (dates and last-page hints).
+    fn finish(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.flush(fs)?;
+        if self.resized {
+            // Find the file's last page (usually the current one).
+            let (mut page, mut da, mut label) = (self.page, self.da, self.label);
+            while !label.next.is_nil() {
+                page += 1;
+                da = label.next;
+                let (l, _) = fs.read_page(PageName::new(self.file.fv, page, da))?;
+                label = l;
+            }
+            let mut leader = fs.read_leader(self.file)?;
+            leader.last_page = page;
+            leader.last_da = da;
+            leader.written = fs.now();
+            fs.write_leader(self.file, &leader)?;
+            self.resized = false;
+        }
+        Ok(())
+    }
+}
+
+impl<D: Disk> Stream<FileSystem<D>> for DiskByteStream<D> {
+    fn get(&mut self, fs: &mut FileSystem<D>) -> Result<u16, StreamError> {
+        self.get_byte(fs).map(u16::from)
+    }
+
+    fn put(&mut self, fs: &mut FileSystem<D>, item: u16) -> Result<(), StreamError> {
+        self.put_byte(fs, item as u8)
+    }
+
+    fn reset(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.check_open()?;
+        self.finish(fs)?;
+        let (leader_label, _) = fs.read_page(self.file.leader_page())?;
+        self.load_page(fs, 1, leader_label.next)?;
+        Ok(())
+    }
+
+    fn endof(&mut self, _fs: &mut FileSystem<D>) -> Result<bool, StreamError> {
+        self.check_open()?;
+        Ok(self.offset >= self.label.length as usize && self.label.next.is_nil())
+    }
+
+    fn close(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        if self.closed {
+            return Ok(());
+        }
+        self.finish(fs)?;
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// A word-granularity stream over a disk file: each item is one 16-bit
+/// word (two file bytes, big-endian).
+#[derive(Debug)]
+pub struct DiskWordStream<D: Disk> {
+    inner: DiskByteStream<D>,
+}
+
+impl<D: Disk> DiskWordStream<D> {
+    /// Opens a word stream on `file`.
+    pub fn open(fs: &mut FileSystem<D>, file: FileFullName) -> Result<Self, StreamError> {
+        Ok(DiskWordStream {
+            inner: DiskByteStream::open(fs, file)?,
+        })
+    }
+
+    /// Current position in words (non-standard operation).
+    pub fn position(&self) -> u64 {
+        self.inner.position() / 2
+    }
+
+    /// Seeks to a word position (non-standard operation).
+    pub fn set_position(&mut self, fs: &mut FileSystem<D>, words: u64) -> Result<(), StreamError> {
+        self.inner.set_position(fs, words * 2)
+    }
+}
+
+impl<D: Disk> Stream<FileSystem<D>> for DiskWordStream<D> {
+    fn get(&mut self, fs: &mut FileSystem<D>) -> Result<u16, StreamError> {
+        let hi = self.inner.get_byte(fs)?;
+        let lo = self.inner.get_byte(fs)?;
+        Ok(((hi as u16) << 8) | lo as u16)
+    }
+
+    fn put(&mut self, fs: &mut FileSystem<D>, item: u16) -> Result<(), StreamError> {
+        self.inner.put_byte(fs, (item >> 8) as u8)?;
+        self.inner.put_byte(fs, item as u8)
+    }
+
+    fn reset(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.inner.reset(fs)
+    }
+
+    fn endof(&mut self, fs: &mut FileSystem<D>) -> Result<bool, StreamError> {
+        self.inner.endof(fs)
+    }
+
+    fn close(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.inner.close(fs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_disk::{DiskDrive, DiskModel};
+    use alto_sim::{SimClock, Trace};
+
+    type Fs = FileSystem<DiskDrive>;
+
+    fn fresh_fs() -> Fs {
+        let drive =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        FileSystem::format(drive).unwrap()
+    }
+
+    fn file_named(fs: &mut Fs, name: &str) -> FileFullName {
+        let root = fs.root_dir();
+        alto_fs::dir::create_named_file(fs, root, name).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_small() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "s.txt");
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for b in b"stream me" {
+            s.put_byte(&mut fs, *b).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), b"stream me");
+    }
+
+    #[test]
+    fn read_via_stream() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "s.txt");
+        fs.write_file(f, b"abc").unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        assert!(!s.endof(&mut fs).unwrap());
+        assert_eq!(s.get_byte(&mut fs).unwrap(), b'a');
+        assert_eq!(s.get_byte(&mut fs).unwrap(), b'b');
+        assert_eq!(s.get_byte(&mut fs).unwrap(), b'c');
+        assert!(s.endof(&mut fs).unwrap());
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
+    }
+
+    #[test]
+    fn multi_page_write_and_read_back() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "big.dat");
+        let bytes: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for &b in &bytes {
+            s.put_byte(&mut fs, b).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        assert_eq!(fs.read_file(f).unwrap(), bytes);
+        // And read back through a fresh stream.
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        let mut back = Vec::new();
+        loop {
+            match s.get_byte(&mut fs) {
+                Ok(b) => back.push(b),
+                Err(StreamError::EndOfStream) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn overwrite_in_place_is_ordinary_writes() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "w.dat");
+        fs.write_file(f, &vec![0u8; 1000]).unwrap();
+        let label_writes_before = fs.disk().stats().label_writes;
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..1000 {
+            s.put_byte(&mut fs, 7).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        // Same length, same pages: no label was rewritten.
+        assert_eq!(fs.disk().stats().label_writes, label_writes_before);
+        assert_eq!(fs.read_file(f).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn growing_rewrites_labels() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "g.dat");
+        let before = fs.disk().stats().label_writes;
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..600 {
+            s.put_byte(&mut fs, 1).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        // Page 1's length changed and a page was allocated: labels written.
+        assert!(fs.disk().stats().label_writes > before);
+        assert_eq!(fs.file_length(f).unwrap(), 600);
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "r.dat");
+        fs.write_file(f, b"xyz").unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        assert_eq!(s.get_byte(&mut fs).unwrap(), b'x');
+        s.reset(&mut fs).unwrap();
+        assert_eq!(s.get_byte(&mut fs).unwrap(), b'x');
+    }
+
+    #[test]
+    fn position_and_seek() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "p.dat");
+        let bytes: Vec<u8> = (0..2000u32).map(|i| (i % 256) as u8).collect();
+        fs.write_file(f, &bytes).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        s.set_position(&mut fs, 1500).unwrap();
+        assert_eq!(s.position(), 1500);
+        assert_eq!(s.get_byte(&mut fs).unwrap(), (1500 % 256) as u8);
+        // Seek backwards.
+        s.set_position(&mut fs, 3).unwrap();
+        assert_eq!(s.get_byte(&mut fs).unwrap(), 3);
+        // Seek to the very end: valid position, instant end-of-stream.
+        s.set_position(&mut fs, 2000).unwrap();
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
+        // Past the end: error.
+        assert!(s.set_position(&mut fs, 3000).is_err());
+    }
+
+    #[test]
+    fn seek_preserves_pending_writes() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "sw.dat");
+        fs.write_file(f, &vec![0u8; 1024]).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        s.put_byte(&mut fs, 0xAA).unwrap(); // dirty page 1
+        s.set_position(&mut fs, 600).unwrap(); // crosses to page 2: flush
+        s.put_byte(&mut fs, 0xBB).unwrap();
+        s.close(&mut fs).unwrap();
+        let bytes = fs.read_file(f).unwrap();
+        assert_eq!(bytes[0], 0xAA);
+        assert_eq!(bytes[600], 0xBB);
+    }
+
+    #[test]
+    fn word_stream_round_trip() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "w.words");
+        let words: Vec<u16> = (0..700u16).map(|i| i.wrapping_mul(257)).collect();
+        let mut s = DiskWordStream::open(&mut fs, f).unwrap();
+        crate::write_all(&mut s, &mut fs, &words).unwrap();
+        s.close(&mut fs).unwrap();
+        let mut s = DiskWordStream::open(&mut fs, f).unwrap();
+        assert_eq!(crate::read_all(&mut s, &mut fs).unwrap(), words);
+    }
+
+    #[test]
+    fn word_stream_seek() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "w2.words");
+        let words: Vec<u16> = (0..700u16).collect();
+        let mut s = DiskWordStream::open(&mut fs, f).unwrap();
+        crate::write_all(&mut s, &mut fs, &words).unwrap();
+        s.set_position(&mut fs, 300).unwrap();
+        assert_eq!(s.get(&mut fs).unwrap(), 300);
+        assert_eq!(s.position(), 301);
+        s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn leader_hints_updated_on_close() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "h.dat");
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..1200 {
+            s.put_byte(&mut fs, 9).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        let leader = fs.read_leader(f).unwrap();
+        assert_eq!(leader.last_page, 3);
+        let (label, _) = fs
+            .read_page(PageName::new(f.fv, 3, leader.last_da))
+            .unwrap();
+        assert_eq!(label.length, 1200 - 1024);
+    }
+
+    #[test]
+    fn closed_stream_rejects_io() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "c.dat");
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        s.close(&mut fs).unwrap();
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::Closed));
+        assert_eq!(s.put_byte(&mut fs, 1), Err(StreamError::Closed));
+        // Closing twice is fine.
+        s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn two_streams_on_different_files() {
+        let mut fs = fresh_fs();
+        let a = file_named(&mut fs, "a.dat");
+        let b = file_named(&mut fs, "b.dat");
+        let mut sa = DiskByteStream::open(&mut fs, a).unwrap();
+        let mut sb = DiskByteStream::open(&mut fs, b).unwrap();
+        for i in 0..100u8 {
+            sa.put_byte(&mut fs, i).unwrap();
+            sb.put_byte(&mut fs, 100 - i).unwrap();
+        }
+        sa.close(&mut fs).unwrap();
+        sb.close(&mut fs).unwrap();
+        assert_eq!(fs.read_file(a).unwrap()[3], 3);
+        assert_eq!(fs.read_file(b).unwrap()[3], 97);
+    }
+}

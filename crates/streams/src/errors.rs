@@ -1,0 +1,55 @@
+//! Stream error types.
+
+use std::fmt;
+
+use alto_fs::FsError;
+
+/// Errors surfaced by stream operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// No more input (the Get counterpart of `endof`).
+    EndOfStream,
+    /// The operation is not defined for this stream type ("normally only
+    /// one of [Get/Put] is defined", §2).
+    NotSupported(&'static str),
+    /// The stream has been closed.
+    Closed,
+    /// The underlying file system failed.
+    Fs(FsError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::EndOfStream => f.write_str("end of stream"),
+            StreamError::NotSupported(op) => {
+                write!(f, "operation \"{op}\" not defined for this stream")
+            }
+            StreamError::Closed => f.write_str("stream is closed"),
+            StreamError::Fs(e) => write!(f, "file system error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<FsError> for StreamError {
+    fn from(e: FsError) -> Self {
+        StreamError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(StreamError::EndOfStream.to_string(), "end of stream");
+        assert!(StreamError::NotSupported("put").to_string().contains("put"));
+        assert!(StreamError::Closed.to_string().contains("closed"));
+        assert!(StreamError::Fs(FsError::DiskFull)
+            .to_string()
+            .contains("full"));
+    }
+}

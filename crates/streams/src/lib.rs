@@ -1,0 +1,118 @@
+//! OS6-style streams (§2).
+//!
+//! "A stream is an object that can produce or consume items … There is a
+//! standard set of operations defined on every stream: Get, Put (normally
+//! only one of these is defined), Reset, Test for end of input, and a few
+//! others." The procedures implementing the operations "are not the same
+//! for all streams, and indeed can change from time to time" — i.e. each
+//! stream carries its own implementation, which in Rust is a trait object.
+//!
+//! Streams are generic over a *world* type `W`: the state the stream's
+//! operations act through. A [`MemoryStream`] needs no world (`W = ()`),
+//! a [`DiskByteStream`] works through a mounted
+//! [`alto_fs::FileSystem`], and the [`KeyboardStream`]/[`DisplayStream`]
+//! work through an [`alto_machine::Machine`]. This mirrors the paper's
+//! constructor parameterization ("the procedure to create a stream object
+//! of concrete type 'disk file stream' takes as parameters … a disk object
+//! … and a zone object", §2) while staying inside Rust's ownership rules.
+//!
+//! Non-standard operations (§2: "set buffer size, read position in a disk
+//! file, etc.") appear as inherent methods on the concrete types — using
+//! one "sacrifices compatibility", exactly as the paper warns.
+
+pub mod counting;
+pub mod disk;
+pub mod errors;
+pub mod machine_streams;
+pub mod memory;
+
+pub use counting::CountingStream;
+pub use disk::{DiskByteStream, DiskWordStream};
+pub use errors::StreamError;
+pub use machine_streams::{DisplayStream, KeyboardStream};
+pub use memory::{MemoryStream, NullStream};
+
+/// The abstract stream object: items are 16-bit words (bytes are carried
+/// in the low half), matching the one-word BCPL objects of the original.
+pub trait Stream<W> {
+    /// Gets the next item. `Err(StreamError::EndOfStream)` past the end.
+    fn get(&mut self, world: &mut W) -> Result<u16, StreamError> {
+        let _ = world;
+        Err(StreamError::NotSupported("get"))
+    }
+
+    /// Puts an item.
+    fn put(&mut self, world: &mut W, item: u16) -> Result<(), StreamError> {
+        let _ = (world, item);
+        Err(StreamError::NotSupported("put"))
+    }
+
+    /// Puts the stream into its standard initial state ("the exact meaning
+    /// of this operation depends on the type of the stream", §2).
+    fn reset(&mut self, world: &mut W) -> Result<(), StreamError>;
+
+    /// True if the stream has no more input.
+    fn endof(&mut self, world: &mut W) -> Result<bool, StreamError>;
+
+    /// Flushes and closes the stream. Further operations fail.
+    fn close(&mut self, world: &mut W) -> Result<(), StreamError>;
+}
+
+/// Convenience: drains a whole input stream into a vector.
+pub fn read_all<W, S: Stream<W> + ?Sized>(
+    stream: &mut S,
+    world: &mut W,
+) -> Result<Vec<u16>, StreamError> {
+    let mut out = Vec::new();
+    loop {
+        match stream.get(world) {
+            Ok(item) => out.push(item),
+            Err(StreamError::EndOfStream) => return Ok(out),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Convenience: writes a whole slice to an output stream.
+pub fn write_all<W, S: Stream<W> + ?Sized>(
+    stream: &mut S,
+    world: &mut W,
+    items: &[u16],
+) -> Result<(), StreamError> {
+    for &item in items {
+        stream.put(world, item)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_operations_are_not_supported() {
+        // A stream type that defines only the mandatory operations.
+        struct Inert;
+        impl Stream<()> for Inert {
+            fn reset(&mut self, _: &mut ()) -> Result<(), StreamError> {
+                Ok(())
+            }
+            fn endof(&mut self, _: &mut ()) -> Result<bool, StreamError> {
+                Ok(true)
+            }
+            fn close(&mut self, _: &mut ()) -> Result<(), StreamError> {
+                Ok(())
+            }
+        }
+        let mut s = Inert;
+        assert_eq!(s.get(&mut ()), Err(StreamError::NotSupported("get")));
+        assert_eq!(s.put(&mut (), 1), Err(StreamError::NotSupported("put")));
+    }
+
+    #[test]
+    fn streams_are_object_safe() {
+        let mut s: Box<dyn Stream<()>> = Box::new(MemoryStream::from_words(&[1, 2]));
+        assert_eq!(s.get(&mut ()).unwrap(), 1);
+        assert_eq!(read_all(&mut *s, &mut ()).unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Keyboard and display streams (§5: "the system provides streams for disk
+//! files, keyboard input and display output").
+//!
+//! These streams work through the simulated [`Machine`]: the keyboard
+//! stream reads struck keys from the device (the OS layers its type-ahead
+//! buffer on top — §5.2 level 2), and the display stream prints to the
+//! teletype display.
+
+use alto_machine::Machine;
+
+use crate::errors::StreamError;
+use crate::Stream;
+
+/// An input stream of keys from the keyboard device.
+///
+/// `get` returns the next key struck by the current simulated time;
+/// `endof` is true when no key is currently waiting (the keyboard never
+/// "ends" — this mirrors the Alto, where `endof` on the keyboard stream
+/// meant "nothing typed yet").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeyboardStream;
+
+impl Stream<Machine> for KeyboardStream {
+    fn get(&mut self, m: &mut Machine) -> Result<u16, StreamError> {
+        let now = m.clock().now();
+        m.keyboard.read_at(now).ok_or(StreamError::EndOfStream)
+    }
+
+    fn reset(&mut self, _: &mut Machine) -> Result<(), StreamError> {
+        Ok(())
+    }
+
+    fn endof(&mut self, m: &mut Machine) -> Result<bool, StreamError> {
+        let now = m.clock().now();
+        Ok(!m.keyboard.pending(now))
+    }
+
+    fn close(&mut self, _: &mut Machine) -> Result<(), StreamError> {
+        Ok(())
+    }
+}
+
+/// An output stream of characters to the display.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DisplayStream;
+
+impl Stream<Machine> for DisplayStream {
+    fn put(&mut self, m: &mut Machine, item: u16) -> Result<(), StreamError> {
+        m.display.put_char((item as u8) as char);
+        Ok(())
+    }
+
+    fn reset(&mut self, m: &mut Machine) -> Result<(), StreamError> {
+        m.display.clear();
+        Ok(())
+    }
+
+    fn endof(&mut self, _: &mut Machine) -> Result<bool, StreamError> {
+        Ok(false)
+    }
+
+    fn close(&mut self, _: &mut Machine) -> Result<(), StreamError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alto_sim::{SimClock, SimTime, Trace};
+
+    fn machine() -> Machine {
+        Machine::new(SimClock::new(), Trace::new())
+    }
+
+    #[test]
+    fn keyboard_stream_reads_struck_keys() {
+        let mut m = machine();
+        m.keyboard
+            .type_string(SimTime::ZERO, SimTime::from_millis(50), "ok");
+        let mut s = KeyboardStream;
+        assert!(!s.endof(&mut m).unwrap());
+        assert_eq!(s.get(&mut m).unwrap(), b'o' as u16);
+        // 'k' is struck 50 ms later; not yet available.
+        assert_eq!(s.get(&mut m), Err(StreamError::EndOfStream));
+        m.clock().advance(SimTime::from_millis(50));
+        assert_eq!(s.get(&mut m).unwrap(), b'k' as u16);
+        assert!(s.endof(&mut m).unwrap());
+    }
+
+    #[test]
+    fn keyboard_stream_rejects_put() {
+        let mut m = machine();
+        let mut s = KeyboardStream;
+        assert_eq!(s.put(&mut m, 65), Err(StreamError::NotSupported("put")));
+    }
+
+    #[test]
+    fn display_stream_prints() {
+        let mut m = machine();
+        let mut s = DisplayStream;
+        for c in "hi\nthere".bytes() {
+            s.put(&mut m, c as u16).unwrap();
+        }
+        assert_eq!(m.display.transcript(), "hi\nthere");
+        assert_eq!(m.display.screen()[1], "there");
+    }
+
+    #[test]
+    fn display_reset_clears_screen() {
+        let mut m = machine();
+        let mut s = DisplayStream;
+        s.put(&mut m, b'x' as u16).unwrap();
+        s.reset(&mut m).unwrap();
+        assert_eq!(m.display.screen(), [String::new()]);
+    }
+
+    #[test]
+    fn display_rejects_get() {
+        let mut m = machine();
+        let mut s = DisplayStream;
+        assert_eq!(s.get(&mut m), Err(StreamError::NotSupported("get")));
+        assert!(!s.endof(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,183 @@
+//! Memory-backed streams (and the null stream).
+
+use crate::errors::StreamError;
+use crate::Stream;
+
+/// A stream over an in-memory word vector: reads from the front, appends
+/// at the back; `reset` rewinds the read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStream {
+    items: Vec<u16>,
+    cursor: usize,
+    closed: bool,
+}
+
+impl MemoryStream {
+    /// An empty stream (write, reset, then read back).
+    pub fn new() -> MemoryStream {
+        MemoryStream::default()
+    }
+
+    /// A stream pre-loaded with items, cursor at the front.
+    pub fn from_words(items: &[u16]) -> MemoryStream {
+        MemoryStream {
+            items: items.to_vec(),
+            cursor: 0,
+            closed: false,
+        }
+    }
+
+    /// A stream pre-loaded with a string's bytes (one byte per item).
+    pub fn from_text(text: &str) -> MemoryStream {
+        MemoryStream::from_words(&text.bytes().map(u16::from).collect::<Vec<_>>())
+    }
+
+    /// The items written so far (a non-standard operation).
+    pub fn contents(&self) -> &[u16] {
+        &self.items
+    }
+
+    /// Current read position (a non-standard operation).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    fn check_open(&self) -> Result<(), StreamError> {
+        if self.closed {
+            Err(StreamError::Closed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<W> Stream<W> for MemoryStream {
+    fn get(&mut self, _: &mut W) -> Result<u16, StreamError> {
+        self.check_open()?;
+        match self.items.get(self.cursor) {
+            Some(&item) => {
+                self.cursor += 1;
+                Ok(item)
+            }
+            None => Err(StreamError::EndOfStream),
+        }
+    }
+
+    fn put(&mut self, _: &mut W, item: u16) -> Result<(), StreamError> {
+        self.check_open()?;
+        self.items.push(item);
+        Ok(())
+    }
+
+    fn reset(&mut self, _: &mut W) -> Result<(), StreamError> {
+        self.check_open()?;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn endof(&mut self, _: &mut W) -> Result<bool, StreamError> {
+        self.check_open()?;
+        Ok(self.cursor >= self.items.len())
+    }
+
+    fn close(&mut self, _: &mut W) -> Result<(), StreamError> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// The null stream: produces instant end-of-input and swallows output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStream;
+
+impl<W> Stream<W> for NullStream {
+    fn get(&mut self, _: &mut W) -> Result<u16, StreamError> {
+        Err(StreamError::EndOfStream)
+    }
+
+    fn put(&mut self, _: &mut W, _: u16) -> Result<(), StreamError> {
+        Ok(())
+    }
+
+    fn reset(&mut self, _: &mut W) -> Result<(), StreamError> {
+        Ok(())
+    }
+
+    fn endof(&mut self, _: &mut W) -> Result<bool, StreamError> {
+        Ok(true)
+    }
+
+    fn close(&mut self, _: &mut W) -> Result<(), StreamError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_all, write_all};
+
+    #[test]
+    fn write_reset_read() {
+        let mut s = MemoryStream::new();
+        write_all(&mut s, &mut (), &[10, 20, 30]).unwrap();
+        s.reset(&mut ()).unwrap();
+        assert_eq!(read_all(&mut s, &mut ()).unwrap(), vec![10, 20, 30]);
+        assert!(s.endof(&mut ()).unwrap());
+    }
+
+    #[test]
+    fn get_past_end() {
+        let mut s = MemoryStream::from_words(&[1]);
+        assert_eq!(s.get(&mut ()).unwrap(), 1);
+        assert_eq!(s.get(&mut ()), Err(StreamError::EndOfStream));
+        // Still at end; more gets keep failing (no panic).
+        assert_eq!(s.get(&mut ()), Err(StreamError::EndOfStream));
+    }
+
+    #[test]
+    fn interleaved_put_and_get() {
+        // Puts append; gets continue from the cursor.
+        let mut s = MemoryStream::from_words(&[1, 2]);
+        assert_eq!(s.get(&mut ()).unwrap(), 1);
+        s.put(&mut (), 3).unwrap();
+        assert_eq!(s.get(&mut ()).unwrap(), 2);
+        assert_eq!(s.get(&mut ()).unwrap(), 3);
+        assert!(s.endof(&mut ()).unwrap());
+    }
+
+    #[test]
+    fn from_text_yields_bytes() {
+        let mut s = MemoryStream::from_text("Hi");
+        assert_eq!(read_all(&mut s, &mut ()).unwrap(), vec![72, 105]);
+    }
+
+    #[test]
+    fn closed_stream_rejects_everything() {
+        let mut s = MemoryStream::from_words(&[1]);
+        s.close(&mut ()).unwrap();
+        assert_eq!(s.get(&mut ()), Err(StreamError::Closed));
+        assert_eq!(s.put(&mut (), 2), Err(StreamError::Closed));
+        assert_eq!(s.reset(&mut ()), Err(StreamError::Closed));
+        assert_eq!(s.endof(&mut ()), Err(StreamError::Closed));
+    }
+
+    #[test]
+    fn null_stream() {
+        let mut s = NullStream;
+        assert_eq!(s.get(&mut ()), Err(StreamError::EndOfStream));
+        s.put(&mut (), 42).unwrap();
+        assert!(s.endof(&mut ()).unwrap());
+        s.reset(&mut ()).unwrap();
+        s.close(&mut ()).unwrap();
+    }
+
+    #[test]
+    fn position_is_reported() {
+        let mut s = MemoryStream::from_words(&[5, 6, 7]);
+        assert_eq!(s.position(), 0);
+        s.get(&mut ()).unwrap();
+        s.get(&mut ()).unwrap();
+        assert_eq!(s.position(), 2);
+    }
+}

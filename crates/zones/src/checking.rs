@@ -1,0 +1,165 @@
+//! A checking/debugging zone implementation.
+//!
+//! Demonstrates the system's multiple-implementation openness (§2): any
+//! number of concrete implementations of an abstract object are possible.
+//! `CheckingZone` wraps another zone and adds the runtime checks a BCPL
+//! programmer could only dream about: freed storage is poisoned so stale
+//! reads are visible, and each block carries guard words that detect
+//! off-by-one scribbles when the block is freed.
+
+use alto_sim::Memory;
+
+use crate::errors::ZoneError;
+use crate::Zone;
+
+/// Poison written into freed blocks.
+pub const POISON: u16 = 0xDEAD;
+/// Guard word placed before and after each user block.
+const GUARD: u16 = 0xFACE;
+
+/// A zone wrapper that poisons frees and detects boundary scribbles.
+#[derive(Debug)]
+pub struct CheckingZone<Z: Zone> {
+    inner: Z,
+    /// Live blocks: (user address as handed out, user length).
+    live: Vec<(u16, u16)>,
+    /// Guard violations detected so far.
+    violations: u64,
+}
+
+impl<Z: Zone> CheckingZone<Z> {
+    /// Wraps an existing zone.
+    pub fn new(inner: Z) -> CheckingZone<Z> {
+        CheckingZone {
+            inner,
+            live: Vec::new(),
+            violations: 0,
+        }
+    }
+
+    /// Number of guard violations detected.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of live blocks (leak check).
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The wrapped zone.
+    pub fn into_inner(self) -> Z {
+        self.inner
+    }
+}
+
+impl<Z: Zone> Zone for CheckingZone<Z> {
+    fn allocate(&mut self, mem: &mut Memory, words: u16) -> Result<u16, ZoneError> {
+        // Two extra guard words bracket the user block.
+        let raw = self.inner.allocate(mem, words + 2)?;
+        mem.write(raw, GUARD);
+        mem.write(raw + 1 + words, GUARD);
+        let user = raw + 1;
+        self.live.push((user, words));
+        Ok(user)
+    }
+
+    fn free(&mut self, mem: &mut Memory, addr: u16) -> Result<(), ZoneError> {
+        let Some(pos) = self.live.iter().position(|(a, _)| *a == addr) else {
+            // Not ours (or already freed): let the inner zone produce the
+            // precise error for its own pointers, else report bad pointer.
+            return Err(ZoneError::BadPointer(addr));
+        };
+        let (_, words) = self.live.swap_remove(pos);
+        let raw = addr - 1;
+        if mem.read(raw) != GUARD || mem.read(raw + 1 + words) != GUARD {
+            self.violations += 1;
+        }
+        // Poison the user words so stale pointers read garbage loudly.
+        for i in 0..words {
+            mem.write(addr + i, POISON);
+        }
+        self.inner.free(mem, raw)
+    }
+
+    fn available(&self) -> u16 {
+        self.inner.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_fit::FirstFitZone;
+
+    fn setup() -> (Memory, CheckingZone<FirstFitZone>) {
+        let mut mem = Memory::new();
+        let zone = FirstFitZone::new(&mut mem, 0x1000, 0x400).unwrap();
+        (mem, CheckingZone::new(zone))
+    }
+
+    #[test]
+    fn normal_use_has_no_violations() {
+        let (mut mem, mut zone) = setup();
+        let a = zone.allocate(&mut mem, 10).unwrap();
+        for i in 0..10 {
+            mem.write(a + i, 42);
+        }
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.violations(), 0);
+        assert_eq!(zone.live_blocks(), 0);
+    }
+
+    #[test]
+    fn freed_memory_is_poisoned() {
+        let (mut mem, mut zone) = setup();
+        let a = zone.allocate(&mut mem, 4).unwrap();
+        mem.write(a, 1234);
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(mem.read(a), POISON);
+    }
+
+    #[test]
+    fn overrun_is_detected_on_free() {
+        let (mut mem, mut zone) = setup();
+        let a = zone.allocate(&mut mem, 4).unwrap();
+        mem.write(a + 4, 0x666); // one past the end: smashes the guard
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.violations(), 1);
+    }
+
+    #[test]
+    fn underrun_is_detected_on_free() {
+        let (mut mem, mut zone) = setup();
+        let a = zone.allocate(&mut mem, 4).unwrap();
+        mem.write(a - 1, 0x666);
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.violations(), 1);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut mem, mut zone) = setup();
+        let a = zone.allocate(&mut mem, 4).unwrap();
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.free(&mut mem, a), Err(ZoneError::BadPointer(a)));
+    }
+
+    #[test]
+    fn leak_check_via_live_blocks() {
+        let (mut mem, mut zone) = setup();
+        let _leak = zone.allocate(&mut mem, 4).unwrap();
+        let b = zone.allocate(&mut mem, 4).unwrap();
+        zone.free(&mut mem, b).unwrap();
+        assert_eq!(zone.live_blocks(), 1);
+    }
+
+    #[test]
+    fn checking_zone_is_still_a_zone() {
+        // It can be passed wherever the abstract object is expected.
+        let (mut mem, zone) = setup();
+        let mut boxed: Box<dyn Zone> = Box::new(zone);
+        let a = boxed.allocate(&mut mem, 8).unwrap();
+        boxed.free(&mut mem, a).unwrap();
+    }
+}

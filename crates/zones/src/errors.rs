@@ -1,0 +1,88 @@
+//! Zone error types.
+
+use std::fmt;
+
+/// Errors surfaced by zone allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneError {
+    /// No free block large enough for the request.
+    OutOfSpace {
+        /// Words requested.
+        requested: u16,
+        /// Words available in total (fragmentation may make the request
+        /// unsatisfiable even when `available >= requested`).
+        available: u16,
+    },
+    /// The region given to a zone constructor is too small or overflows
+    /// the address space.
+    BadRegion {
+        /// Region base.
+        base: u16,
+        /// Region length in words.
+        len: u16,
+    },
+    /// The pointer passed to `free` was not allocated from this zone.
+    BadPointer(u16),
+    /// The block was already free.
+    DoubleFree(u16),
+    /// A block header was overwritten (the zone's in-memory structures are
+    /// corrupt; the BCPL original would have crashed the machine here).
+    Corrupt {
+        /// Address of the damaged header.
+        addr: u16,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneError::OutOfSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "zone out of space: {requested} words requested, {available} available"
+                )
+            }
+            ZoneError::BadRegion { base, len } => {
+                write!(f, "bad zone region [{base:#06x}; {len} words]")
+            }
+            ZoneError::BadPointer(a) => write!(f, "pointer {a:#06x} was not allocated here"),
+            ZoneError::DoubleFree(a) => write!(f, "block {a:#06x} freed twice"),
+            ZoneError::Corrupt { addr, what } => {
+                write!(f, "zone corrupt at {addr:#06x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ZoneError::OutOfSpace {
+            requested: 10,
+            available: 5
+        }
+        .to_string()
+        .contains("10 words"));
+        assert!(ZoneError::BadPointer(0x1234).to_string().contains("0x1234"));
+        assert!(ZoneError::DoubleFree(16).to_string().contains("twice"));
+        assert!(ZoneError::BadRegion { base: 0, len: 1 }
+            .to_string()
+            .contains("bad zone"));
+        assert!(ZoneError::Corrupt {
+            addr: 3,
+            what: "size zero"
+        }
+        .to_string()
+        .contains("size zero"));
+    }
+}

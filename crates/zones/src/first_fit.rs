@@ -1,0 +1,437 @@
+//! The standard first-fit zone.
+//!
+//! Block format inside the managed region (all word addresses):
+//!
+//! ```text
+//! header word:  [allocated flag (bit 15) | block size in words incl. header]
+//! free blocks additionally use their first body word as the next-free link
+//! (0 = end of list).
+//! ```
+//!
+//! The free list is kept sorted by address so that adjacent free blocks can
+//! be coalesced on free, which keeps fragmentation bounded for the
+//! stack-like allocation patterns of the system packages.
+
+use alto_sim::Memory;
+
+use crate::errors::ZoneError;
+use crate::Zone;
+
+const ALLOCATED: u16 = 0x8000;
+const SIZE_MASK: u16 = 0x7FFF;
+/// Smallest block: header + one body word (a free block needs the body word
+/// for its next link).
+const MIN_BLOCK: u16 = 2;
+
+/// Allocation statistics for a zone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneStats {
+    /// Successful allocations.
+    pub allocations: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Blocks split during allocation.
+    pub splits: u64,
+    /// Coalesces performed during free.
+    pub coalesces: u64,
+    /// Allocation failures (out of space).
+    pub failures: u64,
+}
+
+/// The standard first-fit free-storage zone.
+///
+/// # Examples
+///
+/// ```
+/// use alto_sim::Memory;
+/// use alto_zones::{FirstFitZone, Zone};
+///
+/// let mut mem = Memory::new();
+/// let mut zone = FirstFitZone::new(&mut mem, 0x1000, 0x400)?;
+/// let block = zone.allocate(&mut mem, 32)?;
+/// mem.write(block, 42);
+/// zone.free(&mut mem, block)?;
+/// # Ok::<(), alto_zones::ZoneError>(())
+/// ```
+#[derive(Debug)]
+pub struct FirstFitZone {
+    base: u16,
+    len: u16,
+    /// Address of the first free block, 0 = none. (Address 0 can never be a
+    /// block because zones never manage page zero — it holds the machine's
+    /// reserved locations.)
+    free_head: u16,
+    available: u16,
+    stats: ZoneStats,
+}
+
+impl FirstFitZone {
+    /// Builds a zone managing `[base, base + len)`, initializing its free
+    /// list inside the memory.
+    ///
+    /// The region must not include address 0 (reserved) and must be at
+    /// least `MIN_BLOCK` (2) + 1 words.
+    pub fn new(mem: &mut Memory, base: u16, len: u16) -> Result<FirstFitZone, ZoneError> {
+        if base == 0
+            || len < MIN_BLOCK + 1
+            || (base as u32 + len as u32) > (1 << 16)
+            || len & ALLOCATED != 0
+        {
+            return Err(ZoneError::BadRegion { base, len });
+        }
+        mem.write(base, len & SIZE_MASK); // one big free block
+        mem.write(base + 1, 0); // no next
+        Ok(FirstFitZone {
+            base,
+            len,
+            free_head: base,
+            available: len,
+            stats: ZoneStats::default(),
+        })
+    }
+
+    /// The managed region.
+    pub fn region(&self) -> (u16, u16) {
+        (self.base, self.len)
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> ZoneStats {
+        self.stats
+    }
+
+    /// True if `addr` (a body address) lies within the managed region.
+    fn contains_block(&self, header: u16) -> bool {
+        header >= self.base && (header as u32) < self.base as u32 + self.len as u32
+    }
+
+    /// Walks the free list calling `f(prev_link_addr_or_none, block)`.
+    fn find_fit(&self, mem: &Memory, want: u16) -> Option<(Option<u16>, u16)> {
+        let mut prev: Option<u16> = None;
+        let mut cur = self.free_head;
+        while cur != 0 {
+            let size = mem.read(cur) & SIZE_MASK;
+            if size >= want {
+                return Some((prev, cur));
+            }
+            prev = Some(cur);
+            cur = mem.read(cur + 1);
+        }
+        None
+    }
+
+    /// Verifies and returns the size of an allocated block's header.
+    fn allocated_size(&self, mem: &Memory, header: u16) -> Result<u16, ZoneError> {
+        if !self.contains_block(header) {
+            return Err(ZoneError::BadPointer(header + 1));
+        }
+        let word = mem.read(header);
+        if word & ALLOCATED == 0 {
+            return Err(ZoneError::DoubleFree(header + 1));
+        }
+        let size = word & SIZE_MASK;
+        if size < MIN_BLOCK || !self.contains_block(header + size - 1) {
+            return Err(ZoneError::Corrupt {
+                addr: header,
+                what: "allocated header has impossible size",
+            });
+        }
+        Ok(size)
+    }
+}
+
+impl Zone for FirstFitZone {
+    fn allocate(&mut self, mem: &mut Memory, words: u16) -> Result<u16, ZoneError> {
+        // Total block = request + header, padded up to the minimum.
+        let want = (words + 1).max(MIN_BLOCK);
+        let Some((prev, block)) = self.find_fit(mem, want) else {
+            self.stats.failures += 1;
+            return Err(ZoneError::OutOfSpace {
+                requested: words,
+                available: self.available,
+            });
+        };
+        let size = mem.read(block) & SIZE_MASK;
+        let next = mem.read(block + 1);
+        let (used, leftover) = if size - want >= MIN_BLOCK {
+            self.stats.splits += 1;
+            (want, size - want)
+        } else {
+            (size, 0)
+        };
+        let replacement = if leftover > 0 {
+            let rest = block + used;
+            mem.write(rest, leftover);
+            mem.write(rest + 1, next);
+            rest
+        } else {
+            next
+        };
+        match prev {
+            Some(p) => mem.write(p + 1, replacement),
+            None => self.free_head = replacement,
+        }
+        mem.write(block, used | ALLOCATED);
+        self.available -= used;
+        self.stats.allocations += 1;
+        Ok(block + 1)
+    }
+
+    fn free(&mut self, mem: &mut Memory, addr: u16) -> Result<(), ZoneError> {
+        let header = addr.wrapping_sub(1);
+        let size = self.allocated_size(mem, header)?;
+        // Insert into the address-ordered free list, coalescing neighbours.
+        let mut prev: Option<u16> = None;
+        let mut cur = self.free_head;
+        while cur != 0 && cur < header {
+            prev = Some(cur);
+            cur = mem.read(cur + 1);
+        }
+        if cur == header {
+            return Err(ZoneError::DoubleFree(addr));
+        }
+        let mut start = header;
+        let mut total = size;
+        // Coalesce with the following free block.
+        if cur != 0 && header + size == cur {
+            total += mem.read(cur) & SIZE_MASK;
+            cur = mem.read(cur + 1);
+            self.stats.coalesces += 1;
+        }
+        // Coalesce with the preceding free block.
+        if let Some(p) = prev {
+            let p_size = mem.read(p) & SIZE_MASK;
+            if p + p_size == header {
+                start = p;
+                total += p_size;
+                self.stats.coalesces += 1;
+                // `p`'s predecessor keeps pointing at `p` == start.
+                mem.write(start, total);
+                mem.write(start + 1, cur);
+                self.available += size;
+                self.stats.frees += 1;
+                return Ok(());
+            }
+        }
+        mem.write(start, total);
+        mem.write(start + 1, cur);
+        match prev {
+            Some(p) => mem.write(p + 1, start),
+            None => self.free_head = start,
+        }
+        self.available += size;
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    fn available(&self) -> u16 {
+        self.available
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(len: u16) -> (Memory, FirstFitZone) {
+        let mut mem = Memory::new();
+        let zone = FirstFitZone::new(&mut mem, 0x1000, len).unwrap();
+        (mem, zone)
+    }
+
+    #[test]
+    fn allocate_and_write() {
+        let (mut mem, mut zone) = setup(256);
+        let a = zone.allocate(&mut mem, 10).unwrap();
+        let b = zone.allocate(&mut mem, 20).unwrap();
+        assert_ne!(a, b);
+        // Blocks do not overlap.
+        for i in 0..10 {
+            mem.write(a + i, 0xAAAA);
+        }
+        for i in 0..20 {
+            mem.write(b + i, 0xBBBB);
+        }
+        assert_eq!(mem.read(a), 0xAAAA);
+        assert_eq!(mem.read(a + 9), 0xAAAA);
+        assert_eq!(mem.read(b), 0xBBBB);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (mut mem, mut zone) = setup(64);
+        let a = zone.allocate(&mut mem, 20).unwrap();
+        zone.free(&mut mem, a).unwrap();
+        let b = zone.allocate(&mut mem, 20).unwrap();
+        assert_eq!(a, b, "freed space is reused first-fit");
+    }
+
+    #[test]
+    fn exhaustion_and_recovery() {
+        let (mut mem, mut zone) = setup(64);
+        let mut blocks = Vec::new();
+        loop {
+            match zone.allocate(&mut mem, 6) {
+                Ok(a) => blocks.push(a),
+                Err(ZoneError::OutOfSpace { .. }) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(!blocks.is_empty());
+        assert!(zone.stats().failures >= 1);
+        for b in blocks.drain(..) {
+            zone.free(&mut mem, b).unwrap();
+        }
+        // Fully coalesced: one big allocation works again.
+        let big = zone.allocate(&mut mem, 60).unwrap();
+        zone.free(&mut mem, big).unwrap();
+    }
+
+    #[test]
+    fn coalescing_left_and_right() {
+        let (mut mem, mut zone) = setup(256);
+        let a = zone.allocate(&mut mem, 10).unwrap();
+        let b = zone.allocate(&mut mem, 10).unwrap();
+        let c = zone.allocate(&mut mem, 10).unwrap();
+        let _d = zone.allocate(&mut mem, 10).unwrap();
+        // Free a and c (non-adjacent), then b (bridges them).
+        zone.free(&mut mem, a).unwrap();
+        zone.free(&mut mem, c).unwrap();
+        zone.free(&mut mem, b).unwrap();
+        assert!(zone.stats().coalesces >= 2);
+        // The merged hole fits a block bigger than any single freed one.
+        let big = zone.allocate(&mut mem, 30).unwrap();
+        assert_eq!(big, a);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut zone) = setup(64);
+        let a = zone.allocate(&mut mem, 8).unwrap();
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.free(&mut mem, a), Err(ZoneError::DoubleFree(a)));
+    }
+
+    #[test]
+    fn foreign_pointer_rejected() {
+        let (mut mem, mut zone) = setup(64);
+        assert_eq!(
+            zone.free(&mut mem, 0x2000),
+            Err(ZoneError::BadPointer(0x2000))
+        );
+        assert_eq!(zone.free(&mut mem, 5), Err(ZoneError::BadPointer(5)));
+    }
+
+    #[test]
+    fn corrupt_header_detected() {
+        let (mut mem, mut zone) = setup(64);
+        let a = zone.allocate(&mut mem, 8).unwrap();
+        mem.write(a - 1, ALLOCATED); // size zero
+        assert!(matches!(
+            zone.free(&mut mem, a),
+            Err(ZoneError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_regions_rejected() {
+        let mut mem = Memory::new();
+        assert!(FirstFitZone::new(&mut mem, 0, 100).is_err()); // base 0
+        assert!(FirstFitZone::new(&mut mem, 0x1000, 2).is_err()); // too small
+        assert!(FirstFitZone::new(&mut mem, 0xFFF0, 0x100).is_err()); // overflow
+    }
+
+    #[test]
+    fn zones_nest() {
+        // A block from one zone becomes another zone: "build zone objects
+        // to allocate any part of memory" (§5.2).
+        let (mut mem, mut outer) = setup(512);
+        let region = outer.allocate(&mut mem, 128).unwrap();
+        let mut inner = FirstFitZone::new(&mut mem, region, 128).unwrap();
+        let x = inner.allocate(&mut mem, 40).unwrap();
+        assert!(x >= region && x < region + 128);
+        inner.free(&mut mem, x).unwrap();
+        outer.free(&mut mem, region).unwrap();
+    }
+
+    #[test]
+    fn two_zones_do_not_interfere() {
+        let mut mem = Memory::new();
+        let mut z1 = FirstFitZone::new(&mut mem, 0x1000, 0x100).unwrap();
+        let mut z2 = FirstFitZone::new(&mut mem, 0x2000, 0x100).unwrap();
+        let a = z1.allocate(&mut mem, 50).unwrap();
+        let b = z2.allocate(&mut mem, 50).unwrap();
+        assert!(a < 0x1100 && b >= 0x2000);
+        // Cross-freeing is rejected.
+        assert!(z1.free(&mut mem, b).is_err());
+        z1.free(&mut mem, a).unwrap();
+        z2.free(&mut mem, b).unwrap();
+    }
+
+    #[test]
+    fn available_tracks_usage() {
+        let (mut mem, mut zone) = setup(256);
+        let before = zone.available();
+        let a = zone.allocate(&mut mem, 100).unwrap();
+        assert_eq!(zone.available(), before - 101); // header included
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.available(), before);
+    }
+
+    #[test]
+    fn tiny_allocations_are_padded() {
+        let (mut mem, mut zone) = setup(64);
+        let a = zone.allocate(&mut mem, 0).unwrap();
+        let b = zone.allocate(&mut mem, 1).unwrap();
+        assert_ne!(a, b);
+        zone.free(&mut mem, a).unwrap();
+        zone.free(&mut mem, b).unwrap();
+    }
+
+    #[test]
+    fn whole_region_allocation() {
+        let (mut mem, mut zone) = setup(64);
+        // The single free block is 64 words; request 63 (64 with header).
+        let a = zone.allocate(&mut mem, 63).unwrap();
+        assert_eq!(zone.available(), 0);
+        assert!(zone.allocate(&mut mem, 1).is_err());
+        zone.free(&mut mem, a).unwrap();
+        assert_eq!(zone.available(), 64);
+    }
+
+    #[test]
+    fn stress_random_alloc_free() {
+        use alto_sim::SplitMix64;
+        let mut mem = Memory::new();
+        let mut zone = FirstFitZone::new(&mut mem, 0x1000, 0x4000).unwrap();
+        let mut rng = SplitMix64::new(7);
+        let mut live: Vec<(u16, u16, u16)> = Vec::new(); // (addr, len, tag)
+        for round in 0..2000u32 {
+            if rng.chance(3, 5) || live.is_empty() {
+                let len = (rng.next_below(64) + 1) as u16;
+                if let Ok(a) = zone.allocate(&mut mem, len) {
+                    let tag = (round & 0x7FFF) as u16 | 1;
+                    for i in 0..len {
+                        mem.write(a + i, tag);
+                    }
+                    live.push((a, len, tag));
+                }
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let (a, len, tag) = live.swap_remove(i);
+                // Contents were never scribbled by other blocks.
+                for k in 0..len {
+                    assert_eq!(mem.read(a + k), tag, "block {a:#x} corrupted");
+                }
+                zone.free(&mut mem, a).unwrap();
+            }
+        }
+        // Free everything; the zone must coalesce back to one run.
+        for (a, _, _) in live.drain(..) {
+            zone.free(&mut mem, a).unwrap();
+        }
+        assert_eq!(zone.available(), 0x4000);
+        let all = zone.allocate(&mut mem, 0x3FFF).unwrap();
+        zone.free(&mut mem, all).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! Storage zones: the Alto OS free-storage allocator (§2, §5).
+//!
+//! A *zone* is an abstract object that acquires and releases working
+//! storage. "The storage allocator … will build zone objects to allocate
+//! any part of memory, whether in the system free storage region or not"
+//! (§5.2): a [`FirstFitZone`] manages any word range of the simulated 64K
+//! memory, with its block headers kept *inside* that memory, exactly as the
+//! BCPL original did. Zones nest — a block allocated from one zone can be
+//! managed as another zone — and system components take the zone to use as
+//! a parameter (the disk-stream constructor of §2 takes "a zone object
+//! which is used to acquire and release working storage").
+//!
+//! [`Zone`] is the abstract object; [`FirstFitZone`] the standard concrete
+//! implementation; [`CheckingZone`] a debugging implementation that poisons
+//! freed storage and catches double frees, demonstrating the multiple-
+//! implementation openness of §2.
+
+pub mod checking;
+pub mod errors;
+pub mod first_fit;
+
+pub use checking::CheckingZone;
+pub use errors::ZoneError;
+pub use first_fit::{FirstFitZone, ZoneStats};
+
+use alto_sim::Memory;
+
+/// The abstract zone object: allocate and free working storage.
+///
+/// Addresses are word addresses in the simulated memory; `free` must be
+/// given an address previously returned by `allocate` on the same zone.
+pub trait Zone {
+    /// Allocates a block of `words` words, returning its address.
+    fn allocate(&mut self, mem: &mut Memory, words: u16) -> Result<u16, ZoneError>;
+
+    /// Frees a block previously allocated from this zone.
+    fn free(&mut self, mem: &mut Memory, addr: u16) -> Result<(), ZoneError>;
+
+    /// Words currently available (an upper bound on the largest request
+    /// that could possibly succeed, ignoring fragmentation).
+    fn available(&self) -> u16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait is object-safe: zones are passed around as values, like
+    /// the one-word BCPL object handles.
+    #[test]
+    fn zone_trait_is_object_safe() {
+        let mut mem = Memory::new();
+        let mut zone: Box<dyn Zone> = Box::new(FirstFitZone::new(&mut mem, 0x1000, 0x100).unwrap());
+        let a = zone.allocate(&mut mem, 10).unwrap();
+        zone.free(&mut mem, a).unwrap();
+    }
+}

@@ -1,0 +1,79 @@
+//! Swat: debugging by world swap (§4).
+//!
+//! ```text
+//! cargo run --example debugger
+//! ```
+//!
+//! A program misbehaves; we plant a breakpoint, let it run until the trap
+//! saves the whole machine to the swatee file, then play debugger: list
+//! the code around the stuck PC, inspect the registers, patch the bug —
+//! *in the file*, as the paper describes — and resume the repaired world.
+
+use alto::os::debug::SwateeDebugger;
+use alto::os::DebugStop;
+
+fn main() {
+    let mut os = alto::fresh_alto();
+
+    // The "faulty program": it is meant to sum 1..=10 but the programmer
+    // wrote the limit as 10000, so it grinds far longer than intended.
+    let code = alto::machine::assemble(
+        "
+        subz 0, 0        ; sum
+        subz 2, 2        ; i
+loop:   inc 2, 2         ; i += 1
+        add 2, 0         ; sum += i
+        lda 1, limit
+        sub# 2, 1, szr   ; done when i == limit
+        jmp loop
+        sta 0, result
+        halt
+limit:  .word 10000      ; BUG: should be 10
+result: .word 0
+        ",
+    )
+    .expect("assemble");
+    os.machine.load_program(0o400, &code.words).unwrap();
+    let loop_addr = code.labels["loop"];
+    let limit_addr = code.labels["limit"];
+    let result_addr = code.labels["result"];
+
+    // The user notices it hanging and plants a breakpoint on the loop.
+    println!("planting a breakpoint at the loop head ({loop_addr:#o})...");
+    let bp = os.set_breakpoint(loop_addr);
+    let stop = os.run_until_break(bp, 1_000_000).expect("run");
+    println!("stopped: {stop:?}\n");
+
+    // The debugger examines the sleeping world through its state file.
+    let mut dbg = SwateeDebugger::open_named(&mut os).expect("open swatee");
+    println!(
+        "registers: AC0(sum)={} AC2(i)={} PC={:#o}",
+        dbg.ac(0),
+        dbg.ac(2),
+        dbg.pc()
+    );
+    println!("listing around the PC:");
+    for (_, line) in dbg.listing(dbg.pc(), 8) {
+        println!("  {line}");
+    }
+
+    // Diagnose: the limit cell is absurd. Patch it in the file.
+    println!(
+        "\nthe limit word reads {} — patching it to 10",
+        dbg.read(limit_addr)
+    );
+    dbg.write(limit_addr, 10);
+    // Also rewind the partial sum so the run is clean.
+    dbg.set_ac(0, 0);
+    dbg.set_ac(2, 0);
+    dbg.save(&mut os).expect("save swatee");
+
+    // Resume the repaired world.
+    let stop = os.resume_swatee(bp, 1_000_000).expect("resume");
+    assert_eq!(stop, DebugStop::Halted);
+    println!(
+        "resumed and finished: sum(1..=10) = {} (expected 55)",
+        os.machine.mem.read(result_addr)
+    );
+    assert_eq!(os.machine.mem.read(result_addr), 55);
+}

@@ -1,0 +1,90 @@
+//! The diskless Alto (§5.2): an OS with no disk, booting diagnostics over
+//! the network.
+//!
+//! ```text
+//! cargo run --example diskless
+//! ```
+//!
+//! "The display, keyboard, and storage-allocation packages have been
+//! assembled to form an operating system for use without a disk, used to
+//! support diagnostics or other programs that depend on network
+//! communications rather than on local disk storage."
+
+use alto::os::diskless::{BootServer, DisklessOs};
+use alto::os::AltoOs;
+use alto::prelude::*;
+
+fn main() {
+    let clock = SimClock::new();
+
+    // The diskless workstation: machine only, no drive anywhere.
+    let mut workstation = DisklessOs::new(Machine::new(clock.clone(), Trace::new()));
+    println!("diskless workstation up: display/keyboard/zones, no disk");
+    println!(
+        "file services resident? level 8 = {}\n",
+        workstation.is_resident(8)
+    );
+
+    // The boot server: a normal Alto with a pack full of diagnostics.
+    let machine = Machine::new(clock.clone(), Trace::new());
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+    let mut server_os = AltoOs::install(machine, drive).expect("server install");
+    server_os
+        .store_program(
+            "memtest.run",
+            r#"
+        ; walk a pattern through a memory cell and report
+        lda 2, count
+loop:   lda 0, pat
+        sta 0, @cell
+        lda 1, @cell
+        sub# 0, 1, szr
+        jmp fail
+        ; rotate the pattern for the next round
+        lda 0, pat
+        movzl 0, 0
+        sta 0, pat
+        dsz countv
+        jmp loop
+        lda 0, okc
+        jsr @putchar
+        lda 0, kc
+        jsr @putchar
+        halt
+fail:   lda 0, fc
+        jsr @putchar
+        halt
+putchar: .fixup "PutChar"
+cell:   .word 0o2000
+pat:    .word 0o100001
+count:  .word 12
+countv: .word 12
+okc:    .word 'O'
+kc:     .word 'K'
+fc:     .word 'F'
+        "#,
+        )
+        .expect("store diagnostic");
+
+    // Attach both to the ether and boot over the wire.
+    let mut ether = Ether::new(clock.clone(), Trace::new());
+    ether.attach(1).unwrap(); // workstation
+    ether.attach(2).unwrap(); // server
+    let mut server = BootServer::new(&mut server_os, 2);
+
+    println!("netbooting memtest.run from the server...");
+    let t0 = clock.now();
+    let exit = workstation
+        .netboot(&mut ether, 1, &mut server, "memtest.run", 1_000_000)
+        .expect("netboot");
+    println!(
+        "diagnostic ran {} instructions; transferred + executed in {}",
+        exit.instructions,
+        clock.now() - t0
+    );
+    println!(
+        "workstation display says: {:?}",
+        workstation.machine.display.transcript()
+    );
+    assert_eq!(workstation.machine.display.transcript(), "OK");
+}

@@ -1,0 +1,103 @@
+//! A full Executive session, driven from the (scripted) keyboard (§5.1).
+//!
+//! ```text
+//! cargo run --example executive
+//! ```
+//!
+//! Installs the system, stores a small assembly program on disk, then
+//! plays a user session: list files, create output by running the
+//! program, inspect it, exercise Junta from the command level via a
+//! program that gives up the display, and scavenge — all through the
+//! command interpreter.
+
+fn main() {
+    let mut os = alto::fresh_alto();
+
+    // Put a program on disk: it prints a banner via the PutChar fixup.
+    os.store_program(
+        "banner.run",
+        r#"
+        lda 2, msgp
+        lda 1, lenv
+loop:   lda 0, 0,2
+        jsr @putchar
+        inc 2, 2
+        dsz lenv
+        jmp loop
+        halt
+putchar: .fixup "PutChar"
+lenv:   .word 14
+msgp:   .word msg
+msg:    .word 'A'
+        .word 'l'
+        .word 't'
+        .word 'o'
+        .word ' '
+        .word 'l'
+        .word 'i'
+        .word 'v'
+        .word 'e'
+        .word 's'
+        .word ' '
+        .word 'o'
+        .word 'n'
+        .word 10        ; newline
+        "#,
+    )
+    .expect("store banner");
+
+    // Another program exercises Junta from inside a loaded program: it
+    // prints, removes everything above level 4 (losing the display), and
+    // proves the service is gone by trying again.
+    let junta_code = alto::os::syscalls::SysCall::Junta.code();
+    os.store_program(
+        "greedy.run",
+        &format!(
+            r#"
+        lda 0, ch
+        jsr @putchar    ; works: display stream resident
+        lda 0, four
+        trap 0, {junta_code}
+        halt
+putchar: .fixup "PutChar"
+ch:     .word '*'
+four:   .word 4
+        "#
+        ),
+    )
+    .expect("store greedy");
+
+    // The user types a session; every keystroke goes through the
+    // interrupt-driven keyboard path and the type-ahead buffer.
+    os.type_text(
+        "ls\n\
+         banner.run\n\
+         type banner.run\n\
+         delete banner.run\n\
+         ls\n\
+         scavenge\n\
+         quit\n",
+    );
+    os.run_executive(20).expect("session");
+
+    println!("=== what the user saw ===");
+    for row in os.machine.display.screen() {
+        println!("| {row}");
+    }
+
+    // Run the greedy program directly and show the Junta effect.
+    println!("\n=== greedy program removes the display mid-run ===");
+    os.counter_junta();
+    os.run_program("greedy.run", 100_000).expect("greedy");
+    println!(
+        "resident levels after greedy.run: 1..={}",
+        os.levels().resident()
+    );
+    let err = os.handle_syscall(alto::os::syscalls::SysCall::PutChar.code(), 0);
+    println!("PutChar now says: {}", err.unwrap_err());
+    os.counter_junta();
+    println!(
+        "after CounterJunta: resident levels 1..={}",
+        os.levels().resident()
+    );
+}

@@ -1,0 +1,156 @@
+//! The printing server: activity switching via state save/restore (§4).
+//!
+//! ```text
+//! cargo run --example printing_server
+//! ```
+//!
+//! "One example is a printing server, a program that accepts files from a
+//! local communications network and prints them. The program is divided
+//! into two tasks: a spooler that reads files from the network and queues
+//! them in a disk file, and a printer that removes entries from the queue
+//! and controls the hardware that prints them … they communicate using the
+//! state save/restore mechanism. Whenever the spooler is idle but the
+//! queue is not empty, it saves its state and calls the printer. Whenever
+//! the printer is finished or detects incoming network traffic, it stops
+//! the printer hardware, saves its state, and invokes the spooler."
+//!
+//! The two tasks here are machine worlds exchanged with `OutLoad`/`InLoad`
+//! (each has private state the other never sees), with the control policy
+//! in Rust; jobs arrive over the simulated Ethernet from a workstation
+//! host.
+
+use alto::net::receive_file;
+use alto::prelude::*;
+
+const SERVER_HOST: u8 = 2;
+const WORKSTATION: u8 = 7;
+const PRINT_SOCKET: u16 = 0x30;
+const ACK_SOCKET: u16 = 0x31;
+
+fn main() {
+    let mut os = alto::fresh_alto();
+    let clock = os.machine.clock().clone();
+    let mut ether = Ether::new(clock.clone(), Trace::new());
+    ether.attach(SERVER_HOST).unwrap();
+    ether.attach(WORKSTATION).unwrap();
+
+    // Establish the two coroutine worlds. Each world's identity lives in
+    // AC3; its private progress counter in AC2.
+    let spooler = os.create_state_file("Spooler.state").unwrap();
+    let printer = os.create_state_file("Printer.state").unwrap();
+    os.machine.ac = [0, 0, 0, 1]; // world 1 = spooler
+    os.out_load(spooler).unwrap();
+    os.machine.ac = [0, 0, 0, 2]; // world 2 = printer
+    os.out_load(printer).unwrap();
+
+    // The print queue is an ordinary disk file of job names.
+    let root = os.fs.root_dir();
+    let queue = dir::create_named_file(&mut os.fs, root, "PrintQueue").unwrap();
+    let mut queued: Vec<String> = Vec::new();
+    let mut printed = 0usize;
+
+    // The workstation will submit four jobs at staggered times.
+    let jobs: Vec<(SimTime, String, String)> = (0..4)
+        .map(|i| {
+            (
+                SimTime::from_millis(200 + i * 700),
+                format!("job-{i}.press"),
+                format!("PRESS FILE {i}\n").repeat(3 + i as usize * 2),
+            )
+        })
+        .collect();
+    let mut next_job = 0usize;
+
+    println!("printing server up; four jobs will arrive over the ether\n");
+    let mut switches = 0u32;
+    // Round-robin of the two activities until all jobs are printed.
+    let mut current = "spooler";
+    while printed < jobs.len() {
+        match current {
+            "spooler" => {
+                // Resume the spooler world.
+                os.in_load(spooler, &[0; MESSAGE_WORDS]).unwrap();
+                assert_eq!(os.machine.ac[3], 1, "spooler world identity");
+                // Spooler: receive any job whose time has come.
+                while next_job < jobs.len() && jobs[next_job].0 <= clock.now() {
+                    let (_, name, body) = &jobs[next_job];
+                    let words = alto::fs::file::bytes_to_words(body.as_bytes());
+                    // Workstation transmits; server receives.
+                    let got = receive_file(
+                        &mut ether,
+                        WORKSTATION,
+                        SERVER_HOST,
+                        PRINT_SOCKET,
+                        ACK_SOCKET,
+                        &words,
+                    )
+                    .expect("transfer");
+                    // Spool: store the job as a file and append to queue.
+                    let root = os.fs.root_dir();
+                    let f = dir::create_named_file(&mut os.fs, root, name).unwrap();
+                    let bytes = alto::fs::file::words_to_bytes(&got);
+                    os.fs.write_file(f, &bytes[..body.len()]).unwrap();
+                    queued.push(name.clone());
+                    os.fs
+                        .write_file(queue, queued.join("\n").as_bytes())
+                        .unwrap();
+                    println!("[{}] spooler: queued {name}", clock.now());
+                    next_job += 1;
+                    os.machine.ac[2] += 1; // private spooled count
+                }
+                // "Whenever the spooler is idle but the queue is not
+                // empty, it saves its state and calls the printer."
+                os.out_load(spooler).unwrap();
+                switches += 1;
+                current = "printer";
+            }
+            _ => {
+                os.in_load(printer, &[0; MESSAGE_WORDS]).unwrap();
+                assert_eq!(os.machine.ac[3], 2, "printer world identity");
+                // Printer: take one job from the queue and "print" it.
+                if let Some(name) = queued.first().cloned() {
+                    let root = os.fs.root_dir();
+                    let f = dir::lookup(&mut os.fs, root, &name).unwrap().unwrap();
+                    let body = os.fs.read_file(f).unwrap();
+                    os.put_str(&format!("--- printing {name} ({} bytes) ---\n", body.len()));
+                    // Printing takes real time per byte (a slow printer).
+                    clock.advance(SimTime::from_micros(200).scaled(body.len() as u64));
+                    queued.remove(0);
+                    os.fs
+                        .write_file(queue, queued.join("\n").as_bytes())
+                        .unwrap();
+                    printed += 1;
+                    os.machine.ac[2] += 1; // private printed count
+                    println!("[{}] printer: finished {name}", clock.now());
+                } else {
+                    // Idle: let time pass until the next job is due.
+                    if next_job < jobs.len() {
+                        let wait = jobs[next_job].0.saturating_sub(clock.now());
+                        clock.advance(wait);
+                    }
+                }
+                // "Whenever the printer is finished or detects incoming
+                // network traffic … it saves its state, and invokes the
+                // spooler."
+                os.out_load(printer).unwrap();
+                switches += 1;
+                current = "spooler";
+            }
+        }
+    }
+
+    // Each world kept its own private count across all the swaps.
+    os.in_load(spooler, &[0; MESSAGE_WORDS]).unwrap();
+    let spooled = os.machine.ac[2];
+    os.in_load(printer, &[0; MESSAGE_WORDS]).unwrap();
+    let printed_count = os.machine.ac[2];
+    println!("\nspooler world spooled {spooled}, printer world printed {printed_count}");
+    println!(
+        "{switches} activity switches, {} total simulated time",
+        clock.now()
+    );
+    println!("\n--- printer output ---");
+    print!("{}", os.machine.display.transcript());
+    assert_eq!(spooled, 4);
+    assert_eq!(printed_count, 4);
+}

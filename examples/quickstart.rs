@@ -1,0 +1,81 @@
+//! Quickstart: install the system, make files, read them back.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the happy path of the whole stack: format a 2.5 MB Diablo 31
+//! pack, create files through directories and streams, list the root
+//! directory with the Executive, and show the simulated-time cost of
+//! everything (every seek and rotation was accounted).
+
+use alto::prelude::*;
+
+fn main() {
+    // One simulated timeline shared by the CPU and the disk.
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let machine = Machine::new(clock.clone(), trace.clone());
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), trace, DiskModel::Diablo31, 1);
+
+    println!("Installing the Alto OS on a fresh 2.5 MB pack...");
+    let mut os = AltoOs::install(machine, drive).expect("install");
+    println!(
+        "  formatted + installed in {} of simulated time\n",
+        clock.now()
+    );
+
+    // --- Files through the high-level interface. -----------------------
+    let root = os.fs.root_dir();
+    let memo = dir::create_named_file(&mut os.fs, root, "memo.txt").expect("create");
+    os.fs
+        .write_file(
+            memo,
+            b"The file system survives anything short of a head crash.",
+        )
+        .expect("write");
+    println!(
+        "memo.txt says: {}",
+        String::from_utf8_lossy(&os.fs.read_file(memo).unwrap())
+    );
+
+    // --- Files through streams (the OS6 interface, paper section 2). ----
+    let log = dir::create_named_file(&mut os.fs, root, "log.dat").expect("create");
+    let mut stream = DiskByteStream::open(&mut os.fs, log).expect("open");
+    for i in 0..2000u32 {
+        stream.put_byte(&mut os.fs, (i % 251) as u8).expect("put");
+    }
+    stream.close(&mut os.fs).expect("close");
+    println!(
+        "log.dat holds {} bytes across {} pages",
+        os.fs.file_length(log).unwrap(),
+        os.fs.read_leader(log).unwrap().last_page,
+    );
+
+    // --- Page-level access: the small component is open too (section 1).
+    let leader = os.fs.read_leader(memo).unwrap();
+    println!(
+        "memo.txt leader page: name={:?} created={:?} last page {} at {}",
+        leader.name, leader.created, leader.last_page, leader.last_da,
+    );
+
+    // --- A user at the keyboard, served by the Executive (section 5.1).
+    os.type_text("ls\nquit\n");
+    os.run_executive(10).expect("executive");
+    println!("\n--- display ---");
+    for row in os.machine.display.screen() {
+        if !row.is_empty() {
+            println!("| {row}");
+        }
+    }
+
+    println!("\ntotal simulated time: {}", clock.now());
+    let stats = os.fs.disk().stats();
+    println!(
+        "disk: {} ops, {} seeks, {} label writes, busy {}",
+        stats.ops,
+        stats.seeks,
+        stats.label_writes,
+        stats.busy_time(),
+    );
+}

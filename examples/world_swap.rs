@@ -1,0 +1,113 @@
+//! World swapping: checkpointing, debugging, and the boot button (§4).
+//!
+//! ```text
+//! cargo run --example world_swap
+//! ```
+//!
+//! Three vignettes from the paper:
+//!
+//! 1. **Checkpointing** — a long computation saves its state; the machine
+//!    "fails"; the computation resumes from the checkpoint.
+//! 2. **Debugging** — a program traps to `OutLoad`; a debugger (here,
+//!    Rust) examines and patches the saved world, then resumes it.
+//! 3. **Bootstrapping** — the patched world is installed as the boot
+//!    file; the hardware boot button restores it with no directory help.
+
+use alto::os::swap::{FLAG_ADDR, MESSAGE_ADDR};
+use alto::prelude::*;
+
+fn main() {
+    let mut os = alto::fresh_alto();
+    let clock = os.machine.clock().clone();
+
+    // A long-running computation: sums 1..=N, checkpointing via OutLoad.
+    let checkpoint_code = alto::os::syscalls::SysCall::OutLoad.code();
+    let source = format!(
+        r#"
+        ; AC2 = running sum, counter in memory
+loop:   lda 0, counter
+        add 0, 2            ; sum += counter
+        dsz counter
+        jmp loop
+        ; checkpoint before "publishing"
+        lda 0, namep
+        trap 0, {checkpoint_code}
+        ; both branches continue here: store the sum and halt
+        sta 2, 0o300
+        halt
+counter: .word 100
+namep:   .word name
+name:    .str "Checkpoint.state"
+        "#
+    );
+    os.store_program("sum.run", &source).expect("store");
+
+    println!("Running the computation (it checkpoints itself)...");
+    os.run_program("sum.run", 1_000_000).expect("run");
+    let sum = os.machine.mem.read(0o300);
+    println!("  sum(1..=100) = {sum} (expected 5050)");
+    assert_eq!(sum, 5050);
+
+    // --- 1. Checkpoint recovery. ----------------------------------------
+    println!("\nSimulating a failure, then resuming from the checkpoint...");
+    os.machine.mem.write(0o300, 0); // the failure eats the result
+    os.machine.pc = 0;
+    os.in_load_named("Checkpoint.state", &[0; MESSAGE_WORDS])
+        .expect("restore checkpoint");
+    // The restored world resumes just after its OutLoad trap, with the
+    // written flag false.
+    assert_eq!(os.machine.mem.read(FLAG_ADDR), 0);
+    os.run_machine(10_000).expect("resume");
+    println!("  recomputed after restore: {}", os.machine.mem.read(0o300));
+    assert_eq!(os.machine.mem.read(0o300), 5050);
+
+    // --- 2. The debugger examines and patches the saved world. ----------
+    println!("\nPlaying debugger on the checkpoint file...");
+    let root = os.fs.root_dir();
+    let ckpt = dir::lookup(&mut os.fs, root, "Checkpoint.state")
+        .unwrap()
+        .unwrap();
+    let bytes = os.fs.read_file(ckpt).unwrap();
+    let words = alto::fs::file::bytes_to_words(&bytes);
+    let mut state = MachineState::decode(&words).expect("decode state");
+    println!(
+        "  saved world: PC={:#o} AC2(sum)={} carry={}",
+        state.pc, state.ac[2], state.carry
+    );
+    // Patch the sum in the sleeping world — the debugger "alters the state
+    // of the faulty program by ... writing portions of the file" (§4).
+    state.ac[2] = 4242;
+    let bytes = alto::fs::file::words_to_bytes(&state.encode());
+    os.fs.write_file(ckpt, &bytes).unwrap();
+    os.in_load_named("Checkpoint.state", &[7; MESSAGE_WORDS])
+        .unwrap();
+    assert_eq!(os.machine.mem.read(MESSAGE_ADDR), 7, "message delivered");
+    os.run_machine(10_000).expect("resume patched");
+    println!(
+        "  resumed patched world: result = {}",
+        os.machine.mem.read(0o300)
+    );
+    assert_eq!(os.machine.mem.read(0o300), 4242);
+
+    // --- 3. The boot button. ---------------------------------------------
+    println!("\nInstalling the current world as the boot file...");
+    os.machine.ac[1] = 0xB007;
+    let t0 = clock.now();
+    os.install_boot_file().expect("install boot");
+    println!("  installed in {}", clock.now() - t0);
+
+    // Someone scrambles every directory; the boot button does not care.
+    let root = os.fs.root_dir();
+    os.fs.write_file(root, &[0xFF; 128]).unwrap();
+    os.machine.ac[1] = 0;
+    let t0 = clock.now();
+    os.bootstrap().expect("boot");
+    println!(
+        "  boot button restored the world in {} (AC1 = {:#06x})",
+        clock.now() - t0,
+        os.machine.ac[1]
+    );
+    assert_eq!(os.machine.ac[1], 0xB007);
+
+    println!("\ntotal simulated time: {}", clock.now());
+}

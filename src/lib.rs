@@ -1,0 +1,82 @@
+//! # alto — An Open Operating System for a Single-User Machine
+//!
+//! A from-scratch Rust reproduction of Lampson & Sproull's SOSP 1979
+//! paper: the Alto Operating System, on a fully simulated Alto (16-bit
+//! CPU, 64K words of memory, Diablo Model 31 disks with a sector-accurate
+//! timing model).
+//!
+//! The workspace mirrors the paper's structure:
+//!
+//! * [`sim`] — simulated clock, memory, tracing;
+//! * [`disk`] — sectors with header/label/value parts, check semantics,
+//!   seek/rotation timing, removable packs (§3.1, §3.3);
+//! * [`fs`] — pages, files, leader pages, directories, hints, and the
+//!   Scavenger (§3);
+//! * [`zones`] — the free-storage allocator (§5);
+//! * [`streams`] — OS6-style streams (§2);
+//! * [`machine`] — the Nova-like CPU, assembler and machine state (§2);
+//! * [`net`] — the simulated Ethernet and packet format (§1, §4);
+//! * [`os`] — Junta levels, `OutLoad`/`InLoad`, the loader and the
+//!   Executive (§4, §5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use alto::prelude::*;
+//!
+//! // One shared simulated timeline for machine and disk.
+//! let clock = SimClock::new();
+//! let trace = Trace::new();
+//! let machine = Machine::new(clock.clone(), trace.clone());
+//! let drive = DiskDrive::with_formatted_pack(clock, trace, DiskModel::Diablo31, 1);
+//!
+//! // Install the system and use it.
+//! let mut os = AltoOs::install(machine, drive).unwrap();
+//! let root = os.fs.root_dir();
+//! let file = alto::fs::dir::create_named_file(&mut os.fs, root, "memo.txt").unwrap();
+//! os.fs.write_file(file, b"meet me at PARC").unwrap();
+//! assert_eq!(os.fs.read_file(file).unwrap(), b"meet me at PARC");
+//! ```
+
+pub use alto_disk as disk;
+pub use alto_fs as fs;
+pub use alto_machine as machine;
+pub use alto_net as net;
+pub use alto_os as os;
+pub use alto_sim as sim;
+pub use alto_streams as streams;
+pub use alto_zones as zones;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use alto_disk::{Disk, DiskAddress, DiskDrive, DiskModel, DiskPack, Label};
+    pub use alto_fs::{compact::Compactor, dir, FileSystem, FsError, LeaderPage, Scavenger};
+    pub use alto_machine::{assemble, Machine, MachineState};
+    pub use alto_net::{Ether, Packet};
+    pub use alto_os::{AltoOs, OsError, MESSAGE_WORDS};
+    pub use alto_sim::{SimClock, SimTime, Trace};
+    pub use alto_streams::{DiskByteStream, MemoryStream, Stream};
+    pub use alto_zones::{FirstFitZone, Zone};
+}
+
+/// Builds a ready-to-use OS on a freshly formatted Diablo 31 pack — the
+/// setup line shared by examples, tests and benchmarks.
+pub fn fresh_alto() -> os::AltoOs {
+    let clock = sim::SimClock::new();
+    let trace = sim::Trace::new();
+    let machine = machine::Machine::new(clock.clone(), trace.clone());
+    let drive = disk::DiskDrive::with_formatted_pack(clock, trace, disk::DiskModel::Diablo31, 1);
+    os::AltoOs::install(machine, drive).expect("formatting a fresh pack cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fresh_alto_boots() {
+        let mut os = super::fresh_alto();
+        let root = os.fs.root_dir();
+        assert!(alto_fs::dir::lookup(&mut os.fs, root, "SysDir")
+            .unwrap()
+            .is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! A whole day on one Alto: every major mechanism in one continuous
+//! scenario, on one pack, with the simulated clock running throughout.
+
+use alto::os::debug::SwateeDebugger;
+use alto::os::exec::ExecExit;
+use alto::prelude::*;
+
+#[test]
+fn a_day_in_the_life_of_an_alto() {
+    // 08:00 — the researcher installs the system on a fresh pack.
+    let mut os = alto::fresh_alto();
+    let clock = os.machine.clock().clone();
+    os.set_user("thacker", "maxc");
+    os.install_vm_keyboard_isr().unwrap();
+
+    // 08:05 — install a couple of tools.
+    os.store_program(
+        "banner.run",
+        r#"
+        lda 2, msgp
+        lda 1, lenv
+loop:   lda 0, 0,2
+        jsr @putchar
+        inc 2, 2
+        dsz lenv
+        jmp loop
+        halt
+putchar: .fixup "PutChar"
+lenv:   .word 5
+msgp:   .word msg
+msg:    .word 'r'
+        .word 'e'
+        .word 'a'
+        .word 'd'
+        .word 'y'
+        "#,
+    )
+    .unwrap();
+    // The editor's install phase: auxiliary files + hint state file.
+    os.install_hints("Editor.state", &["scratch1", "journal"], 4)
+        .unwrap();
+
+    // 09:00 — a working session at the keyboard.
+    os.type_text("banner.run\nls\nquit\n");
+    assert_eq!(os.run_executive(10).unwrap(), ExecExit::Quit);
+    assert!(os.machine.display.transcript().contains("ready"));
+    assert!(os.machine.display.transcript().contains("Editor.state"));
+
+    // 10:00 — real work: write a paper, install the world as the boot file.
+    let root = os.fs.root_dir();
+    let paper = dir::create_named_file(&mut os.fs, root, "sosp79.draft").unwrap();
+    let draft = "An open operating system establishes no sharp boundary. ".repeat(60);
+    os.fs.write_file(paper, draft.as_bytes()).unwrap();
+    os.machine.ac[2] = 0x0800; // morning's register state, whatever it is
+    os.install_boot_file().unwrap();
+
+    // 11:00 — debugging: a colleague's program loops; DEBUG key, patch.
+    let code = alto::machine::assemble(
+        "
+        subz 0, 0
+loop:   inc 0, 0
+        lda 1, limit
+        sub# 0, 1, szr
+        jmp loop
+        sta 0, @resp
+        halt
+limit:  .word 0          ; BUG: loops ~forever (wraps through 64K)
+resp:   .word 0o3000
+        ",
+    )
+    .unwrap();
+    os.machine.load_program(0o400, &code.words).unwrap();
+    let limit_addr = code.labels["limit"];
+    let bp = os.set_breakpoint(code.labels["loop"]);
+    os.run_until_break(bp, 10_000).unwrap();
+    let mut dbg = SwateeDebugger::open_named(&mut os).unwrap();
+    dbg.write(limit_addr, 25);
+    dbg.save(&mut os).unwrap();
+    assert!(matches!(
+        os.resume_swatee(bp, 100_000).unwrap(),
+        alto::os::DebugStop::Halted
+    ));
+    assert_eq!(os.machine.mem.read(0o3000), 25);
+
+    // 14:00 — disaster: the machine crashes mid-write; the allocation map
+    // on disk is stale and a sector dies.
+    let victim = dir::lookup(&mut os.fs, root, "journal").unwrap().unwrap();
+    os.fs.write_file(victim, &vec![7u8; 2000]).unwrap();
+    {
+        let (l, _) = os.fs.read_page(victim.leader_page()).unwrap();
+        let da = l.next;
+        os.fs.disk_mut().pack_mut().unwrap().damage(da);
+    }
+    let machine_clock = clock.clone();
+    let disk = os.fs.crash();
+
+    // 14:01 — scavenge and reboot from the boot button.
+    let (fs, report) = Scavenger::rebuild(disk).unwrap();
+    assert!(report.bad_pages >= 1);
+    let machine = Machine::new(machine_clock.clone(), Trace::new());
+    let mut os = AltoOs::assemble(machine, fs);
+    os.bootstrap().unwrap();
+    assert_eq!(os.machine.ac[2], 0x0800, "the morning's world is back");
+    // The resident user record travelled in the boot image.
+    assert_eq!(os.user(), Some(("thacker".into(), "maxc".into())));
+
+    // 15:00 — the draft survived everything.
+    let root = os.fs.root_dir();
+    let paper = dir::lookup(&mut os.fs, root, "sosp79.draft")
+        .unwrap()
+        .unwrap();
+    assert_eq!(os.fs.read_file(paper).unwrap(), draft.as_bytes());
+
+    // 16:00 — housekeeping: compact the disk, verify, keep working.
+    Compactor::run(&mut os.fs).unwrap();
+    let root = os.fs.root_dir();
+    let paper = dir::lookup(&mut os.fs, root, "sosp79.draft")
+        .unwrap()
+        .unwrap();
+    assert_eq!(os.fs.read_file(paper).unwrap(), draft.as_bytes());
+
+    // 17:00 — one more session; the tools still run; then go home.
+    os.type_text("banner.run\nspace\nquit\n");
+    assert_eq!(os.run_executive(10).unwrap(), ExecExit::Quit);
+    assert!(os.machine.display.transcript().contains("ready"));
+    assert!(os.machine.display.transcript().contains("pages free"));
+
+    // The whole day took real (simulated) time.
+    assert!(
+        clock.now() > SimTime::from_secs(60),
+        "day took {}",
+        clock.now()
+    );
+}

@@ -1,0 +1,140 @@
+//! Model-based testing: arbitrary operation sequences against a trivial
+//! in-memory model. After every operation — including crashes, scavenges
+//! and compactions — the file system must agree with the model exactly.
+
+use alto::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(usize),
+    Write(usize, Vec<u8>),
+    Delete(usize),
+    Rename(usize, usize),
+    Scavenge,
+    CrashAndScavenge,
+    Compact,
+}
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..NAMES.len()).prop_map(Op::Create),
+        4 => ((0..NAMES.len()), proptest::collection::vec(any::<u8>(), 0..2000))
+            .prop_map(|(i, b)| Op::Write(i, b)),
+        2 => (0..NAMES.len()).prop_map(Op::Delete),
+        1 => ((0..NAMES.len()), (0..NAMES.len())).prop_map(|(a, b)| Op::Rename(a, b)),
+        1 => Just(Op::Scavenge),
+        1 => Just(Op::CrashAndScavenge),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn check_agreement(
+    fs: &mut FileSystem<DiskDrive>,
+    model: &BTreeMap<String, Vec<u8>>,
+) -> Result<(), TestCaseError> {
+    let root = fs.root_dir();
+    for name in NAMES {
+        let on_disk = dir::lookup(fs, root, name).unwrap();
+        match model.get(name) {
+            Some(want) => {
+                let f = on_disk.ok_or_else(|| {
+                    TestCaseError::fail(format!("{name} missing from the file system"))
+                })?;
+                let got = fs.read_file(f).unwrap();
+                prop_assert_eq!(&got, want, "{} contents differ", name);
+            }
+            None => {
+                prop_assert!(on_disk.is_none(), "{} should not exist", name);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn file_system_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let clock = SimClock::new();
+        let drive = DiskDrive::with_formatted_pack(
+            clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+        let mut fs = FileSystem::format(drive).unwrap();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Create(i) => {
+                    let name = NAMES[i];
+                    let root = fs.root_dir();
+                    if model.contains_key(name) {
+                        continue;
+                    }
+                    dir::create_named_file(&mut fs, root, name).unwrap();
+                    model.insert(name.to_string(), Vec::new());
+                }
+                Op::Write(i, bytes) => {
+                    let name = NAMES[i];
+                    if !model.contains_key(name) {
+                        continue;
+                    }
+                    let root = fs.root_dir();
+                    let f = dir::lookup(&mut fs, root, name).unwrap().unwrap();
+                    fs.write_file(f, &bytes).unwrap();
+                    model.insert(name.to_string(), bytes);
+                }
+                Op::Delete(i) => {
+                    let name = NAMES[i];
+                    if !model.contains_key(name) {
+                        continue;
+                    }
+                    let root = fs.root_dir();
+                    let f = dir::remove(&mut fs, root, name).unwrap().unwrap();
+                    fs.delete_file(f).unwrap();
+                    model.remove(name);
+                }
+                Op::Rename(a, b) => {
+                    let (from, to) = (NAMES[a], NAMES[b]);
+                    if !model.contains_key(from) || model.contains_key(to) || a == b {
+                        continue;
+                    }
+                    let root = fs.root_dir();
+                    let f = dir::remove(&mut fs, root, from).unwrap().unwrap();
+                    dir::insert(&mut fs, root, to, f).unwrap();
+                    let v = model.remove(from).unwrap();
+                    model.insert(to.to_string(), v);
+                }
+                Op::Scavenge => {
+                    let disk = fs.unmount().unwrap();
+                    let (fs2, _) = Scavenger::rebuild(disk).unwrap();
+                    fs = fs2;
+                }
+                Op::CrashAndScavenge => {
+                    let disk = fs.crash();
+                    let (fs2, _) = Scavenger::rebuild(disk).unwrap();
+                    fs = fs2;
+                }
+                Op::Compact => {
+                    Compactor::run(&mut fs).unwrap();
+                }
+            }
+            check_agreement(&mut fs, &model)?;
+        }
+
+        // Final invariant: the allocation map agrees with the labels for
+        // every free page (no lost pages after any of this).
+        let disk = fs.unmount().unwrap();
+        let (fs, report) = Scavenger::rebuild(disk).unwrap();
+        prop_assert_eq!(report.headless_pages_freed, 0);
+        prop_assert_eq!(report.duplicate_pages_freed, 0);
+        let mut fs = fs;
+        check_agreement(&mut fs, &model)?;
+    }
+}

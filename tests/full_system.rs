@@ -1,0 +1,229 @@
+//! End-to-end integration: the whole stack from keyboard to platter.
+
+use alto::os::exec::ExecExit;
+use alto::os::swap::MESSAGE_ADDR;
+use alto::prelude::*;
+
+/// A user session writes a file via a loaded program; the machine crashes;
+/// after scavenging and a reboot the file is intact and the system works.
+#[test]
+fn survive_a_full_crash_cycle() {
+    let mut os = alto::fresh_alto();
+
+    // A program that writes its output through stream system calls.
+    os.store_program(
+        "writer.run",
+        r#"
+        lda 0, namep
+        jsr @openw
+        sta 0, handle
+        lda 2, datap
+        lda 1, lenv
+loop:   lda 1, 0,2          ; AC1 = next byte value
+        lda 0, handle
+        jsr @puts
+        inc 2, 2
+        dsz lenv
+        jmp loop
+        lda 0, handle
+        jsr @closes
+        halt
+openw:  .fixup "OpenWrite"
+puts:   .fixup "Puts"
+closes: .fixup "Closes"
+handle: .word 0
+lenv:   .word 4
+namep:  .word name
+datap:  .word data
+data:   .word 'D'
+        .word 'A'
+        .word 'T'
+        .word 'A'
+name:   .str "output.dat"
+        "#,
+    )
+    .unwrap();
+
+    // The user runs it from the Executive.
+    os.type_text("writer.run\nquit\n");
+    assert_eq!(os.run_executive(10).unwrap(), ExecExit::Quit);
+
+    // Verify the program's output.
+    let root = os.fs.root_dir();
+    let f = dir::lookup(&mut os.fs, root, "output.dat")
+        .unwrap()
+        .unwrap();
+    assert_eq!(os.fs.read_file(f).unwrap(), b"DATA");
+
+    // Crash: the allocation map on disk is stale.
+    let clock = os.machine.clock().clone();
+    let disk = os.fs.crash();
+
+    // Scavenge and reboot.
+    let (fs, report) = Scavenger::rebuild(disk).unwrap();
+    assert_eq!(report.headless_pages_freed, 0);
+    let machine = Machine::new(clock, Trace::new());
+    let mut os = AltoOs::assemble(machine, fs);
+
+    // Everything still there; system still fully functional.
+    let root = os.fs.root_dir();
+    let f = dir::lookup(&mut os.fs, root, "output.dat")
+        .unwrap()
+        .unwrap();
+    assert_eq!(os.fs.read_file(f).unwrap(), b"DATA");
+    os.type_text("writer.run\nquit\n");
+    assert_eq!(os.run_executive(10).unwrap(), ExecExit::Quit);
+}
+
+/// The §4.1 coroutine linkage between two *programs* (not just states):
+/// each world passes a message naming the file to resume.
+#[test]
+fn coroutine_programs_exchange_messages() {
+    let mut os = alto::fresh_alto();
+    let a = os.create_state_file("A.state").unwrap();
+    let b = os.create_state_file("B.state").unwrap();
+
+    // World A: machine with a recognizable memory tattoo.
+    os.machine.mem.write(0o4000, 0xAAAA);
+    os.machine.ac[3] = 0xA;
+    os.out_load(a).unwrap();
+
+    // World B.
+    os.machine.mem.write(0o4000, 0xBBBB);
+    os.machine.ac[3] = 0xB;
+    os.out_load(b).unwrap();
+
+    // Ping-pong with messages carrying a round counter.
+    let mut msg = [0u16; MESSAGE_WORDS];
+    for round in 1..=5u16 {
+        msg[0] = round;
+        os.in_load(a, &msg).unwrap();
+        assert_eq!(os.machine.ac[3], 0xA);
+        assert_eq!(os.machine.mem.read(0o4000), 0xAAAA);
+        assert_eq!(os.machine.mem.read(MESSAGE_ADDR), round);
+        os.out_load(a).unwrap();
+
+        os.in_load(b, &msg).unwrap();
+        assert_eq!(os.machine.ac[3], 0xB);
+        assert_eq!(os.machine.mem.read(0o4000), 0xBBBB);
+        os.out_load(b).unwrap();
+    }
+}
+
+/// Junta as a loaded program uses it: free the upper levels, load a huge
+/// overlay into the reclaimed space, then CounterJunta back to a fully
+/// working system.
+#[test]
+fn junta_overlay_counter_junta_cycle() {
+    let mut os = alto::fresh_alto();
+    let full_base = os.levels().resident_base();
+
+    // A big program cannot load while the whole system is resident.
+    let big = format!("halt\n.blk {}\n", 60_000);
+    os.store_program("big.run", &big).unwrap();
+    assert!(os.run_program("big.run", 100).is_err());
+
+    // Junta to level 4 (keeping OutLoad, the keyboard buffer, hints, and
+    // the BCPL runtime), then the overlay fits.
+    let freed = os.junta(4).unwrap();
+    assert!(freed > 6_000);
+    assert!(os.levels().resident_base() > full_base);
+    os.run_program("big.run", 100).unwrap();
+
+    // Stream services are gone…
+    assert!(os.open_read("big.run").is_ok());
+    assert!(os
+        .handle_syscall(alto::os::syscalls::SysCall::Gets.code(), 0)
+        .is_err());
+
+    // …until CounterJunta restores the world.
+    os.counter_junta();
+    assert_eq!(os.levels().resident(), 13);
+    os.type_text("ls\nquit\n");
+    assert_eq!(os.run_executive(5).unwrap(), ExecExit::Quit);
+}
+
+/// The boot button works even after the OS state evolves: install, run
+/// programs, reinstall, boot.
+#[test]
+fn boot_file_tracks_the_installed_world() {
+    let mut os = alto::fresh_alto();
+    os.machine.ac[2] = 1111;
+    os.install_boot_file().unwrap();
+
+    os.machine.ac[2] = 2222;
+    os.install_boot_file().unwrap(); // in-place rewrite
+
+    os.machine.ac[2] = 0;
+    os.bootstrap().unwrap();
+    assert_eq!(os.machine.ac[2], 2222);
+}
+
+/// Type-ahead really does cross program boundaries: keys struck while one
+/// program runs feed the next program's input.
+#[test]
+fn type_ahead_crosses_program_boundaries() {
+    let mut os = alto::fresh_alto();
+    // A program that reads two chars via GetChar and stores them.
+    os.store_program(
+        "reader.run",
+        r#"
+loop1:  jsr @getchar
+        lda 1, eof
+        sub# 1, 0, snr
+        jmp loop1
+        sta 0, 0o500
+loop2:  jsr @getchar
+        lda 1, eof
+        sub# 1, 0, snr
+        jmp loop2
+        sta 0, 0o501
+        halt
+getchar: .fixup "GetChar"
+eof:    .word 0xFFFF
+        "#,
+    )
+    .unwrap();
+    // The user types ahead *before* the program even loads.
+    os.type_text("xy");
+    os.machine.clock().advance(SimTime::from_millis(50));
+    os.service_keyboard();
+    os.run_program("reader.run", 1_000_000).unwrap();
+    assert_eq!(os.machine.mem.read(0o500), b'x' as u16);
+    assert_eq!(os.machine.mem.read(0o501), b'y' as u16);
+}
+
+/// The display pipeline: VM program -> trap -> teletype -> screen rows.
+#[test]
+fn display_pipeline_end_to_end() {
+    let mut os = alto::fresh_alto();
+    os.store_program(
+        "lines.run",
+        r#"
+        lda 2, tblp
+        lda 1, lenv
+loop:   lda 0, 0,2
+        jsr @putchar
+        inc 2, 2
+        dsz lenv
+        jmp loop
+        halt
+putchar: .fixup "PutChar"
+lenv:   .word 8
+tblp:   .word tbl
+tbl:    .word 'o'
+        .word 'n'
+        .word 'e'
+        .word 10
+        .word 't'
+        .word 'w'
+        .word 'o'
+        .word 10
+        "#,
+    )
+    .unwrap();
+    os.run_program("lines.run", 100_000).unwrap();
+    let screen = os.machine.display.screen();
+    assert_eq!(screen[0], "one");
+    assert_eq!(screen[1], "two");
+}

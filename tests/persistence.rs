@@ -1,0 +1,160 @@
+//! Packs are removable media: images survive across drives, machines and
+//! host processes, and the same software drives different disk models.
+
+use alto::prelude::*;
+
+/// Write files, serialize the pack, deserialize into a different drive on
+/// a different simulated machine: everything is there.
+#[test]
+fn pack_image_round_trip_across_machines() {
+    let clock = SimClock::new();
+    let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 7);
+    let mut fs = FileSystem::format(drive).unwrap();
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "portable.txt").unwrap();
+    fs.write_file(f, b"travels well").unwrap();
+    let mut drive = fs.unmount().unwrap();
+    let pack = drive.unload_pack().unwrap();
+
+    // Serialize / deserialize (as if carried to another Alto).
+    let image = pack.to_image();
+    let pack2 = DiskPack::from_image(&image).unwrap();
+    assert_eq!(pack2.pack_number(), 7);
+
+    let clock2 = SimClock::new();
+    let mut drive2 = DiskDrive::new(clock2, Trace::new());
+    drive2.load_pack(pack2);
+    let mut fs2 = FileSystem::mount(drive2).unwrap();
+    let root2 = fs2.root_dir();
+    let g = dir::lookup(&mut fs2, root2, "portable.txt")
+        .unwrap()
+        .unwrap();
+    assert_eq!(fs2.read_file(g).unwrap(), b"travels well");
+}
+
+/// Pack images survive an actual trip through the host file system.
+#[test]
+fn pack_image_file_round_trip() {
+    let dir_path = std::env::temp_dir().join("alto-persistence-test");
+    std::fs::create_dir_all(&dir_path).unwrap();
+    let path = dir_path.join("test-pack.img");
+
+    let clock = SimClock::new();
+    let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 3);
+    let mut fs = FileSystem::format(drive).unwrap();
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "saved.dat").unwrap();
+    fs.write_file(f, &vec![0x5A; 5000]).unwrap();
+    let mut drive = fs.unmount().unwrap();
+    drive.unload_pack().unwrap().save(&path).unwrap();
+
+    let pack = DiskPack::load(&path).unwrap();
+    let mut drive = DiskDrive::new(SimClock::new(), Trace::new());
+    drive.load_pack(pack);
+    let mut fs = FileSystem::mount(drive).unwrap();
+    let root = fs.root_dir();
+    let g = dir::lookup(&mut fs, root, "saved.dat").unwrap().unwrap();
+    assert_eq!(fs.read_file(g).unwrap(), vec![0x5A; 5000]);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The disk shape is recorded in the descriptor: the same file system
+/// software runs on the bigger, faster Trident.
+#[test]
+fn trident_disk_works_with_the_standard_software() {
+    let clock = SimClock::new();
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Trident, 9);
+    let mut fs = FileSystem::format(drive).unwrap();
+    assert_eq!(fs.descriptor().shape, DiskModel::Trident.geometry());
+    assert!(fs.descriptor().bitmap.len() > 9000);
+
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "big-disk.dat").unwrap();
+    let bytes: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+    fs.write_file(f, &bytes).unwrap();
+    assert_eq!(fs.read_file(f).unwrap(), bytes);
+
+    // Remount and scavenge on the Trident too.
+    let disk = fs.unmount().unwrap();
+    let (mut fs, report) = Scavenger::rebuild(disk).unwrap();
+    assert_eq!(
+        report.sectors_scanned,
+        DiskModel::Trident.geometry().sector_count()
+    );
+    let root = fs.root_dir();
+    assert!(dir::lookup(&mut fs, root, "big-disk.dat")
+        .unwrap()
+        .is_some());
+}
+
+/// The Trident really is about twice as fast at streaming.
+#[test]
+fn trident_streams_about_twice_as_fast() {
+    let mut times = Vec::new();
+    for model in [DiskModel::Diablo31, DiskModel::Trident] {
+        let clock = SimClock::new();
+        let drive = DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), model, 1);
+        let mut fs = FileSystem::format(drive).unwrap();
+        let root = fs.root_dir();
+        let f = dir::create_named_file(&mut fs, root, "stream.dat").unwrap();
+        let bytes = vec![1u8; 50_000];
+        fs.write_file(f, &bytes).unwrap();
+        let t0 = clock.now();
+        fs.read_file(f).unwrap();
+        times.push((clock.now() - t0).as_nanos() as f64);
+    }
+    let ratio = times[0] / times[1];
+    assert!((1.5..2.6).contains(&ratio), "Diablo/Trident ratio {ratio}");
+}
+
+/// Cross-drive pack swap: take the pack out of one drive mid-session and
+/// put it in another; labels make the files follow the medium.
+#[test]
+fn removable_pack_moves_between_drives() {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let mut drive_a =
+        DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), DiskModel::Diablo31, 11);
+    let mut drive_b = DiskDrive::new(clock.clone(), trace);
+
+    // Build a file system on drive A.
+    let mut fs = FileSystem::format(drive_a).unwrap();
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "nomad.txt").unwrap();
+    fs.write_file(f, b"follows the pack").unwrap();
+    drive_a = fs.unmount().unwrap();
+
+    // Move the pack.
+    let pack = drive_a.unload_pack().unwrap();
+    drive_b.load_pack(pack);
+    let mut fs = FileSystem::mount(drive_b).unwrap();
+    let root = fs.root_dir();
+    let g = dir::lookup(&mut fs, root, "nomad.txt").unwrap().unwrap();
+    assert_eq!(fs.read_file(g).unwrap(), b"follows the pack");
+
+    // Drive A is now empty.
+    let mut buf = alto::disk::SectorBuf::zeroed();
+    assert!(drive_a
+        .do_op(DiskAddress(0), alto::disk::SectorOp::READ_ALL, &mut buf)
+        .is_err());
+}
+
+/// A whole installed OS — boot file included — survives the pack image.
+#[test]
+fn installed_os_survives_image_round_trip() {
+    let mut os = alto::fresh_alto();
+    os.machine.ac[0] = 0xF00D;
+    os.install_boot_file().unwrap();
+    let clock = os.machine.clock().clone();
+    let mut drive = os.fs.unmount().unwrap();
+    let image = drive.unload_pack().unwrap().to_image();
+
+    // "Another Alto": fresh machine, fresh drive, same pack image.
+    let machine = Machine::new(clock.clone(), Trace::new());
+    let mut drive2 = DiskDrive::new(clock, Trace::new());
+    drive2.load_pack(DiskPack::from_image(&image).unwrap());
+    let fs = FileSystem::mount(drive2).unwrap();
+    let mut os2 = AltoOs::assemble(machine, fs);
+    os2.bootstrap().unwrap();
+    assert_eq!(os2.machine.ac[0], 0xF00D);
+}

@@ -1,0 +1,215 @@
+//! Property-based tests on the core data structures and invariants.
+
+use alto::prelude::*;
+use alto::sim::Memory;
+use proptest::prelude::*;
+
+proptest! {
+    /// Labels survive their seven-word encoding.
+    #[test]
+    fn label_encoding_round_trips(
+        f0 in any::<u16>(), f1 in any::<u16>(), v in any::<u16>(),
+        pn in any::<u16>(), l in any::<u16>(), nl in any::<u16>(), pl in any::<u16>(),
+    ) {
+        let label = Label {
+            fid: [f0, f1],
+            version: v,
+            page_number: pn,
+            length: l,
+            next: DiskAddress(nl),
+            prev: DiskAddress(pl),
+        };
+        prop_assert_eq!(Label::decode(&label.encode()), label);
+    }
+
+    /// CHS conversion is a bijection for every model.
+    #[test]
+    fn chs_bijection(da in 0u32..4872) {
+        let g = DiskModel::Diablo31.geometry();
+        let da = DiskAddress(da as u16);
+        prop_assert_eq!(g.from_chs(g.to_chs(da)), da);
+    }
+
+    /// Byte packing into page words is invertible.
+    #[test]
+    fn page_byte_packing_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..=512)) {
+        let mut words = [0u16; 256];
+        alto::fs::file::pack_bytes(&bytes, &mut words);
+        let back = alto::fs::file::unpack_bytes(&words);
+        prop_assert_eq!(&back[..bytes.len()], &bytes[..]);
+    }
+
+    /// Whatever bytes go into a file come back out (against a Vec model).
+    #[test]
+    fn write_read_file_equivalence(
+        writes in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..3000), 1..4),
+    ) {
+        let clock = SimClock::new();
+        let drive = DiskDrive::with_formatted_pack(
+            clock, Trace::new(), DiskModel::Diablo31, 1);
+        let mut fs = FileSystem::format(drive).unwrap();
+        let root = fs.root_dir();
+        let f = dir::create_named_file(&mut fs, root, "prop.dat").unwrap();
+        for bytes in &writes {
+            fs.write_file(f, bytes).unwrap();
+            prop_assert_eq!(&fs.read_file(f).unwrap(), bytes);
+            prop_assert_eq!(fs.file_length(f).unwrap(), bytes.len() as u64);
+        }
+    }
+
+    /// The zone allocator never hands out overlapping blocks and always
+    /// coalesces back to a single run (against a shadow model).
+    #[test]
+    fn zone_allocator_model(ops in proptest::collection::vec((any::<bool>(), 1u16..50), 1..60)) {
+        let mut mem = Memory::new();
+        let mut zone = FirstFitZone::new(&mut mem, 0x1000, 0x1000).unwrap();
+        let mut live: Vec<(u16, u16, u16)> = Vec::new(); // (addr, len, tag)
+        let mut tag = 1u16;
+        for (alloc, len) in ops {
+            if alloc || live.is_empty() {
+                if let Ok(a) = zone.allocate(&mut mem, len) {
+                    // No overlap with any live block.
+                    for &(b, blen, _) in &live {
+                        prop_assert!(
+                            a + len <= b || b + blen <= a,
+                            "blocks [{a};{len}] and [{b};{blen}] overlap"
+                        );
+                    }
+                    for i in 0..len {
+                        mem.write(a + i, tag);
+                    }
+                    live.push((a, len, tag));
+                    tag = tag.wrapping_add(1).max(1);
+                }
+            } else {
+                let (a, alen, t) = live.swap_remove(0);
+                for i in 0..alen {
+                    prop_assert_eq!(mem.read(a + i), t);
+                }
+                zone.free(&mut mem, a).unwrap();
+            }
+        }
+        for (a, _, _) in live.drain(..) {
+            zone.free(&mut mem, a).unwrap();
+        }
+        prop_assert_eq!(zone.available(), 0x1000);
+    }
+
+    /// Memory streams behave like a Vec with a cursor.
+    #[test]
+    fn memory_stream_model(
+        items in proptest::collection::vec(any::<u16>(), 0..100),
+        extra in proptest::collection::vec(any::<u16>(), 0..20),
+    ) {
+        let mut s = MemoryStream::from_words(&items);
+        let mut read = Vec::new();
+        // Drain half.
+        for _ in 0..items.len() / 2 {
+            read.push(s.get(&mut ()).unwrap());
+        }
+        // Append more, then drain the rest.
+        for &e in &extra {
+            s.put(&mut (), e).unwrap();
+        }
+        while let Ok(x) = s.get(&mut ()) {
+            read.push(x);
+        }
+        let mut want = items.clone();
+        want.extend_from_slice(&extra);
+        prop_assert_eq!(read, want);
+    }
+
+    /// Packet decoding never panics and never accepts a corrupted packet.
+    #[test]
+    fn packet_fuzz(words in proptest::collection::vec(any::<u16>(), 0..300)) {
+        let _ = Packet::decode(&words); // must not panic
+    }
+
+    /// A single flipped bit anywhere in a packet is always detected.
+    #[test]
+    fn packet_bit_flips_detected(
+        payload in proptest::collection::vec(any::<u16>(), 0..32),
+        seq in any::<u16>(),
+        flip_word in any::<usize>(),
+        flip_bit in 0u32..16,
+    ) {
+        let p = Packet {
+            ptype: alto::net::PacketType::Data,
+            dst_host: 2,
+            src_host: 1,
+            dst_socket: 0x30,
+            src_socket: 0x31,
+            seq,
+            payload,
+        };
+        let mut wire = p.encode();
+        let i = flip_word % wire.len();
+        wire[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = Packet::decode(&wire) { prop_assert!(
+            false,
+            "corruption at word {i} produced a valid packet {decoded:?}"
+        ) }
+    }
+
+    /// The assembler's instruction encodings always decode back (via the
+    /// disassembler path) to executable words; every 16-bit word decodes.
+    #[test]
+    fn every_word_disassembles(w in any::<u16>()) {
+        let text = alto::machine::disassemble(w);
+        prop_assert!(!text.is_empty());
+        prop_assert_eq!(alto::machine::Instr::decode(w).encode(), w);
+    }
+
+    /// Directory entry lists survive encoding (against a Vec model).
+    #[test]
+    fn directory_encoding_round_trips(
+        entries in proptest::collection::vec(
+            ("[a-z]{1,12}", 0u32..1000, any::<bool>(), 1u16..4, any::<u16>()),
+            0..20,
+        ),
+    ) {
+        use alto::fs::dir::DirEntry;
+        use alto::fs::names::{FileFullName, Fv, SerialNumber};
+        // Deduplicate names (directories are maps).
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<DirEntry> = entries
+            .into_iter()
+            .filter(|(name, ..)| seen.insert(name.clone()))
+            .map(|(name, num, d, v, da)| DirEntry {
+                name,
+                file: FileFullName::new(
+                    Fv::new(SerialNumber::new(num, d), v),
+                    DiskAddress(da),
+                ),
+            })
+            .collect();
+        let bytes = alto::fs::dir::encode_entries(&entries);
+        prop_assert_eq!(alto::fs::dir::parse_entries(&bytes), entries);
+    }
+
+    /// The type-ahead ring buffer is FIFO for any push/pop sequence.
+    #[test]
+    fn typeahead_fifo(ops in proptest::collection::vec(any::<Option<u8>>(), 0..200)) {
+        use alto::os::typeahead::TypeAhead;
+        let mut mem = Memory::new();
+        let t = TypeAhead::init(&mut mem, 0xF000, 64);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(key) => {
+                    let accepted = t.push(&mut mem, key as u16);
+                    if accepted {
+                        model.push_back(key as u16);
+                    } else {
+                        prop_assert!(model.len() >= 60, "dropped while not full");
+                    }
+                }
+                None => {
+                    prop_assert_eq!(t.pop(&mut mem), model.pop_front());
+                }
+            }
+            prop_assert_eq!(t.len(&mem) as usize, model.len());
+        }
+    }
+}
