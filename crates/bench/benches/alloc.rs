@@ -1,14 +1,13 @@
 //! E4 — the label discipline: allocate, free, overwrite.
 
 use alto_bench::fresh_fs;
-use alto_disk::{DiskAddress, DiskModel, Label};
+use alto_bench::harness::{measure, print_table};
+use alto_disk::{Disk, DiskAddress, DiskModel, Label};
 use alto_fs::names::{Fv, PageName, SerialNumber};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_alloc_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_label_discipline");
-    group.sample_size(20);
+fn main() {
     let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
     let fv = Fv::new(SerialNumber::new(0x2FFF, false), 1);
     let label = |page: u16| Label {
         fid: fv.serial.words(),
@@ -19,38 +18,31 @@ fn bench_alloc_free(c: &mut Criterion) {
         prev: DiskAddress::NIL,
     };
 
-    group.bench_function("allocate_then_free_page", |b| {
-        b.iter(|| {
-            let da = fs.allocate_page(None, label(1), &[7; 256]).unwrap();
-            fs.free_page(PageName::new(fv, 1, da)).unwrap();
-            std::hint::black_box(da)
-        });
-    });
+    let mut rows = Vec::new();
+    rows.push(measure(&clock, "allocate_then_free_page", 20, || {
+        let da = fs.allocate_page(None, label(1), &[7; 256]).unwrap();
+        fs.free_page(PageName::new(fv, 1, da)).unwrap();
+        da
+    }));
 
     // Ordinary write to an existing page (label checked, not written).
     let da = fs.allocate_page(None, label(2), &[1; 256]).unwrap();
     let pn = PageName::new(fv, 2, da);
-    group.bench_function("ordinary_page_write", |b| {
-        b.iter(|| std::hint::black_box(fs.write_page(pn, &[9; 256]).unwrap()));
-    });
+    rows.push(measure(&clock, "ordinary_page_write", 20, || {
+        fs.write_page(pn, &[9; 256]).unwrap()
+    }));
 
-    // Checked read.
-    group.bench_function("checked_page_read", |b| {
-        b.iter(|| std::hint::black_box(fs.read_page(pn).unwrap()));
-    });
+    rows.push(measure(&clock, "checked_page_read", 20, || {
+        fs.read_page(pn).unwrap()
+    }));
 
     // Stale-map allocation: the map says free, the label says busy.
-    group.bench_function("allocation_retry_on_stale_map", |b| {
-        b.iter(|| {
-            fs.descriptor_mut().bitmap.set_free(da);
-            fs.descriptor_mut().rotor = da;
-            let got = fs.allocate_page(None, label(3), &[2; 256]).unwrap();
-            fs.free_page(PageName::new(fv, 3, got)).unwrap();
-            std::hint::black_box(got)
-        });
-    });
-    group.finish();
+    rows.push(measure(&clock, "allocation_retry_on_stale_map", 20, || {
+        fs.descriptor_mut().bitmap.set_free(da);
+        fs.descriptor_mut().rotor = da;
+        let got = fs.allocate_page(None, label(3), &[2; 256]).unwrap();
+        fs.free_page(PageName::new(fv, 3, got)).unwrap();
+        got
+    }));
+    print_table("e4_label_discipline", &rows);
 }
-
-criterion_group!(benches, bench_alloc_free);
-criterion_main!(benches);

@@ -1,83 +1,69 @@
 //! E5 / E9 — the hint ladder and the consecutive-file guess.
 
+use alto_bench::harness::{measure, print_table};
 use alto_bench::{consecutive_file, fresh_fs, scatter_file};
-use alto_disk::{DiskAddress, DiskModel};
+use alto_disk::{Disk, DiskAddress, DiskModel};
 use alto_fs::hints::{guess_consecutive, resolve_page, HintStats, PageHints};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_ladder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_hint_ladder");
-    group.sample_size(20);
-
+fn main() {
     let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
     let f = consecutive_file(&mut fs, "h.dat", 40);
     scatter_file(&mut fs, f, 5);
     let root = fs.root_dir();
     let mut stats = HintStats::default();
+    let mut rows = Vec::new();
 
     // Rung 0: direct hit.
     let mut hints = PageHints::bare(f, root, "h.dat");
     let (_, pn, _) = resolve_page(&mut fs, &mut hints, 30, DiskAddress::NIL, &mut stats).unwrap();
-    group.bench_function("direct_hit", |b| {
-        b.iter(|| {
-            let r = resolve_page(&mut fs, &mut hints, 30, pn.da, &mut stats).unwrap();
-            std::hint::black_box(r.2)
-        });
-    });
+    rows.push(measure(&clock, "direct_hit", 20, || {
+        resolve_page(&mut fs, &mut hints, 30, pn.da, &mut stats).unwrap()
+    }));
 
     // Rung 1: link chase from the leader, varying the distance.
     for page in [5u16, 20, 35] {
-        group.bench_with_input(BenchmarkId::new("link_chase", page), &page, |b, &page| {
-            let mut hints = PageHints::bare(f, root, "h.dat");
-            b.iter(|| {
-                let r =
-                    resolve_page(&mut fs, &mut hints, page, DiskAddress::NIL, &mut stats).unwrap();
-                hints.every_kth.truncate(1); // forget what was learned
-                std::hint::black_box(r.2)
-            });
-        });
+        let mut hints = PageHints::bare(f, root, "h.dat");
+        rows.push(measure(&clock, &format!("link_chase/{page}"), 10, || {
+            let r = resolve_page(&mut fs, &mut hints, page, DiskAddress::NIL, &mut stats).unwrap();
+            hints.every_kth.truncate(1); // forget what was learned
+            r
+        }));
     }
 
     // Every-k-th hints.
     for k in [4u16, 16] {
-        group.bench_with_input(BenchmarkId::new("chase_with_k_hints", k), &k, |b, &k| {
-            let hints0 = PageHints::install(&mut fs, root, "h.dat", k).unwrap();
-            b.iter(|| {
+        let hints0 = PageHints::install(&mut fs, root, "h.dat", k).unwrap();
+        rows.push(measure(
+            &clock,
+            &format!("chase_with_k_hints/{k}"),
+            10,
+            || {
                 let mut hints = hints0.clone();
-                let r =
-                    resolve_page(&mut fs, &mut hints, 35, DiskAddress::NIL, &mut stats).unwrap();
-                std::hint::black_box(r.2)
-            });
-        });
+                resolve_page(&mut fs, &mut hints, 35, DiskAddress::NIL, &mut stats).unwrap()
+            },
+        ));
     }
-    group.finish();
-}
+    print_table("e5_hint_ladder", &rows);
 
-fn bench_guess(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_consecutive_guess");
-    group.sample_size(20);
+    // E9: the consecutive guess, hit and miss.
+    let mut rows = Vec::new();
     let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
     let f = consecutive_file(&mut fs, "c.dat", 40);
     let (leader, _) = fs.read_page(f.leader_page()).unwrap();
     let p1 = leader.next;
-    group.bench_function("guess_hit", |b| {
-        b.iter(|| {
-            let hit = guess_consecutive(&mut fs, f.fv, (1, p1), 25).unwrap();
-            std::hint::black_box(hit.is_some())
-        });
-    });
+    rows.push(measure(&clock, "guess_hit", 20, || {
+        let hit = guess_consecutive(&mut fs, f.fv, (1, p1), 25).unwrap();
+        assert!(hit.is_some());
+    }));
     let g = consecutive_file(&mut fs, "s.dat", 40);
     scatter_file(&mut fs, g, 11);
     let (leader, _) = fs.read_page(g.leader_page()).unwrap();
     let q1 = leader.next;
-    group.bench_function("guess_miss_rejected_safely", |b| {
-        b.iter(|| {
-            let hit = guess_consecutive(&mut fs, g.fv, (1, q1), 25).unwrap();
-            std::hint::black_box(hit.is_none())
-        });
-    });
-    group.finish();
+    rows.push(measure(&clock, "guess_miss_rejected_safely", 20, || {
+        let hit = guess_consecutive(&mut fs, g.fv, (1, q1), 25).unwrap();
+        assert!(hit.is_none());
+    }));
+    print_table("e9_consecutive_guess", &rows);
 }
-
-criterion_group!(benches, bench_ladder, bench_guess);
-criterion_main!(benches);

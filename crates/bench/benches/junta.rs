@@ -1,11 +1,11 @@
 //! E7 — Junta/CounterJunta, program loading, and syscall dispatch.
 
-use alto_disk::{DiskDrive, DiskModel};
+use alto_bench::harness::{measure, print_table};
+use alto_disk::{Disk, DiskDrive, DiskModel};
 use alto_machine::Machine;
 use alto_os::syscalls::SysCall;
 use alto_os::AltoOs;
 use alto_sim::{SimClock, Trace};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fresh_os() -> AltoOs {
     let clock = SimClock::new();
@@ -14,28 +14,25 @@ fn fresh_os() -> AltoOs {
     AltoOs::install(machine, drive).unwrap()
 }
 
-fn bench_junta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_junta");
+fn main() {
     let mut os = fresh_os();
+    let clock = os.fs.disk().clock().clone();
+    let mut rows = Vec::new();
     for keep in [1u8, 4, 8, 12] {
-        group.bench_with_input(
-            BenchmarkId::new("junta_counter_junta", keep),
-            &keep,
-            |b, &keep| {
-                b.iter(|| {
-                    os.junta(keep).unwrap();
-                    os.counter_junta();
-                });
+        rows.push(measure(
+            &clock,
+            &format!("junta_counter_junta/{keep}"),
+            10,
+            || {
+                os.junta(keep).unwrap();
+                os.counter_junta();
             },
-        );
+        ));
     }
-    group.finish();
-}
+    print_table("e7_junta", &rows);
 
-fn bench_loader(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_loader");
-    group.sample_size(20);
     let mut os = fresh_os();
+    let clock = os.fs.disk().clock().clone();
     os.store_program(
         "bench.run",
         r#"
@@ -47,26 +44,16 @@ k:      .word 1
         "#,
     )
     .unwrap();
-    group.bench_function("load_bind_run_program", |b| {
-        b.iter(|| std::hint::black_box(os.run_program("bench.run", 1000).unwrap()));
-    });
-    group.finish();
+    let mut rows = Vec::new();
+    rows.push(measure(&clock, "load_bind_run_program", 10, || {
+        os.run_program("bench.run", 1000).unwrap()
+    }));
+    rows.push(measure(&clock, "putchar_trap", 50, || {
+        os.machine.ac[0] = b'x' as u16;
+        os.handle_syscall(SysCall::PutChar.code(), 0).unwrap();
+    }));
+    rows.push(measure(&clock, "ticks_trap", 50, || {
+        os.handle_syscall(SysCall::Ticks.code(), 0).unwrap();
+    }));
+    print_table("e7_loader_syscalls", &rows);
 }
-
-fn bench_syscall_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_syscalls");
-    let mut os = fresh_os();
-    group.bench_function("putchar_trap", |b| {
-        b.iter(|| {
-            os.machine.ac[0] = b'x' as u16;
-            os.handle_syscall(SysCall::PutChar.code(), 0).unwrap();
-        });
-    });
-    group.bench_function("ticks_trap", |b| {
-        b.iter(|| os.handle_syscall(SysCall::Ticks.code(), 0).unwrap());
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_junta, bench_loader, bench_syscall_dispatch);
-criterion_main!(benches);

@@ -1,18 +1,18 @@
 //! E10 adjunct — packet codec and transfer-protocol benches.
 
+use alto_bench::harness::{measure, print_table};
 use alto_net::{ping, receive_file, Ether, Packet, PacketType};
 use alto_sim::{SimClock, Trace};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn fresh_ether() -> Ether {
-    let mut e = Ether::new(SimClock::new(), Trace::new());
+fn fresh_ether() -> (SimClock, Ether) {
+    let clock = SimClock::new();
+    let mut e = Ether::new(clock.clone(), Trace::new());
     e.attach(1).unwrap();
     e.attach(2).unwrap();
-    e
+    (clock, e)
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_codec");
+fn main() {
     let p = Packet {
         ptype: PacketType::Data,
         dst_host: 2,
@@ -22,40 +22,31 @@ fn bench_codec(c: &mut Criterion) {
         seq: 7,
         payload: vec![0xA5A5; 256],
     };
-    group.throughput(Throughput::Bytes((p.wire_words() * 2) as u64));
-    group.bench_function("encode_page_packet", |b| {
-        b.iter(|| std::hint::black_box(p.encode()));
-    });
+    let codec_clock = SimClock::new();
+    let mut rows = Vec::new();
+    rows.push(measure(&codec_clock, "encode_page_packet", 100, || {
+        p.encode()
+    }));
     let wire = p.encode();
-    group.bench_function("decode_page_packet", |b| {
-        b.iter(|| std::hint::black_box(Packet::decode(&wire).unwrap()));
-    });
-    group.finish();
-}
+    rows.push(measure(&codec_clock, "decode_page_packet", 100, || {
+        Packet::decode(&wire).unwrap()
+    }));
+    print_table("net_codec (host time only)", &rows);
 
-fn bench_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_transfer");
-    group.sample_size(20);
+    let mut rows = Vec::new();
     for pages in [1usize, 16] {
         let words = vec![0x5A5Au16; pages * 256];
-        group.throughput(Throughput::Bytes((words.len() * 2) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("stop_and_wait", format!("{pages}pp")),
-            &words,
-            |b, words| {
-                let mut e = fresh_ether();
-                b.iter(|| {
-                    std::hint::black_box(receive_file(&mut e, 1, 2, 0x30, 0x31, words).unwrap())
-                });
-            },
-        );
+        let (clock, mut e) = fresh_ether();
+        rows.push(measure(
+            &clock,
+            &format!("stop_and_wait/{pages}pp"),
+            10,
+            || receive_file(&mut e, 1, 2, 0x30, 0x31, &words).unwrap(),
+        ));
     }
-    group.bench_function("ping", |b| {
-        let mut e = fresh_ether();
-        b.iter(|| std::hint::black_box(ping(&mut e, 1, 2, 0o77, &[1, 2, 3]).unwrap()));
-    });
-    group.finish();
+    let (clock, mut e) = fresh_ether();
+    rows.push(measure(&clock, "ping", 20, || {
+        ping(&mut e, 1, 2, 0o77, &[1, 2, 3]).unwrap()
+    }));
+    print_table("net_transfer", &rows);
 }
-
-criterion_group!(benches, bench_codec, bench_transfer);
-criterion_main!(benches);

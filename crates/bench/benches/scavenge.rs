@@ -1,57 +1,84 @@
-//! E2 — the Scavenger over disks at several utilizations.
+//! E2 — the Scavenger over disks at several utilizations, in simulated
+//! time, plus the batched-vs-single-op label sweep the scheduler speeds up.
 
 use alto_bench::filled_fs;
+use alto_bench::harness::{measure, print_table, speedup};
+use alto_disk::{BatchRequest, Disk, DiskAddress, SectorBuf, SectorOp};
 use alto_fs::Scavenger;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_scavenge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_scavenge");
-    group.sample_size(10);
+fn main() {
+    let mut rows = Vec::new();
     for percent in [10u32, 50, 90] {
-        group.bench_with_input(
-            BenchmarkId::new("full_disk_scavenge", format!("{percent}pct")),
-            &percent,
-            |b, &percent| {
-                b.iter_batched(
-                    || filled_fs(percent, 42).crash(),
-                    |disk| {
-                        let (fs, report) = Scavenger::rebuild(disk).unwrap();
-                        std::hint::black_box((fs, report))
-                    },
-                    criterion::BatchSize::PerIteration,
-                );
+        let disk = filled_fs(percent, 42).crash();
+        let clock = disk.clock().clone();
+        let mut slot = Some(disk);
+        rows.push(measure(
+            &clock,
+            &format!("full_disk_scavenge/{percent}pct"),
+            1,
+            || {
+                let (fs, report) = Scavenger::rebuild(slot.take().unwrap()).unwrap();
+                let elapsed = report.elapsed;
+                slot = Some(fs.crash());
+                elapsed
             },
-        );
+        ));
     }
-    group.finish();
-}
 
-fn bench_scan_only(c: &mut Criterion) {
-    // The label-scan phase isolated: one READ_ALL per sector.
-    use alto_disk::{Disk, DiskAddress, SectorBuf, SectorOp};
-    let mut group = c.benchmark_group("e2_label_scan");
-    group.sample_size(20);
+    // The label-scan phase isolated: one chained batch per cylinder versus
+    // one separately issued READ_ALL per sector (the pre-scheduler path).
     let fs = filled_fs(50, 7);
     let mut disk = fs.unmount().unwrap();
-    let total = disk.geometry().unwrap().sector_count();
-    group.bench_function("scan_4872_labels", |b| {
-        b.iter(|| {
-            let mut live = 0u32;
-            for i in 0..total {
-                let mut buf = SectorBuf::zeroed();
-                if disk
-                    .do_op(DiskAddress(i as u16), SectorOp::READ_ALL, &mut buf)
-                    .is_ok()
-                    && buf.decoded_label().is_in_use()
-                {
+    let clock = disk.clock().clone();
+    let g = disk.geometry().unwrap();
+    let total = g.sector_count();
+    let per_cyl = (g.heads * g.sectors) as u32;
+
+    let batched = measure(&clock, "label_scan_batched", 2, || {
+        let mut live = 0u32;
+        let mut cyl_start = 0u32;
+        while cyl_start < total {
+            let end = (cyl_start + per_cyl).min(total);
+            let mut batch: Vec<BatchRequest> = (cyl_start..end)
+                .map(|i| {
+                    BatchRequest::new(
+                        DiskAddress(i as u16),
+                        SectorOp::READ_ALL,
+                        SectorBuf::zeroed(),
+                    )
+                })
+                .collect();
+            let results = disk.do_batch(&mut batch);
+            for (req, r) in batch.iter().zip(results) {
+                if r.is_ok() && req.buf.decoded_label().is_in_use() {
                     live += 1;
                 }
             }
-            std::hint::black_box(live)
-        });
+            cyl_start = end;
+        }
+        live
     });
-    group.finish();
+    let single = measure(&clock, "label_scan_one_op_at_a_time", 1, || {
+        let mut live = 0u32;
+        for i in 0..total {
+            let mut buf = SectorBuf::zeroed();
+            if disk
+                .do_op(DiskAddress(i as u16), SectorOp::READ_ALL, &mut buf)
+                .is_ok()
+                && buf.decoded_label().is_in_use()
+            {
+                live += 1;
+            }
+        }
+        live
+    });
+    let win = speedup(single.simulated, batched.simulated);
+    rows.push(batched);
+    rows.push(single);
+    print_table("e2_scavenge", &rows);
+    println!("label sweep: chained batches are {win:.1}x faster than single ops");
+    assert!(
+        win > 3.0,
+        "batched label sweep should win >3x, got {win:.1}x"
+    );
 }
-
-criterion_group!(benches, bench_scavenge, bench_scan_only);
-criterion_main!(benches);

@@ -1,58 +1,70 @@
-//! E3 — sequential reads over scattered vs compacted layouts, and the
-//! compactor itself.
+//! E3 — sequential reads over scattered vs compacted layouts, the
+//! compactor itself, and the PR 1 headline: a 100-page sequential read
+//! through the rotational-position-aware scheduler versus the same read
+//! with scheduling disabled (every sector op issued separately).
 
-use alto_bench::{consecutive_file, fresh_fs, scatter_file};
-use alto_disk::DiskModel;
+use alto_bench::harness::{measure, print_table, speedup};
+use alto_bench::{consecutive_file, fresh_fs};
+use alto_disk::{Disk, DiskModel, UnscheduledDisk};
 use alto_fs::compact::Compactor;
-use alto_fs::dir;
-use criterion::{criterion_group, criterion_main, Criterion};
+use alto_fs::{dir, FileSystem};
 
-fn bench_layouts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_seq_read");
-    group.sample_size(20);
+fn main() {
+    let mut rows = Vec::new();
 
     let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
     let f = consecutive_file(&mut fs, "doc.dat", 40);
-    group.bench_function("consecutive_40pp", |b| {
-        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
-    });
+    rows.push(measure(&clock, "consecutive_40pp", 10, || {
+        fs.read_file(f).unwrap()
+    }));
 
-    scatter_file(&mut fs, f, 99);
-    group.bench_function("scattered_40pp", |b| {
-        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
-    });
+    alto_bench::scatter_file(&mut fs, f, 99);
+    rows.push(measure(&clock, "scattered_40pp", 5, || {
+        fs.read_file(f).unwrap()
+    }));
 
     Compactor::run(&mut fs).unwrap();
     let root = fs.root_dir();
     let f = dir::lookup(&mut fs, root, "doc.dat").unwrap().unwrap();
-    group.bench_function("recompacted_40pp", |b| {
-        b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
-    });
-    group.finish();
-}
+    rows.push(measure(&clock, "recompacted_40pp", 10, || {
+        fs.read_file(f).unwrap()
+    }));
 
-fn bench_compactor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_compactor");
-    group.sample_size(10);
-    group.bench_function("compact_8_scattered_files", |b| {
-        b.iter_batched(
-            || {
-                let mut fs = fresh_fs(DiskModel::Diablo31);
-                for i in 0..8 {
-                    let f = consecutive_file(&mut fs, &format!("f{i}.dat"), 12);
-                    scatter_file(&mut fs, f, i as u64 + 1);
-                }
-                fs
-            },
-            |mut fs| {
-                let report = Compactor::run(&mut fs).unwrap();
-                std::hint::black_box(report)
-            },
-            criterion::BatchSize::PerIteration,
-        );
+    // The scheduler ablation: identical 100-page sequential file, read
+    // once through the batching scheduler and once with every sector op
+    // issued on its own (each separate command pays the issue overhead and
+    // misses the next slot — the pre-chaining Alto behaviour, §4).
+    let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
+    let f = consecutive_file(&mut fs, "big.dat", 100);
+    let scheduled = measure(&clock, "seq_read_100pp_scheduled", 10, || {
+        fs.read_file(f).unwrap()
     });
-    group.finish();
-}
+    let disk = fs.unmount().unwrap();
+    let mut fs = FileSystem::mount(UnscheduledDisk::new(disk)).unwrap();
+    let unscheduled = measure(&clock, "seq_read_100pp_unscheduled", 2, || {
+        fs.read_file(f).unwrap()
+    });
+    let win = speedup(unscheduled.simulated, scheduled.simulated);
+    rows.push(scheduled);
+    rows.push(unscheduled);
+    print_table("e3_seq_read", &rows);
+    println!("scheduler: 100-page sequential read is {win:.1}x faster scheduled");
+    assert!(
+        win >= 3.0,
+        "scheduled read must be >= 3x faster, got {win:.1}x"
+    );
 
-criterion_group!(benches, bench_layouts, bench_compactor);
-criterion_main!(benches);
+    // The compactor itself.
+    let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
+    for i in 0..8 {
+        let f = consecutive_file(&mut fs, &format!("f{i}.dat"), 12);
+        alto_bench::scatter_file(&mut fs, f, i as u64 + 1);
+    }
+    let row = measure(&clock, "compact_8_scattered_files", 1, || {
+        Compactor::run(&mut fs).unwrap()
+    });
+    print_table("e3_compactor", &[row]);
+}

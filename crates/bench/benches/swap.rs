@@ -1,10 +1,10 @@
 //! E6 — OutLoad/InLoad world swaps and the bootstrap.
 
-use alto_disk::{DiskDrive, DiskModel};
+use alto_bench::harness::{measure, print_table};
+use alto_disk::{Disk, DiskDrive, DiskModel};
 use alto_machine::Machine;
 use alto_os::{AltoOs, MESSAGE_WORDS};
 use alto_sim::{SimClock, Trace};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn fresh_os() -> AltoOs {
     let clock = SimClock::new();
@@ -13,46 +13,39 @@ fn fresh_os() -> AltoOs {
     AltoOs::install(machine, drive).unwrap()
 }
 
-fn bench_swap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_world_swap");
-    group.sample_size(10);
+fn main() {
     let mut os = fresh_os();
+    let clock = os.fs.disk().clock().clone();
     let file = os.create_state_file("Bench.state").unwrap();
+    let mut rows = Vec::new();
 
-    group.bench_function("out_load_64kw", |b| {
-        b.iter(|| std::hint::black_box(os.out_load(file).unwrap()));
-    });
-    group.bench_function("in_load_64kw", |b| {
-        b.iter(|| os.in_load(file, &[0; MESSAGE_WORDS]).unwrap());
-    });
-    group.bench_function("coroutine_round_trip", |b| {
-        let a = os.create_state_file("A.state").unwrap();
-        let bf = os.create_state_file("B.state").unwrap();
+    rows.push(measure(&clock, "out_load_64kw", 5, || {
+        os.out_load(file).unwrap()
+    }));
+    rows.push(measure(&clock, "in_load_64kw", 5, || {
+        os.in_load(file, &[0; MESSAGE_WORDS]).unwrap()
+    }));
+    let a = os.create_state_file("A.state").unwrap();
+    let bf = os.create_state_file("B.state").unwrap();
+    os.out_load(a).unwrap();
+    os.out_load(bf).unwrap();
+    rows.push(measure(&clock, "coroutine_round_trip", 5, || {
         os.out_load(a).unwrap();
+        os.in_load(bf, &[0; MESSAGE_WORDS]).unwrap();
         os.out_load(bf).unwrap();
-        b.iter(|| {
-            os.out_load(a).unwrap();
-            os.in_load(bf, &[0; MESSAGE_WORDS]).unwrap();
-            os.out_load(bf).unwrap();
-            os.in_load(a, &[0; MESSAGE_WORDS]).unwrap();
-        });
-    });
-    group.finish();
-}
+        os.in_load(a, &[0; MESSAGE_WORDS]).unwrap();
+    }));
+    print_table("e6_world_swap", &rows);
 
-fn bench_boot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_bootstrap");
-    group.sample_size(10);
     let mut os = fresh_os();
+    let clock = os.fs.disk().clock().clone();
     os.install_boot_file().unwrap();
-    group.bench_function("boot_button", |b| {
-        b.iter(|| os.bootstrap().unwrap());
-    });
-    group.bench_function("reinstall_boot_file", |b| {
-        b.iter(|| std::hint::black_box(os.install_boot_file().unwrap()));
-    });
-    group.finish();
+    let mut rows = Vec::new();
+    rows.push(measure(&clock, "boot_button", 5, || {
+        os.bootstrap().unwrap()
+    }));
+    rows.push(measure(&clock, "reinstall_boot_file", 5, || {
+        os.install_boot_file().unwrap()
+    }));
+    print_table("e6_bootstrap", &rows);
 }
-
-criterion_group!(benches, bench_swap, bench_boot);
-criterion_main!(benches);

@@ -1,40 +1,29 @@
-//! E1 — streaming transfer through the full stack (host-time bench of the
-//! same code path the experiments binary measures in simulated time).
+//! E1 — streaming transfer through the full stack, in simulated time.
 
+use alto_bench::harness::{measure, print_table};
 use alto_bench::{consecutive_file, fresh_fs};
-use alto_disk::DiskModel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use alto_disk::{Disk, DiskModel};
 
-fn bench_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_transfer");
-    group.sample_size(20);
+fn main() {
+    let mut rows = Vec::new();
     for model in [DiskModel::Diablo31, DiskModel::Trident] {
         let mut fs = fresh_fs(model);
+        let clock = fs.disk().clock().clone();
         let f = consecutive_file(&mut fs, "rate.dat", 128);
-        group.throughput(Throughput::Bytes(128 * 512));
-        group.bench_with_input(
-            BenchmarkId::new("read_64kw_file", model.name()),
-            &f,
-            |b, &f| {
-                b.iter(|| std::hint::black_box(fs.read_file(f).unwrap()));
-            },
-        );
+        rows.push(measure(
+            &clock,
+            &format!("read_64kw_file/{}", model.name()),
+            10,
+            || fs.read_file(f).unwrap(),
+        ));
     }
-    group.finish();
-}
 
-fn bench_write(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_write");
-    group.sample_size(20);
     let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
     let f = consecutive_file(&mut fs, "w.dat", 64);
     let bytes = vec![7u8; 64 * 512];
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("overwrite_in_place_64pp", |b| {
-        b.iter(|| fs.write_file(std::hint::black_box(f), &bytes).unwrap());
-    });
-    group.finish();
+    rows.push(measure(&clock, "overwrite_in_place_64pp", 10, || {
+        fs.write_file(f, &bytes).unwrap()
+    }));
+    print_table("e1_transfer", &rows);
 }
-
-criterion_group!(benches, bench_transfer, bench_write);
-criterion_main!(benches);

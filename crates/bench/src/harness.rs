@@ -1,0 +1,66 @@
+//! A minimal bench harness with no external dependencies.
+//!
+//! Every device in this repository charges its work to a deterministic
+//! [`SimClock`], so the number a bench should report is *simulated* time —
+//! it is exact, reproducible, and directly comparable to the paper's
+//! wall-clock claims. Host time is reported alongside as a sanity check on
+//! the simulator's own cost, but it is not the measurement.
+//!
+//! The benches are plain `fn main()` binaries (`harness = false`); run them
+//! with `cargo bench --workspace` as before.
+
+use std::time::Instant;
+
+use alto_sim::{SimClock, SimTime};
+
+/// One measured workload.
+pub struct Row {
+    /// Workload label.
+    pub label: String,
+    /// Iterations the closure ran.
+    pub iters: u32,
+    /// Simulated time per iteration.
+    pub simulated: SimTime,
+    /// Host microseconds per iteration (simulator cost, not the result).
+    pub host_micros: u128,
+}
+
+/// Runs `f` `iters` times and returns the per-iteration simulated time.
+pub fn measure<R>(clock: &SimClock, label: &str, iters: u32, mut f: impl FnMut() -> R) -> Row {
+    assert!(iters > 0);
+    let wall = Instant::now();
+    let t0 = clock.now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let sim_total = clock.now() - t0;
+    Row {
+        label: label.to_string(),
+        iters,
+        simulated: SimTime::from_nanos(sim_total.as_nanos() / iters as u64),
+        host_micros: wall.elapsed().as_micros() / iters as u128,
+    }
+}
+
+/// Prints a table of measurements.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title}");
+    println!(
+        "{:<36} {:>6} {:>16} {:>12}",
+        "workload", "iters", "simulated/iter", "host µs/iter"
+    );
+    for r in rows {
+        println!(
+            "{:<36} {:>6} {:>16} {:>12}",
+            r.label,
+            r.iters,
+            format!("{}", r.simulated),
+            r.host_micros
+        );
+    }
+}
+
+/// Ratio of two simulated times (`a / b`), for speedup lines.
+pub fn speedup(a: SimTime, b: SimTime) -> f64 {
+    a.as_nanos() as f64 / b.as_nanos().max(1) as f64
+}

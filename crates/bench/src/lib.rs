@@ -1,8 +1,11 @@
-//! Shared workload builders for the experiments and Criterion benches.
+//! Shared workload builders for the experiments and benches.
 //!
 //! Every experiment (E1–E10, see `DESIGN.md`) builds its workload through
-//! these helpers so the `experiments` binary and the Criterion benches
-//! measure exactly the same code paths.
+//! these helpers so the `experiments` binary and the benches measure
+//! exactly the same code paths. [`harness`] is the dependency-free bench
+//! harness: deterministic simulated time is the measurement.
+
+pub mod harness;
 
 use alto_disk::{DiskDrive, DiskModel};
 use alto_fs::names::FileFullName;

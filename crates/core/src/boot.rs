@@ -107,14 +107,39 @@ impl<D: Disk> AltoOs<D> {
         let fv = alto_fs::names::Fv::from_label(&label);
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
+        // Installs lay the state image out consecutively, so the boot
+        // loader makes the §3.6 guess: batch reads at next, next+1, … and
+        // let each sector's label check reject a wrong guess. The links in
+        // the captured labels steer recovery, so a scattered boot file
+        // still loads — it just pays a revolution per jump.
+        const BOOT_GUESS: u16 = 32;
         let mut next = label.next;
         let mut page_no = 1u16;
-        while !next.is_nil() {
-            page_no += 1;
-            let pn = PageName::new(fv, page_no, next);
-            let (label, data) = page::read_page(disk, pn)?;
-            bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
-            next = label.next;
+        'chain: while !next.is_nil() {
+            let first = next;
+            let results = page::read_pages_guessed(
+                disk,
+                fv,
+                PageName::new(fv, page_no + 1, first),
+                BOOT_GUESS,
+            )?;
+            for (j, res) in results.into_iter().enumerate() {
+                match res {
+                    Ok((label, data)) => {
+                        bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
+                        page_no += 1;
+                        next = label.next;
+                        let guessed = DiskAddress(first.0.wrapping_add(j as u16 + 1));
+                        if next.is_nil() || next != guessed {
+                            continue 'chain;
+                        }
+                    }
+                    // Entry 0's address came from a real link; its failure
+                    // is authoritative. Later entries were guesses.
+                    Err(e) if j == 0 => return Err(e.into()),
+                    Err(_) => continue 'chain,
+                }
+            }
         }
         let state = MachineState::decode(&bytes_to_words(&bytes))?;
         state.restore(&mut self.machine);

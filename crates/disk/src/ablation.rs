@@ -7,15 +7,22 @@
 //! the label discipline: wild writes land, stale hints overwrite live
 //! data, and the Scavenger has less truth to rebuild from.
 //!
-//! (It is also, incidentally, a demonstration of the openness thesis: the
+//! [`UnscheduledDisk`] is the second ablation, for the performance half of
+//! the story: it forwards every operation unchanged but never chains —
+//! each request in a batch is issued as a separate command, paying its own
+//! set-up time and rotational latency. Benches mount a file system on it
+//! to measure exactly what the [`crate::sched`] machinery buys.
+//!
+//! (Both are, incidentally, demonstrations of the openness thesis: the
 //! disk object is an ordinary abstract object a user can wrap, even to
-//! remove the safety the system was designed around.)
+//! remove the safety — or the speed — the system was designed around.)
 
 use alto_sim::{SimClock, Trace};
 
 use crate::drive::Disk;
 use crate::errors::DiskError;
 use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::sched::BatchRequest;
 use crate::sector::{Action, SectorBuf, SectorOp};
 
 /// Wraps a disk, downgrading every check action to a read.
@@ -44,6 +51,35 @@ impl<D: Disk> UncheckedDisk<D> {
     pub fn inner(&self) -> &D {
         &self.inner
     }
+
+    /// Downgrades every check in `op`, then legalizes the result (a
+    /// stripped check preceding a write becomes a write-through).
+    fn strip_op(&mut self, op: SectorOp) -> SectorOp {
+        let stripped = SectorOp {
+            header: strip(op.header, &mut self.checks_elided),
+            label: strip(op.label, &mut self.checks_elided),
+            value: strip(op.value, &mut self.checks_elided),
+        };
+        // Read-before-write is not a legal hardware sequence; a stripped
+        // check preceding a write becomes a write-through (the caller's
+        // buffer wins — which is precisely the unsafety being modelled).
+        match stripped.validate() {
+            Ok(()) => stripped,
+            Err(_) => SectorOp {
+                header: if stripped.header == Action::Read && op_writes_after(stripped, 0) {
+                    Action::Write
+                } else {
+                    stripped.header
+                },
+                label: if stripped.label == Action::Read && op_writes_after(stripped, 1) {
+                    Action::Write
+                } else {
+                    stripped.label
+                },
+                value: stripped.value,
+            },
+        }
+    }
 }
 
 fn strip(action: Action, count: &mut u64) -> Action {
@@ -71,31 +107,97 @@ impl<D: Disk> Disk for UncheckedDisk<D> {
         op: SectorOp,
         buf: &mut SectorBuf,
     ) -> Result<(), DiskError> {
-        let stripped = SectorOp {
-            header: strip(op.header, &mut self.checks_elided),
-            label: strip(op.label, &mut self.checks_elided),
-            value: strip(op.value, &mut self.checks_elided),
-        };
-        // Read-before-write is not a legal hardware sequence; a stripped
-        // check preceding a write becomes a write-through (the caller's
-        // buffer wins — which is precisely the unsafety being modelled).
-        let stripped = match stripped.validate() {
-            Ok(()) => stripped,
-            Err(_) => SectorOp {
-                header: if stripped.header == Action::Read && op_writes_after(stripped, 0) {
-                    Action::Write
-                } else {
-                    stripped.header
-                },
-                label: if stripped.label == Action::Read && op_writes_after(stripped, 1) {
-                    Action::Write
-                } else {
-                    stripped.label
-                },
-                value: stripped.value,
-            },
-        };
+        let stripped = self.strip_op(op);
         self.inner.do_op(da, stripped, buf)
+    }
+
+    fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
+        // Strip each request, then let the inner disk schedule the chain.
+        for req in batch.iter_mut() {
+            req.op = self.strip_op(req.op);
+        }
+        self.inner.do_batch(batch)
+    }
+
+    fn note_readahead(&mut self, hits: u64, prefetched: u64) {
+        self.inner.note_readahead(hits, prefetched);
+    }
+
+    fn write_epoch(&self) -> u64 {
+        self.inner.write_epoch()
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.inner.clock()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.inner.trace()
+    }
+}
+
+/// Wraps a disk, forwarding operations unchanged but never chaining:
+/// every request in a batch is issued as its own command.
+///
+/// This is the scheduler's ablation twin. A file system mounted on an
+/// `UnscheduledDisk` runs the identical code paths — same checks, same
+/// sectors, same order of page-level logic — but every batched transfer
+/// decays to the one-command-at-a-time pattern that misses the next
+/// sector and waits out a revolution per page.
+#[derive(Debug)]
+pub struct UnscheduledDisk<D: Disk> {
+    inner: D,
+}
+
+impl<D: Disk> UnscheduledDisk<D> {
+    /// Wraps `inner`.
+    pub fn new(inner: D) -> UnscheduledDisk<D> {
+        UnscheduledDisk { inner }
+    }
+
+    /// The wrapped disk.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// The wrapped disk, borrowed.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped disk, borrowed mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+}
+
+impl<D: Disk> Disk for UnscheduledDisk<D> {
+    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
+        self.inner.geometry()
+    }
+
+    fn pack_number(&self) -> Result<u16, DiskError> {
+        self.inner.pack_number()
+    }
+
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError> {
+        self.inner.do_op(da, op, buf)
+    }
+
+    // No `do_batch` override: the trait's default issues the requests one
+    // at a time through `do_op`, each paying its own command set-up.
+
+    fn note_readahead(&mut self, hits: u64, prefetched: u64) {
+        self.inner.note_readahead(hits, prefetched);
+    }
+
+    fn write_epoch(&self) -> u64 {
+        self.inner.write_epoch()
     }
 
     fn clock(&self) -> &SimClock {

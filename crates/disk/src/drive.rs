@@ -16,6 +16,7 @@ use crate::errors::{DiskError, SectorPart};
 use crate::geometry::{DiskAddress, DiskGeometry};
 use crate::inject::FaultInjector;
 use crate::pack::DiskPack;
+use crate::sched::{self, BatchRequest};
 use crate::sector::{apply, Action, SectorBuf, SectorOp};
 use crate::timing::TimingModel;
 
@@ -37,6 +38,38 @@ pub trait Disk {
         op: SectorOp,
         buf: &mut SectorBuf,
     ) -> Result<(), DiskError>;
+
+    /// Performs a batch of sector operations, returning one result per
+    /// request in the batch's original order.
+    ///
+    /// Implementations are free to service the batch in any order and to
+    /// chain transfers (§4), but every request keeps the full per-sector
+    /// check semantics of [`Disk::do_op`] — see [`crate::sched`]. The
+    /// default just issues the requests one at a time.
+    fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
+        batch
+            .iter_mut()
+            .map(|r| {
+                let op = r.op;
+                let da = r.da;
+                self.do_op(da, op, &mut r.buf)
+            })
+            .collect()
+    }
+
+    /// Records that `hits` pages were served from a readahead buffer above
+    /// this disk, out of `prefetched` newly prefetched pages. Purely
+    /// statistical; the default ignores it.
+    fn note_readahead(&mut self, _hits: u64, _prefetched: u64) {}
+
+    /// A value that changes whenever any write action reaches the medium.
+    /// Caching layers (stream readahead) compare epochs to notice writes
+    /// that bypassed them and drop their copies. The default — a constant —
+    /// is only suitable for disks that are never written behind a cache's
+    /// back.
+    fn write_epoch(&self) -> u64 {
+        0
+    }
 
     /// The clock this disk charges time to.
     fn clock(&self) -> &SimClock;
@@ -66,12 +99,25 @@ pub struct DriveStats {
     pub rotational_wait: SimTime,
     /// Total time spent transferring sectors under the head.
     pub transfer_time: SimTime,
+    /// Total command set-up / interrupt-service time charged.
+    pub command_time: SimTime,
+    /// Batches submitted through [`Disk::do_batch`].
+    pub batches: u64,
+    /// Sector operations that arrived inside a batch.
+    pub batched_ops: u64,
+    /// Transfers that followed their predecessor with no seek and no
+    /// rotational wait (the §4 "consecutive sectors" case).
+    pub chained_transfers: u64,
+    /// Pages served from a stream readahead buffer instead of the platter.
+    pub readahead_hits: u64,
+    /// Pages prefetched into stream readahead buffers.
+    pub readahead_prefetched: u64,
 }
 
 impl DriveStats {
     /// Total disk-busy time accounted so far.
     pub fn busy_time(&self) -> SimTime {
-        self.seek_time + self.rotational_wait + self.transfer_time
+        self.seek_time + self.rotational_wait + self.transfer_time + self.command_time
     }
 }
 
@@ -166,23 +212,45 @@ impl DiskDrive {
     pub fn current_cylinder(&self) -> u16 {
         self.pack.as_ref().map_or(0, |l| l.cylinder)
     }
-}
 
-impl Disk for DiskDrive {
-    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
-        Ok(self.pack.as_ref().ok_or(DiskError::NoPack)?.pack.geometry())
+    /// Validates an operation without charging any time.
+    fn precheck(&self, da: DiskAddress, op: SectorOp) -> Result<(), DiskError> {
+        op.validate()?;
+        let loaded = self.pack.as_ref().ok_or(DiskError::NoPack)?;
+        if !loaded.pack.geometry().contains(da) {
+            return Err(DiskError::InvalidAddress(da));
+        }
+        Ok(())
     }
 
-    fn pack_number(&self) -> Result<u16, DiskError> {
-        Ok(self
+    /// Charges one command set-up (issued once per [`Disk::do_op`] call and
+    /// once per batch — which is the entire point of batching, §4).
+    fn charge_command(&mut self) {
+        let overhead = self
             .pack
             .as_ref()
-            .ok_or(DiskError::NoPack)?
-            .pack
-            .pack_number())
+            .expect("prechecked: pack is loaded")
+            .timing
+            .command_overhead;
+        self.clock.advance(overhead);
+        self.stats.command_time += overhead;
     }
 
-    fn do_op(
+    /// Emits the `disk.chain` trace for a finished chained run, if any.
+    /// `followers` counts the transfers that chained onto the run's head.
+    fn flush_chain(&mut self, followers: u64) {
+        if followers >= 1 {
+            self.trace.record(
+                self.clock.now(),
+                "disk.chain",
+                format!("{}-sector chained transfer", followers + 1),
+            );
+        }
+    }
+
+    /// Services one already-prechecked operation: seek, rotational wait,
+    /// transfer, check semantics. Does *not* charge command set-up.
+    fn service(
         &mut self,
         da: DiskAddress,
         op: SectorOp,
@@ -293,6 +361,111 @@ impl Disk for DiskDrive {
         }
         result
     }
+}
+
+impl Disk for DiskDrive {
+    fn geometry(&self) -> Result<DiskGeometry, DiskError> {
+        Ok(self.pack.as_ref().ok_or(DiskError::NoPack)?.pack.geometry())
+    }
+
+    // Counted when the write is *attempted* (before the check), so even an
+    // aborted write invalidates caches — the safe direction.
+    fn write_epoch(&self) -> u64 {
+        self.stats.write_ops
+    }
+
+    fn pack_number(&self) -> Result<u16, DiskError> {
+        Ok(self
+            .pack
+            .as_ref()
+            .ok_or(DiskError::NoPack)?
+            .pack
+            .pack_number())
+    }
+
+    fn do_op(
+        &mut self,
+        da: DiskAddress,
+        op: SectorOp,
+        buf: &mut SectorBuf,
+    ) -> Result<(), DiskError> {
+        self.precheck(da, op)?;
+        self.charge_command();
+        self.service(da, op, buf)
+    }
+
+    fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
+        let mut results: Vec<Result<(), DiskError>> = batch.iter().map(|_| Ok(())).collect();
+        // Malformed requests are rejected up front and never scheduled.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            match self.precheck(req.da, req.op) {
+                Ok(()) => pending.push(i),
+                Err(e) => results[i] = Err(e),
+            }
+        }
+        if pending.is_empty() {
+            return results;
+        }
+        let loaded = self.pack.as_ref().expect("prechecked: pack is loaded");
+        let geometry = loaded.pack.geometry();
+        let timing = loaded.timing;
+
+        // One command set-up covers the whole chain (§4).
+        self.charge_command();
+        self.stats.batches += 1;
+        self.stats.batched_ops += pending.len() as u64;
+        self.trace.record(
+            self.clock.now(),
+            "disk.batch",
+            format!("{} requests", pending.len()),
+        );
+
+        // The schedule is computable up front: every serviced request costs
+        // seek + wait + one sector regardless of its check outcome.
+        let das: Vec<DiskAddress> = pending.iter().map(|&i| batch[i].da).collect();
+        let order = sched::plan(
+            geometry,
+            timing,
+            self.current_cylinder(),
+            self.clock.now(),
+            &das,
+        );
+
+        let mut followers = 0u64;
+        for (k, &j) in order.iter().enumerate() {
+            let i = pending[j];
+            let seeks_before = self.stats.seeks;
+            let wait_before = self.stats.rotational_wait;
+            let req = &mut batch[i];
+            let (da, op) = (req.da, req.op);
+            results[i] = self.service(da, op, &mut req.buf);
+            let chained = k > 0
+                && self.stats.seeks == seeks_before
+                && self.stats.rotational_wait == wait_before;
+            if chained {
+                followers += 1;
+                self.stats.chained_transfers += 1;
+            } else {
+                self.flush_chain(followers);
+                followers = 0;
+            }
+        }
+        self.flush_chain(followers);
+        results
+    }
+
+    fn note_readahead(&mut self, hits: u64, prefetched: u64) {
+        self.stats.readahead_hits += hits;
+        self.stats.readahead_prefetched += prefetched;
+        if hits > 0 {
+            self.trace.record(
+                self.clock.now(),
+                "disk.readahead_hit",
+                format!("{hits} page(s) served from readahead"),
+            );
+        }
+    }
 
     fn clock(&self) -> &SimClock {
         &self.clock
@@ -372,17 +545,20 @@ mod tests {
     fn allocation_costs_about_a_revolution() {
         // §3.3: "This scheme costs a disk revolution each time a page is
         // allocated or freed." The check pass and the label-write pass visit
-        // the same sector, so the second pass waits a full revolution minus
-        // one sector time, plus the transfer.
+        // the same sector, so the write pass — command set-up, then waiting
+        // for the just-passed sector to come around again, then the
+        // transfer — costs exactly one revolution on top of the check.
         let mut d = drive();
         let rev = d.timing().unwrap().revolution();
-        let start = d.clock().now();
-        allocate(&mut d, DiskAddress(0), live_label(0));
-        let elapsed = d.clock().now() - start;
-        // First pass: no seek, slot 0 at time 0, one sector time. Second
-        // pass: wait rev - sector, transfer sector. Total = rev + sector.
-        let sector = d.timing().unwrap().sector_time;
-        assert_eq!(elapsed, rev + sector);
+        let mut buf = SectorBuf::with_label(Label::FREE);
+        d.do_op(DiskAddress(0), SectorOp::CHECK_LABEL, &mut buf)
+            .unwrap();
+        let after_check = d.clock().now();
+        let mut buf = SectorBuf::with_label(live_label(0));
+        buf.data = [7; crate::sector::DATA_WORDS];
+        d.do_op(DiskAddress(0), SectorOp::WRITE_LABEL, &mut buf)
+            .unwrap();
+        assert_eq!(d.clock().now() - after_check, rev);
     }
 
     #[test]
@@ -413,7 +589,48 @@ mod tests {
             allocate(&mut d, DiskAddress(i), live_label(i));
         }
         d.reset_stats();
-        // Wait for slot 0 and stream the track.
+        // Align to the slot-0 boundary and stream the track as one batch.
+        let t = d.timing().unwrap();
+        let wait = t.rotational_wait(d.clock().now(), 0);
+        d.clock().advance(wait);
+        let start = d.clock().now();
+        let mut batch: Vec<crate::sched::BatchRequest> = (0..12u16)
+            .map(|i| {
+                crate::sched::BatchRequest::new(
+                    DiskAddress(i),
+                    SectorOp::READ,
+                    SectorBuf::with_label(live_label(i)),
+                )
+            })
+            .collect();
+        for r in d.do_batch(&mut batch) {
+            r.unwrap();
+        }
+        let elapsed = d.clock().now() - start;
+        // Command set-up eats into slot 0, so the chain starts at slot 1
+        // and wraps: one sector of alignment plus one revolution, with 11
+        // of the 12 transfers chained at full disk rate.
+        assert_eq!(elapsed, t.revolution() + t.sector_time);
+        assert_eq!(d.stats().chained_transfers, 11);
+        assert_eq!(d.stats().batches, 1);
+        assert_eq!(d.stats().batched_ops, 12);
+        // The only rotational loss is the initial alignment to slot 1.
+        assert_eq!(
+            d.stats().rotational_wait,
+            t.sector_time - t.command_overhead
+        );
+    }
+
+    #[test]
+    fn issued_one_at_a_time_consecutive_sectors_lose_a_revolution_each() {
+        // The ablation the batch path is measured against: each separately
+        // issued command pays its own set-up, misses the next slot, and
+        // waits out almost a full revolution (§4's motivation for command
+        // chaining).
+        let mut d = drive();
+        for i in 0..12u16 {
+            allocate(&mut d, DiskAddress(i), live_label(i));
+        }
         let t = d.timing().unwrap();
         let wait = t.rotational_wait(d.clock().now(), 0);
         d.clock().advance(wait);
@@ -423,8 +640,46 @@ mod tests {
             d.do_op(DiskAddress(i), SectorOp::READ, &mut buf).unwrap();
         }
         let elapsed = d.clock().now() - start;
-        assert_eq!(elapsed, t.revolution());
-        assert_eq!(d.stats().rotational_wait, SimTime::ZERO);
+        // First op: overhead + (rev - overhead) wait + sector. Each later
+        // op likewise lands just after its slot: rev + sector per sector.
+        assert_eq!(elapsed, (t.revolution() + t.sector_time).scaled(12));
+    }
+
+    #[test]
+    fn chained_write_still_aborts_on_label_mismatch() {
+        // The chaining invariant: batching changes when sectors transfer,
+        // never whether their checks run. A wild write in the middle of a
+        // chain bounces off the label check; its neighbours proceed.
+        let mut d = drive();
+        for i in 0..3u16 {
+            allocate(&mut d, DiskAddress(i), live_label(i));
+        }
+        let mut batch = Vec::new();
+        for i in 0..3u16 {
+            // Request 1 carries the wrong label (page number off by ten).
+            let claimed = if i == 1 {
+                live_label(11)
+            } else {
+                live_label(i)
+            };
+            let mut buf = SectorBuf::with_label(claimed);
+            buf.data = [0xBEEF; crate::sector::DATA_WORDS];
+            batch.push(crate::sched::BatchRequest::new(
+                DiskAddress(i),
+                SectorOp::WRITE,
+                buf,
+            ));
+        }
+        let results = d.do_batch(&mut batch);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DiskError::Check(_))));
+        assert!(results[2].is_ok());
+        assert_eq!(d.stats().failed_checks, 1);
+        // Sector 1's data survived untouched; its neighbours were written.
+        let pack = d.pack().unwrap();
+        assert_eq!(pack.sector(DiskAddress(0)).unwrap().data[0], 0xBEEF);
+        assert_eq!(pack.sector(DiskAddress(1)).unwrap().data[0], 7);
+        assert_eq!(pack.sector(DiskAddress(2)).unwrap().data[0], 0xBEEF);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use alto_sim::{SimClock, Trace};
 use crate::drive::{Disk, DiskDrive};
 use crate::errors::DiskError;
 use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::sched::BatchRequest;
 use crate::sector::{SectorBuf, SectorOp};
 
 /// Two drives presented as one disk with twice the sectors.
@@ -122,6 +123,65 @@ impl Disk for DualDrive {
             buf.header[1] = da.0;
         }
         result
+    }
+
+    fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
+        // Split the batch by unit so each drive schedules (and chains) its
+        // own share; addresses and headers are translated exactly as in
+        // `do_op`, and results land back in the batch's original order.
+        let mut results: Vec<Result<(), DiskError>> = batch.iter().map(|_| Ok(())).collect();
+        let pack0 = self.drives[0].pack_number().ok();
+        for unit in 0..2 {
+            let pack_unit = self.drives[unit].pack_number().ok();
+            let mut idxs: Vec<usize> = Vec::new();
+            let mut sub: Vec<BatchRequest> = Vec::new();
+            for (i, req) in batch.iter_mut().enumerate() {
+                let da = req.da;
+                if da.is_nil() || (da.0 as u32) >= self.per_drive * 2 {
+                    if unit == 0 {
+                        results[i] = Err(DiskError::InvalidAddress(da));
+                    }
+                    continue;
+                }
+                let (u, local) = self.route(da);
+                if u != unit {
+                    continue;
+                }
+                let mut buf = std::mem::take(&mut req.buf);
+                if let (Some(p0), Some(pu)) = (pack0, pack_unit) {
+                    if buf.header[0] == p0 {
+                        buf.header[0] = pu;
+                    }
+                }
+                if buf.header[1] == da.0 && da.0 != 0 {
+                    buf.header[1] = local.0;
+                }
+                idxs.push(i);
+                sub.push(BatchRequest::new(local, req.op, buf));
+            }
+            if sub.is_empty() {
+                continue;
+            }
+            let sub_results = self.drives[unit].do_batch(&mut sub);
+            for ((i, mut done), res) in idxs.into_iter().zip(sub).zip(sub_results) {
+                let da = batch[i].da;
+                let (_, local) = self.route(da);
+                if res.is_ok() && done.buf.header[1] == local.0 {
+                    done.buf.header[1] = da.0;
+                }
+                batch[i].buf = done.buf;
+                results[i] = res;
+            }
+        }
+        results
+    }
+
+    fn note_readahead(&mut self, hits: u64, prefetched: u64) {
+        self.drives[0].note_readahead(hits, prefetched);
+    }
+
+    fn write_epoch(&self) -> u64 {
+        self.drives[0].write_epoch() + self.drives[1].write_epoch()
     }
 
     fn clock(&self) -> &SimClock {

@@ -15,12 +15,24 @@
 //!   that is replaced by the disk word, making check a simple pattern match
 //!   (§3.3).
 //!
-//! Every operation charges seek time, rotational latency and transfer time
-//! to a shared [`alto_sim::SimClock`], using published Diablo Model 31
-//! parameters (40 ms/revolution, 12 sectors/track, 203 cylinders × 2 heads —
-//! 2.5 MB per pack, ≈76.8 K words/s streaming). The one-revolution cost of
-//! the label discipline on page allocate/free (§3.3) falls out of the timing
-//! model rather than being hard-coded.
+//! Every operation charges seek time, rotational latency, transfer time and
+//! a per-command set-up overhead to a shared [`alto_sim::SimClock`], using
+//! published Diablo Model 31 parameters (40 ms/revolution, 12 sectors/track,
+//! 203 cylinders × 2 heads — 2.5 MB per pack, ≈76.8 K words/s streaming).
+//! The one-revolution cost of the label discipline on page allocate/free
+//! (§3.3) falls out of the timing model rather than being hard-coded.
+//!
+//! Because a separately issued command always misses the next sector slot,
+//! sequential transfers must be **chained**: [`Disk::do_batch`] takes a
+//! whole batch of sector requests, pays the command set-up once, and the
+//! [`sched`] module orders the batch by cylinder (elevator) and rotational
+//! slot so consecutive sectors of a track stream in a single revolution —
+//! the §4 controller design, recovered in simulation. Chaining never
+//! weakens the label discipline: each request in a batch keeps the full
+//! check-before-write semantics, and a chained write whose check fails
+//! aborts that sector alone (see [`sched`] for the invariant and a worked
+//! example). [`ablation::UnscheduledDisk`] is the scheduler's ablation
+//! twin for measuring exactly what chaining buys.
 //!
 //! Packs are removable and serializable ([`DiskPack::to_image`]), so file
 //! systems survive across simulated machines — the openness property the
@@ -35,10 +47,11 @@ pub mod geometry;
 pub mod inject;
 pub mod label;
 pub mod pack;
+pub mod sched;
 pub mod sector;
 pub mod timing;
 
-pub use ablation::UncheckedDisk;
+pub use ablation::{UncheckedDisk, UnscheduledDisk};
 pub use drive::{Disk, DiskDrive, DriveStats};
 pub use dual::DualDrive;
 pub use errors::{CheckFailure, DiskError, SectorPart};
@@ -46,5 +59,6 @@ pub use geometry::{DiskAddress, DiskGeometry, DiskModel};
 pub use inject::{FaultInjector, FaultKind};
 pub use label::{Label, LABEL_WORDS};
 pub use pack::{DiskPack, PackImageError};
+pub use sched::BatchRequest;
 pub use sector::{Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
 pub use timing::TimingModel;

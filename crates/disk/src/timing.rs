@@ -9,8 +9,17 @@
 //! pure function of the simulated time: sector slot `k` is under the heads
 //! during `[k·Tₛ, (k+1)·Tₛ)` modulo the revolution. A transfer must begin
 //! exactly at a slot boundary; the drive waits for the target slot, then
-//! spends one sector time on the transfer. Consecutive sectors on a track
-//! therefore stream with no rotational loss.
+//! spends one sector time on the transfer.
+//!
+//! Issuing a command is not free: each *separately issued* operation pays
+//! [`TimingModel::command_overhead`] — the software's interrupt service and
+//! command set-up time. Since a transfer ends exactly at a slot boundary,
+//! any positive overhead means a separately issued follow-up *misses* the
+//! next sector and waits almost a full revolution — which is why the paper's
+//! disk controller "is designed so that the software can chain commands fast
+//! enough to transfer consecutive sectors" (§4). Chained batches submitted
+//! through [`crate::Disk::do_batch`] pay the overhead once and then stream:
+//! consecutive sectors on a track complete with no rotational loss.
 
 use alto_sim::SimTime;
 
@@ -29,6 +38,9 @@ pub struct TimingModel {
     pub seek_max: SimTime,
     /// Number of cylinders (for the full stroke).
     pub cylinders: u16,
+    /// Software turnaround charged per separately issued command (interrupt
+    /// service + command set-up). A chained batch pays it once.
+    pub command_overhead: SimTime,
 }
 
 impl TimingModel {
@@ -43,6 +55,7 @@ impl TimingModel {
                 seek_min: SimTime::from_millis(15),
                 seek_max: SimTime::from_millis(135),
                 cylinders: 203,
+                command_overhead: SimTime::from_micros(500),
             },
             // Diablo 44: same transfer rate, twice the cylinders.
             DiskModel::Diablo44 => TimingModel {
@@ -51,6 +64,7 @@ impl TimingModel {
                 seek_min: SimTime::from_millis(15),
                 seek_max: SimTime::from_millis(135),
                 cylinders: 406,
+                command_overhead: SimTime::from_micros(500),
             },
             // Trident: twice the sectors per revolution at the same spin
             // rate — twice the streaming rate — and a faster actuator.
@@ -60,6 +74,7 @@ impl TimingModel {
                 seek_min: SimTime::from_millis(10),
                 seek_max: SimTime::from_millis(100),
                 cylinders: 203,
+                command_overhead: SimTime::from_micros(250),
             },
         }
     }

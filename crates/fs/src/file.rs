@@ -29,6 +29,11 @@ use crate::page;
 /// Bytes per page.
 pub const PAGE_BYTES: usize = DATA_WORDS * 2;
 
+/// Pages per chained batch on the consecutive fast paths. One Diablo
+/// cylinder holds 24 sectors, so a window this size keeps the scheduler
+/// busy across a cylinder boundary without guessing far past a stale hint.
+const GUESS_WINDOW: u16 = 32;
+
 /// Counters for allocator behaviour (experiment E4 reports these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FsStats {
@@ -214,7 +219,8 @@ impl<D: Disk> FileSystem<D> {
         let payload = words_to_bytes(&self.desc.encode());
         // The descriptor's size is fixed, so this rewrites data pages in
         // place with ordinary writes (no allocation, no label rewrites).
-        self.overwrite_in_place(desc_name, &payload)
+        self.overwrite_in_place(desc_name, &payload)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -432,12 +438,15 @@ impl<D: Disk> FileSystem<D> {
     /// in place, extending or truncating as needed, and updating the
     /// leader's written date and last-page hints.
     pub fn write_file(&mut self, file: FileFullName, bytes: &[u8]) -> Result<(), FsError> {
-        self.overwrite_in_place(file, bytes)?;
+        let consecutive = self.overwrite_in_place(file, bytes)?;
         let mut leader = self.read_leader(file)?;
         leader.written = self.now();
         let (last_pn, _) = self.locate_last_page(file)?;
         leader.last_page = last_pn.page;
         leader.last_da = last_pn.da;
+        // The rewrite just walked every link: record whether guessed
+        // consecutive batches will pay off on this file from now on.
+        leader.maybe_consecutive = consecutive;
         self.write_leader(file, &leader)?;
         Ok(())
     }
@@ -530,15 +539,110 @@ impl<D: Disk> FileSystem<D> {
     /// Rewrites file contents page by page. Ordinary writes where the label
     /// (length, links) is unchanged; label rewrites only where the length
     /// or links change; allocation/free only where the page count changes.
-    fn overwrite_in_place(&mut self, file: FileFullName, bytes: &[u8]) -> Result<(), FsError> {
+    ///
+    /// Full pages along a consecutive chain go to the disk in chained
+    /// batches at guessed addresses (the §3.6 discipline: a wrong guess
+    /// fails its label check before anything is written); the last page,
+    /// length changes, extension and truncation take the per-page path.
+    ///
+    /// Returns true if the data pages it walked were (nearly) consecutive
+    /// on the disk — the caller records this in the leader so future reads
+    /// and rewrites know guessed batches are worth issuing.
+    fn overwrite_in_place(&mut self, file: FileFullName, bytes: &[u8]) -> Result<bool, FsError> {
         let new_pages = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
-        let (leader_label, _) = self.read_page(file.leader_page())?;
+        let (leader_label, leader_data) = self.read_page(file.leader_page())?;
+        let leader = LeaderPage::decode(&leader_data);
+        let mut n: u16 = 1;
         let mut prev_da = file.leader_da;
         let mut da = leader_label.next; // page 1's address
                                         // The previous iteration's final label and data, so extension can
                                         // fix the predecessor's next link without re-reading it.
         let mut prev_state: Option<(Label, [u16; DATA_WORDS])> = None;
-        for n in 1..=new_pages {
+        // Links that depart from address-consecutive (a handful is fine —
+        // the guessed batches just restart from the real link there).
+        let mut jumps: u32 = 0;
+
+        // Batched fast path. A zero serial low word would wildcard the
+        // label check and let a wrong guess through, so such files (and
+        // non-consecutive ones) take the per-page path below.
+        if leader.maybe_consecutive && file.fv.serial.words()[1] != 0 {
+            'batched: while n < new_pages && !da.is_nil() {
+                // Only full, already-existing pages belong in a batch:
+                // clamp to the page before the last new one and to the old
+                // file's tail hint.
+                let mut count = (new_pages - n).min(GUESS_WINDOW);
+                if leader.last_page >= n {
+                    count = count.min(leader.last_page - n + 1);
+                }
+                if count == 0 {
+                    break;
+                }
+                let mut chunks = Vec::with_capacity(count as usize);
+                for j in 0..count {
+                    let start = (n + j - 1) as usize * PAGE_BYTES;
+                    let mut data = [0u16; DATA_WORDS];
+                    pack_bytes(&bytes[start..start + PAGE_BYTES], &mut data);
+                    chunks.push(data);
+                }
+                let labels = page::write_pages_guessed(
+                    &mut self.disk,
+                    file.fv,
+                    PageName::new(file.fv, n, da),
+                    &chunks,
+                )?;
+                for (j, res) in labels.into_iter().enumerate() {
+                    let j = j as u16;
+                    let this_da = DiskAddress(da.0.wrapping_add(j));
+                    match res {
+                        Ok(captured) => {
+                            if captured.length as usize != PAGE_BYTES {
+                                // The old file's tail: the data landed but
+                                // the length must change. Redo this page on
+                                // the per-page path (idempotent write).
+                                n += j;
+                                da = this_da;
+                                prev_state = None;
+                                break 'batched;
+                            }
+                            if captured.next.is_nil() {
+                                // Old chain ends here; the rest extends.
+                                n += j + 1;
+                                prev_da = this_da;
+                                da = DiskAddress::NIL;
+                                prev_state = Some((captured, chunks[j as usize]));
+                                break 'batched;
+                            }
+                            let guessed = DiskAddress(this_da.0.wrapping_add(1));
+                            if captured.next != guessed || j + 1 == count {
+                                if captured.next != guessed {
+                                    jumps += 1;
+                                }
+                                n += j + 1;
+                                prev_da = this_da;
+                                da = captured.next;
+                                prev_state = Some((captured, chunks[j as usize]));
+                                continue 'batched;
+                            }
+                        }
+                        // Entry 0's address came from the real chain; later
+                        // entries only fail when the predecessor's link said
+                        // they were consecutive. Either way the per-page
+                        // path below reproduces the failure or the page.
+                        Err(_) => {
+                            n += j;
+                            da = this_da;
+                            prev_state = None;
+                            break 'batched;
+                        }
+                    }
+                }
+                // Unreachable (the last entry always diverts above), but
+                // guarantees forward progress.
+                break 'batched;
+            }
+        }
+
+        while n <= new_pages {
             let chunk_start = (n as usize - 1) * PAGE_BYTES;
             let chunk =
                 &bytes[chunk_start.min(bytes.len())..bytes.len().min(chunk_start + PAGE_BYTES)];
@@ -559,6 +663,9 @@ impl<D: Disk> FileSystem<D> {
                 };
                 let new_da =
                     self.allocate_page(Some(DiskAddress(prev_da.0.wrapping_add(1))), label, &data)?;
+                if n > 1 && new_da.0 != prev_da.0.wrapping_add(1) {
+                    jumps += 1;
+                }
                 // Fix the previous page's next link (a length change in the
                 // §3.3 sense: one revolution). The predecessor's contents
                 // are still in memory from the previous iteration.
@@ -581,6 +688,9 @@ impl<D: Disk> FileSystem<D> {
                 // §4.1) stream at full disk speed.
                 let current = self.write_page(pn, &data)?;
                 let next_after = current.next;
+                if !is_last && !next_after.is_nil() && next_after.0 != da.0.wrapping_add(1) {
+                    jumps += 1;
+                }
                 let mut final_label = current;
                 if current.length != new_len || (is_last && !current.next.is_nil()) {
                     // Length or links change: the §3.3 label rewrite, one
@@ -603,8 +713,9 @@ impl<D: Disk> FileSystem<D> {
                     self.free_chain(file.fv, n + 1, next_after)?;
                 }
             }
+            n += 1;
         }
-        Ok(())
+        Ok(jumps <= 1 + new_pages as u32 / 16)
     }
 
     /// Frees the chain of pages starting at `(fv, first_page)` @ `da`.
@@ -622,13 +733,79 @@ impl<D: Disk> FileSystem<D> {
 
 /// Reads a whole file through a bare disk (used by `mount`, before a
 /// `FileSystem` exists).
+///
+/// When the leader hints that the file may be consecutively laid out, the
+/// pages are fetched in chained batches at guessed consecutive addresses
+/// (§3.6); the labels returned by each batch steer the next one, and any
+/// wrong guess falls back to the one-page-at-a-time link chase.
 pub(crate) fn read_file_with<D: Disk>(
     disk: &mut D,
     file: FileFullName,
 ) -> Result<Vec<u8>, FsError> {
-    let (leader_label, _) = page::read_page(disk, file.leader_page())?;
+    let (leader_label, leader_data) = page::read_page(disk, file.leader_page())?;
+    let leader = LeaderPage::decode(&leader_data);
     let mut bytes = Vec::new();
     let mut pn = PageName::new(file.fv, 1, leader_label.next);
+
+    if leader.maybe_consecutive {
+        // Two batches in a row that only yield their first page mean the
+        // hint is a lie; stop wasting guesses and chase links instead.
+        let mut strikes = 0u8;
+        'batched: loop {
+            // Clamp the window with the leader's last-page hint so a batch
+            // does not guess far past the end of the file.
+            let count = if leader.last_page >= pn.page {
+                (leader.last_page - pn.page + 1).min(GUESS_WINDOW)
+            } else {
+                GUESS_WINDOW
+            };
+            let pages = page::read_pages_guessed(disk, file.fv, pn, count)?;
+            for (j, res) in pages.into_iter().enumerate() {
+                let j = j as u16;
+                match res {
+                    Ok((label, data)) => {
+                        if label.length as usize > PAGE_BYTES {
+                            return Err(FsError::BadLength(label.length));
+                        }
+                        bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
+                        if label.next.is_nil() {
+                            return Ok(bytes);
+                        }
+                        let guessed = DiskAddress(pn.da.0.wrapping_add(j + 1));
+                        if label.next != guessed || j + 1 == count {
+                            // The chain departs from the guesses (or the
+                            // window is spent): restart from the real link.
+                            pn = PageName::new(file.fv, pn.page + j + 1, label.next);
+                            if j == 0 && label.next != guessed {
+                                strikes += 1;
+                                if strikes >= 2 {
+                                    break 'batched;
+                                }
+                            } else {
+                                strikes = 0;
+                            }
+                            continue 'batched;
+                        }
+                    }
+                    // Entry 0 is the real chain address: its failure is the
+                    // file's failure. Later entries only fail here when the
+                    // predecessor's link *said* they were consecutive, so
+                    // re-issuing the read below reproduces the error.
+                    Err(e) if j == 0 => return Err(e),
+                    Err(_) => {
+                        pn = PageName::new(
+                            file.fv,
+                            pn.page + j,
+                            DiskAddress(pn.da.0.wrapping_add(j)),
+                        );
+                        break 'batched;
+                    }
+                }
+            }
+            break 'batched;
+        }
+    }
+
     loop {
         let (label, data) = page::read_page(disk, pn)?;
         if label.length as usize > PAGE_BYTES {

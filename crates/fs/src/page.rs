@@ -14,7 +14,8 @@
 //! cost, without weakening the §3.3 discipline.
 
 use alto_disk::{
-    CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp, SectorPart, DATA_WORDS,
+    BatchRequest, CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp,
+    SectorPart, DATA_WORDS,
 };
 
 use crate::errors::FsError;
@@ -91,6 +92,108 @@ pub fn read_raw<D: Disk>(
     let mut buf = SectorBuf::zeroed();
     disk.do_op(da, SectorOp::READ_ALL, &mut buf)?;
     Ok((buf.decoded_label(), buf.data))
+}
+
+/// One page's outcome within a batch: its verified label and data.
+pub type PageResult = Result<(Label, [u16; DATA_WORDS]), FsError>;
+
+/// Reads many raw sectors as one chained batch — the Scavenger's sweep
+/// primitive. Passing a whole cylinder's sectors lets the drive service
+/// them in rotational order, in about two revolutions instead of one
+/// revolution per sector.
+pub fn read_raw_batch<D: Disk>(disk: &mut D, das: &[DiskAddress]) -> Vec<PageResult> {
+    let mut batch: Vec<BatchRequest> = das
+        .iter()
+        .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed()))
+        .collect();
+    let results = disk.do_batch(&mut batch);
+    results
+        .into_iter()
+        .zip(batch)
+        .map(|(res, req)| {
+            res.map_err(FsError::from)
+                .map(|()| (req.buf.decoded_label(), req.buf.data))
+        })
+        .collect()
+}
+
+/// Reads pages `start.page ..` of one file as a chained batch, *guessing*
+/// that they sit at consecutive disk addresses after `start.da` (§3.6:
+/// transfers start with a guessed address; the label check catches a wrong
+/// guess before any harm is done). Entry 0 uses `start`'s own hint, so its
+/// failure is authoritative; later entries are pure guesses.
+///
+/// Returns one result per page, in page order, each carrying the verified
+/// label and data.
+pub fn read_pages_guessed<D: Disk>(
+    disk: &mut D,
+    fv: Fv,
+    start: PageName,
+    count: u16,
+) -> Result<Vec<PageResult>, FsError> {
+    let pack = disk.pack_number()?;
+    let mut batch = Vec::with_capacity(count as usize);
+    for j in 0..count {
+        let da = DiskAddress(start.da.0.wrapping_add(j));
+        let mut buf = SectorBuf::with_label(fv.check_label(start.page + j));
+        buf.header = [pack, da.0];
+        batch.push(BatchRequest::new(da, SectorOp::READ, buf));
+    }
+    let results = disk.do_batch(&mut batch);
+    Ok(results
+        .into_iter()
+        .zip(batch)
+        .enumerate()
+        .map(|(j, (res, req))| {
+            let da = DiskAddress(start.da.0.wrapping_add(j as u16));
+            res.map_err(FsError::from).and_then(|()| {
+                let label = req.buf.decoded_label();
+                verify_absolutes(da, fv, start.page + j as u16, &label)?;
+                Ok((label, req.buf.data))
+            })
+        })
+        .collect())
+}
+
+/// Writes full data pages `start.page ..` of one file as a chained batch
+/// at guessed consecutive addresses — the write-side twin of
+/// [`read_pages_guessed`]. Each request is an ordinary data write whose
+/// label check must pass before the value is touched, so a wrong guess
+/// writes nothing (§3.3). Returns each page's captured label.
+///
+/// The caller must ensure the check pattern has teeth: guessed writes are
+/// only safe when the file's serial low word is non-zero (a zero word is
+/// a check wildcard), which [`crate::descriptor`]'s serial assigner
+/// guarantees for ordinary files.
+pub fn write_pages_guessed<D: Disk>(
+    disk: &mut D,
+    fv: Fv,
+    start: PageName,
+    chunks: &[[u16; DATA_WORDS]],
+) -> Result<Vec<Result<Label, FsError>>, FsError> {
+    let pack = disk.pack_number()?;
+    let mut batch = Vec::with_capacity(chunks.len());
+    for (j, chunk) in chunks.iter().enumerate() {
+        let da = DiskAddress(start.da.0.wrapping_add(j as u16));
+        let mut buf = SectorBuf::with_label(fv.check_label(start.page + j as u16));
+        buf.header = [pack, da.0];
+        buf.data = *chunk;
+        batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
+    }
+    let results = disk.do_batch(&mut batch);
+    Ok(results
+        .into_iter()
+        .zip(batch)
+        .enumerate()
+        .map(|(j, (res, req))| {
+            let da = DiskAddress(start.da.0.wrapping_add(j as u16));
+            res.map_err(FsError::from).and_then(|()| {
+                let label = req.buf.decoded_label();
+                verify_absolutes(da, fv, start.page + j as u16, &label)?;
+                Ok(label)
+            })
+        })
+        .collect())
 }
 
 /// Allocates the free sector `da` as the page with `label`, writing `data`.

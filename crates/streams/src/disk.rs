@@ -9,11 +9,19 @@
 //! `position`/`set_position` are the paper's "non-standard operations"
 //! (§2): they are inherent methods, not part of the abstract [`Stream`]
 //! interface, and a program that uses them only works with disk streams.
+//!
+//! Sequential readers get **readahead**: when the stream crosses into the
+//! next page of a file whose leader hints at consecutive layout, it fetches
+//! a handful of following pages in one chained batch (§3.6 guessed
+//! transfers) and serves later crossings from memory. The buffered pages
+//! are guarded by the disk's [`Disk::write_epoch`] — any write to the
+//! medium, through this stream or behind its back, drops them — so a
+//! reader never observes stale prefetched data.
 
 use alto_disk::{Disk, DiskAddress, Label, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
 use alto_fs::names::FileFullName;
-use alto_fs::{FileSystem, FsError, PageName};
+use alto_fs::{FileSystem, FsError, LeaderPage, PageName};
 
 use crate::errors::StreamError;
 use crate::Stream;
@@ -60,13 +68,26 @@ pub struct DiskByteStream<D: Disk> {
     /// leader hints.
     resized: bool,
     closed: bool,
+    /// Leader hint: the file's pages may sit at consecutive addresses, so
+    /// guessed readahead batches are worth issuing.
+    consecutive_hint: bool,
+    /// Pages prefetched beyond the current one: `(page, da, label, data)`.
+    readahead: Vec<(u16, DiskAddress, Label, [u16; DATA_WORDS])>,
+    /// The disk's [`Disk::write_epoch`] when `readahead` was filled; any
+    /// change means a write reached the medium and the copies may be stale.
+    readahead_epoch: u64,
     _disk: std::marker::PhantomData<D>,
 }
+
+/// Pages fetched per readahead batch (the current page plus up to three
+/// prefetched followers).
+const READAHEAD_PAGES: u16 = 4;
 
 impl<D: Disk> DiskByteStream<D> {
     /// Opens a stream on `file`, positioned at byte 0.
     pub fn open(fs: &mut FileSystem<D>, file: FileFullName) -> Result<Self, StreamError> {
-        let (leader_label, _) = fs.read_page(file.leader_page())?;
+        let (leader_label, leader_data) = fs.read_page(file.leader_page())?;
+        let leader = LeaderPage::decode(&leader_data);
         let da = leader_label.next;
         let pn = PageName::new(file.fv, 1, da);
         let (label, buffer) = fs.read_page(pn)?;
@@ -81,6 +102,9 @@ impl<D: Disk> DiskByteStream<D> {
             label_changed: false,
             resized: false,
             closed: false,
+            consecutive_hint: leader.maybe_consecutive,
+            readahead: Vec::new(),
+            readahead_epoch: 0,
             _disk: std::marker::PhantomData,
         })
     }
@@ -181,6 +205,77 @@ impl<D: Disk> DiskByteStream<D> {
         Ok(())
     }
 
+    /// Moves to `(page, da)`, serving from the readahead buffer when it is
+    /// still fresh and refilling it with a chained guessed batch (§3.6)
+    /// when the leader hints the file is consecutively laid out.
+    fn advance_page(
+        &mut self,
+        fs: &mut FileSystem<D>,
+        page: u16,
+        da: DiskAddress,
+    ) -> Result<(), StreamError> {
+        // Any write to the medium since the prefetch — through this stream
+        // or behind its back — may have moved, freed or rewritten the
+        // buffered pages: drop them.
+        if fs.disk().write_epoch() != self.readahead_epoch {
+            self.readahead.clear();
+        }
+        if let Some(i) = self.readahead.iter().position(|e| e.0 == page && e.1 == da) {
+            let (p, d, label, buffer) = self.readahead.remove(i);
+            fs.disk_mut().note_readahead(1, 0);
+            self.page = p;
+            self.da = d;
+            self.label = label;
+            self.buffer = buffer;
+            self.offset = 0;
+            return Ok(());
+        }
+        self.readahead.clear();
+        if self.consecutive_hint {
+            if let Ok(mut entries) = alto_fs::page::read_pages_guessed(
+                fs.disk_mut(),
+                self.file.fv,
+                PageName::new(self.file.fv, page, da),
+                READAHEAD_PAGES,
+            ) {
+                let first = if entries.is_empty() {
+                    None
+                } else {
+                    Some(entries.remove(0))
+                };
+                if let Some(Ok((label, buffer))) = first {
+                    self.readahead_epoch = fs.disk().write_epoch();
+                    // Keep followers only while the verified links confirm
+                    // the guessed consecutive run.
+                    let mut expect_next = label.next;
+                    let mut prefetched = 0u64;
+                    for (j, entry) in entries.into_iter().enumerate() {
+                        let Ok((l, d)) = entry else { break };
+                        let guess = DiskAddress(da.0.wrapping_add(j as u16 + 1));
+                        if expect_next != guess {
+                            break;
+                        }
+                        self.readahead.push((page + j as u16 + 1, guess, l, d));
+                        prefetched += 1;
+                        expect_next = l.next;
+                    }
+                    if prefetched > 0 {
+                        fs.disk_mut().note_readahead(0, prefetched);
+                    }
+                    self.page = page;
+                    self.da = da;
+                    self.label = label;
+                    self.buffer = buffer;
+                    self.offset = 0;
+                    return Ok(());
+                }
+                // Entry 0 failed: the hint chain is authoritative there, so
+                // let the ordinary path (with its hint recovery) handle it.
+            }
+        }
+        self.load_page(fs, page, da)
+    }
+
     fn byte_at(&self, i: usize) -> u8 {
         let w = self.buffer[i / 2];
         if i.is_multiple_of(2) {
@@ -214,7 +309,7 @@ impl<D: Disk> DiskByteStream<D> {
             }
             self.flush(fs)?;
             let (next_page, next_da) = (self.page + 1, self.label.next);
-            self.load_page(fs, next_page, next_da)?;
+            self.advance_page(fs, next_page, next_da)?;
         }
     }
 
@@ -228,7 +323,7 @@ impl<D: Disk> DiskByteStream<D> {
             } else {
                 self.flush(fs)?;
                 let (next_page, next_da) = (self.page + 1, self.label.next);
-                self.load_page(fs, next_page, next_da)?;
+                self.advance_page(fs, next_page, next_da)?;
             }
         }
         self.set_byte(self.offset, b);
@@ -578,6 +673,94 @@ mod tests {
         assert_eq!(s.put_byte(&mut fs, 1), Err(StreamError::Closed));
         // Closing twice is fine.
         s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn sequential_read_uses_readahead() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "seq.dat");
+        let bytes: Vec<u8> = (0..2500u32).map(|i| (i % 241) as u8).collect();
+        fs.write_file(f, &bytes).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        let mut back = Vec::new();
+        loop {
+            match s.get_byte(&mut fs) {
+                Ok(b) => back.push(b),
+                Err(StreamError::EndOfStream) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(back, bytes);
+        // Five pages: the crossing into page 2 prefetches 3..5; the three
+        // later crossings are served from memory.
+        let stats = fs.disk().stats();
+        assert_eq!(stats.readahead_prefetched, 3);
+        assert_eq!(stats.readahead_hits, 3);
+    }
+
+    #[test]
+    fn readahead_is_dropped_when_the_file_is_rewritten() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "fresh.dat");
+        let old: Vec<u8> = vec![1; 2500];
+        let new: Vec<u8> = vec![2; 2500];
+        fs.write_file(f, &old).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        // Read pages 1-2 exactly; crossing into page 2 prefetched 3..5.
+        for _ in 0..1024 {
+            s.get_byte(&mut fs).unwrap();
+        }
+        // Rewrite the whole file behind the stream's back (same pages, same
+        // addresses — a cache keyed by address alone would go stale).
+        fs.write_file(f, &new).unwrap();
+        // Everything from the next page crossing on must be the new data.
+        for (i, &want) in new.iter().enumerate().skip(1024) {
+            assert_eq!(s.get_byte(&mut fs).unwrap(), want, "byte {i}");
+        }
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
+    }
+
+    #[test]
+    fn readahead_never_masks_a_truncation() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "trunc.dat");
+        fs.write_file(f, &vec![1u8; 2500]).unwrap(); // 5 pages
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..1024 {
+            s.get_byte(&mut fs).unwrap();
+        }
+        // Truncate to 3 pages of new data while pages 3..5 sit prefetched.
+        let new: Vec<u8> = vec![3u8; 1536];
+        fs.write_file(f, &new).unwrap();
+        // Page 3 must come back fresh — and the stream must end there, not
+        // run on through the stale (now freed) pages 4 and 5.
+        for (i, &want) in new.iter().enumerate().skip(1024) {
+            assert_eq!(s.get_byte(&mut fs).unwrap(), want, "byte {i}");
+        }
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
+    }
+
+    #[test]
+    fn interleaved_stream_writes_invalidate_readahead() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "mix.dat");
+        fs.write_file(f, &vec![0u8; 2500]).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..1024 {
+            s.get_byte(&mut fs).unwrap(); // prefetches pages 3..5
+        }
+        // Write one byte into page 4 through a second stream.
+        let mut w = DiskByteStream::open(&mut fs, f).unwrap();
+        w.set_position(&mut fs, 3 * 512 + 7).unwrap();
+        w.put_byte(&mut fs, 0xCC).unwrap();
+        w.close(&mut fs).unwrap();
+        // Keep reading sequentially: page 4 was prefetched *before* the
+        // write, so a cache that survived it would serve the old byte.
+        for i in 1024..2500 {
+            let expect = if i == 3 * 512 + 7 { 0xCC } else { 0 };
+            assert_eq!(s.get_byte(&mut fs).unwrap(), expect, "byte {i}");
+        }
+        assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Model-based testing: arbitrary operation sequences against a trivial
+//! Model-based testing: randomized operation sequences against a trivial
 //! in-memory model. After every operation — including crashes, scavenges
 //! and compactions — the file system must agree with the model exactly.
+//! Driven by the in-tree deterministic PRNG so the suite runs offline.
 
 use alto::prelude::*;
-use proptest::prelude::*;
+use alto::sim::SplitMix64;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -19,58 +20,58 @@ enum Op {
 
 const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..NAMES.len()).prop_map(Op::Create),
-        4 => ((0..NAMES.len()), proptest::collection::vec(any::<u8>(), 0..2000))
-            .prop_map(|(i, b)| Op::Write(i, b)),
-        2 => (0..NAMES.len()).prop_map(Op::Delete),
-        1 => ((0..NAMES.len()), (0..NAMES.len())).prop_map(|(a, b)| Op::Rename(a, b)),
-        1 => Just(Op::Scavenge),
-        1 => Just(Op::CrashAndScavenge),
-        1 => Just(Op::Compact),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    // Weights mirror the original strategy: 3 create, 4 write, 2 delete,
+    // 1 rename, 1 scavenge, 1 crash+scavenge, 1 compact (total 13).
+    match rng.next_below(13) {
+        0..=2 => Op::Create(rng.next_below(NAMES.len() as u64) as usize),
+        3..=6 => {
+            let i = rng.next_below(NAMES.len() as u64) as usize;
+            let len = rng.next_below(2000) as usize;
+            let bytes = (0..len).map(|_| rng.next_u16() as u8).collect();
+            Op::Write(i, bytes)
+        }
+        7..=8 => Op::Delete(rng.next_below(NAMES.len() as u64) as usize),
+        9 => Op::Rename(
+            rng.next_below(NAMES.len() as u64) as usize,
+            rng.next_below(NAMES.len() as u64) as usize,
+        ),
+        10 => Op::Scavenge,
+        11 => Op::CrashAndScavenge,
+        _ => Op::Compact,
+    }
 }
 
-fn check_agreement(
-    fs: &mut FileSystem<DiskDrive>,
-    model: &BTreeMap<String, Vec<u8>>,
-) -> Result<(), TestCaseError> {
+fn check_agreement(fs: &mut FileSystem<DiskDrive>, model: &BTreeMap<String, Vec<u8>>) {
     let root = fs.root_dir();
     for name in NAMES {
         let on_disk = dir::lookup(fs, root, name).unwrap();
         match model.get(name) {
             Some(want) => {
-                let f = on_disk.ok_or_else(|| {
-                    TestCaseError::fail(format!("{name} missing from the file system"))
-                })?;
+                let f = on_disk.unwrap_or_else(|| panic!("{name} missing from the file system"));
                 let got = fs.read_file(f).unwrap();
-                prop_assert_eq!(&got, want, "{} contents differ", name);
+                assert_eq!(&got, want, "{name} contents differ");
             }
             None => {
-                prop_assert!(on_disk.is_none(), "{} should not exist", name);
+                assert!(on_disk.is_none(), "{name} should not exist");
             }
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn file_system_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+#[test]
+fn file_system_matches_the_model() {
+    let mut rng = SplitMix64::new(0x0DE11);
+    for _case in 0..24 {
         let clock = SimClock::new();
-        let drive = DiskDrive::with_formatted_pack(
-            clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+        let drive =
+            DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
         let mut fs = FileSystem::format(drive).unwrap();
         let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
 
-        for op in ops {
-            match op {
+        let ops = 1 + rng.next_below(24);
+        for _ in 0..ops {
+            match random_op(&mut rng) {
                 Op::Create(i) => {
                     let name = NAMES[i];
                     let root = fs.root_dir();
@@ -125,16 +126,16 @@ proptest! {
                     Compactor::run(&mut fs).unwrap();
                 }
             }
-            check_agreement(&mut fs, &model)?;
+            check_agreement(&mut fs, &model);
         }
 
         // Final invariant: the allocation map agrees with the labels for
         // every free page (no lost pages after any of this).
         let disk = fs.unmount().unwrap();
         let (fs, report) = Scavenger::rebuild(disk).unwrap();
-        prop_assert_eq!(report.headless_pages_freed, 0);
-        prop_assert_eq!(report.duplicate_pages_freed, 0);
+        assert_eq!(report.headless_pages_freed, 0);
+        assert_eq!(report.duplicate_pages_freed, 0);
         let mut fs = fs;
-        check_agreement(&mut fs, &model)?;
+        check_agreement(&mut fs, &model);
     }
 }

@@ -1,77 +1,90 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomized property tests on the core data structures and invariants,
+//! driven by the in-tree deterministic PRNG (no external dependencies, so
+//! the workspace builds offline).
 
 use alto::prelude::*;
-use alto::sim::Memory;
-use proptest::prelude::*;
+use alto::sim::{Memory, SplitMix64};
 
-proptest! {
-    /// Labels survive their seven-word encoding.
-    #[test]
-    fn label_encoding_round_trips(
-        f0 in any::<u16>(), f1 in any::<u16>(), v in any::<u16>(),
-        pn in any::<u16>(), l in any::<u16>(), nl in any::<u16>(), pl in any::<u16>(),
-    ) {
+/// Labels survive their seven-word encoding.
+#[test]
+fn label_encoding_round_trips() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..500 {
         let label = Label {
-            fid: [f0, f1],
-            version: v,
-            page_number: pn,
-            length: l,
-            next: DiskAddress(nl),
-            prev: DiskAddress(pl),
+            fid: [rng.next_u16(), rng.next_u16()],
+            version: rng.next_u16(),
+            page_number: rng.next_u16(),
+            length: rng.next_u16(),
+            next: DiskAddress(rng.next_u16()),
+            prev: DiskAddress(rng.next_u16()),
         };
-        prop_assert_eq!(Label::decode(&label.encode()), label);
+        assert_eq!(Label::decode(&label.encode()), label);
     }
+}
 
-    /// CHS conversion is a bijection for every model.
-    #[test]
-    fn chs_bijection(da in 0u32..4872) {
-        let g = DiskModel::Diablo31.geometry();
+/// CHS conversion is a bijection for every address.
+#[test]
+fn chs_bijection() {
+    let g = DiskModel::Diablo31.geometry();
+    for da in 0..4872u32 {
         let da = DiskAddress(da as u16);
-        prop_assert_eq!(g.from_chs(g.to_chs(da)), da);
+        assert_eq!(g.from_chs(g.to_chs(da)), da);
     }
+}
 
-    /// Byte packing into page words is invertible.
-    #[test]
-    fn page_byte_packing_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..=512)) {
+/// Byte packing into page words is invertible.
+#[test]
+fn page_byte_packing_round_trips() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..64 {
+        let len = rng.next_below(513) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
         let mut words = [0u16; 256];
         alto::fs::file::pack_bytes(&bytes, &mut words);
         let back = alto::fs::file::unpack_bytes(&words);
-        prop_assert_eq!(&back[..bytes.len()], &bytes[..]);
+        assert_eq!(&back[..bytes.len()], &bytes[..]);
     }
+}
 
-    /// Whatever bytes go into a file come back out (against a Vec model).
-    #[test]
-    fn write_read_file_equivalence(
-        writes in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..3000), 1..4),
-    ) {
+/// Whatever bytes go into a file come back out (against a Vec model).
+#[test]
+fn write_read_file_equivalence() {
+    let mut rng = SplitMix64::new(0xF11E);
+    for _case in 0..8 {
         let clock = SimClock::new();
-        let drive = DiskDrive::with_formatted_pack(
-            clock, Trace::new(), DiskModel::Diablo31, 1);
+        let drive = DiskDrive::with_formatted_pack(clock, Trace::new(), DiskModel::Diablo31, 1);
         let mut fs = FileSystem::format(drive).unwrap();
         let root = fs.root_dir();
         let f = dir::create_named_file(&mut fs, root, "prop.dat").unwrap();
-        for bytes in &writes {
-            fs.write_file(f, bytes).unwrap();
-            prop_assert_eq!(&fs.read_file(f).unwrap(), bytes);
-            prop_assert_eq!(fs.file_length(f).unwrap(), bytes.len() as u64);
+        let writes = 1 + rng.next_below(3) as usize;
+        for _ in 0..writes {
+            let len = rng.next_below(3000) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
+            fs.write_file(f, &bytes).unwrap();
+            assert_eq!(fs.read_file(f).unwrap(), bytes);
+            assert_eq!(fs.file_length(f).unwrap(), bytes.len() as u64);
         }
     }
+}
 
-    /// The zone allocator never hands out overlapping blocks and always
-    /// coalesces back to a single run (against a shadow model).
-    #[test]
-    fn zone_allocator_model(ops in proptest::collection::vec((any::<bool>(), 1u16..50), 1..60)) {
+/// The zone allocator never hands out overlapping blocks and always
+/// coalesces back to a single run (against a shadow model).
+#[test]
+fn zone_allocator_model() {
+    let mut rng = SplitMix64::new(0x20FE5);
+    for _case in 0..16 {
         let mut mem = Memory::new();
         let mut zone = FirstFitZone::new(&mut mem, 0x1000, 0x1000).unwrap();
         let mut live: Vec<(u16, u16, u16)> = Vec::new(); // (addr, len, tag)
         let mut tag = 1u16;
-        for (alloc, len) in ops {
+        let ops = 1 + rng.next_below(59);
+        for _ in 0..ops {
+            let alloc = rng.chance(1, 2);
+            let len = (rng.next_below(49) + 1) as u16;
             if alloc || live.is_empty() {
                 if let Ok(a) = zone.allocate(&mut mem, len) {
-                    // No overlap with any live block.
                     for &(b, blen, _) in &live {
-                        prop_assert!(
+                        assert!(
                             a + len <= b || b + blen <= a,
                             "blocks [{a};{len}] and [{b};{blen}] overlap"
                         );
@@ -85,7 +98,7 @@ proptest! {
             } else {
                 let (a, alen, t) = live.swap_remove(0);
                 for i in 0..alen {
-                    prop_assert_eq!(mem.read(a + i), t);
+                    assert_eq!(mem.read(a + i), t);
                 }
                 zone.free(&mut mem, a).unwrap();
             }
@@ -93,22 +106,22 @@ proptest! {
         for (a, _, _) in live.drain(..) {
             zone.free(&mut mem, a).unwrap();
         }
-        prop_assert_eq!(zone.available(), 0x1000);
+        assert_eq!(zone.available(), 0x1000);
     }
+}
 
-    /// Memory streams behave like a Vec with a cursor.
-    #[test]
-    fn memory_stream_model(
-        items in proptest::collection::vec(any::<u16>(), 0..100),
-        extra in proptest::collection::vec(any::<u16>(), 0..20),
-    ) {
+/// Memory streams behave like a Vec with a cursor.
+#[test]
+fn memory_stream_model() {
+    let mut rng = SplitMix64::new(0x57EA);
+    for _case in 0..32 {
+        let items: Vec<u16> = (0..rng.next_below(100)).map(|_| rng.next_u16()).collect();
+        let extra: Vec<u16> = (0..rng.next_below(20)).map(|_| rng.next_u16()).collect();
         let mut s = MemoryStream::from_words(&items);
         let mut read = Vec::new();
-        // Drain half.
         for _ in 0..items.len() / 2 {
             read.push(s.get(&mut ()).unwrap());
         }
-        // Append more, then drain the rest.
         for &e in &extra {
             s.put(&mut (), e).unwrap();
         }
@@ -117,99 +130,111 @@ proptest! {
         }
         let mut want = items.clone();
         want.extend_from_slice(&extra);
-        prop_assert_eq!(read, want);
+        assert_eq!(read, want);
     }
+}
 
-    /// Packet decoding never panics and never accepts a corrupted packet.
-    #[test]
-    fn packet_fuzz(words in proptest::collection::vec(any::<u16>(), 0..300)) {
+/// Packet decoding never panics and never accepts a corrupted packet.
+#[test]
+fn packet_fuzz() {
+    let mut rng = SplitMix64::new(0xFACE);
+    for _ in 0..200 {
+        let words: Vec<u16> = (0..rng.next_below(300)).map(|_| rng.next_u16()).collect();
         let _ = Packet::decode(&words); // must not panic
     }
+}
 
-    /// A single flipped bit anywhere in a packet is always detected.
-    #[test]
-    fn packet_bit_flips_detected(
-        payload in proptest::collection::vec(any::<u16>(), 0..32),
-        seq in any::<u16>(),
-        flip_word in any::<usize>(),
-        flip_bit in 0u32..16,
-    ) {
+/// A single flipped bit anywhere in a packet is always detected.
+#[test]
+fn packet_bit_flips_detected() {
+    let mut rng = SplitMix64::new(0xB17);
+    for _ in 0..200 {
+        let payload: Vec<u16> = (0..rng.next_below(32)).map(|_| rng.next_u16()).collect();
         let p = Packet {
             ptype: alto::net::PacketType::Data,
             dst_host: 2,
             src_host: 1,
             dst_socket: 0x30,
             src_socket: 0x31,
-            seq,
+            seq: rng.next_u16(),
             payload,
         };
         let mut wire = p.encode();
-        let i = flip_word % wire.len();
-        wire[i] ^= 1 << flip_bit;
-        if let Ok(decoded) = Packet::decode(&wire) { prop_assert!(
-            false,
-            "corruption at word {i} produced a valid packet {decoded:?}"
-        ) }
+        let i = rng.next_below(wire.len() as u64) as usize;
+        let bit = rng.next_below(16) as u32;
+        wire[i] ^= 1 << bit;
+        if let Ok(decoded) = Packet::decode(&wire) {
+            panic!("corruption at word {i} produced a valid packet {decoded:?}");
+        }
     }
+}
 
-    /// The assembler's instruction encodings always decode back (via the
-    /// disassembler path) to executable words; every 16-bit word decodes.
-    #[test]
-    fn every_word_disassembles(w in any::<u16>()) {
+/// Every 16-bit word disassembles, and its decoding re-encodes to itself.
+#[test]
+fn every_word_disassembles() {
+    // Exhaustive: the whole 16-bit space is small enough.
+    for w in 0..=u16::MAX {
         let text = alto::machine::disassemble(w);
-        prop_assert!(!text.is_empty());
-        prop_assert_eq!(alto::machine::Instr::decode(w).encode(), w);
+        assert!(!text.is_empty());
+        assert_eq!(alto::machine::Instr::decode(w).encode(), w);
     }
+}
 
-    /// Directory entry lists survive encoding (against a Vec model).
-    #[test]
-    fn directory_encoding_round_trips(
-        entries in proptest::collection::vec(
-            ("[a-z]{1,12}", 0u32..1000, any::<bool>(), 1u16..4, any::<u16>()),
-            0..20,
-        ),
-    ) {
-        use alto::fs::dir::DirEntry;
-        use alto::fs::names::{FileFullName, Fv, SerialNumber};
-        // Deduplicate names (directories are maps).
+/// Directory entry lists survive encoding (against a Vec model).
+#[test]
+fn directory_encoding_round_trips() {
+    use alto::fs::dir::DirEntry;
+    use alto::fs::names::{FileFullName, Fv, SerialNumber};
+    let mut rng = SplitMix64::new(0xD14);
+    for _case in 0..32 {
         let mut seen = std::collections::HashSet::new();
-        let entries: Vec<DirEntry> = entries
-            .into_iter()
-            .filter(|(name, ..)| seen.insert(name.clone()))
-            .map(|(name, num, d, v, da)| DirEntry {
+        let mut entries = Vec::new();
+        for _ in 0..rng.next_below(20) {
+            let len = 1 + rng.next_below(12) as usize;
+            let name: String = (0..len)
+                .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+                .collect();
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            entries.push(DirEntry {
                 name,
                 file: FileFullName::new(
-                    Fv::new(SerialNumber::new(num, d), v),
-                    DiskAddress(da),
+                    Fv::new(
+                        SerialNumber::new(rng.next_below(1000) as u32, rng.chance(1, 2)),
+                        (rng.next_below(3) + 1) as u16,
+                    ),
+                    DiskAddress(rng.next_u16()),
                 ),
-            })
-            .collect();
+            });
+        }
         let bytes = alto::fs::dir::encode_entries(&entries);
-        prop_assert_eq!(alto::fs::dir::parse_entries(&bytes), entries);
+        assert_eq!(alto::fs::dir::parse_entries(&bytes), entries);
     }
+}
 
-    /// The type-ahead ring buffer is FIFO for any push/pop sequence.
-    #[test]
-    fn typeahead_fifo(ops in proptest::collection::vec(any::<Option<u8>>(), 0..200)) {
-        use alto::os::typeahead::TypeAhead;
+/// The type-ahead ring buffer is FIFO for any push/pop sequence.
+#[test]
+fn typeahead_fifo() {
+    use alto::os::typeahead::TypeAhead;
+    let mut rng = SplitMix64::new(0x7EA);
+    for _case in 0..16 {
         let mut mem = Memory::new();
         let t = TypeAhead::init(&mut mem, 0xF000, 64);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(key) => {
-                    let accepted = t.push(&mut mem, key as u16);
-                    if accepted {
-                        model.push_back(key as u16);
-                    } else {
-                        prop_assert!(model.len() >= 60, "dropped while not full");
-                    }
+        for _ in 0..rng.next_below(200) {
+            if rng.chance(1, 2) {
+                let key = rng.next_u16() & 0xFF;
+                let accepted = t.push(&mut mem, key);
+                if accepted {
+                    model.push_back(key);
+                } else {
+                    assert!(model.len() >= 60, "dropped while not full");
                 }
-                None => {
-                    prop_assert_eq!(t.pop(&mut mem), model.pop_front());
-                }
+            } else {
+                assert_eq!(t.pop(&mut mem), model.pop_front());
             }
-            prop_assert_eq!(t.len(&mem) as usize, model.len());
+            assert_eq!(t.len(&mem) as usize, model.len());
         }
     }
 }

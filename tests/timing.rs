@@ -62,8 +62,10 @@ fn e3_band_compaction_speedup_order_of_magnitude() {
     assert!(speedup > 8.0, "speedup only {speedup:.1}x");
 }
 
-/// E4 — raw page allocate/free cost about one revolution each; in-place
-/// overwrites cost far less.
+/// E4 — raw page allocate/free pay the §3.3 label discipline: the check
+/// and the write are separate commands, and each command's set-up time
+/// makes it miss the next slot, so every allocate/free costs about two
+/// revolutions. In-place overwrites, which chain, cost far less per page.
 #[test]
 fn e4_band_label_discipline_revolutions() {
     use alto::fs::names::{Fv, PageName, SerialNumber};
@@ -88,7 +90,7 @@ fn e4_band_label_discipline_revolutions() {
     }
     let alloc_revs = (clock.now() - t0).as_nanos() as f64 / rev / n as f64;
     assert!(
-        (0.9..1.6).contains(&alloc_revs),
+        (1.9..2.6).contains(&alloc_revs),
         "allocate: {alloc_revs:.2} revs/page"
     );
 
@@ -98,7 +100,7 @@ fn e4_band_label_discipline_revolutions() {
     }
     let free_revs = (clock.now() - t0).as_nanos() as f64 / rev / n as f64;
     assert!(
-        (0.9..1.6).contains(&free_revs),
+        (1.9..2.6).contains(&free_revs),
         "free: {free_revs:.2} revs/page"
     );
 
@@ -142,6 +144,82 @@ fn network_page_beats_a_disk_revolution() {
     assert!(
         transfer < rev,
         "page transfer {transfer} vs revolution {rev}"
+    );
+}
+
+/// Invariants of the rotational timing model the scheduler builds on.
+#[test]
+fn disk_timing_model_invariants() {
+    use alto::disk::TimingModel;
+    for model in [DiskModel::Diablo31, DiskModel::Trident] {
+        let t = TimingModel::for_model(model);
+        // Seek cost is monotone in distance, and staying put is free.
+        assert_eq!(t.seek(0), SimTime::ZERO);
+        let mut last = SimTime::ZERO;
+        for d in 1..=202 {
+            let s = t.seek(d);
+            assert!(s >= last, "seek({d}) < seek({})", d - 1);
+            last = s;
+        }
+        // Rotational position is a pure function of time. At a slot
+        // boundary, the slot under the head needs no wait; from anywhere,
+        // the wait never reaches a full revolution and always lands
+        // exactly on the target slot's boundary.
+        for k in [0u64, 1, 5, 23, 144] {
+            let now = t.sector_time.scaled(k);
+            assert_eq!(t.rotational_wait(now, t.slot_at(now)), SimTime::ZERO);
+        }
+        for ns in [0u64, 1, 12_345_678, 99_999_999] {
+            let now = SimTime::from_nanos(ns);
+            for target in 0..12u16.min(t.sectors_per_track) {
+                let wait = t.rotational_wait(now, target);
+                assert!(wait < t.revolution());
+                let arrival = now + wait;
+                assert_eq!(t.slot_at(arrival), target);
+                assert!(arrival.as_nanos().is_multiple_of(t.sector_time.as_nanos()));
+            }
+        }
+    }
+}
+
+/// A batched track read streams in about a revolution; the same sectors
+/// issued one command at a time pay a revolution *each* — the §4 chaining
+/// claim, end to end through the drive.
+#[test]
+fn chained_track_read_beats_unscheduled_by_an_order() {
+    use alto::disk::{BatchRequest, SectorBuf, SectorOp};
+    let n = 12u64; // one full track
+    let batched = {
+        let mut d =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        let t0 = d.clock().now();
+        let mut batch: Vec<BatchRequest> = (0..n as u16)
+            .map(|i| BatchRequest::new(DiskAddress(i), SectorOp::READ_ALL, SectorBuf::zeroed()))
+            .collect();
+        for r in d.do_batch(&mut batch) {
+            r.unwrap();
+        }
+        d.clock().now() - t0
+    };
+    let unscheduled = {
+        let mut d =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        let t0 = d.clock().now();
+        for i in 0..n as u16 {
+            let mut buf = SectorBuf::zeroed();
+            d.do_op(DiskAddress(i), SectorOp::READ_ALL, &mut buf)
+                .unwrap();
+        }
+        d.clock().now() - t0
+    };
+    let t = alto::disk::TimingModel::for_model(DiskModel::Diablo31);
+    assert!(
+        batched < t.revolution().scaled(2),
+        "batched track read took {batched}"
+    );
+    assert!(
+        unscheduled >= t.revolution().scaled(n),
+        "unscheduled track read took only {unscheduled}"
     );
 }
 
