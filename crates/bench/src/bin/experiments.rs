@@ -4,7 +4,13 @@
 //! ```text
 //! cargo run -p alto-bench --bin experiments             # all experiments
 //! cargo run -p alto-bench --bin experiments -- e3 e5    # a subset
+//! cargo run -p alto-bench --bin experiments -- pr2 --json BENCH_pr2.json
 //! ```
+//!
+//! The `pr2` experiment measures the in-core hint cache (directory name
+//! index, leader cache, placement-aware allocation) against its ablation;
+//! `--json <path>` additionally writes the numbers as machine-readable
+//! JSON for CI to archive and diff.
 
 use alto_bench::{consecutive_file, filled_fs, fragmented_fs, fresh_fs, scatter_file};
 use alto_disk::{Disk, DiskAddress, DiskDrive, DiskModel};
@@ -17,7 +23,16 @@ use alto_os::{AltoOs, MESSAGE_WORDS};
 use alto_sim::{SimClock, SimTime, SplitMix64, Trace};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--json" {
+            json_path = Some(raw.next().unwrap_or_else(|| "BENCH_pr2.json".to_string()));
+        } else {
+            args.push(a.to_lowercase());
+        }
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     println!("=============================================================");
@@ -58,6 +73,9 @@ fn main() {
     }
     if want("e10") {
         e10_activity_switching();
+    }
+    if want("pr2") {
+        pr2_cache_bench(json_path.as_deref());
     }
 }
 
@@ -368,6 +386,44 @@ fn e5_hint_ladder() {
         stats.string_lookups,
         stats.scavenges
     );
+
+    // The directory rungs (2 and 3) are the ones the in-core name index
+    // accelerates: recover 8 files through stale leader hints, once with
+    // the hint cache on (only the first recovery pays a directory scan)
+    // and once with it off (every recovery re-reads the directory).
+    println!("\n8 stale-leader recoveries through rung 2, hint cache on vs off:");
+    println!(
+        "{:<12} {:>7} {:>7} {:>6} {:>7} {:>9} {:>13}",
+        "hint cache", "direct", "chase", "dir", "string", "scavenge", "total time"
+    );
+    for enabled in [true, false] {
+        let (mut fs, _, clock) = build();
+        fs.set_hint_cache_enabled(enabled);
+        let root = fs.root_dir();
+        let mut s = HintStats::default();
+        let t0 = clock.now();
+        for i in 0..8 {
+            let name = format!("frag-{i:02}.dat");
+            let file = dir::lookup(&mut fs, root, &name).unwrap().unwrap();
+            let mut hints = PageHints::bare(
+                alto_fs::names::FileFullName::new(file.fv, DiskAddress(4000)),
+                root,
+                &name,
+            );
+            resolve_page(&mut fs, &mut hints, 20, DiskAddress::NIL, &mut s).unwrap();
+        }
+        let dt = clock.now() - t0;
+        println!(
+            "{:<12} {:>7} {:>7} {:>6} {:>7} {:>9} {:>10.1} ms",
+            if enabled { "on" } else { "off" },
+            s.direct_hits,
+            s.link_chases,
+            s.dir_lookups,
+            s.string_lookups,
+            s.scavenges,
+            dt.as_nanos() as f64 / 1e6,
+        );
+    }
 }
 
 fn report_rung(name: &str, t: SimTime, outcome: HintOutcome) {
@@ -709,4 +765,170 @@ fn e10_activity_switching() {
     }
     println!("(one activity switch = OutLoad + InLoad ≈ 2 s: cheap next to printing a");
     println!(" document, which is why §4 batches switches at job boundaries)");
+}
+
+/// PR2 — the in-core hint cache layer (directory name index, leader cache,
+/// placement-aware allocation) measured against its ablation. With
+/// `--json <path>`, the numbers are also written as machine-readable JSON.
+fn pr2_cache_bench(json_path: Option<&str>) {
+    use alto_fs::names::{FileFullName, PageName};
+
+    header(
+        "PR2",
+        "in-core hint cache vs ablation (name index, leader cache, placement)",
+    );
+
+    // --- open-by-name over a 300-entry directory -----------------------
+    let mut fs = fresh_fs(DiskModel::Diablo31);
+    let clock = fs.disk().clock().clone();
+    let root = fs.root_dir();
+    for i in 0..300 {
+        dir::create_named_file(&mut fs, root, &format!("f{i:03}")).unwrap();
+    }
+    // Remount so the first lookup is genuinely cold: the cache, like any
+    // hint, dies with the in-core file system.
+    let mut fs = FileSystem::mount(fs.unmount().unwrap()).unwrap();
+    let root = fs.root_dir();
+    let open = |fs: &mut FileSystem<DiskDrive>| {
+        let t0 = clock.now();
+        let f = dir::lookup(fs, root, "f299").unwrap().unwrap();
+        fs.open_leader(f).unwrap();
+        clock.now() - t0
+    };
+    let cold = open(&mut fs);
+    let warm = open(&mut fs);
+    let stats = fs.cache_stats();
+    fs.set_hint_cache_enabled(false);
+    let uncached = open(&mut fs);
+    fs.set_hint_cache_enabled(true);
+    let speedup = uncached.as_nanos() as f64 / warm.as_nanos() as f64;
+
+    println!("open-by-name, last of 300 entries (~10-page directory):");
+    println!("{:<26} {:>12}", "path", "sim time");
+    for (name, t) in [
+        ("cold (scan, builds index)", cold),
+        ("warm (index + verify)", warm),
+        ("uncached ablation", uncached),
+    ] {
+        println!("{name:<26} {:>9.2} ms", t.as_nanos() as f64 / 1e6);
+    }
+    println!("warm speedup over the ablation: {speedup:.1}x (acceptance: >= 5x)");
+
+    // --- placement-aware allocation on a fragmented disk ---------------
+    // 15 three-page holes in the front of the disk, then a fresh 40-page
+    // file: count the non-consecutive links the allocator produced.
+    let build_fragmented = |enabled: bool| -> (FileSystem<DiskDrive>, SimClock) {
+        let mut fs = fresh_fs(DiskModel::Diablo31);
+        let clock = fs.disk().clock().clone();
+        let root = fs.root_dir();
+        for i in 0..30 {
+            let f = dir::create_named_file(&mut fs, root, &format!("fill-{i:02}")).unwrap();
+            fs.write_file(f, &vec![0u8; 3 * 512]).unwrap();
+        }
+        for i in (0..30).step_by(2) {
+            let f = dir::remove(&mut fs, root, &format!("fill-{i:02}"))
+                .unwrap()
+                .unwrap();
+            fs.delete_file(f).unwrap();
+        }
+        // Remount: the next-fit rotor, like all in-core state, resets, so
+        // the fresh file is written by a newly booted system onto an aged
+        // disk whose front is riddled with holes.
+        let mut fs = FileSystem::mount(fs.unmount().unwrap()).unwrap();
+        fs.set_hint_cache_enabled(enabled);
+        (fs, clock)
+    };
+    let chain_jumps = |fs: &mut FileSystem<DiskDrive>, f: FileFullName| -> (u32, u32) {
+        let (leader, _) = fs.read_page(f.leader_page()).unwrap();
+        let (mut da, mut page) = (leader.next, 1u16);
+        let (mut jumps, mut links) = (0u32, 0u32);
+        loop {
+            let (label, _) = fs.read_page(PageName::new(f.fv, page, da)).unwrap();
+            if label.next.is_nil() {
+                break;
+            }
+            if label.next.0 != da.0.wrapping_add(1) {
+                jumps += 1;
+            }
+            links += 1;
+            da = label.next;
+            page += 1;
+        }
+        (jumps, links)
+    };
+
+    let mut placement = Vec::new();
+    for enabled in [true, false] {
+        let (mut fs, _) = build_fragmented(enabled);
+        let root = fs.root_dir();
+        let f = dir::create_named_file(&mut fs, root, "fresh.dat").unwrap();
+        fs.write_file(f, &vec![7u8; 40 * 512]).unwrap();
+        let (jumps, links) = chain_jumps(&mut fs, f);
+        placement.push((enabled, jumps, links));
+    }
+    println!("\nfresh 40-page file on a fragmented disk, data-chain jumps:");
+    for (enabled, jumps, links) in &placement {
+        println!(
+            "  placement {:<4} {jumps:>3} jumps / {links} links",
+            if *enabled { "on" } else { "off" },
+        );
+    }
+
+    // --- sequential read: fresh placement vs after compaction ----------
+    let (mut fs, fclock) = build_fragmented(true);
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "fresh.dat").unwrap();
+    fs.write_file(f, &vec![7u8; 40 * 512]).unwrap();
+    let t0 = fclock.now();
+    fs.read_file(f).unwrap();
+    let fresh_read = fclock.now() - t0;
+    Compactor::run(&mut fs).unwrap();
+    let root = fs.root_dir();
+    let f = dir::lookup(&mut fs, root, "fresh.dat").unwrap().unwrap();
+    let t0 = fclock.now();
+    fs.read_file(f).unwrap();
+    let compacted_read = fclock.now() - t0;
+    let read_ratio = fresh_read.as_nanos() as f64 / compacted_read.as_nanos() as f64;
+    println!(
+        "\nsequential read of the fresh file: {:.2} ms; after compaction: {:.2} ms ({read_ratio:.2}x, acceptance: <= 2x)",
+        fresh_read.as_nanos() as f64 / 1e6,
+        compacted_read.as_nanos() as f64 / 1e6,
+    );
+
+    // --- scavenge regression guard -------------------------------------
+    let filled = filled_fs(50, 7);
+    let (_, report) = Scavenger::rebuild(filled.unmount().unwrap()).unwrap();
+    let scavenge_s = report.elapsed.as_secs_f64();
+    println!("scavenge of a 50%-full disk: {scavenge_s:.1} s (cache adds nothing to it)");
+
+    println!(
+        "cache counters: {} name hits, {} name misses, {} leader hits, {} leader misses",
+        stats.name_hits, stats.name_misses, stats.leader_hits, stats.leader_misses
+    );
+
+    if let Some(path) = json_path {
+        let us = |t: alto_sim::SimTime| t.as_nanos() as f64 / 1e3;
+        let json = format!(
+            "{{\n  \"schema\": \"alto-bench/pr2\",\n  \"open_by_name\": {{\n    \"dir_entries\": 300,\n    \"cold_us\": {:.1},\n    \"warm_us\": {:.1},\n    \"uncached_us\": {:.1},\n    \"warm_speedup\": {:.2}\n  }},\n  \"allocation_locality\": {{\n    \"file_pages\": 40,\n    \"jumps_cache_on\": {},\n    \"jumps_cache_off\": {},\n    \"links\": {}\n  }},\n  \"seq_read\": {{\n    \"fresh_us\": {:.1},\n    \"compacted_us\": {:.1},\n    \"ratio\": {:.3}\n  }},\n  \"scavenge\": {{\n    \"half_full_disk_s\": {:.2}\n  }},\n  \"cache_stats\": {{\n    \"name_hits\": {},\n    \"name_misses\": {},\n    \"leader_hits\": {},\n    \"leader_misses\": {},\n    \"verify_failures\": {},\n    \"invalidations\": {}\n  }}\n}}\n",
+            us(cold),
+            us(warm),
+            us(uncached),
+            speedup,
+            placement[0].1,
+            placement[1].1,
+            placement[0].2,
+            us(fresh_read),
+            us(compacted_read),
+            read_ratio,
+            scavenge_s,
+            stats.name_hits,
+            stats.name_misses,
+            stats.leader_hits,
+            stats.leader_misses,
+            stats.verify_failures,
+            stats.invalidations,
+        );
+        std::fs::write(path, json).unwrap();
+        println!("(wrote {path})");
+    }
 }

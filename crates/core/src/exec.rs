@@ -16,6 +16,7 @@
 //! | `delete NAME` | remove entry and file |
 //! | `rename OLD NEW` | re-enter a file under a new name |
 //! | `space` | free/used page counts |
+//! | `cachestats` | hint-cache hit/miss/invalidation counters |
 //! | `levels` | show the Junta level table |
 //! | `scavenge` | run the Scavenger |
 //! | `compact` | run the compacting scavenger |
@@ -142,6 +143,19 @@ impl<D: Disk> AltoOs<D> {
                 self.put_str(&format!(
                     "{free} pages free of {total} ({} bytes free)\n",
                     free as u64 * 512
+                ));
+            }
+            "cachestats" => {
+                let s = self.fs.cache_stats();
+                self.put_str(&format!(
+                    "name index: {} hits, {} misses; leader cache: {} hits, {} misses\n\
+                     {} verify failures, {} invalidations\n",
+                    s.name_hits,
+                    s.name_misses,
+                    s.leader_hits,
+                    s.leader_misses,
+                    s.verify_failures,
+                    s.invalidations
                 ));
             }
             "snapshot" => {
@@ -383,6 +397,19 @@ ch:         .word '!'
         os.fs.write_file(f, &[0o125, 0o252]).unwrap(); // word 0o052652
         os.execute_command("dump w.dat").unwrap();
         assert!(transcript(&os).contains("052652"), "{}", transcript(&os));
+    }
+
+    #[test]
+    fn cachestats_reports_hits() {
+        let mut os = os();
+        let root = os.fs.root_dir();
+        dir::create_named_file(&mut os.fs, root, "warm.txt").unwrap();
+        // First lookup builds the index, second hits it.
+        os.execute_command("type warm.txt").unwrap_or(true);
+        os.execute_command("type warm.txt").unwrap_or(true);
+        os.execute_command("cachestats").unwrap();
+        assert!(transcript(&os).contains("name index:"));
+        assert!(os.fs.cache_stats().name_hits > 0);
     }
 
     #[test]

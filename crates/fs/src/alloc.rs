@@ -72,6 +72,59 @@ impl BitMap {
         was_busy
     }
 
+    /// First free index in `[lo, hi)`, scanning whole `u64` words.
+    fn first_free_in(&self, lo: u32, hi: u32) -> Option<u32> {
+        let mut i = lo;
+        while i < hi {
+            let word_start = i / 64 * 64;
+            let word_end = word_start + 64;
+            let mut free = !self.bits[(i / 64) as usize] & (!0u64 << (i % 64));
+            if hi < word_end {
+                free &= (1u64 << (hi - word_start)) - 1;
+            }
+            if free != 0 {
+                return Some(word_start + free.trailing_zeros());
+            }
+            i = word_end;
+        }
+        None
+    }
+
+    /// First index in `[lo, hi)` starting `run` consecutive free pages.
+    /// All-free and all-busy words are stepped over 64 pages at a time.
+    fn first_run_in(&self, lo: u32, hi: u32, run: u32) -> Option<u32> {
+        let mut count = 0u32;
+        let mut i = lo;
+        while i < hi {
+            if i.is_multiple_of(64) && i + 64 <= hi {
+                let word = self.bits[(i / 64) as usize];
+                if word == 0 {
+                    count += 64;
+                    if count >= run {
+                        return Some(i + 64 - count);
+                    }
+                    i += 64;
+                    continue;
+                }
+                if word == u64::MAX {
+                    count = 0;
+                    i += 64;
+                    continue;
+                }
+            }
+            if self.is_busy(DiskAddress(i as u16)) {
+                count = 0;
+            } else {
+                count += 1;
+                if count == run {
+                    return Some(i + 1 - run);
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
     /// Finds the first free page at or after `start`, wrapping around.
     pub fn find_free_from(&self, start: DiskAddress) -> Option<DiskAddress> {
         if self.free == 0 {
@@ -79,13 +132,9 @@ impl BitMap {
         }
         let n = self.len;
         let start = (start.0 as u32).min(n.saturating_sub(1));
-        for offset in 0..n {
-            let i = ((start + offset) % n) as u16;
-            if !self.is_busy(DiskAddress(i)) {
-                return Some(DiskAddress(i));
-            }
-        }
-        None
+        self.first_free_in(start, n)
+            .or_else(|| self.first_free_in(0, start))
+            .map(|i| DiskAddress(i as u16))
     }
 
     /// Finds a run of `run` consecutive free pages, searching from address
@@ -94,18 +143,23 @@ impl BitMap {
         if run == 0 || run > self.free {
             return None;
         }
-        let mut count = 0u32;
-        for i in 0..self.len {
-            if self.is_busy(DiskAddress(i as u16)) {
-                count = 0;
-            } else {
-                count += 1;
-                if count == run {
-                    return Some(DiskAddress((i + 1 - run) as u16));
-                }
-            }
+        self.first_run_in(0, self.len, run)
+            .map(|i| DiskAddress(i as u16))
+    }
+
+    /// Finds a run of `run` consecutive free pages at or after `start`,
+    /// wrapping to address 0 when nothing fits in the tail; used by
+    /// placement-aware allocation to lay fresh files down consecutively
+    /// near the last allocation. Runs never span the wrap point.
+    pub fn find_free_run_from(&self, start: DiskAddress, run: u32) -> Option<DiskAddress> {
+        if run == 0 || run > self.free {
+            return None;
         }
-        None
+        let n = self.len;
+        let start = (start.0 as u32).min(n.saturating_sub(1));
+        self.first_run_in(start, n, run)
+            .or_else(|| self.first_run_in(0, n, run))
+            .map(|i| DiskAddress(i as u16))
     }
 
     /// Serializes to 16-bit words (for the descriptor file).
@@ -218,5 +272,123 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         BitMap::all_free(10).is_busy(DiskAddress(10));
+    }
+
+    #[test]
+    fn find_free_run_from_wraps_and_respects_start() {
+        let mut m = BitMap::all_free(100);
+        for i in 10..95 {
+            m.set_busy(DiskAddress(i));
+        }
+        // Free: [0..10) and [95..100). From 20, the 5-run in the tail wins.
+        assert_eq!(
+            m.find_free_run_from(DiskAddress(20), 5),
+            Some(DiskAddress(95))
+        );
+        // A 6-run only exists before the start: wrap to it.
+        assert_eq!(
+            m.find_free_run_from(DiskAddress(20), 6),
+            Some(DiskAddress(0))
+        );
+        assert_eq!(m.find_free_run_from(DiskAddress(20), 11), None);
+        assert_eq!(
+            m.find_free_run_from(DiskAddress(0), 3),
+            Some(DiskAddress(0))
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The word-level scans must agree exactly with the original
+    // bit-at-a-time scans; these references pin that behaviour.
+    // ------------------------------------------------------------------
+
+    fn find_free_from_ref(m: &BitMap, start: DiskAddress) -> Option<DiskAddress> {
+        if m.free_count() == 0 {
+            return None;
+        }
+        let n = m.len();
+        let start = (start.0 as u32).min(n.saturating_sub(1));
+        for offset in 0..n {
+            let i = ((start + offset) % n) as u16;
+            if !m.is_busy(DiskAddress(i)) {
+                return Some(DiskAddress(i));
+            }
+        }
+        None
+    }
+
+    fn find_free_run_ref(m: &BitMap, run: u32) -> Option<DiskAddress> {
+        if run == 0 || run > m.free_count() {
+            return None;
+        }
+        let mut count = 0u32;
+        for i in 0..m.len() {
+            if m.is_busy(DiskAddress(i as u16)) {
+                count = 0;
+            } else {
+                count += 1;
+                if count == run {
+                    return Some(DiskAddress((i + 1 - run) as u16));
+                }
+            }
+        }
+        None
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_map(len: u32, busy_percent: u64, seed: &mut u64) -> BitMap {
+        let mut m = BitMap::all_free(len);
+        for i in 0..len {
+            if splitmix(seed) % 100 < busy_percent {
+                m.set_busy(DiskAddress(i as u16));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn word_scan_matches_bit_scan_on_random_maps() {
+        let mut seed = 0x5EED;
+        for len in [1u32, 63, 64, 65, 127, 128, 130, 500, 4872] {
+            for busy in [0u64, 10, 50, 90, 100] {
+                let m = random_map(len, busy, &mut seed);
+                for _ in 0..20 {
+                    let start = DiskAddress((splitmix(&mut seed) % len as u64) as u16);
+                    assert_eq!(
+                        m.find_free_from(start),
+                        find_free_from_ref(&m, start),
+                        "find_free_from(len={len}, busy={busy}%, start={start})"
+                    );
+                }
+                for run in [0u32, 1, 2, 3, 7, 17, 63, 64, 65, 200] {
+                    assert_eq!(
+                        m.find_free_run(run),
+                        find_free_run_ref(&m, run),
+                        "find_free_run(len={len}, busy={busy}%, run={run})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_from_start_zero_matches_plain_run_scan() {
+        let mut seed = 0xF00D;
+        for len in [64u32, 129, 1000] {
+            let m = random_map(len, 40, &mut seed);
+            for run in 1..20 {
+                assert_eq!(
+                    m.find_free_run_from(DiskAddress(0), run),
+                    m.find_free_run(run)
+                );
+            }
+        }
     }
 }

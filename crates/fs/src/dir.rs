@@ -29,9 +29,10 @@
 use alto_disk::{Disk, DiskAddress};
 
 use crate::errors::FsError;
-use crate::file::{bytes_to_words, words_to_bytes, FileSystem};
+use crate::file::PAGE_BYTES;
+use crate::file::{bytes_to_words, unpack_bytes, words_to_bytes, CacheLookup, FileSystem};
 use crate::leader::MAX_LEADER_NAME;
-use crate::names::{FileFullName, Fv, SerialNumber};
+use crate::names::{FileFullName, Fv, PageName, SerialNumber};
 
 /// One directory entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,22 +115,92 @@ fn require_directory(dir: FileFullName) -> Result<(), FsError> {
     }
 }
 
-/// Lists the entries of `dir`.
+/// Lists the entries of `dir`. Served from the in-core name index while a
+/// fresh snapshot exists (see [`crate::cache`]); a full scan otherwise,
+/// which installs the snapshot for next time.
 pub fn list<D: Disk>(fs: &mut FileSystem<D>, dir: FileFullName) -> Result<Vec<DirEntry>, FsError> {
     require_directory(dir)?;
-    Ok(parse_entries(&fs.read_file(dir)?))
+    if let Some(entries) = fs.cached_dir_entries(dir) {
+        return Ok(entries);
+    }
+    let entries = parse_entries(&fs.read_file(dir)?);
+    fs.install_dir_snapshot(dir, &entries);
+    Ok(entries)
 }
 
 /// Looks up `name` in `dir` (case-insensitive).
+///
+/// Warm path: answered from the name index, each positive hit verified
+/// against the target's leader label (§3.6). Cold path with the cache
+/// enabled: one full scan that builds the index. Cold path with the cache
+/// disabled (the ablation): an incremental scan that stops reading the
+/// directory file at the first match.
 pub fn lookup<D: Disk>(
     fs: &mut FileSystem<D>,
     dir: FileFullName,
     name: &str,
 ) -> Result<Option<FileFullName>, FsError> {
+    require_directory(dir)?;
+    if fs.hint_cache_enabled() {
+        if let CacheLookup::Hit(found) = fs.cached_lookup(dir, name) {
+            return Ok(found);
+        }
+        // No usable snapshot: pay for one full scan, which installs the
+        // index, and answer from what it read.
+        return Ok(list(fs, dir)?
+            .into_iter()
+            .find(|e| names_equal(&e.name, name))
+            .map(|e| e.file));
+    }
+    scan_for_name(fs, dir, name)
+}
+
+/// Finds the entry for `fv` in `dir` (the hint ladder's rung 2). Warm
+/// through the same index as [`list`].
+pub fn lookup_fv<D: Disk>(
+    fs: &mut FileSystem<D>,
+    dir: FileFullName,
+    fv: Fv,
+) -> Result<Option<FileFullName>, FsError> {
     Ok(list(fs, dir)?
         .into_iter()
-        .find(|e| names_equal(&e.name, name))
+        .find(|e| e.file.fv == fv)
         .map(|e| e.file))
+}
+
+/// Scans `dir` one page at a time, stopping at the first entry matching
+/// `name` — the uncached cold path never reads past the match.
+fn scan_for_name<D: Disk>(
+    fs: &mut FileSystem<D>,
+    dir: FileFullName,
+    name: &str,
+) -> Result<Option<FileFullName>, FsError> {
+    let (leader_label, _) = fs.open_leader(dir)?;
+    if leader_label.next.is_nil() {
+        return Ok(None);
+    }
+    let mut bytes = Vec::new();
+    let mut pn = PageName::new(dir.fv, 1, leader_label.next);
+    loop {
+        let (label, data) = fs.read_page(pn)?;
+        if label.length as usize > PAGE_BYTES {
+            return Err(FsError::BadLength(label.length));
+        }
+        bytes.extend_from_slice(&unpack_bytes(&data)[..label.length as usize]);
+        // Parse what has arrived so far; an entry cut off at the page
+        // boundary looks malformed, stops the parse, and is retried whole
+        // when the next page's bytes land.
+        if let Some(e) = parse_entries(&bytes)
+            .into_iter()
+            .find(|e| names_equal(&e.name, name))
+        {
+            return Ok(Some(e.file));
+        }
+        if label.next.is_nil() {
+            return Ok(None);
+        }
+        pn = PageName::new(dir.fv, pn.page + 1, label.next);
+    }
 }
 
 /// Inserts (or replaces) the entry `name -> file` in `dir`.
@@ -148,7 +219,9 @@ pub fn insert<D: Disk>(
         name: name.to_string(),
         file,
     });
-    fs.write_file(dir, &encode_entries(&entries))
+    fs.write_file(dir, &encode_entries(&entries))?;
+    fs.dir_rewritten(dir, entries);
+    Ok(())
 }
 
 /// Removes the entry for `name` from `dir`, returning the file it named.
@@ -169,6 +242,7 @@ pub fn remove<D: Disk>(
     });
     if removed.is_some() {
         fs.write_file(dir, &encode_entries(&entries))?;
+        fs.dir_rewritten(dir, entries);
     }
     Ok(removed)
 }
@@ -194,6 +268,7 @@ pub fn create_directory<D: Disk>(
     require_directory(parent)?;
     let dir = fs.create_directory_file(name)?;
     fs.write_file(dir, &encode_entries(&[]))?;
+    fs.dir_rewritten(dir, Vec::new());
     insert(fs, parent, name, dir)?;
     Ok(dir)
 }

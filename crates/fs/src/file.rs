@@ -19,8 +19,10 @@
 
 use alto_disk::{Disk, DiskAddress, DiskError, Label, DATA_WORDS};
 
+use crate::cache::{casefold, CacheStats, HintCache};
 use crate::dates::AltoDate;
 use crate::descriptor::{self, DiskDescriptor};
+use crate::dir::DirEntry;
 use crate::errors::FsError;
 use crate::leader::LeaderPage;
 use crate::names::{FileFullName, Fv, PageName, SerialNumber};
@@ -69,6 +71,16 @@ pub struct FileSystem<D: Disk> {
     disk: D,
     desc: DiskDescriptor,
     stats: FsStats,
+    cache: HintCache,
+}
+
+/// What the name index had to say about a lookup (see
+/// [`FileSystem::cached_lookup`]).
+pub(crate) enum CacheLookup {
+    /// A verified answer (positive or negative) from a fresh index.
+    Hit(Option<FileFullName>),
+    /// No fresh index, or a hit that failed verification: scan the file.
+    Miss,
 }
 
 impl<D: Disk> FileSystem<D> {
@@ -85,6 +97,7 @@ impl<D: Disk> FileSystem<D> {
             disk,
             desc,
             stats: FsStats::default(),
+            cache: HintCache::new(),
         };
         let now = fs.now();
 
@@ -140,6 +153,7 @@ impl<D: Disk> FileSystem<D> {
             disk,
             desc,
             stats: FsStats::default(),
+            cache: HintCache::new(),
         }
     }
 
@@ -159,6 +173,7 @@ impl<D: Disk> FileSystem<D> {
             disk,
             desc,
             stats: FsStats::default(),
+            cache: HintCache::new(),
         })
     }
 
@@ -198,6 +213,105 @@ impl<D: Disk> FileSystem<D> {
     /// Allocator statistics.
     pub fn stats(&self) -> FsStats {
         self.stats
+    }
+
+    /// Hint-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// True if the in-core hint cache (and placement-aware allocation) is
+    /// enabled.
+    pub fn hint_cache_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// Turns the in-core hint cache on or off. Disabling it — the ablation
+    /// of the experiments — discards everything held and also reverts the
+    /// allocator to the original fixed-origin scan.
+    pub fn set_hint_cache_enabled(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn trace_cache(&self, tag: &'static str, detail: String) {
+        let now = self.disk.clock().now();
+        self.disk.trace().record(now, tag, detail);
+    }
+
+    /// The fresh cached entries of `dir`, counted and traced as a hit.
+    pub(crate) fn cached_dir_entries(&mut self, dir: FileFullName) -> Option<Vec<DirEntry>> {
+        let epoch = self.disk.write_epoch();
+        let entries = self.cache.dir_entries(dir, epoch)?.to_vec();
+        self.cache.stats.name_hits += 1;
+        self.trace_cache("fs.cache_hit", format!("dir {} listed from index", dir.fv));
+        Some(entries)
+    }
+
+    /// Installs a directory snapshot read (in full) from the disk just now.
+    pub(crate) fn install_dir_snapshot(&mut self, dir: FileFullName, entries: &[DirEntry]) {
+        if self.cache.enabled() {
+            let epoch = self.disk.write_epoch();
+            self.cache.install_dir(dir, epoch, entries.to_vec());
+        }
+    }
+
+    /// Notes that the directory package rewrote `dir` so its contents are
+    /// now exactly `entries`: retires the old snapshot and installs the new
+    /// one, keeping the index warm across its own mutations.
+    pub(crate) fn dir_rewritten(&mut self, dir: FileFullName, entries: Vec<DirEntry>) {
+        self.cache.bump_dir(dir.fv);
+        if self.cache.enabled() {
+            let epoch = self.disk.write_epoch();
+            self.cache.install_dir(dir, epoch, entries);
+        }
+    }
+
+    /// Answers a name lookup from the index if a fresh snapshot exists.
+    /// A positive hit is verified against the target's leader label before
+    /// it is returned (§3.6: hints are checked on use, never believed); the
+    /// verification read doubles as a leader-cache fill, so the open that
+    /// usually follows costs nothing extra.
+    pub(crate) fn cached_lookup(&mut self, dir: FileFullName, name: &str) -> CacheLookup {
+        if !self.cache.enabled() {
+            return CacheLookup::Miss;
+        }
+        let epoch = self.disk.write_epoch();
+        let found = match self.cache.lookup_name(dir, &casefold(name), epoch) {
+            Some(Some(file)) => file,
+            Some(None) => {
+                // Fresh index, name absent: a verified negative (the epoch
+                // check proves the directory has not changed underneath).
+                self.cache.stats.name_hits += 1;
+                self.trace_cache("fs.cache_hit", format!("{name} absent from {}", dir.fv));
+                return CacheLookup::Hit(None);
+            }
+            None => {
+                self.cache.stats.name_misses += 1;
+                self.trace_cache("fs.cache_miss", format!("{name} in {}", dir.fv));
+                return CacheLookup::Miss;
+            }
+        };
+        match page::read_page(&mut self.disk, found.leader_page()) {
+            Ok((label, data)) => {
+                self.cache.stats.name_hits += 1;
+                self.trace_cache("fs.cache_hit", format!("{name} -> {}", found.fv));
+                let epoch = self.disk.write_epoch();
+                self.cache
+                    .install_leader(found, epoch, label, LeaderPage::decode(&data));
+                CacheLookup::Hit(Some(found))
+            }
+            Err(_) => {
+                // The entry lied: retire the snapshot and let the caller
+                // fall back to the linear scan. Never corrupts.
+                self.cache.stats.verify_failures += 1;
+                self.cache.drop_dir(dir.fv);
+                self.trace_cache(
+                    "fs.cache_invalidate",
+                    format!("{name} -> {} failed the label check", found.fv),
+                );
+                CacheLookup::Miss
+            }
+        }
     }
 
     /// The root directory's full name.
@@ -259,6 +373,20 @@ impl<D: Disk> FileSystem<D> {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Picks where a chain of `pages` new pages should start: the nearest
+    /// run of that many free pages at or after `near`, so fresh files come
+    /// out consecutive and the §3.6 consecutive-guess machinery hits on
+    /// first read, without waiting for the compactor. The map is only a
+    /// hint — the per-page label checks in [`FileSystem::allocate_page`]
+    /// still arbitrate — and with the hint cache disabled (the ablation)
+    /// the allocator keeps its original fixed-origin behaviour.
+    fn placement_run(&self, near: DiskAddress, pages: u32) -> Option<DiskAddress> {
+        if !self.cache.enabled() || pages <= 1 {
+            return None;
+        }
+        self.desc.bitmap.find_free_run_from(near, pages)
     }
 
     /// Frees the page named `pn` (label checked; ones written; §3.3).
@@ -378,6 +506,11 @@ impl<D: Disk> FileSystem<D> {
             prev: DiskAddress::NIL,
         };
         let mut prev_data = leader.encode();
+        // Placement: open the whole chain in one consecutive free run when
+        // the map offers one near the leader.
+        let first_near = self
+            .placement_run(DiskAddress(leader_da.0.wrapping_add(1)), pages as u32)
+            .unwrap_or(DiskAddress(leader_da.0.wrapping_add(1)));
         for n in 1..=pages {
             let start = (n as usize - 1) * PAGE_BYTES;
             let chunk = &bytes[start.min(bytes.len())..bytes.len().min(start + PAGE_BYTES)];
@@ -391,8 +524,12 @@ impl<D: Disk> FileSystem<D> {
                 next: DiskAddress::NIL,
                 prev: prev_da,
             };
-            let da =
-                self.allocate_page(Some(DiskAddress(prev_da.0.wrapping_add(1))), label, &data)?;
+            let near = if n == 1 {
+                first_near
+            } else {
+                DiskAddress(prev_da.0.wrapping_add(1))
+            };
+            let da = self.allocate_page(Some(near), label, &data)?;
             // Fix the predecessor's next link (one revolution, §3.3).
             let prev_pn = PageName::new(fv, n - 1, prev_da);
             prev_label.next = da;
@@ -411,14 +548,41 @@ impl<D: Disk> FileSystem<D> {
 
     /// Reads and decodes the leader page of `file`.
     pub fn read_leader(&mut self, file: FileFullName) -> Result<LeaderPage, FsError> {
-        let (_, data) = self.read_page(file.leader_page())?;
-        Ok(LeaderPage::decode(&data))
+        Ok(self.open_leader(file)?.1)
+    }
+
+    /// The leader label and decoded leader page of `file`, served from the
+    /// leader cache when a fresh copy is held (skipping a disk revolution)
+    /// and filling it otherwise. A hit is exactly equivalent to re-reading:
+    /// entries are only held while the disk's write epoch stands still, so
+    /// the read that installed them would still succeed, unchanged.
+    pub fn open_leader(&mut self, file: FileFullName) -> Result<(Label, LeaderPage), FsError> {
+        let epoch = self.disk.write_epoch();
+        if let Some((label, leader)) = self.cache.leader(file, epoch) {
+            self.cache.stats.leader_hits += 1;
+            self.trace_cache("fs.cache_hit", format!("leader {}", file.fv));
+            return Ok((label, leader));
+        }
+        if self.cache.enabled() {
+            self.cache.stats.leader_misses += 1;
+            self.trace_cache("fs.cache_miss", format!("leader {}", file.fv));
+        }
+        let (label, data) = self.read_page(file.leader_page())?;
+        let leader = LeaderPage::decode(&data);
+        self.cache
+            .install_leader(file, epoch, label, leader.clone());
+        Ok((label, leader))
     }
 
     /// Rewrites the leader page's *data* (dates, name, hints); the leader's
     /// label is checked but unchanged, so this is an ordinary write.
     pub fn write_leader(&mut self, file: FileFullName, leader: &LeaderPage) -> Result<(), FsError> {
-        self.write_page(file.leader_page(), &leader.encode())?;
+        let label = self.write_page(file.leader_page(), &leader.encode())?;
+        // The write bumped the epoch; re-install what is now on disk so the
+        // next open of this file is a hit.
+        let epoch = self.disk.write_epoch();
+        self.cache
+            .install_leader(file, epoch, label, leader.clone());
         Ok(())
     }
 
@@ -508,14 +672,14 @@ impl<D: Disk> FileSystem<D> {
         for pn in chain {
             self.free_page(pn)?;
         }
+        self.cache.forget_leader(file.fv);
         Ok(())
     }
 
     /// Walks to the last page, preferring the leader hint and falling back
     /// to a link chase from the leader.
     fn locate_last_page(&mut self, file: FileFullName) -> Result<(PageName, Label), FsError> {
-        let (leader_label, leader_data) = self.read_page(file.leader_page())?;
-        let leader = LeaderPage::decode(&leader_data);
+        let (leader_label, leader) = self.open_leader(file)?;
         // Try the hint.
         if leader.last_page > 0 && !leader.last_da.is_nil() {
             let pn = PageName::new(file.fv, leader.last_page, leader.last_da);
@@ -550,8 +714,7 @@ impl<D: Disk> FileSystem<D> {
     /// and rewrites know guessed batches are worth issuing.
     fn overwrite_in_place(&mut self, file: FileFullName, bytes: &[u8]) -> Result<bool, FsError> {
         let new_pages = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
-        let (leader_label, leader_data) = self.read_page(file.leader_page())?;
-        let leader = LeaderPage::decode(&leader_data);
+        let (leader_label, leader) = self.open_leader(file)?;
         let mut n: u16 = 1;
         let mut prev_da = file.leader_da;
         let mut da = leader_label.next; // page 1's address
@@ -561,6 +724,9 @@ impl<D: Disk> FileSystem<D> {
         // Links that depart from address-consecutive (a handful is fine —
         // the guessed batches just restart from the real link there).
         let mut jumps: u32 = 0;
+        // Placement for the extension path: chosen once, when the first new
+        // page is allocated, sized to everything still to be laid down.
+        let mut extended = false;
 
         // Batched fast path. A zero serial low word would wildcard the
         // label check and let a wrong guess through, so such files (and
@@ -661,8 +827,15 @@ impl<D: Disk> FileSystem<D> {
                     next: DiskAddress::NIL,
                     prev: prev_da,
                 };
-                let new_da =
-                    self.allocate_page(Some(DiskAddress(prev_da.0.wrapping_add(1))), label, &data)?;
+                let near = if extended {
+                    DiskAddress(prev_da.0.wrapping_add(1))
+                } else {
+                    extended = true;
+                    let remaining = (new_pages - n + 1) as u32;
+                    self.placement_run(DiskAddress(prev_da.0.wrapping_add(1)), remaining)
+                        .unwrap_or(DiskAddress(prev_da.0.wrapping_add(1)))
+                };
+                let new_da = self.allocate_page(Some(near), label, &data)?;
                 if n > 1 && new_da.0 != prev_da.0.wrapping_add(1) {
                     jumps += 1;
                 }

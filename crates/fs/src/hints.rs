@@ -126,18 +126,22 @@ impl PageHints {
             .ok_or_else(|| FsError::NameNotFound(name.to_string()))?;
         let mut every_kth = vec![(0u16, file.leader_da)];
         if k > 0 {
-            let mut pn = file.leader_page();
+            // The lookup's verification read primed the leader cache, so
+            // this costs no disk revolution on the warm path.
+            let (leader_label, _) = fs.open_leader(file)?;
+            let mut label = leader_label;
             let mut page = 0u16;
             loop {
-                let (label, _) = fs.read_page(pn)?;
                 if label.next.is_nil() {
                     break;
                 }
                 page += 1;
-                pn = PageName::new(file.fv, page, label.next);
+                let pn = PageName::new(file.fv, page, label.next);
                 if page.is_multiple_of(k) {
                     every_kth.push((page, label.next));
                 }
+                let (l, _) = fs.read_page(pn)?;
+                label = l;
             }
         }
         Ok(PageHints {
@@ -271,13 +275,12 @@ fn resolve_inner<D: Disk>(
     }
 
     // Rung 2: FV lookup in the directory (fixes a stale leader address).
-    if let Ok(entries) = dir::list(fs, hints.directory) {
-        if let Some(entry) = entries.iter().find(|e| e.file.fv == hints.file.fv) {
-            hints.file = entry.file;
-            hints.every_kth = vec![(0, entry.file.leader_da)];
-            if let Ok(Some((data, pn, _))) = chase_links(fs, hints, page) {
-                return Ok((data, pn, HintOutcome::DirectoryLookup));
-            }
+    // Warm through the name index like every other directory access.
+    if let Ok(Some(found)) = dir::lookup_fv(fs, hints.directory, hints.file.fv) {
+        hints.file = found;
+        hints.every_kth = vec![(0, found.leader_da)];
+        if let Ok(Some((data, pn, _))) = chase_links(fs, hints, page) {
+            return Ok((data, pn, HintOutcome::DirectoryLookup));
         }
     }
 

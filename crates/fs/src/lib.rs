@@ -18,7 +18,9 @@
 //!   leader names ([`leader::LeaderPage`]);
 //! * directories — ordinary files holding (string, full name) pairs,
 //!   forming an arbitrary directed graph ([`dir`]);
-//! * hints — the five-step recovery ladder of §3.6 ([`hints`]);
+//! * hints — the five-step recovery ladder of §3.6 ([`hints`]), and the
+//!   in-core hint cache that makes the same discipline the primary
+//!   performance mechanism ([`cache`]);
 //! * scavenging — full reconstruction of hints from absolutes
 //!   ([`scavenge`]), plus the "more elaborate scavenger" that permutes
 //!   pages in place so files become consecutive ([`compact`]).
@@ -28,6 +30,7 @@
 //! §5.2 describes.
 
 pub mod alloc;
+pub mod cache;
 pub mod compact;
 pub mod dates;
 pub mod descriptor;
@@ -41,6 +44,7 @@ pub mod names;
 pub mod page;
 pub mod scavenge;
 
+pub use cache::CacheStats;
 pub use dates::AltoDate;
 pub use descriptor::DiskDescriptor;
 pub use errors::FsError;

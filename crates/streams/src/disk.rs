@@ -21,7 +21,7 @@
 use alto_disk::{Disk, DiskAddress, Label, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
 use alto_fs::names::FileFullName;
-use alto_fs::{FileSystem, FsError, LeaderPage, PageName};
+use alto_fs::{FileSystem, FsError, PageName};
 
 use crate::errors::StreamError;
 use crate::Stream;
@@ -84,10 +84,11 @@ pub struct DiskByteStream<D: Disk> {
 const READAHEAD_PAGES: u16 = 4;
 
 impl<D: Disk> DiskByteStream<D> {
-    /// Opens a stream on `file`, positioned at byte 0.
+    /// Opens a stream on `file`, positioned at byte 0. The leader comes
+    /// through the file system's leader cache, so a repeated open (or one
+    /// straight after a verified name lookup) skips that disk revolution.
     pub fn open(fs: &mut FileSystem<D>, file: FileFullName) -> Result<Self, StreamError> {
-        let (leader_label, leader_data) = fs.read_page(file.leader_page())?;
-        let leader = LeaderPage::decode(&leader_data);
+        let (leader_label, leader) = fs.open_leader(file)?;
         let da = leader_label.next;
         let pn = PageName::new(file.fv, 1, da);
         let (label, buffer) = fs.read_page(pn)?;
@@ -127,7 +128,7 @@ impl<D: Disk> DiskByteStream<D> {
             let (mut page, mut da) = if target_page > self.page {
                 (self.page, self.da)
             } else {
-                let (leader_label, _) = fs.read_page(self.file.leader_page())?;
+                let (leader_label, _) = fs.open_leader(self.file)?;
                 (1, leader_label.next)
             };
             loop {
@@ -404,7 +405,7 @@ impl<D: Disk> Stream<FileSystem<D>> for DiskByteStream<D> {
     fn reset(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
         self.check_open()?;
         self.finish(fs)?;
-        let (leader_label, _) = fs.read_page(self.file.leader_page())?;
+        let (leader_label, _) = fs.open_leader(self.file)?;
         self.load_page(fs, 1, leader_label.next)?;
         Ok(())
     }

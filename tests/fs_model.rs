@@ -44,16 +44,39 @@ fn random_op(rng: &mut SplitMix64) -> Op {
 
 fn check_agreement(fs: &mut FileSystem<DiskDrive>, model: &BTreeMap<String, Vec<u8>>) {
     let root = fs.root_dir();
-    for name in NAMES {
-        let on_disk = dir::lookup(fs, root, name).unwrap();
-        match model.get(name) {
+    // First pass builds the name index (cold), second pass hits it (warm);
+    // every cached answer must then agree with a fresh uncached scan.
+    let cold: Vec<_> = NAMES
+        .iter()
+        .map(|name| dir::lookup(fs, root, name).unwrap())
+        .collect();
+    let warm: Vec<_> = NAMES
+        .iter()
+        .map(|name| dir::lookup(fs, root, name).unwrap())
+        .collect();
+    fs.set_hint_cache_enabled(false);
+    let uncached: Vec<_> = NAMES
+        .iter()
+        .map(|name| dir::lookup(fs, root, name).unwrap())
+        .collect();
+    fs.set_hint_cache_enabled(true);
+    for (i, name) in NAMES.iter().enumerate() {
+        assert_eq!(
+            cold[i], uncached[i],
+            "{name}: cold cached lookup disagrees with uncached scan"
+        );
+        assert_eq!(
+            warm[i], uncached[i],
+            "{name}: warm cached lookup disagrees with uncached scan"
+        );
+        match model.get(*name) {
             Some(want) => {
-                let f = on_disk.unwrap_or_else(|| panic!("{name} missing from the file system"));
+                let f = warm[i].unwrap_or_else(|| panic!("{name} missing from the file system"));
                 let got = fs.read_file(f).unwrap();
                 assert_eq!(&got, want, "{name} contents differ");
             }
             None => {
-                assert!(on_disk.is_none(), "{name} should not exist");
+                assert!(warm[i].is_none(), "{name} should not exist");
             }
         }
     }
