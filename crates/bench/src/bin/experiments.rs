@@ -9,6 +9,8 @@
 //!
 //! The `pr2` experiment measures the in-core hint cache (directory name
 //! index, leader cache, placement-aware allocation) against its ablation;
+//! `pr3` measures the write-behind pipeline (delayed-write stream
+//! buffering and dual-drive batch overlap) against its ablations.
 //! `--json <path>` additionally writes the numbers as machine-readable
 //! JSON for CI to archive and diff.
 
@@ -76,6 +78,9 @@ fn main() {
     }
     if want("pr2") {
         pr2_cache_bench(json_path.as_deref());
+    }
+    if want("pr3") {
+        pr3_write_behind_bench(json_path.as_deref());
     }
 }
 
@@ -927,6 +932,106 @@ fn pr2_cache_bench(json_path: Option<&str>) {
             stats.leader_misses,
             stats.verify_failures,
             stats.invalidations,
+        );
+        std::fs::write(path, json).unwrap();
+        println!("(wrote {path})");
+    }
+}
+
+/// PR3 — the write-behind pipeline: delayed-write stream buffering against
+/// the flush-per-crossing ablation, and dual-drive batch overlap against
+/// serialized execution. With `--json <path>`, the numbers are also
+/// written as machine-readable JSON.
+fn pr3_write_behind_bench(json_path: Option<&str>) {
+    use alto_disk::{BatchRequest, DualDrive, SectorBuf, SectorOp};
+    use alto_streams::{DiskByteStream, Stream};
+
+    header(
+        "PR3",
+        "write-behind pipeline vs ablation; dual-drive overlap vs serial",
+    );
+
+    // --- sequential overwrite through a stream -------------------------
+    let pages = 100usize;
+    let seq = |wb: bool| -> (SimTime, u64, u64) {
+        let mut fs = fresh_fs(DiskModel::Diablo31);
+        let clock = fs.disk().clock().clone();
+        let f = consecutive_file(&mut fs, "seq.dat", pages);
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        s.set_write_behind(&mut fs, wb).unwrap();
+        let t0 = clock.now();
+        for _ in 0..pages * 512 {
+            s.put_byte(&mut fs, 0x5A).unwrap();
+        }
+        s.flush(&mut fs).unwrap();
+        let dt = clock.now() - t0;
+        s.close(&mut fs).unwrap();
+        let stats = fs.disk().io_stats();
+        (dt, stats.wb_drains, stats.wb_coalesced)
+    };
+    let (wb_on, drains, coalesced) = seq(true);
+    let (wb_off, _, _) = seq(false);
+    let wb_speedup = wb_off.as_nanos() as f64 / wb_on.as_nanos() as f64;
+    println!("sequential overwrite of a {pages}-page file, one byte at a time:");
+    println!("{:<38} {:>12}", "write path", "sim time");
+    for (name, t) in [
+        ("write-behind (coalesced drains)", wb_on),
+        ("flush per crossing (ablation)", wb_off),
+    ] {
+        println!("{name:<38} {:>9.0} ms", t.as_nanos() as f64 / 1e6);
+    }
+    println!(
+        "write-behind speedup: {wb_speedup:.1}x (acceptance: >= 5x); \
+         {drains} drains coalesced {coalesced} pages"
+    );
+
+    // --- dual-drive batch overlap --------------------------------------
+    // 24 sectors alternating between the two units, with seeks between
+    // consecutive requests on each unit.
+    let requests = 24u16;
+    let dual_run = |overlap: bool| -> (SimTime, SimTime) {
+        let clock = SimClock::new();
+        let mut dual =
+            DualDrive::with_formatted_packs(clock.clone(), Trace::new(), DiskModel::Diablo31);
+        dual.set_overlap_enabled(overlap);
+        let per_drive = (dual.geometry().unwrap().sector_count() / 2) as u16;
+        let mut batch: Vec<BatchRequest> = (0..requests)
+            .map(|i| {
+                let local = 200 + 37 * (i / 2);
+                let da = DiskAddress((i % 2) * per_drive + local);
+                BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed())
+            })
+            .collect();
+        let t0 = clock.now();
+        let results = dual.do_batch(&mut batch);
+        assert!(results.iter().all(|r| r.is_ok()));
+        (clock.now() - t0, dual.io_stats().overlap_saved)
+    };
+    let (serial, _) = dual_run(false);
+    let (overlapped, saved) = dual_run(true);
+    let overlap_ratio = overlapped.as_nanos() as f64 / serial.as_nanos() as f64;
+    println!("\n{requests}-request batch spanning both units of a dual drive:");
+    println!("{:<38} {:>12}", "execution", "sim time");
+    for (name, t) in [
+        ("serialized (ablation)", serial),
+        ("overlapped arms", overlapped),
+    ] {
+        println!("{name:<38} {:>9.0} ms", t.as_nanos() as f64 / 1e6);
+    }
+    println!(
+        "overlapped/serial: {overlap_ratio:.2}x (acceptance: <= 0.6x); \
+         overlap saved {saved}"
+    );
+
+    if let Some(path) = json_path {
+        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+        let json = format!(
+            "{{\n  \"schema\": \"alto-bench/pr3\",\n  \"seq_write\": {{\n    \"pages\": {pages},\n    \"write_behind_us\": {:.1},\n    \"ablation_us\": {:.1},\n    \"speedup\": {wb_speedup:.2},\n    \"wb_drains\": {drains},\n    \"wb_coalesced\": {coalesced}\n  }},\n  \"dual_overlap\": {{\n    \"requests\": {requests},\n    \"serial_us\": {:.1},\n    \"overlapped_us\": {:.1},\n    \"ratio\": {overlap_ratio:.3},\n    \"saved_us\": {:.1}\n  }}\n}}\n",
+            us(wb_on),
+            us(wb_off),
+            us(serial),
+            us(overlapped),
+            us(saved),
         );
         std::fs::write(path, json).unwrap();
         println!("(wrote {path})");

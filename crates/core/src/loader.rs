@@ -45,8 +45,10 @@ impl<D: Disk> AltoOs<D> {
 
     /// Loads a code file into memory and binds its fixups; returns the
     /// entry address without running (the Executive and tests run it).
+    /// The image comes in through a disk byte stream's bulk path, so a
+    /// multi-page program is fetched in chained readahead batches.
     pub fn load_program(&mut self, file: FileFullName) -> Result<u16, OsError> {
-        let bytes = self.fs.read_file(file)?;
+        let bytes = self.read_via_stream(file)?;
         let words = bytes_to_words(&bytes);
         let code = CodeFile::decode(&words)?;
         // The program must fit below the resident system.

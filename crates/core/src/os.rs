@@ -404,6 +404,44 @@ impl<D: Disk> AltoOs<D> {
         }
     }
 
+    /// Bulk-reads from an open stream into `out` with whole-page slice
+    /// copies. Returns how many bytes were read — short only at the end.
+    pub fn stream_read(&mut self, handle: u16, out: &mut [u8]) -> Result<usize, OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.read_bytes(&mut self.fs, out);
+        self.handles[slot] = Some(stream);
+        Ok(result?)
+    }
+
+    /// Bulk-writes `bytes` to an open stream; page crossings ride the
+    /// stream's write-behind buffer.
+    pub fn stream_write(&mut self, handle: u16, bytes: &[u8]) -> Result<(), OsError> {
+        let slot = handle as usize;
+        self.stream_mut(handle)?;
+        let mut stream = self.handles[slot].take().expect("checked above");
+        let result = stream.write_bytes(&mut self.fs, bytes);
+        self.handles[slot] = Some(stream);
+        Ok(result?)
+    }
+
+    /// Reads a whole file through a disk byte stream's bulk fast path —
+    /// what the Executive's `type` and `copy` use, so their transfers get
+    /// readahead batching instead of page-at-a-time reads.
+    pub fn read_via_stream(
+        &mut self,
+        file: alto_fs::names::FileFullName,
+    ) -> Result<Vec<u8>, OsError> {
+        let len = self.fs.file_length(file)? as usize;
+        let mut stream = DiskByteStream::open(&mut self.fs, file)?;
+        let mut bytes = vec![0u8; len];
+        let n = stream.read_bytes(&mut self.fs, &mut bytes)?;
+        bytes.truncate(n);
+        stream.close(&mut self.fs)?;
+        Ok(bytes)
+    }
+
     /// Puts a byte to an open stream.
     pub fn stream_put(&mut self, handle: u16, byte: u8) -> Result<(), OsError> {
         let slot = handle as usize;

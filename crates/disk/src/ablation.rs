@@ -123,6 +123,14 @@ impl<D: Disk> Disk for UncheckedDisk<D> {
         self.inner.note_readahead(hits, prefetched);
     }
 
+    fn note_write_behind(&mut self, pages: u64) {
+        self.inner.note_write_behind(pages);
+    }
+
+    fn io_stats(&self) -> crate::drive::DriveStats {
+        self.inner.io_stats()
+    }
+
     fn write_epoch(&self) -> u64 {
         self.inner.write_epoch()
     }
@@ -194,6 +202,14 @@ impl<D: Disk> Disk for UnscheduledDisk<D> {
 
     fn note_readahead(&mut self, hits: u64, prefetched: u64) {
         self.inner.note_readahead(hits, prefetched);
+    }
+
+    fn note_write_behind(&mut self, pages: u64) {
+        self.inner.note_write_behind(pages);
+    }
+
+    fn io_stats(&self) -> crate::drive::DriveStats {
+        self.inner.io_stats()
     }
 
     fn write_epoch(&self) -> u64 {

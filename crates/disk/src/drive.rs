@@ -71,6 +71,19 @@ pub trait Disk {
         0
     }
 
+    /// A snapshot of this disk's cumulative I/O counters, for the
+    /// Executive's `iostat` command and the benches. Composite disks
+    /// (e.g. [`crate::DualDrive`]) merge their members' counters. The
+    /// default — all zeros — is for disks that keep none.
+    fn io_stats(&self) -> DriveStats {
+        DriveStats::default()
+    }
+
+    /// Records that a write-behind buffer above this disk drained `pages`
+    /// dirty pages as one coalesced batch. Purely statistical; the default
+    /// ignores it.
+    fn note_write_behind(&mut self, _pages: u64) {}
+
     /// The clock this disk charges time to.
     fn clock(&self) -> &SimClock;
 
@@ -112,12 +125,55 @@ pub struct DriveStats {
     pub readahead_hits: u64,
     /// Pages prefetched into stream readahead buffers.
     pub readahead_prefetched: u64,
+    /// Operations whose value part was read (data sectors transferred in).
+    pub sectors_read: u64,
+    /// Operations whose value part was written (data sectors transferred
+    /// out). Unlike [`DriveStats::write_ops`] this excludes label-only
+    /// writes (free, quarantine).
+    pub sectors_written: u64,
+    /// Coalesced drains of a write-behind buffer (see
+    /// [`Disk::note_write_behind`]).
+    pub wb_drains: u64,
+    /// Dirty pages written by those drains.
+    pub wb_coalesced: u64,
+    /// Batches that a dual-drive executed with both units overlapped.
+    pub overlap_batches: u64,
+    /// Simulated time saved by overlapping, versus serial execution (the
+    /// smaller unit's elapsed time, summed over overlapped batches).
+    pub overlap_saved: SimTime,
 }
 
 impl DriveStats {
     /// Total disk-busy time accounted so far.
     pub fn busy_time(&self) -> SimTime {
         self.seek_time + self.rotational_wait + self.transfer_time + self.command_time
+    }
+
+    /// Field-wise sum of two snapshots; composite disks report the merge
+    /// of their members.
+    pub fn merged(&self, other: &DriveStats) -> DriveStats {
+        DriveStats {
+            ops: self.ops + other.ops,
+            write_ops: self.write_ops + other.write_ops,
+            label_writes: self.label_writes + other.label_writes,
+            failed_checks: self.failed_checks + other.failed_checks,
+            seeks: self.seeks + other.seeks,
+            seek_time: self.seek_time + other.seek_time,
+            rotational_wait: self.rotational_wait + other.rotational_wait,
+            transfer_time: self.transfer_time + other.transfer_time,
+            command_time: self.command_time + other.command_time,
+            batches: self.batches + other.batches,
+            batched_ops: self.batched_ops + other.batched_ops,
+            chained_transfers: self.chained_transfers + other.chained_transfers,
+            readahead_hits: self.readahead_hits + other.readahead_hits,
+            readahead_prefetched: self.readahead_prefetched + other.readahead_prefetched,
+            sectors_read: self.sectors_read + other.sectors_read,
+            sectors_written: self.sectors_written + other.sectors_written,
+            wb_drains: self.wb_drains + other.wb_drains,
+            wb_coalesced: self.wb_coalesced + other.wb_coalesced,
+            overlap_batches: self.overlap_batches + other.overlap_batches,
+            overlap_saved: self.overlap_saved + other.overlap_saved,
+        }
     }
 }
 
@@ -294,6 +350,12 @@ impl DiskDrive {
         if op.label == Action::Write {
             self.stats.label_writes += 1;
         }
+        if op.value == Action::Read {
+            self.stats.sectors_read += 1;
+        }
+        if op.value == Action::Write {
+            self.stats.sectors_written += 1;
+        }
 
         // Unrecoverable media damage surfaces when the value part is read.
         // The header and label actions still complete (they precede the
@@ -432,6 +494,8 @@ impl Disk for DiskDrive {
             &das,
         );
 
+        let reads_before = self.stats.sectors_read;
+        let writes_before = self.stats.sectors_written;
         let mut followers = 0u64;
         for (k, &j) in order.iter().enumerate() {
             let i = pending[j];
@@ -452,7 +516,31 @@ impl Disk for DiskDrive {
             }
         }
         self.flush_chain(followers);
+        self.trace.record(
+            self.clock.now(),
+            "disk.io.batch",
+            format!(
+                "{} serviced ({} read, {} written)",
+                pending.len(),
+                self.stats.sectors_read - reads_before,
+                self.stats.sectors_written - writes_before,
+            ),
+        );
         results
+    }
+
+    fn io_stats(&self) -> DriveStats {
+        self.stats
+    }
+
+    fn note_write_behind(&mut self, pages: u64) {
+        self.stats.wb_drains += 1;
+        self.stats.wb_coalesced += pages;
+        self.trace.record(
+            self.clock.now(),
+            "disk.io.write_behind",
+            format!("{pages}-page coalesced drain"),
+        );
     }
 
     fn note_readahead(&mut self, hits: u64, prefetched: u64) {

@@ -993,32 +993,33 @@ pub(crate) fn read_file_with<D: Disk>(
 }
 
 /// Packs bytes into page words, big-endian (byte 0 in the high byte).
+/// Whole-word pairs move by slice, not per-byte dispatch; words past the
+/// byte run are left untouched.
 pub fn pack_bytes(bytes: &[u8], words: &mut [u16; DATA_WORDS]) {
-    for (i, &b) in bytes.iter().enumerate().take(PAGE_BYTES) {
-        if i % 2 == 0 {
-            words[i / 2] = (b as u16) << 8;
-        } else {
-            words[i / 2] |= b as u16;
-        }
+    let n = bytes.len().min(PAGE_BYTES);
+    let mut pairs = bytes[..n].chunks_exact(2);
+    for (w, pair) in words.iter_mut().zip(pairs.by_ref()) {
+        *w = u16::from_be_bytes([pair[0], pair[1]]);
+    }
+    if let [last] = pairs.remainder() {
+        words[n / 2] = (*last as u16) << 8;
     }
 }
 
 /// Unpacks page words into bytes.
 pub fn unpack_bytes(words: &[u16; DATA_WORDS]) -> [u8; PAGE_BYTES] {
     let mut out = [0u8; PAGE_BYTES];
-    for (i, &w) in words.iter().enumerate() {
-        out[2 * i] = (w >> 8) as u8;
-        out[2 * i + 1] = w as u8;
+    for (pair, &w) in out.chunks_exact_mut(2).zip(words.iter()) {
+        pair.copy_from_slice(&w.to_be_bytes());
     }
     out
 }
 
 /// Converts a word vector to bytes (for word-structured file payloads).
 pub fn words_to_bytes(words: &[u16]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(words.len() * 2);
-    for &w in words {
-        out.push((w >> 8) as u8);
-        out.push(w as u8);
+    let mut out = vec![0u8; words.len() * 2];
+    for (pair, &w) in out.chunks_exact_mut(2).zip(words.iter()) {
+        pair.copy_from_slice(&w.to_be_bytes());
     }
     out
 }
@@ -1027,7 +1028,7 @@ pub fn words_to_bytes(words: &[u16]) -> Vec<u8> {
 pub fn bytes_to_words(bytes: &[u8]) -> Vec<u16> {
     bytes
         .chunks(2)
-        .map(|c| ((c[0] as u16) << 8) | c.get(1).map(|&b| b as u16).unwrap_or(0))
+        .map(|c| u16::from_be_bytes([c[0], c.get(1).copied().unwrap_or(0)]))
         .collect()
 }
 

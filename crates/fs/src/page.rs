@@ -97,6 +97,11 @@ pub fn read_raw<D: Disk>(
 /// One page's outcome within a batch: its verified label and data.
 pub type PageResult = Result<(Label, [u16; DATA_WORDS]), FsError>;
 
+/// What [`drain_and_prefetch`] hands back: the parked writes' captured
+/// labels (in `writes` order) and the guessed reads' results (in page
+/// order).
+pub type DrainOutcome = (Vec<Result<Label, FsError>>, Vec<PageResult>);
+
 /// Reads many raw sectors as one chained batch — the Scavenger's sweep
 /// primitive. Passing a whole cylinder's sectors lets the drive service
 /// them in rotational order, in about two revolutions instead of one
@@ -194,6 +199,72 @@ pub fn write_pages_guessed<D: Disk>(
             })
         })
         .collect())
+}
+
+/// Drains a write-behind buffer and refills a readahead buffer in one
+/// chained batch: the parked dirty pages are written back at their *known*
+/// addresses (ordinary data writes, each label checked before the value is
+/// touched, §3.3) while the `read_count` pages from `read_start` on are
+/// read at guessed-consecutive addresses — one command set-up and one
+/// rotational schedule cover both directions, which is what makes delayed
+/// writes cheap.
+///
+/// Unlike [`write_pages_guessed`] the write addresses are not guesses (the
+/// stream verified each page's label when it loaded it), so this is safe
+/// for any file; the check still arbitrates if the medium changed since.
+/// Returns the writes' captured labels in `writes` order and the reads'
+/// results in page order. An empty `writes` or a zero `read_count` simply
+/// shrinks the batch.
+pub fn drain_and_prefetch<D: Disk>(
+    disk: &mut D,
+    fv: Fv,
+    writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
+    read_start: Option<PageName>,
+    read_count: u16,
+) -> Result<DrainOutcome, FsError> {
+    let pack = disk.pack_number()?;
+    let reads = match read_start {
+        Some(_) => read_count,
+        None => 0,
+    };
+    let mut batch = Vec::with_capacity(writes.len() + reads as usize);
+    for &(page, da, ref data) in writes {
+        let mut buf = SectorBuf::with_label(fv.check_label(page));
+        buf.header = [pack, da.0];
+        buf.data = *data;
+        batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
+    }
+    if let Some(start) = read_start {
+        for j in 0..reads {
+            let da = DiskAddress(start.da.0.wrapping_add(j));
+            let mut buf = SectorBuf::with_label(fv.check_label(start.page + j));
+            buf.header = [pack, da.0];
+            batch.push(BatchRequest::new(da, SectorOp::READ, buf));
+        }
+    }
+    let results = disk.do_batch(&mut batch);
+    let mut write_out = Vec::with_capacity(writes.len());
+    let mut read_out = Vec::with_capacity(reads as usize);
+    for (k, (res, req)) in results.into_iter().zip(batch).enumerate() {
+        if k < writes.len() {
+            let (page, da, _) = writes[k];
+            write_out.push(res.map_err(FsError::from).and_then(|()| {
+                let label = req.buf.decoded_label();
+                verify_absolutes(da, fv, page, &label)?;
+                Ok(label)
+            }));
+        } else {
+            let start = read_start.expect("read requests imply a start");
+            let j = (k - writes.len()) as u16;
+            let da = DiskAddress(start.da.0.wrapping_add(j));
+            read_out.push(res.map_err(FsError::from).and_then(|()| {
+                let label = req.buf.decoded_label();
+                verify_absolutes(da, fv, start.page + j, &label)?;
+                Ok((label, req.buf.data))
+            }));
+        }
+    }
+    Ok((write_out, read_out))
 }
 
 /// Allocates the free sector `da` as the page with `label`, writing `data`.
@@ -439,6 +510,49 @@ mod tests {
         // revolution, at most a revolution plus the initial rotational wait.
         assert!(elapsed >= timing.revolution());
         assert!(elapsed < timing.revolution().scaled(2) + timing.sector_time);
+    }
+
+    #[test]
+    fn drain_and_prefetch_is_one_batch_both_directions() {
+        let mut d = drive();
+        // Four consecutive pages of one file.
+        for i in 0..4u16 {
+            let next = if i == 3 {
+                DiskAddress::NIL
+            } else {
+                DiskAddress(41 + i)
+            };
+            let prev = if i == 0 {
+                DiskAddress::NIL
+            } else {
+                DiskAddress(39 + i)
+            };
+            allocate_at(
+                &mut d,
+                DiskAddress(40 + i),
+                label_for(i + 1, next, prev),
+                &[i; DATA_WORDS],
+            )
+            .unwrap();
+        }
+        d.reset_stats();
+        // Write back pages 1-2 and prefetch pages 3-4, all as one batch.
+        let writes = [
+            (1u16, DiskAddress(40), [0xAAu16; DATA_WORDS]),
+            (2u16, DiskAddress(41), [0xBBu16; DATA_WORDS]),
+        ];
+        let start = PageName::new(fv(), 3, DiskAddress(42));
+        let (wrote, read) = drain_and_prefetch(&mut d, fv(), &writes, Some(start), 2).unwrap();
+        assert!(wrote.iter().all(|r| r.is_ok()));
+        let (l3, d3) = read[0].as_ref().unwrap();
+        assert_eq!(l3.page_number, 3);
+        assert_eq!(d3[0], 2);
+        assert!(read[1].is_ok());
+        assert_eq!(d.stats().batches, 1);
+        assert_eq!(d.stats().batched_ops, 4);
+        // The writes landed.
+        let (_, data) = read_page(&mut d, PageName::new(fv(), 1, DiskAddress(40))).unwrap();
+        assert_eq!(data, [0xAA; DATA_WORDS]);
     }
 
     #[test]

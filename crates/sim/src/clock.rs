@@ -152,6 +152,20 @@ impl SimClock {
         let out = f();
         (out, self.now() - start)
     }
+
+    /// Sets the clock to an absolute instant.
+    ///
+    /// This exists for devices that model *overlapped* internal timelines:
+    /// a dual-drive adapter executes each unit's half of a batch from the
+    /// same start instant and then sets the clock to the later finish, so
+    /// the elapsed time is the maximum of the two units' times rather than
+    /// their sum. It must only be used by a device while it has exclusive
+    /// control of the timeline (a synchronous operation), so no other
+    /// device observes an intermediate instant. Ordinary devices should
+    /// only ever [`SimClock::advance`].
+    pub fn set(&self, t: SimTime) {
+        self.now.set(t.as_nanos());
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +213,17 @@ mod tests {
         });
         assert_eq!(value, 42);
         assert_eq!(dt, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn set_rewinds_and_forwards_all_handles() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        clock.advance(SimTime::from_millis(10));
+        other.set(SimTime::from_millis(4));
+        assert_eq!(clock.now().as_millis(), 4);
+        other.set(SimTime::from_millis(25));
+        assert_eq!(clock.now().as_millis(), 25);
     }
 
     #[test]

@@ -15,8 +15,22 @@
 //! a handful of following pages in one chained batch (§3.6 guessed
 //! transfers) and serves later crossings from memory. The buffered pages
 //! are guarded by the disk's [`Disk::write_epoch`] — any write to the
-//! medium, through this stream or behind its back, drops them — so a
-//! reader never observes stale prefetched data.
+//! medium behind the stream's back drops them — so a reader never observes
+//! stale prefetched data.
+//!
+//! Sequential writers get the symmetric **write-behind**: a page crossing
+//! parks the dirty page in a delayed-write buffer instead of flushing it,
+//! and a drain writes all parked pages as one chained batch — combined
+//! with the next readahead refill when possible, so four writes and four
+//! reads ride on a single command set-up. Every parked page keeps the full
+//! §3.3 check-before-write discipline when it finally transfers. Explicit
+//! `flush`/`close`, seeks, epoch conflicts (a foreign write to the medium)
+//! and buffer pressure all drain. The stream re-stamps its epoch after its
+//! *own* drain — the drain bumps the epoch once for the whole batch and
+//! must not poison the stream's own readahead — while foreign writes still
+//! invalidate. Label-changing pages (length growth, extension) never park:
+//! a label rewrite is a check pass plus a write pass on one sector and
+//! cannot chain.
 
 use alto_disk::{Disk, DiskAddress, Label, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
@@ -73,15 +87,29 @@ pub struct DiskByteStream<D: Disk> {
     consecutive_hint: bool,
     /// Pages prefetched beyond the current one: `(page, da, label, data)`.
     readahead: Vec<(u16, DiskAddress, Label, [u16; DATA_WORDS])>,
-    /// The disk's [`Disk::write_epoch`] when `readahead` was filled; any
-    /// change means a write reached the medium and the copies may be stale.
-    readahead_epoch: u64,
+    /// The disk's [`Disk::write_epoch`] as of this stream's own last drain
+    /// or refill; a different value means a *foreign* write reached the
+    /// medium, so prefetched copies may be stale and parked pages should
+    /// meet their label checks promptly.
+    medium_epoch: u64,
+    /// Dirty pages parked for a delayed write: `(page, da, data)`. Only
+    /// pages whose labels are unchanged park here; they are genuinely
+    /// absent from the medium until a drain writes them back.
+    write_behind: Vec<(u16, DiskAddress, [u16; DATA_WORDS])>,
+    /// The ablation switch: off restores one synchronous flush per page
+    /// crossing.
+    write_behind_enabled: bool,
     _disk: std::marker::PhantomData<D>,
 }
 
 /// Pages fetched per readahead batch (the current page plus up to three
 /// prefetched followers).
 const READAHEAD_PAGES: u16 = 4;
+
+/// Dirty pages parked before buffer pressure forces a drain (symmetric
+/// with [`READAHEAD_PAGES`], so a combined drain-and-refill batch moves up
+/// to eight sectors on one command set-up).
+const WRITE_BEHIND_PAGES: usize = 4;
 
 impl<D: Disk> DiskByteStream<D> {
     /// Opens a stream on `file`, positioned at byte 0. The leader comes
@@ -92,6 +120,7 @@ impl<D: Disk> DiskByteStream<D> {
         let da = leader_label.next;
         let pn = PageName::new(file.fv, 1, da);
         let (label, buffer) = fs.read_page(pn)?;
+        let medium_epoch = fs.disk().write_epoch();
         Ok(DiskByteStream {
             file,
             page: 1,
@@ -105,7 +134,9 @@ impl<D: Disk> DiskByteStream<D> {
             closed: false,
             consecutive_hint: leader.maybe_consecutive,
             readahead: Vec::new(),
-            readahead_epoch: 0,
+            medium_epoch,
+            write_behind: Vec::new(),
+            write_behind_enabled: true,
             _disk: std::marker::PhantomData,
         })
     }
@@ -166,8 +197,11 @@ impl<D: Disk> DiskByteStream<D> {
         self.file
     }
 
-    /// Writes the buffered page back if modified.
+    /// Writes everything pending back to the medium: first the parked
+    /// write-behind pages (one chained batch), then the current page if
+    /// modified.
     pub fn flush(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.drain(fs)?;
         if !self.dirty {
             return Ok(());
         }
@@ -180,6 +214,70 @@ impl<D: Disk> DiskByteStream<D> {
         self.dirty = false;
         self.label_changed = false;
         Ok(())
+    }
+
+    /// Enables or disables write-behind (on by default). Turning it off
+    /// drains anything parked and restores one synchronous flush per page
+    /// crossing — the old write path, kept runnable as an ablation in the
+    /// same spirit as `UnscheduledDisk`.
+    pub fn set_write_behind(
+        &mut self,
+        fs: &mut FileSystem<D>,
+        enabled: bool,
+    ) -> Result<(), StreamError> {
+        if !enabled {
+            self.drain(fs)?;
+        }
+        self.write_behind_enabled = enabled;
+        Ok(())
+    }
+
+    /// Writes all parked pages back as one chained batch. Each page is an
+    /// ordinary data write at its known address whose label check must
+    /// pass before the value transfers (§3.3), so a conflicting foreign
+    /// change surfaces as an error here rather than corrupting anything.
+    /// The batch bumps the write epoch once for this stream's purposes:
+    /// its own readahead stays valid (the parked pages all lie behind the
+    /// read cursor), so the epoch is re-stamped after the drain.
+    fn drain(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        if self.write_behind.is_empty() {
+            return Ok(());
+        }
+        let writes = std::mem::take(&mut self.write_behind);
+        let (results, _) =
+            alto_fs::page::drain_and_prefetch(fs.disk_mut(), self.file.fv, &writes, None, 0)?;
+        fs.disk_mut().note_write_behind(writes.len() as u64);
+        self.medium_epoch = fs.disk().write_epoch();
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Crossing out of the current page: park it dirty for a delayed write,
+    /// or flush synchronously when write-behind is off or the label changed
+    /// (a label rewrite is a check pass plus a write pass on one sector and
+    /// cannot ride in a chained data batch).
+    fn park_or_flush(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if !self.write_behind_enabled || self.label_changed {
+            return self.flush(fs);
+        }
+        self.write_behind.push((self.page, self.da, self.buffer));
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The shared page-crossing step of [`Self::get_byte`],
+    /// [`Self::put_byte`] and the bulk slice paths: hands the current page
+    /// to the write-behind buffer (or flushes it) and advances to the next
+    /// page of the chain.
+    fn advance_to_next_page(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
+        self.park_or_flush(fs)?;
+        let (next_page, next_da) = (self.page + 1, self.label.next);
+        self.advance_page(fs, next_page, next_da)
     }
 
     fn check_open(&self) -> Result<(), StreamError> {
@@ -208,20 +306,32 @@ impl<D: Disk> DiskByteStream<D> {
 
     /// Moves to `(page, da)`, serving from the readahead buffer when it is
     /// still fresh and refilling it with a chained guessed batch (§3.6)
-    /// when the leader hints the file is consecutively laid out.
+    /// when the leader hints the file is consecutively laid out. A refill
+    /// drains the write-behind buffer in the *same* batch: in the steady
+    /// sequential-write state one command set-up and one rotational
+    /// schedule cover [`WRITE_BEHIND_PAGES`] writes behind the cursor plus
+    /// [`READAHEAD_PAGES`] reads ahead of it.
     fn advance_page(
         &mut self,
         fs: &mut FileSystem<D>,
         page: u16,
         da: DiskAddress,
     ) -> Result<(), StreamError> {
-        // Any write to the medium since the prefetch — through this stream
-        // or behind its back — may have moved, freed or rewritten the
-        // buffered pages: drop them.
-        if fs.disk().write_epoch() != self.readahead_epoch {
+        // A *foreign* write to the medium since this stream's last drain or
+        // refill may have moved, freed or rewritten the buffered pages:
+        // drop the prefetched copies, and get the parked pages to their
+        // label checks promptly (the checks arbitrate any conflict).
+        if fs.disk().write_epoch() != self.medium_epoch {
             self.readahead.clear();
+            self.drain(fs)?;
         }
         if let Some(i) = self.readahead.iter().position(|e| e.0 == page && e.1 == da) {
+            // Buffer pressure: drain before yet another page parks. The
+            // prefetched copies survive the stream's own drain — the parked
+            // pages lie behind the cursor, the prefetched ones ahead.
+            if self.write_behind.len() >= WRITE_BEHIND_PAGES {
+                self.drain(fs)?;
+            }
             let (p, d, label, buffer) = self.readahead.remove(i);
             fs.disk_mut().note_readahead(1, 0);
             self.page = p;
@@ -233,47 +343,65 @@ impl<D: Disk> DiskByteStream<D> {
         }
         self.readahead.clear();
         if self.consecutive_hint {
-            if let Ok(mut entries) = alto_fs::page::read_pages_guessed(
+            let writes = std::mem::take(&mut self.write_behind);
+            match alto_fs::page::drain_and_prefetch(
                 fs.disk_mut(),
                 self.file.fv,
-                PageName::new(self.file.fv, page, da),
+                &writes,
+                Some(PageName::new(self.file.fv, page, da)),
                 READAHEAD_PAGES,
             ) {
-                let first = if entries.is_empty() {
-                    None
-                } else {
-                    Some(entries.remove(0))
-                };
-                if let Some(Ok((label, buffer))) = first {
-                    self.readahead_epoch = fs.disk().write_epoch();
-                    // Keep followers only while the verified links confirm
-                    // the guessed consecutive run.
-                    let mut expect_next = label.next;
-                    let mut prefetched = 0u64;
-                    for (j, entry) in entries.into_iter().enumerate() {
-                        let Ok((l, d)) = entry else { break };
-                        let guess = DiskAddress(da.0.wrapping_add(j as u16 + 1));
-                        if expect_next != guess {
-                            break;
+                Ok((write_results, mut entries)) => {
+                    if !writes.is_empty() {
+                        fs.disk_mut().note_write_behind(writes.len() as u64);
+                    }
+                    self.medium_epoch = fs.disk().write_epoch();
+                    for r in write_results {
+                        r?;
+                    }
+                    let first = if entries.is_empty() {
+                        None
+                    } else {
+                        Some(entries.remove(0))
+                    };
+                    if let Some(Ok((label, buffer))) = first {
+                        // Keep followers only while the verified links
+                        // confirm the guessed consecutive run.
+                        let mut expect_next = label.next;
+                        let mut prefetched = 0u64;
+                        for (j, entry) in entries.into_iter().enumerate() {
+                            let Ok((l, d)) = entry else { break };
+                            let guess = DiskAddress(da.0.wrapping_add(j as u16 + 1));
+                            if expect_next != guess {
+                                break;
+                            }
+                            self.readahead.push((page + j as u16 + 1, guess, l, d));
+                            prefetched += 1;
+                            expect_next = l.next;
                         }
-                        self.readahead.push((page + j as u16 + 1, guess, l, d));
-                        prefetched += 1;
-                        expect_next = l.next;
+                        if prefetched > 0 {
+                            fs.disk_mut().note_readahead(0, prefetched);
+                        }
+                        self.page = page;
+                        self.da = da;
+                        self.label = label;
+                        self.buffer = buffer;
+                        self.offset = 0;
+                        return Ok(());
                     }
-                    if prefetched > 0 {
-                        fs.disk_mut().note_readahead(0, prefetched);
-                    }
-                    self.page = page;
-                    self.da = da;
-                    self.label = label;
-                    self.buffer = buffer;
-                    self.offset = 0;
-                    return Ok(());
+                    // Entry 0 failed: the hint chain is authoritative
+                    // there, so let the ordinary path (with its hint
+                    // recovery) handle it. The drain already happened.
                 }
-                // Entry 0 failed: the hint chain is authoritative there, so
-                // let the ordinary path (with its hint recovery) handle it.
+                Err(e) => {
+                    // The batch never reached the disk (pre-flight error):
+                    // nothing landed, so the parked pages are still owed.
+                    self.write_behind = writes;
+                    return Err(e.into());
+                }
             }
         }
+        self.drain(fs)?;
         self.load_page(fs, page, da)
     }
 
@@ -308,9 +436,7 @@ impl<D: Disk> DiskByteStream<D> {
             if (self.label.length as usize) < PAGE_BYTES || self.label.next.is_nil() {
                 return Err(StreamError::EndOfStream);
             }
-            self.flush(fs)?;
-            let (next_page, next_da) = (self.page + 1, self.label.next);
-            self.advance_page(fs, next_page, next_da)?;
+            self.advance_to_next_page(fs)?;
         }
     }
 
@@ -322,9 +448,7 @@ impl<D: Disk> DiskByteStream<D> {
             if self.label.next.is_nil() {
                 self.extend(fs)?;
             } else {
-                self.flush(fs)?;
-                let (next_page, next_da) = (self.page + 1, self.label.next);
-                self.advance_page(fs, next_page, next_da)?;
+                self.advance_to_next_page(fs)?;
             }
         }
         self.set_byte(self.offset, b);
@@ -334,6 +458,113 @@ impl<D: Disk> DiskByteStream<D> {
             self.label.length = self.offset as u16;
             self.label_changed = true;
             self.resized = true;
+        }
+        Ok(())
+    }
+
+    /// Copies `out.len()` bytes out of `words` starting at byte `start`.
+    /// Bytes sit big-endian in the 16-bit words; the odd edges are peeled
+    /// off so the body is whole-word slice copies.
+    fn copy_out(words: &[u16; DATA_WORDS], start: usize, out: &mut [u8]) {
+        let mut i = 0;
+        let mut pos = start;
+        if !pos.is_multiple_of(2) && i < out.len() {
+            out[i] = words[pos / 2] as u8;
+            i += 1;
+            pos += 1;
+        }
+        let pairs = (out.len() - i) / 2;
+        for (chunk, &w) in out[i..i + 2 * pairs]
+            .chunks_exact_mut(2)
+            .zip(&words[pos / 2..])
+        {
+            chunk.copy_from_slice(&w.to_be_bytes());
+        }
+        i += 2 * pairs;
+        pos += 2 * pairs;
+        if i < out.len() {
+            out[i] = (words[pos / 2] >> 8) as u8;
+        }
+    }
+
+    /// Copies `bytes` into `words` starting at byte `start` (the converse
+    /// of [`Self::copy_out`]; partial words at the edges are merged).
+    fn copy_in(words: &mut [u16; DATA_WORDS], start: usize, bytes: &[u8]) {
+        let mut i = 0;
+        let mut pos = start;
+        if !pos.is_multiple_of(2) && i < bytes.len() {
+            let w = &mut words[pos / 2];
+            *w = (*w & 0xFF00) | bytes[i] as u16;
+            i += 1;
+            pos += 1;
+        }
+        let pairs = (bytes.len() - i) / 2;
+        for (chunk, w) in bytes[i..i + 2 * pairs]
+            .chunks_exact(2)
+            .zip(&mut words[pos / 2..])
+        {
+            *w = u16::from_be_bytes([chunk[0], chunk[1]]);
+        }
+        i += 2 * pairs;
+        pos += 2 * pairs;
+        if i < bytes.len() {
+            let w = &mut words[pos / 2];
+            *w = (*w & 0x00FF) | ((bytes[i] as u16) << 8);
+        }
+    }
+
+    /// Reads up to `out.len()` bytes, moving whole runs out of the page
+    /// buffer with slice copies instead of per-byte dispatch — the bulk
+    /// fast path. Short only at the end of the stream.
+    pub fn read_bytes(
+        &mut self,
+        fs: &mut FileSystem<D>,
+        out: &mut [u8],
+    ) -> Result<usize, StreamError> {
+        self.check_open()?;
+        let mut done = 0;
+        while done < out.len() {
+            let avail = (self.label.length as usize).saturating_sub(self.offset);
+            if avail == 0 {
+                if (self.label.length as usize) < PAGE_BYTES || self.label.next.is_nil() {
+                    break;
+                }
+                self.advance_to_next_page(fs)?;
+                continue;
+            }
+            let n = avail.min(out.len() - done);
+            Self::copy_out(&self.buffer, self.offset, &mut out[done..done + n]);
+            self.offset += n;
+            done += n;
+        }
+        Ok(done)
+    }
+
+    /// Writes all of `bytes`, moving whole runs into the page buffer with
+    /// slice copies. Page crossings ride the same write-behind machinery
+    /// as [`Self::put_byte`], so a long sequential write drains in chained
+    /// batches.
+    pub fn write_bytes(&mut self, fs: &mut FileSystem<D>, bytes: &[u8]) -> Result<(), StreamError> {
+        self.check_open()?;
+        let mut done = 0;
+        while done < bytes.len() {
+            if self.offset == PAGE_BYTES {
+                if self.label.next.is_nil() {
+                    self.extend(fs)?;
+                } else {
+                    self.advance_to_next_page(fs)?;
+                }
+            }
+            let n = (PAGE_BYTES - self.offset).min(bytes.len() - done);
+            Self::copy_in(&mut self.buffer, self.offset, &bytes[done..done + n]);
+            self.offset += n;
+            done += n;
+            self.dirty = true;
+            if self.offset > self.label.length as usize {
+                self.label.length = self.offset as u16;
+                self.label_changed = true;
+                self.resized = true;
+            }
         }
         Ok(())
     }
@@ -400,6 +631,14 @@ impl<D: Disk> Stream<FileSystem<D>> for DiskByteStream<D> {
 
     fn put(&mut self, fs: &mut FileSystem<D>, item: u16) -> Result<(), StreamError> {
         self.put_byte(fs, item as u8)
+    }
+
+    fn read_bytes(&mut self, fs: &mut FileSystem<D>, out: &mut [u8]) -> Result<usize, StreamError> {
+        DiskByteStream::read_bytes(self, fs, out)
+    }
+
+    fn write_bytes(&mut self, fs: &mut FileSystem<D>, bytes: &[u8]) -> Result<(), StreamError> {
+        DiskByteStream::write_bytes(self, fs, bytes)
     }
 
     fn reset(&mut self, fs: &mut FileSystem<D>) -> Result<(), StreamError> {
@@ -762,6 +1001,100 @@ mod tests {
             assert_eq!(s.get_byte(&mut fs).unwrap(), expect, "byte {i}");
         }
         assert_eq!(s.get_byte(&mut fs), Err(StreamError::EndOfStream));
+    }
+
+    #[test]
+    fn parked_pages_are_absent_until_drained() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "wb.dat");
+        fs.write_file(f, &vec![0u8; 8 * 512]).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        // Cross into page 5: page 1 drained with the first readahead
+        // refill, pages 2..4 still parked in the write-behind buffer.
+        for _ in 0..(4 * 512 + 10) {
+            s.put_byte(&mut fs, 7).unwrap();
+        }
+        let on_disk = fs.read_file(f).unwrap();
+        assert_eq!(&on_disk[..512], &[7u8; 512][..], "page 1 was drained");
+        assert_eq!(
+            &on_disk[512..1024],
+            &[0u8; 512][..],
+            "page 2 is parked, not yet on the medium"
+        );
+        // An explicit flush drains the parked pages as one chained batch.
+        s.flush(&mut fs).unwrap();
+        let on_disk = fs.read_file(f).unwrap();
+        assert_eq!(&on_disk[..4 * 512 + 10], &[7u8; 4 * 512 + 10][..]);
+        let stats = fs.disk().io_stats();
+        assert_eq!(stats.wb_drains, 2);
+        assert_eq!(stats.wb_coalesced, 4);
+        s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn bulk_round_trip_with_odd_edges() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "bulk.dat");
+        let bytes: Vec<u8> = (0..3000u32).map(|i| (i % 253) as u8).collect();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        // Start the bulk write at an odd byte offset.
+        s.put_byte(&mut fs, 0xEE).unwrap();
+        s.write_bytes(&mut fs, &bytes).unwrap();
+        s.close(&mut fs).unwrap();
+        let mut want = vec![0xEE];
+        want.extend_from_slice(&bytes);
+        assert_eq!(fs.read_file(f).unwrap(), want);
+        // Read back in ragged chunks through a fresh stream.
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        let mut back = Vec::new();
+        let mut chunk = [0u8; 7];
+        loop {
+            let n = s.read_bytes(&mut fs, &mut chunk).unwrap();
+            back.extend_from_slice(&chunk[..n]);
+            if n < chunk.len() {
+                break;
+            }
+        }
+        assert_eq!(back, want);
+        // And an odd-offset seek followed by a large read.
+        s.set_position(&mut fs, 1001).unwrap();
+        let mut tail = vec![0u8; 800];
+        assert_eq!(s.read_bytes(&mut fs, &mut tail).unwrap(), 800);
+        assert_eq!(tail, &want[1001..1801]);
+        s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn write_behind_off_never_parks() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "abl.dat");
+        fs.write_file(f, &vec![0u8; 6 * 512]).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        s.set_write_behind(&mut fs, false).unwrap();
+        for _ in 0..(3 * 512) {
+            s.put_byte(&mut fs, 9).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        assert_eq!(fs.disk().io_stats().wb_drains, 0);
+        assert_eq!(&fs.read_file(f).unwrap()[..3 * 512], &[9u8; 3 * 512][..]);
+    }
+
+    #[test]
+    fn readahead_survives_the_streams_own_drain() {
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "ra.dat");
+        fs.write_file(f, &vec![0u8; 8 * 512]).unwrap();
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        for _ in 0..(8 * 512) {
+            s.put_byte(&mut fs, 5).unwrap();
+        }
+        s.close(&mut fs).unwrap();
+        // Crossings into pages 3..5 and 7..8 are served from the readahead
+        // buffer: the stream's own drains re-stamp the epoch instead of
+        // poisoning its prefetched copies.
+        let stats = fs.disk().stats();
+        assert_eq!(stats.readahead_hits, 5);
+        assert_eq!(fs.read_file(f).unwrap(), vec![5u8; 8 * 512]);
     }
 
     #[test]

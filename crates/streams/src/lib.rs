@@ -47,6 +47,30 @@ pub trait Stream<W> {
         Err(StreamError::NotSupported("put"))
     }
 
+    /// Reads up to `out.len()` bytes, one item per byte (items carry bytes
+    /// in their low half). Returns how many bytes were read — short only
+    /// at the end of the input. This default is per-item dispatch; streams
+    /// with page buffers (the disk streams) override it with slice copies.
+    fn read_bytes(&mut self, world: &mut W, out: &mut [u8]) -> Result<usize, StreamError> {
+        for (i, slot) in out.iter_mut().enumerate() {
+            match self.get(world) {
+                Ok(item) => *slot = item as u8,
+                Err(StreamError::EndOfStream) => return Ok(i),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out.len())
+    }
+
+    /// Writes every byte of `bytes`, one item per byte. Same override note
+    /// as [`Stream::read_bytes`].
+    fn write_bytes(&mut self, world: &mut W, bytes: &[u8]) -> Result<(), StreamError> {
+        for &b in bytes {
+            self.put(world, b as u16)?;
+        }
+        Ok(())
+    }
+
     /// Puts the stream into its standard initial state ("the exact meaning
     /// of this operation depends on the type of the stream", §2).
     fn reset(&mut self, world: &mut W) -> Result<(), StreamError>;
@@ -114,5 +138,17 @@ mod tests {
         let mut s: Box<dyn Stream<()>> = Box::new(MemoryStream::from_words(&[1, 2]));
         assert_eq!(s.get(&mut ()).unwrap(), 1);
         assert_eq!(read_all(&mut *s, &mut ()).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn default_bulk_operations_ride_on_get_and_put() {
+        let mut s = MemoryStream::from_words(&[7, 8, 9]);
+        let mut buf = [0u8; 5];
+        // Short read at end of input, not an error.
+        assert_eq!(s.read_bytes(&mut (), &mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], &[7, 8, 9]);
+        let mut w = MemoryStream::new();
+        w.write_bytes(&mut (), &[4, 5]).unwrap();
+        assert_eq!(w.contents(), &[4, 5]);
     }
 }
