@@ -10,7 +10,9 @@
 //! The `pr2` experiment measures the in-core hint cache (directory name
 //! index, leader cache, placement-aware allocation) against its ablation;
 //! `pr3` measures the write-behind pipeline (delayed-write stream
-//! buffering and dual-drive batch overlap) against its ablations.
+//! buffering and dual-drive batch overlap) against its ablations;
+//! `pr4` measures transient-fault recovery (bounded retry vs the
+//! abort-immediately ablation) and the retry layer's zero-fault overhead.
 //! `--json <path>` additionally writes the numbers as machine-readable
 //! JSON for CI to archive and diff.
 
@@ -81,6 +83,9 @@ fn main() {
     }
     if want("pr3") {
         pr3_write_behind_bench(json_path.as_deref());
+    }
+    if want("pr4") {
+        pr4_retry_bench(json_path.as_deref());
     }
 }
 
@@ -1032,6 +1037,128 @@ fn pr3_write_behind_bench(json_path: Option<&str>) {
             us(serial),
             us(overlapped),
             us(saved),
+        );
+        std::fs::write(path, json).unwrap();
+        println!("(wrote {path})");
+    }
+}
+
+/// PR4 — transient faults and bounded retry: a seeded campaign at a 1e-3
+/// per-operation fault rate must recover invisibly; with the retry budget
+/// ablated to zero the same campaign surfaces errors; and at a zero fault
+/// rate the retry layer costs nothing.
+fn pr4_retry_bench(json_path: Option<&str>) {
+    header(
+        "PR4",
+        "transient-fault recovery (bounded retry) vs abort-immediately ablation",
+    );
+
+    // --- seeded campaign, same fault stream at both retry budgets -------
+    let ops = 120usize;
+    let campaign = |retries: u32| -> (alto_disk::DriveStats, u64) {
+        let mut fs = fresh_fs(DiskModel::Diablo31);
+        fs.disk_mut().set_retries(retries);
+        fs.disk_mut().injector_mut().set_campaign(0xBEEF, 1, 1000);
+        let root = fs.root_dir();
+        let mut rng = SplitMix64::new(777);
+        let mut caller_errors = 0u64;
+        for i in 0..ops {
+            let name = format!("w-{}.dat", i % 12);
+            let f = match dir::lookup(&mut fs, root, &name) {
+                Ok(Some(f)) => f,
+                Ok(None) => match dir::create_named_file(&mut fs, root, &name) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        caller_errors += 1;
+                        continue;
+                    }
+                },
+                Err(_) => {
+                    caller_errors += 1;
+                    continue;
+                }
+            };
+            let len = (rng.next_below(3000) + 1) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
+            match fs.write_file(f, &bytes) {
+                Err(_) => caller_errors += 1,
+                Ok(()) => {
+                    if fs.read_file(f).is_err() {
+                        caller_errors += 1;
+                    }
+                }
+            }
+        }
+        (fs.disk().io_stats(), caller_errors)
+    };
+    let (with_retry, errors_with_retry) = campaign(3);
+    let (ablated, errors_ablated) = campaign(0);
+    let episodes = with_retry.recovered + with_retry.hard_failures;
+    let recovered_fraction = if episodes == 0 {
+        1.0
+    } else {
+        with_retry.recovered as f64 / episodes as f64
+    };
+    println!("seeded campaign: {ops} file ops at a 1e-3 per-sector-op fault rate:");
+    println!(
+        "{:<28} {:>6} {:>8} {:>10} {:>6} {:>8}",
+        "retry budget", "soft", "retries", "recovered", "hard", "surfaced"
+    );
+    for (name, s, surfaced) in [
+        ("3 attempts (default)", &with_retry, errors_with_retry),
+        ("0 attempts (ablation)", &ablated, errors_ablated),
+    ] {
+        println!(
+            "{name:<28} {:>6} {:>8} {:>10} {:>6} {:>8}",
+            s.soft_errors, s.retries, s.recovered, s.hard_failures, surfaced
+        );
+    }
+    println!(
+        "recovered fraction: {recovered_fraction:.3} (acceptance: >= 0.99 \
+         with 0 caller-visible errors; ablation must surface errors)"
+    );
+    assert!(with_retry.soft_errors > 0, "the campaign never fired");
+    assert!(recovered_fraction >= 0.99);
+    assert_eq!(errors_with_retry, 0, "a fault reached the caller");
+    assert!(errors_ablated > 0, "the ablation surfaced nothing");
+
+    // --- zero-fault overhead -------------------------------------------
+    let pages = 100usize;
+    let seq_read = |retries: u32| -> SimTime {
+        let mut fs = fresh_fs(DiskModel::Diablo31);
+        fs.disk_mut().set_retries(retries);
+        let clock = fs.disk().clock().clone();
+        let f = consecutive_file(&mut fs, "seq.dat", pages);
+        let t0 = clock.now();
+        fs.read_file(f).unwrap();
+        clock.now() - t0
+    };
+    let retry_on = seq_read(3);
+    let retry_off = seq_read(0);
+    let overhead = retry_on.as_nanos() as f64 / retry_off.as_nanos() as f64;
+    println!("\nzero-fault overhead, {pages}-page sequential read:");
+    println!(
+        "retry enabled {:.1} ms, retry disabled {:.1} ms, ratio {overhead:.3} \
+         (acceptance: <= 1.02)",
+        retry_on.as_nanos() as f64 / 1e6,
+        retry_off.as_nanos() as f64 / 1e6,
+    );
+    assert!(overhead <= 1.02);
+
+    if let Some(path) = json_path {
+        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+        let json = format!(
+            "{{\n  \"schema\": \"alto-bench/pr4\",\n  \"campaign\": {{\n    \"fault_rate\": 0.001,\n    \"file_ops\": {ops},\n    \"soft_errors\": {},\n    \"retries\": {},\n    \"recovered\": {},\n    \"hard_failures\": {},\n    \"caller_errors\": {},\n    \"recovered_fraction\": {recovered_fraction:.4}\n  }},\n  \"ablation_retries_0\": {{\n    \"soft_errors\": {},\n    \"hard_failures\": {},\n    \"caller_errors\": {}\n  }},\n  \"zero_fault_overhead\": {{\n    \"pages\": {pages},\n    \"retry_on_us\": {:.1},\n    \"retry_off_us\": {:.1},\n    \"ratio\": {overhead:.4}\n  }}\n}}\n",
+            with_retry.soft_errors,
+            with_retry.retries,
+            with_retry.recovered,
+            with_retry.hard_failures,
+            errors_with_retry,
+            ablated.soft_errors,
+            ablated.hard_failures,
+            errors_ablated,
+            us(retry_on),
+            us(retry_off),
         );
         std::fs::write(path, json).unwrap();
         println!("(wrote {path})");

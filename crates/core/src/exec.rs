@@ -17,7 +17,7 @@
 //! | `rename OLD NEW` | re-enter a file under a new name |
 //! | `space` | free/used page counts |
 //! | `cachestats` | hint-cache hit/miss/invalidation counters |
-//! | `iostat` | per-disk I/O counters: sectors, batches, readahead, write-behind, overlap |
+//! | `iostat` | per-disk I/O counters: sectors, batches, readahead, write-behind, overlap, retry |
 //! | `levels` | show the Junta level table |
 //! | `scavenge` | run the Scavenger |
 //! | `compact` | run the compacting scavenger |
@@ -165,7 +165,8 @@ impl<D: Disk> AltoOs<D> {
                     "{} sectors read, {} written; {} batches ({} chained of {} batched ops)\n\
                      readahead: {} hits, {} prefetched; \
                      write-behind: {} drains, {} pages coalesced\n\
-                     overlap: {} batches, {} saved\n",
+                     overlap: {} batches, {} saved\n\
+                     retry: {} soft errors, {} retries, {} recovered, {} hard failures\n",
                     s.sectors_read,
                     s.sectors_written,
                     s.batches,
@@ -177,6 +178,10 @@ impl<D: Disk> AltoOs<D> {
                     s.wb_coalesced,
                     s.overlap_batches,
                     s.overlap_saved,
+                    s.soft_errors,
+                    s.retries,
+                    s.recovered,
+                    s.hard_failures,
                 ));
             }
             "snapshot" => {
@@ -444,6 +449,7 @@ ch:         .word '!'
         let t = transcript(&os);
         assert!(t.contains("sectors read"), "{t}");
         assert!(t.contains("write-behind:"), "{t}");
+        assert!(t.contains("retry:"), "{t}");
         // The `type` above went through the stream's bulk path, so the
         // counters show real traffic — including readahead prefetches.
         let s = os.fs.disk().io_stats();

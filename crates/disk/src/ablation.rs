@@ -135,6 +135,18 @@ impl<D: Disk> Disk for UncheckedDisk<D> {
         self.inner.write_epoch()
     }
 
+    fn retry_limit(&self) -> u32 {
+        self.inner.retry_limit()
+    }
+
+    fn retry_backoff(&self) -> alto_sim::SimTime {
+        self.inner.retry_backoff()
+    }
+
+    fn note_retry(&mut self, retries: u64, recovered: bool) {
+        self.inner.note_retry(retries, recovered);
+    }
+
     fn clock(&self) -> &SimClock {
         self.inner.clock()
     }
@@ -214,6 +226,18 @@ impl<D: Disk> Disk for UnscheduledDisk<D> {
 
     fn write_epoch(&self) -> u64 {
         self.inner.write_epoch()
+    }
+
+    fn retry_limit(&self) -> u32 {
+        self.inner.retry_limit()
+    }
+
+    fn retry_backoff(&self) -> alto_sim::SimTime {
+        self.inner.retry_backoff()
+    }
+
+    fn note_retry(&mut self, retries: u64, recovered: bool) {
+        self.inner.note_retry(retries, recovered);
     }
 
     fn clock(&self) -> &SimClock {

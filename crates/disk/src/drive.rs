@@ -84,6 +84,26 @@ pub trait Disk {
     /// ignores it.
     fn note_write_behind(&mut self, _pages: u64) {}
 
+    /// How many times the retry layer above this disk may re-issue an
+    /// operation that failed with [`DiskError::Transient`] before
+    /// escalating to [`DiskError::HardError`]. Zero means abort
+    /// immediately (the ablation that recovers pre-retry behavior).
+    fn retry_limit(&self) -> u32 {
+        3
+    }
+
+    /// Simulated time the retry layer waits before each re-issue — on a
+    /// real drive the sector has to come around again, so one revolution.
+    /// The default — zero — is for disks with no timing model.
+    fn retry_backoff(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Records the outcome of one retry sequence: `retries` re-issues were
+    /// spent, ending in recovery (`recovered`) or escalation to a hard
+    /// failure. Purely statistical; the default ignores it.
+    fn note_retry(&mut self, _retries: u64, _recovered: bool) {}
+
     /// The clock this disk charges time to.
     fn clock(&self) -> &SimClock;
 
@@ -141,6 +161,15 @@ pub struct DriveStats {
     /// Simulated time saved by overlapping, versus serial execution (the
     /// smaller unit's elapsed time, summed over overlapped batches).
     pub overlap_saved: SimTime,
+    /// Transient failures observed (each failed attempt counts once).
+    pub soft_errors: u64,
+    /// Operations re-issued by the retry layer.
+    pub retries: u64,
+    /// Retry sequences that ended in success (the transient cleared).
+    pub recovered: u64,
+    /// Retry sequences that exhausted the limit and escalated to
+    /// [`DiskError::HardError`].
+    pub hard_failures: u64,
 }
 
 impl DriveStats {
@@ -173,6 +202,10 @@ impl DriveStats {
             wb_coalesced: self.wb_coalesced + other.wb_coalesced,
             overlap_batches: self.overlap_batches + other.overlap_batches,
             overlap_saved: self.overlap_saved + other.overlap_saved,
+            soft_errors: self.soft_errors + other.soft_errors,
+            retries: self.retries + other.retries,
+            recovered: self.recovered + other.recovered,
+            hard_failures: self.hard_failures + other.hard_failures,
         }
     }
 }
@@ -185,6 +218,7 @@ pub struct DiskDrive {
     pack: Option<Loaded>,
     stats: DriveStats,
     injector: FaultInjector,
+    retries: u32,
 }
 
 #[derive(Debug)]
@@ -203,6 +237,7 @@ impl DiskDrive {
             pack: None,
             stats: DriveStats::default(),
             injector: FaultInjector::new(),
+            retries: 3,
         }
     }
 
@@ -247,6 +282,14 @@ impl DiskDrive {
     /// The fault injector for this drive.
     pub fn injector_mut(&mut self) -> &mut FaultInjector {
         &mut self.injector
+    }
+
+    /// Sets how many times the retry layer may re-issue a transiently
+    /// failed operation against this drive. `set_retries(0)` is the
+    /// ablation: transients escalate immediately, recovering the
+    /// abort-on-first-error behavior the retry layer replaced.
+    pub fn set_retries(&mut self, retries: u32) {
+        self.retries = retries;
     }
 
     /// Cumulative statistics.
@@ -416,6 +459,11 @@ impl DiskDrive {
                 self.trace
                     .record(self.clock.now(), "disk.check_fail", c.to_string());
             }
+            Err(e @ DiskError::Transient { .. }) => {
+                self.stats.soft_errors += 1;
+                self.trace
+                    .record(self.clock.now(), "disk.retry.soft_error", e.to_string());
+            }
             Err(e) => {
                 self.trace
                     .record(self.clock.now(), "disk.error", e.to_string());
@@ -483,39 +531,61 @@ impl Disk for DiskDrive {
             format!("{} requests", pending.len()),
         );
 
-        // The schedule is computable up front: every serviced request costs
-        // seek + wait + one sector regardless of its check outcome.
-        let das: Vec<DiskAddress> = pending.iter().map(|&i| batch[i].da).collect();
-        let order = sched::plan(
-            geometry,
-            timing,
-            self.current_cylinder(),
-            self.clock.now(),
-            &das,
-        );
-
+        // The schedule is computable up front only while the chain runs
+        // clean: every serviced request costs seek + wait + one sector
+        // regardless of its check outcome, but a *failure* halts command
+        // chaining at the failing sector (the controller stops; software
+        // must restart). The failing request keeps its slot; the unserved
+        // remainder is rescheduled from the arm's new position under a
+        // fresh command set-up.
         let reads_before = self.stats.sectors_read;
         let writes_before = self.stats.sectors_written;
-        let mut followers = 0u64;
-        for (k, &j) in order.iter().enumerate() {
-            let i = pending[j];
-            let seeks_before = self.stats.seeks;
-            let wait_before = self.stats.rotational_wait;
-            let req = &mut batch[i];
-            let (da, op) = (req.da, req.op);
-            results[i] = self.service(da, op, &mut req.buf);
-            let chained = k > 0
-                && self.stats.seeks == seeks_before
-                && self.stats.rotational_wait == wait_before;
-            if chained {
-                followers += 1;
-                self.stats.chained_transfers += 1;
-            } else {
-                self.flush_chain(followers);
-                followers = 0;
+        let mut remaining = pending.clone();
+        let mut first_chain = true;
+        while !remaining.is_empty() {
+            if !first_chain {
+                self.charge_command();
+            }
+            first_chain = false;
+            let das: Vec<DiskAddress> = remaining.iter().map(|&i| batch[i].da).collect();
+            let order = sched::plan(
+                geometry,
+                timing,
+                self.current_cylinder(),
+                self.clock.now(),
+                &das,
+            );
+            let mut followers = 0u64;
+            let mut halted_at = None;
+            for (k, &j) in order.iter().enumerate() {
+                let i = remaining[j];
+                let seeks_before = self.stats.seeks;
+                let wait_before = self.stats.rotational_wait;
+                let req = &mut batch[i];
+                let (da, op) = (req.da, req.op);
+                results[i] = self.service(da, op, &mut req.buf);
+                let chained = k > 0
+                    && self.stats.seeks == seeks_before
+                    && self.stats.rotational_wait == wait_before;
+                if chained {
+                    followers += 1;
+                    self.stats.chained_transfers += 1;
+                } else {
+                    self.flush_chain(followers);
+                    followers = 0;
+                }
+                if results[i].is_err() {
+                    halted_at = Some(k);
+                    break;
+                }
+            }
+            self.flush_chain(followers);
+            match halted_at {
+                // Requests the halted chain never reached go around again.
+                Some(k) => remaining = order[k + 1..].iter().map(|&j| remaining[j]).collect(),
+                None => remaining.clear(),
             }
         }
-        self.flush_chain(followers);
         self.trace.record(
             self.clock.now(),
             "disk.io.batch",
@@ -531,6 +601,40 @@ impl Disk for DiskDrive {
 
     fn io_stats(&self) -> DriveStats {
         self.stats
+    }
+
+    fn retry_limit(&self) -> u32 {
+        self.retries
+    }
+
+    // One revolution: the mis-read sector has to come all the way around
+    // before the controller can try it again.
+    fn retry_backoff(&self) -> SimTime {
+        self.pack
+            .as_ref()
+            .map_or(SimTime::ZERO, |l| l.timing.revolution())
+    }
+
+    fn note_retry(&mut self, retries: u64, recovered: bool) {
+        self.stats.retries += retries;
+        if recovered {
+            self.stats.recovered += 1;
+            self.trace.record(
+                self.clock.now(),
+                "disk.retry.recovered",
+                format!(
+                    "recovered after {retries} retr{}",
+                    if retries == 1 { "y" } else { "ies" }
+                ),
+            );
+        } else {
+            self.stats.hard_failures += 1;
+            self.trace.record(
+                self.clock.now(),
+                "disk.retry.hard_failure",
+                format!("{retries} retries exhausted, escalating"),
+            );
+        }
     }
 
     fn note_write_behind(&mut self, pages: u64) {
@@ -771,6 +875,55 @@ mod tests {
     }
 
     #[test]
+    fn mid_chain_failure_reschedules_the_remainder() {
+        // Regression: the scheduled path used to compute the rotational
+        // schedule once and keep charging chain members on it after a
+        // mid-chain failure. A failure halts the chain, so the unserved
+        // remainder must be replanned under a fresh command set-up.
+        let mut d = drive();
+        for i in 0..3u16 {
+            allocate(&mut d, DiskAddress(i), live_label(i));
+        }
+        let t = d.timing().unwrap();
+        let wait = t.rotational_wait(d.clock().now(), 0);
+        d.clock().advance(wait);
+        let start = d.clock().now();
+        let command_before = d.stats().command_time;
+        let mut batch = Vec::new();
+        for i in 0..3u16 {
+            // Sector 1 is served first (set-up eats into slot 0) and its
+            // request carries the wrong label, so the chain halts at once.
+            let claimed = if i == 1 {
+                live_label(11)
+            } else {
+                live_label(i)
+            };
+            batch.push(crate::sched::BatchRequest::new(
+                DiskAddress(i),
+                SectorOp::READ,
+                SectorBuf::with_label(claimed),
+            ));
+        }
+        let results = d.do_batch(&mut batch);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DiskError::Check(_))));
+        assert!(results[2].is_ok());
+        // Failing pass: set-up + align to slot 1 + one sector = 2 slots.
+        // Fresh command for the remainder {0, 2}: its set-up eats into
+        // slot 2, so sector 0 is soonest (10 slots away), then sector 2
+        // lands 2 slots later. Total: 15 slots = one revolution + 3.
+        assert_eq!(
+            d.clock().now() - start,
+            t.revolution() + t.sector_time.scaled(3)
+        );
+        // And the remainder paid a second command set-up.
+        assert_eq!(
+            d.stats().command_time - command_before,
+            t.command_overhead.scaled(2)
+        );
+    }
+
+    #[test]
     fn seek_charged_once_per_cylinder_move() {
         let mut d = drive();
         let g = d.geometry().unwrap();
@@ -828,6 +981,25 @@ mod tests {
             .unwrap()
             .decoded_label()
             .is_bad());
+    }
+
+    #[test]
+    fn transient_fault_counts_a_soft_error_and_clears() {
+        let mut d = drive();
+        allocate(&mut d, DiskAddress(20), live_label(0));
+        d.injector_mut().arm_read(
+            DiskAddress(20),
+            crate::inject::FaultKind::SoftRead { attempts: 1 },
+        );
+        let mut buf = SectorBuf::with_label(live_label(0));
+        let err = d.do_op(DiskAddress(20), SectorOp::READ, &mut buf);
+        assert!(matches!(err, Err(DiskError::Transient { attempt: 1, .. })));
+        assert_eq!(d.stats().soft_errors, 1);
+        // Time was charged — the sector passed under the head — and the
+        // fault cleared, so a plain re-issue succeeds.
+        let mut buf = SectorBuf::with_label(live_label(0));
+        d.do_op(DiskAddress(20), SectorOp::READ, &mut buf).unwrap();
+        assert_eq!(buf.data[0], 7);
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl DualDrive {
     pub fn set_overlap_enabled(&mut self, enabled: bool) {
         self.overlap = enabled;
     }
+
+    /// Sets the retry limit on both units (see [`DiskDrive::set_retries`]).
+    pub fn set_retries(&mut self, retries: u32) {
+        for d in &mut self.drives {
+            d.set_retries(retries);
+        }
+    }
 }
 
 impl Disk for DualDrive {
@@ -242,6 +249,20 @@ impl Disk for DualDrive {
 
     fn write_epoch(&self) -> u64 {
         self.drives[0].write_epoch() + self.drives[1].write_epoch()
+    }
+
+    // Both units share one retry policy (set via `set_retries`); unit 0
+    // answers for it and collects the sequence outcomes.
+    fn retry_limit(&self) -> u32 {
+        self.drives[0].retry_limit()
+    }
+
+    fn retry_backoff(&self) -> SimTime {
+        self.drives[0].retry_backoff()
+    }
+
+    fn note_retry(&mut self, retries: u64, recovered: bool) {
+        self.drives[0].note_retry(retries, recovered);
     }
 
     fn clock(&self) -> &SimClock {
@@ -440,6 +461,56 @@ mod tests {
             overlapped.as_nanos() * 10 <= serial.as_nanos() * 6,
             "overlapped {overlapped} vs serialized {serial}"
         );
+    }
+
+    #[test]
+    fn overlap_restores_the_longer_arm_when_one_arm_errors() {
+        use alto_sim::SimTime;
+        // Regression for the overlap error path: when one arm's share ends
+        // in an error, `SimClock::set` must still restore elapsed =
+        // max(arms), not the failing (shorter) arm's timeline. Run the same
+        // spanning batch three ways — both shares, unit 0's share alone,
+        // unit 1's share alone — from identical allocation histories and
+        // pin the equality.
+        let elapsed = |which: Option<usize>| -> SimTime {
+            let mut d = dual();
+            for i in 0..6u16 {
+                allocate(&mut d, DiskAddress(200 + 37 * i), live_label(i));
+            }
+            allocate(&mut d, DiskAddress(4872 + 300), live_label(9));
+            let mut batch = Vec::new();
+            if which != Some(1) {
+                // Unit 0's share: six requests spread over cylinders (the
+                // long arm).
+                for i in 0..6u16 {
+                    batch.push(BatchRequest::new(
+                        DiskAddress(200 + 37 * i),
+                        SectorOp::READ,
+                        SectorBuf::with_label(live_label(i)),
+                    ));
+                }
+            }
+            if which != Some(0) {
+                // Unit 1's share: one request whose label claim is wrong,
+                // so the short arm finishes in an error.
+                batch.push(BatchRequest::new(
+                    DiskAddress(4872 + 300),
+                    SectorOp::READ,
+                    SectorBuf::with_label(live_label(5)),
+                ));
+            }
+            let t0 = d.clock().now();
+            let results = d.do_batch(&mut batch);
+            if which != Some(0) {
+                assert!(matches!(results.last(), Some(Err(DiskError::Check(_)))));
+            }
+            d.clock().now() - t0
+        };
+        let both = elapsed(None);
+        let unit0 = elapsed(Some(0));
+        let unit1 = elapsed(Some(1));
+        assert!(unit1 < unit0, "the failing arm must be the shorter one");
+        assert_eq!(both, unit0.max(unit1));
     }
 
     #[test]

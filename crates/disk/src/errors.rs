@@ -74,6 +74,19 @@ pub enum DiskError {
         /// Part in which the failure occurred.
         part: SectorPart,
     },
+    /// A transient failure — soft checksum error, seek mis-position, drive
+    /// not ready — that is expected to clear if the operation is simply
+    /// re-issued. The medium is untouched. The retry layer above the drive
+    /// absorbs these (bounded attempts, one-revolution backoff) and
+    /// escalates to [`DiskError::HardError`] only when they persist.
+    Transient {
+        /// Sector at which the failure occurred.
+        da: DiskAddress,
+        /// Part in which the failure manifested.
+        part: SectorPart,
+        /// How many consecutive times this fault has now fired (1-based).
+        attempt: u32,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -85,6 +98,9 @@ impl fmt::Display for DiskError {
             DiskError::MalformedOp(why) => write!(f, "malformed sector operation: {why}"),
             DiskError::HardError { da, part } => {
                 write!(f, "unrecoverable read error at {da} ({part})")
+            }
+            DiskError::Transient { da, part, attempt } => {
+                write!(f, "transient error at {da} ({part}), attempt {attempt}")
             }
         }
     }
@@ -131,6 +147,13 @@ mod tests {
             part: SectorPart::Value,
         };
         assert!(h.to_string().contains("unrecoverable"));
+        let t = DiskError::Transient {
+            da: DiskAddress(3),
+            part: SectorPart::Value,
+            attempt: 2,
+        };
+        assert!(t.to_string().contains("transient"));
+        assert!(t.to_string().contains("attempt 2"));
     }
 
     #[test]

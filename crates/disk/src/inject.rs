@@ -1,19 +1,29 @@
-//! Fault injection for robustness experiments (E8).
+//! Fault injection for robustness experiments (E8, PR4).
 //!
 //! The paper's robustness claims ("accidental overwriting of a page \[is\]
 //! quite unlikely", §3.3; "full automatic recovery after a crash", §6) are
 //! exercised by injecting the failures a real Alto suffered: torn writes
-//! (power failed mid-sector), dropped writes (controller wrote nothing), and
+//! (power failed mid-sector), dropped writes (controller wrote nothing),
 //! label corruption (a wild program scribbled the medium while the OS's
-//! in-memory structures were stale).
+//! in-memory structures were stale), and the *transient* errors the disk
+//! routines were built to retry — soft read checksum errors, seek
+//! mis-positions, drive not-ready.
 //!
-//! Faults are *armed* one-shot against a disk address; the next matching
-//! write operation through the drive triggers them. This keeps campaigns
-//! deterministic — experiments arm faults from a seeded PRNG.
+//! Faults are *armed* against a disk address, with separate read-side and
+//! write-side matchers ([`FaultInjector::arm_read`] /
+//! [`FaultInjector::arm`]); the next matching operation through the drive
+//! triggers them. One-shot kinds fire once; transient kinds fire for N
+//! consecutive attempts and then clear, modelling a fault that goes away
+//! when the operation is simply re-issued. Campaigns stay deterministic —
+//! either arm faults explicitly from a seeded PRNG, or turn on the built-in
+//! campaign ([`FaultInjector::set_campaign`]) which conjures transients at a
+//! configurable per-operation rate from its own seeded PRNG.
 
 use std::collections::HashMap;
 
-use crate::errors::DiskError;
+use alto_sim::SplitMix64;
+
+use crate::errors::{DiskError, SectorPart};
 use crate::geometry::DiskAddress;
 use crate::sector::{apply, Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
 
@@ -38,13 +48,69 @@ pub enum FaultKind {
         /// Bits to flip.
         xor: u16,
     },
+    /// Transient soft checksum error in the value part: the transfer fails
+    /// for `attempts` consecutive tries, then the sector reads cleanly. The
+    /// medium is untouched.
+    SoftRead {
+        /// Consecutive tries that fail before the fault clears.
+        attempts: u32,
+    },
+    /// Transient seek mis-position: the arm settles on the wrong track so
+    /// the header cannot match, for `attempts` consecutive tries.
+    SeekMisposition {
+        /// Consecutive tries that fail before the fault clears.
+        attempts: u32,
+    },
+    /// The drive reports not-ready for `attempts` consecutive tries (e.g.
+    /// still spinning up, or a marginal sector pulse).
+    NotReady {
+        /// Consecutive tries that fail before the fault clears.
+        attempts: u32,
+    },
 }
 
-/// One-shot fault injector consulted by the drive on every operation.
+impl FaultKind {
+    /// How many consecutive matching operations this fault consumes before
+    /// it clears (one for the one-shot write kinds).
+    fn total_attempts(self) -> u32 {
+        match self {
+            FaultKind::TornWrite { .. }
+            | FaultKind::DropWrite
+            | FaultKind::CorruptLabelWrite { .. } => 1,
+            FaultKind::SoftRead { attempts }
+            | FaultKind::SeekMisposition { attempts }
+            | FaultKind::NotReady { attempts } => attempts.max(1),
+        }
+    }
+}
+
+/// An armed fault plus how many times it has fired so far.
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    kind: FaultKind,
+    fired: u32,
+}
+
+/// A background campaign that conjures transient faults at a fixed
+/// per-operation rate from a seeded PRNG.
+#[derive(Debug)]
+struct Campaign {
+    rng: SplitMix64,
+    num: u64,
+    denom: u64,
+}
+
+/// Fault injector consulted by the drive on every operation.
+///
+/// Read-side and write-side faults are armed independently: an operation
+/// consults the write matcher if any of its parts writes, and the read
+/// matcher otherwise.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
-    armed: HashMap<u16, FaultKind>,
-    /// Count of faults that have fired.
+    armed_writes: HashMap<u16, ArmedFault>,
+    armed_reads: HashMap<u16, ArmedFault>,
+    campaign: Option<Campaign>,
+    /// Count of fault firings (each failed transient attempt counts).
     fired: u64,
 }
 
@@ -54,25 +120,63 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
-    /// Arms a one-shot fault against the next *write* operation at `da`.
-    /// Re-arming replaces any previously armed fault at that address.
+    /// Arms a fault against the next *write* operation(s) at `da`.
+    /// Re-arming replaces any previously armed write fault at that address.
     pub fn arm(&mut self, da: DiskAddress, fault: FaultKind) {
-        self.armed.insert(da.0, fault);
+        self.armed_writes.insert(
+            da.0,
+            ArmedFault {
+                kind: fault,
+                fired: 0,
+            },
+        );
     }
 
-    /// Disarms any fault at `da`.
+    /// Arms a fault against the next *read* operation(s) at `da` (any
+    /// operation none of whose parts writes). Re-arming replaces any
+    /// previously armed read fault at that address.
+    pub fn arm_read(&mut self, da: DiskAddress, fault: FaultKind) {
+        self.armed_reads.insert(
+            da.0,
+            ArmedFault {
+                kind: fault,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Disarms any fault at `da`, on both matchers.
     pub fn disarm(&mut self, da: DiskAddress) {
-        self.armed.remove(&da.0);
+        self.armed_writes.remove(&da.0);
+        self.armed_reads.remove(&da.0);
     }
 
-    /// Number of armed faults not yet fired.
+    /// Number of armed faults not yet cleared, across both matchers.
     pub fn armed_count(&self) -> usize {
-        self.armed.len()
+        self.armed_writes.len() + self.armed_reads.len()
     }
 
-    /// Number of faults that have fired since creation.
+    /// Number of fault firings since creation (each failed attempt of a
+    /// transient fault counts separately).
     pub fn fired_count(&self) -> u64 {
         self.fired
+    }
+
+    /// Turns on the background campaign: every operation rolls
+    /// `num`/`denom` odds of suffering a conjured transient fault (a soft
+    /// read error on reads, a not-ready on writes, lasting one or two
+    /// attempts). The campaign PRNG is seeded, so runs are reproducible.
+    pub fn set_campaign(&mut self, seed: u64, num: u64, denom: u64) {
+        self.campaign = Some(Campaign {
+            rng: SplitMix64::new(seed),
+            num,
+            denom,
+        });
+    }
+
+    /// Turns the background campaign off. Explicitly armed faults remain.
+    pub fn clear_campaign(&mut self) {
+        self.campaign = None;
     }
 
     /// Called by the drive for every operation. Returns `Some(result)` if a
@@ -85,12 +189,35 @@ impl FaultInjector {
         sector: &mut Sector,
         buf: &mut SectorBuf,
     ) -> Option<Result<(), DiskError>> {
-        if !op.writes() {
-            return None;
+        let writes = op.writes();
+        let map = if writes {
+            &mut self.armed_writes
+        } else {
+            &mut self.armed_reads
+        };
+        if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(da.0) {
+            // No explicit fault armed here: give the campaign its roll.
+            let c = self.campaign.as_mut()?;
+            if !c.rng.chance(c.num, c.denom) {
+                return None;
+            }
+            let attempts = 1 + c.rng.next_below(2) as u32;
+            let kind = if writes {
+                FaultKind::NotReady { attempts }
+            } else {
+                FaultKind::SoftRead { attempts }
+            };
+            slot.insert(ArmedFault { kind, fired: 0 });
         }
-        let fault = self.armed.remove(&da.0)?;
+        let entry = map.get_mut(&da.0).expect("armed above");
+        entry.fired += 1;
         self.fired += 1;
-        Some(match fault {
+        let kind = entry.kind;
+        let attempt = entry.fired;
+        if entry.fired >= kind.total_attempts() {
+            map.remove(&da.0);
+        }
+        Some(match kind {
             FaultKind::DropWrite => {
                 // Perform reads/checks as normal but discard all writes: run
                 // the op against a scratch copy of the sector.
@@ -115,6 +242,23 @@ impl FaultInjector {
                 }
                 result
             }
+            // Transient kinds never touch the medium: the transfer simply
+            // did not happen this time around.
+            FaultKind::SoftRead { .. } => Err(DiskError::Transient {
+                da,
+                part: SectorPart::Value,
+                attempt,
+            }),
+            FaultKind::SeekMisposition { .. } => Err(DiskError::Transient {
+                da,
+                part: SectorPart::Header,
+                attempt,
+            }),
+            FaultKind::NotReady { .. } => Err(DiskError::Transient {
+                da,
+                part: SectorPart::Header,
+                attempt,
+            }),
         })
     }
 }
@@ -143,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn read_ops_never_trigger_faults() {
+    fn read_ops_never_trigger_write_faults() {
         let mut inj = FaultInjector::new();
         let da = DiskAddress(5);
         inj.arm(da, FaultKind::DropWrite);
@@ -152,6 +296,21 @@ mod tests {
         assert!(inj.apply(da, SectorOp::READ, &mut s, &mut b).is_none());
         assert_eq!(inj.armed_count(), 1);
         assert_eq!(inj.fired_count(), 0);
+    }
+
+    #[test]
+    fn write_ops_never_trigger_read_faults() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm_read(da, FaultKind::SoftRead { attempts: 3 });
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        b.header = [1, 5];
+        b.data = [9; DATA_WORDS];
+        assert!(inj.apply(da, SectorOp::WRITE, &mut s, &mut b).is_none());
+        assert_eq!(inj.armed_count(), 1);
+        // ...but the read matcher fires for a read at the same address.
+        assert!(inj.apply(da, SectorOp::READ, &mut s, &mut b).is_some());
     }
 
     #[test]
@@ -223,6 +382,82 @@ mod tests {
     }
 
     #[test]
+    fn transient_fires_n_times_then_clears() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        inj.arm_read(da, FaultKind::SoftRead { attempts: 2 });
+        let mut s = allocated_sector(da);
+        let before = s.clone();
+        let mut b = SectorBuf::with_label(live_label());
+        for want in 1..=2u32 {
+            let r = inj.apply(da, SectorOp::READ, &mut s, &mut b).unwrap();
+            assert_eq!(
+                r,
+                Err(DiskError::Transient {
+                    da,
+                    part: SectorPart::Value,
+                    attempt: want,
+                })
+            );
+        }
+        // Third attempt: the fault has cleared, medium untouched throughout.
+        assert!(inj.apply(da, SectorOp::READ, &mut s, &mut b).is_none());
+        assert_eq!(s, before);
+        assert_eq!(inj.fired_count(), 2);
+        assert_eq!(inj.armed_count(), 0);
+    }
+
+    #[test]
+    fn seek_misposition_and_not_ready_report_the_header_part() {
+        let mut inj = FaultInjector::new();
+        let da = DiskAddress(5);
+        let mut s = allocated_sector(da);
+        let mut b = SectorBuf::with_label(live_label());
+        inj.arm_read(da, FaultKind::SeekMisposition { attempts: 1 });
+        let r = inj.apply(da, SectorOp::READ, &mut s, &mut b).unwrap();
+        assert!(matches!(
+            r,
+            Err(DiskError::Transient {
+                part: SectorPart::Header,
+                attempt: 1,
+                ..
+            })
+        ));
+        inj.arm(da, FaultKind::NotReady { attempts: 1 });
+        b.header = [1, 5];
+        let r = inj.apply(da, SectorOp::WRITE, &mut s, &mut b).unwrap();
+        assert!(matches!(
+            r,
+            Err(DiskError::Transient {
+                part: SectorPart::Header,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn campaign_conjures_transients_deterministically() {
+        let run = || {
+            let mut inj = FaultInjector::new();
+            inj.set_campaign(42, 1, 2);
+            let da = DiskAddress(5);
+            let mut s = allocated_sector(da);
+            let mut b = SectorBuf::with_label(live_label());
+            let mut pattern = Vec::new();
+            for _ in 0..32 {
+                pattern.push(inj.apply(da, SectorOp::READ, &mut s, &mut b).is_some());
+            }
+            (pattern, inj.fired_count())
+        };
+        let (a, fired_a) = run();
+        let (b, fired_b) = run();
+        assert_eq!(a, b, "same seed, same campaign");
+        assert_eq!(fired_a, fired_b);
+        assert!(fired_a > 0, "1-in-2 odds over 32 ops must fire");
+        assert!(a.iter().any(|hit| !hit), "and must also miss");
+    }
+
+    #[test]
     fn torn_write_failing_check_writes_nothing() {
         // Even a torn write respects check-before-write: if the label check
         // fails, the medium is untouched and the tear is irrelevant.
@@ -241,9 +476,11 @@ mod tests {
     }
 
     #[test]
-    fn disarm_removes_fault() {
+    fn disarm_removes_faults_on_both_matchers() {
         let mut inj = FaultInjector::new();
         inj.arm(DiskAddress(1), FaultKind::DropWrite);
+        inj.arm_read(DiskAddress(1), FaultKind::SoftRead { attempts: 1 });
+        assert_eq!(inj.armed_count(), 2);
         inj.disarm(DiskAddress(1));
         assert_eq!(inj.armed_count(), 0);
     }

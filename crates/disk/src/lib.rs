@@ -29,15 +29,21 @@
 //! slot so consecutive sectors of a track stream in a single revolution —
 //! the §4 controller design, recovered in simulation. Chaining never
 //! weakens the label discipline: each request in a batch keeps the full
-//! check-before-write semantics, and a chained write whose check fails
-//! aborts that sector alone (see [`sched`] for the invariant and a worked
-//! example). [`ablation::UnscheduledDisk`] is the scheduler's ablation
-//! twin for measuring exactly what chaining buys.
+//! check-before-write semantics; a chained write whose check fails aborts
+//! that sector alone, and the failure halts the chain so the remainder is
+//! reissued as a fresh command (see [`sched`] for the invariant and a
+//! worked example). [`ablation::UnscheduledDisk`] is the scheduler's
+//! ablation twin for measuring exactly what chaining buys.
 //!
 //! Packs are removable and serializable ([`DiskPack::to_image`]), so file
 //! systems survive across simulated machines — the openness property the
 //! paper builds on. Fault injection ([`inject`]) supports the robustness
-//! experiments (E8): smashed labels, torn writes, bit rot.
+//! experiments: one-shot *write* faults — smashed labels, torn writes,
+//! dropped writes — for the E8 crash/recovery campaigns, and *transient*
+//! faults on reads as well as writes (soft checksum errors, seek
+//! mis-positions, drive not-ready; [`DiskError::Transient`]) that the
+//! bounded-retry layer above the drive absorbs and accounts
+//! ([`DriveStats::soft_errors`], `retries`, `recovered`, `hard_failures`).
 
 pub mod ablation;
 pub mod drive;

@@ -25,9 +25,12 @@
 //! checks run: every request in a batch keeps the full §3.3 check-before-
 //! write semantics of [`crate::Disk::do_op`], individually. A chained write
 //! whose label check fails aborts **that sector** before any of its write
-//! actions touch the platter — the slot is consumed, the chain rolls on to
-//! the next request, and the failure is reported in that request's slot of
-//! the result vector. Scheduling is a pure timing optimization.
+//! actions touch the platter — the slot is consumed, and the failure is
+//! reported in that request's slot of the result vector. A failure also
+//! *halts* command chaining (the controller stops at the failing sector),
+//! so the unserved remainder of the batch is replanned from the arm's new
+//! position under a fresh command set-up; in the failure-free case
+//! scheduling is a pure timing optimization.
 //!
 //! ```
 //! use alto_disk::{BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, SectorBuf, SectorOp};
@@ -96,8 +99,10 @@ impl BatchRequest {
 /// cylinder starting from `start_time`.
 ///
 /// The order is computable up front because every serviced request costs
-/// seek + rotational wait + one sector time *regardless of its outcome* —
-/// a failed check still consumes the slot (§3.3).
+/// seek + rotational wait + one sector time; a failed check still consumes
+/// its slot (§3.3). The plan only holds *while the chain runs clean*,
+/// though: a failure halts command chaining at the failing sector, so the
+/// drive replans the unserved remainder from its new position.
 pub fn plan(
     geometry: DiskGeometry,
     timing: TimingModel,

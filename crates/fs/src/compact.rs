@@ -80,7 +80,7 @@ impl Compactor {
         for i in 0..geometry.sector_count() {
             let da = DiskAddress(i as u16);
             let mut buf = SectorBuf::zeroed();
-            match fs.disk_mut().do_op(da, SectorOp::READ_ALL, &mut buf) {
+            match crate::page::retry_op(fs.disk_mut(), da, SectorOp::READ_ALL, &mut buf) {
                 Ok(()) => {
                     let label = buf.decoded_label();
                     if label.is_bad() {
@@ -221,8 +221,7 @@ impl Compactor {
             loop {
                 let p = placements[idx];
                 let mut buf = SectorBuf::zeroed();
-                fs.disk_mut()
-                    .do_op(p.old_da, SectorOp::READ_ALL, &mut buf)?;
+                crate::page::retry_op(fs.disk_mut(), p.old_da, SectorOp::READ_ALL, &mut buf)?;
                 carried.push((idx, buf.data));
                 done[idx] = true;
                 // Who currently lives at our destination?
@@ -240,8 +239,7 @@ impl Compactor {
                 buf.header = [pack_number, p.new_da.0];
                 buf.set_label(new_label(&p));
                 buf.data = data;
-                fs.disk_mut()
-                    .do_op(p.new_da, SectorOp::WRITE_ALL, &mut buf)?;
+                crate::page::retry_op(fs.disk_mut(), p.new_da, SectorOp::WRITE_ALL, &mut buf)?;
                 report.pages_moved += 1;
             }
         }
@@ -261,7 +259,7 @@ impl Compactor {
                 let mut buf = SectorBuf::with_label(Label::FREE);
                 buf.header = [pack_number, da.0];
                 buf.data = [u16::MAX; DATA_WORDS];
-                fs.disk_mut().do_op(da, SectorOp::WRITE_ALL, &mut buf)?;
+                crate::page::retry_op(fs.disk_mut(), da, SectorOp::WRITE_ALL, &mut buf)?;
             }
         }
         occupied_new.insert(descriptor::DESCRIPTOR_LEADER_DA.0);

@@ -36,6 +36,13 @@ pub const PAGE_BYTES: usize = DATA_WORDS * 2;
 /// busy across a cylinder boundary without guessing far past a stale hint.
 const GUESS_WINDOW: u16 = 32;
 
+/// Opening window for guessed reads of a file whose layout is *not*
+/// provably straight-line: a failed check halts the command chain (§3.3),
+/// so a blind full-window batch across a layout seam pays a rescheduled
+/// command per wrong guess. Each fully verified batch doubles the window
+/// back up to [`GUESS_WINDOW`].
+const GUESS_RAMP: u16 = 4;
+
 /// Counters for allocator behaviour (experiment E4 reports these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FsStats {
@@ -924,13 +931,21 @@ pub(crate) fn read_file_with<D: Disk>(
         // Two batches in a row that only yield their first page mean the
         // hint is a lie; stop wasting guesses and chase links instead.
         let mut strikes = 0u8;
+        // A straight-line layout — the last page exactly where page 1 plus
+        // `last_page − 1` lands — earns the full window at once. Any other
+        // "consecutive" file has a seam somewhere, and every guess past the
+        // seam is a halted chain plus a rescheduled command, so open small
+        // and let verified batches grow the window back.
+        let straight =
+            leader.last_page >= 1 && leader.last_da.0 == pn.da.0.wrapping_add(leader.last_page - 1);
+        let mut window = if straight { GUESS_WINDOW } else { GUESS_RAMP };
         'batched: loop {
             // Clamp the window with the leader's last-page hint so a batch
             // does not guess far past the end of the file.
             let count = if leader.last_page >= pn.page {
-                (leader.last_page - pn.page + 1).min(GUESS_WINDOW)
+                (leader.last_page - pn.page + 1).min(window)
             } else {
-                GUESS_WINDOW
+                window
             };
             let pages = page::read_pages_guessed(disk, file.fv, pn, count)?;
             for (j, res) in pages.into_iter().enumerate() {
@@ -948,6 +963,11 @@ pub(crate) fn read_file_with<D: Disk>(
                         if label.next != guessed || j + 1 == count {
                             // The chain departs from the guesses (or the
                             // window is spent): restart from the real link.
+                            window = if label.next == guessed {
+                                (window * 2).min(GUESS_WINDOW)
+                            } else {
+                                GUESS_RAMP
+                            };
                             pn = PageName::new(file.fv, pn.page + j + 1, label.next);
                             if j == 0 && label.next != guessed {
                                 strikes += 1;

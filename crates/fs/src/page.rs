@@ -51,6 +51,81 @@ fn checked_buf<D: Disk>(disk: &D, pn: PageName) -> Result<SectorBuf, FsError> {
     Ok(buf)
 }
 
+/// Issues one sector operation under the bounded-retry discipline: a
+/// [`DiskError::Transient`] failure is re-issued up to
+/// [`Disk::retry_limit`] times, waiting out [`Disk::retry_backoff`] (one
+/// revolution on a real drive — the sector has to come around again)
+/// before each attempt, and escalates to [`DiskError::HardError`] if it
+/// never clears. Every other result passes through untouched, so a zero
+/// retry limit recovers the old abort-on-first-error behavior.
+pub fn retry_op<D: Disk>(
+    disk: &mut D,
+    da: DiskAddress,
+    op: SectorOp,
+    buf: &mut SectorBuf,
+) -> Result<(), DiskError> {
+    match disk.do_op(da, op, buf) {
+        Err(e @ DiskError::Transient { .. }) => complete_with_retry(disk, da, op, buf, e),
+        other => other,
+    }
+}
+
+/// Finishes an operation whose first issue just failed with `first`, a
+/// transient error — the retry half of [`retry_op`], shared with the batch
+/// paths so a failed chain member can be retried sector-at-a-time without
+/// re-running the members that already completed.
+pub fn complete_with_retry<D: Disk>(
+    disk: &mut D,
+    da: DiskAddress,
+    op: SectorOp,
+    buf: &mut SectorBuf,
+    first: DiskError,
+) -> Result<(), DiskError> {
+    let DiskError::Transient { mut part, .. } = first else {
+        return Err(first);
+    };
+    let limit = u64::from(disk.retry_limit());
+    let mut retries: u64 = 0;
+    loop {
+        if retries >= limit {
+            disk.note_retry(retries, false);
+            return Err(DiskError::HardError { da, part });
+        }
+        disk.clock().advance(disk.retry_backoff());
+        retries += 1;
+        disk.trace().record(
+            disk.clock().now(),
+            "disk.retry.attempt",
+            format!("{op:?} at {da}, retry {retries} of {limit}"),
+        );
+        match disk.do_op(da, op, buf) {
+            Err(DiskError::Transient { part: p, .. }) => part = p,
+            other => {
+                disk.note_retry(retries, other.is_ok());
+                return other;
+            }
+        }
+    }
+}
+
+/// Runs a batch through [`Disk::do_batch`], then retries any transiently
+/// failed member sector-at-a-time: the drive halted its chain at the
+/// failure and already serviced (or rescheduled) every other member, so
+/// only the failed request is re-issued — completed chain members are
+/// never re-run.
+pub fn batch_with_retry<D: Disk>(
+    disk: &mut D,
+    batch: &mut [BatchRequest],
+) -> Vec<Result<(), DiskError>> {
+    let mut results = disk.do_batch(batch);
+    for (req, res) in batch.iter_mut().zip(results.iter_mut()) {
+        if let Err(e @ DiskError::Transient { .. }) = *res {
+            *res = complete_with_retry(disk, req.da, req.op, &mut req.buf, e);
+        }
+    }
+    results
+}
+
 /// Reads the data and label of the page named `pn`, using its hint address.
 ///
 /// Fails with a check error if the sector at the hint address is not the
@@ -60,7 +135,7 @@ pub fn read_page<D: Disk>(
     pn: PageName,
 ) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
     let mut buf = checked_buf(disk, pn)?;
-    disk.do_op(pn.da, SectorOp::READ, &mut buf)?;
+    retry_op(disk, pn.da, SectorOp::READ, &mut buf)?;
     let label = buf.decoded_label();
     verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
     Ok((label, buf.data))
@@ -77,7 +152,7 @@ pub fn write_page<D: Disk>(
 ) -> Result<Label, FsError> {
     let mut buf = checked_buf(disk, pn)?;
     buf.data = *data;
-    disk.do_op(pn.da, SectorOp::WRITE, &mut buf)?;
+    retry_op(disk, pn.da, SectorOp::WRITE, &mut buf)?;
     let label = buf.decoded_label();
     verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
     Ok(label)
@@ -90,7 +165,7 @@ pub fn read_raw<D: Disk>(
     da: DiskAddress,
 ) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
     let mut buf = SectorBuf::zeroed();
-    disk.do_op(da, SectorOp::READ_ALL, &mut buf)?;
+    retry_op(disk, da, SectorOp::READ_ALL, &mut buf)?;
     Ok((buf.decoded_label(), buf.data))
 }
 
@@ -111,7 +186,7 @@ pub fn read_raw_batch<D: Disk>(disk: &mut D, das: &[DiskAddress]) -> Vec<PageRes
         .iter()
         .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed()))
         .collect();
-    let results = disk.do_batch(&mut batch);
+    let results = batch_with_retry(disk, &mut batch);
     results
         .into_iter()
         .zip(batch)
@@ -144,7 +219,7 @@ pub fn read_pages_guessed<D: Disk>(
         buf.header = [pack, da.0];
         batch.push(BatchRequest::new(da, SectorOp::READ, buf));
     }
-    let results = disk.do_batch(&mut batch);
+    let results = batch_with_retry(disk, &mut batch);
     Ok(results
         .into_iter()
         .zip(batch)
@@ -185,7 +260,7 @@ pub fn write_pages_guessed<D: Disk>(
         buf.data = *chunk;
         batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
     }
-    let results = disk.do_batch(&mut batch);
+    let results = batch_with_retry(disk, &mut batch);
     Ok(results
         .into_iter()
         .zip(batch)
@@ -242,7 +317,20 @@ pub fn drain_and_prefetch<D: Disk>(
             batch.push(BatchRequest::new(da, SectorOp::READ, buf));
         }
     }
-    let results = disk.do_batch(&mut batch);
+    // Selective retry: the parked writes and the authoritative first read
+    // are retried sector-at-a-time, but a transient on a *guessed follower*
+    // read is left in place — the readahead above degrades to a shorter
+    // prefetch rather than paying retry revolutions for speculation.
+    let mut results = disk.do_batch(&mut batch);
+    for (req, res) in batch
+        .iter_mut()
+        .zip(results.iter_mut())
+        .take(writes.len() + 1)
+    {
+        if let Err(e @ DiskError::Transient { .. }) = *res {
+            *res = complete_with_retry(disk, req.da, req.op, &mut req.buf, e);
+        }
+    }
     let mut write_out = Vec::with_capacity(writes.len());
     let mut read_out = Vec::with_capacity(reads as usize);
     for (k, (res, req)) in results.into_iter().zip(batch).enumerate() {
@@ -281,11 +369,11 @@ pub fn allocate_at<D: Disk>(
 ) -> Result<(), FsError> {
     let mut buf = SectorBuf::with_label(Label::FREE);
     buf.header = [disk.pack_number()?, da.0];
-    disk.do_op(da, SectorOp::CHECK_LABEL, &mut buf)?;
+    retry_op(disk, da, SectorOp::CHECK_LABEL, &mut buf)?;
     let mut buf = SectorBuf::with_label(label);
     buf.header = [disk.pack_number()?, da.0];
     buf.data = *data;
-    disk.do_op(da, SectorOp::WRITE_LABEL, &mut buf)?;
+    retry_op(disk, da, SectorOp::WRITE_LABEL, &mut buf)?;
     Ok(())
 }
 
@@ -302,13 +390,13 @@ pub fn rewrite_label<D: Disk>(
     data: &[u16; DATA_WORDS],
 ) -> Result<Label, FsError> {
     let mut buf = checked_buf(disk, pn)?;
-    disk.do_op(pn.da, SectorOp::CHECK_LABEL, &mut buf)?;
+    retry_op(disk, pn.da, SectorOp::CHECK_LABEL, &mut buf)?;
     let old = buf.decoded_label();
     verify_absolutes(pn.da, pn.fv, pn.page, &old)?;
     let mut buf = SectorBuf::with_label(new_label);
     buf.header = [disk.pack_number()?, pn.da.0];
     buf.data = *data;
-    disk.do_op(pn.da, SectorOp::WRITE_LABEL, &mut buf)?;
+    retry_op(disk, pn.da, SectorOp::WRITE_LABEL, &mut buf)?;
     Ok(old)
 }
 
@@ -330,7 +418,7 @@ pub fn mark_bad<D: Disk>(disk: &mut D, da: DiskAddress) -> Result<(), FsError> {
     let mut buf = SectorBuf::with_label(Label::BAD);
     buf.header = [disk.pack_number()?, da.0];
     buf.data = [u16::MAX; DATA_WORDS];
-    disk.do_op(da, SectorOp::WRITE_ALL, &mut buf)?;
+    retry_op(disk, da, SectorOp::WRITE_ALL, &mut buf)?;
     Ok(())
 }
 
@@ -553,6 +641,131 @@ mod tests {
         // The writes landed.
         let (_, data) = read_page(&mut d, PageName::new(fv(), 1, DiskAddress(40))).unwrap();
         assert_eq!(data, [0xAA; DATA_WORDS]);
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_with_one_revolution_backoff() {
+        use alto_disk::FaultKind;
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[3; DATA_WORDS],
+        )
+        .unwrap();
+        d.reset_stats();
+        d.injector_mut()
+            .arm_read(da, FaultKind::SoftRead { attempts: 2 });
+        let rev = d.timing().unwrap().revolution();
+        let start = d.clock().now();
+        let (_, data) = read_page(&mut d, PageName::new(fv(), 1, da)).unwrap();
+        assert_eq!(data, [3; DATA_WORDS]);
+        let s = d.stats();
+        assert_eq!(s.soft_errors, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.hard_failures, 0);
+        // Each retry waited out a full revolution before re-issuing.
+        assert!(d.clock().now() - start >= rev.scaled(2));
+    }
+
+    #[test]
+    fn retry_exhaustion_escalates_to_a_hard_error() {
+        use alto_disk::FaultKind;
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[3; DATA_WORDS],
+        )
+        .unwrap();
+        d.reset_stats();
+        d.injector_mut()
+            .arm_read(da, FaultKind::SoftRead { attempts: 100 });
+        let err = read_page(&mut d, PageName::new(fv(), 1, da)).unwrap_err();
+        assert!(matches!(
+            err,
+            FsError::Disk(DiskError::HardError {
+                part: SectorPart::Value,
+                ..
+            })
+        ));
+        let s = d.stats();
+        assert_eq!(s.retries, 3, "default limit is three re-issues");
+        assert_eq!(s.soft_errors, 4, "first issue plus three retries");
+        assert_eq!(s.hard_failures, 1);
+        assert_eq!(s.recovered, 0);
+    }
+
+    #[test]
+    fn set_retries_zero_is_the_abort_immediately_ablation() {
+        use alto_disk::FaultKind;
+        let mut d = drive();
+        let da = DiskAddress(40);
+        allocate_at(
+            &mut d,
+            da,
+            label_for(1, DiskAddress::NIL, DiskAddress::NIL),
+            &[3; DATA_WORDS],
+        )
+        .unwrap();
+        d.set_retries(0);
+        d.reset_stats();
+        d.injector_mut()
+            .arm_read(da, FaultKind::SoftRead { attempts: 1 });
+        let err = read_page(&mut d, PageName::new(fv(), 1, da)).unwrap_err();
+        assert!(matches!(err, FsError::Disk(DiskError::HardError { .. })));
+        let s = d.stats();
+        assert_eq!(s.retries, 0, "no re-issue happened");
+        assert_eq!(s.soft_errors, 1);
+        assert_eq!(s.hard_failures, 1);
+        // The one-attempt fault fired and cleared, so a re-read succeeds.
+        assert!(read_page(&mut d, PageName::new(fv(), 1, da)).is_ok());
+    }
+
+    #[test]
+    fn batch_retry_completes_only_the_failed_member() {
+        use alto_disk::FaultKind;
+        // Three chained writes with a transient on the middle sector: the
+        // drive halts at the failure and reschedules the rest, then the
+        // retry layer re-issues just the failed member — the completed
+        // members are never re-run.
+        let mut d = drive();
+        for i in 0..3u16 {
+            allocate_at(
+                &mut d,
+                DiskAddress(40 + i),
+                label_for(i + 1, DiskAddress::NIL, DiskAddress::NIL),
+                &[1; DATA_WORDS],
+            )
+            .unwrap();
+        }
+        d.reset_stats();
+        d.injector_mut()
+            .arm(DiskAddress(41), FaultKind::NotReady { attempts: 1 });
+        let chunks = [
+            [0xA1u16; DATA_WORDS],
+            [0xA2; DATA_WORDS],
+            [0xA3; DATA_WORDS],
+        ];
+        let start = PageName::new(fv(), 1, DiskAddress(40));
+        let wrote = write_pages_guessed(&mut d, fv(), start, &chunks).unwrap();
+        assert!(wrote.iter().all(|r| r.is_ok()));
+        let s = d.stats();
+        // 3 batched services + exactly 1 retry re-issue; the two clean
+        // members were not re-run.
+        assert_eq!(s.ops, 4);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.recovered, 1);
+        for i in 0..3u16 {
+            let (_, data) =
+                read_page(&mut d, PageName::new(fv(), i + 1, DiskAddress(40 + i))).unwrap();
+            assert_eq!(data[0], 0xA1 + i);
+        }
     }
 
     #[test]

@@ -491,11 +491,11 @@ fn scav_free<D: Disk>(
     };
     let mut buf = SectorBuf::with_label(check);
     buf.header = [fs.disk().pack_number()?, da.0];
-    fs.disk_mut().do_op(da, SectorOp::CHECK_LABEL, &mut buf)?;
+    page::retry_op(fs.disk_mut(), da, SectorOp::CHECK_LABEL, &mut buf)?;
     let mut buf = SectorBuf::with_label(Label::FREE);
     buf.header = [fs.disk().pack_number()?, da.0];
     buf.data = [u16::MAX; DATA_WORDS];
-    fs.disk_mut().do_op(da, SectorOp::WRITE_LABEL, &mut buf)?;
+    page::retry_op(fs.disk_mut(), da, SectorOp::WRITE_LABEL, &mut buf)?;
     Ok(())
 }
 
@@ -505,7 +505,7 @@ fn free_raw<D: Disk>(fs: &mut FileSystem<D>, da: DiskAddress) -> Result<(), FsEr
     let mut buf = SectorBuf::with_label(Label::FREE);
     buf.header = [fs.disk().pack_number()?, da.0];
     buf.data = [u16::MAX; DATA_WORDS];
-    fs.disk_mut().do_op(da, SectorOp::WRITE_ALL, &mut buf)?;
+    page::retry_op(fs.disk_mut(), da, SectorOp::WRITE_ALL, &mut buf)?;
     Ok(())
 }
 

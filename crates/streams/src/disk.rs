@@ -244,14 +244,49 @@ impl<D: Disk> DiskByteStream<D> {
             return Ok(());
         }
         let writes = std::mem::take(&mut self.write_behind);
-        let (results, _) =
-            alto_fs::page::drain_and_prefetch(fs.disk_mut(), self.file.fv, &writes, None, 0)?;
+        let (results, _) = match alto_fs::page::drain_and_prefetch(
+            fs.disk_mut(),
+            self.file.fv,
+            &writes,
+            None,
+            0,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                // Pre-flight failure: the batch never reached the disk,
+                // so every parked page is still owed.
+                self.write_behind = writes;
+                return Err(e.into());
+            }
+        };
         fs.disk_mut().note_write_behind(writes.len() as u64);
         self.medium_epoch = fs.disk().write_epoch();
-        for r in results {
-            r?;
+        self.repark_failed(&writes, results)
+    }
+
+    /// Puts any page whose drain write failed back in the write-behind
+    /// buffer and reports the first failure. A failed write must not be
+    /// silently dropped with the drained batch: the page stays owed to the
+    /// medium and surfaces again on the next drain, `flush` or `close` if
+    /// it is still undeliverable.
+    fn repark_failed(
+        &mut self,
+        writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
+        results: Vec<Result<Label, FsError>>,
+    ) -> Result<(), StreamError> {
+        let mut first_err = None;
+        for (w, r) in writes.iter().zip(results) {
+            if let Err(e) = r {
+                self.write_behind.push(*w);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// Crossing out of the current page: park it dirty for a delayed write,
@@ -356,9 +391,7 @@ impl<D: Disk> DiskByteStream<D> {
                         fs.disk_mut().note_write_behind(writes.len() as u64);
                     }
                     self.medium_epoch = fs.disk().write_epoch();
-                    for r in write_results {
-                        r?;
-                    }
+                    self.repark_failed(&writes, write_results)?;
                     let first = if entries.is_empty() {
                         None
                     } else {
@@ -1029,6 +1062,48 @@ mod tests {
         assert_eq!(stats.wb_drains, 2);
         assert_eq!(stats.wb_coalesced, 4);
         s.close(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn failed_drain_write_reparks_and_surfaces_on_flush() {
+        use alto_disk::FaultKind;
+        let mut fs = fresh_fs();
+        let f = file_named(&mut fs, "park.dat");
+        fs.write_file(f, &vec![0u8; 8 * 512]).unwrap();
+        let page1_da = fs.open_leader(f).unwrap().0.next;
+        let page2_da = fs
+            .read_page(PageName::new(f.fv, 1, page1_da))
+            .unwrap()
+            .0
+            .next;
+        let mut s = DiskByteStream::open(&mut fs, f).unwrap();
+        // Cross into page 5: page 1 drains with the readahead refill,
+        // pages 2..4 park in the write-behind buffer.
+        for _ in 0..(4 * 512 + 10) {
+            s.put_byte(&mut fs, 9).unwrap();
+        }
+        // Page 2's parked write will fail past the retry limit.
+        fs.disk_mut()
+            .injector_mut()
+            .arm(page2_da, FaultKind::NotReady { attempts: 100 });
+        assert!(s.flush(&mut fs).is_err(), "drain must surface the failure");
+        // The page re-parked rather than being dropped: a second flush
+        // still owes the write and still fails.
+        assert!(s.flush(&mut fs).is_err(), "the page is still owed");
+        assert_eq!(
+            &fs.read_file(f).unwrap()[512..1024],
+            &[0u8; 512][..],
+            "the failed write must not land"
+        );
+        // Once the drive recovers, the parked page drains and every byte
+        // the caller wrote is on the medium.
+        fs.disk_mut().injector_mut().disarm(page2_da);
+        s.flush(&mut fs).unwrap();
+        s.close(&mut fs).unwrap();
+        let on_disk = fs.read_file(f).unwrap();
+        assert_eq!(&on_disk[..4 * 512 + 10], &[9u8; 4 * 512 + 10][..]);
+        let stats = fs.disk().io_stats();
+        assert!(stats.hard_failures >= 2);
     }
 
     #[test]

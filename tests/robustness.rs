@@ -213,6 +213,177 @@ fn scavenging_twice_is_a_fixed_point() {
     }
 }
 
+/// Runs a seeded create/write/read/delete workload, optionally under a
+/// transient-fault campaign, and returns the file system, the model of
+/// what the caller believes is on disk, and the drive's counters.
+fn campaign_workload(
+    campaign: bool,
+) -> (
+    FileSystem<DiskDrive>,
+    BTreeMap<String, Vec<u8>>,
+    alto::disk::DriveStats,
+) {
+    let clock = SimClock::new();
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive).unwrap();
+    if campaign {
+        fs.disk_mut().injector_mut().set_campaign(0xC0FFEE, 1, 1000);
+    }
+    let root = fs.root_dir();
+    let mut rng = SplitMix64::new(4242);
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let names: Vec<String> = (0..5).map(|i| format!("c-{i}.dat")).collect();
+    for _ in 0..80 {
+        let name = &names[rng.next_below(5) as usize];
+        match rng.next_below(4) {
+            0 | 1 => {
+                let len = (rng.next_below(4000) + 1) as usize;
+                let bytes: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
+                let f = match dir::lookup(&mut fs, root, name).unwrap() {
+                    Some(f) => f,
+                    None => dir::create_named_file(&mut fs, root, name).unwrap(),
+                };
+                fs.write_file(f, &bytes).unwrap();
+                model.insert(name.clone(), bytes);
+            }
+            2 => {
+                if let Some(f) = dir::lookup(&mut fs, root, name).unwrap() {
+                    assert_eq!(fs.read_file(f).unwrap(), model[name], "{name} corrupted");
+                }
+            }
+            _ => {
+                if dir::lookup(&mut fs, root, name).unwrap().is_some() {
+                    dir::remove(&mut fs, root, name).unwrap();
+                    model.remove(name);
+                }
+            }
+        }
+    }
+    let stats = fs.disk().io_stats();
+    (fs, model, stats)
+}
+
+#[test]
+fn transient_campaign_recovers_invisibly_with_zero_divergence() {
+    // Every operation above `unwrap()`s: a campaign at a 1e-3 per-op fault
+    // rate must be invisible to the caller — bounded retry absorbs it all.
+    let (mut clean_fs, clean_model, clean_stats) = campaign_workload(false);
+    let (mut fs, model, stats) = campaign_workload(true);
+    assert_eq!(clean_stats.soft_errors, 0);
+    assert!(stats.soft_errors > 0, "the campaign never fired");
+    assert!(stats.recovered > 0);
+    assert_eq!(stats.hard_failures, 0, "a transient escalated");
+    let episodes = stats.recovered + stats.hard_failures;
+    assert!(
+        stats.recovered as f64 / episodes as f64 >= 0.99,
+        "recovered {} of {episodes} fault episodes",
+        stats.recovered
+    );
+    // Zero divergence: the faulty run ends with byte-identical contents.
+    assert_eq!(model, clean_model, "the runs diverged in surviving files");
+    let root = fs.root_dir();
+    let clean_root = clean_fs.root_dir();
+    for (name, want) in &model {
+        let f = dir::lookup(&mut fs, root, name).unwrap().expect(name);
+        assert_eq!(fs.read_file(f).unwrap(), *want, "{name} diverged");
+        let cf = dir::lookup(&mut clean_fs, clean_root, name)
+            .unwrap()
+            .expect(name);
+        assert_eq!(clean_fs.read_file(cf).unwrap(), *want, "{name} (clean)");
+    }
+}
+
+#[test]
+fn retries_zero_surfaces_the_same_campaign() {
+    // The ablation: with the retry budget at zero, the very faults the
+    // previous test absorbed invisibly now reach the caller as errors.
+    let clock = SimClock::new();
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), Trace::new(), DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive).unwrap();
+    fs.disk_mut().set_retries(0);
+    fs.disk_mut().injector_mut().set_campaign(0xC0FFEE, 1, 1000);
+    let root = fs.root_dir();
+    let mut rng = SplitMix64::new(4242);
+    let mut surfaced = 0u32;
+    for i in 0..80 {
+        let name = format!("a-{}.dat", i % 5);
+        let f = match dir::lookup(&mut fs, root, &name) {
+            Ok(Some(f)) => f,
+            Ok(None) => match dir::create_named_file(&mut fs, root, &name) {
+                Ok(f) => f,
+                Err(_) => {
+                    surfaced += 1;
+                    continue;
+                }
+            },
+            Err(_) => {
+                surfaced += 1;
+                continue;
+            }
+        };
+        let len = (rng.next_below(4000) + 1) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u16() as u8).collect();
+        match fs.write_file(f, &bytes) {
+            Err(_) => surfaced += 1,
+            Ok(()) => {
+                if fs.read_file(f).is_err() {
+                    surfaced += 1;
+                }
+            }
+        }
+    }
+    let stats = fs.disk().io_stats();
+    assert!(stats.soft_errors > 0, "the campaign never fired");
+    assert_eq!(stats.retries, 0, "retries happened despite a zero budget");
+    assert_eq!(stats.recovered, 0);
+    assert!(stats.hard_failures > 0);
+    assert!(surfaced > 0, "no fault reached the caller");
+}
+
+#[test]
+fn crash_during_retry_is_recovered_by_the_scavenger() {
+    let (mut fs, contents, _clock) = populated(123, 8);
+    let root = fs.root_dir();
+    let victim_name = "file-04.dat";
+    let victim = dir::lookup(&mut fs, root, victim_name).unwrap().unwrap();
+    let (leader_label, _) = fs.read_page(victim.leader_page()).unwrap();
+    let page1_da = leader_label.next;
+
+    // A persistent not-ready fault on the victim's first data page: the
+    // rewrite exhausts its retry budget mid-file and surfaces a hard error.
+    fs.disk_mut()
+        .injector_mut()
+        .arm(page1_da, FaultKind::NotReady { attempts: 1000 });
+    let new_bytes: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+    assert!(fs.write_file(victim, &new_bytes).is_err());
+    let stats = fs.disk().io_stats();
+    assert!(
+        stats.retries >= 3,
+        "the budget was not spent before escalating"
+    );
+    assert!(stats.hard_failures >= 1);
+
+    // The machine crashes while the file is half-rewritten; by reboot the
+    // transient condition has cleared.
+    fs.disk_mut().injector_mut().disarm(page1_da);
+    let disk = fs.crash();
+    let (mut fs, _report) = Scavenger::rebuild(disk).unwrap();
+
+    // Every other file survives byte-identical; the victim is structurally
+    // sound (readable without errors), its data fair game.
+    let root = fs.root_dir();
+    for (name, want) in &contents {
+        if name == victim_name {
+            continue;
+        }
+        let f = dir::lookup(&mut fs, root, name).unwrap().expect(name);
+        assert_eq!(fs.read_file(f).unwrap(), *want, "{name}");
+    }
+    if let Some(v) = dir::lookup(&mut fs, root, victim_name).unwrap() {
+        fs.read_file(v).unwrap();
+    }
+}
+
 #[test]
 fn page_accounting_balances_after_recovery() {
     let (mut fs, _contents, _clock) = populated(77, 10);
