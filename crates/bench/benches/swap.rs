@@ -23,7 +23,7 @@ fn main() {
         os.out_load(file).unwrap()
     }));
     rows.push(measure(&clock, "in_load_64kw", 5, || {
-        os.in_load(file, &[0; MESSAGE_WORDS]).unwrap()
+        os.in_load(file, &[0; MESSAGE_WORDS]).unwrap();
     }));
     let a = os.create_state_file("A.state").unwrap();
     let bf = os.create_state_file("B.state").unwrap();
@@ -42,7 +42,7 @@ fn main() {
     os.install_boot_file().unwrap();
     let mut rows = Vec::new();
     rows.push(measure(&clock, "boot_button", 5, || {
-        os.bootstrap().unwrap()
+        os.bootstrap().unwrap();
     }));
     rows.push(measure(&clock, "reinstall_boot_file", 5, || {
         os.install_boot_file().unwrap()

@@ -23,7 +23,7 @@ fn main() {
     let f = consecutive_file(&mut fs, "w.dat", 64);
     let bytes = vec![7u8; 64 * 512];
     rows.push(measure(&clock, "overwrite_in_place_64pp", 10, || {
-        fs.write_file(f, &bytes).unwrap()
+        fs.write_file(f, &bytes).unwrap();
     }));
     print_table("e1_transfer", &rows);
 }

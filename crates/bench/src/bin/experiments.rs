@@ -563,7 +563,7 @@ fn e8_robustness_campaign() {
             let da = DiskAddress(rng.next_below(total) as u16);
             let pack = fs.disk_mut().pack_mut().unwrap();
             let s = pack.sector_mut(da).unwrap();
-            for w in s.label.iter_mut() {
+            for w in &mut s.label {
                 *w = rng.next_u16();
             }
         }
@@ -1009,7 +1009,7 @@ fn pr3_write_behind_bench(json_path: Option<&str>) {
             .collect();
         let t0 = clock.now();
         let results = dual.do_batch(&mut batch);
-        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(results.iter().all(std::result::Result::is_ok));
         (clock.now() - t0, dual.io_stats().overlap_saved)
     };
     let (serial, _) = dual_run(false);

@@ -5,6 +5,8 @@
 //! exactly the same code paths. [`harness`] is the dependency-free bench
 //! harness: deterministic simulated time is the measurement.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use alto_disk::{DiskDrive, DiskModel};

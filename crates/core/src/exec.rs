@@ -67,6 +67,9 @@ impl<D: Disk> AltoOs<D> {
                     }
                     self.machine
                         .clock()
+                        // lint: allow(clock-discipline) — the Executive blocks on scripted
+                        // keyboard input; idling until the next key is modeled as waiting,
+                        // not as a disk I/O cost
                         .advance(alto_sim::SimTime::from_millis(1));
                 }
             }
@@ -103,9 +106,8 @@ impl<D: Disk> AltoOs<D> {
                 self.put_char(b'\n');
             }
             "copy" => {
-                let (src, dst) = match (arg1, arg2) {
-                    (Some(a), Some(b)) => (a, b),
-                    _ => return Err(OsError::CommandNotFound("copy: need SRC DST".into())),
+                let (Some(src), Some(dst)) = (arg1, arg2) else {
+                    return Err(OsError::CommandNotFound("copy: need SRC DST".into()));
                 };
                 let root = self.fs.root_dir();
                 let from = dir::lookup(&mut self.fs, root, src)?
@@ -206,9 +208,8 @@ impl<D: Disk> AltoOs<D> {
                 self.put_str("deleted\n");
             }
             "rename" => {
-                let (old, new) = match (arg1, arg2) {
-                    (Some(a), Some(b)) => (a, b),
-                    _ => return Err(OsError::CommandNotFound("rename: need OLD NEW".into())),
+                let (Some(old), Some(new)) = (arg1, arg2) else {
+                    return Err(OsError::CommandNotFound("rename: need OLD NEW".into()));
                 };
                 let root = self.fs.root_dir();
                 let file = dir::remove(&mut self.fs, root, old)?

@@ -30,6 +30,8 @@
 //!   auxiliary files, store hints for them in a state file, and get them
 //!   back at full disk speed on the next startup.
 
+#![forbid(unsafe_code)]
+
 pub mod boot;
 pub mod debug;
 pub mod diskless;

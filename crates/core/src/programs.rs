@@ -40,7 +40,7 @@ impl<D: Disk> AltoOs<D> {
             self.machine.mem.write(base, bytes.len() as u16);
             for (i, chunk) in bytes.chunks(2).enumerate() {
                 let hi = (chunk[0] as u16) << 8;
-                let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                let lo = chunk.get(1).map_or(0, |&b| b as u16);
                 self.machine.mem.write(base + 1 + i as u16, hi | lo);
             }
         }

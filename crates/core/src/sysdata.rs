@@ -64,7 +64,7 @@ impl<D: Disk> AltoOs<D> {
         for (slot, bytes) in [(NAME_BASE, name), (PASS_BASE, password)] {
             for (i, chunk) in bytes.chunks(2).enumerate() {
                 let hi = (chunk[0] as u16) << 8;
-                let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                let lo = chunk.get(1).map_or(0, |&b| b as u16);
                 self.machine.mem.write(base + slot + i as u16, hi | lo);
             }
         }

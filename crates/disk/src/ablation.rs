@@ -34,8 +34,12 @@ pub struct UncheckedDisk<D: Disk> {
 }
 
 impl<D: Disk> UncheckedDisk<D> {
-    /// Wraps `inner`.
-    pub fn new(inner: D) -> UncheckedDisk<D> {
+    /// Wraps `inner`. Stripping checks violates the §3.3 discipline *by
+    /// design*, so any runtime auditor on the wrapped disk is switched off —
+    /// the ablation measures the world without the discipline, not the
+    /// auditor's opinion of it.
+    pub fn new(mut inner: D) -> UncheckedDisk<D> {
+        inner.set_audit_enabled(false);
         UncheckedDisk {
             inner,
             checks_elided: 0,
@@ -147,6 +151,9 @@ impl<D: Disk> Disk for UncheckedDisk<D> {
         self.inner.note_retry(retries, recovered);
     }
 
+    // note_park / note_unpark / set_audit_enabled deliberately NOT
+    // forwarded: the inner auditor is off for the lifetime of the wrapper.
+
     fn clock(&self) -> &SimClock {
         self.inner.clock()
     }
@@ -238,6 +245,22 @@ impl<D: Disk> Disk for UnscheduledDisk<D> {
 
     fn note_retry(&mut self, retries: u64, recovered: bool) {
         self.inner.note_retry(retries, recovered);
+    }
+
+    fn note_park(&mut self, da: DiskAddress, page: u16) {
+        self.inner.note_park(da, page);
+    }
+
+    fn note_unpark(&mut self, da: DiskAddress, page: u16, outcome: crate::audit::UnparkOutcome) {
+        self.inner.note_unpark(da, page, outcome);
+    }
+
+    fn set_audit_enabled(&mut self, enabled: bool) {
+        self.inner.set_audit_enabled(enabled);
+    }
+
+    fn audit_violations(&self) -> u64 {
+        self.inner.audit_violations()
     }
 
     fn clock(&self) -> &SimClock {

@@ -1,0 +1,650 @@
+//! Runtime §3.3 invariant auditor — the dynamic half of the label-discipline
+//! checker (the static half is `cargo xtask lint`).
+//!
+//! A [`Auditor`] is a shadow model attached to a [`crate::DiskDrive`]: every
+//! serviced sector operation is mirrored against an *independent*
+//! re-implementation of the §3.3 semantics, and a set of discipline
+//! assertions is evaluated per observation:
+//!
+//! * **check-before-write** — an operation that writes the value part must
+//!   check (or rewrite) the label in the same sector visit; a label rewrite
+//!   must have been preceded by a successful label check of the same sector
+//!   (the two-pass allocate/free protocol). Format-style full writes
+//!   (header action = write) are the sanctioned exception.
+//! * **model divergence** — the drive's outcome (result, medium state,
+//!   memory buffer — including 0-wildcard capture) must equal the reference
+//!   model's prediction. Fault-injected and damaged-medium operations are
+//!   exempt: the model predicts the *clean* outcome.
+//! * **epoch monotonicity** — [`crate::Disk::write_epoch`] must never move
+//!   backwards, and must advance exactly when a write op is attempted: the
+//!   hint cache's staleness gating depends on it.
+//! * **park/drain accounting** — every dirty page parked by a write-behind
+//!   buffer must reach the medium (an observed successful value write to its
+//!   address) before the buffer reports it drained; a drain claim without a
+//!   covering write is data loss.
+//!
+//! Violations are recorded, surfaced as `audit.violation` trace events, and
+//! — in *strict* mode (`ALTO_AUDIT=1` in the environment, as CI sets it) —
+//! turned into panics so any test run fails loudly.
+//!
+//! The auditor never touches the [`alto_sim::SimClock`]: simulated time with
+//! the auditor enabled is bit-identical to time with it disabled, and when it
+//! is disabled (the default) the drive pays a single `Option` test per
+//! operation.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use alto_sim::{SimTime, Trace};
+
+use crate::errors::{CheckFailure, DiskError, SectorPart};
+use crate::geometry::DiskAddress;
+use crate::sector::{Action, Sector, SectorBuf, SectorOp};
+
+/// The invariant families the auditor enforces (ARCHITECTURE.md maps each to
+/// its §3.3 sentence and to the static lint rule covering the same ground).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditRule {
+    /// A value write with no label check in the same sector visit.
+    CheckBeforeWrite,
+    /// A label rewrite with no prior successful label check of that sector.
+    UnverifiedLabelWrite,
+    /// Drive outcome diverged from the §3.3 reference model.
+    ModelDivergence,
+    /// `write_epoch` regressed or failed to advance on a write.
+    EpochRegression,
+    /// A parked dirty page was reported drained without reaching the medium,
+    /// or an unpark had no matching park.
+    ParkAccounting,
+}
+
+impl fmt::Display for AuditRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AuditRule::CheckBeforeWrite => "check-before-write",
+            AuditRule::UnverifiedLabelWrite => "unverified-label-write",
+            AuditRule::ModelDivergence => "model-divergence",
+            AuditRule::EpochRegression => "epoch-regression",
+            AuditRule::ParkAccounting => "park-accounting",
+        })
+    }
+}
+
+/// One recorded violation.
+#[derive(Debug, Clone)]
+pub struct AuditViolation {
+    /// Which invariant family was violated.
+    pub rule: AuditRule,
+    /// The sector involved.
+    pub da: DiskAddress,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.rule, self.da, self.detail)
+    }
+}
+
+/// How a write-behind buffer disposed of a parked page (see
+/// [`crate::Disk::note_unpark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnparkOutcome {
+    /// The buffer claims the page reached the medium.
+    Drained,
+    /// The drain attempt failed and the page was parked again.
+    Reparked,
+    /// The buffer discarded the page without writing it.
+    Dropped,
+}
+
+/// How the observed operation reached its outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Normal medium, no injected fault: the reference model must agree.
+    Clean,
+    /// A fault injector transformed the operation or its result.
+    Injected,
+    /// The sector is damaged; the drive served the header/label and hard-
+    /// errored on the value.
+    Damaged,
+}
+
+/// Everything the drive tells the auditor about one serviced operation.
+#[derive(Debug)]
+pub struct Observed<'a> {
+    /// The sector address.
+    pub da: DiskAddress,
+    /// The operation as issued.
+    pub op: SectorOp,
+    /// Medium contents before the operation.
+    pub sector_before: &'a Sector,
+    /// Memory buffer before the operation.
+    pub buf_before: &'a SectorBuf,
+    /// Medium contents after the operation.
+    pub sector_after: &'a Sector,
+    /// Memory buffer after the operation.
+    pub buf_after: &'a SectorBuf,
+    /// The drive's result.
+    pub result: &'a Result<(), DiskError>,
+    /// Clean, injected, or damaged.
+    pub provenance: Provenance,
+    /// The drive's `write_epoch` after the operation.
+    pub epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    strict: bool,
+    ops_observed: u64,
+    last_epoch: u64,
+    /// Sectors whose label was verified by a successful check and not yet
+    /// invalidated by a label write or a failed check.
+    verified: HashSet<u16>,
+    /// Parked dirty pages by address: page number and whether a successful
+    /// value write to the address has been observed since the park.
+    parked: HashMap<u16, ParkEntry>,
+    violations: Vec<AuditViolation>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParkEntry {
+    page: u16,
+    covered: bool,
+}
+
+/// A cloneable handle to the audit state; the drive holds one and tests hold
+/// clones to query violations afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Auditor {
+    state: Rc<RefCell<State>>,
+}
+
+impl Auditor {
+    /// A fresh auditor. In `strict` mode every violation panics (after being
+    /// recorded and traced), so an auditor-enabled test run fails loudly.
+    pub fn new(strict: bool) -> Auditor {
+        Auditor {
+            state: Rc::new(RefCell::new(State {
+                strict,
+                ..State::default()
+            })),
+        }
+    }
+
+    /// The auditor the environment asks for: `ALTO_AUDIT=1` (or `true` /
+    /// `strict`) enables a strict auditor on every new drive; anything else
+    /// (including unset) disables auditing.
+    pub fn from_env() -> Option<Auditor> {
+        match std::env::var("ALTO_AUDIT") {
+            Ok(v) if matches!(v.as_str(), "1" | "true" | "strict") => Some(Auditor::new(true)),
+            _ => None,
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> Vec<AuditViolation> {
+        self.state.borrow().violations.clone()
+    }
+
+    /// Number of violations recorded so far.
+    pub fn violation_count(&self) -> usize {
+        self.state.borrow().violations.len()
+    }
+
+    /// Sector operations mirrored so far.
+    pub fn ops_observed(&self) -> u64 {
+        self.state.borrow().ops_observed
+    }
+
+    /// Parked dirty pages not yet drained or dropped. A quiesced system
+    /// (all streams closed) should report zero.
+    pub fn parked_outstanding(&self) -> usize {
+        self.state.borrow().parked.len()
+    }
+
+    /// Forgets the epoch baseline; the drive calls this from `reset_stats`
+    /// (which rewinds the epoch counter legitimately).
+    pub(crate) fn note_epoch_reset(&self) {
+        self.state.borrow_mut().last_epoch = 0;
+    }
+
+    fn violate(
+        &self,
+        trace: &Trace,
+        now: SimTime,
+        rule: AuditRule,
+        da: DiskAddress,
+        detail: String,
+    ) {
+        let strict = {
+            let mut st = self.state.borrow_mut();
+            st.violations.push(AuditViolation {
+                rule,
+                da,
+                detail: detail.clone(),
+            });
+            st.strict
+        };
+        trace.record(
+            now,
+            "audit.violation",
+            format!("[{rule}] at {da}: {detail}"),
+        );
+        if strict {
+            panic!("audit violation [{rule}] at {da}: {detail}");
+        }
+    }
+
+    /// Mirror one serviced operation (called by the drive after the medium
+    /// and buffer have settled).
+    pub(crate) fn observe(&self, obs: &Observed<'_>, trace: &Trace, now: SimTime) {
+        self.state.borrow_mut().ops_observed += 1;
+        let op = obs.op;
+        let da = obs.da;
+
+        // Check-before-write: a value write whose label action is a plain
+        // read never compared the label against what the software believes
+        // is there — the §3.3 discipline is gone even if the bits happen to
+        // match.
+        if op.value == Action::Write && op.label == Action::Read {
+            self.violate(
+                trace,
+                now,
+                AuditRule::CheckBeforeWrite,
+                da,
+                format!("value write with label action Read ({op:?}) — no label check in this sector visit"),
+            );
+        }
+
+        // Two-pass protocol: a label rewrite (that is not a format-style
+        // full write) trusts a free/old label observed earlier; the §3.3
+        // allocate/free protocol earns that trust with a label-check pass of
+        // the same sector.
+        // (the borrow must end before `violate` re-borrows the state)
+        let verified = self.state.borrow().verified.contains(&da.0);
+        if op.label == Action::Write && op.header != Action::Write && !verified {
+            self.violate(
+                trace,
+                now,
+                AuditRule::UnverifiedLabelWrite,
+                da,
+                format!(
+                    "label rewrite ({op:?}) with no prior successful label check of this sector"
+                ),
+            );
+        }
+
+        // Shadow-model replay, clean operations only: the model predicts the
+        // clean outcome, so injected faults and damaged media are exempt.
+        if obs.provenance == Provenance::Clean {
+            let (predicted, model_sector, model_buf) =
+                predict(op, da, obs.sector_before, obs.buf_before);
+            if !results_agree(&predicted, obs.result) {
+                self.violate(
+                    trace,
+                    now,
+                    AuditRule::ModelDivergence,
+                    da,
+                    format!(
+                        "drive returned {:?}, reference model predicts {predicted:?} for {op:?}",
+                        obs.result
+                    ),
+                );
+            } else {
+                if &model_sector != obs.sector_after {
+                    self.violate(
+                        trace,
+                        now,
+                        AuditRule::ModelDivergence,
+                        da,
+                        format!("medium state diverged from reference model after {op:?}"),
+                    );
+                }
+                if &model_buf != obs.buf_after {
+                    self.violate(
+                        trace,
+                        now,
+                        AuditRule::ModelDivergence,
+                        da,
+                        format!(
+                            "memory buffer diverged from reference model after {op:?} \
+                             (0-wildcard capture semantics?)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Epoch monotonicity: the epoch may never regress, and a write op
+        // must advance it (it is counted at the attempt, before the check).
+        {
+            let last = self.state.borrow().last_epoch;
+            if obs.epoch < last {
+                self.violate(
+                    trace,
+                    now,
+                    AuditRule::EpochRegression,
+                    da,
+                    format!("write_epoch moved backwards: {} -> {}", last, obs.epoch),
+                );
+            } else if op.writes() && obs.epoch == last && self.state.borrow().ops_observed > 1 {
+                self.violate(
+                    trace,
+                    now,
+                    AuditRule::EpochRegression,
+                    da,
+                    format!(
+                        "write op {op:?} did not advance write_epoch (still {})",
+                        obs.epoch
+                    ),
+                );
+            }
+            self.state.borrow_mut().last_epoch = obs.epoch;
+        }
+
+        // Track label verification for the two-pass protocol.
+        {
+            let mut st = self.state.borrow_mut();
+            match obs.result {
+                Ok(()) => match op.label {
+                    Action::Check => {
+                        st.verified.insert(da.0);
+                    }
+                    Action::Write => {
+                        st.verified.remove(&da.0);
+                    }
+                    Action::Read => {}
+                },
+                Err(DiskError::Check(_)) => {
+                    st.verified.remove(&da.0);
+                }
+                // A damaged value part still completes the label check (the
+                // label precedes the value on the platter), so the two-pass
+                // protocol may proceed to quarantine the sector.
+                Err(DiskError::HardError {
+                    part: SectorPart::Value,
+                    ..
+                }) if op.label == Action::Check => {
+                    st.verified.insert(da.0);
+                }
+                Err(_) => {}
+            }
+
+            // Park coverage: a successful value write to a parked address is
+            // the medium arrival its drain claim needs.
+            if op.value == Action::Write && obs.result.is_ok() {
+                if let Some(entry) = st.parked.get_mut(&da.0) {
+                    entry.covered = true;
+                }
+            }
+        }
+    }
+
+    /// A write-behind buffer parked a dirty page destined for `da`.
+    pub(crate) fn note_park(&self, da: DiskAddress, page: u16) {
+        self.state.borrow_mut().parked.insert(
+            da.0,
+            ParkEntry {
+                page,
+                covered: false,
+            },
+        );
+    }
+
+    /// A write-behind buffer disposed of the page parked at `da`.
+    pub(crate) fn note_unpark(
+        &self,
+        da: DiskAddress,
+        page: u16,
+        outcome: UnparkOutcome,
+        trace: &Trace,
+        now: SimTime,
+    ) {
+        let entry = self.state.borrow_mut().parked.remove(&da.0);
+        match (entry, outcome) {
+            (Some(e), UnparkOutcome::Drained) => {
+                if !e.covered {
+                    self.violate(
+                        trace,
+                        now,
+                        AuditRule::ParkAccounting,
+                        da,
+                        format!(
+                            "page {page} reported drained but no successful value write \
+                             reached {da} since it was parked — the dirty page was dropped"
+                        ),
+                    );
+                }
+            }
+            (Some(e), UnparkOutcome::Reparked) => {
+                // Back in the buffer, coverage starts over.
+                self.state.borrow_mut().parked.insert(
+                    da.0,
+                    ParkEntry {
+                        page: e.page,
+                        covered: false,
+                    },
+                );
+            }
+            (Some(_), UnparkOutcome::Dropped) => {
+                self.violate(
+                    trace,
+                    now,
+                    AuditRule::ParkAccounting,
+                    da,
+                    format!("parked dirty page {page} discarded without a write"),
+                );
+            }
+            (None, _) => {
+                self.violate(
+                    trace,
+                    now,
+                    AuditRule::ParkAccounting,
+                    da,
+                    format!("unpark ({outcome:?}) of page {page} that was never parked"),
+                );
+            }
+        }
+    }
+}
+
+/// `DiskError` equality for model comparison. `MalformedOp` carries a static
+/// message that is an implementation detail; the *kind* is what must agree.
+fn results_agree(a: &Result<(), DiskError>, b: &Result<(), DiskError>) -> bool {
+    match (a, b) {
+        (Err(DiskError::MalformedOp(_)), Err(DiskError::MalformedOp(_))) => true,
+        _ => a == b,
+    }
+}
+
+/// The §3.3 reference model, implemented independently of
+/// [`crate::sector::apply`]: a single pass over the three parts in disk
+/// order, with check-abort and 0-wildcard capture, on *copies* of the medium
+/// and buffer. Returns the predicted result and final states.
+fn predict(
+    op: SectorOp,
+    da: DiskAddress,
+    sector: &Sector,
+    buf: &SectorBuf,
+) -> (Result<(), DiskError>, Sector, SectorBuf) {
+    let mut s = sector.clone();
+    let mut m = buf.clone();
+
+    // Hardware rule: once a write is begun it continues through the rest of
+    // the sector; a later read or check is malformed and nothing happens.
+    let mut begun = false;
+    for action in [op.header, op.label, op.value] {
+        match action {
+            Action::Write => begun = true,
+            Action::Read | Action::Check if begun => {
+                return (
+                    Err(DiskError::MalformedOp("predicted: action after write")),
+                    s,
+                    m,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let parts: [(Action, SectorPart); 3] = [
+        (op.header, SectorPart::Header),
+        (op.label, SectorPart::Label),
+        (op.value, SectorPart::Value),
+    ];
+    for (action, part) in parts {
+        let (disk_words, mem_words): (&mut [u16], &mut [u16]) = match part {
+            SectorPart::Header => (&mut s.header, &mut m.header),
+            SectorPart::Label => (&mut s.label, &mut m.label),
+            SectorPart::Value => (&mut s.data, &mut m.data),
+        };
+        match action {
+            Action::Read => mem_words.copy_from_slice(disk_words),
+            Action::Write => disk_words.copy_from_slice(mem_words),
+            Action::Check => {
+                for (i, (mem, disk)) in mem_words.iter_mut().zip(disk_words.iter()).enumerate() {
+                    if *mem == 0 {
+                        // 0-wildcard: pattern-match and capture the disk word.
+                        *mem = *disk;
+                    } else if *mem != *disk {
+                        // First mismatch aborts the whole operation; because
+                        // no write precedes a check, the medium is untouched.
+                        return (
+                            Err(DiskError::Check(CheckFailure {
+                                da,
+                                part,
+                                word_index: i,
+                                expected: *mem,
+                                found: *disk,
+                            })),
+                            s,
+                            m,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (Ok(()), s, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::sector::DATA_WORDS;
+
+    fn live_sector() -> Sector {
+        let mut s = Sector::formatted(1, DiskAddress(5));
+        s.label = Label {
+            fid: [10, 20],
+            version: 1,
+            page_number: 2,
+            length: 512,
+            next: DiskAddress(6),
+            prev: DiskAddress(4),
+        }
+        .encode();
+        s.data = [0x5A5A; DATA_WORDS];
+        s
+    }
+
+    #[test]
+    fn model_predicts_clean_read() {
+        let s = live_sector();
+        let mut b = SectorBuf::with_label(s.decoded_label());
+        b.header = s.header;
+        let (r, s2, b2) = predict(SectorOp::READ, DiskAddress(5), &s, &b);
+        assert_eq!(r, Ok(()));
+        assert_eq!(s2, s);
+        assert_eq!(b2.data, s.data);
+    }
+
+    #[test]
+    fn model_predicts_wildcard_capture() {
+        let s = live_sector();
+        let b = SectorBuf::zeroed();
+        let (r, _, b2) = predict(SectorOp::READ, DiskAddress(5), &s, &b);
+        assert_eq!(r, Ok(()));
+        assert_eq!(b2.label, s.label);
+        assert_eq!(b2.header, s.header);
+    }
+
+    #[test]
+    fn model_predicts_check_abort_before_write() {
+        let s = live_sector();
+        let mut wrong = s.decoded_label();
+        wrong.page_number = 9;
+        let mut b = SectorBuf::with_label(wrong);
+        b.data = [0xDEAD; DATA_WORDS];
+        let (r, s2, _) = predict(SectorOp::WRITE, DiskAddress(5), &s, &b);
+        assert!(matches!(r, Err(DiskError::Check(_))));
+        assert_eq!(s2, s, "aborted op must leave the medium untouched");
+    }
+
+    #[test]
+    fn model_rejects_malformed_op() {
+        let bad = SectorOp {
+            header: Action::Write,
+            label: Action::Check,
+            value: Action::Write,
+        };
+        let s = live_sector();
+        let (r, s2, _) = predict(bad, DiskAddress(5), &s, &SectorBuf::zeroed());
+        assert!(matches!(r, Err(DiskError::MalformedOp(_))));
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn park_then_covered_drain_is_clean() {
+        let aud = Auditor::new(false);
+        let trace = Trace::new();
+        aud.note_park(DiskAddress(7), 3);
+        // Simulate the covering write arriving.
+        aud.state.borrow_mut().parked.get_mut(&7).unwrap().covered = true;
+        aud.note_unpark(
+            DiskAddress(7),
+            3,
+            UnparkOutcome::Drained,
+            &trace,
+            SimTime::ZERO,
+        );
+        assert_eq!(aud.violation_count(), 0);
+        assert_eq!(aud.parked_outstanding(), 0);
+    }
+
+    #[test]
+    fn uncovered_drain_claim_is_flagged() {
+        let aud = Auditor::new(false);
+        let trace = Trace::new();
+        aud.note_park(DiskAddress(7), 3);
+        aud.note_unpark(
+            DiskAddress(7),
+            3,
+            UnparkOutcome::Drained,
+            &trace,
+            SimTime::ZERO,
+        );
+        assert_eq!(aud.violation_count(), 1);
+        assert_eq!(aud.violations()[0].rule, AuditRule::ParkAccounting);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit violation")]
+    fn strict_mode_panics() {
+        let aud = Auditor::new(true);
+        let trace = Trace::new();
+        aud.note_park(DiskAddress(7), 3);
+        aud.note_unpark(
+            DiskAddress(7),
+            3,
+            UnparkOutcome::Dropped,
+            &trace,
+            SimTime::ZERO,
+        );
+    }
+}

@@ -12,6 +12,7 @@
 
 use alto_sim::{SimClock, SimTime, Trace};
 
+use crate::audit::{Auditor, Observed, Provenance, UnparkOutcome};
 use crate::errors::{DiskError, SectorPart};
 use crate::geometry::{DiskAddress, DiskGeometry};
 use crate::inject::FaultInjector;
@@ -103,6 +104,28 @@ pub trait Disk {
     /// spent, ending in recovery (`recovered`) or escalation to a hard
     /// failure. Purely statistical; the default ignores it.
     fn note_retry(&mut self, _retries: u64, _recovered: bool) {}
+
+    /// Records that a write-behind buffer above this disk parked the dirty
+    /// page `page` destined for `da`. The §3.3 auditor uses park/unpark
+    /// pairs to prove no dirty page is ever dropped; the default ignores it.
+    fn note_park(&mut self, _da: DiskAddress, _page: u16) {}
+
+    /// Records that a write-behind buffer disposed of the page parked for
+    /// `da`: drained to the medium, parked again after a failed drain, or
+    /// discarded. The default ignores it.
+    fn note_unpark(&mut self, _da: DiskAddress, _page: u16, _outcome: UnparkOutcome) {}
+
+    /// Turns the runtime §3.3 auditor on or off, if this disk has one. The
+    /// default ignores it (a disk with no auditor has nothing to toggle);
+    /// ablation wrappers that *deliberately* break the discipline call
+    /// `set_audit_enabled(false)` on the disk they wrap.
+    fn set_audit_enabled(&mut self, _enabled: bool) {}
+
+    /// Number of §3.3 audit violations recorded against this disk so far
+    /// (zero when no auditor is attached).
+    fn audit_violations(&self) -> u64 {
+        0
+    }
 
     /// The clock this disk charges time to.
     fn clock(&self) -> &SimClock;
@@ -219,6 +242,7 @@ pub struct DiskDrive {
     stats: DriveStats,
     injector: FaultInjector,
     retries: u32,
+    audit: Option<Auditor>,
 }
 
 #[derive(Debug)]
@@ -229,7 +253,9 @@ struct Loaded {
 }
 
 impl DiskDrive {
-    /// Creates an empty drive on the given timeline.
+    /// Creates an empty drive on the given timeline. With `ALTO_AUDIT=1` in
+    /// the environment the drive starts with a strict §3.3 auditor attached
+    /// (see [`crate::audit`]); otherwise auditing is off.
     pub fn new(clock: SimClock, trace: Trace) -> DiskDrive {
         DiskDrive {
             clock,
@@ -238,7 +264,23 @@ impl DiskDrive {
             stats: DriveStats::default(),
             injector: FaultInjector::new(),
             retries: 3,
+            audit: Auditor::from_env(),
         }
+    }
+
+    /// Attaches a fresh non-strict §3.3 auditor (replacing any existing one,
+    /// including an environment-configured strict one) and returns a handle
+    /// to query its findings. Tests that deliberately violate the discipline
+    /// use this so violations are collected rather than panicking.
+    pub fn enable_audit(&mut self) -> Auditor {
+        let auditor = Auditor::new(false);
+        self.audit = Some(auditor.clone());
+        auditor
+    }
+
+    /// The attached §3.3 auditor, if any.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.audit.as_ref()
     }
 
     /// Convenience: a drive with a freshly formatted pack loaded.
@@ -300,6 +342,11 @@ impl DiskDrive {
     /// Resets the statistics counters (the clock is unaffected).
     pub fn reset_stats(&mut self) {
         self.stats = DriveStats::default();
+        // The write epoch is derived from the counters, so the auditor's
+        // monotonicity baseline must rewind with it.
+        if let Some(aud) = &self.audit {
+            aud.note_epoch_reset();
+        }
     }
 
     /// The timing model of the loaded pack.
@@ -414,28 +461,48 @@ impl DiskDrive {
                 .pack
                 .sector_mut(da)
                 .expect("address validated against geometry");
+            let audit_pre = self.audit.is_some().then(|| (sector.clone(), buf.clone()));
             let mut scratch = buf.clone();
-            match apply(stripped, da, sector, &mut scratch) {
+            let result = match apply(stripped, da, sector, &mut scratch) {
                 Err(e) => {
                     if matches!(e, DiskError::Check(_)) {
                         self.stats.failed_checks += 1;
                     }
-                    return Err(e);
+                    Err(e)
                 }
                 Ok(()) => {
                     buf.header = scratch.header;
                     buf.label = scratch.label;
+                    self.trace.record(
+                        self.clock.now(),
+                        "disk.hard_error",
+                        format!("{da} value part unreadable"),
+                    );
+                    Err(DiskError::HardError {
+                        da,
+                        part: SectorPart::Value,
+                    })
                 }
+            };
+            if let Some((sector_before, buf_before)) = audit_pre {
+                let aud = self.audit.clone().expect("pre-state implies auditor");
+                aud.observe(
+                    &Observed {
+                        da,
+                        op,
+                        sector_before: &sector_before,
+                        buf_before: &buf_before,
+                        sector_after: sector,
+                        buf_after: buf,
+                        result: &result,
+                        provenance: Provenance::Damaged,
+                        epoch: self.stats.write_ops,
+                    },
+                    &self.trace,
+                    self.clock.now(),
+                );
             }
-            self.trace.record(
-                self.clock.now(),
-                "disk.hard_error",
-                format!("{da} value part unreadable"),
-            );
-            return Err(DiskError::HardError {
-                da,
-                part: SectorPart::Value,
-            });
+            return result;
         }
 
         // Fault injection may transform the effective operation (torn or
@@ -444,10 +511,33 @@ impl DiskDrive {
             .pack
             .sector_mut(da)
             .expect("address validated against geometry");
-        let result = self
-            .injector
-            .apply(da, op, sector, buf)
-            .unwrap_or_else(|| apply(op, da, sector, buf));
+        let audit_pre = self.audit.is_some().then(|| (sector.clone(), buf.clone()));
+        let (result, injected) = match self.injector.apply(da, op, sector, buf) {
+            Some(r) => (r, true),
+            None => (apply(op, da, sector, buf), false),
+        };
+        if let Some((sector_before, buf_before)) = audit_pre {
+            let aud = self.audit.clone().expect("pre-state implies auditor");
+            aud.observe(
+                &Observed {
+                    da,
+                    op,
+                    sector_before: &sector_before,
+                    buf_before: &buf_before,
+                    sector_after: sector,
+                    buf_after: buf,
+                    result: &result,
+                    provenance: if injected {
+                        Provenance::Injected
+                    } else {
+                        Provenance::Clean
+                    },
+                    epoch: self.stats.write_ops,
+                },
+                &self.trace,
+                self.clock.now(),
+            );
+        }
 
         match &result {
             Ok(()) => {
@@ -657,6 +747,34 @@ impl Disk for DiskDrive {
                 format!("{hits} page(s) served from readahead"),
             );
         }
+    }
+
+    fn note_park(&mut self, da: DiskAddress, page: u16) {
+        if let Some(aud) = &self.audit {
+            aud.note_park(da, page);
+        }
+    }
+
+    fn note_unpark(&mut self, da: DiskAddress, page: u16, outcome: UnparkOutcome) {
+        if let Some(aud) = &self.audit {
+            aud.note_unpark(da, page, outcome, &self.trace, self.clock.now());
+        }
+    }
+
+    fn set_audit_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.audit.is_none() {
+                self.audit = Some(Auditor::new(false));
+            }
+        } else {
+            self.audit = None;
+        }
+    }
+
+    fn audit_violations(&self) -> u64 {
+        self.audit
+            .as_ref()
+            .map_or(0, |a| a.violation_count() as u64)
     }
 
     fn clock(&self) -> &SimClock {

@@ -265,6 +265,29 @@ impl Disk for DualDrive {
         self.drives[0].note_retry(retries, recovered);
     }
 
+    // Park/drain accounting routes to the unit that owns the address, in
+    // that unit's local address space — the same translation its sector
+    // operations get, so its auditor sees consistent addresses.
+    fn note_park(&mut self, da: DiskAddress, page: u16) {
+        let (unit, local) = self.route(da);
+        self.drives[unit].note_park(local, page);
+    }
+
+    fn note_unpark(&mut self, da: DiskAddress, page: u16, outcome: crate::audit::UnparkOutcome) {
+        let (unit, local) = self.route(da);
+        self.drives[unit].note_unpark(local, page, outcome);
+    }
+
+    fn set_audit_enabled(&mut self, enabled: bool) {
+        for d in &mut self.drives {
+            d.set_audit_enabled(enabled);
+        }
+    }
+
+    fn audit_violations(&self) -> u64 {
+        self.drives[0].audit_violations() + self.drives[1].audit_violations()
+    }
+
     fn clock(&self) -> &SimClock {
         self.drives[0].clock()
     }

@@ -45,7 +45,10 @@
 //! bounded-retry layer above the drive absorbs and accounts
 //! ([`DriveStats::soft_errors`], `retries`, `recovered`, `hard_failures`).
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
+pub mod audit;
 pub mod drive;
 pub mod dual;
 pub mod errors;
@@ -58,6 +61,7 @@ pub mod sector;
 pub mod timing;
 
 pub use ablation::{UncheckedDisk, UnscheduledDisk};
+pub use audit::{AuditRule, AuditViolation, Auditor, UnparkOutcome};
 pub use drive::{Disk, DiskDrive, DriveStats};
 pub use dual::DualDrive;
 pub use errors::{CheckFailure, DiskError, SectorPart};

@@ -192,13 +192,13 @@ impl DiskPack {
             let mut header = [0u16; HEADER_WORDS];
             let mut label = [0u16; LABEL_WORDS];
             let mut data = [0u16; DATA_WORDS];
-            for w in header.iter_mut() {
+            for w in &mut header {
                 *w = r.u16()?;
             }
-            for w in label.iter_mut() {
+            for w in &mut label {
                 *w = r.u16()?;
             }
-            for w in data.iter_mut() {
+            for w in &mut data {
                 *w = r.u16()?;
             }
             sectors.push(Sector {

@@ -106,14 +106,11 @@ impl Compactor {
         // order. The descriptor leader stays pinned at DA 1; a boot file's
         // page 1 stays pinned at DA 0.
         let desc_fv = descriptor::descriptor_fv();
-        let boot_present = files
-            .get(&descriptor::boot_fv())
-            .map(|pages| {
-                pages
-                    .iter()
-                    .any(|(p, da, _)| *p == 1 && *da == descriptor::BOOT_PAGE_DA)
-            })
-            .unwrap_or(false);
+        let boot_present = files.get(&descriptor::boot_fv()).is_some_and(|pages| {
+            pages
+                .iter()
+                .any(|(p, da, _)| *p == 1 && *da == descriptor::BOOT_PAGE_DA)
+        });
 
         let mut placements: Vec<Placement> = Vec::new();
         let mut slot = DiskAddress(0);
@@ -267,7 +264,7 @@ impl Compactor {
         // Refresh leader hints and count consecutive files.
         for (fv, pages) in &ordered {
             let leader_new = final_da[&(*fv, 0)];
-            let last_page = pages.last().map(|(p, _, _)| *p).unwrap_or(0);
+            let last_page = pages.last().map_or(0, |(p, _, _)| *p);
             let last_da = final_da[&(*fv, last_page)];
             let consecutive = pages
                 .iter()
@@ -454,7 +451,7 @@ mod tests {
         let (mut fs, names) = fragmented_fs(6, 12);
         let root = fs.root_dir();
         let f = dir::lookup(&mut fs, root, &names[2]).unwrap().unwrap();
-        let (_, scattered_time) = {
+        let ((), scattered_time) = {
             let clock = fs.disk().clock().clone();
             let t0 = clock.now();
             fs.read_file(f).unwrap();
@@ -463,7 +460,7 @@ mod tests {
         Compactor::run(&mut fs).unwrap();
         let root = fs.root_dir();
         let f = dir::lookup(&mut fs, root, &names[2]).unwrap().unwrap();
-        let (_, compact_time) = {
+        let ((), compact_time) = {
             let clock = fs.disk().clock().clone();
             let t0 = clock.now();
             fs.read_file(f).unwrap();

@@ -99,7 +99,7 @@ pub fn encode_entries(entries: &[DirEntry]) -> Vec<u8> {
         words.push(name_bytes.len() as u16);
         for chunk in name_bytes.chunks(2) {
             let hi = (chunk[0] as u16) << 8;
-            let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+            let lo = chunk.get(1).map_or(0, |&b| b as u16);
             words.push(hi | lo);
         }
     }

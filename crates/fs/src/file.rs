@@ -248,6 +248,9 @@ impl<D: Disk> FileSystem<D> {
     /// The fresh cached entries of `dir`, counted and traced as a hit.
     pub(crate) fn cached_dir_entries(&mut self, dir: FileFullName) -> Option<Vec<DirEntry>> {
         let epoch = self.disk.write_epoch();
+        // lint: allow(hint-reverify) — the snapshot is epoch-gated, not stale:
+        // dir_entries returns None unless the disk write epoch still matches
+        // the one captured when the full directory read installed it
         let entries = self.cache.dir_entries(dir, epoch)?.to_vec();
         self.cache.stats.name_hits += 1;
         self.trace_cache("fs.cache_hit", format!("dir {} listed from index", dir.fv));

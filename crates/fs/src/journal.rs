@@ -305,7 +305,7 @@ fn encode_record(record: &JournalRecord, words: &mut Vec<u16>) {
         words.push(bytes.len() as u16);
         for chunk in bytes.chunks(2) {
             let hi = (chunk[0] as u16) << 8;
-            let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+            let lo = chunk.get(1).map_or(0, |&b| b as u16);
             words.push(hi | lo);
         }
     }

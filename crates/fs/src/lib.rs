@@ -29,6 +29,8 @@
 //! implementation slots under the standard file-system package, exactly as
 //! §5.2 describes.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod cache;
 pub mod compact;

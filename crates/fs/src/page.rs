@@ -91,6 +91,9 @@ pub fn complete_with_retry<D: Disk>(
             disk.note_retry(retries, false);
             return Err(DiskError::HardError { da, part });
         }
+        // lint: allow(clock-discipline) — the bounded-retry layer charges the
+        // one-revolution backoff the hardware burns between attempts (§3.3);
+        // this is the single sanctioned clock mutation in the fs crate
         disk.clock().advance(disk.retry_backoff());
         retries += 1;
         disk.trace().record(
@@ -342,6 +345,9 @@ pub fn drain_and_prefetch<D: Disk>(
                 Ok(label)
             }));
         } else {
+            // lint: allow(diskerror-unwrap) — Option, not a DiskError: the
+            // read half of the batch is built from `read_start` above, so a
+            // read request at index k proves the start exists
             let start = read_start.expect("read requests imply a start");
             let j = (k - writes.len()) as u16;
             let da = DiskAddress(start.da.0.wrapping_add(j));
@@ -631,7 +637,7 @@ mod tests {
         ];
         let start = PageName::new(fv(), 3, DiskAddress(42));
         let (wrote, read) = drain_and_prefetch(&mut d, fv(), &writes, Some(start), 2).unwrap();
-        assert!(wrote.iter().all(|r| r.is_ok()));
+        assert!(wrote.iter().all(std::result::Result::is_ok));
         let (l3, d3) = read[0].as_ref().unwrap();
         assert_eq!(l3.page_number, 3);
         assert_eq!(d3[0], 2);
@@ -754,7 +760,7 @@ mod tests {
         ];
         let start = PageName::new(fv(), 1, DiskAddress(40));
         let wrote = write_pages_guessed(&mut d, fv(), start, &chunks).unwrap();
-        assert!(wrote.iter().all(|r| r.is_ok()));
+        assert!(wrote.iter().all(std::result::Result::is_ok));
         let s = d.stats();
         // 3 batched services + exactly 1 retry re-issue; the two clean
         // members were not re-run.

@@ -200,7 +200,7 @@ impl Scavenger {
             }
             false
         });
-        for (fid, pages) in groups.iter_mut() {
+        for (fid, pages) in &mut groups {
             let mut cut: Vec<(u16, DiskAddress)> = Vec::new();
             for (expected, (&page, _)) in pages.iter().enumerate() {
                 if page != expected as u16 {

@@ -94,7 +94,7 @@ pub fn assemble(source: &str) -> Result<Assembled, MachineError> {
                     }
                 }
                 ".entry" => {
-                    entry_label = Some((args_one(args, line.number)?.to_string(), line.number))
+                    entry_label = Some((args_one(args, line.number)?.to_string(), line.number));
                 }
                 ".word" | ".fixup" => addr += 1,
                 ".blk" => addr += parse_number(args_one(args, line.number)?, line.number)? as u32,
@@ -141,7 +141,7 @@ pub fn assemble(source: &str) -> Result<Assembled, MachineError> {
                     words.push(s.len() as u16);
                     for chunk in s.as_bytes().chunks(2) {
                         let hi = (chunk[0] as u16) << 8;
-                        let lo = chunk.get(1).map(|&b| b as u16).unwrap_or(0);
+                        let lo = chunk.get(1).map_or(0, |&b| b as u16);
                         words.push(hi | lo);
                     }
                     addr = addr
@@ -388,7 +388,7 @@ fn encode_instruction(
     let parts: Vec<&str> = if operands.is_empty() {
         Vec::new()
     } else {
-        operands.split(',').map(|p| p.trim()).collect()
+        operands.split(',').map(str::trim).collect()
     };
 
     // Zero-operand trap aliases.

@@ -94,6 +94,9 @@ impl Machine {
     }
 
     fn charge(&mut self, cycles: u64) {
+        // lint: allow(clock-discipline) — the CPU is a hardware model with the
+        // same standing as the disk: every instruction charges its memory
+        // cycles to the shared timeline
         self.clock.advance(MEMORY_CYCLE.scaled(cycles));
     }
 

@@ -25,6 +25,8 @@
 //! Every instruction charges its memory cycles (800 ns each) to the shared
 //! simulated clock.
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod codefile;
 pub mod cpu;

@@ -121,6 +121,9 @@ impl Ether {
             self.check_attached(packet.dst_host)?;
         }
         let wire = packet.encode();
+        // lint: allow(clock-discipline) — the Ethernet is a hardware model
+        // with the same standing as the disk: transmission charges wire time
+        // per word to the shared timeline
         self.clock.advance(WORD_TIME.scaled(wire.len() as u64));
         let arrival = self.clock.now();
         self.sent += 1;

@@ -14,6 +14,8 @@
 //!   tests, and per-host receive queues;
 //! * [`proto`] — a minimal stop-and-wait file-transfer protocol over it.
 
+#![forbid(unsafe_code)]
+
 pub mod ether;
 pub mod packet;
 pub mod proto;

@@ -13,6 +13,8 @@
 //! used by tests to assert on device behaviour (e.g. "this allocation cost
 //! exactly one disk revolution").
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod memory;
 pub mod rng;

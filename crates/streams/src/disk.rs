@@ -32,7 +32,7 @@
 //! a label rewrite is a check pass plus a write pass on one sector and
 //! cannot chain.
 
-use alto_disk::{Disk, DiskAddress, Label, DATA_WORDS};
+use alto_disk::{Disk, DiskAddress, Label, UnparkOutcome, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
 use alto_fs::names::FileFullName;
 use alto_fs::{FileSystem, FsError, PageName};
@@ -261,7 +261,7 @@ impl<D: Disk> DiskByteStream<D> {
         };
         fs.disk_mut().note_write_behind(writes.len() as u64);
         self.medium_epoch = fs.disk().write_epoch();
-        self.repark_failed(&writes, results)
+        self.repark_failed(fs, &writes, results)
     }
 
     /// Puts any page whose drain write failed back in the write-behind
@@ -271,15 +271,20 @@ impl<D: Disk> DiskByteStream<D> {
     /// it is still undeliverable.
     fn repark_failed(
         &mut self,
+        fs: &mut FileSystem<D>,
         writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
         results: Vec<Result<Label, FsError>>,
     ) -> Result<(), StreamError> {
         let mut first_err = None;
         for (w, r) in writes.iter().zip(results) {
-            if let Err(e) = r {
-                self.write_behind.push(*w);
-                if first_err.is_none() {
-                    first_err = Some(e);
+            match r {
+                Ok(_) => fs.disk_mut().note_unpark(w.1, w.0, UnparkOutcome::Drained),
+                Err(e) => {
+                    fs.disk_mut().note_unpark(w.1, w.0, UnparkOutcome::Reparked);
+                    self.write_behind.push(*w);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
             }
         }
@@ -300,6 +305,7 @@ impl<D: Disk> DiskByteStream<D> {
         if !self.write_behind_enabled || self.label_changed {
             return self.flush(fs);
         }
+        fs.disk_mut().note_park(self.da, self.page);
         self.write_behind.push((self.page, self.da, self.buffer));
         self.dirty = false;
         Ok(())
@@ -391,7 +397,7 @@ impl<D: Disk> DiskByteStream<D> {
                         fs.disk_mut().note_write_behind(writes.len() as u64);
                     }
                     self.medium_epoch = fs.disk().write_epoch();
-                    self.repark_failed(&writes, write_results)?;
+                    self.repark_failed(fs, &writes, write_results)?;
                     let first = if entries.is_empty() {
                         None
                     } else {

@@ -20,6 +20,8 @@
 //! file, etc.") appear as inherent methods on the concrete types — using
 //! one "sacrifices compatibility", exactly as the paper warns.
 
+#![forbid(unsafe_code)]
+
 pub mod counting;
 pub mod disk;
 pub mod errors;
@@ -118,13 +120,13 @@ mod tests {
         // A stream type that defines only the mandatory operations.
         struct Inert;
         impl Stream<()> for Inert {
-            fn reset(&mut self, _: &mut ()) -> Result<(), StreamError> {
+            fn reset(&mut self, (): &mut ()) -> Result<(), StreamError> {
                 Ok(())
             }
-            fn endof(&mut self, _: &mut ()) -> Result<bool, StreamError> {
+            fn endof(&mut self, (): &mut ()) -> Result<bool, StreamError> {
                 Ok(true)
             }
-            fn close(&mut self, _: &mut ()) -> Result<(), StreamError> {
+            fn close(&mut self, (): &mut ()) -> Result<(), StreamError> {
                 Ok(())
             }
         }

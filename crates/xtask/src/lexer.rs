@@ -1,0 +1,344 @@
+//! A minimal, dependency-free Rust source scanner.
+//!
+//! The lint pass needs to match textual patterns (`.do_op(`, `.unwrap()`, ...)
+//! without being fooled by occurrences inside comments, string literals, or
+//! char literals.  A full parser is overkill — and the workspace deliberately
+//! takes no external dependencies — so this module implements a small state
+//! machine that walks a source file once and produces, per line:
+//!
+//! * `code`: the line text with comment bodies and string/char-literal
+//!   contents blanked out (replaced by spaces), so downstream substring
+//!   matching only ever sees real code tokens, and
+//! * any `// lint: allow(<rule>) — <reason>` annotations found in comments.
+//!
+//! The scanner understands line comments, nested block comments, regular and
+//! raw strings (`r"..."`, `r#"..."#`, any hash depth), byte strings, and char
+//! literals including lifetimes (`'a` is not a char literal).
+
+/// One `// lint: allow(rule) — reason` annotation found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-based line the annotation comment appears on.
+    pub line: usize,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// Free-text justification following the rule id. The lint pass rejects
+    /// annotations with an empty reason: an escape hatch must say why.
+    pub reason: String,
+}
+
+/// One source line after scanning.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Line text with comments and literal contents blanked to spaces.
+    pub code: String,
+}
+
+/// A scanned source file: blanked code lines plus extracted annotations.
+#[derive(Debug, Clone, Default)]
+pub struct Scanned {
+    pub lines: Vec<Line>,
+    pub annotations: Vec<Annotation>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside `"..."` or `b"..."`.
+    Str,
+    /// Inside `r##"..."##` with the given hash count.
+    RawStr(u32),
+    /// Inside `'...'`.
+    Char,
+}
+
+/// Scan a whole source file.
+pub fn scan(source: &str) -> Scanned {
+    let mut out = Scanned::default();
+    let mut mode = Mode::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let (code, comment, next) = scan_line(raw, mode);
+        mode = next;
+        if let Some(ann) = parse_annotation(&comment, number) {
+            out.annotations.push(ann);
+        }
+        out.lines.push(Line { number, code });
+    }
+    out
+}
+
+/// Scan one line starting in `mode`. Returns the blanked code text, the
+/// concatenated comment text seen on the line, and the mode the next line
+/// starts in.
+fn scan_line(raw: &str, start: Mode) -> (String, String, Mode) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut mode = start;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    // Line comment: rest of the line is comment text.
+                    comment.extend(&chars[i..]);
+                    while code.len() < raw.len() {
+                        code.push(' ');
+                    }
+                    break;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    code.push('"');
+                    i += 1;
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." or r#"..."#. Look ahead to
+                    // count hashes and require an opening quote, otherwise it
+                    // is just an identifier starting with `r`.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && !prev_is_ident(&code) {
+                        mode = Mode::RawStr(hashes);
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                'b' if next == Some('"') => {
+                    mode = Mode::Str;
+                    code.push_str(" \"");
+                    i += 2;
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: a lifetime is
+                    // `'ident` not followed by a closing quote.
+                    if is_char_literal(&chars, i) {
+                        mode = Mode::Char;
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            Mode::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    comment.push_str("  ");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    comment.push_str("  ");
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    code.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    code.push('"');
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i, hashes) {
+                    mode = Mode::Code;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    code.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    mode = Mode::Code;
+                    code.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    // Unterminated string/char at end of line: plain strings and chars do not
+    // span lines (other than via `\` continuations, which are rare enough to
+    // treat as terminated — blanking the next line as code is the safe
+    // direction for a linter only when it does not *hide* code, so we reset).
+    if matches!(mode, Mode::Str | Mode::Char) {
+        mode = Mode::Code;
+    }
+    (code, comment, mode)
+}
+
+/// True if `chars[i] == '\''` starts a char literal rather than a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(&c) => {
+            if chars.get(i + 2) == Some(&'\'') {
+                true
+            } else {
+                // `'static`, `'a,` etc: identifier char then no quote.
+                !(c.is_alphanumeric() || c == '_')
+            }
+        }
+    }
+}
+
+/// True if the raw string closing delimiter (`"` + `hashes` `#`s) starts at i.
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// True if the blanked code so far ends in an identifier character, meaning a
+/// following `r"` is part of an identifier like `for_r"..."` (impossible) —
+/// practically this keeps identifiers ending in `r` (e.g. `var`) from eating
+/// a `#` attribute that follows them.
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Parse `lint: allow(<rule>) — <reason>` (or `- <reason>`) out of a comment.
+fn parse_annotation(comment: &str, line: usize) -> Option<Annotation> {
+    let at = comment.find("lint: allow(")?;
+    let rest = &comment[at + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let mut reason = rest[close + 1..].trim();
+    // Accept an em-dash, double hyphen, or single hyphen separator.
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(stripped) = reason.strip_prefix(sep) {
+            reason = stripped.trim();
+            break;
+        }
+    }
+    Some(Annotation {
+        line,
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments() {
+        let s = scan("let x = 1; // .do_op( in a comment\n");
+        assert!(!s.lines[0].code.contains(".do_op("));
+        assert!(s.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let s = scan("let p = \".do_op(\";\nlet q = r#\".do_batch(\"#;\n");
+        assert!(!s.lines[0].code.contains(".do_op("));
+        assert!(!s.lines[1].code.contains(".do_batch("));
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let s = scan("a /* x /* y */ .do_op( */ b\nc");
+        assert!(!s.lines[0].code.contains(".do_op("));
+        assert!(s.lines[0].code.starts_with('a'));
+        assert!(s.lines[0].code.trim_end().ends_with('b'));
+        assert_eq!(s.lines[1].code, "c");
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let s = scan("/* start\n.do_op(\nend */ let y = 2;");
+        assert!(!s.lines[1].code.contains(".do_op("));
+        assert!(s.lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.lines[0].code.contains("str"));
+    }
+
+    #[test]
+    fn char_literal_contents_blanked() {
+        let s = scan("let c = '\"'; let d = 1; // tail");
+        assert!(s.lines[0].code.contains("let d = 1;"));
+    }
+
+    #[test]
+    fn parses_annotations() {
+        let s = scan("x(); // lint: allow(clock-discipline) — retry backoff burns a revolution\n");
+        assert_eq!(s.annotations.len(), 1);
+        let a = &s.annotations[0];
+        assert_eq!(a.rule, "clock-discipline");
+        assert_eq!(a.reason, "retry backoff burns a revolution");
+        assert_eq!(a.line, 1);
+    }
+
+    #[test]
+    fn annotation_requires_rule() {
+        let s = scan("// lint: allow() — nope\n");
+        assert!(s.annotations.is_empty());
+    }
+}

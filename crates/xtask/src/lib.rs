@@ -1,0 +1,45 @@
+//! `cargo xtask lint` — the workspace label-discipline checker.
+//!
+//! The Alto stack's robustness argument (paper §3.3) is a *discipline*:
+//! every data write is preceded by a label check in the same sector visit,
+//! and every hint is re-verified against the authoritative label before it
+//! is trusted. Four PRs of scheduling, caching, write-behind, and retry
+//! machinery have multiplied the call sites that must uphold that discipline
+//! by hand. This crate makes it machine-checked at the source level; the
+//! runtime half lives in `alto-disk`'s `audit` module.
+//!
+//! The pass is deliberately dependency-free: a comment/string-aware scanner
+//! ([`lexer`]) feeds a lightweight structural model ([`model`]) which the
+//! rules ([`rules`]) query. See `ARCHITECTURE.md` § Invariants for the rule
+//! catalogue and its mapping to §3.3.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::path::Path;
+
+pub use model::SourceFile;
+pub use rules::{Allowed, Report, Violation, RULE_IDS};
+
+/// Lint every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let paths = model::workspace_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        files.push(SourceFile::load(root, path)?);
+    }
+    Ok(rules::lint_files(&files))
+}
+
+/// Lint in-memory sources given as `(relative_path, text)` pairs. Used by the
+/// mutation self-test to prove each rule still fires on seeded violations.
+pub fn lint_sources(sources: &[(&str, &str)]) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, text)| SourceFile::from_source((*path).to_string(), text))
+        .collect();
+    rules::lint_files(&files)
+}

@@ -1,0 +1,84 @@
+//! CLI entry point: `cargo xtask lint [--root <dir>]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo xtask lint [--root <dir>]");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let mut root = workspace_root();
+            let mut rest = args;
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--root" => {
+                        if let Some(dir) = rest.next() {
+                            root = PathBuf::from(dir);
+                        }
+                    }
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_lint(&root)
+        }
+        other => {
+            eprintln!("unknown command: {other} (try `lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo (the
+/// manifest dir is `crates/xtask`), else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|c| c.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let report = match xtask::lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if !report.allowed.is_empty() {
+        println!("recorded exceptions ({}):", report.allowed.len());
+        for a in &report.allowed {
+            println!("  {a}");
+        }
+    }
+    if report.is_clean() {
+        println!(
+            "xtask lint: {} files clean ({} rules, {} recorded exceptions)",
+            report.files_checked,
+            xtask::RULE_IDS.len(),
+            report.allowed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

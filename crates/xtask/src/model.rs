@@ -1,0 +1,301 @@
+//! Workspace model for the lint pass: which files exist, which regions of a
+//! file are test code, and where function bodies begin and end.
+//!
+//! Everything here works on the *blanked* code produced by [`crate::lexer`],
+//! so brace matching and keyword searches are not confused by comments or
+//! string literals.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Scanned};
+
+/// A source file loaded for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    pub scanned: Scanned,
+    /// For each line index (0-based), whether it is inside a `#[cfg(test)]`
+    /// module or a `#[test]` function.
+    pub test_mask: Vec<bool>,
+    /// Function bodies found in the file, in source order.
+    pub functions: Vec<FnSpan>,
+}
+
+/// A function body: `name` plus the 1-based inclusive line range of its body
+/// (from the line holding the opening `{` through the closing `}`).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub start_line: usize,
+    pub end_line: usize,
+}
+
+impl SourceFile {
+    /// Load and scan one file. `root` is the workspace root used to compute
+    /// the relative path.
+    pub fn load(root: &Path, path: &Path) -> std::io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(Self::from_source(rel, &text))
+    }
+
+    /// Build a `SourceFile` from in-memory source (used by the self-test
+    /// fixtures as well as `load`).
+    pub fn from_source(rel_path: String, text: &str) -> Self {
+        let scanned = lexer::scan(text);
+        let test_mask = test_mask(&scanned);
+        let functions = function_spans(&scanned);
+        SourceFile {
+            rel_path,
+            scanned,
+            test_mask,
+            functions,
+        }
+    }
+
+    /// True if 1-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The crate directory this file belongs to (`crates/fs`, `crates/disk`,
+    /// ...), or the leading path component for root-package files (`src`,
+    /// `tests`, `examples`).
+    pub fn crate_dir(&self) -> &str {
+        let p = &self.rel_path;
+        if let Some(rest) = p.strip_prefix("crates/") {
+            let end = rest.find('/').map_or(rest.len(), |i| i);
+            &p[.."crates/".len() + end]
+        } else {
+            let end = p.find('/').map_or(p.len(), |i| i);
+            &p[..end]
+        }
+    }
+
+    /// The innermost function span containing 1-based `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+}
+
+/// Walk the workspace source tree under `root`, returning every `.rs` file in
+/// `crates/*/src`, `src/`, `tests/`, and `examples/`.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            collect_rs(&krate.join("src"), &mut out)?;
+            collect_rs(&krate.join("tests"), &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Compute, for each line, whether it is inside `#[cfg(test)]` / `#[test]`
+/// guarded code. The heuristic: when such an attribute is seen, the region
+/// from the attribute through the matching close brace of the next top-level
+/// `{` is test code.
+fn test_mask(scanned: &Scanned) -> Vec<bool> {
+    let n = scanned.lines.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        let code = scanned.lines[i].code.trim();
+        if code.starts_with("#[cfg(test)]")
+            || code.starts_with("#[test]")
+            || code.starts_with("#[cfg(all(test")
+        {
+            if let Some((open, close)) = brace_block_from(scanned, i) {
+                for m in mask.iter_mut().take(close + 1).skip(i) {
+                    *m = true;
+                }
+                let _ = open;
+                i = close + 1;
+                continue;
+            }
+            // Attribute with no following block (e.g. on a `use`): mark just
+            // the attribute and the following line.
+            mask[i] = true;
+            if i + 1 < n {
+                mask[i + 1] = true;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Starting at line index `from`, find the first `{` and return the 0-based
+/// line indices of the lines holding the opening and matching closing brace.
+fn brace_block_from(scanned: &Scanned, from: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut seen_open = false;
+    let mut open_line = from;
+    for (li, line) in scanned.lines.iter().enumerate().skip(from) {
+        for c in line.code.chars() {
+            match c {
+                ';' if !seen_open && depth == 0 => {
+                    // Item ended before any block (trait method decl, use,
+                    // const): no body.
+                    return None;
+                }
+                '{' => {
+                    if !seen_open {
+                        seen_open = true;
+                        open_line = li;
+                    }
+                    depth += 1;
+                }
+                '}' if seen_open => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open_line, li));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Find every `fn` item with a body and record its name and body line range.
+fn function_spans(scanned: &Scanned) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (li, line) in scanned.lines.iter().enumerate() {
+        for col in find_word(&line.code, "fn") {
+            let after = &line.code[col + 2..];
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            if let Some((open, close)) = brace_block_from(scanned, li) {
+                out.push(FnSpan {
+                    name,
+                    start_line: scanned.lines[open].number,
+                    end_line: scanned.lines[close].number,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Byte offsets where `word` occurs with non-identifier characters (or line
+/// boundaries) on both sides.
+pub fn find_word(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + word.len();
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+fn real() {
+    body();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_test() {
+        test_body();
+    }
+}
+"#;
+
+    #[test]
+    fn masks_test_module() {
+        let f = SourceFile::from_source("crates/fs/src/x.rs".into(), SAMPLE);
+        assert!(!f.is_test_line(3)); // body();
+        assert!(f.is_test_line(10)); // test_body();
+    }
+
+    #[test]
+    fn finds_functions() {
+        let f = SourceFile::from_source("crates/fs/src/x.rs".into(), SAMPLE);
+        let names: Vec<_> = f.functions.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"real"));
+        assert!(names.contains(&"in_test"));
+        let real = f.functions.iter().find(|s| s.name == "real").unwrap();
+        assert_eq!((real.start_line, real.end_line), (2, 4));
+    }
+
+    #[test]
+    fn crate_dir_parsing() {
+        let f = SourceFile::from_source("crates/fs/src/x.rs".into(), "");
+        assert_eq!(f.crate_dir(), "crates/fs");
+        let g = SourceFile::from_source("tests/openness.rs".into(), "");
+        assert_eq!(g.crate_dir(), "tests");
+    }
+
+    #[test]
+    fn trait_method_decl_has_no_body() {
+        let src =
+            "trait T {\n    fn decl(&self) -> u16;\n    fn with_body(&self) -> u16 { 0 }\n}\n";
+        let f = SourceFile::from_source("crates/fs/src/t.rs".into(), src);
+        let names: Vec<_> = f.functions.iter().map(|s| s.name.as_str()).collect();
+        assert!(!names.contains(&"decl"));
+        assert!(names.contains(&"with_body"));
+    }
+}

@@ -15,6 +15,8 @@
 //! freed storage and catches double frees, demonstrating the multiple-
 //! implementation openness of §2.
 
+#![forbid(unsafe_code)]
+
 pub mod checking;
 pub mod errors;
 pub mod first_fit;

@@ -38,6 +38,8 @@
 //! assert_eq!(os.fs.read_file(file).unwrap(), b"meet me at PARC");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use alto_disk as disk;
 pub use alto_fs as fs;
 pub use alto_machine as machine;

@@ -1,0 +1,306 @@
+//! Mutation self-test for the label-discipline checker (static + runtime).
+//!
+//! The checker is only trustworthy if it demonstrably *fires*: each test
+//! here seeds a §3.3 violation — a write without a check, a stale hint
+//! consumed unverified, a parked dirty page dropped — and asserts that the
+//! static pass (`xtask::lint_sources`) and the runtime auditor
+//! (`DiskDrive::enable_audit`) both catch their half of it. The real tree
+//! must stay clean under the same rules, and the auditor must cost zero
+//! *simulated* time, which the last test checks as exact clock equality.
+
+use alto::disk::{
+    Action, AuditRule, DiskAddress, DiskDrive, DiskModel, Label, SectorBuf, SectorOp, UnparkOutcome,
+};
+use alto::fs::{dir, FileSystem};
+use alto::sim::{SimClock, Trace};
+use alto::streams::{DiskByteStream, Stream};
+
+fn audited_drive() -> (DiskDrive, alto::disk::Auditor) {
+    let mut drive =
+        DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+    // `enable_audit` installs a fresh non-strict auditor (replacing any
+    // strict one the ALTO_AUDIT environment variable may have installed),
+    // so the seeded violations below record instead of panicking.
+    let aud = drive.enable_audit();
+    (drive, aud)
+}
+
+fn live_label(page: u16) -> Label {
+    Label {
+        fid: [21, 42],
+        version: 1,
+        page_number: page,
+        length: 512,
+        next: DiskAddress::NIL,
+        prev: DiskAddress::NIL,
+    }
+}
+
+// --- Mutation 1: a value write with no label check in the sector visit. ---
+// Static half: `raw-disk-op` (the only way to issue such an op from fs code
+// is to bypass the fs::page wrappers). Runtime half: `check-before-write`.
+
+#[test]
+fn runtime_catches_write_without_check() {
+    let (mut drive, aud) = audited_drive();
+    let unchecked_write = SectorOp {
+        header: Action::Check,
+        label: Action::Read,
+        value: Action::Write,
+    };
+    let mut buf = SectorBuf::zeroed();
+    alto::disk::Disk::do_op(&mut drive, DiskAddress(10), unchecked_write, &mut buf).unwrap();
+    let violations = aud.violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == AuditRule::CheckBeforeWrite),
+        "auditor must flag a value write whose label action is a plain read, got {violations:?}"
+    );
+}
+
+#[test]
+fn static_catches_raw_disk_op() {
+    let seeded = r#"
+fn smuggle_a_write(&mut self, da: DiskAddress, buf: &mut SectorBuf) {
+    self.disk.do_op(da, SectorOp::WRITE, buf).ok();
+}
+"#;
+    let report = xtask::lint_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "raw-disk-op"),
+        "lint must flag a raw do_op outside fs::page, got {:?}",
+        report.violations
+    );
+}
+
+// --- Mutation 2: a hint trusted without re-verification. ---
+// Static half: `hint-reverify`. Runtime half: `unverified-label-write` (a
+// label rewrite that skipped the check pass is exactly what trusting a
+// stale hint produces at the drive).
+
+#[test]
+fn runtime_catches_label_write_without_check_pass() {
+    let (mut drive, aud) = audited_drive();
+    // The two-pass allocate protocol is CHECK_LABEL then WRITE_LABEL; going
+    // straight to WRITE_LABEL trusts a hint that the sector is still free.
+    let mut buf = SectorBuf::with_label(live_label(1));
+    alto::disk::Disk::do_op(&mut drive, DiskAddress(11), SectorOp::WRITE_LABEL, &mut buf).unwrap();
+    let violations = aud.violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == AuditRule::UnverifiedLabelWrite),
+        "auditor must flag a label rewrite with no prior check pass, got {violations:?}"
+    );
+}
+
+#[test]
+fn runtime_accepts_the_two_pass_protocol() {
+    let (mut drive, aud) = audited_drive();
+    let mut buf = SectorBuf::with_label(Label::FREE);
+    alto::disk::Disk::do_op(&mut drive, DiskAddress(11), SectorOp::CHECK_LABEL, &mut buf).unwrap();
+    let mut buf = SectorBuf::with_label(live_label(1));
+    alto::disk::Disk::do_op(&mut drive, DiskAddress(11), SectorOp::WRITE_LABEL, &mut buf).unwrap();
+    assert_eq!(
+        aud.violation_count(),
+        0,
+        "check pass then label write is the sanctioned §3.3 sequence: {:?}",
+        aud.violations()
+    );
+}
+
+#[test]
+fn static_catches_unverified_hint_use() {
+    let seeded = r#"
+fn stale_hint_shortcut(&mut self, name: &str) -> Option<DiskAddress> {
+    let hit = self.cache.lookup_name(self.root, name)?;
+    Some(hit.da)
+}
+"#;
+    let report = xtask::lint_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "hint-reverify"),
+        "lint must flag a hint consumed without re-verification, got {:?}",
+        report.violations
+    );
+}
+
+// --- Mutation 3: a parked dirty page dropped without reaching the medium. ---
+// Static half: `diskerror-unwrap` (the way a drain error turns into silent
+// data loss is an unwrap/ok() swallowing the failed write). Runtime half:
+// `park-accounting`.
+
+#[test]
+fn runtime_catches_dropped_parked_page() {
+    let (mut drive, aud) = audited_drive();
+    let da = DiskAddress(12);
+    alto::disk::Disk::note_park(&mut drive, da, 3);
+    assert_eq!(aud.parked_outstanding(), 1);
+    alto::disk::Disk::note_unpark(&mut drive, da, 3, UnparkOutcome::Dropped);
+    let violations = aud.violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == AuditRule::ParkAccounting),
+        "auditor must flag a parked page discarded without a write, got {violations:?}"
+    );
+    assert_eq!(aud.parked_outstanding(), 0);
+}
+
+#[test]
+fn runtime_catches_uncovered_drain_claim() {
+    let (mut drive, aud) = audited_drive();
+    let da = DiskAddress(13);
+    alto::disk::Disk::note_park(&mut drive, da, 4);
+    // Claiming the page drained when no write to `da` was ever observed is
+    // the lying-buffer variant of the same data loss.
+    alto::disk::Disk::note_unpark(&mut drive, da, 4, UnparkOutcome::Drained);
+    assert!(aud
+        .violations()
+        .iter()
+        .any(|v| v.rule == AuditRule::ParkAccounting));
+}
+
+#[test]
+fn static_catches_unwrap_on_disk_paths() {
+    let seeded = r#"
+fn drop_failed_drain(&mut self) {
+    self.drain_batch().unwrap();
+}
+"#;
+    let report = xtask::lint_sources(&[("crates/streams/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "diskerror-unwrap"),
+        "lint must flag unwrap on a fallible disk path, got {:?}",
+        report.violations
+    );
+}
+
+// --- The remaining static rules also still fire. ---
+
+#[test]
+fn static_catches_clock_mutation_outside_disk() {
+    let seeded = r#"
+fn cheat_time(&mut self) {
+    self.clock.advance(SimTime::from_millis(5));
+}
+"#;
+    let report = xtask::lint_sources(&[("crates/core/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "clock-discipline"),
+        "lint must flag clock mutation outside crates/disk and crates/sim, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn static_catches_stale_allow() {
+    let seeded = "// lint: allow(raw-disk-op) — left over from a refactor\nfn innocent() {}\n";
+    let report = xtask::lint_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(|v| v.rule == "stale-allow"),
+        "lint must flag an allow annotation that suppresses nothing, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn static_annotated_seed_is_suppressed_and_recorded() {
+    let seeded = r#"
+fn drop_failed_drain(&mut self) {
+    // lint: allow(diskerror-unwrap) — seeded exception for the self-test
+    self.drain_batch().unwrap();
+}
+"#;
+    let report = xtask::lint_sources(&[("crates/streams/src/mutant.rs", seeded)]);
+    assert!(report.is_clean(), "got {:?}", report.violations);
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.allowed[0].rule, "diskerror-unwrap");
+}
+
+// --- The real tree is clean under the same rules. ---
+
+#[test]
+fn workspace_tree_passes_the_lint() {
+    let report = xtask::lint_workspace(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace sources must be readable");
+    assert!(
+        report.is_clean(),
+        "`cargo xtask lint` must pass on the tree:\n{}",
+        report
+            .violations
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_checked > 50, "the walk found the workspace");
+}
+
+// --- A realistic workload is violation-free under the auditor... ---
+
+fn run_stream_workload(fs: &mut FileSystem<DiskDrive>) {
+    let root = fs.root_dir();
+    let f = dir::create_named_file(fs, root, "audit.dat").unwrap();
+    let bytes: Vec<u8> = (0..8 * 512u32).map(|i| (i % 249) as u8).collect();
+    let mut s = DiskByteStream::open(fs, f).unwrap();
+    for &b in &bytes {
+        s.put_byte(fs, b).unwrap();
+    }
+    s.close(fs).unwrap();
+    let mut s = DiskByteStream::open(fs, f).unwrap();
+    let mut back = vec![0u8; bytes.len()];
+    s.read_bytes(fs, &mut back).unwrap();
+    s.close(fs).unwrap();
+    assert_eq!(back, bytes);
+}
+
+#[test]
+fn audited_workload_is_violation_free() {
+    let (drive, aud) = audited_drive();
+    let mut fs = FileSystem::format(drive).unwrap();
+    run_stream_workload(&mut fs);
+    assert_eq!(
+        aud.violation_count(),
+        0,
+        "write-behind + readahead workload must satisfy §3.3: {:?}",
+        aud.violations()
+    );
+    assert_eq!(
+        aud.parked_outstanding(),
+        0,
+        "every parked page must have drained by close"
+    );
+    assert!(aud.ops_observed() > 50, "the auditor actually mirrored I/O");
+}
+
+// --- ...and the auditor costs zero simulated time. ---
+
+#[test]
+fn auditor_adds_no_simulated_time() {
+    let run = |audit: bool| {
+        let mut drive =
+            DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+        if audit {
+            drive.enable_audit();
+        } else {
+            alto::disk::Disk::set_audit_enabled(&mut drive, false);
+        }
+        let mut fs = FileSystem::format(drive).unwrap();
+        run_stream_workload(&mut fs);
+        alto::disk::Disk::clock(fs.disk()).now()
+    };
+    let (with_audit, without_audit) = (run(true), run(false));
+    assert_eq!(
+        with_audit, without_audit,
+        "the auditor must be invisible to the timing model (≤2% overhead \
+         criterion, met exactly: the simulated clocks are bit-identical)"
+    );
+}

@@ -146,7 +146,7 @@ fn user_streams_compose() {
 fn user_stream_implementation() {
     struct Fib(u16, u16, usize);
     impl Stream<()> for Fib {
-        fn get(&mut self, _: &mut ()) -> Result<u16, StreamError> {
+        fn get(&mut self, (): &mut ()) -> Result<u16, StreamError> {
             if self.2 == 0 {
                 return Err(StreamError::EndOfStream);
             }
@@ -157,14 +157,14 @@ fn user_stream_implementation() {
             self.1 = next;
             Ok(out)
         }
-        fn reset(&mut self, _: &mut ()) -> Result<(), StreamError> {
+        fn reset(&mut self, (): &mut ()) -> Result<(), StreamError> {
             *self = Fib(0, 1, 10);
             Ok(())
         }
-        fn endof(&mut self, _: &mut ()) -> Result<bool, StreamError> {
+        fn endof(&mut self, (): &mut ()) -> Result<bool, StreamError> {
             Ok(self.2 == 0)
         }
-        fn close(&mut self, _: &mut ()) -> Result<(), StreamError> {
+        fn close(&mut self, (): &mut ()) -> Result<(), StreamError> {
             Ok(())
         }
     }

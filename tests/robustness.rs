@@ -71,7 +71,7 @@ fn random_label_smashes_lose_only_the_files_hit() {
         for da in &smashed {
             let pack = fs.disk_mut().pack_mut().unwrap();
             let sector = pack.sector_mut(*da).unwrap();
-            for w in sector.label.iter_mut() {
+            for w in &mut sector.label {
                 *w ^= rng.next_u16() | 1;
             }
         }

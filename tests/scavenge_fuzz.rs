@@ -58,7 +58,7 @@ fn scavenger_survives_label_noise() {
             let da = DiskAddress(rng.next_below(total) as u16);
             let pack = fs.disk_mut().pack_mut().unwrap();
             let sector = pack.sector_mut(da).unwrap();
-            for w in sector.label.iter_mut() {
+            for w in &mut sector.label {
                 *w = rng.next_u16();
             }
         }
@@ -80,7 +80,7 @@ fn scavenger_survives_a_noise_pack() {
             let total = pack.geometry().sector_count();
             for i in 0..total {
                 let sector = pack.sector_mut(DiskAddress(i as u16)).unwrap();
-                for w in sector.label.iter_mut() {
+                for w in &mut sector.label {
                     *w = rng.next_u16();
                 }
                 for w in sector.data.iter_mut().take(8) {

@@ -76,7 +76,7 @@ fn dual_drive_overlap_is_at_most_0_6x_serial() {
             .collect();
         let t0 = clock.now();
         let results = dual.do_batch(&mut batch);
-        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(results.iter().all(std::result::Result::is_ok));
         clock.now() - t0
     };
     let serial = elapsed(false);
