@@ -1,0 +1,143 @@
+//! Allocation regression test: the pooled steady-state batch read/write
+//! paths must not touch the heap at all.
+//!
+//! The wall-clock bench (`--bin wall`) *reports* allocs/op; this test
+//! *pins* the property so a regression fails CI instead of quietly showing
+//! up as a worse number in `BENCH_wall.json`. A counting global allocator
+//! wraps `System`, the drive is warmed until every free list and scratch
+//! vector has its steady-state capacity, and then whole batches are issued
+//! with the allocation counter watched across each configuration.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use alto_disk::{pool, BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, SectorBuf, SectorOp};
+use alto_sim::{SimClock, Trace};
+
+// The one other place in the workspace that opts out of the `unsafe_code`
+// deny, for the same reason as the wall bench's counter: the impl forwards
+// every call unchanged to `System` and only bumps a relaxed counter.
+#[allow(unsafe_code)]
+mod alloc_count {
+    use super::AtomicU64;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    // SAFETY: every method forwards its arguments unchanged to `System`,
+    // which upholds the `GlobalAlloc` contract; the counter bump has no
+    // effect on the returned memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_count::Counting = alloc_count::Counting;
+
+fn allocs() -> u64 {
+    alloc_count::ALLOCS.load(Ordering::Relaxed)
+}
+
+const BATCH: u16 = 256;
+const ROUNDS: usize = 32;
+
+/// One test function on purpose: the allocation counter is process-global,
+/// so concurrently running test threads would blame each other's
+/// allocations. Each phase asserts independently with its own counter
+/// window.
+#[test]
+fn pooled_steady_state_paths_allocate_nothing() {
+    let trace = Trace::new();
+    trace.set_enabled(false);
+    pool::set_enabled(true);
+    let mut drive =
+        DiskDrive::with_formatted_pack(SimClock::new(), trace.clone(), DiskModel::Diablo31, 1);
+
+    // Caller-side steady state: one request vector reused across rounds, as
+    // the fs and write-behind layers do via the pool.
+    let mut reads: Vec<BatchRequest> = (0..BATCH)
+        .map(|i| BatchRequest::new(DiskAddress(i), SectorOp::READ_ALL, SectorBuf::zeroed()))
+        .collect();
+    let mut writes: Vec<BatchRequest> = (0..BATCH)
+        .map(|i| BatchRequest::new(DiskAddress(i), SectorOp::WRITE, SectorBuf::zeroed()))
+        .collect();
+    let das: Vec<DiskAddress> = (0..BATCH).map(DiskAddress).collect();
+
+    // Warm-up: grows the drive's planning scratch, the pooled result
+    // vectors, and the thread-local free lists to steady-state capacity.
+    for _ in 0..4 {
+        pool::recycle_results(drive.do_batch(&mut reads));
+        pool::recycle_results(drive.do_batch(&mut writes));
+        pool::recycle_results(drive.do_batch_read(&das, |_, _| {}));
+    }
+
+    // Buffered batch reads: zero heap traffic per op.
+    let before = allocs();
+    for _ in 0..ROUNDS {
+        let results = drive.do_batch(&mut reads);
+        assert!(results.iter().all(Result::is_ok));
+        pool::recycle_results(results);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state buffered batch reads allocated"
+    );
+
+    // Batch writes (full §3.3 check-before-write semantics): zero as well.
+    let before = allocs();
+    for _ in 0..ROUNDS {
+        let results = drive.do_batch(&mut writes);
+        assert!(results.iter().all(Result::is_ok));
+        pool::recycle_results(results);
+    }
+    assert_eq!(allocs() - before, 0, "steady-state batch writes allocated");
+
+    // Zero-copy batch reads, with a visitor that actually touches the data.
+    let mut checksum = 0u16;
+    let before = allocs();
+    for _ in 0..ROUNDS {
+        let results = drive.do_batch_read(&das, |_, view| {
+            for &w in view.data() {
+                checksum ^= w;
+            }
+        });
+        assert!(results.iter().all(Result::is_ok));
+        pool::recycle_results(results);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state zero-copy batch reads allocated"
+    );
+    std::hint::black_box(checksum);
+
+    // The ablation switch really is the thing being measured: with pooling
+    // off, the same loop must allocate (otherwise the bench's allocs/op
+    // column is measuring nothing).
+    pool::set_enabled(false);
+    let before = allocs();
+    pool::recycle_results(drive.do_batch(&mut reads));
+    assert!(
+        allocs() - before > 0,
+        "pooling ablation did not change allocation behavior"
+    );
+    pool::set_enabled(true);
+}

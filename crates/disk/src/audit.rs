@@ -32,10 +32,9 @@
 //! is disabled (the default) the drive pays a single `Option` test per
 //! operation.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use alto_sim::{SimTime, Trace};
 
@@ -160,7 +159,19 @@ struct ParkEntry {
 /// clones to query violations afterwards.
 #[derive(Debug, Clone, Default)]
 pub struct Auditor {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
+}
+
+impl Auditor {
+    /// Locks the shadow state. A panic while the lock is held can only come
+    /// from a strict-mode violation, which is already a test failure;
+    /// recovering the poisoned state keeps the remaining queries usable.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
 }
 
 impl Auditor {
@@ -168,7 +179,7 @@ impl Auditor {
     /// recorded and traced), so an auditor-enabled test run fails loudly.
     pub fn new(strict: bool) -> Auditor {
         Auditor {
-            state: Rc::new(RefCell::new(State {
+            state: Arc::new(Mutex::new(State {
                 strict,
                 ..State::default()
             })),
@@ -187,29 +198,29 @@ impl Auditor {
 
     /// Violations recorded so far.
     pub fn violations(&self) -> Vec<AuditViolation> {
-        self.state.borrow().violations.clone()
+        self.lock().violations.clone()
     }
 
     /// Number of violations recorded so far.
     pub fn violation_count(&self) -> usize {
-        self.state.borrow().violations.len()
+        self.lock().violations.len()
     }
 
     /// Sector operations mirrored so far.
     pub fn ops_observed(&self) -> u64 {
-        self.state.borrow().ops_observed
+        self.lock().ops_observed
     }
 
     /// Parked dirty pages not yet drained or dropped. A quiesced system
     /// (all streams closed) should report zero.
     pub fn parked_outstanding(&self) -> usize {
-        self.state.borrow().parked.len()
+        self.lock().parked.len()
     }
 
     /// Forgets the epoch baseline; the drive calls this from `reset_stats`
     /// (which rewinds the epoch counter legitimately).
     pub(crate) fn note_epoch_reset(&self) {
-        self.state.borrow_mut().last_epoch = 0;
+        self.lock().last_epoch = 0;
     }
 
     fn violate(
@@ -221,7 +232,7 @@ impl Auditor {
         detail: String,
     ) {
         let strict = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.lock();
             st.violations.push(AuditViolation {
                 rule,
                 da,
@@ -242,7 +253,7 @@ impl Auditor {
     /// Mirror one serviced operation (called by the drive after the medium
     /// and buffer have settled).
     pub(crate) fn observe(&self, obs: &Observed<'_>, trace: &Trace, now: SimTime) {
-        self.state.borrow_mut().ops_observed += 1;
+        self.lock().ops_observed += 1;
         let op = obs.op;
         let da = obs.da;
 
@@ -264,8 +275,8 @@ impl Auditor {
         // full write) trusts a free/old label observed earlier; the §3.3
         // allocate/free protocol earns that trust with a label-check pass of
         // the same sector.
-        // (the borrow must end before `violate` re-borrows the state)
-        let verified = self.state.borrow().verified.contains(&da.0);
+        // (the lock must drop before `violate` re-locks the state)
+        let verified = self.lock().verified.contains(&da.0);
         if op.label == Action::Write && op.header != Action::Write && !verified {
             self.violate(
                 trace,
@@ -322,7 +333,7 @@ impl Auditor {
         // Epoch monotonicity: the epoch may never regress, and a write op
         // must advance it (it is counted at the attempt, before the check).
         {
-            let last = self.state.borrow().last_epoch;
+            let last = self.lock().last_epoch;
             if obs.epoch < last {
                 self.violate(
                     trace,
@@ -331,7 +342,7 @@ impl Auditor {
                     da,
                     format!("write_epoch moved backwards: {} -> {}", last, obs.epoch),
                 );
-            } else if op.writes() && obs.epoch == last && self.state.borrow().ops_observed > 1 {
+            } else if op.writes() && obs.epoch == last && self.lock().ops_observed > 1 {
                 self.violate(
                     trace,
                     now,
@@ -343,12 +354,12 @@ impl Auditor {
                     ),
                 );
             }
-            self.state.borrow_mut().last_epoch = obs.epoch;
+            self.lock().last_epoch = obs.epoch;
         }
 
         // Track label verification for the two-pass protocol.
         {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.lock();
             match obs.result {
                 Ok(()) => match op.label {
                     Action::Check => {
@@ -386,7 +397,7 @@ impl Auditor {
 
     /// A write-behind buffer parked a dirty page destined for `da`.
     pub(crate) fn note_park(&self, da: DiskAddress, page: u16) {
-        self.state.borrow_mut().parked.insert(
+        self.lock().parked.insert(
             da.0,
             ParkEntry {
                 page,
@@ -404,7 +415,7 @@ impl Auditor {
         trace: &Trace,
         now: SimTime,
     ) {
-        let entry = self.state.borrow_mut().parked.remove(&da.0);
+        let entry = self.lock().parked.remove(&da.0);
         match (entry, outcome) {
             (Some(e), UnparkOutcome::Drained) => {
                 if !e.covered {
@@ -422,7 +433,7 @@ impl Auditor {
             }
             (Some(e), UnparkOutcome::Reparked) => {
                 // Back in the buffer, coverage starts over.
-                self.state.borrow_mut().parked.insert(
+                self.lock().parked.insert(
                     da.0,
                     ParkEntry {
                         page: e.page,
@@ -605,7 +616,7 @@ mod tests {
         let trace = Trace::new();
         aud.note_park(DiskAddress(7), 3);
         // Simulate the covering write arriving.
-        aud.state.borrow_mut().parked.get_mut(&7).unwrap().covered = true;
+        aud.lock().parked.get_mut(&7).unwrap().covered = true;
         aud.note_unpark(
             DiskAddress(7),
             3,

@@ -14,12 +14,14 @@ use alto_sim::{SimClock, SimTime, Trace};
 
 use crate::audit::{Auditor, Observed, Provenance, UnparkOutcome};
 use crate::errors::{DiskError, SectorPart};
-use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::geometry::{Chs, DiskAddress, DiskGeometry};
 use crate::inject::FaultInjector;
 use crate::pack::DiskPack;
+use crate::pool;
 use crate::sched::{self, BatchRequest};
 use crate::sector::{apply, Action, SectorBuf, SectorOp};
 use crate::timing::TimingModel;
+use crate::view::SectorView;
 
 /// The abstract disk object.
 ///
@@ -243,6 +245,45 @@ pub struct DiskDrive {
     injector: FaultInjector,
     retries: u32,
     audit: Option<Auditor>,
+    scratch: BatchScratch,
+}
+
+/// Per-drive working storage for [`Disk::do_batch`], kept across batches so
+/// the steady state replans and reschedules without heap allocation.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    pending: Vec<usize>,
+    remaining: Vec<usize>,
+    next_remaining: Vec<usize>,
+    das: Vec<DiskAddress>,
+    chs: Vec<Chs>,
+    order: Vec<usize>,
+    waits: Vec<SimTime>,
+    plan: sched::PlanScratch,
+}
+
+/// Hot-path counters the zero-copy batch read accumulates in locals and
+/// flushes into [`DriveStats`] once per batch — the totals are identical,
+/// only the per-sector read-modify-writes on the shared struct go away.
+#[derive(Debug, Default)]
+struct ViewChainStats {
+    ops: u64,
+    sectors_read: u64,
+    seeks: u64,
+    seek_time: SimTime,
+    rotational_wait: SimTime,
+    transfer_time: SimTime,
+}
+
+impl ViewChainStats {
+    fn flush_into(self, stats: &mut DriveStats) {
+        stats.ops += self.ops;
+        stats.sectors_read += self.sectors_read;
+        stats.seeks += self.seeks;
+        stats.seek_time += self.seek_time;
+        stats.rotational_wait += self.rotational_wait;
+        stats.transfer_time += self.transfer_time;
+    }
 }
 
 #[derive(Debug)]
@@ -265,7 +306,24 @@ impl DiskDrive {
             injector: FaultInjector::new(),
             retries: 3,
             audit: Auditor::from_env(),
+            scratch: BatchScratch::default(),
         }
+    }
+
+    /// Hands this drive a different clock, returning the old one. The
+    /// dual-drive adapter uses this to run a unit's share of a spanning
+    /// batch against a private timeline on a worker thread; ordinary code
+    /// has no business swapping clocks (the clock-discipline lint watches
+    /// the call sites that mutate time).
+    pub(crate) fn swap_clock(&mut self, clock: SimClock) -> SimClock {
+        std::mem::replace(&mut self.clock, clock)
+    }
+
+    /// Hands this drive a different trace, returning the old one — the
+    /// companion of [`DiskDrive::swap_clock`] for deterministic event
+    /// merging after threaded execution.
+    pub(crate) fn swap_trace(&mut self, trace: Trace) -> Trace {
+        std::mem::replace(&mut self.trace, trace)
     }
 
     /// Attaches a fresh non-strict §3.3 auditor (replacing any existing one,
@@ -386,52 +444,69 @@ impl DiskDrive {
     /// `followers` counts the transfers that chained onto the run's head.
     fn flush_chain(&mut self, followers: u64) {
         if followers >= 1 {
-            self.trace.record(
-                self.clock.now(),
-                "disk.chain",
-                format!("{}-sector chained transfer", followers + 1),
-            );
+            self.trace.record_with(self.clock.now(), "disk.chain", || {
+                format!("{}-sector chained transfer", followers + 1)
+            });
         }
     }
 
     /// Services one already-prechecked operation: seek, rotational wait,
     /// transfer, check semantics. Does *not* charge command set-up.
+    ///
+    /// `chs` is `da`'s geometry decomposition, computed by the caller —
+    /// [`Disk::do_batch`] already has it from planning, so recomputing it
+    /// per serviced sector (three divisions) would be pure overhead. The
+    /// caller has prechecked `da` and `op` ([`DiskDrive::precheck`]).
     fn service(
         &mut self,
         da: DiskAddress,
+        chs: Chs,
         op: SectorOp,
+        planned_wait: Option<SimTime>,
         buf: &mut SectorBuf,
     ) -> Result<(), DiskError> {
-        op.validate()?;
         let loaded = self.pack.as_mut().ok_or(DiskError::NoPack)?;
-        let geometry = loaded.pack.geometry();
-        if !geometry.contains(da) {
-            return Err(DiskError::InvalidAddress(da));
-        }
-        let chs = geometry.to_chs(da);
+
+        // Simulated time is carried in a local and stored back once: the
+        // clock is shared (an atomic), and nothing else observes it between
+        // the start and end of one serviced operation, so three read-modify-
+        // write advances collapse into one load and one store.
+        let mut now = self.clock.now();
 
         // Seek.
         if chs.cylinder != loaded.cylinder {
             let distance = chs.cylinder.abs_diff(loaded.cylinder);
             let t = loaded.timing.seek(distance);
-            self.clock.advance(t);
+            now += t;
             self.stats.seeks += 1;
             self.stats.seek_time += t;
-            self.trace.record(
-                self.clock.now(),
-                "disk.seek",
-                format!("cyl {} -> {} ({t})", loaded.cylinder, chs.cylinder),
-            );
+            let from = loaded.cylinder;
+            self.trace.record_with(now, "disk.seek", || {
+                format!("cyl {} -> {} ({t})", from, chs.cylinder)
+            });
             loaded.cylinder = chs.cylinder;
         }
 
-        // Rotational latency.
-        let wait = loaded.timing.rotational_wait(self.clock.now(), chs.sector);
-        self.clock.advance(wait);
+        // Rotational latency: the batch planner already derived the wait on
+        // the identical timeline, so a planned operation reuses it (checked
+        // in debug builds) instead of re-deriving it per sector.
+        let wait = match planned_wait {
+            Some(w) => {
+                debug_assert_eq!(
+                    w,
+                    loaded.timing.rotational_wait(now, chs.sector),
+                    "planned wait diverged from the drive's timeline"
+                );
+                w
+            }
+            None => loaded.timing.rotational_wait(now, chs.sector),
+        };
+        now += wait;
         self.stats.rotational_wait += wait;
 
         // The transfer itself: one sector time regardless of actions.
-        self.clock.advance(loaded.timing.sector_time);
+        now += loaded.timing.sector_time;
+        self.clock.set(now);
         self.stats.transfer_time += loaded.timing.sector_time;
         self.stats.ops += 1;
         if op.writes() {
@@ -474,7 +549,7 @@ impl DiskDrive {
                     buf.header = scratch.header;
                     buf.label = scratch.label;
                     self.trace.record(
-                        self.clock.now(),
+                        now,
                         "disk.hard_error",
                         format!("{da} value part unreadable"),
                     );
@@ -499,7 +574,7 @@ impl DiskDrive {
                         epoch: self.stats.write_ops,
                     },
                     &self.trace,
-                    self.clock.now(),
+                    now,
                 );
             }
             return result;
@@ -535,31 +610,277 @@ impl DiskDrive {
                     epoch: self.stats.write_ops,
                 },
                 &self.trace,
-                self.clock.now(),
+                now,
             );
         }
 
         match &result {
             Ok(()) => {
                 self.trace
-                    .record(self.clock.now(), "disk.op", format!("{op:?} at {da}"));
+                    .record_with(now, "disk.op", || format!("{op:?} at {da}"));
             }
             Err(DiskError::Check(c)) => {
                 self.stats.failed_checks += 1;
                 self.trace
-                    .record(self.clock.now(), "disk.check_fail", c.to_string());
+                    .record_with(now, "disk.check_fail", || c.to_string());
             }
             Err(e @ DiskError::Transient { .. }) => {
                 self.stats.soft_errors += 1;
                 self.trace
-                    .record(self.clock.now(), "disk.retry.soft_error", e.to_string());
+                    .record_with(now, "disk.retry.soft_error", || e.to_string());
             }
             Err(e) => {
-                self.trace
-                    .record(self.clock.now(), "disk.error", e.to_string());
+                self.trace.record_with(now, "disk.error", || e.to_string());
             }
         }
         result
+    }
+
+    /// Chained batch read with zero-copy delivery: services every address
+    /// in `das` exactly like [`Disk::do_batch`] given [`SectorOp::READ_ALL`]
+    /// requests — same §4 command chaining and planning, same simulated
+    /// timing, same stats and trace — but lends each serviced sector to
+    /// `visit` as a borrowed [`SectorView`] instead of copying its 532
+    /// bytes into a caller-owned buffer. `visit` runs at most once per
+    /// request (never for a failed one), in service order, with the
+    /// request's index in `das`.
+    ///
+    /// The simulated controller still transfers the sector — one sector
+    /// time, full rotational accounting — only the host-side representation
+    /// changes. When the §3.3 auditor is attached or any fault is armed,
+    /// each sector goes through the buffered `DiskDrive::service` path
+    /// into private scratch instead (`visit` sees a view of that scratch),
+    /// so audit observations and fault semantics stay identical to
+    /// `do_batch`'s.
+    pub fn do_batch_read<F>(
+        &mut self,
+        das: &[DiskAddress],
+        mut visit: F,
+    ) -> Vec<Result<(), DiskError>>
+    where
+        F: FnMut(usize, SectorView<'_>),
+    {
+        let op = SectorOp::READ_ALL;
+        let mut results = pool::results_vec();
+        results.extend(das.iter().map(|_| Ok(())));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.pending.clear();
+        // Batch form of `precheck`: the op is a constant (`READ_ALL` always
+        // validates) and the pack lookup is loop-invariant, so per address
+        // only the range check remains.
+        debug_assert!(op.validate().is_ok());
+        match self.pack.as_ref() {
+            None => {
+                results.fill(Err(DiskError::NoPack));
+            }
+            Some(loaded) => {
+                let count = loaded.pack.geometry().sector_count();
+                for (i, &da) in das.iter().enumerate() {
+                    if !da.is_nil() && (da.0 as u32) < count {
+                        scratch.pending.push(i);
+                    } else {
+                        results[i] = Err(DiskError::InvalidAddress(da));
+                    }
+                }
+            }
+        }
+        if scratch.pending.is_empty() {
+            self.scratch = scratch;
+            return results;
+        }
+        let buffered = self.audit.is_some() || !self.injector.is_idle();
+        let loaded = self.pack.as_ref().expect("prechecked: pack is loaded");
+        let geometry = loaded.pack.geometry();
+        let timing = loaded.timing;
+
+        // One command set-up covers the whole chain (§4), and the
+        // halt-and-replan semantics on failure mirror `do_batch`: a hard
+        // error consumes its slot, stops the chain, and the unserved
+        // remainder reschedules from the arm's new position.
+        self.charge_command();
+        self.stats.batches += 1;
+        self.stats.batched_ops += scratch.pending.len() as u64;
+        let pending_len = scratch.pending.len();
+        self.trace.record_with(self.clock.now(), "disk.batch", || {
+            format!("{pending_len} requests")
+        });
+        let reads_before = self.stats.sectors_read;
+        scratch.remaining.clear();
+        scratch.remaining.extend_from_slice(&scratch.pending);
+        let mut scratch_buf = SectorBuf::zeroed();
+        let mut acc = ViewChainStats::default();
+        let mut chained_total = 0u64;
+        let mut first_chain = true;
+        while !scratch.remaining.is_empty() {
+            if !first_chain {
+                self.charge_command();
+            }
+            first_chain = false;
+            if scratch.remaining.len() == das.len() {
+                // Every request survived prechecks and none have been
+                // serviced yet: `remaining` is the identity, skip the gather.
+                geometry.to_chs_batch(das, &mut scratch.chs);
+            } else {
+                scratch.das.clear();
+                scratch
+                    .das
+                    .extend(scratch.remaining.iter().map(|&i| das[i]));
+                geometry.to_chs_batch(&scratch.das, &mut scratch.chs);
+            }
+            sched::plan_into(
+                timing,
+                self.current_cylinder(),
+                self.clock.now(),
+                &scratch.chs,
+                &mut scratch.plan,
+                &mut scratch.order,
+                &mut scratch.waits,
+            );
+            let mut followers = 0u64;
+            let mut halted_at = None;
+            if buffered {
+                for (k, (&j, &wait)) in scratch.order.iter().zip(scratch.waits.iter()).enumerate() {
+                    let i = scratch.remaining[j];
+                    let da = das[i];
+                    let seeks_before = self.stats.seeks;
+                    let wait_before = self.stats.rotational_wait;
+                    let r = self.service(da, scratch.chs[j], op, Some(wait), &mut scratch_buf);
+                    let chained = k > 0
+                        && self.stats.seeks == seeks_before
+                        && self.stats.rotational_wait == wait_before;
+                    if r.is_ok() {
+                        visit(i, SectorView::of_buf(&scratch_buf));
+                    }
+                    let failed = r.is_err();
+                    results[i] = r;
+                    if chained {
+                        followers += 1;
+                        chained_total += 1;
+                    } else {
+                        self.flush_chain(followers);
+                        followers = 0;
+                    }
+                    if failed {
+                        halted_at = Some(k);
+                        break;
+                    }
+                }
+                self.flush_chain(followers);
+            } else {
+                // The zero-copy arm: `service`'s timeline, stats and trace
+                // events exactly (the parity tests pin all three), with the
+                // per-sector state split out of `self` once per chain — the
+                // pack and arm position, the trace handle, and the clock in
+                // a local — so servicing a sector touches no shared cells
+                // and lends the platter sector to `visit` in place of the
+                // 532-word copy out.
+                let loaded = self.pack.as_mut().expect("prechecked: pack is loaded");
+                let trace = &self.trace;
+                let sector_time = loaded.timing.sector_time;
+                let mut now = self.clock.now();
+                for (k, (&j, &wait)) in scratch.order.iter().zip(scratch.waits.iter()).enumerate() {
+                    let i = scratch.remaining[j];
+                    let da = das[i];
+                    let chs = scratch.chs[j];
+                    let mut seeked = false;
+                    if chs.cylinder != loaded.cylinder {
+                        seeked = true;
+                        let distance = chs.cylinder.abs_diff(loaded.cylinder);
+                        let t = loaded.timing.seek(distance);
+                        now += t;
+                        acc.seeks += 1;
+                        acc.seek_time += t;
+                        let from = loaded.cylinder;
+                        trace.record_with(now, "disk.seek", || {
+                            format!("cyl {} -> {} ({t})", from, chs.cylinder)
+                        });
+                        loaded.cylinder = chs.cylinder;
+                    }
+                    debug_assert_eq!(
+                        wait,
+                        loaded.timing.rotational_wait(now, chs.sector),
+                        "planned wait diverged from the drive's timeline"
+                    );
+                    now += wait;
+                    acc.rotational_wait += wait;
+                    now += sector_time;
+                    acc.transfer_time += sector_time;
+                    acc.ops += 1;
+                    acc.sectors_read += 1;
+                    let r = if loaded.pack.is_damaged(da) {
+                        // READ_ALL against damaged media: header and label
+                        // actions complete, the value part is unreadable —
+                        // the same surface `service` reports.
+                        trace.record(
+                            now,
+                            "disk.hard_error",
+                            format!("{da} value part unreadable"),
+                        );
+                        Err(DiskError::HardError {
+                            da,
+                            part: SectorPart::Value,
+                        })
+                    } else {
+                        let sector = loaded
+                            .pack
+                            .sector(da)
+                            .expect("address validated against geometry");
+                        trace.record_with(now, "disk.op", || {
+                            format!("{:?} at {da}", SectorOp::READ_ALL)
+                        });
+                        visit(i, SectorView::new(sector));
+                        Ok(())
+                    };
+                    let failed = r.is_err();
+                    results[i] = r;
+                    if k > 0 && !seeked && wait == SimTime::ZERO {
+                        followers += 1;
+                        chained_total += 1;
+                    } else {
+                        if followers >= 1 {
+                            let f = followers;
+                            trace.record_with(now, "disk.chain", || {
+                                format!("{}-sector chained transfer", f + 1)
+                            });
+                        }
+                        followers = 0;
+                    }
+                    if failed {
+                        halted_at = Some(k);
+                        break;
+                    }
+                }
+                if followers >= 1 {
+                    let f = followers;
+                    trace.record_with(now, "disk.chain", || {
+                        format!("{}-sector chained transfer", f + 1)
+                    });
+                }
+                self.clock.set(now);
+            }
+            match halted_at {
+                Some(k) => {
+                    scratch.next_remaining.clear();
+                    scratch
+                        .next_remaining
+                        .extend(scratch.order[k + 1..].iter().map(|&j| scratch.remaining[j]));
+                    std::mem::swap(&mut scratch.remaining, &mut scratch.next_remaining);
+                }
+                None => scratch.remaining.clear(),
+            }
+        }
+        acc.flush_into(&mut self.stats);
+        self.stats.chained_transfers += chained_total;
+        self.trace
+            .record_with(self.clock.now(), "disk.io.batch", || {
+                format!(
+                    "{} serviced ({} read, 0 written)",
+                    pending_len,
+                    self.stats.sectors_read - reads_before,
+                )
+            });
+        self.scratch = scratch;
+        results
     }
 }
 
@@ -590,21 +911,34 @@ impl Disk for DiskDrive {
         buf: &mut SectorBuf,
     ) -> Result<(), DiskError> {
         self.precheck(da, op)?;
+        let chs = self
+            .pack
+            .as_ref()
+            .expect("prechecked: pack is loaded")
+            .pack
+            .geometry()
+            .to_chs(da);
         self.charge_command();
-        self.service(da, op, buf)
+        self.service(da, chs, op, None, buf)
     }
 
     fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
-        let mut results: Vec<Result<(), DiskError>> = batch.iter().map(|_| Ok(())).collect();
+        // The result vector and all planning storage come out of per-thread
+        // free lists / the drive's own scratch, so a steady-state batch
+        // costs no heap allocation (see `crate::pool`).
+        let mut results = pool::results_vec();
+        results.extend(batch.iter().map(|_| Ok(())));
+        let mut scratch = std::mem::take(&mut self.scratch);
         // Malformed requests are rejected up front and never scheduled.
-        let mut pending: Vec<usize> = Vec::new();
+        scratch.pending.clear();
         for (i, req) in batch.iter().enumerate() {
             match self.precheck(req.da, req.op) {
-                Ok(()) => pending.push(i),
+                Ok(()) => scratch.pending.push(i),
                 Err(e) => results[i] = Err(e),
             }
         }
-        if pending.is_empty() {
+        if scratch.pending.is_empty() {
+            self.scratch = scratch;
             return results;
         }
         let loaded = self.pack.as_ref().expect("prechecked: pack is loaded");
@@ -614,12 +948,11 @@ impl Disk for DiskDrive {
         // One command set-up covers the whole chain (§4).
         self.charge_command();
         self.stats.batches += 1;
-        self.stats.batched_ops += pending.len() as u64;
-        self.trace.record(
-            self.clock.now(),
-            "disk.batch",
-            format!("{} requests", pending.len()),
-        );
+        self.stats.batched_ops += scratch.pending.len() as u64;
+        let pending_len = scratch.pending.len();
+        self.trace.record_with(self.clock.now(), "disk.batch", || {
+            format!("{pending_len} requests")
+        });
 
         // The schedule is computable up front only while the chain runs
         // clean: every serviced request costs seek + wait + one sector
@@ -630,30 +963,38 @@ impl Disk for DiskDrive {
         // fresh command set-up.
         let reads_before = self.stats.sectors_read;
         let writes_before = self.stats.sectors_written;
-        let mut remaining = pending.clone();
+        scratch.remaining.clear();
+        scratch.remaining.extend_from_slice(&scratch.pending);
         let mut first_chain = true;
-        while !remaining.is_empty() {
+        while !scratch.remaining.is_empty() {
             if !first_chain {
                 self.charge_command();
             }
             first_chain = false;
-            let das: Vec<DiskAddress> = remaining.iter().map(|&i| batch[i].da).collect();
-            let order = sched::plan(
-                geometry,
+            scratch.das.clear();
+            scratch
+                .das
+                .extend(scratch.remaining.iter().map(|&i| batch[i].da));
+            geometry.to_chs_batch(&scratch.das, &mut scratch.chs);
+            sched::plan_into(
                 timing,
                 self.current_cylinder(),
                 self.clock.now(),
-                &das,
+                &scratch.chs,
+                &mut scratch.plan,
+                &mut scratch.order,
+                &mut scratch.waits,
             );
             let mut followers = 0u64;
             let mut halted_at = None;
-            for (k, &j) in order.iter().enumerate() {
-                let i = remaining[j];
+            for (k, &j) in scratch.order.iter().enumerate() {
+                let i = scratch.remaining[j];
                 let seeks_before = self.stats.seeks;
                 let wait_before = self.stats.rotational_wait;
                 let req = &mut batch[i];
                 let (da, op) = (req.da, req.op);
-                results[i] = self.service(da, op, &mut req.buf);
+                results[i] =
+                    self.service(da, scratch.chs[j], op, Some(scratch.waits[k]), &mut req.buf);
                 let chained = k > 0
                     && self.stats.seeks == seeks_before
                     && self.stats.rotational_wait == wait_before;
@@ -672,20 +1013,26 @@ impl Disk for DiskDrive {
             self.flush_chain(followers);
             match halted_at {
                 // Requests the halted chain never reached go around again.
-                Some(k) => remaining = order[k + 1..].iter().map(|&j| remaining[j]).collect(),
-                None => remaining.clear(),
+                Some(k) => {
+                    scratch.next_remaining.clear();
+                    scratch
+                        .next_remaining
+                        .extend(scratch.order[k + 1..].iter().map(|&j| scratch.remaining[j]));
+                    std::mem::swap(&mut scratch.remaining, &mut scratch.next_remaining);
+                }
+                None => scratch.remaining.clear(),
             }
         }
-        self.trace.record(
-            self.clock.now(),
-            "disk.io.batch",
-            format!(
-                "{} serviced ({} read, {} written)",
-                pending.len(),
-                self.stats.sectors_read - reads_before,
-                self.stats.sectors_written - writes_before,
-            ),
-        );
+        self.trace
+            .record_with(self.clock.now(), "disk.io.batch", || {
+                format!(
+                    "{} serviced ({} read, {} written)",
+                    pending_len,
+                    self.stats.sectors_read - reads_before,
+                    self.stats.sectors_written - writes_before,
+                )
+            });
+        self.scratch = scratch;
         results
     }
 
@@ -1144,5 +1491,100 @@ mod tests {
         assert!(s.busy_time() > SimTime::ZERO);
         d.reset_stats();
         assert_eq!(d.stats(), DriveStats::default());
+    }
+
+    /// `do_batch_read` must be `do_batch`-with-`READ_ALL` in every
+    /// observable way except the missing copy-out: same simulated elapsed
+    /// time, same stats, same results, same trace, same delivered words.
+    #[test]
+    fn batch_read_views_match_buffered_batch_exactly() {
+        let das: Vec<DiskAddress> = (0..300).map(DiskAddress).collect();
+
+        let mut buffered = drive();
+        buffered.trace().set_enabled(true);
+        buffered.pack_mut().unwrap().damage(DiskAddress(70));
+        buffered.pack_mut().unwrap().damage(DiskAddress(200));
+        let t0 = buffered.clock().now();
+        let mut batch: Vec<BatchRequest> = das
+            .iter()
+            .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed()))
+            .collect();
+        let buffered_results = buffered.do_batch(&mut batch);
+        let buffered_elapsed = buffered.clock().now() - t0;
+
+        let mut viewed = drive();
+        viewed.trace().set_enabled(true);
+        viewed.pack_mut().unwrap().damage(DiskAddress(70));
+        viewed.pack_mut().unwrap().damage(DiskAddress(200));
+        let t0 = viewed.clock().now();
+        let mut seen: Vec<(usize, [u16; 2], u16)> = Vec::new();
+        let view_results = viewed.do_batch_read(&das, |i, v| {
+            seen.push((i, *v.header(), v.data()[0]));
+        });
+        let view_elapsed = viewed.clock().now() - t0;
+
+        assert_eq!(buffered_elapsed, view_elapsed);
+        assert_eq!(buffered_results, view_results);
+        assert_eq!(buffered.stats(), viewed.stats());
+        assert_eq!(buffered.trace().events(), viewed.trace().events());
+        // Every successful request was visited exactly once, with the same
+        // words the buffered form copied out.
+        assert_eq!(seen.len(), das.len() - 2);
+        for &(i, header, word0) in &seen {
+            assert!(buffered_results[i].is_ok());
+            assert_eq!(header, batch[i].buf.header);
+            assert_eq!(word0, batch[i].buf.data[0]);
+        }
+        for (i, r) in view_results.iter().enumerate() {
+            if r.is_err() {
+                assert!(!seen.iter().any(|&(j, _, _)| j == i), "visited failed {i}");
+            }
+        }
+    }
+
+    /// With the auditor attached the view read routes through the buffered
+    /// `service` path — timing and stats must still match `do_batch`, and
+    /// the auditor must observe a §3.3-clean run.
+    #[test]
+    fn batch_read_views_under_audit_match_and_stay_clean() {
+        let das: Vec<DiskAddress> = (0..100).map(DiskAddress).collect();
+
+        let mut buffered = drive();
+        buffered.enable_audit();
+        let t0 = buffered.clock().now();
+        let mut batch: Vec<BatchRequest> = das
+            .iter()
+            .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed()))
+            .collect();
+        buffered.do_batch(&mut batch);
+        let buffered_elapsed = buffered.clock().now() - t0;
+
+        let mut viewed = drive();
+        let auditor = viewed.enable_audit();
+        let t0 = viewed.clock().now();
+        let mut visits = 0usize;
+        let results = viewed.do_batch_read(&das, |_, v| {
+            std::hint::black_box(v.data()[0]);
+            visits += 1;
+        });
+        let view_elapsed = viewed.clock().now() - t0;
+
+        assert_eq!(buffered_elapsed, view_elapsed);
+        assert_eq!(buffered.stats(), viewed.stats());
+        assert_eq!(visits, das.len());
+        assert!(results.iter().all(Result::is_ok));
+        assert!(auditor.violations().is_empty());
+    }
+
+    /// Malformed addresses are rejected up front and never visited, like
+    /// `do_batch`'s prechecks.
+    #[test]
+    fn batch_read_prechecks_out_of_range_addresses() {
+        let mut d = drive();
+        let das = vec![DiskAddress(0), DiskAddress(u16::MAX), DiskAddress(1)];
+        let results = d.do_batch_read(&das, |i, _| assert_ne!(i, 1));
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DiskError::InvalidAddress(_))));
+        assert!(results[2].is_ok());
     }
 }

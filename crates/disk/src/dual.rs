@@ -12,8 +12,69 @@ use alto_sim::{SimClock, SimTime, Trace};
 use crate::drive::{Disk, DiskDrive, DriveStats};
 use crate::errors::DiskError;
 use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::pool;
 use crate::sched::BatchRequest;
 use crate::sector::{SectorBuf, SectorOp};
+
+/// Minimum per-unit share before a spanning batch is worth real host
+/// threads: the handoff to the persistent worker costs a few microseconds
+/// of wall time, so small shares keep the serial replay (the simulated
+/// outcome is bit-identical either way — see
+/// [`DualDrive::set_threading_enabled`]).
+const THREAD_MIN_SHARE: usize = 24;
+
+/// The persistent host thread that runs unit 1's share of threaded
+/// spanning batches. Spawning an OS thread per batch would cost more than
+/// most shares take to service, so the worker is spawned once, on the
+/// first threaded batch, and then parks in `recv` between batches. The
+/// unit-1 [`DiskDrive`] is *moved* through the channel for each batch —
+/// shallow (the pack's sectors stay where they are on the heap) and safe:
+/// the drive is back in the adapter before anything else can touch it.
+/// A batch handed to the worker: the moved unit-1 drive and its share.
+type Job = (DiskDrive, Vec<BatchRequest>);
+/// The worker's reply: drive and share back, plus the per-op results.
+type JobReply = (DiskDrive, Vec<BatchRequest>, Vec<Result<(), DiskError>>);
+
+#[derive(Debug)]
+struct Worker {
+    to: Option<std::sync::mpsc::Sender<Job>>,
+    from: std::sync::mpsc::Receiver<JobReply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn() -> Worker {
+        let (to, job_rx) = std::sync::mpsc::channel::<(DiskDrive, Vec<BatchRequest>)>();
+        let (reply_tx, from) = std::sync::mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("alto-dual-worker".to_string())
+            .spawn(move || {
+                while let Ok((mut drive, mut sub)) = job_rx.recv() {
+                    let results = drive.do_batch(&mut sub);
+                    if reply_tx.send((drive, sub, results)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn dual-drive worker");
+        Worker {
+            to: Some(to),
+            from,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker's loop; join so the
+        // thread never outlives the adapter.
+        drop(self.to.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
 
 /// Two drives presented as one disk with twice the sectors.
 ///
@@ -32,8 +93,15 @@ pub struct DualDrive {
     drives: [DiskDrive; 2],
     per_drive: u32,
     overlap: bool,
+    threads: bool,
     overlap_batches: u64,
+    threaded_batches: u64,
     overlap_saved: SimTime,
+    /// Per-unit `(original indices, translated requests)` split storage,
+    /// kept across batches so the steady state allocates nothing.
+    scratch: [(Vec<usize>, Vec<BatchRequest>); 2],
+    /// The persistent unit-1 worker thread, spawned on first use.
+    worker: Option<Worker>,
 }
 
 impl DualDrive {
@@ -57,8 +125,12 @@ impl DualDrive {
             per_drive: g0.sector_count(),
             drives: [drive0, drive1],
             overlap: true,
+            threads: true,
             overlap_batches: 0,
+            threaded_batches: 0,
             overlap_saved: SimTime::ZERO,
+            scratch: Default::default(),
+            worker: None,
         })
     }
 
@@ -98,6 +170,23 @@ impl DualDrive {
     /// runnable as an ablation like `UnscheduledDisk`.
     pub fn set_overlap_enabled(&mut self, enabled: bool) {
         self.overlap = enabled;
+    }
+
+    /// Enables or disables *host threads* for overlapped spanning batches
+    /// (enabled by default). With threads on, each unit's share runs on its
+    /// own OS thread against a private clock and trace, and the join
+    /// restores elapsed = max of the arms — the same simulated time, trace
+    /// contents and results as the serial replay, bit for bit; the only
+    /// difference is wall-clock. Small shares (< `THREAD_MIN_SHARE` per
+    /// unit) always use the serial replay, since thread spawn would cost
+    /// more than it saves.
+    pub fn set_threading_enabled(&mut self, enabled: bool) {
+        self.threads = enabled;
+    }
+
+    /// How many spanning batches actually ran on real threads.
+    pub fn threaded_batches(&self) -> u64 {
+        self.threaded_batches
     }
 
     /// Sets the retry limit on both units (see [`DiskDrive::set_retries`]).
@@ -156,13 +245,20 @@ impl Disk for DualDrive {
         // Split the batch by unit so each drive schedules (and chains) its
         // own share; addresses and headers are translated exactly as in
         // `do_op`, and results land back in the batch's original order.
-        let mut results: Vec<Result<(), DiskError>> = batch.iter().map(|_| Ok(())).collect();
+        // The result vector comes from the free lists and the split storage
+        // is kept on the adapter, so the steady state allocates nothing.
+        let mut results = pool::results_vec();
+        results.extend(batch.iter().map(|_| Ok(())));
         let pack0 = self.drives[0].pack_number().ok();
         let packs = [
             self.drives[0].pack_number().ok(),
             self.drives[1].pack_number().ok(),
         ];
-        let mut split: [(Vec<usize>, Vec<BatchRequest>); 2] = Default::default();
+        let mut split = std::mem::take(&mut self.scratch);
+        for (idxs, sub) in &mut split {
+            idxs.clear();
+            sub.clear();
+        }
         for (i, req) in batch.iter_mut().enumerate() {
             let da = req.da;
             if da.is_nil() || (da.0 as u32) >= self.per_drive * 2 {
@@ -184,25 +280,85 @@ impl Disk for DualDrive {
         }
 
         // Each unit has its own arm and data path, so a batch that spans
-        // both halves runs the two shares concurrently: replay each unit
-        // from the same start instant, then set the clock to the *later*
-        // finish (elapsed = max of the units' times, not the sum). The
-        // ablation (`set_overlap_enabled(false)`) keeps the serialized
-        // timeline.
+        // both halves runs the two shares concurrently: each unit runs
+        // from the same start instant, then the clock is set to the *later*
+        // finish (elapsed = max of the units' times, not the sum). Large
+        // shares run on real host threads against private clocks and
+        // traces; small ones replay serially on the shared timeline — the
+        // simulated outcome is identical. The ablation
+        // (`set_overlap_enabled(false)`) keeps the serialized timeline.
         let overlapped = self.overlap && split.iter().all(|(idxs, _)| !idxs.is_empty());
+        let threaded = overlapped
+            && self.threads
+            && split.iter().all(|(idxs, _)| idxs.len() >= THREAD_MIN_SHARE);
         let clock = self.drives[0].clock().clone();
         let t0 = clock.now();
         let mut elapsed = [SimTime::ZERO; 2];
+        let mut sub_results: [Vec<Result<(), DiskError>>; 2] = [Vec::new(), Vec::new()];
+        if threaded {
+            // Give each unit a private timeline starting at the shared
+            // instant and a private trace, so the workers never contend.
+            let shared_trace = self.drives[0].trace().clone();
+            let enabled = shared_trace.enabled();
+            let mut originals: [Option<(SimClock, Trace)>; 2] = [None, None];
+            for (unit, slot) in originals.iter_mut().enumerate() {
+                let private_clock = SimClock::new();
+                private_clock.set(t0);
+                let private_trace = Trace::new();
+                private_trace.set_enabled(enabled);
+                let oc = self.drives[unit].swap_clock(private_clock);
+                let ot = self.drives[unit].swap_trace(private_trace);
+                *slot = Some((oc, ot));
+            }
+            // Ship unit 1 (drive and share, both owned) to the persistent
+            // worker, run unit 0's share here, then take unit 1 back. The
+            // recv is the join: both shares are done before anything below
+            // runs.
+            let worker = self.worker.get_or_insert_with(Worker::spawn);
+            let d1 = std::mem::replace(
+                &mut self.drives[1],
+                DiskDrive::new(SimClock::new(), Trace::new()),
+            );
+            let sub1 = std::mem::take(&mut split[1].1);
+            worker
+                .to
+                .as_ref()
+                .expect("sender lives as long as the worker")
+                .send((d1, sub1))
+                .expect("dual-drive worker hung up");
+            let r0 = self.drives[0].do_batch(&mut split[0].1);
+            let (d1, sub1, r1) = worker.from.recv().expect("dual-drive worker panicked");
+            self.drives[1] = d1;
+            split[1].1 = sub1;
+            sub_results = [r0, r1];
+            for (unit, slot) in originals.iter_mut().enumerate() {
+                let (oc, ot) = slot.take().expect("installed above");
+                let private_clock = self.drives[unit].swap_clock(oc);
+                let private_trace = self.drives[unit].swap_trace(ot);
+                elapsed[unit] = private_clock.now() - t0;
+                // Absorbing in unit order reproduces the exact event order
+                // the serial replay records.
+                shared_trace.absorb(&private_trace);
+            }
+            self.threaded_batches += 1;
+        } else {
+            for (unit, (idxs, sub)) in split.iter_mut().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                if overlapped {
+                    clock.set(t0);
+                }
+                sub_results[unit] = self.drives[unit].do_batch(sub);
+                elapsed[unit] = clock.now() - t0;
+            }
+        }
         for (unit, (idxs, sub)) in split.iter_mut().enumerate() {
-            if idxs.is_empty() {
-                continue;
-            }
-            if overlapped {
-                clock.set(t0);
-            }
-            let sub_results = self.drives[unit].do_batch(sub);
-            elapsed[unit] = clock.now() - t0;
-            for ((&i, done), res) in idxs.iter().zip(sub.iter_mut()).zip(sub_results) {
+            for ((&i, done), res) in idxs
+                .iter()
+                .zip(sub.iter_mut())
+                .zip(sub_results[unit].drain(..))
+            {
                 let da = batch[i].da;
                 let (_, local) = self.route(da);
                 if res.is_ok() && done.buf.header[1] == local.0 {
@@ -217,16 +373,17 @@ impl Disk for DualDrive {
             clock.set(t0 + elapsed[0].max(elapsed[1]));
             self.overlap_batches += 1;
             self.overlap_saved += saved;
-            self.drives[0].trace().record(
-                clock.now(),
-                "disk.io.overlap",
-                format!(
-                    "{}+{} requests overlapped, {saved} saved",
-                    split[0].0.len(),
-                    split[1].0.len()
-                ),
-            );
+            let (n0, n1) = (split[0].0.len(), split[1].0.len());
+            self.drives[0]
+                .trace()
+                .record_with(clock.now(), "disk.io.overlap", || {
+                    format!("{n0}+{n1} requests overlapped, {saved} saved")
+                });
         }
+        let [r0, r1] = sub_results;
+        pool::recycle_results(r0);
+        pool::recycle_results(r1);
+        self.scratch = split;
         results
     }
 
@@ -534,6 +691,45 @@ mod tests {
         let unit1 = elapsed(Some(1));
         assert!(unit1 < unit0, "the failing arm must be the shorter one");
         assert_eq!(both, unit0.max(unit1));
+    }
+
+    #[test]
+    fn threaded_spanning_batch_is_bit_identical_to_serial_replay() {
+        // The acceptance bar for host threading: same results, same
+        // simulated elapsed time, and the same trace events in the same
+        // order as the serial replay — bit for bit. Shares of 36 per unit
+        // clear THREAD_MIN_SHARE so the threaded path really engages.
+        let run = |threads: bool| {
+            let mut d = dual();
+            d.set_threading_enabled(threads);
+            let mut batch: Vec<BatchRequest> = (0..72u16)
+                .map(|i| {
+                    let local = 100 + 53 * (i / 2) % 4000;
+                    let da = if i % 2 == 0 { local } else { 4872 + local };
+                    BatchRequest::new(DiskAddress(da), SectorOp::READ_ALL, SectorBuf::zeroed())
+                })
+                .collect();
+            let t0 = d.clock().now();
+            let results = d.do_batch(&mut batch);
+            assert_eq!(d.threaded_batches(), u64::from(threads));
+            let events: Vec<(SimTime, &str, String)> = d
+                .trace()
+                .events()
+                .into_iter()
+                .map(|e| (e.at, e.tag, e.detail.clone()))
+                .collect();
+            (d.clock().now() - t0, results, events, batch)
+        };
+        let (serial_dt, serial_results, serial_events, serial_batch) = run(false);
+        let (threaded_dt, threaded_results, threaded_events, threaded_batch) = run(true);
+        assert_eq!(threaded_dt, serial_dt);
+        assert_eq!(threaded_results, serial_results);
+        assert_eq!(threaded_events, serial_events);
+        for (a, b) in serial_batch.iter().zip(&threaded_batch) {
+            assert_eq!(a.buf.header, b.buf.header);
+            assert_eq!(a.buf.label, b.buf.label);
+            assert_eq!(a.buf.data, b.buf.data);
+        }
     }
 
     #[test]

@@ -107,6 +107,49 @@ impl DiskGeometry {
         }
     }
 
+    /// Decomposes a whole batch of disk addresses at once, replacing the
+    /// contents of `out` with `das`' coordinates (`out[i]` belongs to
+    /// `das[i]`).
+    ///
+    /// Identical results to mapping [`DiskGeometry::to_chs`], but the
+    /// divisions by the (runtime-valued) geometry dimensions are replaced
+    /// with multiplications by precomputed reciprocals — exact for every
+    /// 16-bit address because `m = ceil(2^32 / d)` satisfies
+    /// `2^32 <= m*d < 2^32 + 2^16`, so `(v * m) >> 32 == v / d` for all
+    /// `v < 2^16`. The drive's batch paths convert thousands of addresses
+    /// per call; two hardware divisions per sector were a measurable slice
+    /// of the per-op budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is nil or out of range, like
+    /// [`DiskGeometry::to_chs`].
+    pub fn to_chs_batch(&self, das: &[DiskAddress], out: &mut Vec<Chs>) {
+        out.clear();
+        out.reserve(das.len());
+        let count = self.sector_count();
+        let per_cyl = self.heads as u32 * self.sectors as u32;
+        let sectors = self.sectors as u32;
+        // ceil(2^32 / d), computed without overflow as (2^32 - 1) / d + 1
+        // (exact because d > 1 never divides 2^32 - 1... d == 1 would give
+        // 2^32; fold that case into the u64 math below).
+        let m_cyl = (u32::MAX as u64 / per_cyl as u64) + 1;
+        let m_sec = (u32::MAX as u64 / sectors as u64) + 1;
+        for &da in das {
+            let v = da.0 as u32;
+            assert!(!da.is_nil() && v < count, "disk address {da} out of range");
+            let cylinder = ((v as u64 * m_cyl) >> 32) as u32;
+            let in_cyl = v - cylinder * per_cyl;
+            let head = ((in_cyl as u64 * m_sec) >> 32) as u32;
+            let sector = in_cyl - head * sectors;
+            out.push(Chs {
+                cylinder: cylinder as u16,
+                head: head as u16,
+                sector: sector as u16,
+            });
+        }
+    }
+
     /// Composes a disk address from cylinder/head/sector.
     ///
     /// # Panics
@@ -244,6 +287,27 @@ mod tests {
         assert_eq!((b.cylinder, b.head, b.sector), (0, 0, 11));
         assert_eq!((c.cylinder, c.head, c.sector), (0, 1, 0));
         assert_eq!((d.cylinder, d.head, d.sector), (1, 0, 0));
+    }
+
+    #[test]
+    fn chs_batch_matches_scalar_for_every_address() {
+        for model in [DiskModel::Diablo31, DiskModel::Diablo44, DiskModel::Trident] {
+            let g = model.geometry();
+            let das: Vec<DiskAddress> = (0..g.sector_count() as u16).map(DiskAddress).collect();
+            let mut batch = Vec::new();
+            g.to_chs_batch(&das, &mut batch);
+            assert_eq!(batch.len(), das.len());
+            for (&da, &chs) in das.iter().zip(batch.iter()) {
+                assert_eq!(chs, g.to_chs(da), "mismatch at {da} on {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chs_batch_rejects_out_of_range() {
+        let g = DiskModel::Diablo31.geometry();
+        g.to_chs_batch(&[DiskAddress(4872)], &mut Vec::new());
     }
 
     #[test]

@@ -156,6 +156,12 @@ impl FaultInjector {
         self.armed_writes.len() + self.armed_reads.len()
     }
 
+    /// True when no fault can possibly fire: nothing armed and no campaign
+    /// running. Hot paths use this to skip fault bookkeeping entirely.
+    pub fn is_idle(&self) -> bool {
+        self.campaign.is_none() && self.armed_writes.is_empty() && self.armed_reads.is_empty()
+    }
+
     /// Number of fault firings since creation (each failed attempt of a
     /// transient fault counts separately).
     pub fn fired_count(&self) -> u64 {
@@ -189,6 +195,12 @@ impl FaultInjector {
         sector: &mut Sector,
         buf: &mut SectorBuf,
     ) -> Option<Result<(), DiskError>> {
+        // Fast path for the fault-free drive: nothing armed and no campaign
+        // means no fault can possibly fire, so skip the per-address map
+        // probe (a hash per serviced sector, pure overhead on clean runs).
+        if self.is_idle() {
+            return None;
+        }
         let writes = op.writes();
         let map = if writes {
             &mut self.armed_writes

@@ -56,9 +56,11 @@ pub mod geometry;
 pub mod inject;
 pub mod label;
 pub mod pack;
+pub mod pool;
 pub mod sched;
 pub mod sector;
 pub mod timing;
+pub mod view;
 
 pub use ablation::{UncheckedDisk, UnscheduledDisk};
 pub use audit::{AuditRule, AuditViolation, Auditor, UnparkOutcome};
@@ -72,3 +74,4 @@ pub use pack::{DiskPack, PackImageError};
 pub use sched::BatchRequest;
 pub use sector::{Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
 pub use timing::TimingModel;
+pub use view::{LabelView, SectorBufView, SectorView, SECTOR_WORDS};

@@ -1,0 +1,151 @@
+//! Recycled buffers for the steady-state I/O paths.
+//!
+//! Every batched disk operation needs a request vector, a result vector and
+//! per-sector buffers. Allocating them per call dominated the wall-clock
+//! profile (see `docs/PERFORMANCE.md`), so the hot paths draw them from
+//! small thread-local free lists instead: a vector is taken with
+//! [`batch_vec`]/[`results_vec`], used, and handed back with
+//! the matching `recycle_*` call once its contents have been consumed. In
+//! the steady state every list has a warm vector with grown capacity, so a
+//! read or write costs zero heap allocations.
+//!
+//! Pooling is a *host-side* optimization: it never touches the simulated
+//! clock, the trace contents, or §3.3 semantics — recycled vectors are
+//! always cleared before reuse. [`set_enabled`] is the ablation switch the
+//! wall-clock benchmark uses to measure exactly what pooling buys; disabled,
+//! the take functions return fresh vectors and the recycle functions drop.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::errors::DiskError;
+use crate::sched::BatchRequest;
+
+/// Global pooling gate (on by default). Relaxed ordering suffices: the flag
+/// only selects between two correct allocation strategies.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// True when the free lists are in use (the default).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the free lists on or off, process-wide. Off, every take allocates
+/// and every recycle drops — the benchmark's "seed allocation behavior"
+/// ablation.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// How many vectors each free list retains per thread. Four covers the
+/// deepest current nesting (a dual-drive batch inside an fs batch, with a
+/// write-behind flush in flight); anything beyond the cap is simply dropped.
+const PER_LIST: usize = 4;
+
+struct FreeLists {
+    batches: Vec<Vec<BatchRequest>>,
+    results: Vec<Vec<Result<(), DiskError>>>,
+}
+
+thread_local! {
+    static LISTS: RefCell<FreeLists> = const {
+        RefCell::new(FreeLists {
+            batches: Vec::new(),
+            results: Vec::new(),
+        })
+    };
+}
+
+/// An empty request vector, recycled when possible.
+pub fn batch_vec() -> Vec<BatchRequest> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().batches.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a request vector to the free list (contents are dropped).
+pub fn recycle_batch(mut v: Vec<BatchRequest>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.batches.len() < PER_LIST {
+            lists.batches.push(v);
+        }
+    });
+}
+
+/// An empty per-request result vector, recycled when possible.
+pub fn results_vec() -> Vec<Result<(), DiskError>> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().results.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a result vector to the free list.
+pub fn recycle_results(mut v: Vec<Result<(), DiskError>>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.results.len() < PER_LIST {
+            lists.results.push(v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DiskAddress;
+    use crate::sector::{SectorBuf, SectorOp};
+
+    #[test]
+    fn round_trip_reuses_capacity() {
+        let mut v = batch_vec();
+        for i in 0..8u16 {
+            v.push(BatchRequest::new(
+                DiskAddress(i),
+                SectorOp::READ_ALL,
+                SectorBuf::zeroed(),
+            ));
+        }
+        let cap = v.capacity();
+        recycle_batch(v);
+        let v2 = batch_vec();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= cap.min(8));
+    }
+
+    #[test]
+    fn disabled_pool_hands_out_fresh_vectors() {
+        set_enabled(false);
+        let mut v = results_vec();
+        v.push(Ok(()));
+        recycle_results(v);
+        let v2 = results_vec();
+        assert_eq!(v2.capacity(), 0);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        for _ in 0..2 * PER_LIST {
+            let mut v = results_vec();
+            v.reserve(4);
+            recycle_results(v);
+        }
+        let held = LISTS.with(|l| l.borrow().results.len());
+        assert!(held <= PER_LIST);
+    }
+}

@@ -65,11 +65,9 @@
 //! assert!(drive.clock().now() - t0 > elapsed.scaled(8));
 //! ```
 
-use std::collections::BTreeMap;
-
 use alto_sim::SimTime;
 
-use crate::geometry::{DiskAddress, DiskGeometry};
+use crate::geometry::{Chs, DiskAddress, DiskGeometry};
 use crate::sector::{SectorBuf, SectorOp};
 use crate::timing::TimingModel;
 
@@ -110,52 +108,156 @@ pub fn plan(
     start_time: SimTime,
     das: &[DiskAddress],
 ) -> Vec<usize> {
-    // Group requests by cylinder; remember each one's rotational slot.
-    let mut by_cyl: BTreeMap<u16, Vec<(usize, u16)>> = BTreeMap::new();
-    for (i, &da) in das.iter().enumerate() {
-        let chs = geometry.to_chs(da);
-        by_cyl
-            .entry(chs.cylinder)
-            .or_default()
-            .push((i, chs.sector));
+    let chs: Vec<Chs> = das.iter().map(|&da| geometry.to_chs(da)).collect();
+    let mut scratch = PlanScratch::default();
+    let mut order = Vec::with_capacity(das.len());
+    let mut waits = Vec::with_capacity(das.len());
+    plan_into(
+        timing,
+        start_cylinder,
+        start_time,
+        &chs,
+        &mut scratch,
+        &mut order,
+        &mut waits,
+    );
+    order
+}
+
+/// Reusable working storage for [`plan_into`], so the per-batch planning
+/// pass allocates nothing in the steady state (the drive keeps one of these
+/// and hands it back for every batch).
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// `(cylinder, slot, index)` per request, sorted by `(cylinder, index)`
+    /// so each cylinder's requests are one contiguous run, in request order.
+    items: Vec<(u16, u16, usize)>,
+    /// One `(cylinder, start, end)` run per distinct cylinder, ascending;
+    /// `start..end` indexes `items`.
+    runs: Vec<(u16, usize, usize)>,
+    /// The current cylinder's unserved requests: `(index, slot angle)`,
+    /// where the angle is the slot's start offset within the revolution in
+    /// nanoseconds (`slot * sector_time`), sorted by `(angle, index)`.
+    pending: Vec<(usize, u64)>,
+    /// Requests whose slot already passed under the heads this revolution,
+    /// carried over to the next revolution pass.
+    deferred: Vec<(usize, u64)>,
+}
+
+/// [`plan`] with caller-provided working storage and the requests'
+/// already-computed geometry decomposition (`chs[i]` belongs to request
+/// `i`): clears and fills `order` with the service order. Identical output
+/// (the greedy selection, the sweep, and every tie-break match the
+/// allocating form word for word — simulated time depends on it); the only
+/// differences are where the working vectors live and who pays for the
+/// address-to-CHS divisions.
+///
+/// `waits` is filled alongside `order`: `waits[k]` is the rotational wait
+/// the drive will charge when it services `order[k]`, already computed
+/// here by the greedy selection. The planner's timeline is *exactly* the
+/// servicing timeline while the chain runs clean (a halt replans, which
+/// refills both vectors), so the drive can charge `waits[k]` directly
+/// instead of re-deriving it — the drive debug-asserts the equality.
+pub fn plan_into(
+    timing: TimingModel,
+    start_cylinder: u16,
+    start_time: SimTime,
+    chs: &[Chs],
+    scratch: &mut PlanScratch,
+    order: &mut Vec<usize>,
+    waits: &mut Vec<SimTime>,
+) {
+    order.clear();
+    waits.clear();
+    let PlanScratch {
+        items,
+        runs,
+        pending,
+        deferred,
+    } = scratch;
+
+    // Note each request's cylinder and rotational slot, then bucket by
+    // cylinder: one sort by `(cylinder, index)` makes every cylinder's
+    // requests a contiguous run *still in request order* (the tie-break
+    // order the one-filter-scan-per-cylinder form had), so building a
+    // cylinder's pending list is O(run), not O(batch).
+    items.clear();
+    for (i, c) in chs.iter().enumerate() {
+        items.push((c.cylinder, c.sector, i));
+    }
+    items.sort_unstable_by_key(|&(c, _, i)| (c, i));
+    runs.clear();
+    let mut start = 0;
+    while start < items.len() {
+        let c = items[start].0;
+        let end = start
+            + items[start..]
+                .iter()
+                .position(|&(cc, _, _)| cc != c)
+                .unwrap_or(items.len() - start);
+        runs.push((c, start, end));
+        start = end;
     }
 
     // Elevator sweep: every cylinder at or above the arm in ascending
     // order, then the rest descending back toward the spindle.
-    let mut sweep: Vec<u16> = by_cyl
-        .keys()
-        .copied()
-        .filter(|&c| c >= start_cylinder)
-        .collect();
-    let mut below: Vec<u16> = by_cyl
-        .keys()
-        .copied()
-        .filter(|&c| c < start_cylinder)
-        .collect();
-    below.reverse();
-    sweep.extend(below);
+    let split = runs.partition_point(|&(c, _, _)| c < start_cylinder);
+    let sweep = runs[split..].iter().chain(runs[..split].iter().rev());
 
-    let mut order = Vec::with_capacity(das.len());
+    let st = timing.sector_time.as_nanos();
+    let rev = timing.revolution().as_nanos();
     let mut now = start_time;
     let mut cylinder = start_cylinder;
-    for c in sweep {
+    for &(c, run_start, run_end) in sweep {
         now += timing.seek(c.abs_diff(cylinder));
         cylinder = c;
-        let mut pending = by_cyl.remove(&c).expect("cylinder came from the map");
-        while !pending.is_empty() {
-            // Greedy: whichever pending slot comes under the heads soonest.
-            let k = pending
+        pending.clear();
+        pending.extend(
+            items[run_start..run_end]
                 .iter()
-                .enumerate()
-                .min_by_key(|(_, &(_, slot))| timing.rotational_wait(now, slot).as_nanos())
-                .map(|(k, _)| k)
-                .expect("pending is non-empty");
-            let (i, slot) = pending.swap_remove(k);
-            now += timing.rotational_wait(now, slot) + timing.sector_time;
-            order.push(i);
+                .map(|&(_, slot, i)| (i, slot as u64 * st)),
+        );
+        // Greedy soonest-slot selection, computed as revolution passes over
+        // the requests sorted by slot angle: each pass serves, in angle
+        // order, every request whose slot has not yet passed under the
+        // heads; the rest carry to the next revolution. This is the same
+        // service order a per-pick min-wait scan produces (the soonest
+        // pending slot is always the next unserved angle at or after the
+        // head), but costs one sort instead of a quadratic scan. Requests
+        // for the *same* slot (the other head, or a duplicate address)
+        // necessarily wait a full revolution apart; ties break toward the
+        // earlier request in the batch. The waits are exactly
+        // `timing.rotational_wait`'s — the drive debug-asserts as much.
+        pending.sort_unstable_by_key(|&(i, target)| (target, i));
+        // Head angle, in nanoseconds from the start of the revolution the
+        // arm arrived in. One division on arrival; serving advances it
+        // slot-aligned, and spinning into the next revolution subtracts
+        // `rev` (signed so a pass can begin "behind" every request).
+        let mut pos = (now.as_nanos() % rev) as i64;
+        while !pending.is_empty() {
+            let &(_, max_target) = pending.last().expect("pending is non-empty");
+            if (max_target as i64) < pos {
+                // Every remaining slot already passed: spin to the next
+                // revolution and take them in angle order from the top.
+                pos -= rev as i64;
+                continue;
+            }
+            deferred.clear();
+            for &(i, target) in pending.iter() {
+                let t = target as i64;
+                if t >= pos {
+                    let wait = SimTime::from_nanos((t - pos) as u64);
+                    now += wait + timing.sector_time;
+                    pos = t + st as i64;
+                    order.push(i);
+                    waits.push(wait);
+                } else {
+                    deferred.push((i, target));
+                }
+            }
+            std::mem::swap(pending, deferred);
         }
     }
-    order
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@ pub const DATA_WORDS: usize = 256;
 pub const HEADER_WORDS: usize = 2;
 
 /// The on-disk contents of one sector.
+///
+/// `#[repr(C)]` fixes the part order (header, label, value) so the typed
+/// views in [`crate::view`] can treat a sector as one contiguous word slab.
+#[repr(C)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sector {
     /// Header words: `[pack_number, disk_address]`.
@@ -54,6 +58,7 @@ impl Sector {
 ///
 /// Read actions fill these from the disk; check actions compare against them
 /// (filling wildcard words); write actions copy them to the disk.
+#[repr(C)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectorBuf {
     /// Header buffer.
@@ -204,6 +209,12 @@ fn run_part(
         Action::Read => mem.copy_from_slice(disk),
         Action::Write => disk.copy_from_slice(mem),
         Action::Check => {
+            // Fast path: an exact match (no wildcards to capture, nothing to
+            // report) is the steady state of §3.3 check-before-write, and a
+            // single slice compare beats the word loop on every hot path.
+            if mem == disk {
+                return Ok(());
+            }
             for (i, (m, d)) in mem.iter_mut().zip(disk.iter()).enumerate() {
                 if *m == 0 {
                     *m = *d; // wildcard: pattern-match and capture

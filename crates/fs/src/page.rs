@@ -14,7 +14,7 @@
 //! cost, without weakening the §3.3 discipline.
 
 use alto_disk::{
-    BatchRequest, CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp,
+    pool, BatchRequest, CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp,
     SectorPart, DATA_WORDS,
 };
 
@@ -42,6 +42,22 @@ fn verify_absolutes(da: DiskAddress, fv: Fv, page: u16, got: &Label) -> Result<(
         }
     }
     Ok(())
+}
+
+/// Captures and verifies the label of a checked access in one step: the
+/// absolutes are compared in place through [`alto_disk::LabelView`] (no
+/// decode on the matching path, which is the steady state); a mismatch
+/// falls back to [`verify_absolutes`] so the error is exactly the one the
+/// hardware check would have produced.
+fn verified_label(da: DiskAddress, fv: Fv, page: u16, buf: &SectorBuf) -> Result<Label, FsError> {
+    let intended = fv.check_label(page);
+    let view = buf.label_view();
+    if view.absolutes_match(&intended) {
+        return Ok(view.decode());
+    }
+    let got = view.decode();
+    verify_absolutes(da, fv, page, &got)?;
+    Ok(got)
 }
 
 /// Builds the memory buffer for a checked access to `pn`.
@@ -96,11 +112,10 @@ pub fn complete_with_retry<D: Disk>(
         // this is the single sanctioned clock mutation in the fs crate
         disk.clock().advance(disk.retry_backoff());
         retries += 1;
-        disk.trace().record(
-            disk.clock().now(),
-            "disk.retry.attempt",
-            format!("{op:?} at {da}, retry {retries} of {limit}"),
-        );
+        disk.trace()
+            .record_with(disk.clock().now(), "disk.retry.attempt", || {
+                format!("{op:?} at {da}, retry {retries} of {limit}")
+            });
         match disk.do_op(da, op, buf) {
             Err(DiskError::Transient { part: p, .. }) => part = p,
             other => {
@@ -139,8 +154,7 @@ pub fn read_page<D: Disk>(
 ) -> Result<(Label, [u16; DATA_WORDS]), FsError> {
     let mut buf = checked_buf(disk, pn)?;
     retry_op(disk, pn.da, SectorOp::READ, &mut buf)?;
-    let label = buf.decoded_label();
-    verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
+    let label = verified_label(pn.da, pn.fv, pn.page, &buf)?;
     Ok((label, buf.data))
 }
 
@@ -156,9 +170,7 @@ pub fn write_page<D: Disk>(
     let mut buf = checked_buf(disk, pn)?;
     buf.data = *data;
     retry_op(disk, pn.da, SectorOp::WRITE, &mut buf)?;
-    let label = buf.decoded_label();
-    verify_absolutes(pn.da, pn.fv, pn.page, &label)?;
-    Ok(label)
+    verified_label(pn.da, pn.fv, pn.page, &buf)
 }
 
 /// Reads the raw header, label and data of an arbitrary sector with no
@@ -185,19 +197,23 @@ pub type DrainOutcome = (Vec<Result<Label, FsError>>, Vec<PageResult>);
 /// them in rotational order, in about two revolutions instead of one
 /// revolution per sector.
 pub fn read_raw_batch<D: Disk>(disk: &mut D, das: &[DiskAddress]) -> Vec<PageResult> {
-    let mut batch: Vec<BatchRequest> = das
-        .iter()
-        .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed()))
-        .collect();
-    let results = batch_with_retry(disk, &mut batch);
-    results
-        .into_iter()
-        .zip(batch)
+    let mut batch = pool::batch_vec();
+    batch.extend(
+        das.iter()
+            .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed())),
+    );
+    let mut results = batch_with_retry(disk, &mut batch);
+    let out = results
+        .drain(..)
+        .zip(batch.drain(..))
         .map(|(res, req)| {
             res.map_err(FsError::from)
                 .map(|()| (req.buf.decoded_label(), req.buf.data))
         })
-        .collect()
+        .collect();
+    pool::recycle_results(results);
+    pool::recycle_batch(batch);
+    out
 }
 
 /// Reads pages `start.page ..` of one file as a chained batch, *guessing*
@@ -215,27 +231,29 @@ pub fn read_pages_guessed<D: Disk>(
     count: u16,
 ) -> Result<Vec<PageResult>, FsError> {
     let pack = disk.pack_number()?;
-    let mut batch = Vec::with_capacity(count as usize);
+    let mut batch = pool::batch_vec();
     for j in 0..count {
         let da = DiskAddress(start.da.0.wrapping_add(j));
         let mut buf = SectorBuf::with_label(fv.check_label(start.page + j));
         buf.header = [pack, da.0];
         batch.push(BatchRequest::new(da, SectorOp::READ, buf));
     }
-    let results = batch_with_retry(disk, &mut batch);
-    Ok(results
-        .into_iter()
-        .zip(batch)
+    let mut results = batch_with_retry(disk, &mut batch);
+    let out = results
+        .drain(..)
+        .zip(batch.drain(..))
         .enumerate()
         .map(|(j, (res, req))| {
             let da = DiskAddress(start.da.0.wrapping_add(j as u16));
             res.map_err(FsError::from).and_then(|()| {
-                let label = req.buf.decoded_label();
-                verify_absolutes(da, fv, start.page + j as u16, &label)?;
+                let label = verified_label(da, fv, start.page + j as u16, &req.buf)?;
                 Ok((label, req.buf.data))
             })
         })
-        .collect())
+        .collect();
+    pool::recycle_results(results);
+    pool::recycle_batch(batch);
+    Ok(out)
 }
 
 /// Writes full data pages `start.page ..` of one file as a chained batch
@@ -255,7 +273,7 @@ pub fn write_pages_guessed<D: Disk>(
     chunks: &[[u16; DATA_WORDS]],
 ) -> Result<Vec<Result<Label, FsError>>, FsError> {
     let pack = disk.pack_number()?;
-    let mut batch = Vec::with_capacity(chunks.len());
+    let mut batch = pool::batch_vec();
     for (j, chunk) in chunks.iter().enumerate() {
         let da = DiskAddress(start.da.0.wrapping_add(j as u16));
         let mut buf = SectorBuf::with_label(fv.check_label(start.page + j as u16));
@@ -263,20 +281,20 @@ pub fn write_pages_guessed<D: Disk>(
         buf.data = *chunk;
         batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
     }
-    let results = batch_with_retry(disk, &mut batch);
-    Ok(results
-        .into_iter()
-        .zip(batch)
+    let mut results = batch_with_retry(disk, &mut batch);
+    let out = results
+        .drain(..)
+        .zip(batch.drain(..))
         .enumerate()
         .map(|(j, (res, req))| {
             let da = DiskAddress(start.da.0.wrapping_add(j as u16));
-            res.map_err(FsError::from).and_then(|()| {
-                let label = req.buf.decoded_label();
-                verify_absolutes(da, fv, start.page + j as u16, &label)?;
-                Ok(label)
-            })
+            res.map_err(FsError::from)
+                .and_then(|()| verified_label(da, fv, start.page + j as u16, &req.buf))
         })
-        .collect())
+        .collect();
+    pool::recycle_results(results);
+    pool::recycle_batch(batch);
+    Ok(out)
 }
 
 /// Drains a write-behind buffer and refills a readahead buffer in one
@@ -300,12 +318,42 @@ pub fn drain_and_prefetch<D: Disk>(
     read_start: Option<PageName>,
     read_count: u16,
 ) -> Result<DrainOutcome, FsError> {
+    let mut write_out = Vec::with_capacity(writes.len());
+    let mut read_out = Vec::with_capacity(read_count as usize);
+    drain_and_prefetch_into(
+        disk,
+        fv,
+        writes,
+        read_start,
+        read_count,
+        &mut write_out,
+        &mut read_out,
+    )?;
+    Ok((write_out, read_out))
+}
+
+/// [`drain_and_prefetch`] with caller-provided output storage: clears and
+/// fills `write_out` and `read_out` instead of allocating them, so a stream
+/// that drains every few pages can reuse the same vectors forever (the
+/// request batch itself comes from [`pool`]). Same semantics otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn drain_and_prefetch_into<D: Disk>(
+    disk: &mut D,
+    fv: Fv,
+    writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
+    read_start: Option<PageName>,
+    read_count: u16,
+    write_out: &mut Vec<Result<Label, FsError>>,
+    read_out: &mut Vec<PageResult>,
+) -> Result<(), FsError> {
+    write_out.clear();
+    read_out.clear();
     let pack = disk.pack_number()?;
     let reads = match read_start {
         Some(_) => read_count,
         None => 0,
     };
-    let mut batch = Vec::with_capacity(writes.len() + reads as usize);
+    let mut batch = pool::batch_vec();
     for &(page, da, ref data) in writes {
         let mut buf = SectorBuf::with_label(fv.check_label(page));
         buf.header = [pack, da.0];
@@ -334,16 +382,13 @@ pub fn drain_and_prefetch<D: Disk>(
             *res = complete_with_retry(disk, req.da, req.op, &mut req.buf, e);
         }
     }
-    let mut write_out = Vec::with_capacity(writes.len());
-    let mut read_out = Vec::with_capacity(reads as usize);
-    for (k, (res, req)) in results.into_iter().zip(batch).enumerate() {
+    for (k, (res, req)) in results.drain(..).zip(batch.drain(..)).enumerate() {
         if k < writes.len() {
             let (page, da, _) = writes[k];
-            write_out.push(res.map_err(FsError::from).and_then(|()| {
-                let label = req.buf.decoded_label();
-                verify_absolutes(da, fv, page, &label)?;
-                Ok(label)
-            }));
+            write_out.push(
+                res.map_err(FsError::from)
+                    .and_then(|()| verified_label(da, fv, page, &req.buf)),
+            );
         } else {
             // lint: allow(diskerror-unwrap) — Option, not a DiskError: the
             // read half of the batch is built from `read_start` above, so a
@@ -352,13 +397,14 @@ pub fn drain_and_prefetch<D: Disk>(
             let j = (k - writes.len()) as u16;
             let da = DiskAddress(start.da.0.wrapping_add(j));
             read_out.push(res.map_err(FsError::from).and_then(|()| {
-                let label = req.buf.decoded_label();
-                verify_absolutes(da, fv, start.page + j, &label)?;
+                let label = verified_label(da, fv, start.page + j, &req.buf)?;
                 Ok((label, req.buf.data))
             }));
         }
     }
-    Ok((write_out, read_out))
+    pool::recycle_results(results);
+    pool::recycle_batch(batch);
+    Ok(())
 }
 
 /// Allocates the free sector `da` as the page with `label`, writing `data`.

@@ -6,10 +6,10 @@
 //! clock, so a disk drive and a CPU constructed from clones of one clock
 //! charge their costs to a single timeline.
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A point in (or span of) simulated time, in nanoseconds.
 ///
@@ -113,7 +113,9 @@ impl fmt::Display for SimTime {
 ///
 /// All simulated devices hold a clone of the same `SimClock` and call
 /// [`SimClock::advance`] as they consume time. Tests and benchmarks read the
-/// clock before and after an operation to obtain its simulated cost.
+/// clock before and after an operation to obtain its simulated cost. The
+/// handle is `Send`/`Sync`, so overlapped device timelines (a dual drive's
+/// two arms) may run on worker threads, each against its own private clock.
 ///
 /// # Examples
 ///
@@ -127,7 +129,7 @@ impl fmt::Display for SimTime {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    now: Rc<Cell<u64>>,
+    now: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -138,12 +140,12 @@ impl SimClock {
 
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
-        SimTime(self.now.get())
+        SimTime(self.now.load(Ordering::Relaxed))
     }
 
     /// Advances the clock by `dt`.
     pub fn advance(&self, dt: SimTime) {
-        self.now.set(self.now.get() + dt.0);
+        self.now.fetch_add(dt.0, Ordering::Relaxed);
     }
 
     /// Measures the simulated time consumed by `f`.
@@ -164,7 +166,7 @@ impl SimClock {
     /// device observes an intermediate instant. Ordinary devices should
     /// only ever [`SimClock::advance`].
     pub fn set(&self, t: SimTime) {
-        self.now.set(t.as_nanos());
+        self.now.store(t.as_nanos(), Ordering::Relaxed);
     }
 }
 

@@ -4,12 +4,14 @@
 //! allocation retry) into a shared [`Trace`]. Tests use the trace to assert
 //! on *mechanism*, not just outcome — e.g. that freeing a page cost exactly
 //! one extra disk revolution, or that a hint miss fell back to a directory
-//! lookup. Tracing is cheap and always on; the buffer is bounded.
+//! lookup. Tracing is on by default and the buffer is bounded; wall-clock
+//! benchmarks may gate it off with [`Trace::set_enabled`] so the hot paths
+//! skip event formatting entirely (see [`Trace::record_with`]).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::clock::SimTime;
 
@@ -34,12 +36,28 @@ const DEFAULT_CAPACITY: usize = 64 * 1024;
 
 /// A shared, bounded event log.
 ///
-/// Clones share the same buffer. When the buffer fills, the oldest events are
-/// dropped (tests that care run on fresh traces, and counters are never
-/// dropped).
+/// Clones share the same buffer (and the same enabled gate). When the buffer
+/// fills, the oldest events are dropped (tests that care run on fresh traces,
+/// and counters are never dropped). The handle is `Send`/`Sync`, so overlapped
+/// device timelines may record from worker threads.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    inner: Rc<RefCell<Inner>>,
+    shared: Arc<Shared>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    inner: Mutex<Inner>,
+    enabled: AtomicBool,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            inner: Mutex::new(Inner::default()),
+            enabled: AtomicBool::new(true),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -49,55 +67,108 @@ struct Inner {
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace (enabled).
     pub fn new() -> Self {
         Trace::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned trace buffer cannot corrupt simulation state (it holds
+        // only diagnostics), so recording continues past a panicked peer.
+        match self.shared.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// True when recording is on (the default).
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off for every clone of this trace.
+    ///
+    /// While off, [`Trace::record`] and [`Trace::record_with`] are no-ops
+    /// that skip detail formatting — the wall-clock benchmark's ablation
+    /// switch. Buffered events are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.shared.enabled.store(on, Ordering::Relaxed);
+    }
+
     /// Records an event.
     pub fn record(&self, at: SimTime, tag: &'static str, detail: impl Into<String>) {
-        let mut inner = self.inner.borrow_mut();
+        if !self.enabled() {
+            return;
+        }
+        self.push(at, tag, detail.into());
+    }
+
+    /// Records an event, building the detail string lazily.
+    ///
+    /// Hot paths use this so a disabled trace costs one relaxed atomic load
+    /// — no `format!`, no allocation.
+    pub fn record_with(&self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(at, tag, detail());
+    }
+
+    fn push(&self, at: SimTime, tag: &'static str, detail: String) {
+        let mut inner = self.lock();
         if inner.events.len() >= DEFAULT_CAPACITY {
             inner.events.pop_front();
             inner.dropped += 1;
         }
-        inner.events.push_back(TraceEvent {
-            at,
-            tag,
-            detail: detail.into(),
-        });
+        inner.events.push_back(TraceEvent { at, tag, detail });
+    }
+
+    /// Appends every event of `other` (oldest first) to this trace,
+    /// draining `other`.
+    ///
+    /// A dual-drive adapter runs each unit's share of a batch on its own
+    /// private trace and merges them back in unit order, so the shared log
+    /// stays deterministic regardless of thread interleaving.
+    pub fn absorb(&self, other: &Trace) {
+        let mut moved = {
+            let mut src = other.lock();
+            src.dropped = 0;
+            std::mem::take(&mut src.events)
+        };
+        let mut inner = self.lock();
+        for ev in moved.drain(..) {
+            if inner.events.len() >= DEFAULT_CAPACITY {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+            inner.events.push_back(ev);
+        }
     }
 
     /// Number of recorded events with the given tag.
     pub fn count(&self, tag: &str) -> usize {
-        self.inner
-            .borrow()
-            .events
-            .iter()
-            .filter(|e| e.tag == tag)
-            .count()
+        self.lock().events.iter().filter(|e| e.tag == tag).count()
     }
 
     /// Total number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.borrow().events.len()
+        self.lock().events.len()
     }
 
     /// True if no events have been recorded (and none dropped).
     pub fn is_empty(&self) -> bool {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         inner.events.is_empty() && inner.dropped == 0
     }
 
     /// A snapshot of all buffered events (oldest first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.iter().cloned().collect()
+        self.lock().events.iter().cloned().collect()
     }
 
     /// Events matching `tag`, oldest first.
     pub fn events_tagged(&self, tag: &str) -> Vec<TraceEvent> {
-        self.inner
-            .borrow()
+        self.lock()
             .events
             .iter()
             .filter(|e| e.tag == tag)
@@ -107,14 +178,14 @@ impl Trace {
 
     /// Discards all buffered events and resets the dropped counter.
     pub fn clear(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.events.clear();
         inner.dropped = 0;
     }
 
     /// Number of events lost to the capacity bound since the last clear.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.lock().dropped
     }
 }
 
@@ -141,6 +212,43 @@ mod tests {
         let t2 = t.clone();
         t2.record(SimTime::ZERO, "x", "from clone");
         assert_eq!(t.count("x"), 1);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::new();
+        assert!(t.enabled());
+        t.set_enabled(false);
+        let t2 = t.clone();
+        assert!(!t2.enabled());
+        t.record(SimTime::ZERO, "a", "eager");
+        t2.record_with(SimTime::ZERO, "b", || panic!("must not format"));
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record_with(SimTime::ZERO, "c", || "lazy".to_string());
+        assert_eq!(t.count("c"), 1);
+    }
+
+    #[test]
+    fn absorb_moves_events_in_order() {
+        let shared = Trace::new();
+        shared.record(SimTime::from_micros(1), "s", "first");
+        let unit = Trace::new();
+        unit.record(SimTime::from_micros(2), "u", "second");
+        unit.record(SimTime::from_micros(3), "u", "third");
+        shared.absorb(&unit);
+        assert!(unit.is_empty());
+        let evs = shared.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].detail, "first");
+        assert_eq!(evs[1].detail, "second");
+        assert_eq!(evs[2].detail, "third");
+    }
+
+    #[test]
+    fn trace_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
     }
 
     #[test]

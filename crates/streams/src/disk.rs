@@ -99,6 +99,14 @@ pub struct DiskByteStream<D: Disk> {
     /// The ablation switch: off restores one synchronous flush per page
     /// crossing.
     write_behind_enabled: bool,
+    /// Empty-but-warm double buffer for [`Self::drain`]: the parked pages
+    /// swap into it for the duration of a drain, so the steady state never
+    /// reallocates either vector.
+    drain_scratch: Vec<(u16, DiskAddress, [u16; DATA_WORDS])>,
+    /// Reusable output storage for `drain_and_prefetch_into`.
+    write_results: Vec<Result<Label, FsError>>,
+    /// Reusable output storage for the prefetch half of a refill batch.
+    read_results: Vec<alto_fs::page::PageResult>,
     _disk: std::marker::PhantomData<D>,
 }
 
@@ -137,6 +145,9 @@ impl<D: Disk> DiskByteStream<D> {
             medium_epoch,
             write_behind: Vec::new(),
             write_behind_enabled: true,
+            drain_scratch: Vec::new(),
+            write_results: Vec::new(),
+            read_results: Vec::new(),
             _disk: std::marker::PhantomData,
         })
     }
@@ -243,25 +254,39 @@ impl<D: Disk> DiskByteStream<D> {
         if self.write_behind.is_empty() {
             return Ok(());
         }
-        let writes = std::mem::take(&mut self.write_behind);
-        let (results, _) = match alto_fs::page::drain_and_prefetch(
+        // Swap the parked pages into the warm double buffer (and the warm
+        // output vectors out of self) so a steady-state drain reuses the
+        // same storage every time.
+        let mut writes = std::mem::replace(
+            &mut self.write_behind,
+            std::mem::take(&mut self.drain_scratch),
+        );
+        let mut write_results = std::mem::take(&mut self.write_results);
+        let mut read_results = std::mem::take(&mut self.read_results);
+        let outcome = alto_fs::page::drain_and_prefetch_into(
             fs.disk_mut(),
             self.file.fv,
             &writes,
             None,
             0,
-        ) {
-            Ok(out) => out,
-            Err(e) => {
-                // Pre-flight failure: the batch never reached the disk,
-                // so every parked page is still owed.
-                self.write_behind = writes;
-                return Err(e.into());
-            }
-        };
+            &mut write_results,
+            &mut read_results,
+        );
+        self.read_results = read_results;
+        if let Err(e) = outcome {
+            // Pre-flight failure: the batch never reached the disk,
+            // so every parked page is still owed.
+            self.drain_scratch = std::mem::replace(&mut self.write_behind, writes);
+            self.write_results = write_results;
+            return Err(e.into());
+        }
         fs.disk_mut().note_write_behind(writes.len() as u64);
         self.medium_epoch = fs.disk().write_epoch();
-        self.repark_failed(fs, &writes, results)
+        let result = self.repark_failed(fs, &writes, &mut write_results);
+        writes.clear();
+        self.drain_scratch = writes;
+        self.write_results = write_results;
+        result
     }
 
     /// Puts any page whose drain write failed back in the write-behind
@@ -273,10 +298,10 @@ impl<D: Disk> DiskByteStream<D> {
         &mut self,
         fs: &mut FileSystem<D>,
         writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
-        results: Vec<Result<Label, FsError>>,
+        results: &mut Vec<Result<Label, FsError>>,
     ) -> Result<(), StreamError> {
         let mut first_err = None;
-        for (w, r) in writes.iter().zip(results) {
+        for (w, r) in writes.iter().zip(results.drain(..)) {
             match r {
                 Ok(_) => fs.disk_mut().note_unpark(w.1, w.0, UnparkOutcome::Drained),
                 Err(e) => {
@@ -384,31 +409,39 @@ impl<D: Disk> DiskByteStream<D> {
         }
         self.readahead.clear();
         if self.consecutive_hint {
-            let writes = std::mem::take(&mut self.write_behind);
-            match alto_fs::page::drain_and_prefetch(
+            let mut writes = std::mem::replace(
+                &mut self.write_behind,
+                std::mem::take(&mut self.drain_scratch),
+            );
+            let mut write_results = std::mem::take(&mut self.write_results);
+            let mut entries = std::mem::take(&mut self.read_results);
+            match alto_fs::page::drain_and_prefetch_into(
                 fs.disk_mut(),
                 self.file.fv,
                 &writes,
                 Some(PageName::new(self.file.fv, page, da)),
                 READAHEAD_PAGES,
+                &mut write_results,
+                &mut entries,
             ) {
-                Ok((write_results, mut entries)) => {
+                Ok(()) => {
                     if !writes.is_empty() {
                         fs.disk_mut().note_write_behind(writes.len() as u64);
                     }
                     self.medium_epoch = fs.disk().write_epoch();
-                    self.repark_failed(fs, &writes, write_results)?;
-                    let first = if entries.is_empty() {
-                        None
-                    } else {
-                        Some(entries.remove(0))
-                    };
+                    let reparked = self.repark_failed(fs, &writes, &mut write_results);
+                    writes.clear();
+                    self.drain_scratch = writes;
+                    self.write_results = write_results;
+                    reparked?;
+                    let mut drained = entries.drain(..);
+                    let first = drained.next();
                     if let Some(Ok((label, buffer))) = first {
                         // Keep followers only while the verified links
                         // confirm the guessed consecutive run.
                         let mut expect_next = label.next;
                         let mut prefetched = 0u64;
-                        for (j, entry) in entries.into_iter().enumerate() {
+                        for (j, entry) in drained.enumerate() {
                             let Ok((l, d)) = entry else { break };
                             let guess = DiskAddress(da.0.wrapping_add(j as u16 + 1));
                             if expect_next != guess {
@@ -418,6 +451,7 @@ impl<D: Disk> DiskByteStream<D> {
                             prefetched += 1;
                             expect_next = l.next;
                         }
+                        self.read_results = entries;
                         if prefetched > 0 {
                             fs.disk_mut().note_readahead(0, prefetched);
                         }
@@ -428,6 +462,8 @@ impl<D: Disk> DiskByteStream<D> {
                         self.offset = 0;
                         return Ok(());
                     }
+                    drop(drained);
+                    self.read_results = entries;
                     // Entry 0 failed: the hint chain is authoritative
                     // there, so let the ordinary path (with its hint
                     // recovery) handle it. The drain already happened.
@@ -435,7 +471,9 @@ impl<D: Disk> DiskByteStream<D> {
                 Err(e) => {
                     // The batch never reached the disk (pre-flight error):
                     // nothing landed, so the parked pages are still owed.
-                    self.write_behind = writes;
+                    self.drain_scratch = std::mem::replace(&mut self.write_behind, writes);
+                    self.write_results = write_results;
+                    self.read_results = entries;
                     return Err(e.into());
                 }
             }
