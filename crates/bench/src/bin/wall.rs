@@ -27,10 +27,12 @@ use std::time::Instant;
 
 use alto_bench::fresh_fs;
 use alto_disk::{
-    BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, DualDrive, SectorBuf, SectorOp,
+    BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, DriveArray, DualDrive, Placement,
+    SectorBuf, SectorOp,
 };
 use alto_fs::dir;
 use alto_fs::scavenge::Scavenger;
+use alto_fs::FileSystem;
 use alto_sim::{SimClock, SplitMix64, Trace};
 use alto_streams::{DiskByteStream, Stream};
 
@@ -381,17 +383,179 @@ fn dual_batch(cfg: Config, min_wall_ms: u64) -> Measurement {
     })
 }
 
-fn run_config(cfg: Config, min_wall_ms: u64) -> Vec<Measurement> {
-    vec![
-        seq_read(cfg, min_wall_ms),
-        seq_write(cfg, min_wall_ms),
-        stream_read(cfg, min_wall_ms),
-        stream_write(cfg, min_wall_ms),
-        random_batch(cfg, min_wall_ms),
-        scavenge(cfg, min_wall_ms),
-        campaign(cfg, min_wall_ms),
-        dual_batch(cfg, min_wall_ms),
-    ]
+/// Arm counts measured by the drive-array workloads. `k = 1` is the
+/// single-arm control every K-scaling ratio in `docs/PERFORMANCE.md` is
+/// quoted against.
+const ARRAY_KS: [usize; 4] = [1, 2, 4, 8];
+
+/// Requests per array batch in `array_random` — large enough that every
+/// arm of the widest array still receives a schedulable share.
+const ARRAY_RANDOM_BATCH: usize = 256;
+
+fn array_workload_name(shape: &str, k: usize) -> &'static str {
+    match (shape, k) {
+        ("seq", 1) => "array_seq_k1",
+        ("seq", 2) => "array_seq_k2",
+        ("seq", 4) => "array_seq_k4",
+        ("seq", 8) => "array_seq_k8",
+        ("random", 1) => "array_random_k1",
+        ("random", 2) => "array_random_k2",
+        ("random", 4) => "array_random_k4",
+        ("random", 8) => "array_random_k8",
+        ("scavenge", 1) => "array_scavenge_k1",
+        ("scavenge", 2) => "array_scavenge_k2",
+        ("scavenge", 4) => "array_scavenge_k4",
+        ("scavenge", 8) => "array_scavenge_k8",
+        _ => unreachable!("unmeasured array workload shape"),
+    }
+}
+
+/// Chained sequential read of [`SEQ_BATCH`] consecutive *global* sectors
+/// through a K-arm [`DriveArray`] under hash placement: consecutive
+/// addresses interleave across all arms, so one sequential chain becomes K
+/// overlapped per-arm chains and the batch elapses in max-of-arms
+/// simulated time. `k = 1` degenerates to a single drive — the control the
+/// K× simulated-time ratios are measured against.
+fn array_seq(cfg: Config, k: usize, min_wall_ms: u64) -> Measurement {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let mut arr = DriveArray::with_arms(
+        k,
+        Placement::Hash,
+        clock.clone(),
+        trace.clone(),
+        DiskModel::Diablo31,
+    );
+    apply_config(cfg, &trace);
+    arr.set_threading_enabled(cfg.threads);
+    let mut batch: Vec<BatchRequest> = (0..SEQ_BATCH)
+        .map(|i| BatchRequest::new(DiskAddress(i), SectorOp::READ_ALL, SectorBuf::zeroed()))
+        .collect();
+    measure(array_workload_name("seq", k), &clock, min_wall_ms, || {
+        let before = arr.io_stats().ops;
+        let results = arr.do_batch(&mut batch);
+        for r in &results {
+            assert!(r.is_ok());
+        }
+        alto_disk::pool::recycle_results(results);
+        trace.clear();
+        arr.io_stats().ops - before
+    })
+}
+
+/// Random [`ARRAY_RANDOM_BATCH`]-request read batches over the whole K-arm
+/// global address space (hash placement). Random addresses scatter across
+/// the arms on their own; the scheduler sorts each arm's share and the
+/// timelines overlap.
+fn array_random(cfg: Config, k: usize, min_wall_ms: u64) -> Measurement {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let mut arr = DriveArray::with_arms(
+        k,
+        Placement::Hash,
+        clock.clone(),
+        trace.clone(),
+        DiskModel::Diablo31,
+    );
+    apply_config(cfg, &trace);
+    arr.set_threading_enabled(cfg.threads);
+    let total = arr.geometry().expect("geometry").sector_count() as u64;
+    let mut rng = SplitMix64::new(0xA44A1);
+    measure(
+        array_workload_name("random", k),
+        &clock,
+        min_wall_ms,
+        || {
+            let before = arr.io_stats().ops;
+            let mut batch: Vec<BatchRequest> = (0..ARRAY_RANDOM_BATCH)
+                .map(|_| {
+                    let da = DiskAddress((rng.next_u64() % total) as u16);
+                    BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed())
+                })
+                .collect();
+            let results = arr.do_batch(&mut batch);
+            for r in &results {
+                assert!(r.is_ok());
+            }
+            alto_disk::pool::recycle_results(results);
+            trace.clear();
+            arr.io_stats().ops - before
+        },
+    )
+}
+
+/// A full scavenger sweep over a populated K-pack array (range placement,
+/// the file-system layout): phase 1 and phase 3 read every pack's sectors
+/// in interleaved per-arm batches, so the K sweeps ride overlapped
+/// timelines.
+fn array_scavenge(cfg: Config, k: usize, min_wall_ms: u64) -> Measurement {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let mut arr = DriveArray::with_arms(
+        k,
+        Placement::Range,
+        clock.clone(),
+        trace.clone(),
+        DiskModel::Diablo31,
+    );
+    apply_config(cfg, &trace);
+    arr.set_threading_enabled(cfg.threads);
+    let mut fs = FileSystem::format(arr).expect("format");
+    let root = fs.root_dir();
+    for i in 0..10 {
+        let f = dir::create_named_file(&mut fs, root, &format!("a{i}.dat")).expect("create");
+        fs.write_file(f, &vec![i as u8; 40 * 512]).expect("write");
+    }
+    measure(
+        array_workload_name("scavenge", k),
+        &clock,
+        min_wall_ms,
+        || {
+            let before = fs.disk().io_stats().ops;
+            let report = Scavenger::run(&mut fs).expect("scavenge");
+            std::hint::black_box(&report);
+            trace.clear();
+            fs.disk().io_stats().ops - before
+        },
+    )
+}
+
+/// A flat workload: one measurement per configuration.
+type FlatWorkload = fn(Config, u64) -> Measurement;
+/// An array workload: one measurement per (configuration, arm count).
+type ArrayWorkload = fn(Config, usize, u64) -> Measurement;
+
+fn run_config(cfg: Config, min_wall_ms: u64, only: Option<&str>) -> Vec<Measurement> {
+    let keep = |name: &str| only.is_none_or(|pat| name.contains(pat));
+    let flat: [(&str, FlatWorkload); 8] = [
+        ("seq_read", seq_read),
+        ("seq_write", seq_write),
+        ("stream_read", stream_read),
+        ("stream_write", stream_write),
+        ("random_batch", random_batch),
+        ("scavenge", scavenge),
+        ("campaign", campaign),
+        ("dual_batch", dual_batch),
+    ];
+    let mut rows = Vec::new();
+    for (name, f) in flat {
+        if keep(name) {
+            rows.push(f(cfg, min_wall_ms));
+        }
+    }
+    let arrays: [(&str, ArrayWorkload); 3] = [
+        ("seq", array_seq),
+        ("random", array_random),
+        ("scavenge", array_scavenge),
+    ];
+    for (shape, f) in arrays {
+        for k in ARRAY_KS {
+            if keep(array_workload_name(shape, k)) {
+                rows.push(f(cfg, k, min_wall_ms));
+            }
+        }
+    }
+    rows
 }
 
 fn print_point(cfg: &Config, rows: &[Measurement]) {
@@ -443,6 +607,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut which = "both".to_string();
     let mut min_wall_ms = 300u64;
+    let mut only: Option<String> = None;
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
         match a.as_str() {
@@ -458,8 +623,11 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(min_wall_ms);
             }
+            "--only" => {
+                only = raw.next();
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: wall [--json PATH] [--config seed|optimized|both] [--ms N]");
+                eprintln!("unknown argument {other}; usage: wall [--json PATH] [--config seed|optimized|both] [--ms N] [--only SUBSTR]");
                 std::process::exit(2);
             }
         }
@@ -471,7 +639,11 @@ fn main() {
     };
     let mut measured: Vec<(Config, Vec<Measurement>)> = Vec::new();
     for cfg in &configs {
-        let rows = run_config(*cfg, min_wall_ms);
+        // `--only SUBSTR` runs just the matching workloads — for quick A/B
+        // sampling of one shape on a noisy host. Workloads are mutually
+        // independent (each builds its own drive and file system), so
+        // skipping the rest changes nothing about the ones measured.
+        let rows = run_config(*cfg, min_wall_ms, only.as_deref());
         print_point(cfg, &rows);
         measured.push((*cfg, rows));
     }
@@ -485,6 +657,26 @@ fn main() {
                 s.ops_per_sec(),
                 o.ops_per_sec()
             );
+        }
+    }
+    // Simulated-time K-scaling of the drive-array workloads, from the last
+    // measured configuration: sim-ns per sector op, single-arm control
+    // divided by the K-arm figure.
+    if let Some((_, rows)) = measured.last() {
+        let sim_per_op = |name: &str| {
+            rows.iter()
+                .find(|m| m.workload == name)
+                .map(|m| m.sim_ns as f64 / m.ops.max(1) as f64)
+        };
+        println!("\n== drive-array simulated-time scaling (vs one arm)");
+        for shape in ["seq", "random", "scavenge"] {
+            let base = sim_per_op(array_workload_name(shape, 1)).unwrap_or(f64::NAN);
+            let mut line = format!("array_{shape:<9}");
+            for k in ARRAY_KS {
+                let v = sim_per_op(array_workload_name(shape, k)).unwrap_or(f64::NAN);
+                line.push_str(&format!("  k{k}: {:>5.2}x", base / v));
+            }
+            println!("{line}");
         }
     }
     let points: Vec<String> = measured

@@ -10,8 +10,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use alto_disk::{pool, BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, SectorBuf, SectorOp};
+use alto_disk::{
+    pool, BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, SectorBuf, SectorOp, WriteSource,
+};
+use alto_fs::dir;
 use alto_sim::{SimClock, Trace};
+use alto_streams::{DiskByteStream, Stream};
 
 // The one other place in the workspace that opts out of the `unsafe_code`
 // deny, for the same reason as the wall bench's counter: the impl forwards
@@ -128,6 +132,94 @@ fn pooled_steady_state_paths_allocate_nothing() {
         "steady-state zero-copy batch reads allocated"
     );
     std::hint::black_box(checksum);
+
+    // Zero-copy batch writes: borrowed data words, in-place label checks,
+    // a visitor that reads the captured label back.
+    let data = [0u16; alto_disk::DATA_WORDS];
+    for _ in 0..4 {
+        pool::recycle_results(drive.do_batch_write(
+            &das,
+            |_| WriteSource {
+                header: [0; 2],
+                label: [0; 7],
+                data: &data,
+            },
+            |_, _| {},
+        ));
+    }
+    let before = allocs();
+    for _ in 0..ROUNDS {
+        let results = drive.do_batch_write(
+            &das,
+            |_| WriteSource {
+                header: [0; 2],
+                label: [0; 7],
+                data: &data,
+            },
+            |_, view| {
+                checksum ^= view.label().words()[0];
+            },
+        );
+        assert!(results.iter().all(Result::is_ok));
+        pool::recycle_results(results);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state zero-copy batch writes allocated"
+    );
+    std::hint::black_box(checksum);
+
+    // Stream steady state: sequential overwrite and sequential read of a
+    // 16-page file through a held-open stream, cursor rewound between
+    // rounds. This covers the whole stack above the drive — write-behind
+    // parks and drains (the zero-copy write path), readahead refills, label
+    // verification — plus the stream-side buffer pool. Opening a stream is
+    // excluded: the leader cache hands back an owned copy of the leader
+    // (its name is a `String`), which is a per-open cost, not a per-page
+    // one.
+    let mut fs = alto_bench::fresh_fs(DiskModel::Diablo31);
+    fs.disk().trace().set_enabled(false);
+    let root = fs.root_dir();
+    let f = dir::create_named_file(&mut fs, root, "steady.dat").expect("create");
+    let bytes = vec![0x5Au8; 16 * 512];
+    fs.write_file(f, &bytes).expect("write");
+    let mut back = vec![0u8; 16 * 512];
+
+    // The rewind between rounds is excluded too: seeking backward re-opens
+    // the leader, and after a write batch the epoch-gated leader cache
+    // rightly re-reads and re-installs it (decoding the name). Only the
+    // transfer windows themselves are pinned.
+    let mut s = DiskByteStream::open(&mut fs, f).expect("open");
+    for _ in 0..4 {
+        s.write_bytes(&mut fs, &bytes).expect("warm write");
+        s.set_position(&mut fs, 0).expect("warm rewind");
+    }
+    let mut spent = 0;
+    for _ in 0..ROUNDS {
+        let before = allocs();
+        s.write_bytes(&mut fs, &bytes).expect("stream write");
+        spent += allocs() - before;
+        s.set_position(&mut fs, 0).expect("rewind");
+    }
+    assert_eq!(spent, 0, "steady-state stream writes allocated");
+
+    for _ in 0..4 {
+        let n = s.read_bytes(&mut fs, &mut back).expect("warm read");
+        assert_eq!(n, bytes.len());
+        s.set_position(&mut fs, 0).expect("warm rewind");
+    }
+    let mut spent = 0;
+    for _ in 0..ROUNDS {
+        let before = allocs();
+        let n = s.read_bytes(&mut fs, &mut back).expect("stream read");
+        assert_eq!(n, bytes.len());
+        spent += allocs() - before;
+        s.set_position(&mut fs, 0).expect("rewind");
+    }
+    assert_eq!(spent, 0, "steady-state stream reads allocated");
+    s.close(&mut fs).expect("close");
+    drop(s);
 
     // The ablation switch really is the thing being measured: with pooling
     // off, the same loop must allocate (otherwise the bench's allocs/op

@@ -154,6 +154,18 @@ impl<D: Disk> Disk for UncheckedDisk<D> {
     // note_park / note_unpark / set_audit_enabled deliberately NOT
     // forwarded: the inner auditor is off for the lifetime of the wrapper.
 
+    fn arm_count(&self) -> usize {
+        self.inner.arm_count()
+    }
+
+    fn arm_of(&self, da: DiskAddress) -> usize {
+        self.inner.arm_of(da)
+    }
+
+    fn arm_origin(&self, arm: usize) -> Option<DiskAddress> {
+        self.inner.arm_origin(arm)
+    }
+
     fn clock(&self) -> &SimClock {
         self.inner.clock()
     }
@@ -261,6 +273,18 @@ impl<D: Disk> Disk for UnscheduledDisk<D> {
 
     fn audit_violations(&self) -> u64 {
         self.inner.audit_violations()
+    }
+
+    fn arm_count(&self) -> usize {
+        self.inner.arm_count()
+    }
+
+    fn arm_of(&self, da: DiskAddress) -> usize {
+        self.inner.arm_of(da)
+    }
+
+    fn arm_origin(&self, arm: usize) -> Option<DiskAddress> {
+        self.inner.arm_origin(arm)
     }
 
     fn clock(&self) -> &SimClock {

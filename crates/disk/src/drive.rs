@@ -19,9 +19,9 @@ use crate::inject::FaultInjector;
 use crate::pack::DiskPack;
 use crate::pool;
 use crate::sched::{self, BatchRequest};
-use crate::sector::{apply, Action, SectorBuf, SectorOp};
+use crate::sector::{apply, check_part, Action, SectorBuf, SectorOp};
 use crate::timing::TimingModel;
-use crate::view::SectorView;
+use crate::view::{SectorView, WriteSource};
 
 /// The abstract disk object.
 ///
@@ -58,6 +58,50 @@ pub trait Disk {
                 self.do_op(da, op, &mut r.buf)
             })
             .collect()
+    }
+
+    /// Performs a batch of ordinary data writes ([`SectorOp::WRITE`]: header
+    /// and label checked, value written) with borrowed buffers: `source`
+    /// supplies request `i`'s check patterns and a borrow of its data words,
+    /// and `visit` is lent the serviced sector (post-write, so the label a
+    /// passed check captured is exactly what the view shows) at most once
+    /// per request, never for a failed one. The write-side twin of
+    /// [`DiskDrive::do_batch_read`].
+    ///
+    /// The default stages through [`Disk::do_batch`] — bit-identical
+    /// results, timing, stats and traces, just with the 256-word copy in —
+    /// which is also how composite disks ([`crate::DualDrive`],
+    /// [`crate::DriveArray`]) inherit their splitting, header translation
+    /// and overlapped timelines for free. [`DiskDrive`] overrides it with a
+    /// genuinely zero-copy chain.
+    fn do_batch_write<'a, S, V>(
+        &mut self,
+        das: &[DiskAddress],
+        mut source: S,
+        mut visit: V,
+    ) -> Vec<Result<(), DiskError>>
+    where
+        Self: Sized,
+        S: FnMut(usize) -> WriteSource<'a>,
+        V: FnMut(usize, SectorView<'_>),
+    {
+        let mut batch = pool::batch_vec();
+        for (i, &da) in das.iter().enumerate() {
+            let ws = source(i);
+            let mut buf = SectorBuf::zeroed();
+            buf.header = ws.header;
+            buf.label = ws.label;
+            buf.data = *ws.data;
+            batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
+        }
+        let results = self.do_batch(&mut batch);
+        for (i, (req, res)) in batch.iter().zip(results.iter()).enumerate() {
+            if res.is_ok() {
+                visit(i, SectorView::of_buf(&req.buf));
+            }
+        }
+        pool::recycle_batch(batch);
+        results
     }
 
     /// Records that `hits` pages were served from a readahead buffer above
@@ -127,6 +171,29 @@ pub trait Disk {
     /// (zero when no auditor is attached).
     fn audit_violations(&self) -> u64 {
         0
+    }
+
+    /// How many independent arms (head assemblies) serve this disk's
+    /// address space. Single drives have one; composite disks
+    /// (e.g. [`crate::DriveArray`]) report their member count so layers
+    /// above can spread work across arms.
+    fn arm_count(&self) -> usize {
+        1
+    }
+
+    /// Which arm serves `da`. Out-of-range addresses answer arm 0; the
+    /// default — everything on arm 0 — matches a single drive.
+    fn arm_of(&self, _da: DiskAddress) -> usize {
+        0
+    }
+
+    /// A disk address near the start of `arm`'s contiguous span, if this
+    /// disk has per-arm contiguous spans worth steering allocation toward.
+    /// `None` (the default) means the caller should not bias placement —
+    /// either there is one arm, or consecutive addresses already interleave
+    /// across arms.
+    fn arm_origin(&self, _arm: usize) -> Option<DiskAddress> {
+        None
     }
 
     /// The clock this disk charges time to.
@@ -269,6 +336,9 @@ struct BatchScratch {
 struct ViewChainStats {
     ops: u64,
     sectors_read: u64,
+    write_ops: u64,
+    sectors_written: u64,
+    failed_checks: u64,
     seeks: u64,
     seek_time: SimTime,
     rotational_wait: SimTime,
@@ -279,6 +349,9 @@ impl ViewChainStats {
     fn flush_into(self, stats: &mut DriveStats) {
         stats.ops += self.ops;
         stats.sectors_read += self.sectors_read;
+        stats.write_ops += self.write_ops;
+        stats.sectors_written += self.sectors_written;
+        stats.failed_checks += self.failed_checks;
         stats.seeks += self.seeks;
         stats.seek_time += self.seek_time;
         stats.rotational_wait += self.rotational_wait;
@@ -1036,6 +1109,264 @@ impl Disk for DiskDrive {
         results
     }
 
+    /// Chained batch write with borrowed buffers: services every address
+    /// exactly like [`Disk::do_batch`] given [`SectorOp::WRITE`] requests —
+    /// same §4 command chaining and planning, same simulated timing, same
+    /// stats and traces (the parity tests pin all of them) — but the data
+    /// words come straight from `source`'s borrow and the check patterns
+    /// are matched against the platter sector *in place*, so nothing is
+    /// staged through a 265-word buffer. A passed check's captured label is
+    /// bit-identical to the sector's own label (every non-wildcard word
+    /// matched, every wildcard captured the disk word), so lending the
+    /// post-write sector to `visit` shows exactly what the buffered form
+    /// copies out.
+    ///
+    /// When the §3.3 auditor is attached or any fault is armed, each sector
+    /// goes through the buffered `DiskDrive::service` path into private
+    /// scratch instead, so audit observations and fault semantics stay
+    /// identical to `do_batch`'s.
+    fn do_batch_write<'a, S, V>(
+        &mut self,
+        das: &[DiskAddress],
+        mut source: S,
+        mut visit: V,
+    ) -> Vec<Result<(), DiskError>>
+    where
+        S: FnMut(usize) -> WriteSource<'a>,
+        V: FnMut(usize, SectorView<'_>),
+    {
+        let op = SectorOp::WRITE;
+        let mut results = pool::results_vec();
+        results.extend(das.iter().map(|_| Ok(())));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.pending.clear();
+        // Batch form of `precheck`: the op is a constant (`WRITE` always
+        // validates) and the pack lookup is loop-invariant, so per address
+        // only the range check remains.
+        debug_assert!(op.validate().is_ok());
+        match self.pack.as_ref() {
+            None => {
+                results.fill(Err(DiskError::NoPack));
+            }
+            Some(loaded) => {
+                let count = loaded.pack.geometry().sector_count();
+                for (i, &da) in das.iter().enumerate() {
+                    if !da.is_nil() && (da.0 as u32) < count {
+                        scratch.pending.push(i);
+                    } else {
+                        results[i] = Err(DiskError::InvalidAddress(da));
+                    }
+                }
+            }
+        }
+        if scratch.pending.is_empty() {
+            self.scratch = scratch;
+            return results;
+        }
+        let buffered = self.audit.is_some() || !self.injector.is_idle();
+        let loaded = self.pack.as_ref().expect("prechecked: pack is loaded");
+        let geometry = loaded.pack.geometry();
+        let timing = loaded.timing;
+
+        // One command set-up covers the whole chain (§4), and the
+        // halt-and-replan semantics on failure mirror `do_batch`: a failed
+        // check consumes its slot, stops the chain, and the unserved
+        // remainder reschedules from the arm's new position.
+        self.charge_command();
+        self.stats.batches += 1;
+        self.stats.batched_ops += scratch.pending.len() as u64;
+        let pending_len = scratch.pending.len();
+        self.trace.record_with(self.clock.now(), "disk.batch", || {
+            format!("{pending_len} requests")
+        });
+        let writes_before = self.stats.sectors_written;
+        scratch.remaining.clear();
+        scratch.remaining.extend_from_slice(&scratch.pending);
+        let mut scratch_buf = SectorBuf::zeroed();
+        let mut acc = ViewChainStats::default();
+        let mut chained_total = 0u64;
+        let mut first_chain = true;
+        while !scratch.remaining.is_empty() {
+            if !first_chain {
+                self.charge_command();
+            }
+            first_chain = false;
+            if scratch.remaining.len() == das.len() {
+                // Every request survived prechecks and none have been
+                // serviced yet: `remaining` is the identity, skip the gather.
+                geometry.to_chs_batch(das, &mut scratch.chs);
+            } else {
+                scratch.das.clear();
+                scratch
+                    .das
+                    .extend(scratch.remaining.iter().map(|&i| das[i]));
+                geometry.to_chs_batch(&scratch.das, &mut scratch.chs);
+            }
+            sched::plan_into(
+                timing,
+                self.current_cylinder(),
+                self.clock.now(),
+                &scratch.chs,
+                &mut scratch.plan,
+                &mut scratch.order,
+                &mut scratch.waits,
+            );
+            let mut followers = 0u64;
+            let mut halted_at = None;
+            if buffered {
+                for (k, (&j, &wait)) in scratch.order.iter().zip(scratch.waits.iter()).enumerate() {
+                    let i = scratch.remaining[j];
+                    let da = das[i];
+                    let ws = source(i);
+                    scratch_buf.header = ws.header;
+                    scratch_buf.label = ws.label;
+                    scratch_buf.data = *ws.data;
+                    let seeks_before = self.stats.seeks;
+                    let wait_before = self.stats.rotational_wait;
+                    let r = self.service(da, scratch.chs[j], op, Some(wait), &mut scratch_buf);
+                    let chained = k > 0
+                        && self.stats.seeks == seeks_before
+                        && self.stats.rotational_wait == wait_before;
+                    if r.is_ok() {
+                        visit(i, SectorView::of_buf(&scratch_buf));
+                    }
+                    let failed = r.is_err();
+                    results[i] = r;
+                    if chained {
+                        followers += 1;
+                        chained_total += 1;
+                    } else {
+                        self.flush_chain(followers);
+                        followers = 0;
+                    }
+                    if failed {
+                        halted_at = Some(k);
+                        break;
+                    }
+                }
+                self.flush_chain(followers);
+            } else {
+                // The zero-copy arm: `service`'s timeline, stats and trace
+                // events exactly, with the per-sector state split out of
+                // `self` once per chain. The §3.3 discipline runs in place:
+                // header and label patterns are matched against the platter
+                // words (wildcards captured into locals), and only when both
+                // pass do the borrowed data words land on the sector. WRITE
+                // ignores media damage — the value part is never read — so
+                // the only possible failure here is a check mismatch, just
+                // as in `service`.
+                let loaded = self.pack.as_mut().expect("prechecked: pack is loaded");
+                let trace = &self.trace;
+                let sector_time = loaded.timing.sector_time;
+                let mut now = self.clock.now();
+                for (k, (&j, &wait)) in scratch.order.iter().zip(scratch.waits.iter()).enumerate() {
+                    let i = scratch.remaining[j];
+                    let da = das[i];
+                    let chs = scratch.chs[j];
+                    let mut seeked = false;
+                    if chs.cylinder != loaded.cylinder {
+                        seeked = true;
+                        let distance = chs.cylinder.abs_diff(loaded.cylinder);
+                        let t = loaded.timing.seek(distance);
+                        now += t;
+                        acc.seeks += 1;
+                        acc.seek_time += t;
+                        let from = loaded.cylinder;
+                        trace.record_with(now, "disk.seek", || {
+                            format!("cyl {} -> {} ({t})", from, chs.cylinder)
+                        });
+                        loaded.cylinder = chs.cylinder;
+                    }
+                    debug_assert_eq!(
+                        wait,
+                        loaded.timing.rotational_wait(now, chs.sector),
+                        "planned wait diverged from the drive's timeline"
+                    );
+                    now += wait;
+                    acc.rotational_wait += wait;
+                    now += sector_time;
+                    acc.transfer_time += sector_time;
+                    acc.ops += 1;
+                    acc.write_ops += 1;
+                    acc.sectors_written += 1;
+                    let sector = loaded
+                        .pack
+                        .sector_mut(da)
+                        .expect("address validated against geometry");
+                    let ws = source(i);
+                    let mut header = ws.header;
+                    let mut label = ws.label;
+                    let checked = check_part(&sector.header, &mut header, da, SectorPart::Header)
+                        .and_then(|()| {
+                            check_part(&sector.label, &mut label, da, SectorPart::Label)
+                        });
+                    let r = match checked {
+                        Ok(()) => {
+                            sector.data = *ws.data;
+                            trace.record_with(now, "disk.op", || {
+                                format!("{:?} at {da}", SectorOp::WRITE)
+                            });
+                            visit(i, SectorView::new(sector));
+                            Ok(())
+                        }
+                        Err(c) => {
+                            acc.failed_checks += 1;
+                            trace.record_with(now, "disk.check_fail", || c.to_string());
+                            Err(DiskError::Check(c))
+                        }
+                    };
+                    let failed = r.is_err();
+                    results[i] = r;
+                    if k > 0 && !seeked && wait == SimTime::ZERO {
+                        followers += 1;
+                        chained_total += 1;
+                    } else {
+                        if followers >= 1 {
+                            let f = followers;
+                            trace.record_with(now, "disk.chain", || {
+                                format!("{}-sector chained transfer", f + 1)
+                            });
+                        }
+                        followers = 0;
+                    }
+                    if failed {
+                        halted_at = Some(k);
+                        break;
+                    }
+                }
+                if followers >= 1 {
+                    let f = followers;
+                    trace.record_with(now, "disk.chain", || {
+                        format!("{}-sector chained transfer", f + 1)
+                    });
+                }
+                self.clock.set(now);
+            }
+            match halted_at {
+                Some(k) => {
+                    scratch.next_remaining.clear();
+                    scratch
+                        .next_remaining
+                        .extend(scratch.order[k + 1..].iter().map(|&j| scratch.remaining[j]));
+                    std::mem::swap(&mut scratch.remaining, &mut scratch.next_remaining);
+                }
+                None => scratch.remaining.clear(),
+            }
+        }
+        acc.flush_into(&mut self.stats);
+        self.stats.chained_transfers += chained_total;
+        self.trace
+            .record_with(self.clock.now(), "disk.io.batch", || {
+                format!(
+                    "{} serviced (0 read, {} written)",
+                    pending_len,
+                    self.stats.sectors_written - writes_before,
+                )
+            });
+        self.scratch = scratch;
+        results
+    }
+
     fn io_stats(&self) -> DriveStats {
         self.stats
     }
@@ -1056,43 +1387,39 @@ impl Disk for DiskDrive {
         self.stats.retries += retries;
         if recovered {
             self.stats.recovered += 1;
-            self.trace.record(
-                self.clock.now(),
-                "disk.retry.recovered",
-                format!(
-                    "recovered after {retries} retr{}",
-                    if retries == 1 { "y" } else { "ies" }
-                ),
-            );
+            self.trace
+                .record_with(self.clock.now(), "disk.retry.recovered", || {
+                    format!(
+                        "recovered after {retries} retr{}",
+                        if retries == 1 { "y" } else { "ies" }
+                    )
+                });
         } else {
             self.stats.hard_failures += 1;
-            self.trace.record(
-                self.clock.now(),
-                "disk.retry.hard_failure",
-                format!("{retries} retries exhausted, escalating"),
-            );
+            self.trace
+                .record_with(self.clock.now(), "disk.retry.hard_failure", || {
+                    format!("{retries} retries exhausted, escalating")
+                });
         }
     }
 
     fn note_write_behind(&mut self, pages: u64) {
         self.stats.wb_drains += 1;
         self.stats.wb_coalesced += pages;
-        self.trace.record(
-            self.clock.now(),
-            "disk.io.write_behind",
-            format!("{pages}-page coalesced drain"),
-        );
+        self.trace
+            .record_with(self.clock.now(), "disk.io.write_behind", || {
+                format!("{pages}-page coalesced drain")
+            });
     }
 
     fn note_readahead(&mut self, hits: u64, prefetched: u64) {
         self.stats.readahead_hits += hits;
         self.stats.readahead_prefetched += prefetched;
         if hits > 0 {
-            self.trace.record(
-                self.clock.now(),
-                "disk.readahead_hit",
-                format!("{hits} page(s) served from readahead"),
-            );
+            self.trace
+                .record_with(self.clock.now(), "disk.readahead_hit", || {
+                    format!("{hits} page(s) served from readahead")
+                });
         }
     }
 
@@ -1586,5 +1913,217 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(DiskError::InvalidAddress(_))));
         assert!(results[2].is_ok());
+    }
+
+    /// `do_batch_write` must be `do_batch`-with-`WRITE` in every observable
+    /// way except the staging copy: same simulated elapsed time, same stats,
+    /// same results (including mid-batch check failures and the
+    /// halt-and-replan that follows them), same trace, same platter words.
+    #[test]
+    fn batch_write_views_match_buffered_batch_exactly() {
+        let das: Vec<DiskAddress> = (0..300).map(DiskAddress).collect();
+        let datas: Vec<[u16; crate::sector::DATA_WORDS]> = (0..300)
+            .map(|i| [i as u16; crate::sector::DATA_WORDS])
+            .collect();
+        // Two requests carry a label pattern that cannot match the free
+        // label on the platter — a §3.3 check failure mid-chain.
+        let bad_label: [u16; crate::label::LABEL_WORDS] = [5, 0, 0, 0, 0, 0, 0];
+        let label_for = |i: usize| {
+            if i == 70 || i == 200 {
+                bad_label
+            } else {
+                [0; crate::label::LABEL_WORDS]
+            }
+        };
+
+        let mut buffered = drive();
+        buffered.trace().set_enabled(true);
+        let t0 = buffered.clock().now();
+        let mut batch: Vec<BatchRequest> = das
+            .iter()
+            .enumerate()
+            .map(|(i, &da)| {
+                let mut buf = SectorBuf::zeroed();
+                buf.label = label_for(i);
+                buf.data = datas[i];
+                BatchRequest::new(da, SectorOp::WRITE, buf)
+            })
+            .collect();
+        let buffered_results = buffered.do_batch(&mut batch);
+        let buffered_elapsed = buffered.clock().now() - t0;
+
+        let mut viewed = drive();
+        viewed.trace().set_enabled(true);
+        let t0 = viewed.clock().now();
+        let mut seen: Vec<(usize, [u16; 2], [u16; crate::label::LABEL_WORDS], u16)> = Vec::new();
+        let view_results = viewed.do_batch_write(
+            &das,
+            |i| WriteSource {
+                header: [0, 0],
+                label: label_for(i),
+                data: &datas[i],
+            },
+            |i, v| seen.push((i, *v.header(), *v.label().words(), v.data()[0])),
+        );
+        let view_elapsed = viewed.clock().now() - t0;
+
+        assert_eq!(buffered_elapsed, view_elapsed);
+        assert_eq!(buffered_results, view_results);
+        assert_eq!(buffered.stats(), viewed.stats());
+        assert_eq!(buffered.trace().events(), viewed.trace().events());
+        assert!(matches!(view_results[70], Err(DiskError::Check(_))));
+        assert!(matches!(view_results[200], Err(DiskError::Check(_))));
+        // Every successful request was visited exactly once, with the same
+        // words the buffered form captured into its staging buffer.
+        assert_eq!(seen.len(), das.len() - 2);
+        for &(i, header, label, word0) in &seen {
+            assert!(buffered_results[i].is_ok());
+            assert_eq!(header, batch[i].buf.header);
+            assert_eq!(label, batch[i].buf.label);
+            assert_eq!(word0, batch[i].buf.data[0]);
+        }
+        // And the platters agree word for word.
+        for &da in &das {
+            let b = buffered.pack().unwrap().sector(da).unwrap();
+            let v = viewed.pack().unwrap().sector(da).unwrap();
+            assert_eq!(b.header, v.header);
+            assert_eq!(b.label, v.label);
+            assert_eq!(b.data, v.data, "data diverged at {da}");
+        }
+    }
+
+    /// With the auditor attached the view write routes through the buffered
+    /// `service` path — timing and stats must still match `do_batch`, and
+    /// the auditor must observe a §3.3-clean run.
+    #[test]
+    fn batch_write_views_under_audit_match_and_stay_clean() {
+        let das: Vec<DiskAddress> = (0..100).map(DiskAddress).collect();
+        let datas: Vec<[u16; crate::sector::DATA_WORDS]> = (0..100)
+            .map(|i| [i as u16; crate::sector::DATA_WORDS])
+            .collect();
+
+        let mut buffered = drive();
+        buffered.enable_audit();
+        let t0 = buffered.clock().now();
+        let mut batch: Vec<BatchRequest> = das
+            .iter()
+            .enumerate()
+            .map(|(i, &da)| {
+                let mut buf = SectorBuf::zeroed();
+                buf.data = datas[i];
+                BatchRequest::new(da, SectorOp::WRITE, buf)
+            })
+            .collect();
+        buffered.do_batch(&mut batch);
+        let buffered_elapsed = buffered.clock().now() - t0;
+
+        let mut viewed = drive();
+        let auditor = viewed.enable_audit();
+        let t0 = viewed.clock().now();
+        let mut visits = 0usize;
+        let results = viewed.do_batch_write(
+            &das,
+            |i| WriteSource {
+                header: [0, 0],
+                label: [0; crate::label::LABEL_WORDS],
+                data: &datas[i],
+            },
+            |_, v| {
+                std::hint::black_box(v.data()[0]);
+                visits += 1;
+            },
+        );
+        let view_elapsed = viewed.clock().now() - t0;
+
+        assert_eq!(buffered_elapsed, view_elapsed);
+        assert_eq!(buffered.stats(), viewed.stats());
+        assert_eq!(visits, das.len());
+        assert!(results.iter().all(Result::is_ok));
+        assert!(auditor.violations().is_empty());
+    }
+
+    /// An armed fault injector forces the buffered fallback: the injected
+    /// fault's semantics (here a silently dropped write) must land exactly
+    /// as they do on the `do_batch` path.
+    #[test]
+    fn batch_write_views_with_armed_injector_match_buffered() {
+        let das: Vec<DiskAddress> = (0..20).map(DiskAddress).collect();
+        let datas: Vec<[u16; crate::sector::DATA_WORDS]> = (0..20)
+            .map(|i| [i as u16 + 1; crate::sector::DATA_WORDS])
+            .collect();
+
+        let mut buffered = drive();
+        buffered
+            .injector_mut()
+            .arm(DiskAddress(10), crate::inject::FaultKind::DropWrite);
+        let t0 = buffered.clock().now();
+        let mut batch: Vec<BatchRequest> = das
+            .iter()
+            .enumerate()
+            .map(|(i, &da)| {
+                let mut buf = SectorBuf::zeroed();
+                buf.data = datas[i];
+                BatchRequest::new(da, SectorOp::WRITE, buf)
+            })
+            .collect();
+        let buffered_results = buffered.do_batch(&mut batch);
+        let buffered_elapsed = buffered.clock().now() - t0;
+
+        let mut viewed = drive();
+        viewed
+            .injector_mut()
+            .arm(DiskAddress(10), crate::inject::FaultKind::DropWrite);
+        let t0 = viewed.clock().now();
+        let view_results = viewed.do_batch_write(
+            &das,
+            |i| WriteSource {
+                header: [0, 0],
+                label: [0; crate::label::LABEL_WORDS],
+                data: &datas[i],
+            },
+            |_, _| {},
+        );
+        let view_elapsed = viewed.clock().now() - t0;
+
+        assert_eq!(buffered_elapsed, view_elapsed);
+        assert_eq!(buffered_results, view_results);
+        assert_eq!(buffered.stats(), viewed.stats());
+        for &da in &das {
+            let b = buffered.pack().unwrap().sector(da).unwrap();
+            let v = viewed.pack().unwrap().sector(da).unwrap();
+            assert_eq!(b.data, v.data, "data diverged at {da}");
+        }
+        // The dropped write really dropped on both paths: the intended
+        // words never landed.
+        assert_ne!(
+            viewed.pack().unwrap().sector(DiskAddress(10)).unwrap().data,
+            datas[10]
+        );
+        assert_eq!(
+            viewed.pack().unwrap().sector(DiskAddress(11)).unwrap().data,
+            datas[11]
+        );
+    }
+
+    /// Malformed addresses are rejected up front and never written or
+    /// visited, like `do_batch`'s prechecks.
+    #[test]
+    fn batch_write_prechecks_out_of_range_addresses() {
+        let mut d = drive();
+        let das = vec![DiskAddress(0), DiskAddress(u16::MAX), DiskAddress(1)];
+        let data = [9u16; crate::sector::DATA_WORDS];
+        let results = d.do_batch_write(
+            &das,
+            |_| WriteSource {
+                header: [0, 0],
+                label: [0; crate::label::LABEL_WORDS],
+                data: &data,
+            },
+            |i, _| assert_ne!(i, 1),
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DiskError::InvalidAddress(_))));
+        assert!(results[2].is_ok());
+        assert_eq!(d.pack().unwrap().sector(DiskAddress(0)).unwrap().data[0], 9);
     }
 }

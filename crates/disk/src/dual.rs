@@ -3,78 +3,21 @@
 //! "…one or two moving-head disk drives, each of which can store 2.5
 //! megabytes on a single removable pack." The Alto OS treated a two-drive
 //! system as one file system twice the size: the top of the disk-address
-//! space selects the drive. [`DualDrive`] is that adapter — another
-//! implementation of the abstract disk object (§2), built out of two
-//! [`DiskDrive`]s, with no special support needed anywhere above it.
+//! space selects the drive. [`DualDrive`] is that adapter — historically
+//! its own implementation, now a thin shim over a two-arm
+//! [`DriveArray`] with [`Placement::Range`]: addresses `0 .. n` map to
+//! drive 0, `n .. 2n` to drive 1, and batches that span the boundary run
+//! the two shares on overlapped simulated timelines (elapsed = max of the
+//! arms). See [`crate::array`] for the general machinery.
 
 use alto_sim::{SimClock, SimTime, Trace};
 
+use crate::array::{DriveArray, Placement};
 use crate::drive::{Disk, DiskDrive, DriveStats};
 use crate::errors::DiskError;
 use crate::geometry::{DiskAddress, DiskGeometry};
-use crate::pool;
 use crate::sched::BatchRequest;
 use crate::sector::{SectorBuf, SectorOp};
-
-/// Minimum per-unit share before a spanning batch is worth real host
-/// threads: the handoff to the persistent worker costs a few microseconds
-/// of wall time, so small shares keep the serial replay (the simulated
-/// outcome is bit-identical either way — see
-/// [`DualDrive::set_threading_enabled`]).
-const THREAD_MIN_SHARE: usize = 24;
-
-/// The persistent host thread that runs unit 1's share of threaded
-/// spanning batches. Spawning an OS thread per batch would cost more than
-/// most shares take to service, so the worker is spawned once, on the
-/// first threaded batch, and then parks in `recv` between batches. The
-/// unit-1 [`DiskDrive`] is *moved* through the channel for each batch —
-/// shallow (the pack's sectors stay where they are on the heap) and safe:
-/// the drive is back in the adapter before anything else can touch it.
-/// A batch handed to the worker: the moved unit-1 drive and its share.
-type Job = (DiskDrive, Vec<BatchRequest>);
-/// The worker's reply: drive and share back, plus the per-op results.
-type JobReply = (DiskDrive, Vec<BatchRequest>, Vec<Result<(), DiskError>>);
-
-#[derive(Debug)]
-struct Worker {
-    to: Option<std::sync::mpsc::Sender<Job>>,
-    from: std::sync::mpsc::Receiver<JobReply>,
-    handle: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Worker {
-    fn spawn() -> Worker {
-        let (to, job_rx) = std::sync::mpsc::channel::<(DiskDrive, Vec<BatchRequest>)>();
-        let (reply_tx, from) = std::sync::mpsc::channel();
-        let handle = std::thread::Builder::new()
-            .name("alto-dual-worker".to_string())
-            .spawn(move || {
-                while let Ok((mut drive, mut sub)) = job_rx.recv() {
-                    let results = drive.do_batch(&mut sub);
-                    if reply_tx.send((drive, sub, results)).is_err() {
-                        break;
-                    }
-                }
-            })
-            .expect("spawn dual-drive worker");
-        Worker {
-            to: Some(to),
-            from,
-            handle: Some(handle),
-        }
-    }
-}
-
-impl Drop for Worker {
-    fn drop(&mut self) {
-        // Closing the job channel ends the worker's loop; join so the
-        // thread never outlives the adapter.
-        drop(self.to.take());
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
 
 /// Two drives presented as one disk with twice the sectors.
 ///
@@ -90,18 +33,7 @@ impl Drop for Worker {
 /// restores the serialized one-unit-at-a-time execution as an ablation.
 #[derive(Debug)]
 pub struct DualDrive {
-    drives: [DiskDrive; 2],
-    per_drive: u32,
-    overlap: bool,
-    threads: bool,
-    overlap_batches: u64,
-    threaded_batches: u64,
-    overlap_saved: SimTime,
-    /// Per-unit `(original indices, translated requests)` split storage,
-    /// kept across batches so the steady state allocates nothing.
-    scratch: [(Vec<usize>, Vec<BatchRequest>); 2],
-    /// The persistent unit-1 worker thread, spawned on first use.
-    worker: Option<Worker>,
+    array: DriveArray,
 }
 
 impl DualDrive {
@@ -122,15 +54,7 @@ impl DualDrive {
             ));
         }
         Ok(DualDrive {
-            per_drive: g0.sector_count(),
-            drives: [drive0, drive1],
-            overlap: true,
-            threads: true,
-            overlap_batches: 0,
-            threaded_batches: 0,
-            overlap_saved: SimTime::ZERO,
-            scratch: Default::default(),
-            worker: None,
+            array: DriveArray::new(vec![drive0, drive1], Placement::Range)?,
         })
     }
 
@@ -145,23 +69,14 @@ impl DualDrive {
         DualDrive::new(d0, d1).expect("identical fresh packs")
     }
 
-    /// The drive and local address for a global address.
-    fn route(&self, da: DiskAddress) -> (usize, DiskAddress) {
-        if (da.0 as u32) < self.per_drive {
-            (0, da)
-        } else {
-            (1, DiskAddress((da.0 as u32 - self.per_drive) as u16))
-        }
-    }
-
     /// Access to one of the underlying drives (unit 0 or 1).
     pub fn unit(&self, unit: usize) -> &DiskDrive {
-        &self.drives[unit]
+        self.array.arm(unit)
     }
 
     /// Mutable access to one of the underlying drives.
     pub fn unit_mut(&mut self, unit: usize) -> &mut DiskDrive {
-        &mut self.drives[unit]
+        self.array.arm_mut(unit)
     }
 
     /// Enables or disables overlapped execution of batches that span both
@@ -169,49 +84,35 @@ impl DualDrive {
     /// other on the shared timeline — the pre-overlap behaviour, kept
     /// runnable as an ablation like `UnscheduledDisk`.
     pub fn set_overlap_enabled(&mut self, enabled: bool) {
-        self.overlap = enabled;
+        self.array.set_overlap_enabled(enabled);
     }
 
     /// Enables or disables *host threads* for overlapped spanning batches
-    /// (enabled by default). With threads on, each unit's share runs on its
-    /// own OS thread against a private clock and trace, and the join
-    /// restores elapsed = max of the arms — the same simulated time, trace
-    /// contents and results as the serial replay, bit for bit; the only
-    /// difference is wall-clock. Small shares (< `THREAD_MIN_SHARE` per
-    /// unit) always use the serial replay, since thread spawn would cost
-    /// more than it saves.
+    /// (enabled by default). See [`DriveArray::set_threading_enabled`]:
+    /// the simulated outcome is bit-identical either way; only wall-clock
+    /// differs.
     pub fn set_threading_enabled(&mut self, enabled: bool) {
-        self.threads = enabled;
+        self.array.set_threading_enabled(enabled);
     }
 
     /// How many spanning batches actually ran on real threads.
     pub fn threaded_batches(&self) -> u64 {
-        self.threaded_batches
+        self.array.threaded_batches()
     }
 
     /// Sets the retry limit on both units (see [`DiskDrive::set_retries`]).
     pub fn set_retries(&mut self, retries: u32) {
-        for d in &mut self.drives {
-            d.set_retries(retries);
-        }
+        self.array.set_retries(retries);
     }
 }
 
 impl Disk for DualDrive {
     fn geometry(&self) -> Result<DiskGeometry, DiskError> {
-        // Present double the cylinders: the linearized address space is
-        // what matters to the file system; CHS locality stays meaningful
-        // within each half.
-        let g = self.drives[0].geometry()?;
-        Ok(DiskGeometry {
-            cylinders: g.cylinders * 2,
-            heads: g.heads,
-            sectors: g.sectors,
-        })
+        self.array.geometry()
     }
 
     fn pack_number(&self) -> Result<u16, DiskError> {
-        self.drives[0].pack_number()
+        self.array.pack_number()
     }
 
     fn do_op(
@@ -220,237 +121,75 @@ impl Disk for DualDrive {
         op: SectorOp,
         buf: &mut SectorBuf,
     ) -> Result<(), DiskError> {
-        if da.is_nil() || (da.0 as u32) >= self.per_drive * 2 {
-            return Err(DiskError::InvalidAddress(da));
-        }
-        let (unit, local) = self.route(da);
-        // The physical sector self-identifies with its *pack's* number and
-        // its *local* address; translate the caller's global view on the
-        // way in (zero stays zero: it is the check wildcard) and back on
-        // the way out.
-        if buf.header[0] == self.drives[0].pack_number()? {
-            buf.header[0] = self.drives[unit].pack_number()?;
-        }
-        if buf.header[1] == da.0 && da.0 != 0 {
-            buf.header[1] = local.0;
-        }
-        let result = self.drives[unit].do_op(local, op, buf);
-        if result.is_ok() && buf.header[1] == local.0 {
-            buf.header[1] = da.0;
-        }
-        result
+        self.array.do_op(da, op, buf)
     }
 
     fn do_batch(&mut self, batch: &mut [BatchRequest]) -> Vec<Result<(), DiskError>> {
-        // Split the batch by unit so each drive schedules (and chains) its
-        // own share; addresses and headers are translated exactly as in
-        // `do_op`, and results land back in the batch's original order.
-        // The result vector comes from the free lists and the split storage
-        // is kept on the adapter, so the steady state allocates nothing.
-        let mut results = pool::results_vec();
-        results.extend(batch.iter().map(|_| Ok(())));
-        let pack0 = self.drives[0].pack_number().ok();
-        let packs = [
-            self.drives[0].pack_number().ok(),
-            self.drives[1].pack_number().ok(),
-        ];
-        let mut split = std::mem::take(&mut self.scratch);
-        for (idxs, sub) in &mut split {
-            idxs.clear();
-            sub.clear();
-        }
-        for (i, req) in batch.iter_mut().enumerate() {
-            let da = req.da;
-            if da.is_nil() || (da.0 as u32) >= self.per_drive * 2 {
-                results[i] = Err(DiskError::InvalidAddress(da));
-                continue;
-            }
-            let (unit, local) = self.route(da);
-            let mut buf = std::mem::take(&mut req.buf);
-            if let (Some(p0), Some(pu)) = (pack0, packs[unit]) {
-                if buf.header[0] == p0 {
-                    buf.header[0] = pu;
-                }
-            }
-            if buf.header[1] == da.0 && da.0 != 0 {
-                buf.header[1] = local.0;
-            }
-            split[unit].0.push(i);
-            split[unit].1.push(BatchRequest::new(local, req.op, buf));
-        }
-
-        // Each unit has its own arm and data path, so a batch that spans
-        // both halves runs the two shares concurrently: each unit runs
-        // from the same start instant, then the clock is set to the *later*
-        // finish (elapsed = max of the units' times, not the sum). Large
-        // shares run on real host threads against private clocks and
-        // traces; small ones replay serially on the shared timeline — the
-        // simulated outcome is identical. The ablation
-        // (`set_overlap_enabled(false)`) keeps the serialized timeline.
-        let overlapped = self.overlap && split.iter().all(|(idxs, _)| !idxs.is_empty());
-        let threaded = overlapped
-            && self.threads
-            && split.iter().all(|(idxs, _)| idxs.len() >= THREAD_MIN_SHARE);
-        let clock = self.drives[0].clock().clone();
-        let t0 = clock.now();
-        let mut elapsed = [SimTime::ZERO; 2];
-        let mut sub_results: [Vec<Result<(), DiskError>>; 2] = [Vec::new(), Vec::new()];
-        if threaded {
-            // Give each unit a private timeline starting at the shared
-            // instant and a private trace, so the workers never contend.
-            let shared_trace = self.drives[0].trace().clone();
-            let enabled = shared_trace.enabled();
-            let mut originals: [Option<(SimClock, Trace)>; 2] = [None, None];
-            for (unit, slot) in originals.iter_mut().enumerate() {
-                let private_clock = SimClock::new();
-                private_clock.set(t0);
-                let private_trace = Trace::new();
-                private_trace.set_enabled(enabled);
-                let oc = self.drives[unit].swap_clock(private_clock);
-                let ot = self.drives[unit].swap_trace(private_trace);
-                *slot = Some((oc, ot));
-            }
-            // Ship unit 1 (drive and share, both owned) to the persistent
-            // worker, run unit 0's share here, then take unit 1 back. The
-            // recv is the join: both shares are done before anything below
-            // runs.
-            let worker = self.worker.get_or_insert_with(Worker::spawn);
-            let d1 = std::mem::replace(
-                &mut self.drives[1],
-                DiskDrive::new(SimClock::new(), Trace::new()),
-            );
-            let sub1 = std::mem::take(&mut split[1].1);
-            worker
-                .to
-                .as_ref()
-                .expect("sender lives as long as the worker")
-                .send((d1, sub1))
-                .expect("dual-drive worker hung up");
-            let r0 = self.drives[0].do_batch(&mut split[0].1);
-            let (d1, sub1, r1) = worker.from.recv().expect("dual-drive worker panicked");
-            self.drives[1] = d1;
-            split[1].1 = sub1;
-            sub_results = [r0, r1];
-            for (unit, slot) in originals.iter_mut().enumerate() {
-                let (oc, ot) = slot.take().expect("installed above");
-                let private_clock = self.drives[unit].swap_clock(oc);
-                let private_trace = self.drives[unit].swap_trace(ot);
-                elapsed[unit] = private_clock.now() - t0;
-                // Absorbing in unit order reproduces the exact event order
-                // the serial replay records.
-                shared_trace.absorb(&private_trace);
-            }
-            self.threaded_batches += 1;
-        } else {
-            for (unit, (idxs, sub)) in split.iter_mut().enumerate() {
-                if idxs.is_empty() {
-                    continue;
-                }
-                if overlapped {
-                    clock.set(t0);
-                }
-                sub_results[unit] = self.drives[unit].do_batch(sub);
-                elapsed[unit] = clock.now() - t0;
-            }
-        }
-        for (unit, (idxs, sub)) in split.iter_mut().enumerate() {
-            for ((&i, done), res) in idxs
-                .iter()
-                .zip(sub.iter_mut())
-                .zip(sub_results[unit].drain(..))
-            {
-                let da = batch[i].da;
-                let (_, local) = self.route(da);
-                if res.is_ok() && done.buf.header[1] == local.0 {
-                    done.buf.header[1] = da.0;
-                }
-                batch[i].buf = std::mem::take(&mut done.buf);
-                results[i] = res;
-            }
-        }
-        if overlapped {
-            let saved = elapsed[0].min(elapsed[1]);
-            clock.set(t0 + elapsed[0].max(elapsed[1]));
-            self.overlap_batches += 1;
-            self.overlap_saved += saved;
-            let (n0, n1) = (split[0].0.len(), split[1].0.len());
-            self.drives[0]
-                .trace()
-                .record_with(clock.now(), "disk.io.overlap", || {
-                    format!("{n0}+{n1} requests overlapped, {saved} saved")
-                });
-        }
-        let [r0, r1] = sub_results;
-        pool::recycle_results(r0);
-        pool::recycle_results(r1);
-        self.scratch = split;
-        results
+        self.array.do_batch(batch)
     }
 
     fn note_readahead(&mut self, hits: u64, prefetched: u64) {
-        self.drives[0].note_readahead(hits, prefetched);
+        self.array.note_readahead(hits, prefetched);
     }
 
     fn note_write_behind(&mut self, pages: u64) {
-        self.drives[0].note_write_behind(pages);
+        self.array.note_write_behind(pages);
     }
 
     fn io_stats(&self) -> DriveStats {
-        // Per-unit counters merge; the overlap accounting lives here, on
-        // the adapter that does the overlapping.
-        let mut s = self.drives[0].stats().merged(&self.drives[1].stats());
-        s.overlap_batches = self.overlap_batches;
-        s.overlap_saved = self.overlap_saved;
-        s
+        self.array.io_stats()
     }
 
     fn write_epoch(&self) -> u64 {
-        self.drives[0].write_epoch() + self.drives[1].write_epoch()
+        self.array.write_epoch()
     }
 
-    // Both units share one retry policy (set via `set_retries`); unit 0
-    // answers for it and collects the sequence outcomes.
     fn retry_limit(&self) -> u32 {
-        self.drives[0].retry_limit()
+        self.array.retry_limit()
     }
 
     fn retry_backoff(&self) -> SimTime {
-        self.drives[0].retry_backoff()
+        self.array.retry_backoff()
     }
 
     fn note_retry(&mut self, retries: u64, recovered: bool) {
-        self.drives[0].note_retry(retries, recovered);
+        self.array.note_retry(retries, recovered);
     }
 
-    // Park/drain accounting routes to the unit that owns the address, in
-    // that unit's local address space — the same translation its sector
-    // operations get, so its auditor sees consistent addresses.
     fn note_park(&mut self, da: DiskAddress, page: u16) {
-        let (unit, local) = self.route(da);
-        self.drives[unit].note_park(local, page);
+        self.array.note_park(da, page);
     }
 
     fn note_unpark(&mut self, da: DiskAddress, page: u16, outcome: crate::audit::UnparkOutcome) {
-        let (unit, local) = self.route(da);
-        self.drives[unit].note_unpark(local, page, outcome);
+        self.array.note_unpark(da, page, outcome);
     }
 
     fn set_audit_enabled(&mut self, enabled: bool) {
-        for d in &mut self.drives {
-            d.set_audit_enabled(enabled);
-        }
+        self.array.set_audit_enabled(enabled);
     }
 
     fn audit_violations(&self) -> u64 {
-        self.drives[0].audit_violations() + self.drives[1].audit_violations()
+        self.array.audit_violations()
+    }
+
+    fn arm_count(&self) -> usize {
+        self.array.arm_count()
+    }
+
+    fn arm_of(&self, da: DiskAddress) -> usize {
+        self.array.arm_of(da)
+    }
+
+    fn arm_origin(&self, arm: usize) -> Option<DiskAddress> {
+        self.array.arm_origin(arm)
     }
 
     fn clock(&self) -> &SimClock {
-        self.drives[0].clock()
+        self.array.clock()
     }
 
     fn trace(&self) -> &Trace {
-        self.drives[0].trace()
+        self.array.trace()
     }
 }
 
@@ -489,6 +228,17 @@ mod tests {
         let d = dual();
         let g = d.geometry().unwrap();
         assert_eq!(g.sector_count(), 2 * 4872);
+    }
+
+    #[test]
+    fn two_range_arms() {
+        let d = dual();
+        assert_eq!(d.arm_count(), 2);
+        assert_eq!(d.arm_of(DiskAddress(0)), 0);
+        assert_eq!(d.arm_of(DiskAddress(4871)), 0);
+        assert_eq!(d.arm_of(DiskAddress(4872)), 1);
+        assert_eq!(d.arm_origin(0), Some(DiskAddress(0)));
+        assert_eq!(d.arm_origin(1), Some(DiskAddress(4872)));
     }
 
     #[test]
@@ -697,12 +447,13 @@ mod tests {
     fn threaded_spanning_batch_is_bit_identical_to_serial_replay() {
         // The acceptance bar for host threading: same results, same
         // simulated elapsed time, and the same trace events in the same
-        // order as the serial replay — bit for bit. Shares of 36 per unit
-        // clear THREAD_MIN_SHARE so the threaded path really engages.
+        // order as the serial replay — bit for bit. Shares of 160 per unit
+        // clear the array's thread threshold so the threaded path really
+        // engages.
         let run = |threads: bool| {
             let mut d = dual();
             d.set_threading_enabled(threads);
-            let mut batch: Vec<BatchRequest> = (0..72u16)
+            let mut batch: Vec<BatchRequest> = (0..320u16)
                 .map(|i| {
                     let local = 100 + 53 * (i / 2) % 4000;
                     let da = if i % 2 == 0 { local } else { 4872 + local };

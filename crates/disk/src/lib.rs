@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod array;
 pub mod audit;
 pub mod drive;
 pub mod dual;
@@ -63,6 +64,7 @@ pub mod timing;
 pub mod view;
 
 pub use ablation::{UncheckedDisk, UnscheduledDisk};
+pub use array::{DriveArray, Placement};
 pub use audit::{AuditRule, AuditViolation, Auditor, UnparkOutcome};
 pub use drive::{Disk, DiskDrive, DriveStats};
 pub use dual::DualDrive;
@@ -74,4 +76,4 @@ pub use pack::{DiskPack, PackImageError};
 pub use sched::BatchRequest;
 pub use sector::{Action, Sector, SectorBuf, SectorOp, DATA_WORDS};
 pub use timing::TimingModel;
-pub use view::{LabelView, SectorBufView, SectorView, SECTOR_WORDS};
+pub use view::{LabelView, SectorBufView, SectorView, WriteSource, SECTOR_WORDS};

@@ -19,6 +19,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::errors::DiskError;
+use crate::geometry::DiskAddress;
 use crate::sched::BatchRequest;
 
 /// Global pooling gate (on by default). Relaxed ordering suffices: the flag
@@ -45,6 +46,7 @@ const PER_LIST: usize = 4;
 struct FreeLists {
     batches: Vec<Vec<BatchRequest>>,
     results: Vec<Vec<Result<(), DiskError>>>,
+    das: Vec<Vec<DiskAddress>>,
 }
 
 thread_local! {
@@ -52,6 +54,7 @@ thread_local! {
         RefCell::new(FreeLists {
             batches: Vec::new(),
             results: Vec::new(),
+            das: Vec::new(),
         })
     };
 }
@@ -100,6 +103,29 @@ pub fn recycle_results(mut v: Vec<Result<(), DiskError>>) {
         let mut lists = l.borrow_mut();
         if lists.results.len() < PER_LIST {
             lists.results.push(v);
+        }
+    });
+}
+
+/// An empty disk-address vector, recycled when possible — the zero-copy
+/// batch paths take their address lists from here.
+pub fn da_vec() -> Vec<DiskAddress> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS.with(|l| l.borrow_mut().das.pop()).unwrap_or_default()
+}
+
+/// Returns a disk-address vector to the free list.
+pub fn recycle_das(mut v: Vec<DiskAddress>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.das.len() < PER_LIST {
+            lists.das.push(v);
         }
     });
 }

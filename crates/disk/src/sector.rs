@@ -198,6 +198,37 @@ impl SectorOp {
     }
 }
 
+/// The check action alone, against an immutably borrowed disk part — the
+/// §3.3 wildcard pattern match shared by [`apply`] and the zero-copy write
+/// path, which checks header and label in place before touching the value.
+pub(crate) fn check_part(
+    disk: &[u16],
+    mem: &mut [u16],
+    da: DiskAddress,
+    part: SectorPart,
+) -> Result<(), CheckFailure> {
+    // Fast path: an exact match (no wildcards to capture, nothing to
+    // report) is the steady state of §3.3 check-before-write, and a
+    // single slice compare beats the word loop on every hot path.
+    if mem == disk {
+        return Ok(());
+    }
+    for (i, (m, d)) in mem.iter_mut().zip(disk.iter()).enumerate() {
+        if *m == 0 {
+            *m = *d; // wildcard: pattern-match and capture
+        } else if *m != *d {
+            return Err(CheckFailure {
+                da,
+                part,
+                word_index: i,
+                expected: *m,
+                found: *d,
+            });
+        }
+    }
+    Ok(())
+}
+
 fn run_part(
     action: Action,
     disk: &mut [u16],
@@ -208,27 +239,7 @@ fn run_part(
     match action {
         Action::Read => mem.copy_from_slice(disk),
         Action::Write => disk.copy_from_slice(mem),
-        Action::Check => {
-            // Fast path: an exact match (no wildcards to capture, nothing to
-            // report) is the steady state of §3.3 check-before-write, and a
-            // single slice compare beats the word loop on every hot path.
-            if mem == disk {
-                return Ok(());
-            }
-            for (i, (m, d)) in mem.iter_mut().zip(disk.iter()).enumerate() {
-                if *m == 0 {
-                    *m = *d; // wildcard: pattern-match and capture
-                } else if *m != *d {
-                    return Err(CheckFailure {
-                        da,
-                        part,
-                        word_index: i,
-                        expected: *m,
-                        found: *d,
-                    });
-                }
-            }
-        }
+        Action::Check => check_part(disk, mem, da, part)?,
     }
     Ok(())
 }

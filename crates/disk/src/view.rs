@@ -161,6 +161,23 @@ impl<'a> SectorView<'a> {
     }
 }
 
+/// One write's memory-side words for the zero-copy batch write path
+/// ([`crate::Disk::do_batch_write`]): the header and label patterns the
+/// §3.3 check matches against the sector (owned — they are two and seven
+/// words), and the data to write, borrowed from wherever the caller parks
+/// dirty pages so the 256 words are never staged through an intermediate
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteSource<'a> {
+    /// Check pattern for the header words (`[pack_number, disk_address]`;
+    /// 0 is the hardware wildcard).
+    pub header: [u16; HEADER_WORDS],
+    /// Check pattern for the label words (encoded; 0 words are wildcards).
+    pub label: [u16; LABEL_WORDS],
+    /// The data words to write once both checks pass.
+    pub data: &'a [u16; DATA_WORDS],
+}
+
 /// A borrowed, typed view of a memory-side sector buffer.
 #[derive(Debug, Clone, Copy)]
 pub struct SectorBufView<'a> {

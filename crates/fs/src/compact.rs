@@ -77,24 +77,30 @@ impl Compactor {
         let geometry = fs.disk().geometry()?;
         let mut files: BTreeMap<Fv, ScannedPages> = BTreeMap::new();
         let mut bad: Vec<DiskAddress> = Vec::new();
-        for i in 0..geometry.sector_count() {
-            let da = DiskAddress(i as u16);
-            let mut buf = SectorBuf::zeroed();
-            match crate::page::retry_op(fs.disk_mut(), da, SectorOp::READ_ALL, &mut buf) {
-                Ok(()) => {
-                    let label = buf.decoded_label();
-                    if label.is_bad() {
-                        bad.push(da);
-                    } else if label.is_in_use() {
-                        files.entry(Fv::from_label(&label)).or_default().push((
-                            label.page_number,
-                            da,
-                            label.length,
-                        ));
+        // The scan is the scavenger's sweep shape: chained cylinder batches,
+        // one chunk per arm per batch so an array overlaps its timelines.
+        let per_cylinder = (geometry.heads as usize * geometry.sectors as usize).max(1);
+        let all: Vec<DiskAddress> = (0..geometry.sector_count())
+            .map(|i| DiskAddress(i as u16))
+            .collect();
+        for das in crate::scavenge::sweep_batches(fs.disk(), &all, per_cylinder) {
+            let results = crate::page::read_raw_batch(fs.disk_mut(), &das);
+            for (da, res) in das.into_iter().zip(results) {
+                match res {
+                    Ok((label, _)) => {
+                        if label.is_bad() {
+                            bad.push(da);
+                        } else if label.is_in_use() {
+                            files.entry(Fv::from_label(&label)).or_default().push((
+                                label.page_number,
+                                da,
+                                label.length,
+                            ));
+                        }
                     }
+                    Err(FsError::Disk(alto_disk::DiskError::HardError { .. })) => bad.push(da),
+                    Err(e) => return Err(e),
                 }
-                Err(alto_disk::DiskError::HardError { .. }) => bad.push(da),
-                Err(e) => return Err(e.into()),
             }
         }
         for pages in files.values_mut() {

@@ -240,9 +240,9 @@ impl<D: Disk> FileSystem<D> {
         self.cache.set_enabled(enabled);
     }
 
-    fn trace_cache(&self, tag: &'static str, detail: String) {
+    fn trace_cache(&self, tag: &'static str, detail: impl FnOnce() -> String) {
         let now = self.disk.clock().now();
-        self.disk.trace().record(now, tag, detail);
+        self.disk.trace().record_with(now, tag, detail);
     }
 
     /// The fresh cached entries of `dir`, counted and traced as a hit.
@@ -253,7 +253,9 @@ impl<D: Disk> FileSystem<D> {
         // the one captured when the full directory read installed it
         let entries = self.cache.dir_entries(dir, epoch)?.to_vec();
         self.cache.stats.name_hits += 1;
-        self.trace_cache("fs.cache_hit", format!("dir {} listed from index", dir.fv));
+        self.trace_cache("fs.cache_hit", || {
+            format!("dir {} listed from index", dir.fv)
+        });
         Some(entries)
     }
 
@@ -292,19 +294,19 @@ impl<D: Disk> FileSystem<D> {
                 // Fresh index, name absent: a verified negative (the epoch
                 // check proves the directory has not changed underneath).
                 self.cache.stats.name_hits += 1;
-                self.trace_cache("fs.cache_hit", format!("{name} absent from {}", dir.fv));
+                self.trace_cache("fs.cache_hit", || format!("{name} absent from {}", dir.fv));
                 return CacheLookup::Hit(None);
             }
             None => {
                 self.cache.stats.name_misses += 1;
-                self.trace_cache("fs.cache_miss", format!("{name} in {}", dir.fv));
+                self.trace_cache("fs.cache_miss", || format!("{name} in {}", dir.fv));
                 return CacheLookup::Miss;
             }
         };
         match page::read_page(&mut self.disk, found.leader_page()) {
             Ok((label, data)) => {
                 self.cache.stats.name_hits += 1;
-                self.trace_cache("fs.cache_hit", format!("{name} -> {}", found.fv));
+                self.trace_cache("fs.cache_hit", || format!("{name} -> {}", found.fv));
                 let epoch = self.disk.write_epoch();
                 self.cache
                     .install_leader(found, epoch, label, LeaderPage::decode(&data));
@@ -315,10 +317,9 @@ impl<D: Disk> FileSystem<D> {
                 // fall back to the linear scan. Never corrupts.
                 self.cache.stats.verify_failures += 1;
                 self.cache.drop_dir(dir.fv);
-                self.trace_cache(
-                    "fs.cache_invalidate",
-                    format!("{name} -> {} failed the label check", found.fv),
-                );
+                self.trace_cache("fs.cache_invalidate", || {
+                    format!("{name} -> {} failed the label check", found.fv)
+                });
                 CacheLookup::Miss
             }
         }
@@ -399,6 +400,24 @@ impl<D: Disk> FileSystem<D> {
         self.desc.bitmap.find_free_run_from(near, pages)
     }
 
+    /// Placement across a drive array: successive new files start in
+    /// rotating arms (file number mod the arm count), so a working set of
+    /// hot files spreads over the arms and a batch touching several of them
+    /// overlaps their timelines. Returns `None` — keep the rotor — on a
+    /// single-arm disk, under hash placement (where consecutive addresses
+    /// already interleave over the arms), or with the hint cache disabled
+    /// (the ablation keeps the original fixed-origin behaviour).
+    fn arm_spread_origin(&self, number: u32) -> Option<DiskAddress> {
+        if !self.cache.enabled() {
+            return None;
+        }
+        let arms = self.disk.arm_count();
+        if arms <= 1 {
+            return None;
+        }
+        self.disk.arm_origin(number as usize % arms)
+    }
+
     /// Frees the page named `pn` (label checked; ones written; §3.3).
     pub fn free_page(&mut self, pn: PageName) -> Result<Label, FsError> {
         let old = page::free_page(&mut self.disk, pn)?;
@@ -450,7 +469,11 @@ impl<D: Disk> FileSystem<D> {
             next: DiskAddress::NIL,
             prev: DiskAddress::NIL,
         };
-        let leader_da = self.allocate_page(None, leader_label, &leader.encode())?;
+        let leader_da = self.allocate_page(
+            self.arm_spread_origin(number),
+            leader_label,
+            &leader.encode(),
+        )?;
         self.chain_data_pages(fv, leader_da, leader, &[])?;
         Ok(FileFullName::new(fv, leader_da))
     }
@@ -570,12 +593,12 @@ impl<D: Disk> FileSystem<D> {
         let epoch = self.disk.write_epoch();
         if let Some((label, leader)) = self.cache.leader(file, epoch) {
             self.cache.stats.leader_hits += 1;
-            self.trace_cache("fs.cache_hit", format!("leader {}", file.fv));
+            self.trace_cache("fs.cache_hit", || format!("leader {}", file.fv));
             return Ok((label, leader));
         }
         if self.cache.enabled() {
             self.cache.stats.leader_misses += 1;
-            self.trace_cache("fs.cache_miss", format!("leader {}", file.fv));
+            self.trace_cache("fs.cache_miss", || format!("leader {}", file.fv));
         }
         let (label, data) = self.read_page(file.leader_page())?;
         let leader = LeaderPage::decode(&data);
@@ -1130,6 +1153,35 @@ mod tests {
         fs.write_file(f, b"Hello, Alto!").unwrap();
         assert_eq!(fs.read_file(f).unwrap(), b"Hello, Alto!");
         assert_eq!(fs.file_length(f).unwrap(), 12);
+    }
+
+    #[test]
+    fn new_files_spread_across_the_arms_of_an_array() {
+        use alto_disk::{DriveArray, Placement};
+        let array = DriveArray::with_arms(
+            4,
+            Placement::Range,
+            SimClock::new(),
+            Trace::new(),
+            DiskModel::Diablo31,
+        );
+        let mut fs = FileSystem::format(array).unwrap();
+        let mut arms_hit = [false; 4];
+        for i in 0..8 {
+            let f = fs.create_file(&format!("file-{i}")).unwrap();
+            fs.write_file(f, &[0x55u8; 3000]).unwrap();
+            let arm = fs.disk().arm_of(f.leader_da);
+            arms_hit[arm] = true;
+            // The chained data pages follow their leader into the same arm.
+            let leader = fs.read_leader(f).unwrap();
+            assert_eq!(fs.disk().arm_of(leader.last_da), arm, "file {i}");
+            // Round-trip through the placement.
+            assert_eq!(fs.read_file(f).unwrap(), vec![0x55u8; 3000]);
+        }
+        assert!(
+            arms_hit.iter().all(|&h| h),
+            "8 consecutive files should rotate over all 4 arms: {arms_hit:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use alto_disk::{
     pool, BatchRequest, CheckFailure, Disk, DiskAddress, DiskError, Label, SectorBuf, SectorOp,
-    SectorPart, DATA_WORDS,
+    SectorPart, SectorView, WriteSource, DATA_WORDS,
 };
 
 use crate::errors::FsError;
@@ -56,6 +56,25 @@ fn verified_label(da: DiskAddress, fv: Fv, page: u16, buf: &SectorBuf) -> Result
         return Ok(view.decode());
     }
     let got = view.decode();
+    verify_absolutes(da, fv, page, &got)?;
+    Ok(got)
+}
+
+/// [`verified_label`] over a lent [`SectorView`] — the zero-copy batch
+/// paths verify straight off the borrowed sector words, with no staging
+/// buffer to point at.
+fn verified_label_view(
+    da: DiskAddress,
+    fv: Fv,
+    page: u16,
+    view: SectorView<'_>,
+) -> Result<Label, FsError> {
+    let intended = fv.check_label(page);
+    let lv = view.label();
+    if lv.absolutes_match(&intended) {
+        return Ok(lv.decode());
+    }
+    let got = lv.decode();
     verify_absolutes(da, fv, page, &got)?;
     Ok(got)
 }
@@ -353,6 +372,12 @@ pub fn drain_and_prefetch_into<D: Disk>(
         Some(_) => read_count,
         None => 0,
     };
+    if reads == 0 {
+        // A pure drain has nothing to copy out, so the dirty pages go down
+        // the borrowed-buffer path: the drive checks each label in place
+        // and takes the 256 data words straight from the parked page.
+        return drain_writes_zero_copy(disk, fv, pack, writes, write_out);
+    }
     let mut batch = pool::batch_vec();
     for &(page, da, ref data) in writes {
         let mut buf = SectorBuf::with_label(fv.check_label(page));
@@ -404,6 +429,63 @@ pub fn drain_and_prefetch_into<D: Disk>(
     }
     pool::recycle_results(results);
     pool::recycle_batch(batch);
+    Ok(())
+}
+
+/// The write half of [`drain_and_prefetch_into`] via
+/// [`Disk::do_batch_write`]: same chained schedule, same §3.3 checks, same
+/// bounded-retry discipline, but the data words are borrowed from the
+/// parked pages instead of being staged through per-request buffers, and
+/// each captured label is verified through the lent [`SectorView`].
+fn drain_writes_zero_copy<D: Disk>(
+    disk: &mut D,
+    fv: Fv,
+    pack: u16,
+    writes: &[(u16, DiskAddress, [u16; DATA_WORDS])],
+    write_out: &mut Vec<Result<Label, FsError>>,
+) -> Result<(), FsError> {
+    let mut das = pool::da_vec();
+    das.extend(writes.iter().map(|&(_, da, _)| da));
+    // Placeholders only: every slot is overwritten — visited (successful)
+    // requests from the visitor, failed ones from the result loop below.
+    write_out.extend(writes.iter().map(|_| Err(FsError::Disk(DiskError::NoPack))));
+    let mut results = disk.do_batch_write(
+        &das,
+        |i| {
+            let (page, da, data) = &writes[i];
+            WriteSource {
+                header: [pack, da.0],
+                label: fv.check_label(*page).encode(),
+                data,
+            }
+        },
+        |i, view| {
+            let (page, da, _) = writes[i];
+            write_out[i] = verified_label_view(da, fv, page, view);
+        },
+    );
+    for (i, res) in results.iter_mut().enumerate() {
+        if let Err(e @ DiskError::Transient { .. }) = *res {
+            // The retry re-issues through the buffered single-sector path —
+            // cold by construction, so staging one buffer costs nothing
+            // that matters.
+            let (page, da, data) = &writes[i];
+            let mut buf = SectorBuf::with_label(fv.check_label(*page));
+            buf.header = [pack, da.0];
+            buf.data = *data;
+            *res = complete_with_retry(disk, *da, SectorOp::WRITE, &mut buf, e);
+            if res.is_ok() {
+                write_out[i] = verified_label(*da, fv, *page, &buf);
+            }
+        }
+    }
+    for (i, res) in results.drain(..).enumerate() {
+        if let Err(e) = res {
+            write_out[i] = Err(FsError::from(e));
+        }
+    }
+    pool::recycle_results(results);
+    pool::recycle_das(das);
     Ok(())
 }
 
@@ -693,6 +775,88 @@ mod tests {
         // The writes landed.
         let (_, data) = read_page(&mut d, PageName::new(fv(), 1, DiskAddress(40))).unwrap();
         assert_eq!(data, [0xAA; DATA_WORDS]);
+    }
+
+    #[test]
+    fn pure_drain_is_zero_copy_and_matches_the_audited_fallback() {
+        // A drain with no prefetch takes the borrowed-buffer write path.
+        // Run it twin against a drive with the §3.3 auditor attached (which
+        // forces the buffered fallback inside `do_batch_write`): outcomes,
+        // platter words and simulated elapsed time must be identical, and
+        // the audited run must observe a clean §3.3 protocol.
+        let run = |audit: bool| {
+            let mut d = drive();
+            for i in 0..3u16 {
+                allocate_at(
+                    &mut d,
+                    DiskAddress(40 + i),
+                    label_for(i + 1, DiskAddress::NIL, DiskAddress::NIL),
+                    &[i; DATA_WORDS],
+                )
+                .unwrap();
+            }
+            let auditor = if audit { Some(d.enable_audit()) } else { None };
+            d.reset_stats();
+            let t0 = d.clock().now();
+            let writes = [
+                (1u16, DiskAddress(40), [0xA1u16; DATA_WORDS]),
+                (2u16, DiskAddress(41), [0xA2u16; DATA_WORDS]),
+                (3u16, DiskAddress(42), [0xA3u16; DATA_WORDS]),
+            ];
+            let (wrote, read) = drain_and_prefetch(&mut d, fv(), &writes, None, 0).unwrap();
+            let elapsed = d.clock().now() - t0;
+            assert!(read.is_empty());
+            let labels: Vec<Label> = wrote.into_iter().map(std::result::Result::unwrap).collect();
+            let violations = auditor.map_or(0, |a| a.violations().len());
+            assert_eq!(d.stats().batches, 1);
+            assert_eq!(d.stats().batched_ops, 3);
+            let mut words = Vec::new();
+            for i in 0..3u16 {
+                let pn = PageName::new(fv(), i + 1, DiskAddress(40 + i));
+                let (_, data) = read_page(&mut d, pn).unwrap();
+                words.push(data[0]);
+            }
+            (elapsed, labels, words, violations)
+        };
+        let (dt0, labels0, words0, v0) = run(false);
+        let (dt1, labels1, words1, v1) = run(true);
+        assert_eq!(dt0, dt1);
+        assert_eq!(labels0, labels1);
+        assert_eq!(words0, [0xA1, 0xA2, 0xA3]);
+        assert_eq!(words0, words1);
+        assert_eq!(v0, 0);
+        assert_eq!(v1, 0);
+        assert_eq!(labels0[1].page_number, 2);
+    }
+
+    #[test]
+    fn pure_drain_retries_a_transient_write_sector_at_a_time() {
+        use alto_disk::FaultKind;
+        let mut d = drive();
+        for i in 0..2u16 {
+            allocate_at(
+                &mut d,
+                DiskAddress(40 + i),
+                label_for(i + 1, DiskAddress::NIL, DiskAddress::NIL),
+                &[i; DATA_WORDS],
+            )
+            .unwrap();
+        }
+        d.reset_stats();
+        d.injector_mut()
+            .arm(DiskAddress(41), FaultKind::NotReady { attempts: 1 });
+        let writes = [
+            (1u16, DiskAddress(40), [0xB1u16; DATA_WORDS]),
+            (2u16, DiskAddress(41), [0xB2u16; DATA_WORDS]),
+        ];
+        let (wrote, _) = drain_and_prefetch(&mut d, fv(), &writes, None, 0).unwrap();
+        assert!(wrote.iter().all(std::result::Result::is_ok));
+        assert_eq!(wrote[1].as_ref().unwrap().page_number, 2);
+        let s = d.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.recovered, 1);
+        let (_, data) = read_page(&mut d, PageName::new(fv(), 2, DiskAddress(41))).unwrap();
+        assert_eq!(data, [0xB2; DATA_WORDS]);
     }
 
     #[test]

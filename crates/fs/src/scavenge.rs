@@ -78,6 +78,50 @@ pub struct ScavengeReport {
 /// and the page number. The disk address is the index into the table.
 type TableEntry = ([u16; 2], u16);
 
+/// Splits `das` (already in address order) into chained sweep batches. On a
+/// single drive each batch is one cylinder-sized chunk, exactly the
+/// original sweep. On a drive array the addresses are first partitioned by
+/// arm and each batch takes one cylinder-sized chunk from *every* arm, so
+/// the array services the K chunks on overlapped timelines — a full-platter
+/// sweep costs about one arm's sweep in simulated time instead of K of
+/// them. Order within an arm is preserved, so each arm still sees a
+/// low-seek, address-ordered pass.
+pub(crate) fn sweep_batches<D: Disk>(
+    disk: &D,
+    das: &[DiskAddress],
+    per_cylinder: usize,
+) -> Vec<Vec<DiskAddress>> {
+    let per_cylinder = per_cylinder.max(1);
+    let arms = disk.arm_count();
+    if arms <= 1 {
+        return das
+            .chunks(per_cylinder)
+            .map(<[DiskAddress]>::to_vec)
+            .collect();
+    }
+    let mut streams: Vec<Vec<DiskAddress>> = vec![Vec::new(); arms];
+    for &da in das {
+        streams[disk.arm_of(da)].push(da);
+    }
+    let rounds = streams
+        .iter()
+        .map(|s| s.len().div_ceil(per_cylinder))
+        .max()
+        .unwrap_or(0);
+    let mut batches = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let mut batch = Vec::new();
+        for s in &streams {
+            let start = r * per_cylinder;
+            if start < s.len() {
+                batch.extend_from_slice(&s[start..(start + per_cylinder).min(s.len())]);
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
 /// The scavenging procedure.
 ///
 /// # Examples
@@ -134,10 +178,8 @@ impl Scavenger {
         let per_cylinder = (geometry.heads as u32 * geometry.sectors as u32).max(1);
         let mut table: Vec<Option<TableEntry>> = vec![None; sector_count as usize];
         let mut bad: Vec<DiskAddress> = Vec::new();
-        let mut first = 0u32;
-        while first < sector_count {
-            let end = (first + per_cylinder).min(sector_count);
-            let das: Vec<DiskAddress> = (first..end).map(|i| DiskAddress(i as u16)).collect();
+        let all: Vec<DiskAddress> = (0..sector_count).map(|i| DiskAddress(i as u16)).collect();
+        for das in sweep_batches(fs.disk(), &all, per_cylinder as usize) {
             let results = page::read_raw_batch(fs.disk_mut(), &das);
             for (da, res) in das.into_iter().zip(results) {
                 report.sectors_scanned += 1;
@@ -162,7 +204,6 @@ impl Scavenger {
                 }
                 table[da.0 as usize] = Some((label.fid, label.page_number));
             }
-            first = end;
         }
 
         // Quarantine unreadable sectors.
@@ -226,17 +267,14 @@ impl Scavenger {
             }
         }
         let mut versions: BTreeMap<[u16; 2], u16> = BTreeMap::new();
-        let live_list: Vec<(DiskAddress, [u16; 2], u16)> = live
-            .iter()
-            .map(|(&da0, &(fid, page))| (DiskAddress(da0), fid, page))
-            .collect();
-        drop(live);
+        let live_das: Vec<DiskAddress> = live.keys().map(|&da0| DiskAddress(da0)).collect();
         // Address order means each chunk is one stretch of the platter; the
-        // chained batch reads it in a couple of revolutions.
-        for chunk in live_list.chunks(per_cylinder as usize) {
-            let das: Vec<DiskAddress> = chunk.iter().map(|&(da, _, _)| da).collect();
+        // chained batch reads it in a couple of revolutions (one stretch per
+        // arm, overlapped, on an array).
+        for das in sweep_batches(fs.disk(), &live_das, per_cylinder as usize) {
             let results = page::read_raw_batch(fs.disk_mut(), &das);
-            for (&(da, fid, page), res) in chunk.iter().zip(results) {
+            for (&da, res) in das.iter().zip(results) {
+                let (fid, page) = live[&da.0];
                 let (label, data) = res?;
                 if page == 0 {
                     versions.insert(fid, label.version);
@@ -873,6 +911,56 @@ mod tests {
         assert!(
             (5.0..90.0).contains(&secs),
             "scavenge took {secs} simulated seconds"
+        );
+    }
+
+    /// On a 4-arm array the scavenger sweeps all four packs on overlapped
+    /// timelines: markedly faster than the serialized ablation, recovering
+    /// the same files, with every arm's §3.3 auditor staying clean.
+    #[test]
+    fn array_scavenge_overlaps_arms_and_stays_audit_clean() {
+        use alto_disk::{DriveArray, Placement};
+        let run = |overlap: bool| {
+            let mut array = DriveArray::with_arms(
+                4,
+                Placement::Range,
+                SimClock::new(),
+                Trace::new(),
+                DiskModel::Diablo31,
+            );
+            array.set_overlap_enabled(overlap);
+            let mut fs = FileSystem::format(array).unwrap();
+            for i in 0..6u8 {
+                let root = fs.root_dir();
+                let f = dir::create_named_file(&mut fs, root, &format!("f{i}")).unwrap();
+                fs.write_file(f, &vec![i; 2000]).unwrap();
+            }
+            // Crash, then audit the §3.3 discipline of the scavenge itself,
+            // per arm.
+            let mut disk = fs.crash();
+            let auditors: Vec<_> = (0..4).map(|k| disk.arm_mut(k).enable_audit()).collect();
+            let (mut fs, report) = Scavenger::rebuild(disk).unwrap();
+            for (k, a) in auditors.iter().enumerate() {
+                assert!(a.violations().is_empty(), "arm {k} saw violations");
+                assert!(a.ops_observed() > 0, "arm {k} was never swept");
+            }
+            for i in 0..6u8 {
+                let root = fs.root_dir();
+                let f = dir::lookup(&mut fs, root, &format!("f{i}"))
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(fs.read_file(f).unwrap(), vec![i; 2000]);
+            }
+            (report.elapsed, fs.disk().io_stats().overlap_batches)
+        };
+        let (serial, serial_overlaps) = run(false);
+        let (overlapped, overlaps) = run(true);
+        assert_eq!(serial_overlaps, 0);
+        assert!(overlaps > 0, "no batch spanned two arms");
+        assert!(
+            serial >= overlapped.scaled(2),
+            "4-arm sweep should be at least 2x the serialized scavenge: \
+             serial {serial}, overlapped {overlapped}"
         );
     }
 }

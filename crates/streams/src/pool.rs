@@ -1,0 +1,195 @@
+//! Recycled stream-side page buffers.
+//!
+//! A [`crate::DiskByteStream`] carries five working vectors: the readahead
+//! buffer, the write-behind park list, its drain double-buffer, and the two
+//! output vectors for combined drain-and-refill batches. Opening a stream
+//! per transfer — the common shape for short-lived clients — used to grow
+//! all five from empty every time, which was the last steady allocation
+//! source in the streaming wall-clock workloads. The vectors now come from
+//! small thread-local free lists, taken at `open` and recycled when the
+//! stream is dropped, so a steady open/transfer/close cycle touches the
+//! heap zero times.
+//!
+//! Like [`alto_disk::pool`], this is a host-side optimization only: it
+//! never touches the simulated clock or the §3.3 semantics, and recycled
+//! vectors are always cleared before reuse. The lists share the disk pool's
+//! [`alto_disk::pool::enabled`] ablation gate so the wall-clock benchmark's
+//! `pooling` switch measures both layers together.
+
+use std::cell::RefCell;
+
+use alto_disk::{DiskAddress, Label, DATA_WORDS};
+use alto_fs::page::PageResult;
+use alto_fs::FsError;
+
+/// A prefetched page parked in the readahead buffer.
+pub type ReadaheadPage = (u16, DiskAddress, Label, [u16; DATA_WORDS]);
+
+/// A dirty page parked for a delayed write.
+pub type ParkedPage = (u16, DiskAddress, [u16; DATA_WORDS]);
+
+/// How many vectors each free list retains per thread. A stream holds two
+/// parked-page vectors (the park list and its drain double-buffer) and one
+/// of each other kind, so four covers two live streams per thread; anything
+/// beyond the cap is simply dropped.
+const PER_LIST: usize = 4;
+
+struct FreeLists {
+    readahead: Vec<Vec<ReadaheadPage>>,
+    parked: Vec<Vec<ParkedPage>>,
+    labels: Vec<Vec<Result<Label, FsError>>>,
+    reads: Vec<Vec<PageResult>>,
+}
+
+thread_local! {
+    static LISTS: RefCell<FreeLists> = const {
+        RefCell::new(FreeLists {
+            readahead: Vec::new(),
+            parked: Vec::new(),
+            labels: Vec::new(),
+            reads: Vec::new(),
+        })
+    };
+}
+
+fn enabled() -> bool {
+    alto_disk::pool::enabled()
+}
+
+/// An empty readahead buffer, recycled when possible.
+pub fn readahead_vec() -> Vec<ReadaheadPage> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().readahead.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a readahead buffer to the free list (contents are dropped).
+pub fn recycle_readahead(mut v: Vec<ReadaheadPage>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.readahead.len() < PER_LIST {
+            lists.readahead.push(v);
+        }
+    });
+}
+
+/// An empty parked-page vector, recycled when possible.
+pub fn parked_vec() -> Vec<ParkedPage> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().parked.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a parked-page vector to the free list.
+pub fn recycle_parked(mut v: Vec<ParkedPage>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.parked.len() < PER_LIST {
+            lists.parked.push(v);
+        }
+    });
+}
+
+/// An empty write-result vector, recycled when possible.
+pub fn labels_vec() -> Vec<Result<Label, FsError>> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().labels.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a write-result vector to the free list.
+pub fn recycle_labels(mut v: Vec<Result<Label, FsError>>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.labels.len() < PER_LIST {
+            lists.labels.push(v);
+        }
+    });
+}
+
+/// An empty page-result vector, recycled when possible.
+pub fn reads_vec() -> Vec<PageResult> {
+    if !enabled() {
+        return Vec::new();
+    }
+    LISTS
+        .with(|l| l.borrow_mut().reads.pop())
+        .unwrap_or_default()
+}
+
+/// Returns a page-result vector to the free list.
+pub fn recycle_reads(mut v: Vec<PageResult>) {
+    if !enabled() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    LISTS.with(|l| {
+        let mut lists = l.borrow_mut();
+        if lists.reads.len() < PER_LIST {
+            lists.reads.push(v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_capacity() {
+        alto_disk::pool::set_enabled(true);
+        let mut v = parked_vec();
+        for i in 0..4u16 {
+            v.push((i, DiskAddress(i), [0; DATA_WORDS]));
+        }
+        let cap = v.capacity();
+        recycle_parked(v);
+        let v2 = parked_vec();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= cap.min(4));
+    }
+
+    #[test]
+    fn disabled_pool_hands_out_fresh_vectors() {
+        alto_disk::pool::set_enabled(false);
+        let mut v = readahead_vec();
+        v.push((1, DiskAddress(1), Label::FREE, [0; DATA_WORDS]));
+        recycle_readahead(v);
+        let v2 = readahead_vec();
+        assert_eq!(v2.capacity(), 0);
+        alto_disk::pool::set_enabled(true);
+    }
+
+    #[test]
+    fn free_lists_are_bounded() {
+        alto_disk::pool::set_enabled(true);
+        for _ in 0..2 * PER_LIST {
+            let mut v = labels_vec();
+            v.reserve(4);
+            recycle_labels(v);
+        }
+        let held = LISTS.with(|l| l.borrow().labels.len());
+        assert!(held <= PER_LIST);
+    }
+}
