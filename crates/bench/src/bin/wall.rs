@@ -383,6 +383,40 @@ fn dual_batch(cfg: Config, min_wall_ms: u64) -> Measurement {
     })
 }
 
+/// Random read batches through a *mixed-geometry* two-arm array — one
+/// Diablo 31 plus one Trident under range placement, the composite-shape
+/// fallback path (the capacities do not stack evenly in this order, so the
+/// presented geometry degenerates to one sector per track). Addresses span
+/// the full global space, so every batch straddles the arm seam and the
+/// split/translate/reassemble path runs on both drives each iteration.
+fn array_mixed(cfg: Config, min_wall_ms: u64) -> Measurement {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    let d0 = DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), DiskModel::Trident, 1);
+    let d1 = DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), DiskModel::Diablo31, 2);
+    let mut arr = DriveArray::new(vec![d0, d1], Placement::Range).expect("mixed range array");
+    apply_config(cfg, &trace);
+    arr.set_threading_enabled(cfg.threads);
+    let total = arr.geometry().expect("geometry").sector_count() as u64;
+    let mut rng = SplitMix64::new(0xD1AB10);
+    measure("array_mixed", &clock, min_wall_ms, || {
+        let before = arr.io_stats().ops;
+        let mut batch: Vec<BatchRequest> = (0..ARRAY_RANDOM_BATCH)
+            .map(|_| {
+                let da = DiskAddress((rng.next_u64() % total) as u16);
+                BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed())
+            })
+            .collect();
+        let results = arr.do_batch(&mut batch);
+        for r in &results {
+            assert!(r.is_ok());
+        }
+        alto_disk::pool::recycle_results(results);
+        trace.clear();
+        arr.io_stats().ops - before
+    })
+}
+
 /// Arm counts measured by the drive-array workloads. `k = 1` is the
 /// single-arm control every K-scaling ratio in `docs/PERFORMANCE.md` is
 /// quoted against.
@@ -527,7 +561,7 @@ type ArrayWorkload = fn(Config, usize, u64) -> Measurement;
 
 fn run_config(cfg: Config, min_wall_ms: u64, only: Option<&str>) -> Vec<Measurement> {
     let keep = |name: &str| only.is_none_or(|pat| name.contains(pat));
-    let flat: [(&str, FlatWorkload); 8] = [
+    let flat: [(&str, FlatWorkload); 9] = [
         ("seq_read", seq_read),
         ("seq_write", seq_write),
         ("stream_read", stream_read),
@@ -536,6 +570,7 @@ fn run_config(cfg: Config, min_wall_ms: u64, only: Option<&str>) -> Vec<Measurem
         ("scavenge", scavenge),
         ("campaign", campaign),
         ("dual_batch", dual_batch),
+        ("array_mixed", array_mixed),
     ];
     let mut rows = Vec::new();
     for (name, f) in flat {

@@ -14,7 +14,10 @@ use alto_disk::{
     pool, BatchRequest, Disk, DiskAddress, DiskDrive, DiskModel, SectorBuf, SectorOp, WriteSource,
 };
 use alto_fs::dir;
-use alto_sim::{SimClock, Trace};
+use alto_net::server::{PAGE_SERVICE_SOCKET, READ_REQUEST};
+use alto_net::{ClientConfig, ClientFleet, Ether, Packet, PageServer};
+use alto_os::FsPageService;
+use alto_sim::{SimClock, SimTime, Trace};
 use alto_streams::{DiskByteStream, Stream};
 
 // The one other place in the workspace that opts out of the `unsafe_code`
@@ -220,6 +223,125 @@ fn pooled_steady_state_paths_allocate_nothing() {
     assert_eq!(spent, 0, "steady-state stream reads allocated");
     s.close(&mut fs).expect("close");
     drop(s);
+
+    // Fault-campaign steady state: whole-file rewrites under a 1-in-1000
+    // transient fault rate. The retry path must not allocate either — its
+    // backoff bookkeeping is stack state and its trace formatting is lazy
+    // (gated off here), and the write path's leader read-modify-write moves
+    // cache entries instead of cloning them.
+    let mut cfs = alto_bench::fresh_fs(DiskModel::Diablo31);
+    cfs.disk().trace().set_enabled(false);
+    let root = cfs.root_dir();
+    let cf = dir::create_named_file(&mut cfs, root, "campaign.dat").expect("create");
+    let cbytes = vec![0xC3u8; 20 * 512];
+    cfs.write_file(cf, &cbytes).expect("first write");
+    // A much hotter fault rate than the wall bench's 1e-3: a handful of
+    // faults fire in *every* measured round, so a single allocation
+    // anywhere on the retry path fails loudly instead of flaking in.
+    cfs.disk_mut().injector_mut().set_campaign(0xFA17, 1, 100);
+    // The injector's armed-fault tables allocate on their first insert —
+    // a one-time cost, not a per-fault one. Arm and disarm one fault on
+    // each matcher so both tables hold their capacity before measuring.
+    let inj = cfs.disk_mut().injector_mut();
+    inj.arm(
+        DiskAddress(0),
+        alto_disk::FaultKind::NotReady { attempts: 1 },
+    );
+    inj.arm_read(
+        DiskAddress(0),
+        alto_disk::FaultKind::SoftRead { attempts: 1 },
+    );
+    inj.disarm(DiskAddress(0));
+    for _ in 0..4 {
+        cfs.write_file(cf, &cbytes).expect("warm campaign write");
+    }
+    let fired_before = cfs.disk_mut().injector_mut().fired_count();
+    let before = allocs();
+    for _ in 0..ROUNDS {
+        cfs.write_file(cf, &cbytes).expect("campaign write");
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state campaign rewrites allocated"
+    );
+    assert!(
+        cfs.disk_mut().injector_mut().fired_count() > fired_before,
+        "campaign fired no faults — the retry path was not measured"
+    );
+
+    // Page-server hot path: requests arriving over the ether, batched
+    // through `FsPageService`'s address-sorted zero-copy read, replies
+    // assembled on pooled payloads. Once sessions exist and every pool and
+    // scratch vector has its capacity, a full request/serve/reply/drain
+    // round must not touch the heap at all — this is the bench harness's
+    // "allocs/request" pinned to its steady-state floor.
+    let sclock = SimClock::new();
+    let strace = Trace::new();
+    strace.set_enabled(false);
+    let sdrive =
+        DiskDrive::with_formatted_pack(sclock.clone(), strace.clone(), DiskModel::Trident, 1);
+    let mut sfs = alto_fs::FileSystem::format(sdrive).expect("format");
+    let sroot = sfs.root_dir();
+    let sf = dir::create_named_file(&mut sfs, sroot, "served.dat").expect("create");
+    sfs.write_file(sf, &vec![0x7Eu8; 16 * 512]).expect("write");
+    let mut ether = Ether::new(sclock.clone(), strace);
+    ether.attach(1).expect("server host");
+    let mut server = PageServer::new(1);
+    let mut service = FsPageService::new(&mut sfs);
+    let cfg = ClientConfig::new(1, PAGE_SERVICE_SOCKET);
+    let mut fleet =
+        ClientFleet::new(&mut ether, cfg, 4, |_| "served.dat".to_string()).expect("fleet");
+    // Drive the scripted fleet to completion: opens the sessions and grows
+    // every buffer. Afterwards, hand-rolled request rounds on the now-warm
+    // sessions measure the steady state.
+    while !fleet.all_done() {
+        let a = fleet.tick(&mut ether).expect("fleet tick");
+        let b = server.tick(&mut ether, &mut service).expect("server tick");
+        if a + b == 0 {
+            ether.idle_wait(SimTime::from_millis(1));
+        }
+    }
+    let client_host = 2u8; // first fleet host: its session (socket 0x100) is open
+    let mut drained: Vec<Packet> = Vec::new();
+    let mut round = |measured: bool| {
+        let before = allocs();
+        for page in 1..=16u16 {
+            let mut payload = alto_net::pool::words_vec();
+            payload.extend_from_slice(&[0, page]); // handle 0 in the open session
+            ether
+                .send(Packet {
+                    ptype: READ_REQUEST,
+                    dst_host: 1,
+                    src_host: client_host,
+                    dst_socket: PAGE_SERVICE_SOCKET,
+                    src_socket: alto_net::client::FLEET_SOCKET_BASE,
+                    seq: page,
+                    payload,
+                })
+                .expect("send");
+        }
+        ether.idle_wait(SimTime::from_millis(5));
+        server.tick(&mut ether, &mut service).expect("server tick");
+        ether.idle_wait(SimTime::from_millis(30));
+        ether
+            .drain_arrived(client_host, &mut drained)
+            .expect("drain");
+        let got = drained.len();
+        for pkt in drained.drain(..) {
+            alto_net::pool::recycle_words(pkt.payload);
+        }
+        assert_eq!(got, 16, "not every page reply arrived");
+        if measured {
+            assert_eq!(allocs() - before, 0, "server hot path allocated");
+        }
+    };
+    for _ in 0..4 {
+        round(false);
+    }
+    for _ in 0..ROUNDS {
+        round(true);
+    }
 
     // The ablation switch really is the thing being measured: with pooling
     // off, the same loop must allocate (otherwise the bench's allocs/op

@@ -12,10 +12,13 @@
 //! arrive over the ether from a [`BootServer`] running on a machine that
 //! does have a disk.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use alto_disk::Disk;
+use alto_disk::{Disk, DiskAddress, DATA_WORDS};
+use alto_fs::file::PAGE_BYTES;
+use alto_fs::{dir, FileFullName, FileSystem, PageName};
 use alto_machine::{CodeFile, Machine, MachineError, Step};
+use alto_net::server::{OpenInfo, PageRequest, PageStore, STATUS_IO, STATUS_NO_SUCH_FILE};
 use alto_net::{receive_file, Ether, HostId, Packet, PacketType, ProtoError};
 
 use crate::errors::OsError;
@@ -250,6 +253,185 @@ impl<'a, D: Disk> BootServer<'a, D> {
             BOOT_SOCKET + 2,
             &words,
         )
+    }
+}
+
+/// One file held open on behalf of the fleet: its identity plus the
+/// per-page disk-address hints the service has learned so far.
+#[derive(Debug)]
+struct ServedFile {
+    file: FileFullName,
+    /// `hints[p - 1]` is the best-known address of data page `p`; seeded
+    /// with consecutive guesses from the leader's `next` pointer (§3.6 —
+    /// a wrong guess costs a check miss, never wrong data) and corrected
+    /// from the labels every served batch captures.
+    hints: Vec<DiskAddress>,
+}
+
+/// The disk end of the page server: an [`alto_net::PageStore`] over a real
+/// [`FileSystem`]. Opens resolve through the directory and leader (with
+/// the hint cache behind them); batches are sorted by hinted disk address
+/// across *all* clients and issued through the zero-copy chained read
+/// path, so requests landing on neighbouring sectors ride one command
+/// chain regardless of which client asked. Pages whose hints went stale
+/// fall back to a leader-chain walk, relearning the hints as they go.
+#[derive(Debug)]
+pub struct FsPageService<'a, D: Disk> {
+    fs: &'a mut FileSystem<D>,
+    opens: Vec<ServedFile>,
+    by_name: HashMap<String, u32>,
+    // Scratch, reused across serve calls.
+    order: Vec<usize>,
+    names: Vec<PageName>,
+    sorted_names: Vec<PageName>,
+    /// Pages served through the batched fast path.
+    pub fast_served: u64,
+    /// Pages that needed the chain-walk slow path (stale hints).
+    pub slow_served: u64,
+}
+
+impl<'a, D: Disk> FsPageService<'a, D> {
+    /// Wraps a mounted file system as a page store.
+    pub fn new(fs: &'a mut FileSystem<D>) -> FsPageService<'a, D> {
+        FsPageService {
+            fs,
+            opens: Vec::new(),
+            by_name: HashMap::new(),
+            order: Vec::new(),
+            names: Vec::new(),
+            sorted_names: Vec::new(),
+            fast_served: 0,
+            slow_served: 0,
+        }
+    }
+
+    /// Reads page `page` by walking the leader chain from the front —
+    /// the §3.6 recovery path when hints are wrong — relearning every
+    /// hint on the way. Returns the page's data.
+    fn chain_walk(&mut self, open_id: u32, page: u16) -> Result<[u16; DATA_WORDS], u16> {
+        let open = &self.opens[open_id as usize];
+        let file = open.file;
+        let (leader_label, _) = self.fs.open_leader(file).map_err(|_| STATUS_IO)?;
+        let mut da = leader_label.next;
+        let mut data = None;
+        for p in 1..=page {
+            if da == DiskAddress::NIL {
+                return Err(STATUS_IO);
+            }
+            let (label, d) = self
+                .fs
+                .read_page(PageName::new(file.fv, p, da))
+                .map_err(|_| STATUS_IO)?;
+            let open = &mut self.opens[open_id as usize];
+            open.hints[p as usize - 1] = da;
+            if (p as usize) < open.hints.len() {
+                open.hints[p as usize] = label.next;
+            }
+            da = label.next;
+            data = Some(d);
+        }
+        data.ok_or(STATUS_IO)
+    }
+}
+
+impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
+    fn open(&mut self, name: &str) -> Result<OpenInfo, u16> {
+        if let Some(&open_id) = self.by_name.get(name) {
+            let open = &self.opens[open_id as usize];
+            let pages = open.hints.len() as u16;
+            let length = self.fs.file_length(open.file).map_err(|_| STATUS_IO)?;
+            let last_len = (length - (pages.max(1) as u64 - 1) * PAGE_BYTES as u64) as u16;
+            return Ok(OpenInfo {
+                open_id,
+                pages,
+                last_len,
+            });
+        }
+        let root = self.fs.root_dir();
+        let file = dir::lookup(self.fs, root, name)
+            .map_err(|_| STATUS_IO)?
+            .ok_or(STATUS_NO_SUCH_FILE)?;
+        let (leader_label, _) = self.fs.open_leader(file).map_err(|_| STATUS_IO)?;
+        let length = self.fs.file_length(file).map_err(|_| STATUS_IO)?;
+        let pages = length.div_ceil(PAGE_BYTES as u64).max(1) as u16;
+        let last_len = (length - (pages as u64 - 1) * PAGE_BYTES as u64) as u16;
+        // Seed the hints with consecutive guesses from page 1's address:
+        // allocation strives for consecutive pages, and the label check
+        // turns any wrong guess into a clean per-page miss.
+        let first = leader_label.next;
+        let hints = (0..pages)
+            .map(|p| {
+                if first == DiskAddress::NIL {
+                    DiskAddress::NIL
+                } else {
+                    DiskAddress(first.0.wrapping_add(p))
+                }
+            })
+            .collect();
+        let open_id = self.opens.len() as u32;
+        self.opens.push(ServedFile { file, hints });
+        self.by_name.insert(name.to_string(), open_id);
+        Ok(OpenInfo {
+            open_id,
+            pages,
+            last_len,
+        })
+    }
+
+    fn serve<F>(&mut self, reqs: &[PageRequest], failed: &mut Vec<(u32, u16)>, mut deliver: F)
+    where
+        F: FnMut(u32, &[u16; DATA_WORDS]),
+    {
+        // Name every request at its hinted address, then sort the batch by
+        // disk address across clients — the whole point: neighbouring
+        // sectors coalesce into one command chain no matter who asked.
+        self.names.clear();
+        self.names.extend(reqs.iter().map(|r| {
+            let open = &self.opens[r.open_id as usize];
+            PageName::new(open.file.fv, r.page, open.hints[r.page as usize - 1])
+        }));
+        self.order.clear();
+        self.order.extend(0..reqs.len());
+        let names = &self.names;
+        self.order.sort_by_key(|&i| names[i].da.0);
+        self.sorted_names.clear();
+        self.sorted_names
+            .extend(self.order.iter().map(|&i| names[i]));
+
+        let fast = &mut self.fast_served;
+        let opens = &mut self.opens;
+        let order = &self.order;
+        let labels = alto_fs::page::read_pages_zero_copy(
+            self.fs.disk_mut(),
+            &self.sorted_names,
+            |k, label, view| {
+                let i = order[k];
+                let r = &reqs[i];
+                *fast += 1;
+                // Learn the next page's address from the captured label.
+                let open = &mut opens[r.open_id as usize];
+                if (r.page as usize) < open.hints.len() {
+                    open.hints[r.page as usize] = label.next;
+                }
+                deliver(r.tag, view.data());
+            },
+        );
+        // Stale hints (or real faults): walk the chain from the leader.
+        for (k, res) in labels.iter().enumerate() {
+            if res.is_ok() {
+                continue;
+            }
+            let i = self.order[k];
+            let r = reqs[i];
+            match self.chain_walk(r.open_id, r.page) {
+                Ok(data) => {
+                    self.slow_served += 1;
+                    deliver(r.tag, &data);
+                }
+                Err(status) => failed.push((r.tag, status)),
+            }
+        }
+        alto_fs::pool::recycle_labels(labels);
     }
 }
 

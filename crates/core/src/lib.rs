@@ -50,7 +50,7 @@ pub mod typeahead;
 pub mod vmisr;
 
 pub use debug::{Breakpoint, DebugStop, SwateeDebugger};
-pub use diskless::{BootServer, DisklessOs};
+pub use diskless::{BootServer, DisklessOs, FsPageService};
 pub use errors::OsError;
 pub use levels::{Level, LevelTable, LEVEL_COUNT};
 pub use os::AltoOs;

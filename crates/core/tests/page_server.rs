@@ -1,0 +1,200 @@
+//! End-to-end page-server tests (§5.2): a fleet of scripted diskless
+//! clients against `PageServer` + `FsPageService` over the shared ether.
+//!
+//! Covers the tentpole wiring (batched cross-client service, zero-copy
+//! replies) plus the loss-recovery requirement: a run under packet loss
+//! must serve byte-for-byte what the lossless run serves, recovered
+//! entirely by client retransmission against the idempotent server.
+
+use alto_disk::{DiskDrive, DiskModel};
+use alto_fs::file::PAGE_BYTES;
+use alto_fs::{dir, FileSystem};
+use alto_net::server::PAGE_SERVICE_SOCKET;
+use alto_net::{ClientConfig, ClientFleet, ClientPhase, Ether, PageServer};
+use alto_os::FsPageService;
+use alto_sim::{SimClock, SimTime, Trace};
+
+/// Deterministic content for file `f`: `pages` full-ish pages.
+fn file_bytes(f: usize, pages: usize) -> Vec<u8> {
+    let len = pages * PAGE_BYTES - 100; // short last page
+    (0..len).map(|i| (i * 31 + f * 7) as u8).collect()
+}
+
+struct RunResult {
+    digest: u64,
+    served_words: u64,
+    done: u64,
+    failed: u64,
+    retransmits: u64,
+    served: u64,
+    batches: u64,
+    elapsed: SimTime,
+    p99_samples: usize,
+}
+
+/// Builds a disk with `files` files of `pages` pages each, then runs
+/// `clients` scripted clients to completion and returns what they saw.
+fn run(
+    clients: usize,
+    files: usize,
+    pages: usize,
+    loss: Option<(u64, u64, u64)>,
+    batching: bool,
+) -> RunResult {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    trace.set_enabled(false);
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), DiskModel::Trident, 1);
+    let mut fs = FileSystem::format(drive).expect("format");
+    let root = fs.root_dir();
+    let names: Vec<String> = (0..files).map(|f| format!("load{f}.dat")).collect();
+    for (f, name) in names.iter().enumerate() {
+        let file = dir::create_named_file(&mut fs, root, name).expect("create");
+        fs.write_file(file, &file_bytes(f, pages)).expect("write");
+    }
+
+    let mut ether = Ether::new(clock.clone(), trace);
+    ether.attach(1).expect("server host");
+    if let Some((num, denom, seed)) = loss {
+        ether.set_loss(num, denom, seed);
+    }
+    let mut server = PageServer::new(1);
+    server.set_batching_enabled(batching);
+    let cfg = ClientConfig::new(1, PAGE_SERVICE_SOCKET);
+    let mut fleet =
+        ClientFleet::new(&mut ether, cfg, clients, |i| names[i % files].clone()).expect("fleet");
+    let mut service = FsPageService::new(&mut fs);
+
+    let start = clock.now();
+    let mut spins = 0u64;
+    while !fleet.all_done() {
+        let a = fleet.tick(&mut ether).expect("fleet tick");
+        let b = server.tick(&mut ether, &mut service).expect("server tick");
+        if a + b == 0 {
+            ether.idle_wait(SimTime::from_millis(1));
+        }
+        spins += 1;
+        assert!(spins < 2_000_000, "run did not converge");
+    }
+    let stats = fleet.stats();
+    RunResult {
+        digest: fleet.digest(),
+        served_words: stats.served_words,
+        done: stats.done,
+        failed: stats.failed,
+        retransmits: stats.retransmits,
+        served: server.stats.served,
+        batches: server.stats.batches,
+        elapsed: clock.now().saturating_sub(start),
+        p99_samples: fleet.samples.len(),
+    }
+}
+
+#[test]
+fn a_single_client_receives_exact_file_contents() {
+    let r = run(1, 1, 3, None, true);
+    assert_eq!(r.done, 1);
+    assert_eq!(r.failed, 0);
+    // The client folds every served word with the same commutative rule we
+    // can apply to the file image directly: page data is the file's bytes
+    // packed big-endian, zero-padded to a full sector.
+    let bytes = file_bytes(0, 3);
+    let mut expected = 0u64;
+    for page in 1..=3u64 {
+        let lo = (page as usize - 1) * PAGE_BYTES;
+        let hi = (lo + PAGE_BYTES).min(bytes.len());
+        let mut words = alto_fs::file::bytes_to_words(&bytes[lo..hi]);
+        words.resize(PAGE_BYTES / 2, 0);
+        for (i, &w) in words.iter().enumerate() {
+            expected = expected.wrapping_add((page << 32) ^ ((i as u64) << 16) ^ w as u64);
+        }
+    }
+    assert_eq!(r.digest, expected, "served data diverges from the file");
+    assert_eq!(r.served_words, 3 * (PAGE_BYTES as u64 / 2));
+}
+
+#[test]
+fn a_fleet_is_served_completely_and_batched() {
+    let r = run(64, 4, 4, None, true);
+    assert_eq!(r.done, 64);
+    assert_eq!(r.failed, 0);
+    assert_eq!(r.served, 64 * 4);
+    assert_eq!(r.p99_samples, 64 * 4);
+    // Batching must actually coalesce: far fewer store batches than pages.
+    assert!(
+        r.batches * 4 < r.served,
+        "only {} served across {} batches",
+        r.served,
+        r.batches
+    );
+}
+
+#[test]
+fn naive_ablation_serves_identical_bytes_but_slower() {
+    let batched = run(48, 3, 3, None, true);
+    let naive = run(48, 3, 3, None, false);
+    assert_eq!(naive.done, 48);
+    assert_eq!(
+        naive.digest, batched.digest,
+        "ablation changed served bytes"
+    );
+    assert_eq!(naive.served_words, batched.served_words);
+    // One store batch per request in the ablation.
+    assert_eq!(naive.batches, naive.served);
+    // And the whole point: batching is strictly faster in simulated time.
+    assert!(
+        batched.elapsed < naive.elapsed,
+        "batched {:?} not faster than naive {:?}",
+        batched.elapsed,
+        naive.elapsed
+    );
+}
+
+#[test]
+fn packet_loss_recovers_with_zero_served_byte_divergence() {
+    let lossless = run(32, 4, 4, None, true);
+    // 1-in-6 loss hits both requests and replies (the ether drops either
+    // direction); the client cannot tell which was lost and just
+    // retransmits — the server's idempotence makes that safe.
+    let lossy = run(32, 4, 4, Some((1, 6, 0xA17E)), true);
+    assert_eq!(lossy.done, 32);
+    assert_eq!(lossy.failed, 0);
+    assert!(
+        lossy.retransmits > 0,
+        "loss run saw no retransmissions — loss not exercised"
+    );
+    assert_eq!(
+        lossy.digest, lossless.digest,
+        "served bytes diverged under loss"
+    );
+    assert_eq!(lossy.served_words, lossless.served_words);
+}
+
+#[test]
+fn unknown_files_fail_the_client_cleanly() {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    trace.set_enabled(false);
+    let drive =
+        DiskDrive::with_formatted_pack(clock.clone(), trace.clone(), DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive).expect("format");
+    let mut ether = Ether::new(clock.clone(), trace);
+    ether.attach(1).expect("server host");
+    let mut server = PageServer::new(1);
+    let cfg = ClientConfig::new(1, PAGE_SERVICE_SOCKET);
+    let mut fleet =
+        ClientFleet::new(&mut ether, cfg, 1, |_| "ghost.dat".to_string()).expect("fleet");
+    let mut service = FsPageService::new(&mut fs);
+    let mut spins = 0u64;
+    while !fleet.all_done() {
+        let a = fleet.tick(&mut ether).expect("fleet tick");
+        let b = server.tick(&mut ether, &mut service).expect("server tick");
+        if a + b == 0 {
+            ether.idle_wait(SimTime::from_millis(1));
+        }
+        spins += 1;
+        assert!(spins < 100_000);
+    }
+    assert_eq!(fleet.client(0).phase(), ClientPhase::Failed);
+    assert_eq!(server.stats.errors, 1);
+}

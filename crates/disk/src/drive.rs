@@ -60,6 +60,40 @@ pub trait Disk {
             .collect()
     }
 
+    /// Chained batch read with zero-copy delivery: services every address
+    /// in `das` exactly like [`Disk::do_batch`] given [`SectorOp::READ_ALL`]
+    /// requests — same timing, stats and traces — but lends each serviced
+    /// sector to `visit` as a borrowed [`SectorView`] instead of copying its
+    /// 532 bytes into a caller-owned buffer. `visit` runs at most once per
+    /// request (never for a failed one) with the request's index in `das`;
+    /// the visit order is implementation-defined (service order on a real
+    /// drive, index order for the staged default).
+    ///
+    /// The default stages through [`Disk::do_batch`] — bit-identical
+    /// results, timing, stats and traces, just with the 512-byte copy in.
+    /// [`DiskDrive`] overrides it with a genuinely zero-copy chain and
+    /// [`crate::DriveArray`] splits it across arms on overlapped
+    /// sub-timelines.
+    fn do_batch_read<F>(&mut self, das: &[DiskAddress], mut visit: F) -> Vec<Result<(), DiskError>>
+    where
+        Self: Sized,
+        F: FnMut(usize, SectorView<'_>),
+    {
+        let mut batch = pool::batch_vec();
+        batch.extend(
+            das.iter()
+                .map(|&da| BatchRequest::new(da, SectorOp::READ_ALL, SectorBuf::zeroed())),
+        );
+        let results = self.do_batch(&mut batch);
+        for (i, (req, res)) in batch.iter().zip(results.iter()).enumerate() {
+            if res.is_ok() {
+                visit(i, SectorView::of_buf(&req.buf));
+            }
+        }
+        pool::recycle_batch(batch);
+        results
+    }
+
     /// Performs a batch of ordinary data writes ([`SectorOp::WRITE`]: header
     /// and label checked, value written) with borrowed buffers: `source`
     /// supplies request `i`'s check patterns and a borrow of its data words,
@@ -960,6 +994,15 @@ impl DiskDrive {
 impl Disk for DiskDrive {
     fn geometry(&self) -> Result<DiskGeometry, DiskError> {
         Ok(self.pack.as_ref().ok_or(DiskError::NoPack)?.pack.geometry())
+    }
+
+    // The genuinely zero-copy chain (the inherent method predates the trait
+    // hook; generic callers now reach it through the trait).
+    fn do_batch_read<F>(&mut self, das: &[DiskAddress], visit: F) -> Vec<Result<(), DiskError>>
+    where
+        F: FnMut(usize, SectorView<'_>),
+    {
+        DiskDrive::do_batch_read(self, das, visit)
     }
 
     // Counted when the write is *attempted* (before the check), so even an

@@ -128,6 +128,13 @@ impl Disk for DualDrive {
         self.array.do_batch(batch)
     }
 
+    fn do_batch_read<F>(&mut self, das: &[DiskAddress], visit: F) -> Vec<Result<(), DiskError>>
+    where
+        F: FnMut(usize, crate::view::SectorView<'_>),
+    {
+        self.array.do_batch_read(das, visit)
+    }
+
     fn note_readahead(&mut self, hits: u64, prefetched: u64) {
         self.array.note_readahead(hits, prefetched);
     }

@@ -237,12 +237,15 @@ impl FaultInjector {
                 apply(op, da, &mut scratch, buf)
             }
             FaultKind::TornWrite { words_written } => {
-                let keep: Vec<u16> = sector.data[words_written.min(DATA_WORDS)..].to_vec();
+                // Stack copy, not a Vec: faults fire inside hot retry loops
+                // and the injector must not be an allocation source there.
+                let cut = words_written.min(DATA_WORDS);
+                let mut keep = [0u16; DATA_WORDS];
+                keep[cut..].copy_from_slice(&sector.data[cut..]);
                 let result = apply(op, da, sector, buf);
                 if result.is_ok() && op.value == Action::Write {
                     // Tail of the value part never reached the medium.
-                    let cut = words_written.min(DATA_WORDS);
-                    sector.data[cut..].copy_from_slice(&keep);
+                    sector.data[cut..].copy_from_slice(&keep[cut..]);
                 }
                 result
             }

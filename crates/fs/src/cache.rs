@@ -217,6 +217,30 @@ impl HintCache {
             .map(|c| (c.label, c.leader.clone()))
     }
 
+    /// Like [`Self::leader`], but *moves* the cached entry out instead of
+    /// cloning it. The write path takes the leader, mutates it in place, and
+    /// reinstalls it by value via the post-write install — a whole
+    /// read-modify-write cycle with zero heap traffic on a warm cache.
+    pub(crate) fn take_leader(
+        &mut self,
+        file: FileFullName,
+        epoch: u64,
+    ) -> Option<(Label, LeaderPage)> {
+        if !self.enabled {
+            return None;
+        }
+        match self.leaders.remove(&file.fv) {
+            Some(c) if c.epoch == epoch && c.leader_da == file.leader_da => {
+                Some((c.label, c.leader))
+            }
+            Some(_) => {
+                self.stats.invalidations += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
     /// Installs `file`'s leader, as read from (or just written to) the disk
     /// at `epoch`.
     pub(crate) fn install_leader(

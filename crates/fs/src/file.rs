@@ -27,6 +27,7 @@ use crate::errors::FsError;
 use crate::leader::LeaderPage;
 use crate::names::{FileFullName, Fv, PageName, SerialNumber};
 use crate::page;
+use crate::pool;
 
 /// Bytes per page.
 pub const PAGE_BYTES: usize = DATA_WORDS * 2;
@@ -344,7 +345,8 @@ impl<D: Disk> FileSystem<D> {
         let payload = words_to_bytes(&self.desc.encode());
         // The descriptor's size is fixed, so this rewrites data pages in
         // place with ordinary writes (no allocation, no label rewrites).
-        self.overwrite_in_place(desc_name, &payload)?;
+        let (leader_label, leader) = self.open_leader(desc_name)?;
+        self.overwrite_in_place(desc_name, &payload, leader_label, &leader)?;
         Ok(())
     }
 
@@ -610,13 +612,42 @@ impl<D: Disk> FileSystem<D> {
     /// Rewrites the leader page's *data* (dates, name, hints); the leader's
     /// label is checked but unchanged, so this is an ordinary write.
     pub fn write_leader(&mut self, file: FileFullName, leader: &LeaderPage) -> Result<(), FsError> {
+        self.write_leader_install(file, leader.clone())
+    }
+
+    /// [`Self::write_leader`] taking the leader by value: the post-write
+    /// cache install moves it instead of cloning, so read-modify-write
+    /// cycles that own their leader stay heap-free.
+    pub fn write_leader_install(
+        &mut self,
+        file: FileFullName,
+        leader: LeaderPage,
+    ) -> Result<(), FsError> {
         let label = self.write_page(file.leader_page(), &leader.encode())?;
         // The write bumped the epoch; re-install what is now on disk so the
         // next open of this file is a hit.
         let epoch = self.disk.write_epoch();
-        self.cache
-            .install_leader(file, epoch, label, leader.clone());
+        self.cache.install_leader(file, epoch, label, leader);
         Ok(())
+    }
+
+    /// Opens the leader of `file` for update: a cache hit *moves* the entry
+    /// out (zero heap traffic), a miss reads and decodes it from the disk
+    /// without installing — the caller is about to rewrite the leader and
+    /// will reinstall the updated copy via [`Self::write_leader_install`].
+    fn take_leader(&mut self, file: FileFullName) -> Result<(Label, LeaderPage), FsError> {
+        let epoch = self.disk.write_epoch();
+        if let Some(hit) = self.cache.take_leader(file, epoch) {
+            self.cache.stats.leader_hits += 1;
+            self.trace_cache("fs.cache_hit", || format!("leader {} (take)", file.fv));
+            return Ok(hit);
+        }
+        if self.cache.enabled() {
+            self.cache.stats.leader_misses += 1;
+            self.trace_cache("fs.cache_miss", || format!("leader {} (take)", file.fv));
+        }
+        let (label, data) = self.read_page(file.leader_page())?;
+        Ok((label, LeaderPage::decode(&data)))
     }
 
     /// The file's length in data bytes, computed from the last page's label
@@ -635,17 +666,20 @@ impl<D: Disk> FileSystem<D> {
     /// in place, extending or truncating as needed, and updating the
     /// leader's written date and last-page hints.
     pub fn write_file(&mut self, file: FileFullName, bytes: &[u8]) -> Result<(), FsError> {
-        let consecutive = self.overwrite_in_place(file, bytes)?;
-        let mut leader = self.read_leader(file)?;
+        // Take the leader out of the cache (a move, not a clone), rewrite
+        // the pages, then write the updated leader back and reinstall it by
+        // value: the whole cycle is heap-free on a warm cache.
+        let (leader_label, mut leader) = self.take_leader(file)?;
+        let (consecutive, last_da) = self.overwrite_in_place(file, bytes, leader_label, &leader)?;
         leader.written = self.now();
-        let (last_pn, _) = self.locate_last_page(file)?;
-        leader.last_page = last_pn.page;
-        leader.last_da = last_pn.da;
+        // The rewrite walked every page, so the tail hints come for free —
+        // no separate link chase to locate the last page.
+        leader.last_page = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
+        leader.last_da = last_da;
         // The rewrite just walked every link: record whether guessed
         // consecutive batches will pay off on this file from now on.
         leader.maybe_consecutive = consecutive;
-        self.write_leader(file, &leader)?;
-        Ok(())
+        self.write_leader_install(file, leader)
     }
 
     /// Writes words into the leader page's user property space (§3.6's
@@ -742,12 +776,22 @@ impl<D: Disk> FileSystem<D> {
     /// fails its label check before anything is written); the last page,
     /// length changes, extension and truncation take the per-page path.
     ///
-    /// Returns true if the data pages it walked were (nearly) consecutive
-    /// on the disk — the caller records this in the leader so future reads
-    /// and rewrites know guessed batches are worth issuing.
-    fn overwrite_in_place(&mut self, file: FileFullName, bytes: &[u8]) -> Result<bool, FsError> {
+    /// Takes the leader (label and decoded page) the caller already holds;
+    /// the leader page itself is never touched here.
+    ///
+    /// Returns `(consecutive, last_da)`: whether the data pages it walked
+    /// were (nearly) consecutive on the disk — the caller records this in
+    /// the leader so future reads and rewrites know guessed batches are
+    /// worth issuing — and the disk address of the file's last page, so the
+    /// caller can update the leader's tail hints without a link chase.
+    fn overwrite_in_place(
+        &mut self,
+        file: FileFullName,
+        bytes: &[u8],
+        leader_label: Label,
+        leader: &LeaderPage,
+    ) -> Result<(bool, DiskAddress), FsError> {
         let new_pages = bytes.len().div_ceil(PAGE_BYTES).max(1) as u16;
-        let (leader_label, leader) = self.open_leader(file)?;
         let mut n: u16 = 1;
         let mut prev_da = file.leader_da;
         let mut da = leader_label.next; // page 1's address
@@ -765,6 +809,9 @@ impl<D: Disk> FileSystem<D> {
         // label check and let a wrong guess through, so such files (and
         // non-consecutive ones) take the per-page path below.
         if leader.maybe_consecutive && file.fv.serial.words()[1] != 0 {
+            // Staging and result vectors are pooled and reused across
+            // batches: a warm rewrite allocates nothing here.
+            let mut chunks = pool::chunks_vec();
             'batched: while n < new_pages && !da.is_nil() {
                 // Only full, already-existing pages belong in a batch:
                 // clamp to the page before the last new one and to the old
@@ -776,7 +823,7 @@ impl<D: Disk> FileSystem<D> {
                 if count == 0 {
                     break;
                 }
-                let mut chunks = Vec::with_capacity(count as usize);
+                chunks.clear();
                 for j in 0..count {
                     let start = (n + j - 1) as usize * PAGE_BYTES;
                     let mut data = [0u16; DATA_WORDS];
@@ -789,7 +836,11 @@ impl<D: Disk> FileSystem<D> {
                     PageName::new(file.fv, n, da),
                     &chunks,
                 )?;
-                for (j, res) in labels.into_iter().enumerate() {
+                // True when the batch ended on a good link and the next
+                // batch should be issued from `da`; false diverts to the
+                // per-page path below.
+                let mut resume = false;
+                for (j, res) in labels.iter().enumerate() {
                     let j = j as u16;
                     let this_da = DiskAddress(da.0.wrapping_add(j));
                     match res {
@@ -801,15 +852,15 @@ impl<D: Disk> FileSystem<D> {
                                 n += j;
                                 da = this_da;
                                 prev_state = None;
-                                break 'batched;
+                                break;
                             }
                             if captured.next.is_nil() {
                                 // Old chain ends here; the rest extends.
                                 n += j + 1;
                                 prev_da = this_da;
                                 da = DiskAddress::NIL;
-                                prev_state = Some((captured, chunks[j as usize]));
-                                break 'batched;
+                                prev_state = Some((*captured, chunks[j as usize]));
+                                break;
                             }
                             let guessed = DiskAddress(this_da.0.wrapping_add(1));
                             if captured.next != guessed || j + 1 == count {
@@ -819,8 +870,9 @@ impl<D: Disk> FileSystem<D> {
                                 n += j + 1;
                                 prev_da = this_da;
                                 da = captured.next;
-                                prev_state = Some((captured, chunks[j as usize]));
-                                continue 'batched;
+                                prev_state = Some((*captured, chunks[j as usize]));
+                                resume = true;
+                                break;
                             }
                         }
                         // Entry 0's address came from the real chain; later
@@ -831,14 +883,19 @@ impl<D: Disk> FileSystem<D> {
                             n += j;
                             da = this_da;
                             prev_state = None;
-                            break 'batched;
+                            break;
                         }
                     }
                 }
-                // Unreachable (the last entry always diverts above), but
-                // guarantees forward progress.
-                break 'batched;
+                pool::recycle_labels(labels);
+                if !resume {
+                    // The last entry always diverts (length change, chain
+                    // end, or link jump), so falling out of the member loop
+                    // without a resume means the per-page path takes over.
+                    break 'batched;
+                }
             }
+            pool::recycle_chunks(chunks);
         }
 
         while n <= new_pages {
@@ -921,7 +978,7 @@ impl<D: Disk> FileSystem<D> {
             }
             n += 1;
         }
-        Ok(jumps <= 1 + new_pages as u32 / 16)
+        Ok((jumps <= 1 + new_pages as u32 / 16, prev_da))
     }
 
     /// Frees the chain of pages starting at `(fv, first_page)` @ `da`.

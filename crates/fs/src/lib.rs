@@ -44,6 +44,7 @@ pub mod journal;
 pub mod leader;
 pub mod names;
 pub mod page;
+pub mod pool;
 pub mod scavenge;
 
 pub use cache::CacheStats;

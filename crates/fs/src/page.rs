@@ -275,6 +275,69 @@ pub fn read_pages_guessed<D: Disk>(
     Ok(out)
 }
 
+/// Reads a set of named pages — possibly belonging to many files — as one
+/// chained zero-copy batch at their hinted addresses, lending each page's
+/// platter sector to `visit` instead of copying it into a staging buffer.
+///
+/// This is the §3.6 hint discipline on the view path: every page's label
+/// is *software re-verified* against its full name `(fv, page)` straight
+/// off the borrowed sector words before `visit` sees it, so a stale hint
+/// yields a check error for that entry (never someone else's data) and the
+/// caller climbs the hint ladder. `visit(i, label, view)` runs at most
+/// once per entry, only for pages that verified.
+///
+/// Transient failures are retried sector-at-a-time under the bounded-retry
+/// discipline (the drive halted its chain there and rescheduled the rest,
+/// so only the failed member re-issues, through a private staging buffer).
+///
+/// Returns one verified label (or error) per entry, in entry order, in a
+/// pooled vector — recycle it with [`crate::pool::recycle_labels`]. This
+/// is the page-service hot path: the Alto-as-file-server request loop
+/// feeds every client's reads into one call, sorted by disk address.
+pub fn read_pages_zero_copy<D, V>(
+    disk: &mut D,
+    reads: &[PageName],
+    mut visit: V,
+) -> Vec<Result<Label, FsError>>
+where
+    D: Disk,
+    V: FnMut(usize, Label, SectorView<'_>),
+{
+    let mut das = pool::da_vec();
+    das.extend(reads.iter().map(|r| r.da));
+    let mut out = crate::pool::labels_vec();
+    // Placeholder, overwritten below: the visitor fills verified entries
+    // and the result pass fills every failed one.
+    out.resize_with(reads.len(), || Err(FsError::Disk(DiskError::NoPack)));
+    let results = disk.do_batch_read(&das, |i, view| {
+        let r = &reads[i];
+        out[i] = verified_label_view(r.da, r.fv, r.page, view).inspect(|&label| {
+            visit(i, label, view);
+        });
+    });
+    for (i, res) in results.iter().enumerate() {
+        match res {
+            Ok(()) => {}
+            Err(e @ DiskError::Transient { .. }) => {
+                let r = &reads[i];
+                let mut buf = SectorBuf::zeroed();
+                out[i] = complete_with_retry(disk, r.da, SectorOp::READ_ALL, &mut buf, *e)
+                    .map_err(FsError::from)
+                    .and_then(|()| {
+                        let label =
+                            verified_label_view(r.da, r.fv, r.page, SectorView::of_buf(&buf))?;
+                        visit(i, label, SectorView::of_buf(&buf));
+                        Ok(label)
+                    });
+            }
+            Err(e) => out[i] = Err(FsError::from(*e)),
+        }
+    }
+    pool::recycle_results(results);
+    pool::recycle_das(das);
+    out
+}
+
 /// Writes full data pages `start.page ..` of one file as a chained batch
 /// at guessed consecutive addresses — the write-side twin of
 /// [`read_pages_guessed`]. Each request is an ordinary data write whose
@@ -301,16 +364,18 @@ pub fn write_pages_guessed<D: Disk>(
         batch.push(BatchRequest::new(da, SectorOp::WRITE, buf));
     }
     let mut results = batch_with_retry(disk, &mut batch);
-    let out = results
-        .drain(..)
-        .zip(batch.drain(..))
-        .enumerate()
-        .map(|(j, (res, req))| {
-            let da = DiskAddress(start.da.0.wrapping_add(j as u16));
-            res.map_err(FsError::from)
-                .and_then(|()| verified_label(da, fv, start.page + j as u16, &req.buf))
-        })
-        .collect();
+    let mut out = crate::pool::labels_vec();
+    out.extend(
+        results
+            .drain(..)
+            .zip(batch.drain(..))
+            .enumerate()
+            .map(|(j, (res, req))| {
+                let da = DiskAddress(start.da.0.wrapping_add(j as u16));
+                res.map_err(FsError::from)
+                    .and_then(|()| verified_label(da, fv, start.page + j as u16, &req.buf))
+            }),
+    );
     pool::recycle_results(results);
     pool::recycle_batch(batch);
     Ok(out)

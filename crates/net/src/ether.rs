@@ -10,7 +10,8 @@ use std::collections::VecDeque;
 
 use alto_sim::{SimClock, SimTime, SplitMix64, Trace};
 
-use crate::packet::Packet;
+use crate::packet::{Packet, MAX_PAYLOAD_WORDS};
+use crate::pool;
 
 /// A host address on the ether (0 is broadcast and cannot be a host).
 pub type HostId = u8;
@@ -22,6 +23,11 @@ pub enum NetError {
     NoSuchHost(HostId),
     /// A host id was attached twice.
     HostInUse(HostId),
+    /// The payload exceeds [`MAX_PAYLOAD_WORDS`]; nothing was put on the
+    /// wire (an encoded oversize would be rejected by every receiver, so
+    /// the interface refuses it up front instead of wasting wire time —
+    /// or, as it once did, panicking on its own transmission).
+    Oversized(usize),
 }
 
 impl std::fmt::Display for NetError {
@@ -29,6 +35,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::NoSuchHost(h) => write!(f, "no host {h} on the ether"),
             NetError::HostInUse(h) => write!(f, "host {h} already attached"),
+            NetError::Oversized(words) => {
+                write!(f, "payload of {words} words exceeds {MAX_PAYLOAD_WORDS}")
+            }
         }
     }
 }
@@ -120,7 +129,17 @@ impl Ether {
         if packet.dst_host != 0 {
             self.check_attached(packet.dst_host)?;
         }
-        let wire = packet.encode();
+        if packet.payload.len() > MAX_PAYLOAD_WORDS {
+            // Refuse before charging the wire: the receive side would
+            // reject the image anyway (see `Packet::decode`), and the
+            // sender finding out *here* is the bug fix — this used to
+            // panic on the self-decode below.
+            return Err(NetError::Oversized(packet.payload.len()));
+        }
+        // The wire image is staged on a recycled vector; the consumed
+        // packet's payload is recycled below once its words are encoded.
+        let mut wire = pool::words_vec();
+        packet.encode_into(&mut wire);
         // lint: allow(clock-discipline) — the Ethernet is a hardware model
         // with the same standing as the disk: transmission charges wire time
         // per word to the shared timeline
@@ -130,31 +149,49 @@ impl Ether {
         if self.loss_num > 0 && self.rng.chance(self.loss_num, self.loss_denom) {
             self.lost += 1;
             self.trace
-                .record(arrival, "net.lost", format!("seq {}", packet.seq));
+                .record_with(arrival, "net.lost", || format!("seq {}", packet.seq));
+            pool::recycle_words(wire);
+            pool::recycle_words(packet.payload);
             return Ok(());
         }
-        // Receivers re-validate the wire format, as real software must.
-        let delivered = Packet::decode(&wire).expect("self-encoded packet");
-        for inbox in &mut self.inboxes {
-            let to_me = packet.dst_host == inbox.host
-                || (packet.dst_host == 0 && packet.src_host != inbox.host);
-            if to_me {
-                inbox.queue.push_back((arrival, delivered.clone()));
-            }
-        }
-        self.trace.record(
-            arrival,
-            "net.sent",
+        self.trace.record_with(arrival, "net.sent", || {
             format!(
                 "{} -> {} seq {}",
                 packet.src_host, packet.dst_host, packet.seq
-            ),
-        );
+            )
+        });
+        if packet.dst_host != 0 {
+            // Unicast: decode once onto the sender's recycled payload
+            // vector and *move* the packet into the one inbox — the hot
+            // path delivers with zero heap traffic.
+            let delivered =
+                Packet::decode_with(&wire, packet.payload).expect("self-encoded packet");
+            pool::recycle_words(wire);
+            if let Some(inbox) = self.inboxes.iter_mut().find(|i| i.host == packet.dst_host) {
+                inbox.queue.push_back((arrival, delivered));
+            }
+            return Ok(());
+        }
+        // Broadcast: every other host revalidates and takes its own copy.
+        for k in 0..self.inboxes.len() {
+            if packet.src_host == self.inboxes[k].host {
+                continue;
+            }
+            let delivered =
+                Packet::decode_with(&wire, pool::words_vec()).expect("self-encoded packet");
+            self.inboxes[k].queue.push_back((arrival, delivered));
+        }
+        pool::recycle_words(wire);
+        pool::recycle_words(packet.payload);
         Ok(())
     }
 
     /// Receives the next packet for `host` on `socket` that has arrived by
     /// the current simulated time.
+    ///
+    /// This scans the host's queue for one socket; a host multiplexing many
+    /// sockets (the page server, a client fleet) should prefer
+    /// [`Ether::drain_arrived`] and route by socket itself.
     pub fn receive(&mut self, host: HostId, socket: u16) -> Result<Option<Packet>, NetError> {
         let now = self.clock.now();
         let inbox = self
@@ -167,6 +204,43 @@ impl Ether {
             .iter()
             .position(|(at, p)| *at <= now && p.dst_socket == socket);
         Ok(pos.and_then(|i| inbox.queue.remove(i)).map(|(_, p)| p))
+    }
+
+    /// Drains every packet that has arrived at `host` by the current
+    /// simulated time into `out`, in arrival order, across all sockets —
+    /// the batch receive the page server's request loop is built on: one
+    /// pass over the inbox per tick instead of one scan per socket.
+    ///
+    /// Recycle each consumed packet's payload with
+    /// [`pool::recycle_words`] to keep the steady state allocation-free.
+    pub fn drain_arrived(&mut self, host: HostId, out: &mut Vec<Packet>) -> Result<(), NetError> {
+        let now = self.clock.now();
+        let inbox = self
+            .inboxes
+            .iter_mut()
+            .find(|i| i.host == host)
+            .ok_or(NetError::NoSuchHost(host))?;
+        // Arrival times are monotone (every send happens at a later clock
+        // instant), so the arrived prefix is exactly the front of the queue.
+        while let Some((at, _)) = inbox.queue.front() {
+            if *at > now {
+                break;
+            }
+            let (_, p) = inbox.queue.pop_front().unwrap_or_else(|| unreachable!());
+            out.push(p);
+        }
+        Ok(())
+    }
+
+    /// Advances the shared clock by `dt` with nothing on the wire — the
+    /// polling quantum a host burns waiting for timeouts to mature (e.g. a
+    /// client fleet whose every outstanding request is waiting out its
+    /// retransmission timer after a loss).
+    pub fn idle_wait(&mut self, dt: SimTime) {
+        // lint: allow(clock-discipline) — the Ethernet is a hardware model
+        // with the same standing as the disk: idle waiting charges the
+        // shared timeline just as transmission does
+        self.clock.advance(dt);
     }
 
     /// Packets waiting (arrived or in flight) for a host.
@@ -279,6 +353,49 @@ mod tests {
             received += 1;
         }
         assert_eq!(received + e.lost, 100);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_not_panicked() {
+        use crate::packet::MAX_PAYLOAD_WORDS;
+        let mut e = ether();
+        let mut p = packet(1, 2, 0x30, 1);
+        p.payload = vec![0; MAX_PAYLOAD_WORDS + 1];
+        let before = e.clock().now();
+        assert_eq!(e.send(p), Err(NetError::Oversized(MAX_PAYLOAD_WORDS + 1)));
+        // Nothing was charged to the wire and nothing was counted sent.
+        assert_eq!(e.clock().now(), before);
+        assert_eq!(e.sent, 0);
+        // A maximum-size payload still goes through.
+        let mut p = packet(1, 2, 0x30, 2);
+        p.payload = vec![0; MAX_PAYLOAD_WORDS];
+        e.send(p).unwrap();
+        assert_eq!(e.receive(2, 0x30).unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn drain_arrived_pops_every_socket_in_arrival_order() {
+        let mut e = ether();
+        e.send(packet(1, 2, 0x30, 1)).unwrap();
+        e.send(packet(3, 2, 0x31, 2)).unwrap();
+        e.send(packet(1, 2, 0x32, 3)).unwrap();
+        // A packet for someone else does not show up.
+        e.send(packet(1, 3, 0x30, 9)).unwrap();
+        let mut out = Vec::new();
+        e.drain_arrived(2, &mut out).unwrap();
+        assert_eq!(out.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        out.clear();
+        e.drain_arrived(2, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(e.drain_arrived(99, &mut out), Err(NetError::NoSuchHost(99)));
+    }
+
+    #[test]
+    fn idle_wait_advances_the_shared_clock() {
+        let mut e = ether();
+        let before = e.clock().now();
+        e.idle_wait(SimTime::from_millis(3));
+        assert_eq!(e.clock().now() - before, SimTime::from_millis(3));
     }
 
     #[test]

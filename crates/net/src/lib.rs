@@ -12,14 +12,23 @@
 //! * [`Ether`] — a broadcast medium with 3 Mb/s transmission timing charged
 //!   to the shared simulated clock, optional packet loss for protocol
 //!   tests, and per-host receive queues;
-//! * [`proto`] — a minimal stop-and-wait file-transfer protocol over it.
+//! * [`proto`] — a minimal stop-and-wait file-transfer protocol over it;
+//! * [`server`] / [`client`] — the page/file server of §5.2 and the
+//!   scripted diskless clients that load it: batched cross-client service
+//!   through a pluggable [`PageStore`], replies on pooled zero-copy
+//!   payload buffers.
 
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod ether;
 pub mod packet;
+pub mod pool;
 pub mod proto;
+pub mod server;
 
+pub use client::{ClientConfig, ClientFleet, ClientPhase, FleetStats, ScriptedClient};
 pub use ether::{Ether, HostId, NetError};
 pub use packet::{Packet, PacketType, MAX_PAYLOAD_WORDS};
 pub use proto::{echo_responder, ping, receive_file, send_file, ProtoError};
+pub use server::{OpenInfo, PageRequest, PageServer, PageStore, ServerStats, PAGE_SERVICE_SOCKET};

@@ -126,19 +126,35 @@ impl Packet {
     /// Encodes to the wire format (with checksum).
     pub fn encode(&self) -> Vec<u16> {
         let mut w = Vec::with_capacity(self.wire_words());
-        w.push(self.wire_words() as u16);
-        w.push(self.ptype.to_word());
-        w.push(((self.dst_host as u16) << 8) | self.src_host as u16);
-        w.push(self.dst_socket);
-        w.push(self.src_socket);
-        w.push(self.seq);
-        w.extend_from_slice(&self.payload);
-        w.push(ones_complement_sum(&w));
+        self.encode_into(&mut w);
         w
+    }
+
+    /// Encodes to the wire format into `out` (cleared first) — the pooled
+    /// transmit path: the ether stages onto a recycled wire vector instead
+    /// of allocating one per send.
+    pub fn encode_into(&self, out: &mut Vec<u16>) {
+        out.clear();
+        out.reserve(self.wire_words());
+        out.push(self.wire_words() as u16);
+        out.push(self.ptype.to_word());
+        out.push(((self.dst_host as u16) << 8) | self.src_host as u16);
+        out.push(self.dst_socket);
+        out.push(self.src_socket);
+        out.push(self.seq);
+        out.extend_from_slice(&self.payload);
+        out.push(ones_complement_sum(out));
     }
 
     /// Decodes from the wire format, verifying length and checksum.
     pub fn decode(words: &[u16]) -> Result<Packet, PacketError> {
+        Self::decode_with(words, Vec::new())
+    }
+
+    /// [`Packet::decode`] reusing `payload` (cleared first) as the payload
+    /// vector — the pooled receive path. On error the vector is dropped;
+    /// decode errors are the cold path.
+    pub fn decode_with(words: &[u16], mut payload: Vec<u16>) -> Result<Packet, PacketError> {
         if words.len() < HEADER_WORDS + 1 {
             return Err(PacketError::TooShort);
         }
@@ -152,6 +168,8 @@ impl Packet {
         if ones_complement_sum(body) != words[words.len() - 1] {
             return Err(PacketError::BadChecksum);
         }
+        payload.clear();
+        payload.extend_from_slice(&words[HEADER_WORDS..words.len() - 1]);
         Ok(Packet {
             ptype: PacketType::from_word(words[1]),
             dst_host: (words[2] >> 8) as u8,
@@ -159,7 +177,7 @@ impl Packet {
             dst_socket: words[3],
             src_socket: words[4],
             seq: words[5],
-            payload: words[HEADER_WORDS..words.len() - 1].to_vec(),
+            payload,
         })
     }
 }
@@ -228,6 +246,117 @@ mod tests {
             p.ptype = t;
             assert_eq!(Packet::decode(&p.encode()).unwrap().ptype, t);
         }
+    }
+
+    #[test]
+    fn every_short_or_trimmed_slice_is_rejected_not_panicked() {
+        // Exhaustive sweep: decode every prefix and every suffix of a
+        // maximum-size valid wire image, plus slices of constant filler, at
+        // every length from 0 to past the maximum. None may panic; only the
+        // full image may decode.
+        let mut p = sample();
+        p.payload = (0..MAX_PAYLOAD_WORDS as u16).collect();
+        let wire = p.encode();
+        assert_eq!(wire.len(), HEADER_WORDS + MAX_PAYLOAD_WORDS + 1);
+        for len in 0..=wire.len() {
+            let prefix = Packet::decode(&wire[..len]);
+            if len == wire.len() {
+                assert!(prefix.is_ok());
+            } else {
+                assert!(prefix.is_err(), "prefix of {len} words decoded");
+            }
+            assert!(Packet::decode(&wire[wire.len() - len..]).is_err() || len == wire.len());
+        }
+        for len in 0..=2 * MAX_PAYLOAD_WORDS {
+            for fill in [0u16, 1, 0xFFFF, len as u16] {
+                let junk = vec![fill; len];
+                // Must never panic. Constant filler can occasionally form a
+                // genuinely valid image (e.g. 257 words of 0x101: the length
+                // word matches and the ones'-complement sum folds back to
+                // 0x101) — that's a correct accept, so only well-formedness
+                // is required, not rejection.
+                if let Ok(q) = Packet::decode(&junk) {
+                    assert_eq!(q.wire_words(), len, "mis-sized junk accept");
+                    assert!(q.payload.len() <= MAX_PAYLOAD_WORDS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_wire_images_are_rejected_with_the_right_error() {
+        // A wire image whose declared and actual length agree but whose
+        // payload exceeds MAX_PAYLOAD_WORDS must come back TooLong (with a
+        // correct checksum) — never a mis-sized payload.
+        let mut p = sample();
+        p.payload = vec![7; MAX_PAYLOAD_WORDS + 1];
+        let wire = p.encode();
+        assert_eq!(Packet::decode(&wire), Err(PacketError::TooLong));
+        // And one far past any sane size.
+        p.payload = vec![7; 4 * MAX_PAYLOAD_WORDS];
+        assert_eq!(Packet::decode(&p.encode()), Err(PacketError::TooLong));
+    }
+
+    #[test]
+    fn seeded_corruption_never_panics_and_never_mis_sizes() {
+        // Corrupt valid wire images with a seeded PRNG — random word
+        // smashes, bit flips, truncations and extensions — and require
+        // decode to either reject or produce a well-formed packet (the
+        // ones'-complement sum admits 0x0000 <-> 0xFFFF aliasing, so "all
+        // corruption detected" would be too strong).
+        let mut rng = alto_sim::SplitMix64::new(0xC0FFEE);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        for round in 0..2000 {
+            let mut p = sample();
+            p.payload = (0..(round % 257)).map(|w| w ^ round).collect();
+            p.seq = round;
+            let mut wire = p.encode();
+            let mutations = 1 + (rng.next_u64() % 4) as usize;
+            for _ in 0..mutations {
+                match rng.next_u64() % 4 {
+                    0 => {
+                        let i = rng.next_u64() as usize % wire.len();
+                        wire[i] = rng.next_u64() as u16;
+                    }
+                    1 => {
+                        let i = rng.next_u64() as usize % wire.len();
+                        wire[i] ^= 1 << (rng.next_u64() % 16);
+                    }
+                    2 => {
+                        let keep = rng.next_u64() as usize % (wire.len() + 1);
+                        wire.truncate(keep);
+                        if wire.is_empty() {
+                            wire.push(rng.next_u64() as u16);
+                        }
+                    }
+                    _ => wire.push(rng.next_u64() as u16),
+                }
+            }
+            match Packet::decode(&wire) {
+                Ok(q) => {
+                    accepted += 1;
+                    assert_eq!(q.wire_words(), wire.len(), "mis-sized payload accepted");
+                    assert!(q.payload.len() <= MAX_PAYLOAD_WORDS);
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        // The sweep must actually exercise the reject paths.
+        assert!(rejected > 1500, "only {rejected} rejects");
+        // Aliasing acceptances are possible but must be rare.
+        assert!(accepted < 100, "{accepted} corrupt packets accepted");
+    }
+
+    #[test]
+    fn decode_with_reuses_the_given_vector() {
+        let p = sample();
+        let wire = p.encode();
+        let mut recycled = Vec::with_capacity(64);
+        recycled.push(0xDEAD);
+        let q = Packet::decode_with(&wire, recycled).unwrap();
+        assert_eq!(q, p);
+        assert!(q.payload.capacity() >= 64);
     }
 
     #[test]
