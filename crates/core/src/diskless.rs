@@ -18,7 +18,10 @@ use alto_disk::{Disk, DiskAddress, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
 use alto_fs::{dir, FileFullName, FileSystem, PageName};
 use alto_machine::{CodeFile, Machine, MachineError, Step};
-use alto_net::server::{OpenInfo, PageRequest, PageStore, STATUS_IO, STATUS_NO_SUCH_FILE};
+use alto_net::server::{
+    OpenInfo, PageRequest, PageStore, STATUS_BAD_HANDLE, STATUS_BAD_PAGE, STATUS_IO,
+    STATUS_NO_SUCH_FILE,
+};
 use alto_net::{receive_file, Ether, HostId, Packet, PacketType, ProtoError};
 
 use crate::errors::OsError;
@@ -284,6 +287,7 @@ pub struct FsPageService<'a, D: Disk> {
     order: Vec<usize>,
     names: Vec<PageName>,
     sorted_names: Vec<PageName>,
+    valid: Vec<PageRequest>,
     /// Pages served through the batched fast path.
     pub fast_served: u64,
     /// Pages that needed the chain-walk slow path (stale hints).
@@ -300,6 +304,7 @@ impl<'a, D: Disk> FsPageService<'a, D> {
             order: Vec::new(),
             names: Vec::new(),
             sorted_names: Vec::new(),
+            valid: Vec::new(),
             fast_served: 0,
             slow_served: 0,
         }
@@ -309,7 +314,10 @@ impl<'a, D: Disk> FsPageService<'a, D> {
     /// the §3.6 recovery path when hints are wrong — relearning every
     /// hint on the way. Returns the page's data.
     fn chain_walk(&mut self, open_id: u32, page: u16) -> Result<[u16; DATA_WORDS], u16> {
-        let open = &self.opens[open_id as usize];
+        let open = self.opens.get(open_id as usize).ok_or(STATUS_BAD_HANDLE)?;
+        if page == 0 {
+            return Err(STATUS_BAD_PAGE);
+        }
         let file = open.file;
         let (leader_label, _) = self.fs.open_leader(file).map_err(|_| STATUS_IO)?;
         let mut da = leader_label.next;
@@ -322,10 +330,15 @@ impl<'a, D: Disk> FsPageService<'a, D> {
                 .fs
                 .read_page(PageName::new(file.fv, p, da))
                 .map_err(|_| STATUS_IO)?;
+            // On a freshly scavenged pack the file may have fewer pages
+            // than the open handle remembers; never index past the hint
+            // vector a hostile history left short.
             let open = &mut self.opens[open_id as usize];
-            open.hints[p as usize - 1] = da;
-            if (p as usize) < open.hints.len() {
-                open.hints[p as usize] = label.next;
+            if let Some(h) = open.hints.get_mut(p as usize - 1) {
+                *h = da;
+            }
+            if let Some(h) = open.hints.get_mut(p as usize) {
+                *h = label.next;
             }
             da = label.next;
             data = Some(d);
@@ -337,10 +350,15 @@ impl<'a, D: Disk> FsPageService<'a, D> {
 impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
     fn open(&mut self, name: &str) -> Result<OpenInfo, u16> {
         if let Some(&open_id) = self.by_name.get(name) {
-            let open = &self.opens[open_id as usize];
-            let pages = open.hints.len() as u16;
-            let length = self.fs.file_length(open.file).map_err(|_| STATUS_IO)?;
-            let last_len = (length - (pages.max(1) as u64 - 1) * PAGE_BYTES as u64) as u16;
+            // Re-measure on every re-open: a scavenge between opens can
+            // shrink or grow the file, and sizing from the stale hint
+            // vector would underflow the last-page length below.
+            let file = self.opens[open_id as usize].file;
+            let length = self.fs.file_length(file).map_err(|_| STATUS_IO)?;
+            let pages = length.div_ceil(PAGE_BYTES as u64).max(1) as u16;
+            let last_len = (length - (pages as u64 - 1) * PAGE_BYTES as u64) as u16;
+            let open = &mut self.opens[open_id as usize];
+            open.hints.resize(pages as usize, DiskAddress::NIL);
             return Ok(OpenInfo {
                 open_id,
                 pages,
@@ -382,16 +400,32 @@ impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
     where
         F: FnMut(u32, &[u16; DATA_WORDS]),
     {
+        // Refuse ill-formed requests up front — a forged open id or a page
+        // number outside the open file (page 0 is the leader, never
+        // served) must fail with a status, not index out of bounds. Only
+        // well-formed requests enter the batch.
+        let mut valid = std::mem::take(&mut self.valid);
+        valid.clear();
+        for r in reqs {
+            match self.opens.get(r.open_id as usize) {
+                None => failed.push((r.tag, STATUS_BAD_HANDLE)),
+                Some(open) if r.page == 0 || r.page as usize > open.hints.len() => {
+                    failed.push((r.tag, STATUS_BAD_PAGE));
+                }
+                Some(_) => valid.push(*r),
+            }
+        }
+
         // Name every request at its hinted address, then sort the batch by
         // disk address across clients — the whole point: neighbouring
         // sectors coalesce into one command chain no matter who asked.
         self.names.clear();
-        self.names.extend(reqs.iter().map(|r| {
+        self.names.extend(valid.iter().map(|r| {
             let open = &self.opens[r.open_id as usize];
             PageName::new(open.file.fv, r.page, open.hints[r.page as usize - 1])
         }));
         self.order.clear();
-        self.order.extend(0..reqs.len());
+        self.order.extend(0..valid.len());
         let names = &self.names;
         self.order.sort_by_key(|&i| names[i].da.0);
         self.sorted_names.clear();
@@ -406,7 +440,7 @@ impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
             &self.sorted_names,
             |k, label, view| {
                 let i = order[k];
-                let r = &reqs[i];
+                let r = &valid[i];
                 *fast += 1;
                 // Learn the next page's address from the captured label.
                 let open = &mut opens[r.open_id as usize];
@@ -422,7 +456,7 @@ impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
                 continue;
             }
             let i = self.order[k];
-            let r = reqs[i];
+            let r = valid[i];
             match self.chain_walk(r.open_id, r.page) {
                 Ok(data) => {
                     self.slow_served += 1;
@@ -432,6 +466,7 @@ impl<'a, D: Disk> PageStore for FsPageService<'a, D> {
             }
         }
         alto_fs::pool::recycle_labels(labels);
+        self.valid = valid;
     }
 }
 

@@ -8,9 +8,12 @@
 
 use alto_disk::{DiskDrive, DiskModel};
 use alto_fs::file::PAGE_BYTES;
-use alto_fs::{dir, FileSystem};
-use alto_net::server::PAGE_SERVICE_SOCKET;
-use alto_net::{ClientConfig, ClientFleet, ClientPhase, Ether, PageServer};
+use alto_fs::{dir, FileSystem, PageName};
+use alto_net::server::{
+    encode_name, PageRequest, PageStore, ERR_REPLY, OPEN_REQUEST, PAGE_SERVICE_SOCKET,
+    READ_REQUEST, STATUS_BAD_HANDLE, STATUS_BAD_PAGE,
+};
+use alto_net::{ClientConfig, ClientFleet, ClientPhase, Ether, Packet, PageServer};
 use alto_os::FsPageService;
 use alto_sim::{SimClock, SimTime, Trace};
 
@@ -197,4 +200,164 @@ fn unknown_files_fail_the_client_cleanly() {
     }
     assert_eq!(fleet.client(0).phase(), ClientPhase::Failed);
     assert_eq!(server.stats.errors, 1);
+}
+
+/// A formatted Diablo31 with one `pages`-page file named `name`.
+fn small_fs(name: &str, pages: usize) -> (FileSystem<DiskDrive>, SimClock) {
+    let clock = SimClock::new();
+    let trace = Trace::new();
+    trace.set_enabled(false);
+    let drive = DiskDrive::with_formatted_pack(clock.clone(), trace, DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive).expect("format");
+    let root = fs.root_dir();
+    let file = dir::create_named_file(&mut fs, root, name).expect("create");
+    fs.write_file(file, &file_bytes(0, pages)).expect("write");
+    (fs, clock)
+}
+
+#[test]
+fn hostile_page_requests_fail_with_statuses_not_panics() {
+    let (mut fs, _clock) = small_fs("victim.dat", 4);
+    let mut service = FsPageService::new(&mut fs);
+    let info = service.open("victim.dat").expect("open");
+    let reqs = [
+        // Forged open id.
+        PageRequest {
+            open_id: info.open_id + 99,
+            page: 1,
+            tag: 0,
+        },
+        // Page 0 is the leader — never served.
+        PageRequest {
+            open_id: info.open_id,
+            page: 0,
+            tag: 1,
+        },
+        // Far past the end of the file.
+        PageRequest {
+            open_id: info.open_id,
+            page: 9999,
+            tag: 2,
+        },
+        // A well-formed request riding in the same hostile batch.
+        PageRequest {
+            open_id: info.open_id,
+            page: 1,
+            tag: 3,
+        },
+    ];
+    let mut failed = Vec::new();
+    let mut delivered = Vec::new();
+    service.serve(&reqs, &mut failed, |tag, _| delivered.push(tag));
+    failed.sort_unstable();
+    assert_eq!(
+        failed,
+        vec![
+            (0, STATUS_BAD_HANDLE),
+            (1, STATUS_BAD_PAGE),
+            (2, STATUS_BAD_PAGE)
+        ]
+    );
+    assert_eq!(delivered, vec![3]);
+}
+
+#[test]
+fn two_sector_loop_fails_the_request_instead_of_hanging() {
+    let (mut fs, clock) = small_fs("loop.dat", 4);
+    let root = fs.root_dir();
+    let file = dir::lookup(&mut fs, root, "loop.dat")
+        .expect("lookup")
+        .expect("exists");
+    // Find the on-disk addresses of data pages 1 and 2 from the labels.
+    let (leader_label, _) = fs.open_leader(file).expect("leader");
+    let da1 = leader_label.next;
+    let (l1, _) = fs.read_page(PageName::new(file.fv, 1, da1)).expect("p1");
+    let da2 = l1.next;
+    // Tie page 2's next back to page 1: a two-sector loop mid-chain.
+    let mut drive = fs.crash();
+    {
+        let pack = drive.pack_mut().expect("pack");
+        let sector = pack.sector_mut(da2).expect("sector");
+        let mut label = sector.decoded_label();
+        label.next = da1;
+        sector.label = label.encode();
+    }
+    let mut fs = FileSystem::mount(drive).expect("mount");
+    let mut service = FsPageService::new(&mut fs);
+    let start = clock.now();
+    // Opening sizes the file by walking to its last page; on the looped
+    // chain that must surface a status (bounded walk), not spin. If some
+    // future sizing path tolerates the loop, serving past it must fail
+    // per-request the same way.
+    if let Ok(info) = service.open("loop.dat") {
+        let reqs = [PageRequest {
+            open_id: info.open_id,
+            page: info.pages,
+            tag: 0,
+        }];
+        let mut failed = Vec::new();
+        let mut delivered = 0u32;
+        service.serve(&reqs, &mut failed, |_, _| delivered += 1);
+        assert_eq!(failed.len() as u32 + delivered, 1);
+    }
+    // The §3.3 checks make every bounded walk cheap; anything past a few
+    // simulated seconds would mean the walk was not bounded at all.
+    let elapsed = clock.now().saturating_sub(start);
+    assert!(elapsed < SimTime::from_secs(60), "walk took {elapsed:?}");
+}
+
+#[test]
+fn malformed_open_and_read_packets_get_error_replies() {
+    let (mut fs, clock) = small_fs("served.dat", 2);
+    let trace = Trace::new();
+    trace.set_enabled(false);
+    let mut ether = Ether::new(clock, trace);
+    ether.attach(1).expect("server host");
+    ether.attach(2).expect("client host");
+    let mut server = PageServer::new(1);
+    let mut service = FsPageService::new(&mut fs);
+
+    let send = |ether: &mut Ether, ptype, payload: Vec<u16>, seq| {
+        let pkt = Packet {
+            ptype,
+            dst_host: 1,
+            src_host: 2,
+            dst_socket: PAGE_SERVICE_SOCKET,
+            src_socket: 0o100,
+            seq,
+            payload,
+        };
+        ether.send(pkt).expect("send");
+    };
+
+    // A valid open first, so bad reads below have a session to land in.
+    let mut name = Vec::new();
+    encode_name("served.dat", &mut name);
+    send(&mut ether, OPEN_REQUEST, name, 0);
+    // Hostile opens: empty payload, declared length past the words
+    // supplied, invalid UTF-8 in the name bytes.
+    send(&mut ether, OPEN_REQUEST, vec![], 1);
+    send(&mut ether, OPEN_REQUEST, vec![500, 0x4141], 2);
+    send(&mut ether, OPEN_REQUEST, vec![2, 0xFFFE], 3);
+    // Hostile reads: mis-sized payload, forged handle, page 0, page past
+    // the end of the open file.
+    send(&mut ether, READ_REQUEST, vec![0, 1, 2], 4);
+    send(&mut ether, READ_REQUEST, vec![77, 1], 5);
+    send(&mut ether, READ_REQUEST, vec![0, 0], 6);
+    send(&mut ether, READ_REQUEST, vec![0, 999], 7);
+
+    for _ in 0..8 {
+        server.tick(&mut ether, &mut service).expect("tick");
+        ether.idle_wait(SimTime::from_millis(1));
+    }
+    assert_eq!(server.stats.errors, 7);
+    // Every hostile request was answered with ERR_REPLY — the client is
+    // told, not timed out.
+    let mut errs = 0;
+    while let Some(pkt) = ether.receive(2, 0o100).expect("recv") {
+        if pkt.ptype == ERR_REPLY {
+            errs += 1;
+        }
+    }
+    assert_eq!(errs, 7);
 }

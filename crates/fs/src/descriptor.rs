@@ -96,10 +96,12 @@ impl DiskDescriptor {
         }
     }
 
-    /// Assigns the next file number.
+    /// Assigns the next file number. Saturates at the top of the 30-bit
+    /// serial space; the caller is responsible for rejecting an exhausted
+    /// number before building a `SerialNumber` from it.
     pub fn assign_file_number(&mut self) -> u32 {
         let n = self.next_file_number;
-        self.next_file_number += 1;
+        self.next_file_number = self.next_file_number.saturating_add(1).min(1 << 30);
         n
     }
 
@@ -142,6 +144,11 @@ impl DiskDescriptor {
         let root_version = next()?;
         let root_da = DiskAddress(next()?);
         let next_file_number = ((next()? as u32) << 16) | next()? as u32;
+        if next_file_number > 1 << 30 {
+            // A hostile descriptor page can claim a counter past the 30-bit
+            // serial space; trust it no further than the space itself.
+            return Err(FsError::NotFormatted("file number counter out of range"));
+        }
         let map_len = next()? as usize;
         let map_words: Vec<u16> = (0..map_len).map(|_| next()).collect::<Result<_, _>>()?;
         let bitmap = BitMap::from_words(shape.sector_count(), &map_words);

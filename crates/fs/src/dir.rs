@@ -181,6 +181,9 @@ fn scan_for_name<D: Disk>(
     }
     let mut bytes = Vec::new();
     let mut pn = PageName::new(dir.fv, 1, leader_label.next);
+    // A hostile directory chain cannot be longer than the disk has
+    // sectors; walking past that is a cycle, not a long directory.
+    let mut budget = fs.disk().geometry()?.sector_count() + 2;
     loop {
         let (label, data) = fs.read_page(pn)?;
         if label.length as usize > PAGE_BYTES {
@@ -199,6 +202,13 @@ fn scan_for_name<D: Disk>(
         if label.next.is_nil() {
             return Ok(None);
         }
+        if budget == 0 {
+            return Err(FsError::Corrupt {
+                da: pn.da,
+                what: "link cycle",
+            });
+        }
+        budget -= 1;
         pn = PageName::new(dir.fv, pn.page + 1, label.next);
     }
 }

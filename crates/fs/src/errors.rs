@@ -44,6 +44,10 @@ pub enum FsError {
     },
     /// Page data lengths must be 0..=512 bytes.
     BadLength(u16),
+    /// The 30-bit file serial-number space is used up, so no new file can
+    /// be created (reachable only on a hostile image whose labels claim
+    /// the top of the space).
+    SerialsExhausted,
 }
 
 impl fmt::Display for FsError {
@@ -65,6 +69,7 @@ impl fmt::Display for FsError {
                 )
             }
             FsError::BadLength(n) => write!(f, "bad page data length {n} (max 512 bytes)"),
+            FsError::SerialsExhausted => f.write_str("file serial numbers exhausted"),
         }
     }
 }

@@ -461,6 +461,12 @@ impl<D: Disk> FileSystem<D> {
         directory: bool,
     ) -> Result<FileFullName, FsError> {
         let number = self.desc.assign_file_number();
+        if number >= 1 << 30 {
+            // A scavenged hostile image can leave the counter saturated at
+            // the top of the 30-bit space (§3.1); creating must fail
+            // cleanly, not panic in SerialNumber::new.
+            return Err(FsError::SerialsExhausted);
+        }
         let fv = Fv::new(SerialNumber::new(number, directory), 1);
         let leader = LeaderPage::new(leader_name, self.now())?;
         let leader_label = Label {
@@ -728,12 +734,20 @@ impl<D: Disk> FileSystem<D> {
         // Collect the chain first (labels are the source of truth).
         let mut chain = vec![];
         let mut pn = file.leader_page();
+        let mut budget = self.chain_budget()?;
         loop {
             let (label, _) = self.read_page(pn)?;
             chain.push(pn);
             if label.next.is_nil() {
                 break;
             }
+            if budget == 0 {
+                return Err(FsError::Corrupt {
+                    da: pn.da,
+                    what: "link cycle",
+                });
+            }
+            budget -= 1;
             pn = PageName::new(file.fv, pn.page + 1, label.next);
         }
         for pn in chain {
@@ -758,13 +772,30 @@ impl<D: Disk> FileSystem<D> {
         }
         // Chase links from the leader.
         let mut pn = PageName::new(file.fv, 1, leader_label.next);
+        let mut budget = self.chain_budget()?;
         loop {
             let (label, _) = self.read_page(pn)?;
             if label.next.is_nil() {
                 return Ok((pn, label));
             }
+            if budget == 0 {
+                return Err(FsError::Corrupt {
+                    da: pn.da,
+                    what: "link cycle",
+                });
+            }
+            budget -= 1;
             pn = PageName::new(file.fv, pn.page + 1, label.next);
         }
+    }
+
+    /// Step budget for a link chase: a well-formed chain can never be
+    /// longer than the disk has sectors, so any walk that exceeds this is
+    /// structurally cyclic and must surface as corruption instead of
+    /// spinning (the §3.3 page-number check already terminates honest
+    /// chains; this is the belt to that suspender).
+    fn chain_budget(&self) -> Result<u32, FsError> {
+        Ok(self.disk.geometry()?.sector_count() + 2)
     }
 
     /// Rewrites file contents page by page. Ordinary writes where the label
@@ -984,11 +1015,19 @@ impl<D: Disk> FileSystem<D> {
     /// Frees the chain of pages starting at `(fv, first_page)` @ `da`.
     fn free_chain(&mut self, fv: Fv, first_page: u16, da: DiskAddress) -> Result<(), FsError> {
         let mut pn = PageName::new(fv, first_page, da);
+        let mut budget = self.chain_budget()?;
         loop {
             let old = self.free_page(pn)?;
             if old.next.is_nil() {
                 return Ok(());
             }
+            if budget == 0 {
+                return Err(FsError::Corrupt {
+                    da: pn.da,
+                    what: "link cycle",
+                });
+            }
+            budget -= 1;
             pn = PageName::new(fv, pn.page + 1, old.next);
         }
     }
@@ -1082,6 +1121,7 @@ pub(crate) fn read_file_with<D: Disk>(
         }
     }
 
+    let mut budget = disk.geometry()?.sector_count() + 2;
     loop {
         let (label, data) = page::read_page(disk, pn)?;
         if label.length as usize > PAGE_BYTES {
@@ -1091,6 +1131,13 @@ pub(crate) fn read_file_with<D: Disk>(
         if label.next.is_nil() {
             return Ok(bytes);
         }
+        if budget == 0 {
+            return Err(FsError::Corrupt {
+                da: pn.da,
+                what: "link cycle",
+            });
+        }
+        budget -= 1;
         pn = PageName::new(file.fv, pn.page + 1, label.next);
     }
 }

@@ -1,0 +1,1026 @@
+//! Hostile-pack harness: structure-aware disk-image mutation (ROADMAP 5a).
+//!
+//! Every recovery path in this crate — the Scavenger's chain repair, the
+//! §3.3 label re-verification, the §3.6 hint ladder — was originally only
+//! exercised on images *this code wrote*. The paper's reliability claim
+//! (§4.2) is stronger: because every sector is self-identifying, the file
+//! system survives *arbitrary* damage. This module makes that claim
+//! testable by generating adversarial images and asserting a contract over
+//! what recovery does with them.
+//!
+//! A [`Case`] is a deterministic recipe: a base image (single drive or a
+//! K=4 [`DriveArray`]), a population seed, and a list of [`Edit`]s applied
+//! straight to the platter — label-field scribbles, cross-linked and
+//! cyclic `next` chains, duplicated absolute names, leader/directory/
+//! descriptor data smashes, truncations, damaged sectors and raw noise.
+//! [`plan_edits`] derives such edits *structurally* (it reads the live
+//! labels and aims at leaders, directories and chains rather than blind
+//! offsets), and [`Case::to_text`]/[`Case::parse`] give every case a
+//! stable, human-readable form for the regression corpus in
+//! `crates/fs/tests/corpus/`.
+//!
+//! [`exercise`] then drives the full recovery stack against the mutant and
+//! checks the contract:
+//!
+//! 1. the Scavenger terminates without error and the per-arm §3.3
+//!    auditors observe no violation;
+//! 2. every file the rebuilt directories reference is readable, and the
+//!    allocator still works (create/write/read/delete probe);
+//! 3. re-scavenging the emitted image is a **fixed point**: no repairs,
+//!    no drops, no adoptions the second time around;
+//! 4. surviving files serve the same bytes before and after the second
+//!    scavenge, warm or cold.
+//!
+//! Anything else — a panic, a hang (caught by the simulated-time budget),
+//! an audit violation, a non-idempotent repair — is a bug in the layer
+//! under test, and its minimized case belongs in the corpus.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use alto_disk::{
+    Auditor, Disk, DiskAddress, DiskDrive, DiskModel, DiskPack, DriveArray, Label, Placement,
+    DATA_WORDS,
+};
+use alto_sim::{SimClock, SimTime, SplitMix64, Trace};
+
+use crate::dir;
+use crate::errors::FsError;
+use crate::file::FileSystem;
+use crate::names::FileFullName;
+use crate::scavenge::{ScavengeReport, Scavenger};
+
+/// Which valid image a case starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// One Diablo31 drive.
+    Single,
+    /// A K=4 range-placed [`DriveArray`] of Diablo31 arms.
+    Array4,
+}
+
+impl Base {
+    /// Number of arms (and therefore packs) in the base image.
+    pub fn arms(self) -> usize {
+        match self {
+            Base::Single => 1,
+            Base::Array4 => 4,
+        }
+    }
+}
+
+/// Which label word a field edit overwrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelField {
+    /// Serial-number word 0 (directory flag, live flag, number bits 16..29).
+    Fid0,
+    /// Serial-number word 1 (number bits 0..15).
+    Fid1,
+    /// The version word.
+    Version,
+    /// The page number within the file.
+    Page,
+    /// The data-length word.
+    Length,
+    /// The forward link.
+    Next,
+    /// The backward link.
+    Prev,
+}
+
+impl LabelField {
+    const ALL: [LabelField; 7] = [
+        LabelField::Fid0,
+        LabelField::Fid1,
+        LabelField::Version,
+        LabelField::Page,
+        LabelField::Length,
+        LabelField::Next,
+        LabelField::Prev,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            LabelField::Fid0 => "fid0",
+            LabelField::Fid1 => "fid1",
+            LabelField::Version => "version",
+            LabelField::Page => "page",
+            LabelField::Length => "length",
+            LabelField::Next => "next",
+            LabelField::Prev => "prev",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<LabelField> {
+        LabelField::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// One primitive corruption, applied to an arm's pack before recovery runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Overwrite one label field.
+    Field(LabelField, u16),
+    /// Overwrite one data word: `(index, value)`.
+    Data(u16, u16),
+    /// Overwrite the whole label with the free label.
+    Free,
+    /// Make the sector a permanent hard error.
+    Damage,
+}
+
+/// A corruption aimed at sector `da` (pack-local address) of arm `arm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edit {
+    /// Which arm's pack to edit (0 on a single drive).
+    pub arm: usize,
+    /// Pack-local sector address.
+    pub da: u16,
+    /// What to do to it.
+    pub op: EditOp,
+}
+
+/// A reproducible hostile-image case: base + population + corruptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The valid image the case starts from.
+    pub base: Base,
+    /// Seed for the deterministic file population.
+    pub pop_seed: u64,
+    /// The corruptions, applied in order.
+    pub edits: Vec<Edit>,
+}
+
+impl Case {
+    /// Serializes the case to the corpus text format (one directive per
+    /// line; `#` starts a comment).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "base {}\n",
+            match self.base {
+                Base::Single => "single",
+                Base::Array4 => "array4",
+            }
+        ));
+        out.push_str(&format!("pop {}\n", self.pop_seed));
+        for e in &self.edits {
+            match e.op {
+                EditOp::Field(f, v) => {
+                    out.push_str(&format!("label {} {} {} {}\n", e.arm, e.da, f.name(), v));
+                }
+                EditOp::Data(i, v) => {
+                    out.push_str(&format!("data {} {} {} {}\n", e.arm, e.da, i, v));
+                }
+                EditOp::Free => out.push_str(&format!("free {} {}\n", e.arm, e.da)),
+                EditOp::Damage => out.push_str(&format!("damage {} {}\n", e.arm, e.da)),
+            }
+        }
+        out
+    }
+
+    /// Parses the corpus text format produced by [`Case::to_text`].
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut base = None;
+        let mut pop_seed = 0u64;
+        let mut edits = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
+            let word = |w: Option<&str>, what: &str| w.ok_or_else(|| err(what)).map(str::to_owned);
+            let num = |w: Option<&str>, what: &str| -> Result<u64, String> {
+                word(w, what)?.parse().map_err(|_| err(what))
+            };
+            match words.next() {
+                Some("base") => {
+                    base = Some(match word(words.next(), "missing base kind")?.as_str() {
+                        "single" => Base::Single,
+                        "array4" => Base::Array4,
+                        _ => return Err(err("unknown base kind")),
+                    });
+                }
+                Some("pop") => pop_seed = num(words.next(), "bad pop seed")?,
+                Some("label") => {
+                    let arm = num(words.next(), "bad arm")? as usize;
+                    let da = num(words.next(), "bad da")? as u16;
+                    let field = LabelField::from_name(&word(words.next(), "missing field")?)
+                        .ok_or_else(|| err("unknown label field"))?;
+                    let value = num(words.next(), "bad value")? as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(field, value),
+                    });
+                }
+                Some("data") => {
+                    let arm = num(words.next(), "bad arm")? as usize;
+                    let da = num(words.next(), "bad da")? as u16;
+                    let index = num(words.next(), "bad index")? as u16;
+                    let value = num(words.next(), "bad value")? as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Data(index, value),
+                    });
+                }
+                Some("free") => {
+                    let arm = num(words.next(), "bad arm")? as usize;
+                    let da = num(words.next(), "bad da")? as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Free,
+                    });
+                }
+                Some("damage") => {
+                    let arm = num(words.next(), "bad arm")? as usize;
+                    let da = num(words.next(), "bad da")? as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Damage,
+                    });
+                }
+                Some(_) => return Err(err("unknown directive")),
+                None => {}
+            }
+        }
+        Ok(Case {
+            base: base.ok_or("missing `base` directive")?,
+            pop_seed,
+            edits,
+        })
+    }
+}
+
+/// Applies one edit to a pack. Returns false if the address is out of
+/// range for the pack (the edit is skipped — minimization may strand an
+/// edit aimed at a sector the smaller replay no longer has).
+pub fn apply_edit(pack: &mut DiskPack, edit: &Edit) -> bool {
+    let da = DiskAddress(edit.da);
+    match edit.op {
+        EditOp::Damage => {
+            if pack.sector(da).is_none() {
+                return false;
+            }
+            pack.damage(da);
+            true
+        }
+        EditOp::Free => match pack.sector_mut(da) {
+            Some(sector) => {
+                sector.label = Label::FREE.encode();
+                true
+            }
+            None => false,
+        },
+        EditOp::Field(field, value) => match pack.sector_mut(da) {
+            Some(sector) => {
+                let mut label = sector.decoded_label();
+                match field {
+                    LabelField::Fid0 => label.fid[0] = value,
+                    LabelField::Fid1 => label.fid[1] = value,
+                    LabelField::Version => label.version = value,
+                    LabelField::Page => label.page_number = value,
+                    LabelField::Length => label.length = value,
+                    LabelField::Next => label.next = DiskAddress(value),
+                    LabelField::Prev => label.prev = DiskAddress(value),
+                }
+                sector.label = label.encode();
+                true
+            }
+            None => false,
+        },
+        EditOp::Data(index, value) => match pack.sector_mut(da) {
+            Some(sector) => {
+                sector.data[index as usize % DATA_WORDS] = value;
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Base-image builders.
+// ---------------------------------------------------------------------
+
+/// Deterministically populates a freshly formatted file system: a spread
+/// of file sizes (empty through several pages), a subdirectory with
+/// entries, an orphan (entry removed, file kept), deletions that punch
+/// free holes, and an overwritten file so chains have seams.
+fn populate<D: Disk>(fs: &mut FileSystem<D>, pop_seed: u64) -> Result<(), FsError> {
+    let mut rng = SplitMix64::new(pop_seed ^ 0xA170_0001);
+    let root = fs.root_dir();
+    let mut files = Vec::new();
+    for i in 0..10u32 {
+        let name = format!("file{i:02}.dat");
+        let f = dir::create_named_file(fs, root, &name)?;
+        let len = match i {
+            0 => 0,
+            1 => 1,
+            _ => rng.next_below(3500) as usize,
+        };
+        let fill = (i as u8).wrapping_mul(37).wrapping_add(pop_seed as u8);
+        let bytes: Vec<u8> = (0..len)
+            .map(|k| fill.wrapping_add((k % 251) as u8))
+            .collect();
+        fs.write_file(f, &bytes)?;
+        files.push((name, f));
+    }
+    // A subdirectory with a couple of entries of its own.
+    let sub = dir::create_directory(fs, root, "subdir")?;
+    for i in 0..2u32 {
+        let f = dir::create_named_file(fs, sub, &format!("nested{i}.dat"))?;
+        fs.write_file(f, &vec![0x5A; 700 + 300 * i as usize])?;
+    }
+    // An orphan: the file stays, its name goes.
+    let orphan = dir::create_named_file(fs, root, "orphan.dat")?;
+    fs.write_file(orphan, b"an orphan file, adopted by the scavenger")?;
+    dir::remove(fs, root, "orphan.dat")?;
+    // Punch free holes so allocation patterns vary with the seed.
+    for i in [3usize, 7] {
+        let (name, f) = &files[i];
+        fs.delete_file(*f)?;
+        dir::remove(fs, root, name)?;
+    }
+    // Overwrite one file longer and one shorter: chains with seams.
+    let (_, f) = &files[2];
+    fs.write_file(*f, &vec![0xC3; 2600])?;
+    let (_, f) = &files[5];
+    fs.write_file(*f, &[0x3C; 150])?;
+    Ok(())
+}
+
+/// Builds the populated single-drive base image, crashed (stale map).
+pub fn build_single(pop_seed: u64) -> Result<DiskDrive, FsError> {
+    let drive =
+        DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive)?;
+    populate(&mut fs, pop_seed)?;
+    Ok(fs.crash())
+}
+
+/// Builds the populated K=4 array base image, crashed (stale map).
+pub fn build_array4(pop_seed: u64) -> Result<DriveArray, FsError> {
+    let array = DriveArray::with_arms(
+        4,
+        Placement::Range,
+        SimClock::new(),
+        Trace::new(),
+        DiskModel::Diablo31,
+    );
+    let mut fs = FileSystem::format(array)?;
+    populate(&mut fs, pop_seed)?;
+    Ok(fs.crash())
+}
+
+// ---------------------------------------------------------------------
+// The structure-aware mutation planner.
+// ---------------------------------------------------------------------
+
+/// Live-label inventory of one pack, the planner's targeting data.
+struct PackMap {
+    /// `(local_da, label)` of every in-use sector.
+    live: Vec<(u16, Label)>,
+    /// Indices into `live` whose page number is 0 (leaders).
+    leaders: Vec<usize>,
+    /// Indices into `live` carrying the directory flag.
+    dirs: Vec<usize>,
+    /// Chains grouped by serial words: page -> index into `live`.
+    chains: BTreeMap<[u16; 2], BTreeMap<u16, usize>>,
+    sectors: u16,
+}
+
+impl PackMap {
+    fn of(pack: &DiskPack) -> PackMap {
+        let mut live = Vec::new();
+        for (da, sector) in pack.iter() {
+            let label = sector.decoded_label();
+            if label.is_in_use() {
+                live.push((da.0, label));
+            }
+        }
+        let mut leaders = Vec::new();
+        let mut dirs = Vec::new();
+        let mut chains: BTreeMap<[u16; 2], BTreeMap<u16, usize>> = BTreeMap::new();
+        for (i, (_, label)) in live.iter().enumerate() {
+            if label.page_number == 0 {
+                leaders.push(i);
+            }
+            if label.fid[0] & 0x8000 != 0 {
+                dirs.push(i);
+            }
+            chains
+                .entry(label.fid)
+                .or_default()
+                .insert(label.page_number, i);
+        }
+        PackMap {
+            live,
+            leaders,
+            dirs,
+            chains,
+            sectors: pack.geometry().sector_count() as u16,
+        }
+    }
+
+    fn pick<'a>(&'a self, rng: &mut SplitMix64, from: &[usize]) -> Option<&'a (u16, Label)> {
+        if from.is_empty() {
+            None
+        } else {
+            Some(&self.live[from[rng.next_below(from.len() as u64) as usize]])
+        }
+    }
+}
+
+/// A nasty value for a label field: boundary values, near-misses and
+/// copies of other sectors' words are far more interesting than uniform
+/// noise.
+fn nasty_value(rng: &mut SplitMix64, map: &PackMap, near: u16) -> u16 {
+    match rng.next_below(6) {
+        0 => 0,
+        1 => 1,
+        2 => u16::MAX,
+        3 => near.wrapping_add(1),
+        4 => map
+            .pick(rng, &(0..map.live.len()).collect::<Vec<_>>())
+            .map_or_else(|| rng.next_u16(), |(da, _)| *da),
+        _ => rng.next_u16(),
+    }
+}
+
+/// Plans a batch of structure-aware corruptions against the base image.
+/// `packs[k]` is arm `k`'s pack; `origins[k]` its global address origin
+/// (labels on an array store global addresses, sector indices are local).
+pub fn plan_edits(packs: &[&DiskPack], origins: &[u16], rng: &mut SplitMix64) -> Vec<Edit> {
+    let maps: Vec<PackMap> = packs.iter().map(|p| PackMap::of(p)).collect();
+    let mut edits = Vec::new();
+    let count = 1 + rng.next_below(5);
+    for _ in 0..count {
+        let arm = rng.next_below(maps.len() as u64) as usize;
+        let map = &maps[arm];
+        let origin = origins.get(arm).copied().unwrap_or(0);
+        let all: Vec<usize> = (0..map.live.len()).collect();
+        match rng.next_below(12) {
+            // Scribble a random field of a live label.
+            0 => {
+                if let Some(&(da, _)) = map.pick(rng, &all) {
+                    let field = LabelField::ALL[rng.next_below(7) as usize];
+                    let value = nasty_value(rng, map, da);
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(field, value),
+                    });
+                }
+            }
+            // Cross-link: point a chain at some other live sector.
+            1 => {
+                if let (Some(&(da, _)), Some(&(other, _))) =
+                    (map.pick(rng, &all), map.pick(rng, &all))
+                {
+                    let field = if rng.chance(1, 2) {
+                        LabelField::Next
+                    } else {
+                        LabelField::Prev
+                    };
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(field, origin.wrapping_add(other)),
+                    });
+                }
+            }
+            // Cycle: point a page's next link back at an earlier page of
+            // the same file (a two-sector loop when aimed at page n-1).
+            2 => {
+                let mut victims: Vec<(u16, u16)> = Vec::new();
+                for pages in map.chains.values() {
+                    for (&p, &i) in pages {
+                        if p == 0 {
+                            continue;
+                        }
+                        let back = rng.next_below(p as u64 + 1) as u16;
+                        if let Some(&earlier) = pages.get(&back) {
+                            victims.push((map.live[i].0, map.live[earlier].0));
+                        }
+                    }
+                }
+                if !victims.is_empty() {
+                    let (da, earlier) = victims[rng.next_below(victims.len() as u64) as usize];
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(LabelField::Next, origin.wrapping_add(earlier)),
+                    });
+                }
+            }
+            // Duplicate an absolute name: copy one live label's identity
+            // onto another sector.
+            3 => {
+                if let (Some(&(_, src)), Some(&(dst, _))) =
+                    (map.pick(rng, &all), map.pick(rng, &all))
+                {
+                    edits.push(Edit {
+                        arm,
+                        da: dst,
+                        op: EditOp::Field(LabelField::Fid0, src.fid[0]),
+                    });
+                    edits.push(Edit {
+                        arm,
+                        da: dst,
+                        op: EditOp::Field(LabelField::Fid1, src.fid[1]),
+                    });
+                    edits.push(Edit {
+                        arm,
+                        da: dst,
+                        op: EditOp::Field(LabelField::Page, src.page_number),
+                    });
+                }
+            }
+            // Smash a leader page's data (name length, name bytes, hints).
+            4 => {
+                if let Some(&(da, _)) = map.pick(rng, &map.leaders) {
+                    let index = rng.next_below(32) as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Data(index, rng.next_u16()),
+                    });
+                }
+            }
+            // Smash directory entry words (lengths, serials, name bytes).
+            5 => {
+                if let Some(&(da, _)) = map.pick(rng, &map.dirs) {
+                    let index = rng.next_below(48) as u16;
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Data(index, rng.next_u16()),
+                    });
+                }
+            }
+            // Smash the descriptor/bitmap region (arm 0 holds DA 1..3).
+            6 => {
+                let da = 1 + rng.next_below(3) as u16;
+                edits.push(Edit {
+                    arm: 0,
+                    da,
+                    op: EditOp::Data(rng.next_below(64) as u16, rng.next_u16()),
+                });
+            }
+            // Truncated pack: free a run of sectors mid-platter.
+            7 => {
+                let start = rng.next_below(map.sectors as u64) as u16;
+                let run = 8 + rng.next_below(56) as u16;
+                for k in 0..run {
+                    let da = start.saturating_add(k);
+                    if da >= map.sectors {
+                        break;
+                    }
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Free,
+                    });
+                }
+            }
+            // A permanently unreadable sector.
+            8 => {
+                if let Some(&(da, _)) = map.pick(rng, &all) {
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Damage,
+                    });
+                }
+            }
+            // Length bomb: a live page claiming more than a sector holds.
+            9 => {
+                if let Some(&(da, _)) = map.pick(rng, &all) {
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(LabelField::Length, 0x8000 | rng.next_u16()),
+                    });
+                }
+            }
+            // Version scribble mid-chain (incarnation mixing).
+            10 => {
+                if let Some(&(da, _)) = map.pick(rng, &all) {
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(LabelField::Version, rng.next_u16()),
+                    });
+                }
+            }
+            // Raw noise: any sector, any word.
+            _ => {
+                let da = rng.next_below(map.sectors as u64) as u16;
+                if rng.chance(1, 2) {
+                    let field = LabelField::ALL[rng.next_below(7) as usize];
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Field(field, rng.next_u16()),
+                    });
+                } else {
+                    edits.push(Edit {
+                        arm,
+                        da,
+                        op: EditOp::Data(rng.next_below(DATA_WORDS as u64) as u16, rng.next_u16()),
+                    });
+                }
+            }
+        }
+    }
+    edits
+}
+
+// ---------------------------------------------------------------------
+// The exerciser.
+// ---------------------------------------------------------------------
+
+/// A file the rebuilt directories reference, with its post-recovery bytes.
+#[derive(Debug, Clone)]
+pub struct Survivor {
+    /// Path from the root, `/`-joined.
+    pub path: String,
+    /// The file's full name.
+    pub file: FileFullName,
+    /// True if the entry sits in the root directory (service-openable by
+    /// bare name).
+    pub in_root: bool,
+    /// The bytes `read_file` returned after the first scavenge; `None` if
+    /// the file was too large to keep in memory (its digest still counts).
+    pub bytes: Option<Vec<u8>>,
+}
+
+/// What a clean exercise run observed, for reporting.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The first (repairing) scavenge report.
+    pub first: ScavengeReport,
+    /// The second (fixed-point) scavenge report.
+    pub second: ScavengeReport,
+    /// Files read and digest-compared across the two scavenges.
+    pub files_checked: usize,
+}
+
+/// Simulated-time ceiling for a whole exercise run: a scavenge is about a
+/// minute; anything past this is a runaway loop doing disk ops.
+const SIM_BUDGET_SECS: u64 = 3600;
+/// Caps on the directory walk, so a hostile graph can't balloon the run.
+const MAX_DIRS: usize = 64;
+const MAX_ENTRIES: usize = 1024;
+/// Per-file byte cap for stored survivor bytes (hostile labels can inflate
+/// a file to the whole pack; the digest still covers it).
+const MAX_KEEP_BYTES: usize = 256 * 1024;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Identity of a walked file for cross-scavenge comparison.
+type WalkKey = (String, [u16; 2], u16);
+
+/// Walks every directory reachable from the root (bounded, cycle-safe) and
+/// reads every referenced file. Directories and the descriptor file are
+/// digested as *structure* (they legitimately change across scavenges);
+/// ordinary files must serve identical bytes forever after.
+fn walk_files<D: Disk>(
+    fs: &mut FileSystem<D>,
+    keep_bytes: bool,
+) -> Result<(BTreeMap<WalkKey, u64>, Vec<Survivor>), String> {
+    let root = fs.root_dir();
+    let mut digests = BTreeMap::new();
+    let mut survivors = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut seen = BTreeSet::new();
+    queue.push_back((String::new(), root));
+    seen.insert(root.fv);
+    let mut dirs = 0usize;
+    let mut entries_seen = 0usize;
+    while let Some((path, dir_file)) = queue.pop_front() {
+        dirs += 1;
+        if dirs > MAX_DIRS {
+            return Err("directory graph exceeds walk budget after scavenge".into());
+        }
+        let bytes = fs
+            .read_file(dir_file)
+            .map_err(|e| format!("post-scavenge directory {path:?} unreadable: {e}"))?;
+        for entry in dir::parse_entries(&bytes) {
+            entries_seen += 1;
+            if entries_seen > MAX_ENTRIES {
+                return Err("directory entries exceed walk budget after scavenge".into());
+            }
+            let sub_path = if path.is_empty() {
+                entry.name.clone()
+            } else {
+                format!("{path}/{}", entry.name)
+            };
+            if entry.file.is_directory() {
+                if seen.insert(entry.file.fv) {
+                    queue.push_back((sub_path, entry.file));
+                }
+                continue;
+            }
+            // The descriptor is rebuilt (and its content refreshed) by
+            // every scavenge; its stability is covered by the fixed-point
+            // counters, not byte digests.
+            if entry.file.fv == crate::descriptor::descriptor_fv() {
+                continue;
+            }
+            let data = fs.read_file(entry.file).map_err(|e| {
+                format!(
+                    "post-scavenge file {sub_path:?} ({}) unreadable: {e}",
+                    entry.file
+                )
+            })?;
+            let key = (
+                sub_path.clone(),
+                entry.file.fv.serial.words(),
+                entry.file.fv.version,
+            );
+            digests.insert(key, fnv64(&data));
+            if keep_bytes {
+                survivors.push(Survivor {
+                    path: sub_path,
+                    file: entry.file,
+                    in_root: path.is_empty(),
+                    bytes: (data.len() <= MAX_KEEP_BYTES).then_some(data),
+                });
+            }
+        }
+    }
+    Ok((digests, survivors))
+}
+
+/// Post-scavenge allocator probe: the rebuilt system must still create,
+/// write, read and delete files (or fail *cleanly* when the hostile image
+/// exhausted a resource).
+fn probe_allocator<D: Disk>(fs: &mut FileSystem<D>) -> Result<(), String> {
+    let root = fs.root_dir();
+    let mut name = None;
+    for k in 0..8u32 {
+        let candidate = format!("hostile.probe.{k}");
+        match dir::lookup(fs, root, &candidate) {
+            Ok(None) => {
+                name = Some(candidate);
+                break;
+            }
+            Ok(Some(_)) => {}
+            Err(e) => return Err(format!("probe lookup failed: {e}")),
+        }
+    }
+    let Some(name) = name else {
+        return Ok(()); // pathological namespace; nothing to probe
+    };
+    let file = match dir::create_named_file(fs, root, &name) {
+        Ok(f) => f,
+        // Clean exhaustion is an acceptable recovery outcome.
+        Err(FsError::DiskFull | FsError::SerialsExhausted) => return Ok(()),
+        Err(e) => return Err(format!("probe create failed uncleanly: {e}")),
+    };
+    let payload: Vec<u8> = (0..1200u32).map(|i| (i % 253) as u8).collect();
+    if let Err(e) = fs.write_file(file, &payload) {
+        if matches!(e, FsError::DiskFull) {
+            // Roll back what exists so the fixed-point pass is unaffected.
+            let _ = fs.delete_file(file);
+            let _ = dir::remove(fs, root, &name);
+            return Ok(());
+        }
+        return Err(format!("probe write failed: {e}"));
+    }
+    match fs.read_file(file) {
+        Ok(back) if back == payload => {}
+        Ok(_) => return Err("probe read returned different bytes".into()),
+        Err(e) => return Err(format!("probe read failed: {e}")),
+    }
+    fs.delete_file(file)
+        .map_err(|e| format!("probe delete failed: {e}"))?;
+    dir::remove(fs, root, &name).map_err(|e| format!("probe entry removal failed: {e}"))?;
+    Ok(())
+}
+
+fn check_auditors(auditors: &[Auditor], when: &str) -> Result<(), String> {
+    for (k, a) in auditors.iter().enumerate() {
+        let violations = a.violations();
+        if let Some(v) = violations.first() {
+            return Err(format!(
+                "arm {k} audit rejected the {when} scavenge ({} violations; first: {v:?})",
+                violations.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full recovery contract against a (possibly corrupt) disk.
+///
+/// `auditors` are per-arm §3.3 shadow-model handles, already enabled on
+/// the disk. `service` is an extension hook run between the two scavenges
+/// with the mounted system and the surviving files — `crates/core`'s
+/// `FsPageService` consistency check plugs in here (this crate cannot
+/// depend on it); pass [`no_service`] when that layer is not under test.
+///
+/// Returns a violation description, the clean [`Outcome`], or `Ok(None)`
+/// for the one damage recovery cannot route around: the descriptor
+/// leader's *fixed* disk address (§3.3) physically unreadable. Every other
+/// structure is found by self-identification and can be rebuilt elsewhere;
+/// that one sector is the pack's root of trust, and the contract for
+/// losing it is a clean error, not a repair.
+pub fn exercise<D, F>(
+    mut disk: D,
+    auditors: &[Auditor],
+    mut service: F,
+) -> Result<Option<Outcome>, String>
+where
+    D: Disk,
+    F: FnMut(&mut FileSystem<D>, &[Survivor]) -> Result<(), String>,
+{
+    let t0 = disk.clock().now();
+    let budget = |fs: &FileSystem<D>, what: &str| -> Result<(), String> {
+        if fs.disk().clock().now() - t0 > SimTime::from_secs(SIM_BUDGET_SECS) {
+            Err(format!("simulated-time budget exceeded during {what}"))
+        } else {
+            Ok(())
+        }
+    };
+
+    // Probe the descriptor leader's fixed sector up front: if the medium
+    // itself cannot serve it, the only acceptable outcome below is a clean
+    // scavenge error.
+    let desc_dead =
+        crate::page::read_raw_batch(&mut disk, &[crate::descriptor::DESCRIPTOR_LEADER_DA])
+            .pop()
+            .is_some_and(|r| r.is_err());
+
+    // 1. The repairing scavenge: must terminate cleanly and audit-clean.
+    let (mut fs, first) = match Scavenger::rebuild(disk) {
+        Ok(ok) => ok,
+        Err(e) if desc_dead => {
+            // Clean refusal of an unrecoverable pack — accepted.
+            let _ = e;
+            return Ok(None);
+        }
+        Err(e) => return Err(format!("first scavenge failed: {e}")),
+    };
+    check_auditors(auditors, "first")?;
+    budget(&fs, "the first scavenge")?;
+
+    // 2. Every referenced file is readable; the allocator still works.
+    let (digests1, survivors) = walk_files(&mut fs, true)?;
+    service(&mut fs, &survivors)?;
+    probe_allocator(&mut fs)?;
+    budget(&fs, "the survivor walk")?;
+
+    // 3. Re-scavenge: the emitted image must be a fixed point.
+    let disk = fs
+        .unmount()
+        .map_err(|e| format!("unmount after first scavenge failed: {e}"))?;
+    let (mut fs, second) =
+        Scavenger::rebuild(disk).map_err(|e| format!("second scavenge failed: {e}"))?;
+    check_auditors(auditors, "second")?;
+    let repairs = [
+        ("duplicate_pages_freed", second.duplicate_pages_freed),
+        ("headless_pages_freed", second.headless_pages_freed),
+        ("truncated_pages_freed", second.truncated_pages_freed),
+        ("links_repaired", second.links_repaired),
+        ("lengths_normalized", second.lengths_normalized),
+        ("entries_fixed", second.entries_fixed),
+        ("entries_dropped", second.entries_dropped),
+        ("orphans_adopted", second.orphans_adopted),
+    ];
+    for (what, n) in repairs {
+        if n != 0 {
+            return Err(format!(
+                "not a fixed point: second scavenge reports {what} = {n}"
+            ));
+        }
+    }
+
+    // 4. Served bytes are stable across the scavenge, cold then warm.
+    let (digests2, _) = walk_files(&mut fs, false)?;
+    if digests1 != digests2 {
+        let diff: Vec<&WalkKey> = digests1
+            .keys()
+            .chain(digests2.keys())
+            .filter(|k| digests1.get(*k) != digests2.get(*k))
+            .collect();
+        return Err(format!(
+            "file bytes changed across scavenge: {} files differ (first: {:?})",
+            diff.len(),
+            diff.first()
+        ));
+    }
+    let (digests3, _) = walk_files(&mut fs, false)?;
+    if digests2 != digests3 {
+        return Err("warm re-read returned different bytes than the cold read".into());
+    }
+    budget(&fs, "the fixed-point verification")?;
+
+    Ok(Some(Outcome {
+        first,
+        second,
+        files_checked: digests1.len(),
+    }))
+}
+
+/// The no-op service hook for [`exercise`].
+pub fn no_service<D: Disk>(_fs: &mut FileSystem<D>, _survivors: &[Survivor]) -> Result<(), String> {
+    Ok(())
+}
+
+/// Builds a case's base image, applies its edits, and exercises the
+/// recovery contract with per-arm auditors attached, using the no-op
+/// service hook. Pass real hooks with [`run_case_with`].
+pub fn run_case(case: &Case) -> Result<Option<Outcome>, String> {
+    run_case_with(case, no_service, no_service)
+}
+
+/// [`run_case`] with explicit service hooks for each base kind (the two
+/// disk types give the hooks different concrete `FileSystem` parameters).
+/// `Ok(None)` is [`exercise`]'s accepted clean refusal (descriptor sector
+/// physically dead).
+pub fn run_case_with<FS, FA>(
+    case: &Case,
+    single_hook: FS,
+    array_hook: FA,
+) -> Result<Option<Outcome>, String>
+where
+    FS: FnMut(&mut FileSystem<DiskDrive>, &[Survivor]) -> Result<(), String>,
+    FA: FnMut(&mut FileSystem<DriveArray>, &[Survivor]) -> Result<(), String>,
+{
+    match case.base {
+        Base::Single => {
+            let mut drive =
+                build_single(case.pop_seed).map_err(|e| format!("base image build failed: {e}"))?;
+            if let Some(pack) = drive.pack_mut() {
+                for e in &case.edits {
+                    if e.arm == 0 {
+                        apply_edit(pack, e);
+                    }
+                }
+            }
+            let auditors = vec![drive.enable_audit()];
+            exercise(drive, &auditors, single_hook)
+        }
+        Base::Array4 => {
+            let mut array =
+                build_array4(case.pop_seed).map_err(|e| format!("base image build failed: {e}"))?;
+            for e in &case.edits {
+                if e.arm < 4 {
+                    if let Some(pack) = array.arm_mut(e.arm).pack_mut() {
+                        apply_edit(pack, e);
+                    }
+                }
+            }
+            let auditors: Vec<Auditor> = (0..4).map(|k| array.arm_mut(k).enable_audit()).collect();
+            exercise(array, &auditors, array_hook)
+        }
+    }
+}
+
+/// Derives the deterministic case for one sweep seed: base choice,
+/// population, and a structure-aware edit plan read off the built image.
+pub fn random_case(seed: u64) -> Result<Case, String> {
+    let mut rng = SplitMix64::new(seed);
+    let base = if rng.chance(1, 4) {
+        Base::Array4
+    } else {
+        Base::Single
+    };
+    let pop_seed = rng.next_below(1 << 20);
+    let edits = match base {
+        Base::Single => {
+            let drive =
+                build_single(pop_seed).map_err(|e| format!("base image build failed: {e}"))?;
+            let pack = drive.pack().ok_or("base drive lost its pack")?;
+            plan_edits(&[pack], &[0], &mut rng)
+        }
+        Base::Array4 => {
+            let array =
+                build_array4(pop_seed).map_err(|e| format!("base image build failed: {e}"))?;
+            let packs: Vec<&DiskPack> = (0..4).filter_map(|k| array.arm(k).pack()).collect();
+            let origins: Vec<u16> = (0..4)
+                .map(|k| array.arm_origin(k).map_or(0, |d| d.0))
+                .collect();
+            plan_edits(&packs, &origins, &mut rng)
+        }
+    };
+    Ok(Case {
+        base,
+        pop_seed,
+        edits,
+    })
+}

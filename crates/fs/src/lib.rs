@@ -40,6 +40,7 @@ pub mod dir;
 pub mod errors;
 pub mod file;
 pub mod hints;
+pub mod hostile;
 pub mod journal;
 pub mod leader;
 pub mod names;

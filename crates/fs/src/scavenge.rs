@@ -58,6 +58,9 @@ pub struct ScavengeReport {
     pub truncated_pages_freed: u32,
     /// Labels rewritten to repair next/prev links.
     pub links_repaired: u32,
+    /// Labels whose data-length word was normalized (over-long lengths
+    /// clamped, non-final pages restored to a full page, §3.2).
+    pub lengths_normalized: u32,
     /// Files found on the disk (after repair).
     pub files: u32,
     /// Directories read and verified.
@@ -259,7 +262,10 @@ impl Scavenger {
 
         // Phase 3: the link-check pass. The 48-bit table holds no links, so
         // every live sector is re-read in address order; faulty links are
-        // rewritten; page 0 yields the file's version.
+        // rewritten; page 0 yields the file's version. Lengths are
+        // normalized here too (§3.2: every page except the last is full, no
+        // page holds more than a sector) — a hostile length word would
+        // otherwise survive repair and index past the data buffer later.
         let mut live: BTreeMap<u16, ([u16; 2], u16)> = BTreeMap::new();
         for (fid, pages) in &groups {
             for (&page, &da) in pages {
@@ -267,6 +273,7 @@ impl Scavenger {
             }
         }
         let mut versions: BTreeMap<[u16; 2], u16> = BTreeMap::new();
+        let mut page_versions: BTreeMap<([u16; 2], u16), u16> = BTreeMap::new();
         let live_das: Vec<DiskAddress> = live.keys().map(|&da0| DiskAddress(da0)).collect();
         // Address order means each chunk is one stretch of the platter; the
         // chained batch reads it in a couple of revolutions (one stretch per
@@ -275,24 +282,87 @@ impl Scavenger {
             let results = page::read_raw_batch(fs.disk_mut(), &das);
             for (&da, res) in das.iter().zip(results) {
                 let (fid, page) = live[&da.0];
-                let (label, data) = res?;
+                // A sector that scanned in phase 1 but fails to read now is
+                // left alone (its census entry stands; link repair for its
+                // neighbours still points at it) — a transient must not
+                // abort recovery of the whole disk.
+                let Ok((label, data)) = res else { continue };
                 if page == 0 {
                     versions.insert(fid, label.version);
                 }
+                page_versions.insert((fid, page), label.version);
                 let pages = &groups[&fid];
+                let is_last = pages.keys().next_back() == Some(&page);
                 let expected_next = pages.get(&(page + 1)).copied().unwrap_or(DiskAddress::NIL);
                 let expected_prev = if page == 0 {
                     DiskAddress::NIL
                 } else {
                     pages.get(&(page - 1)).copied().unwrap_or(DiskAddress::NIL)
                 };
-                if label.next != expected_next || label.prev != expected_prev {
+                let expected_len = if page == 0 || !is_last {
+                    crate::file::PAGE_BYTES as u16
+                } else {
+                    label.length.min(crate::file::PAGE_BYTES as u16)
+                };
+                if label.next != expected_next
+                    || label.prev != expected_prev
+                    || label.length != expected_len
+                {
                     let pn = PageName::new(Fv::from_label(&label), page, da);
                     let mut fixed = label;
                     fixed.next = expected_next;
                     fixed.prev = expected_prev;
-                    page::rewrite_label(fs.disk_mut(), pn, fixed, &data)?;
-                    report.links_repaired += 1;
+                    fixed.length = expected_len;
+                    if page::rewrite_label(fs.disk_mut(), pn, fixed, &data).is_err() {
+                        continue;
+                    }
+                    if label.next != expected_next || label.prev != expected_prev {
+                        report.links_repaired += 1;
+                    }
+                    if label.length != expected_len {
+                        report.lengths_normalized += 1;
+                    }
+                }
+            }
+        }
+
+        // A file's pages must all carry the leader's version: the 48-bit
+        // table deliberately drops versions (§3.5), so a chain assembled by
+        // serial alone can mix incarnations, and every later read would die
+        // on the exact fs-layer version re-verification (0 is only a
+        // *hardware* wildcard). Truncate each file at the first page whose
+        // version disagrees with page 0's.
+        for (fid, pages) in &mut groups {
+            let Some(&v0) = versions.get(fid) else {
+                continue;
+            };
+            let cut_from = pages
+                .keys()
+                .copied()
+                .find(|&p| p > 0 && page_versions.get(&(*fid, p)).is_some_and(|&v| v != v0));
+            let Some(cut_from) = cut_from else { continue };
+            let cut: Vec<(u16, DiskAddress)> =
+                pages.range(cut_from..).map(|(&p, &d)| (p, d)).collect();
+            for (page, da) in cut {
+                pages.remove(&page);
+                if scav_free(fs, da, *fid, page).is_ok() {
+                    report.truncated_pages_freed += 1;
+                }
+            }
+            // The new tail was link-repaired above to point at the page
+            // just freed; re-point it at NIL.
+            if let Some((&tail_page, &tail_da)) = pages.iter().next_back() {
+                let tail_version = page_versions.get(&(*fid, tail_page)).copied().unwrap_or(v0);
+                let fv = Fv::new(SerialNumber::from_words(*fid), tail_version);
+                let pn = PageName::new(fv, tail_page, tail_da);
+                if let Ok((label, data)) = page::read_page(fs.disk_mut(), pn) {
+                    if !label.next.is_nil() {
+                        let mut fixed = label;
+                        fixed.next = DiskAddress::NIL;
+                        if page::rewrite_label(fs.disk_mut(), pn, fixed, &data).is_ok() {
+                            report.links_repaired += 1;
+                        }
+                    }
                 }
             }
         }
@@ -332,7 +402,10 @@ impl Scavenger {
                 desc.bitmap.set_busy(*da);
             }
         }
-        desc.next_file_number = max_number + 1;
+        // A hostile label can claim a serial at the top of the 30-bit
+        // space; saturate there so the next create fails cleanly
+        // (SerialsExhausted) instead of panicking in SerialNumber::new.
+        desc.next_file_number = (max_number + 1).min(1 << 30);
 
         // Root directory: reuse it if it survived, else recreate it.
         let root_fv = files
@@ -352,15 +425,27 @@ impl Scavenger {
         *fs.descriptor_mut() = desc;
 
         // Rebuild the descriptor file at its standard address. Any previous
-        // descriptor-file pages become free; a foreign page squatting on the
-        // standard address is relocated.
+        // descriptor-file pages become free — at *every* version: a chain
+        // carrying the descriptor's serial under a scribbled version is
+        // still stale descriptor state, and relocating or adopting it would
+        // leave two incarnations of one serial for the next census to
+        // flag as duplicates (the census is version-blind by design, §3.5).
         let desc_fv = descriptor::descriptor_fv();
-        if let Some(chain) = files.remove(&desc_fv) {
-            for (i, da) in chain.iter().enumerate() {
-                fs.free_page(PageName::new(desc_fv, i as u16, *da))?;
+        let stale_desc: Vec<Fv> = files
+            .keys()
+            .copied()
+            .filter(|fv| fv.serial.number() == descriptor::DESCRIPTOR_FILE_NUMBER)
+            .collect();
+        for fv in stale_desc {
+            if let Some(chain) = files.remove(&fv) {
+                for (i, da) in chain.iter().enumerate() {
+                    // A page that cannot be freed (hard error) stays busy in
+                    // the fresh map; losing a sector must not abort recovery.
+                    let _ = fs.free_page(PageName::new(fv, i as u16, *da));
+                }
+                report.files -= 1;
+                report.live_pages -= chain.len() as u32;
             }
-            report.files -= 1;
-            report.live_pages -= chain.len() as u32;
         }
         if let Some((fv, page_no, new_da)) =
             evict_squatter(fs, descriptor::DESCRIPTOR_LEADER_DA, &files)?
@@ -474,17 +559,41 @@ impl Scavenger {
             .collect();
         for (fv, leader_da) in orphan_list {
             let file = FileFullName::new(fv, leader_da);
-            let (_, leader_data) = fs.read_page(file.leader_page())?;
-            let leader = LeaderPage::decode(&leader_data);
-            let mut name = if leader.name.is_empty() {
+            // An unreadable leader loses only its name, not the file.
+            let leader_name = match fs.read_page(file.leader_page()) {
+                Ok((_, leader_data)) => LeaderPage::decode(&leader_data).name,
+                Err(_) => String::new(),
+            };
+            let base = if leader_name.is_empty() {
                 format!("scavenged.{}", fv.serial.number())
             } else {
-                leader.name.clone()
+                leader_name
             };
-            // Avoid clobbering an existing entry with the same name.
+            // Never clobber an existing entry: `dir::insert` replaces a
+            // same-name entry, which would orphan *that* file and make the
+            // adoption chase its own tail on every re-scavenge. Uniquify
+            // (UTF-8-boundary-safely — leader names may be multibyte) until
+            // the name is free.
+            let mut name = base.clone();
+            let mut attempt = 0u32;
+            while dir::lookup(fs, root, &name)?.is_some() {
+                attempt += 1;
+                let suffix = if attempt == 1 {
+                    format!("!{}", fv.serial.number())
+                } else {
+                    format!("!{}.{attempt}", fv.serial.number())
+                };
+                name = compose_name(&base, &suffix);
+                if attempt >= 64 {
+                    // Serial numbers are unique, so this cannot collide
+                    // forever with honest entries; a pathological directory
+                    // beyond this budget loses the orphan's entry (the file
+                    // itself stays on disk for the next scavenge).
+                    break;
+                }
+            }
             if dir::lookup(fs, root, &name)?.is_some() {
-                name = format!("{}!{}", name, fv.serial.number());
-                name.truncate(crate::leader::MAX_LEADER_NAME);
+                continue;
             }
             dir::insert(fs, root, &name, file)?;
             report.orphans_adopted += 1;
@@ -508,6 +617,19 @@ impl Scavenger {
         report.elapsed = fs.disk().clock().now() - start;
         Ok(report)
     }
+}
+
+/// `base` + `suffix`, with `base` truncated at a UTF-8 boundary so the
+/// whole name fits in a leader/directory name field. (A plain
+/// `String::truncate` would panic when byte 39 of a recovered multibyte
+/// leader name is mid-character.)
+fn compose_name(base: &str, suffix: &str) -> String {
+    let room = crate::leader::MAX_LEADER_NAME.saturating_sub(suffix.len());
+    let mut cut = room.min(base.len());
+    while cut > 0 && !base.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}{}", &base[..cut], suffix)
 }
 
 /// Frees a page named by the 48-bit table: the serial words and page

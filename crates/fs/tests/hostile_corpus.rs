@@ -1,0 +1,71 @@
+//! Regression corpus replay: every minimized hostile image that ever
+//! broke recovery (plus hand-crafted mutants for specific invariants)
+//! must keep passing the full [`alto_fs::hostile::exercise`] contract.
+//!
+//! Each `tests/corpus/*.case` file is a deterministic recipe in the
+//! format of [`alto_fs::hostile::Case::to_text`]. Its leading comment
+//! records the failure signature the case produced before the fix
+//! landed. The replay accepts either a completed contract
+//! (`Ok(Some(_))`) or the one sanctioned clean refusal (`Ok(None)`:
+//! the descriptor leader's fixed sector is physically dead); anything
+//! else — an error string or a panic — fails the suite.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use alto_fs::hostile::{run_case, Case};
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 12,
+        "corpus unexpectedly small: {} cases",
+        paths.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("readable case file");
+        let case = match Case::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("{name}: unparseable: {e}"));
+                continue;
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(|| run_case(&case))) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => failures.push(format!("{name}: {e}")),
+            Err(_) => failures.push(format!("{name}: panicked")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) regressed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The corpus text format round-trips: parse -> to_text -> parse.
+#[test]
+fn corpus_text_round_trips() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    for entry in std::fs::read_dir(dir).expect("corpus directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|x| x != "case") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable case file");
+        let case = Case::parse(&text).expect("corpus case parses");
+        let reparsed = Case::parse(&case.to_text()).expect("serialized case parses");
+        assert_eq!(case, reparsed, "{} does not round-trip", path.display());
+    }
+}

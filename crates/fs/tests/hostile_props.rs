@@ -1,0 +1,248 @@
+//! Scavenger property tests over targeted hostile images (ROADMAP 5a).
+//!
+//! The sweep in `bench --bin fuzz` samples the mutation space at random;
+//! these tests pin the specific shapes the issue calls out — zero-length
+//! files, truncated final pages, duplicate absolute names — on both the
+//! single-drive and the K=4 [`DriveArray`] bases, and assert the full
+//! [`exercise`] contract (never panic, §3.3 audit clean, second scavenge
+//! a fixed point, stable bytes).
+
+use alto_disk::{Auditor, DiskDrive, DiskModel, DriveArray, Placement};
+use alto_fs::hostile::{
+    apply_edit, build_array4, build_single, exercise, no_service, random_case, run_case, Edit,
+    EditOp, LabelField,
+};
+use alto_fs::{dir, FileSystem};
+use alto_sim::{SimClock, Trace};
+
+/// A fresh single-drive fs holding only zero-length files (one never
+/// written, several written with empty bodies), crashed with a stale map.
+fn zero_length_single() -> DiskDrive {
+    let drive =
+        DiskDrive::with_formatted_pack(SimClock::new(), Trace::new(), DiskModel::Diablo31, 1);
+    let mut fs = FileSystem::format(drive).expect("format");
+    let root = fs.root_dir();
+    for i in 0..5u32 {
+        let f = dir::create_named_file(&mut fs, root, &format!("empty{i}.dat")).expect("create");
+        if i != 0 {
+            fs.write_file(f, &[]).expect("write empty");
+        }
+    }
+    fs.crash()
+}
+
+fn zero_length_array4() -> DriveArray {
+    let array = DriveArray::with_arms(
+        4,
+        Placement::Range,
+        SimClock::new(),
+        Trace::new(),
+        DiskModel::Diablo31,
+    );
+    let mut fs = FileSystem::format(array).expect("format");
+    let root = fs.root_dir();
+    for i in 0..5u32 {
+        let f = dir::create_named_file(&mut fs, root, &format!("empty{i}.dat")).expect("create");
+        if i != 0 {
+            fs.write_file(f, &[]).expect("write empty");
+        }
+    }
+    fs.crash()
+}
+
+#[test]
+fn zero_length_files_reach_a_fixed_point_single() {
+    let mut drive = zero_length_single();
+    let auditors = vec![drive.enable_audit()];
+    let out = exercise(drive, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+#[test]
+fn zero_length_files_reach_a_fixed_point_array4() {
+    let mut array = zero_length_array4();
+    let auditors: Vec<Auditor> = (0..4).map(|k| array.arm_mut(k).enable_audit()).collect();
+    let out = exercise(array, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+/// Finds, per arm, the local addresses of in-use final data pages
+/// (`next == NIL`, `page > 0`): the sectors a torn write would leave
+/// half-gone.
+fn final_page_das(packs: &[&alto_disk::DiskPack]) -> Vec<(usize, u16)> {
+    let mut out = Vec::new();
+    for (arm, pack) in packs.iter().enumerate() {
+        for da in 0..u16::MAX {
+            let Some(sector) = pack.sector(alto_disk::DiskAddress(da)) else {
+                break;
+            };
+            let label = sector.decoded_label();
+            if label.is_in_use() && label.page_number > 0 && label.next.is_nil() {
+                out.push((arm, da));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn truncated_final_pages_reach_a_fixed_point_single() {
+    let mut drive = build_single(7).expect("base");
+    let targets = {
+        let pack = drive.pack().expect("pack");
+        final_page_das(&[pack])
+    };
+    assert!(
+        targets.len() >= 3,
+        "population should have multi-page files"
+    );
+    let pack = drive.pack_mut().expect("pack");
+    for (_, da) in targets.iter().take(3) {
+        assert!(apply_edit(
+            pack,
+            &Edit {
+                arm: 0,
+                da: *da,
+                op: EditOp::Damage,
+            }
+        ));
+    }
+    let auditors = vec![drive.enable_audit()];
+    let out = exercise(drive, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+#[test]
+fn truncated_final_pages_reach_a_fixed_point_array4() {
+    let mut array = build_array4(7).expect("base");
+    let targets = {
+        let packs: Vec<&alto_disk::DiskPack> = (0..4).filter_map(|k| array.arm(k).pack()).collect();
+        final_page_das(&packs)
+    };
+    assert!(
+        targets.len() >= 3,
+        "population should have multi-page files"
+    );
+    for (arm, da) in targets.iter().take(3) {
+        let pack = array.arm_mut(*arm).pack_mut().expect("pack");
+        assert!(apply_edit(
+            pack,
+            &Edit {
+                arm: *arm,
+                da: *da,
+                op: EditOp::Damage,
+            }
+        ));
+    }
+    let auditors: Vec<Auditor> = (0..4).map(|k| array.arm_mut(k).enable_audit()).collect();
+    let out = exercise(array, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+/// Finds, per arm, the local addresses and labels of regular-file leader
+/// pages (`page == 0`, plain-file flag), skipping the fixed system files.
+fn leader_das(packs: &[&alto_disk::DiskPack]) -> Vec<(usize, u16, alto_disk::Label)> {
+    let mut out = Vec::new();
+    for (arm, pack) in packs.iter().enumerate() {
+        for da in 0..u16::MAX {
+            let Some(sector) = pack.sector(alto_disk::DiskAddress(da)) else {
+                break;
+            };
+            let label = sector.decoded_label();
+            if label.is_in_use() && label.page_number == 0 && label.fid[0] == 0x4000 {
+                out.push((arm, da, label));
+            }
+        }
+    }
+    out
+}
+
+/// Clones one leader's absolute name (fid + version) onto another
+/// leader: two sectors now claim the same (serial, version, page 0).
+/// The census must keep one chain and free the other; the second
+/// scavenge must then find nothing left to repair.
+#[test]
+fn duplicate_fid_reaches_a_fixed_point_single() {
+    let mut drive = build_single(11).expect("base");
+    let leaders = {
+        let pack = drive.pack().expect("pack");
+        leader_das(&[pack])
+    };
+    assert!(leaders.len() >= 2, "population should have several files");
+    let (_, _, src) = &leaders[0];
+    let (_, dst_da, _) = &leaders[1];
+    let pack = drive.pack_mut().expect("pack");
+    for (field, value) in [
+        (LabelField::Fid0, src.fid[0]),
+        (LabelField::Fid1, src.fid[1]),
+        (LabelField::Version, src.version),
+    ] {
+        assert!(apply_edit(
+            pack,
+            &Edit {
+                arm: 0,
+                da: *dst_da,
+                op: EditOp::Field(field, value),
+            }
+        ));
+    }
+    let auditors = vec![drive.enable_audit()];
+    let out = exercise(drive, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+#[test]
+fn duplicate_fid_reaches_a_fixed_point_array4() {
+    let mut array = build_array4(11).expect("base");
+    let leaders = {
+        let packs: Vec<&alto_disk::DiskPack> = (0..4).filter_map(|k| array.arm(k).pack()).collect();
+        leader_das(&packs)
+    };
+    assert!(leaders.len() >= 2, "population should have several files");
+    let (_, _, src) = leaders[0];
+    let (dst_arm, dst_da, _) = leaders[1];
+    let pack = array.arm_mut(dst_arm).pack_mut().expect("pack");
+    for (field, value) in [
+        (LabelField::Fid0, src.fid[0]),
+        (LabelField::Fid1, src.fid[1]),
+        (LabelField::Version, src.version),
+    ] {
+        assert!(apply_edit(
+            pack,
+            &Edit {
+                arm: dst_arm,
+                da: dst_da,
+                op: EditOp::Field(field, value),
+            }
+        ));
+    }
+    let auditors: Vec<Auditor> = (0..4).map(|k| array.arm_mut(k).enable_audit()).collect();
+    let out = exercise(array, &auditors, no_service).expect("contract");
+    assert!(out.is_some(), "nothing here justifies a clean refusal");
+}
+
+/// A small fixed-seed smoke sweep in-process (the CI release-mode sweep
+/// in `bench --bin fuzz` covers thousands); every sampled mutant must
+/// satisfy the contract or refuse cleanly.
+#[test]
+fn fixed_seed_smoke_sweep() {
+    let mut failures = Vec::new();
+    for seed in 0xA170_5EED_u64..0xA170_5EED + 16 {
+        let case = match random_case(seed) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("seed {seed:#x}: case derivation failed: {e}"));
+                continue;
+            }
+        };
+        if let Err(e) = run_case(&case) {
+            failures.push(format!("seed {seed:#x}: {e}\n{}", case.to_text()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} smoke mutant(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

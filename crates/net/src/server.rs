@@ -66,6 +66,11 @@ pub const STATUS_IO: u16 = 4;
 /// The request payload did not parse.
 pub const STATUS_MALFORMED: u16 = 5;
 
+/// Protocol-level cap on an open request's file name, in bytes. No store
+/// names files anywhere near this long; a declared length past it is a
+/// malformed request, not a big name.
+pub const MAX_NAME_LEN: usize = 255;
+
 /// Packs an ASCII file name into request payload words.
 pub fn encode_name(name: &str, out: &mut Vec<u16>) {
     out.clear();
@@ -82,7 +87,7 @@ pub fn encode_name(name: &str, out: &mut Vec<u16>) {
 pub fn decode_name(payload: &[u16]) -> Option<String> {
     let len = *payload.first()? as usize;
     let words = payload.get(1..)?;
-    if len > 2 * words.len() {
+    if len > MAX_NAME_LEN || len > 2 * words.len() {
         return None;
     }
     let mut bytes = Vec::with_capacity(len);
@@ -422,5 +427,55 @@ mod tests {
         assert_eq!(decode_name(&[5, 0x4142]), None);
         // Invalid UTF-8 byte sequences decode to None, not a panic.
         assert_eq!(decode_name(&[2, 0xFFFE]), None);
+        // Declared past the protocol cap, even with the words to back it.
+        let huge = vec![0x4141u16; 1 + MAX_NAME_LEN];
+        let mut p = vec![(MAX_NAME_LEN + 1) as u16];
+        p.extend_from_slice(&huge);
+        assert_eq!(decode_name(&p), None);
+    }
+
+    #[test]
+    fn seeded_name_payload_sweep_rejects_or_is_well_formed() {
+        // Mirror the packet-level corruption sweep one layer up: random
+        // OPEN payloads must either be rejected or decode to a name whose
+        // shape matches what the payload declared — never panic, never
+        // over-read, never exceed the protocol cap.
+        let mut rng = alto_sim::SplitMix64::new(0x09E4_4A3E);
+        let mut accepted = 0u32;
+        for round in 0..4000u64 {
+            let payload: Vec<u16> = match round % 3 {
+                // Pure noise.
+                0 => (0..rng.next_u64() % 40).map(|_| rng.next_u16()).collect(),
+                // A valid encode with words smashed.
+                1 => {
+                    let name: String = (0..rng.next_u64() % 50)
+                        .map(|_| (b'a' + (rng.next_u64() % 26) as u8) as char)
+                        .collect();
+                    let mut out = Vec::new();
+                    encode_name(&name, &mut out);
+                    for _ in 0..1 + rng.next_u64() % 3 {
+                        if !out.is_empty() {
+                            let i = rng.next_u64() as usize % out.len();
+                            out[i] = rng.next_u16();
+                        }
+                    }
+                    out
+                }
+                // A hostile declared length over real bytes.
+                _ => {
+                    let mut out: Vec<u16> =
+                        (0..rng.next_u64() % 20).map(|_| rng.next_u16()).collect();
+                    out.insert(0, rng.next_u16());
+                    out
+                }
+            };
+            if let Some(name) = decode_name(&payload) {
+                accepted += 1;
+                assert_eq!(name.len(), payload[0] as usize);
+                assert!(name.len() <= MAX_NAME_LEN);
+            }
+        }
+        // The sweep must actually exercise both outcomes.
+        assert!(accepted > 0);
     }
 }
