@@ -88,6 +88,7 @@ struct Point {
     allocs: u64,
     retransmits: u64,
     failed: u64,
+    send_failures: u64,
     batches: u64,
     p50_ns: u64,
     p95_ns: u64,
@@ -175,6 +176,7 @@ fn run(config: &'static str, clients: usize, drives: usize, batching: bool) -> P
         allocs,
         retransmits: stats.retransmits,
         failed: stats.failed,
+        send_failures: server.stats.send_failures,
         batches: server.stats.batches,
         p50_ns: percentile(&samples, 0.50),
         p95_ns: percentile(&samples, 0.95),
@@ -184,7 +186,7 @@ fn run(config: &'static str, clients: usize, drives: usize, batching: bool) -> P
 
 fn print_point(p: &Point) {
     println!(
-        "{:<8} {:>6} clients x {} drives: {:>9.1} served/sim-s  {:>10.0} served/wall-s  {:>7.3} allocs/req  p50 {:>7.1}ms  p95 {:>7.1}ms  p99 {:>7.1}ms  ({} served, {} batches, {} rexmit, {} failed)",
+        "{:<8} {:>6} clients x {} drives: {:>9.1} served/sim-s  {:>10.0} served/wall-s  {:>7.3} allocs/req  p50 {:>7.1}ms  p95 {:>7.1}ms  p99 {:>7.1}ms  ({} served, {} batches, {} rexmit, {} failed, {} send drops)",
         p.config,
         p.clients,
         p.drives,
@@ -198,12 +200,13 @@ fn print_point(p: &Point) {
         p.batches,
         p.retransmits,
         p.failed,
+        p.send_failures,
     );
 }
 
 fn json_point(p: &Point) -> String {
     format!(
-        "    {{ \"config\": \"{}\", \"clients\": {}, \"drives\": {}, \"pages_per_client\": {}, \"served\": {}, \"batches\": {}, \"failed\": {}, \"retransmits\": {}, \"sim_ns\": {}, \"wall_ns\": {}, \"allocs\": {}, \"served_per_sim_sec\": {:.2}, \"served_per_wall_sec\": {:.1}, \"allocs_per_request\": {:.4}, \"latency_ns\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }} }}",
+        "    {{ \"config\": \"{}\", \"clients\": {}, \"drives\": {}, \"pages_per_client\": {}, \"served\": {}, \"batches\": {}, \"failed\": {}, \"retransmits\": {}, \"send_failures\": {}, \"sim_ns\": {}, \"wall_ns\": {}, \"allocs\": {}, \"served_per_sim_sec\": {:.2}, \"served_per_wall_sec\": {:.1}, \"allocs_per_request\": {:.4}, \"latency_ns\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }} }}",
         p.config,
         p.clients,
         p.drives,
@@ -212,6 +215,7 @@ fn json_point(p: &Point) -> String {
         p.batches,
         p.failed,
         p.retransmits,
+        p.send_failures,
         p.sim_ns,
         p.wall_ns,
         p.allocs,

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod determinism;
 pub mod harness;
 
 use alto_disk::{DiskDrive, DiskModel};

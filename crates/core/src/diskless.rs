@@ -12,7 +12,7 @@
 //! arrive over the ether from a [`BootServer`] running on a machine that
 //! does have a disk.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use alto_disk::{Disk, DiskAddress, DATA_WORDS};
 use alto_fs::file::PAGE_BYTES;
@@ -232,6 +232,11 @@ impl<'a, D: Disk> BootServer<'a, D> {
         let Some(request) = ether.receive(self.host, BOOT_SOCKET)? else {
             return Err(ProtoError::TooManyRetries { seq: 0 });
         };
+        if request.ptype != BOOT_REQUEST {
+            // A stray packet on the boot socket is not a boot request;
+            // answering it with a file transfer would corrupt the protocol.
+            return Err(ProtoError::TooManyRetries { seq: request.seq });
+        }
         let name_bytes = alto_fs::file::words_to_bytes(&request.payload);
         let name = String::from_utf8_lossy(&name_bytes);
         let name = name.trim_end_matches('\0');
@@ -282,7 +287,7 @@ struct ServedFile {
 pub struct FsPageService<'a, D: Disk> {
     fs: &'a mut FileSystem<D>,
     opens: Vec<ServedFile>,
-    by_name: HashMap<String, u32>,
+    by_name: BTreeMap<String, u32>,
     // Scratch, reused across serve calls.
     order: Vec<usize>,
     names: Vec<PageName>,
@@ -300,7 +305,7 @@ impl<'a, D: Disk> FsPageService<'a, D> {
         FsPageService {
             fs,
             opens: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             order: Vec::new(),
             names: Vec::new(),
             sorted_names: Vec::new(),

@@ -13,6 +13,7 @@
 //! regions, `Junta` genuinely removes them: the words are freed and any
 //! stale call lands in reclaimed storage.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use alto_machine::instr::{Index, Instr, MemFn};
@@ -28,7 +29,7 @@ pub const STUB_WORDS: u16 = 2;
 /// The symbol table: OS procedure name → stub address.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
-    stubs: HashMap<&'static str, u16>,
+    stubs: BTreeMap<&'static str, u16>,
 }
 
 impl SymbolTable {
@@ -36,7 +37,7 @@ impl SymbolTable {
     /// table. Stubs are packed from each region's base upward.
     pub fn install(mem: &mut Memory, levels: &LevelTable) -> SymbolTable {
         let mut next_slot: HashMap<u8, u16> = HashMap::new();
-        let mut stubs = HashMap::new();
+        let mut stubs = BTreeMap::new();
         for call in ALL_CALLS {
             let level = levels
                 .level(call.level())

@@ -26,7 +26,7 @@
 //! the same switch: with hints off, the allocator degrades to the original
 //! fixed-origin scan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alto_disk::{DiskAddress, Label};
 
@@ -70,7 +70,7 @@ struct DirIndex {
     entries: Vec<DirEntry>,
     /// Casefolded name → index of the *first* matching entry (directories
     /// may hold duplicates after adoption; lookup returns the first).
-    by_name: HashMap<String, usize>,
+    by_name: BTreeMap<String, usize>,
 }
 
 /// A cached leader page: label plus decoded contents.
@@ -86,11 +86,11 @@ struct CachedLeader {
 #[derive(Debug)]
 pub(crate) struct HintCache {
     enabled: bool,
-    dirs: HashMap<Fv, DirIndex>,
+    dirs: BTreeMap<Fv, DirIndex>,
     /// Per-directory epochs, bumped on every insert/remove/rewrite through
     /// the directory package; they outlive the snapshots they invalidate.
-    generations: HashMap<Fv, u64>,
-    leaders: HashMap<Fv, CachedLeader>,
+    generations: BTreeMap<Fv, u64>,
+    leaders: BTreeMap<Fv, CachedLeader>,
     pub(crate) stats: CacheStats,
 }
 
@@ -98,9 +98,9 @@ impl HintCache {
     pub(crate) fn new() -> HintCache {
         HintCache {
             enabled: true,
-            dirs: HashMap::new(),
-            generations: HashMap::new(),
-            leaders: HashMap::new(),
+            dirs: BTreeMap::new(),
+            generations: BTreeMap::new(),
+            leaders: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -174,7 +174,7 @@ impl HintCache {
         if !self.enabled {
             return;
         }
-        let mut by_name = HashMap::with_capacity(entries.len());
+        let mut by_name = BTreeMap::new();
         for (i, e) in entries.iter().enumerate() {
             by_name.entry(casefold(&e.name)).or_insert(i);
         }

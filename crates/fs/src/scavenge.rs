@@ -441,6 +441,10 @@ impl Scavenger {
                 for (i, da) in chain.iter().enumerate() {
                     // A page that cannot be freed (hard error) stays busy in
                     // the fresh map; losing a sector must not abort recovery.
+                    // lint: allow(error-path-discard) — a hard-failed free
+                    // leaves the sector busy in the rebuilt map, which the
+                    // next census re-examines; aborting recovery over one
+                    // sector would violate the never-panic contract (§3.5)
                     let _ = fs.free_page(PageName::new(fv, i as u16, *da));
                 }
                 report.files -= 1;

@@ -98,6 +98,13 @@ impl Ether {
         &self.clock
     }
 
+    /// Records a service-level event on the ether's trace at the current
+    /// simulated time, so co-located services (the page server, the boot
+    /// server) land their events on the same timeline as the wire's own.
+    pub fn note(&self, tag: &'static str, detail: impl FnOnce() -> String) {
+        self.trace.record_with(self.clock.now(), tag, detail);
+    }
+
     /// Attaches a host.
     pub fn attach(&mut self, host: HostId) -> Result<(), NetError> {
         if host == 0 {

@@ -28,7 +28,7 @@
 //! multiplexed by the 16-bit socket space, which is how a thousand-client
 //! fleet fits one simulated ether.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alto_disk::DATA_WORDS;
 
@@ -175,6 +175,10 @@ pub struct ServerStats {
     /// Store batches issued (one per tick when batching; one per request
     /// in the naive ablation).
     pub batches: u64,
+    /// Replies the ether refused to carry (counted and traced as
+    /// `net.send_drop`, never silently dropped — the client's
+    /// retransmission machinery recovers).
+    pub send_failures: u64,
 }
 
 /// The request loop: drains the server host's inbox, multiplexes sessions,
@@ -184,7 +188,7 @@ pub struct PageServer {
     host: HostId,
     socket: u16,
     batching: bool,
-    sessions: HashMap<(HostId, u16), Session>,
+    sessions: BTreeMap<(HostId, u16), Session>,
     inbox: Vec<Packet>,
     reads: Vec<PageRequest>,
     pending: Vec<PendingReply>,
@@ -201,7 +205,7 @@ impl PageServer {
             host,
             socket: PAGE_SERVICE_SOCKET,
             batching: true,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             inbox: Vec::new(),
             reads: Vec::new(),
             pending: Vec::new(),
@@ -256,25 +260,47 @@ impl PageServer {
         if self.batching {
             if !self.reads.is_empty() {
                 self.stats.batches += 1;
-                let served = &mut self.stats.served;
+                let ServerStats {
+                    served,
+                    send_failures,
+                    ..
+                } = &mut self.stats;
                 let pending = &self.pending;
                 let host = self.host;
                 let socket = self.socket;
                 store.serve(&self.reads, &mut self.failed, |tag, data| {
                     *served += 1;
-                    send_page_reply(ether, host, socket, pending[tag as usize], data);
+                    send_page_reply(
+                        ether,
+                        host,
+                        socket,
+                        pending[tag as usize],
+                        data,
+                        send_failures,
+                    );
                 });
             }
         } else {
             for i in 0..self.reads.len() {
                 self.stats.batches += 1;
-                let served = &mut self.stats.served;
+                let ServerStats {
+                    served,
+                    send_failures,
+                    ..
+                } = &mut self.stats;
                 let pending = &self.pending;
                 let host = self.host;
                 let socket = self.socket;
                 store.serve(&self.reads[i..=i], &mut self.failed, |tag, data| {
                     *served += 1;
-                    send_page_reply(ether, host, socket, pending[tag as usize], data);
+                    send_page_reply(
+                        ether,
+                        host,
+                        socket,
+                        pending[tag as usize],
+                        data,
+                        send_failures,
+                    );
                 });
             }
         }
@@ -326,7 +352,7 @@ impl PageServer {
             seq: to.seq,
             payload,
         };
-        let _ = ether.send(reply);
+        send_reply(ether, &mut self.stats.send_failures, reply);
     }
 
     fn collect_read(&mut self, ether: &mut Ether, pkt: Packet) {
@@ -380,7 +406,19 @@ impl PageServer {
             seq: to.seq,
             payload,
         };
-        let _ = ether.send(reply);
+        send_reply(ether, &mut self.stats.send_failures, reply);
+    }
+}
+
+/// Sends one reply; a refused send is counted and traced (`net.send_drop`)
+/// instead of vanishing. The protocol is idempotent, so the client's
+/// retransmission recovers the loss — but the operator gets to see it.
+fn send_reply(ether: &mut Ether, send_failures: &mut u64, reply: Packet) {
+    let dst = reply.dst_host;
+    let seq = reply.seq;
+    if ether.send(reply).is_err() {
+        *send_failures += 1;
+        ether.note("net.send_drop", || format!("reply to {dst} seq {seq}"));
     }
 }
 
@@ -392,6 +430,7 @@ fn send_page_reply(
     socket: u16,
     to: PendingReply,
     data: &[u16; DATA_WORDS],
+    send_failures: &mut u64,
 ) {
     let mut payload = pool::words_vec();
     payload.extend_from_slice(data);
@@ -404,7 +443,7 @@ fn send_page_reply(
         seq: to.seq,
         payload,
     };
-    let _ = ether.send(reply);
+    send_reply(ether, send_failures, reply);
 }
 
 #[cfg(test)]

@@ -1,0 +1,319 @@
+//! A workspace-wide, name-resolved call graph for the interprocedural rules.
+//!
+//! Built on the same blanked-code model as the per-function lint: every
+//! [`FnSpan`](crate::model::FnSpan) becomes a node, and an identifier
+//! immediately followed by `(` inside a body becomes a call site. Resolution
+//! is *by name*: a call `foo(` (or `.foo(`) gets an edge to every function
+//! named `foo` anywhere in the workspace. That is an over-approximation — two
+//! unrelated `new`s alias — but it errs in the safe direction for the rules
+//! built on it: taint sets are empty on a clean tree (so aliasing cannot
+//! manufacture violations there), and positive-evidence queries ("does this
+//! handler reach a send?") only get easier to satisfy.
+//!
+//! The graph is deterministic by construction: nodes are numbered in
+//! file-then-line order, adjacency lists are built in that order, and both
+//! BFS directions walk sorted lists.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::model::SourceFile;
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the file slice the graph was built from.
+    pub file: usize,
+    pub name: String,
+    /// 1-based body range (opening `{` line through closing `}` line).
+    pub start_line: usize,
+    pub end_line: usize,
+    /// True if the function is inside test-only code or a test tree.
+    pub test: bool,
+}
+
+/// One resolved call: the callee node plus the 1-based line of the call site
+/// in the *caller*.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    pub callee: usize,
+    pub line: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    /// Forward adjacency: `calls[n]` are the resolved call sites in node `n`,
+    /// in source order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Reverse adjacency: `called_by[n]` are the nodes containing a call that
+    /// resolves to `n`, ascending.
+    pub called_by: Vec<Vec<usize>>,
+}
+
+/// Keywords that can precede `(` without being calls.
+const NON_CALL_WORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "in", "as", "let", "loop", "else", "move", "fn",
+];
+
+impl CallGraph {
+    /// Build the graph over a set of scanned files.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            let in_test_tree = file.rel_path.starts_with("tests/")
+                || file.rel_path.starts_with("examples/")
+                || file.rel_path.contains("/tests/");
+            for span in &file.functions {
+                nodes.push(FnNode {
+                    file: fi,
+                    name: span.name.clone(),
+                    start_line: span.start_line,
+                    end_line: span.end_line,
+                    test: in_test_tree || file.is_test_line(span.start_line),
+                });
+            }
+        }
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            by_name.entry(node.name.as_str()).or_default().push(id);
+        }
+
+        let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); nodes.len()];
+        let mut called_by: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            let file = &files[node.file];
+            for line in &file.scanned.lines {
+                if line.number < node.start_line || line.number > node.end_line {
+                    continue;
+                }
+                // Attribute each line to its innermost function only, so a
+                // nested fn's calls are not also credited to its parent.
+                let innermost = innermost_node(&nodes, node.file, line.number);
+                if innermost != Some(id) {
+                    continue;
+                }
+                for name in call_names(&line.code) {
+                    let Some(callees) = by_name.get(name) else {
+                        continue;
+                    };
+                    for &callee in callees {
+                        calls[id].push(CallSite {
+                            callee,
+                            line: line.number,
+                        });
+                        called_by[callee].push(id);
+                    }
+                }
+            }
+        }
+        for list in &mut called_by {
+            list.sort_unstable();
+            list.dedup();
+        }
+        CallGraph {
+            nodes,
+            calls,
+            called_by,
+        }
+    }
+
+    /// The innermost node containing 1-based `line` of file index `fi`.
+    pub fn node_at(&self, fi: usize, line: usize) -> Option<usize> {
+        innermost_node(&self.nodes, fi, line)
+    }
+
+    /// Reverse reachability: for every node that transitively calls into
+    /// `targets`, the witness call site (first hop toward a target). Targets
+    /// themselves map to `None`.
+    pub fn reach_into(&self, targets: &[usize]) -> HashMap<usize, CallSite> {
+        let target_set: HashSet<usize> = targets.iter().copied().collect();
+        let mut witness: HashMap<usize, CallSite> = HashMap::new();
+        let mut queue: VecDeque<usize> = targets.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            for &caller in &self.called_by[n] {
+                if target_set.contains(&caller) || witness.contains_key(&caller) {
+                    continue;
+                }
+                let site = self.calls[caller]
+                    .iter()
+                    .find(|s| s.callee == n)
+                    .copied()
+                    .expect("reverse edge has a forward call site");
+                witness.insert(caller, site);
+                queue.push_back(caller);
+            }
+        }
+        witness
+    }
+
+    /// Forward reachability: true if `start` is in, or transitively calls
+    /// into, `targets`.
+    pub fn reaches(&self, start: usize, targets: &HashSet<usize>) -> bool {
+        if targets.contains(&start) {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            for site in &self.calls[n] {
+                if targets.contains(&site.callee) {
+                    return true;
+                }
+                if seen.insert(site.callee) {
+                    queue.push_back(site.callee);
+                }
+            }
+        }
+        false
+    }
+
+    /// Render the call chain from `from` toward the taint sources recorded in
+    /// `witness`, e.g. `plan -> helper -> do_raw`. Capped to six hops.
+    pub fn chain(&self, from: usize, witness: &HashMap<usize, CallSite>) -> String {
+        let mut parts = vec![self.nodes[from].name.clone()];
+        let mut at = from;
+        for _ in 0..6 {
+            let Some(site) = witness.get(&at) else { break };
+            at = site.callee;
+            parts.push(self.nodes[at].name.clone());
+        }
+        parts.join(" -> ")
+    }
+}
+
+fn innermost_node(nodes: &[FnNode], fi: usize, line: usize) -> Option<usize> {
+    nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.file == fi && n.start_line <= line && line <= n.end_line)
+        .min_by_key(|(_, n)| n.end_line - n.start_line)
+        .map(|(id, _)| id)
+}
+
+/// Extract callee names from one blanked code line: identifier runs
+/// immediately followed by `(`, excluding keywords, macro invocations
+/// (`name!(`), and the `fn name(` definition itself.
+fn call_names(code: &str) -> Vec<&str> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !is_ident_start(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &code[start..i];
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        if NON_CALL_WORDS.contains(&name) {
+            continue;
+        }
+        // `fn name(` is the definition, not a call.
+        let before = code[..start].trim_end();
+        if before.ends_with("fn")
+            && before
+                .len()
+                .checked_sub(3)
+                .is_none_or(|p| !is_ident_byte(before.as_bytes()[p]))
+        {
+            continue;
+        }
+        out.push(name);
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn graph_of(src: &str) -> (Vec<SourceFile>, CallGraph) {
+        let files = vec![SourceFile::from_source("crates/fs/src/x.rs".into(), src)];
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn resolves_direct_and_method_calls() {
+        let (_, g) =
+            graph_of("fn a(x: u32) {\n    b(x);\n    x.c();\n}\nfn b(x: u32) {}\nfn c(&self) {}\n");
+        let a = g.nodes.iter().position(|n| n.name == "a").unwrap();
+        let callees: Vec<&str> = g.calls[a]
+            .iter()
+            .map(|s| g.nodes[s.callee].name.as_str())
+            .collect();
+        assert_eq!(callees, ["b", "c"]);
+    }
+
+    #[test]
+    fn definition_is_not_a_self_call() {
+        let (_, g) = graph_of("fn a(x: u32) { x + 1; }\n");
+        assert!(g.calls[0].is_empty());
+    }
+
+    #[test]
+    fn macros_and_keywords_skipped() {
+        let (_, g) = graph_of("fn a() {\n    assert_eq!(1, 1);\n    if (true) {}\n}\nfn b() {}\n");
+        assert!(g.calls[0].is_empty());
+    }
+
+    #[test]
+    fn reverse_reachability_finds_transitive_callers() {
+        let (_, g) =
+            graph_of("fn top() {\n    mid();\n}\nfn mid() {\n    sink();\n}\nfn sink() {}\n");
+        let sink = g.nodes.iter().position(|n| n.name == "sink").unwrap();
+        let top = g.nodes.iter().position(|n| n.name == "top").unwrap();
+        let mid = g.nodes.iter().position(|n| n.name == "mid").unwrap();
+        let witness = g.reach_into(&[sink]);
+        assert!(witness.contains_key(&top));
+        assert!(witness.contains_key(&mid));
+        assert_eq!(g.chain(top, &witness), "top -> mid -> sink");
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let (_, g) = graph_of(
+            "fn top() {\n    mid();\n}\nfn mid() {\n    sink();\n}\nfn sink() {}\nfn lone() {}\n",
+        );
+        let sink = g.nodes.iter().position(|n| n.name == "sink").unwrap();
+        let top = g.nodes.iter().position(|n| n.name == "top").unwrap();
+        let lone = g.nodes.iter().position(|n| n.name == "lone").unwrap();
+        let targets: HashSet<usize> = [sink].into_iter().collect();
+        assert!(g.reaches(top, &targets));
+        assert!(!g.reaches(lone, &targets));
+    }
+
+    #[test]
+    fn nested_fn_calls_attributed_to_innermost() {
+        let (_, g) = graph_of("fn outer() {\n    fn inner() {\n        leaf();\n    }\n    inner();\n}\nfn leaf() {}\n");
+        let outer = g.nodes.iter().position(|n| n.name == "outer").unwrap();
+        let inner = g.nodes.iter().position(|n| n.name == "inner").unwrap();
+        let outer_callees: Vec<&str> = g.calls[outer]
+            .iter()
+            .map(|s| g.nodes[s.callee].name.as_str())
+            .collect();
+        assert_eq!(outer_callees, ["inner"]);
+        let inner_callees: Vec<&str> = g.calls[inner]
+            .iter()
+            .map(|s| g.nodes[s.callee].name.as_str())
+            .collect();
+        assert_eq!(inner_callees, ["leaf"]);
+    }
+}

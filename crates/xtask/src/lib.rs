@@ -15,31 +15,52 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
+pub mod callgraph;
 pub mod lexer;
 pub mod model;
 pub mod rules;
 
 use std::path::Path;
 
+pub use analyze::ANALYZE_RULE_IDS;
 pub use model::SourceFile;
 pub use rules::{Allowed, Report, Violation, RULE_IDS};
 
 /// Lint every workspace source file under `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(rules::lint_files(&load_workspace(root)?))
+}
+
+/// Run the interprocedural analyze pass over every workspace source file.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(analyze::analyze_files(&load_workspace(root)?))
+}
+
+fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let paths = model::workspace_sources(root)?;
     let mut files = Vec::with_capacity(paths.len());
     for path in &paths {
         files.push(SourceFile::load(root, path)?);
     }
-    Ok(rules::lint_files(&files))
+    Ok(files)
 }
 
 /// Lint in-memory sources given as `(relative_path, text)` pairs. Used by the
 /// mutation self-test to prove each rule still fires on seeded violations.
 pub fn lint_sources(sources: &[(&str, &str)]) -> Report {
-    let files: Vec<SourceFile> = sources
+    rules::lint_files(&from_sources(sources))
+}
+
+/// Analyze in-memory sources — the call graph is built over exactly these
+/// files, so fixtures are self-contained.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Report {
+    analyze::analyze_files(&from_sources(sources))
+}
+
+fn from_sources(sources: &[(&str, &str)]) -> Vec<SourceFile> {
+    sources
         .iter()
         .map(|(path, text)| SourceFile::from_source((*path).to_string(), text))
-        .collect();
-    rules::lint_files(&files)
+        .collect()
 }

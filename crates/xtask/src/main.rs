@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo xtask lint [--root <dir>]`.
+//! CLI entry point: `cargo xtask <lint|analyze> [--root <dir>]`.
 
 #![forbid(unsafe_code)]
 
@@ -8,11 +8,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo xtask lint [--root <dir>]");
+        eprintln!("usage: cargo xtask <lint|analyze> [--root <dir>]");
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "lint" => {
+        "lint" | "analyze" => {
             let mut root = workspace_root();
             let mut rest = args;
             while let Some(flag) = rest.next() {
@@ -28,10 +28,14 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            run_lint(&root)
+            if cmd == "lint" {
+                run_lint(&root)
+            } else {
+                run_analyze(&root)
+            }
         }
         other => {
-            eprintln!("unknown command: {other} (try `lint`)");
+            eprintln!("unknown command: {other} (try `lint` or `analyze`)");
             ExitCode::FAILURE
         }
     }
@@ -76,6 +80,37 @@ fn run_lint(root: &Path) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask lint: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_analyze(root: &Path) -> ExitCode {
+    let report = match xtask::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if !report.allowed.is_empty() {
+        println!("recorded exceptions ({}):", report.allowed.len());
+        for a in &report.allowed {
+            println!("  {a}");
+        }
+    }
+    if report.is_clean() {
+        println!(
+            "xtask analyze: {} files clean ({} interprocedural rules, {} recorded exceptions)",
+            report.files_checked,
+            xtask::ANALYZE_RULE_IDS.len(),
+            report.allowed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: {} violation(s):", report.violations.len());
         for v in &report.violations {
             eprintln!("  {v}");
         }

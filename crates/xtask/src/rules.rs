@@ -105,9 +105,22 @@ fn lint_file(file: &SourceFile, report: &mut Report) {
     hint_reverify(file, &mut raw);
     diskerror_unwrap(file, &mut raw);
     clock_discipline(file, &mut raw);
+    apply_allows(file, raw, &RULE_IDS, true, report);
+}
 
-    // Apply allow annotations: an annotation at line A covers the first line
-    // >= A holding non-blank code (a trailing comment covers its own line).
+/// Apply allow annotations for the rules in `owned` to one file's raw
+/// violations, then flag stale annotations. An annotation at line A covers
+/// the first line >= A holding non-blank code (a trailing comment covers its
+/// own line). Each pass (lint, analyze) only stale-checks the annotations it
+/// owns; `check_unknown` is set by the base pass so an annotation naming no
+/// rule at all is reported exactly once.
+pub(crate) fn apply_allows(
+    file: &SourceFile,
+    raw: Vec<Violation>,
+    owned: &[&str],
+    check_unknown: bool,
+    report: &mut Report,
+) {
     let mut used: HashSet<usize> = HashSet::new();
     for v in raw {
         let covering = file.scanned.annotations.iter().find(|a| {
@@ -139,18 +152,23 @@ fn lint_file(file: &SourceFile, report: &mut Report) {
         }
     }
 
-    // Stale or unknown annotations.
+    // Stale or unknown annotations among the rules this pass owns.
     for a in &file.scanned.annotations {
         if used.contains(&a.line) {
             continue;
         }
-        let message = if RULE_IDS.contains(&a.rule.as_str()) {
+        let message = if owned.contains(&a.rule.as_str()) {
             format!(
                 "`lint: allow({})` suppresses nothing — remove it or fix the rule id",
                 a.rule
             )
-        } else {
+        } else if check_unknown
+            && !RULE_IDS.contains(&a.rule.as_str())
+            && !crate::analyze::ANALYZE_RULE_IDS.contains(&a.rule.as_str())
+        {
             format!("`lint: allow({})` names an unknown rule", a.rule)
+        } else {
+            continue;
         };
         report.violations.push(Violation {
             rule: "stale-allow",
@@ -162,7 +180,7 @@ fn lint_file(file: &SourceFile, report: &mut Report) {
 }
 
 /// The first line >= `from` whose blanked code is non-blank.
-fn covered_line(file: &SourceFile, from: usize) -> Option<usize> {
+pub(crate) fn covered_line(file: &SourceFile, from: usize) -> Option<usize> {
     file.scanned
         .lines
         .iter()

@@ -1,0 +1,44 @@
+//! Double-run determinism pins (tier-1 companion to the `determinism` bin).
+//!
+//! Every workload here is executed three times — threaded, threaded again,
+//! unthreaded — and must produce bit-identical trace digests, data digests,
+//! and simulated elapsed time. The full-size harness (4 arms, 1000 clients)
+//! runs in CI via `cargo run --release -p alto-bench --bin determinism`;
+//! these are smaller shapes sized for debug-mode `cargo test`.
+
+use alto_bench::determinism::{array_random, array_scavenge, array_seq, server_round, triple_run};
+
+#[test]
+fn array_seq_is_bit_identical_across_runs_and_threading() {
+    let r = triple_run("array_seq", |t| array_seq(2, t));
+    assert!(r.identical(), "{}", r.describe());
+}
+
+#[test]
+fn array_random_is_bit_identical_across_runs_and_threading() {
+    let r = triple_run("array_random", |t| array_random(3, t));
+    assert!(r.identical(), "{}", r.describe());
+}
+
+#[test]
+fn array_scavenge_is_bit_identical_across_runs_and_threading() {
+    let r = triple_run("array_scavenge", |t| array_scavenge(2, t));
+    assert!(r.identical(), "{}", r.describe());
+}
+
+#[test]
+fn server_round_is_bit_identical_across_runs_and_threading() {
+    let r = triple_run("server_round", |t| server_round(120, 2, t));
+    assert!(r.identical(), "{}", r.describe());
+}
+
+/// Threading is a host-side wall-clock optimisation; it must not shift a
+/// single simulated nanosecond. Pin one absolute number so an accidental
+/// timing-model change shows up as a diff, not just a divergence.
+#[test]
+fn threading_never_moves_simulated_time() {
+    let on = array_seq(4, true);
+    let off = array_seq(4, false);
+    assert_eq!(on.sim_ns, off.sim_ns);
+    assert_eq!(on, off);
+}

@@ -4,9 +4,13 @@
 //! here seeds a §3.3 violation — a write without a check, a stale hint
 //! consumed unverified, a parked dirty page dropped — and asserts that the
 //! static pass (`xtask::lint_sources`) and the runtime auditor
-//! (`DiskDrive::enable_audit`) both catch their half of it. The real tree
-//! must stay clean under the same rules, and the auditor must cost zero
-//! *simulated* time, which the last test checks as exact clock equality.
+//! (`DiskDrive::enable_audit`) both catch their half of it. The
+//! interprocedural pass (`xtask::analyze_sources`) gets the same treatment
+//! with mutations only visible across call edges — an indirect raw op, a
+//! swallowed error, hash-order iteration, an opcode nobody answers. The
+//! real tree must stay clean under all the rules, and the auditor must cost
+//! zero *simulated* time, which the last test checks as exact clock
+//! equality.
 
 use alto::disk::{
     Action, AuditRule, DiskAddress, DiskDrive, DiskModel, Label, SectorBuf, SectorOp, UnparkOutcome,
@@ -234,6 +238,229 @@ fn workspace_tree_passes_the_lint() {
     assert!(
         report.is_clean(),
         "`cargo xtask lint` must pass on the tree:\n{}",
+        report
+            .violations
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_checked > 50, "the walk found the workspace");
+}
+
+// --- The interprocedural rules (`cargo xtask analyze`) also fire. Each
+// mutation here is invisible to the per-function lint — the violation only
+// exists across a call edge or across the whole protocol surface. ---
+
+#[test]
+fn analyze_catches_raw_op_reached_through_a_helper() {
+    // The helper contains the raw op; the caller never mentions do_op at
+    // all, so only the call-graph pass can see that it reaches one.
+    let seeded = r#"
+fn helper_with_raw_op(&mut self, da: DiskAddress, buf: &mut SectorBuf) {
+    self.disk.do_op(da, SectorOp::WRITE, buf).expect("write");
+}
+
+fn innocent_looking_caller(&mut self, da: DiskAddress) {
+    let mut buf = SectorBuf::zeroed();
+    self.helper_with_raw_op(da, &mut buf);
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(|v| {
+            v.rule == "raw-disk-op-transitive" && v.message.contains("innocent_looking_caller")
+        }),
+        "analyze must flag the caller that reaches a raw op indirectly, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_swallowed_disk_error() {
+    let seeded = r#"
+fn forgetful_flush(&mut self, file: FileFullName, bytes: &[u8]) {
+    let _ = self.fs.write_file(file, bytes);
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "error-path-discard"),
+        "analyze must flag a DiskError discarded via `let _ =`, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_swallowed_send_result() {
+    let seeded = r#"
+fn fire_and_forget(&mut self, ether: &mut Ether, reply: Packet) {
+    ether.send(reply).ok();
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/net/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "error-path-discard"),
+        "analyze must flag a send Result swallowed via `.ok()`, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_hashmap_iteration_on_a_planning_path() {
+    let seeded = r#"
+fn plan_batches(&mut self, pending: &HashMap<u16, Request>) -> Vec<Request> {
+    let mut plan = Vec::new();
+    for (_seq, req) in pending.iter() {
+        plan.push(req.clone());
+    }
+    plan
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/net/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "hashmap-iteration"),
+        "analyze must flag hash-order iteration in batch planning, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_unhandled_opcode() {
+    let seeded = r#"
+pub const SHUTDOWN_REQUEST: PacketType = PacketType::Other(0x70);
+"#;
+    let report = xtask::analyze_sources(&[("crates/net/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "protocol-totality" && v.message.contains("no dispatch site")),
+        "analyze must flag a request opcode nobody dispatches, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_dispatched_request_that_never_replies() {
+    let seeded = r#"
+pub const PING_REQUEST: PacketType = PacketType::Other(0x71);
+
+fn dispatch(&mut self, p: &Packet) {
+    if p.ptype == PING_REQUEST {
+        self.stats.pings += 1;
+    }
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/net/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(
+            |v| v.rule == "protocol-totality" && v.message.contains("never reaches a `.send(`")
+        ),
+        "analyze must flag a handled request with no reply path, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_thread_outside_disk() {
+    let seeded = r#"
+fn sneak_parallelism(&mut self) {
+    let handle = thread::spawn(|| expensive_scan());
+    handle.join().expect("join");
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "thread-discipline"),
+        "analyze must flag host threads outside crates/disk, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_catches_clock_mutation_reached_through_a_helper() {
+    let seeded = r#"
+fn skip_ahead(&mut self) {
+    self.clock.advance(SimTime::from_millis(5));
+}
+
+fn tick_looking_wrapper(&mut self) {
+    self.skip_ahead();
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/core/src/mutant.rs", seeded)]);
+    assert!(
+        report.violations.iter().any(|v| {
+            v.rule == "clock-discipline-transitive" && v.message.contains("tick_looking_wrapper")
+        }),
+        "analyze must flag the caller that reaches a clock write, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_allow_on_the_direct_site_sanctions_the_callers() {
+    // Annotating the raw op itself (the base `raw-disk-op` escape hatch)
+    // vouches for the whole path: the transitive rule must stay quiet for
+    // the helper's callers instead of demanding a second annotation.
+    let seeded = r#"
+fn helper_with_raw_op(&mut self, da: DiskAddress, buf: &mut SectorBuf) {
+    // lint: allow(raw-disk-op) — seeded exception for the self-test
+    self.disk.do_op(da, SectorOp::WRITE, buf).expect("write");
+}
+
+fn innocent_looking_caller(&mut self, da: DiskAddress) {
+    let mut buf = SectorBuf::zeroed();
+    self.helper_with_raw_op(da, &mut buf);
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.rule == "raw-disk-op-transitive"),
+        "an allow on the direct site must sanction its callers, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn analyze_annotated_seed_is_suppressed_and_recorded() {
+    let seeded = r#"
+fn forgetful_flush(&mut self, file: FileFullName, bytes: &[u8]) {
+    // lint: allow(error-path-discard) — seeded exception for the self-test
+    let _ = self.fs.write_file(file, bytes);
+}
+"#;
+    let report = xtask::analyze_sources(&[("crates/fs/src/mutant.rs", seeded)]);
+    assert!(report.is_clean(), "got {:?}", report.violations);
+    assert_eq!(report.allowed.len(), 1);
+    assert_eq!(report.allowed[0].rule, "error-path-discard");
+}
+
+// --- ...and the real tree is clean under the interprocedural rules too. ---
+
+#[test]
+fn workspace_tree_passes_the_analyze_pass() {
+    let report = xtask::analyze_workspace(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace sources must be readable");
+    assert!(
+        report.is_clean(),
+        "`cargo xtask analyze` must pass on the tree:\n{}",
         report
             .violations
             .iter()
